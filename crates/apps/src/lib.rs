@@ -1,0 +1,20 @@
+//! Controller applications for the SDNShield reproduction: the paper's two
+//! evaluation workloads (§IX-A), its two §VII case-study apps, and the four
+//! proof-of-concept attack apps of §IX-B1.
+//!
+//! Every app is written once against [`sdnshield_controller::app::App`] and
+//! runs unmodified on both the shielded and the monolithic controller.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alto;
+pub mod attacks;
+pub mod l2_learning;
+pub mod monitoring;
+pub mod routing;
+
+pub use alto::{AltoService, TrafficEngApp, ALTO_MANIFEST, TE_MANIFEST};
+pub use attacks::{FlowTunnelApp, InfoLeakApp, RouteHijackApp, SniffInjectApp};
+pub use l2_learning::{L2LearningSwitch, L2_MANIFEST};
+pub use monitoring::{MonitoringApp, MONITORING_MANIFEST, MONITORING_POLICY};
+pub use routing::{RoutingApp, ROUTING_MANIFEST};

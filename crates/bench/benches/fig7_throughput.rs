@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 7: control-plane throughput under the
+//! CBench-style L2 pressure test, baseline vs SDNShield.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sdnshield_bench::scenario::{l2_scenario_opts, traffic, Arch};
+
+const BATCH: usize = 512;
+const SWITCH_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_throughput");
+    group
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for arch in Arch::ALL {
+        for n in SWITCH_COUNTS {
+            let controller = l2_scenario_opts(arch, n, 4, true);
+            let mut gen = traffic(n, 5);
+            for _ in 0..200 {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            }
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(arch.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    for (dpid, pi) in gen.batch(BATCH) {
+                        controller.deliver_packet_in_nowait(dpid, pi);
+                    }
+                    controller.quiesce();
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench for Figure 8: SDNShield latency scalability with the
+//! number of concurrent apps and per-app complexity, plus the deputy-pool
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdnshield_bench::scenario::{caller_scenario, traffic, Arch};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_apps");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for apps in [1usize, 4, 16, 32] {
+        for arch in Arch::ALL {
+            let controller = caller_scenario(arch, apps, 4, 4);
+            let mut gen = traffic(4, 21);
+            for _ in 0..10 {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            }
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(arch.label(), apps), &apps, |b, _| {
+                b.iter(|| {
+                    let (dpid, pi) = gen.next_packet_in();
+                    controller.deliver_packet_in(dpid, pi);
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_complexity");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for calls in [1usize, 8, 64] {
+        for arch in Arch::ALL {
+            let controller = caller_scenario(arch, 1, calls, 4);
+            let mut gen = traffic(4, 22);
+            for _ in 0..10 {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            }
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(arch.label(), calls), &calls, |b, _| {
+                b.iter(|| {
+                    let (dpid, pi) = gen.next_packet_in();
+                    controller.deliver_packet_in(dpid, pi);
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_deputies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_deputy_ablation");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for deputies in [1usize, 2, 4, 8] {
+        let controller = caller_scenario(Arch::Shielded, 8, 8, deputies);
+        let mut gen = traffic(4, 23);
+        for _ in 0..10 {
+            let (dpid, pi) = gen.next_packet_in();
+            controller.deliver_packet_in(dpid, pi);
+        }
+        controller.quiesce();
+        group.bench_with_input(BenchmarkId::new("deputies", deputies), &deputies, |b, _| {
+            b.iter(|| {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            })
+        });
+        controller.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_complexity, bench_deputies);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Figure 8: SDNShield's latency-overhead scalability with (a) the number of
+//! concurrent apps and (b) per-app complexity (API calls per event) — plus
+//! the deputy-pool-size ablation (DESIGN.md §5).
+//!
+//! The paper's claim: "the latency overhead of SDNShield increases linearly
+//! with the number of concurrent apps and the complexity of apps".
+//!
+//! Run with: `cargo run --release -p sdnshield-bench --bin fig8_table`
+
+use std::time::Instant;
+
+use sdnshield_bench::scenario::{caller_scenario, traffic, Arch};
+use sdnshield_bench::stats::Summary;
+
+const REPS: usize = 100;
+const DEPUTIES: usize = 4;
+
+fn measure(arch: Arch, apps: usize, calls: usize, deputies: usize) -> f64 {
+    let c = caller_scenario(arch, apps, calls, deputies);
+    let mut gen = traffic(4, 21);
+    for _ in 0..10 {
+        let (dpid, pi) = gen.next_packet_in();
+        c.deliver_packet_in(dpid, pi);
+    }
+    c.quiesce();
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let (dpid, pi) = gen.next_packet_in();
+        let t = Instant::now();
+        c.deliver_packet_in(dpid, pi);
+        samples.push(t.elapsed());
+    }
+    c.shutdown();
+    Summary::of(samples).median.as_secs_f64() * 1e6
+}
+
+fn main() {
+    println!("Figure 8 — latency-overhead scalability (median over {REPS} events, µs)\n");
+
+    println!("(a) varying concurrent apps (4 calls/event each)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "apps", "baseline µs", "sdnshield µs", "overhead µs", "per-app µs"
+    );
+    let mut prev_overhead = 0.0;
+    for apps in [1usize, 2, 4, 8, 16, 32] {
+        let base = measure(Arch::Baseline, apps, 4, DEPUTIES);
+        let shielded = measure(Arch::Shielded, apps, 4, DEPUTIES);
+        let overhead = shielded - base;
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>14.1} {:>14.2}",
+            apps,
+            base,
+            shielded,
+            overhead,
+            overhead / apps as f64
+        );
+        prev_overhead = overhead;
+    }
+    let _ = prev_overhead;
+
+    println!("\n(b) varying app complexity (1 app, N calls/event)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "calls", "baseline µs", "sdnshield µs", "overhead µs", "per-call µs"
+    );
+    for calls in [1usize, 2, 4, 8, 16, 32, 64] {
+        let base = measure(Arch::Baseline, 1, calls, DEPUTIES);
+        let shielded = measure(Arch::Shielded, 1, calls, DEPUTIES);
+        let overhead = shielded - base;
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>14.1} {:>14.2}",
+            calls,
+            base,
+            shielded,
+            overhead,
+            overhead / calls as f64
+        );
+    }
+
+    println!("\n(c) ablation: deputy-pool size (8 apps, 8 calls/event)");
+    println!("{:<10} {:>14}", "deputies", "sdnshield µs");
+    for deputies in [1usize, 2, 4, 8] {
+        let shielded = measure(Arch::Shielded, 8, 8, deputies);
+        println!("{:<10} {:>14.1}", deputies, shielded);
+    }
+
+    println!(
+        "\npaper reference: overhead grows linearly in both dimensions, so\n\
+         SDNShield \"is highly scalable even if the number of concurrent apps\n\
+         and the complexity of individual apps grow\" (Fig 8)."
+    );
+}

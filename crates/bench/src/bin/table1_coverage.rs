@@ -1,0 +1,177 @@
+//! Table I: attack-protection coverage. Runs the four §IX-B1
+//! proof-of-concept attack apps on the unmodified baseline and on SDNShield
+//! under least-privilege permissions, and prints the coverage matrix.
+//!
+//! Run with: `cargo run --release -p sdnshield-bench --bin table1_coverage`
+
+use bytes::Bytes;
+use sdnshield_apps::attacks::{
+    FlowTunnelApp, InfoLeakApp, RouteHijackApp, SniffInjectApp, StatsHandle,
+};
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::isolation::ShieldedController;
+use sdnshield_controller::monolithic::MonolithicController;
+use sdnshield_core::api::EventKind;
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_core::perm::PermissionSet;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::FlowMod;
+use sdnshield_openflow::packet::{EthernetFrame, TcpFlags};
+use sdnshield_openflow::types::{DatapathId, EthAddr, Ipv4, PortNo, Priority};
+
+struct Provisioner;
+
+impl App for Provisioner {
+    fn name(&self) -> &str {
+        "provisioner"
+    }
+    fn on_start(&mut self, ctx: &AppCtx) {
+        // Static h1→h3 path + firewall on s2.
+        type Rule = (u64, FlowMatch, u16, Option<u16>);
+        let rules: [Rule; 5] = [
+            (
+                1u64,
+                FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+                100u16,
+                Some(1u16),
+            ),
+            (
+                2,
+                FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+                100,
+                Some(2),
+            ),
+            (
+                3,
+                FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+                100,
+                Some(2),
+            ),
+            (2, FlowMatch::default().with_tp_dst(80), 300, Some(2)),
+            (2, FlowMatch::default().with_ip_proto(6), 200, None),
+        ];
+        for (dpid, m, prio, port) in rules {
+            let actions = match port {
+                Some(p) => ActionList::output(PortNo(p)),
+                None => ActionList::drop(),
+            };
+            ctx.insert_flow(DatapathId(dpid), FlowMod::add(m, Priority(prio), actions))
+                .expect("provision");
+        }
+        let _ = ctx.subscribe(EventKind::PacketIn);
+    }
+}
+
+type AttackSet = (Vec<Box<dyn App>>, Vec<(&'static str, StatsHandle)>);
+
+fn attack_apps() -> AttackSet {
+    let (sniff, s1) = SniffInjectApp::new();
+    let (leak, s2) = InfoLeakApp::new((Ipv4::new(203, 0, 113, 66), 8080));
+    let (hijack, s3) = RouteHijackApp::new(Ipv4::new(10, 0, 0, 3), (DatapathId(2), PortNo(1)));
+    let (tunnel, s4) =
+        FlowTunnelApp::new(DatapathId(1), DatapathId(3), 23, 80, (PortNo(1), PortNo(2)));
+    (
+        vec![
+            Box::new(sniff),
+            Box::new(leak),
+            Box::new(hijack),
+            Box::new(tunnel),
+        ],
+        vec![
+            ("1: intrusion to data plane", s1),
+            ("2: sensitive info leakage", s2),
+            ("3: manipulation of rules", s3),
+            ("4: attacking other apps", s4),
+        ],
+    )
+}
+
+fn shielded_manifests() -> Vec<PermissionSet> {
+    [
+        "PERM pkt_in_event\nPERM read_payload",
+        "PERM topology_event\nPERM visible_topology\nPERM read_statistics\n\
+         PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0",
+        "PERM topology_event\nPERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS",
+        "PERM topology_event\nPERM insert_flow LIMITING ACTION FORWARD",
+    ]
+    .into_iter()
+    .map(|m| parse_manifest(m).expect("manifest"))
+    .collect()
+}
+
+fn http_wakeup() -> EthernetFrame {
+    EthernetFrame::tcp(
+        EthAddr::from_u64(3),
+        EthAddr::from_u64(1),
+        Ipv4::new(10, 0, 0, 3),
+        Ipv4::new(10, 0, 0, 1),
+        43210,
+        80,
+        TcpFlags::default(),
+        Bytes::from_static(b"GET /"),
+    )
+}
+
+fn main() {
+    // Baseline run.
+    let mut baseline = Vec::new();
+    {
+        let c = MonolithicController::new(Network::new(builders::linear(3), 4096));
+        c.register(Box::new(Provisioner), &PermissionSet::new());
+        let (apps, stats) = attack_apps();
+        for app in apps {
+            c.register(app, &PermissionSet::new());
+        }
+        c.inject_host_frame(http_wakeup());
+        c.deliver_topology_change("wake");
+        for (name, s) in stats {
+            let st = s.lock();
+            baseline.push((name, st.attempts, st.successes));
+        }
+    }
+    // Shielded run.
+    let mut shielded = Vec::new();
+    {
+        let c = ShieldedController::new(Network::new(builders::linear(3), 4096), 4);
+        c.register(
+            Box::new(Provisioner),
+            &parse_manifest("PERM insert_flow\nPERM pkt_in_event").expect("manifest"),
+        )
+        .expect("register provisioner");
+        let (apps, stats) = attack_apps();
+        for (app, manifest) in apps.into_iter().zip(shielded_manifests()) {
+            c.register(app, &manifest).expect("register attack app");
+        }
+        c.inject_host_frame(http_wakeup());
+        c.deliver_topology_change("wake");
+        c.quiesce();
+        for (name, s) in stats {
+            let st = s.lock();
+            shielded.push((name, st.attempts, st.successes));
+        }
+        c.shutdown();
+    }
+
+    println!("Table I — attack protection coverage\n");
+    println!(
+        "{:<30} {:>22} {:>22}",
+        "attack class", "baseline (succ/att)", "SDNShield (succ/att)"
+    );
+    for ((name, ba, bs), (_, sa, ss)) in baseline.iter().zip(shielded.iter()) {
+        println!("{:<30} {:>12}/{:<9} {:>12}/{:<9}", name, bs, ba, ss, sa);
+    }
+    let all_vulnerable = baseline.iter().all(|(_, _, s)| *s > 0);
+    let all_blocked = shielded.iter().all(|(_, _, s)| *s == 0);
+    println!(
+        "\nbaseline vulnerable to all classes: {all_vulnerable}\n\
+         SDNShield blocks all classes:       {all_blocked}"
+    );
+    println!(
+        "\npaper reference (Table I): \"original Floodlight is vulnerable to all\n\
+         the attacks, while SDNShield-enabled Floodlight is immune to all of\n\
+         them.\""
+    );
+}

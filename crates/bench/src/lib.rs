@@ -1,0 +1,9 @@
+//! Shared workload generators and measurement helpers for the benchmark
+//! harness that regenerates the SDNShield paper's figures (DESIGN.md §4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig5;
+pub mod scenario;
+pub mod stats;

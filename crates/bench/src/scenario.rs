@@ -1,0 +1,289 @@
+//! End-to-end scenario setups for Figures 6–8: the L2-learning and ALTO-TE
+//! workloads on both the SDNShield and the monolithic controller.
+
+use sdnshield_apps::alto::{AltoService, TrafficEngApp, ALTO_MANIFEST, TE_MANIFEST};
+use sdnshield_apps::l2_learning::{L2LearningSwitch, L2_MANIFEST};
+use sdnshield_controller::isolation::ShieldedController;
+use sdnshield_controller::monolithic::MonolithicController;
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_netsim::trafficgen::{PacketKind, TrafficGen};
+use sdnshield_openflow::messages::PacketIn;
+use sdnshield_openflow::types::{DatapathId, Ipv4};
+
+/// Which controller architecture a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Unmodified baseline (the paper's "original OpenDaylight").
+    Baseline,
+    /// SDNShield with permission checking and thread isolation.
+    Shielded,
+}
+
+impl Arch {
+    /// Both architectures, baseline first.
+    pub const ALL: [Arch; 2] = [Arch::Baseline, Arch::Shielded];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::Baseline => "baseline",
+            Arch::Shielded => "sdnshield",
+        }
+    }
+}
+
+/// A controller of either architecture with a uniform driving surface.
+pub enum AnyController {
+    /// The baseline.
+    Baseline(MonolithicController),
+    /// SDNShield.
+    Shielded(ShieldedController),
+}
+
+impl AnyController {
+    /// Delivers one packet-in and waits until subscribed apps processed it.
+    pub fn deliver_packet_in(&self, dpid: DatapathId, pi: PacketIn) {
+        match self {
+            AnyController::Baseline(c) => c.deliver_packet_in(dpid, pi),
+            AnyController::Shielded(c) => c.deliver_packet_in(dpid, pi),
+        }
+    }
+
+    /// Pipelined delivery: does not wait for processing (pressure tests).
+    pub fn deliver_packet_in_nowait(&self, dpid: DatapathId, pi: PacketIn) {
+        match self {
+            AnyController::Baseline(c) => c.deliver_packet_in_nowait(dpid, pi),
+            AnyController::Shielded(c) => c.deliver_packet_in_nowait(dpid, pi),
+        }
+    }
+
+    /// Fires a topology-change event (the ALTO chain trigger).
+    pub fn deliver_topology_change(&self, description: &str) {
+        match self {
+            AnyController::Baseline(c) => c.deliver_topology_change(description),
+            AnyController::Shielded(c) => c.deliver_topology_change(description),
+        }
+    }
+
+    /// Waits for all cascaded work to drain.
+    pub fn quiesce(&self) {
+        if let AnyController::Shielded(c) = self {
+            c.quiesce();
+        }
+        // The baseline is fully synchronous.
+    }
+
+    /// The kernel, for inspection.
+    pub fn kernel(&self) -> &sdnshield_controller::kernel::Kernel {
+        match self {
+            AnyController::Baseline(c) => c.kernel(),
+            AnyController::Shielded(c) => c.kernel(),
+        }
+    }
+
+    /// Stops threads (no-op for the baseline).
+    pub fn shutdown(&self) {
+        if let AnyController::Shielded(c) = self {
+            c.shutdown();
+        }
+    }
+}
+
+/// Builds the L2-learning scenario: a linear network of `num_switches`
+/// switches and the learning-switch app, ready to receive packet-ins.
+///
+/// CBench mode (`cbench = true`) absorbs packet-outs at the emulated
+/// switches instead of walking them through the simulated data plane —
+/// the measurement methodology of the paper's Figures 6–7, where the
+/// generator's fake switches only count controller responses.
+pub fn l2_scenario_opts(
+    arch: Arch,
+    num_switches: usize,
+    deputies: usize,
+    cbench: bool,
+) -> AnyController {
+    let network = Network::new(builders::linear(num_switches), 16_384);
+    let manifest = parse_manifest(L2_MANIFEST).expect("l2 manifest");
+    let c = match arch {
+        Arch::Baseline => {
+            let c = MonolithicController::new(network);
+            c.register(Box::new(L2LearningSwitch::new()), &manifest);
+            AnyController::Baseline(c)
+        }
+        Arch::Shielded => {
+            let c = ShieldedController::new(network, deputies);
+            c.register(Box::new(L2LearningSwitch::new()), &manifest)
+                .expect("register l2");
+            AnyController::Shielded(c)
+        }
+    };
+    c.kernel().set_absorb_packet_outs(cbench);
+    c
+}
+
+/// [`l2_scenario_opts`] with the full data-plane walk (integration tests).
+pub fn l2_scenario(arch: Arch, num_switches: usize, deputies: usize) -> AnyController {
+    l2_scenario_opts(arch, num_switches, deputies, false)
+}
+
+/// Builds the ALTO-TE scenario: the cost service plus the TE app; each
+/// topology-change event triggers the four-mediation chain of §IX-A.
+pub fn alto_scenario(arch: Arch, num_switches: usize, deputies: usize) -> AnyController {
+    let network = Network::new(builders::linear(num_switches), 16_384);
+    let alto_manifest = parse_manifest(ALTO_MANIFEST).expect("alto manifest");
+    let te_manifest = parse_manifest(TE_MANIFEST).expect("te manifest");
+    let te = || {
+        TrafficEngApp::new(
+            Ipv4::new(10, 0, 0, 0),
+            8,
+            DatapathId(1),
+            DatapathId(num_switches as u64),
+        )
+    };
+    match arch {
+        Arch::Baseline => {
+            let c = MonolithicController::new(network);
+            c.register(Box::new(AltoService::new()), &alto_manifest);
+            c.register(Box::new(te()), &te_manifest);
+            AnyController::Baseline(c)
+        }
+        Arch::Shielded => {
+            let c = ShieldedController::new(network, deputies);
+            c.register(Box::new(AltoService::new()), &alto_manifest)
+                .expect("register alto");
+            c.register(Box::new(te()), &te_manifest)
+                .expect("register te");
+            AnyController::Shielded(c)
+        }
+    }
+}
+
+/// A synthetic app issuing a fixed number of API calls per packet-in —
+/// the "app complexity" knob of Figure 8 (complexity "measured by the API
+/// calls issued by the app").
+pub struct CallerApp {
+    /// API calls issued per event.
+    pub calls_per_event: usize,
+    counter: u16,
+}
+
+impl CallerApp {
+    /// An app issuing `calls_per_event` flow insertions per packet-in.
+    pub fn new(calls_per_event: usize) -> Self {
+        CallerApp {
+            calls_per_event,
+            counter: 0,
+        }
+    }
+}
+
+impl sdnshield_controller::app::App for CallerApp {
+    fn name(&self) -> &str {
+        "caller"
+    }
+
+    fn on_start(&mut self, ctx: &sdnshield_controller::app::AppCtx) {
+        ctx.subscribe(sdnshield_core::api::EventKind::PacketIn)
+            .expect("subscribe");
+    }
+
+    fn on_event(
+        &mut self,
+        ctx: &sdnshield_controller::app::AppCtx,
+        event: &sdnshield_controller::events::Event,
+    ) {
+        use sdnshield_openflow::actions::ActionList;
+        use sdnshield_openflow::flow_match::FlowMatch;
+        use sdnshield_openflow::messages::FlowMod;
+        use sdnshield_openflow::types::{PortNo, Priority};
+        let sdnshield_controller::events::Event::PacketIn { dpid, .. } = event else {
+            return;
+        };
+        for _ in 0..self.calls_per_event {
+            self.counter = self.counter.wrapping_add(1);
+            let fm = FlowMod::add(
+                FlowMatch::default().with_tp_dst(1 + (self.counter % 1024)),
+                Priority(100),
+                ActionList::output(PortNo(1)),
+            );
+            let _ = ctx.insert_flow(*dpid, fm);
+        }
+    }
+}
+
+/// The Figure-8 scalability scenario: `num_apps` concurrent [`CallerApp`]s,
+/// each issuing `calls_per_event` calls per packet-in.
+pub fn caller_scenario(
+    arch: Arch,
+    num_apps: usize,
+    calls_per_event: usize,
+    deputies: usize,
+) -> AnyController {
+    let network = Network::new(builders::linear(4), 1_000_000);
+    let manifest = parse_manifest(
+        "PERM pkt_in_event
+PERM insert_flow",
+    )
+    .expect("manifest");
+    match arch {
+        Arch::Baseline => {
+            let c = MonolithicController::new(network);
+            for _ in 0..num_apps {
+                c.register(Box::new(CallerApp::new(calls_per_event)), &manifest);
+            }
+            AnyController::Baseline(c)
+        }
+        Arch::Shielded => {
+            let c = ShieldedController::new(network, deputies);
+            for _ in 0..num_apps {
+                c.register(Box::new(CallerApp::new(calls_per_event)), &manifest)
+                    .expect("register caller");
+            }
+            AnyController::Shielded(c)
+        }
+    }
+}
+
+/// A CBench-style generator sized to a scenario.
+pub fn traffic(num_switches: usize, seed: u64) -> TrafficGen {
+    TrafficGen::new(num_switches as u64, 16, PacketKind::Arp, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_scenario_processes_traffic_on_both_archs() {
+        for arch in Arch::ALL {
+            let c = l2_scenario(arch, 4, 4);
+            let mut gen = traffic(4, 1);
+            for _ in 0..10 {
+                let (dpid, pi) = gen.next_packet_in();
+                c.deliver_packet_in(dpid, pi);
+            }
+            c.quiesce();
+            // The learning switch flooded unknown destinations: audit shows
+            // activity (shielded) / flow tables untouched but no crash.
+            c.shutdown();
+        }
+    }
+
+    #[test]
+    fn alto_scenario_chain_runs_on_both_archs() {
+        for arch in Arch::ALL {
+            let c = alto_scenario(arch, 4, 4);
+            c.deliver_topology_change("bench tick");
+            c.quiesce();
+            let rules: usize = (1..=4).map(|d| c.kernel().flow_count(DatapathId(d))).sum();
+            assert!(
+                rules >= 2,
+                "{}: TE rules installed, got {rules}",
+                arch.label()
+            );
+            c.shutdown();
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Simple latency summarization (median + percentile error bars, matching
+//! the paper's Figure 6 presentation).
+
+use std::time::Duration;
+
+/// Summary statistics over a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Median.
+    pub median: Duration,
+    /// 10th percentile.
+    pub p10: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl Summary {
+    /// Summarizes a sample (empty samples yield zeros).
+    pub fn of(mut samples: Vec<Duration>) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                n: 0,
+                median: Duration::ZERO,
+                p10: Duration::ZERO,
+                p90: Duration::ZERO,
+                mean: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| samples[((n as f64 - 1.0) * p).round() as usize];
+        let total: Duration = samples.iter().sum();
+        Summary {
+            n,
+            median: pct(0.5),
+            p10: pct(0.1),
+            p90: pct(0.9),
+            mean: total / n as u32,
+        }
+    }
+
+    /// Formats a duration as microseconds with two decimals.
+    pub fn us(d: Duration) -> String {
+        format!("{:.2}", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = Summary::of(samples);
+        assert_eq!(s.n, 100);
+        // Index (99 * 0.5).round() = 50 → the 51st sample.
+        assert_eq!(s.median, Duration::from_micros(51));
+        assert_eq!(s.p10, Duration::from_micros(11));
+        assert_eq!(s.p90, Duration::from_micros(90));
+        assert_eq!(
+            s.mean,
+            Duration::from_micros(50) + Duration::from_nanos(500)
+        );
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        let s = Summary::of(Vec::new());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, Duration::ZERO);
+    }
+
+    #[test]
+    fn formats_microseconds() {
+        assert_eq!(Summary::us(Duration::from_micros(1500)), "1500.00");
+        assert_eq!(Summary::us(Duration::from_nanos(2500)), "2.50");
+    }
+}

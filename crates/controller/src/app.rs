@@ -1,0 +1,378 @@
+//! The app programming model: the [`App`] trait and the [`AppCtx`] handle
+//! through which every interaction with the controller flows.
+//!
+//! In the SDNShield architecture the context marshals each call over an
+//! inter-thread channel to a Kernel Service Deputy (paper §VI-A); in the
+//! monolithic baseline it calls the kernel directly. Apps are written once
+//! and run unmodified under either architecture — mirroring the paper's
+//! claim that legacy apps need no changes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
+use sdnshield_core::token::PermissionToken;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::{FlowMod, FlowStats, PacketOut, StatsReply, StatsRequest};
+use sdnshield_openflow::types::{BufferId, DatapathId, Ipv4, PortNo};
+
+use crate::api::{ApiError, ApiResponse, DeputyRequest, FlowOp, TopologyView};
+use crate::events::Event;
+use crate::hostsys::ConnId;
+use crate::kernel::{Kernel, OutboundEvent};
+
+/// A controller application.
+///
+/// Implementations must be `Send`: under the isolation architecture each app
+/// runs on its own unprivileged thread.
+pub trait App: Send {
+    /// The app's name (diagnostics, audit).
+    fn name(&self) -> &str;
+
+    /// Tokens the app cannot function without — checked at loading time
+    /// (paper §VIII-B). Registration fails if any is missing, so no runtime
+    /// checking is spent on an app that could never run.
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        Vec::new()
+    }
+
+    /// Called once, on the app's thread, after registration.
+    fn on_start(&mut self, ctx: &AppCtx) {
+        let _ = ctx;
+    }
+
+    /// Called for every event the app is subscribed to.
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        let _ = (ctx, event);
+    }
+}
+
+/// How an [`AppCtx`] reaches the kernel.
+#[derive(Clone)]
+pub(crate) enum CallRoute {
+    /// Through the deputy channel (SDNShield isolation architecture).
+    Deputy {
+        tx: Sender<DeputyRequest>,
+        /// Work counter shared with the controller's quiesce logic.
+        inflight: Arc<std::sync::atomic::AtomicUsize>,
+    },
+    /// Direct invocation (monolithic baseline). Derived events queue up for
+    /// the dispatcher loop.
+    Direct {
+        kernel: Arc<Kernel>,
+        pending: Arc<Mutex<VecDeque<OutboundEvent>>>,
+    },
+}
+
+/// Sends a deputy request, maintaining the in-flight counter.
+fn send_deputy(
+    tx: &Sender<DeputyRequest>,
+    inflight: &std::sync::atomic::AtomicUsize,
+    req: DeputyRequest,
+) -> Result<(), ApiError> {
+    inflight.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    tx.send(req).map_err(|_| {
+        inflight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        ApiError::Shutdown
+    })
+}
+
+/// The handle apps use for every controller and host interaction.
+#[derive(Clone)]
+pub struct AppCtx {
+    app: AppId,
+    route: CallRoute,
+}
+
+impl AppCtx {
+    pub(crate) fn new(app: AppId, route: CallRoute) -> Self {
+        AppCtx { app, route }
+    }
+
+    /// This app's identity.
+    pub fn id(&self) -> AppId {
+        self.app
+    }
+
+    fn call(&self, kind: ApiCallKind) -> Result<ApiResponse, ApiError> {
+        let call = ApiCall::new(self.app, kind);
+        match &self.route {
+            CallRoute::Deputy { tx, inflight } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::Call {
+                        call,
+                        reply: reply_tx,
+                    },
+                )?;
+                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+            }
+            CallRoute::Direct { kernel, pending } => {
+                let (result, events) = kernel.execute(&call);
+                pending.lock().extend(events);
+                result
+            }
+        }
+    }
+
+    /// Reads the topology view this app is allowed to see.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::PermissionDenied`] without `visible_topology`.
+    pub fn read_topology(&self) -> Result<TopologyView, ApiError> {
+        match self.call(ApiCallKind::ReadTopology)? {
+            ApiResponse::Topology(view) => Ok(view),
+            other => unreachable!("topology call returned {other:?}"),
+        }
+    }
+
+    /// Installs (or modifies) a flow rule.
+    ///
+    /// # Errors
+    ///
+    /// Permission denials and switch errors.
+    pub fn insert_flow(&self, dpid: DatapathId, flow_mod: FlowMod) -> Result<(), ApiError> {
+        self.call(ApiCallKind::InsertFlow { dpid, flow_mod })
+            .map(|_| ())
+    }
+
+    /// Deletes flow rules.
+    ///
+    /// # Errors
+    ///
+    /// Permission denials and switch errors.
+    pub fn delete_flow(&self, dpid: DatapathId, flow_mod: FlowMod) -> Result<(), ApiError> {
+        self.call(ApiCallKind::DeleteFlow { dpid, flow_mod })
+            .map(|_| ())
+    }
+
+    /// Reads flow entries subsumed by `query` (visibility-filtered).
+    ///
+    /// # Errors
+    ///
+    /// Permission denials and switch errors.
+    pub fn read_flow_table(
+        &self,
+        dpid: DatapathId,
+        query: FlowMatch,
+    ) -> Result<Vec<FlowStats>, ApiError> {
+        match self.call(ApiCallKind::ReadFlowTable { dpid, query })? {
+            ApiResponse::FlowEntries(entries) => Ok(entries),
+            other => unreachable!("flow read returned {other:?}"),
+        }
+    }
+
+    /// Requests statistics.
+    ///
+    /// # Errors
+    ///
+    /// Permission denials (including statistics-level filters) and switch
+    /// errors.
+    pub fn read_statistics(
+        &self,
+        dpid: DatapathId,
+        request: StatsRequest,
+    ) -> Result<StatsReply, ApiError> {
+        match self.call(ApiCallKind::ReadStatistics { dpid, request })? {
+            ApiResponse::Stats(reply) => Ok(reply),
+            other => unreachable!("stats call returned {other:?}"),
+        }
+    }
+
+    /// Sends a packet-out.
+    ///
+    /// # Errors
+    ///
+    /// Permission denials (e.g. `FROM_PKT_IN` provenance) and switch errors.
+    pub fn send_packet_out(&self, dpid: DatapathId, packet_out: PacketOut) -> Result<(), ApiError> {
+        self.call(ApiCallKind::SendPacketOut { dpid, packet_out })
+            .map(|_| ())
+    }
+
+    /// Convenience: packet-out of a raw frame through one port.
+    ///
+    /// # Errors
+    ///
+    /// As [`AppCtx::send_packet_out`].
+    pub fn packet_out_port(
+        &self,
+        dpid: DatapathId,
+        port: PortNo,
+        payload: Bytes,
+    ) -> Result<(), ApiError> {
+        self.send_packet_out(
+            dpid,
+            PacketOut {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo::NONE,
+                actions: sdnshield_openflow::actions::ActionList::output(port),
+                payload,
+            },
+        )
+    }
+
+    /// Subscribes to an event stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::PermissionDenied`] without the event token.
+    pub fn subscribe(&self, kind: EventKind) -> Result<(), ApiError> {
+        self.call(ApiCallKind::Subscribe { kind }).map(|_| ())
+    }
+
+    /// Subscribes to a custom app-published topic (ALTO-style services).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Shutdown`] when the controller is stopping.
+    pub fn subscribe_topic(&self, topic: &str) -> Result<(), ApiError> {
+        match &self.route {
+            CallRoute::Deputy { tx, inflight } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::SubscribeTopic {
+                        app: self.app,
+                        topic: topic.to_owned(),
+                        reply: reply_tx,
+                    },
+                )?;
+                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+            }
+            CallRoute::Direct { kernel, .. } => {
+                kernel.subscribe_topic(self.app, topic);
+                Ok(())
+            }
+        }
+    }
+
+    /// Publishes a custom event to topic subscribers (service apps).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Shutdown`] when the controller is stopping.
+    pub fn publish(&self, topic: &str, data: Bytes) -> Result<(), ApiError> {
+        let event = Event::Custom {
+            topic: topic.to_owned(),
+            data,
+        };
+        match &self.route {
+            CallRoute::Deputy { tx, inflight } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::Publish {
+                        event,
+                        reply: reply_tx,
+                    },
+                )?;
+                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+            }
+            CallRoute::Direct { pending, .. } => {
+                pending.lock().push_back(OutboundEvent { event });
+                Ok(())
+            }
+        }
+    }
+
+    /// Issues an atomic flow transaction (paper §VI-B2).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::TransactionAborted`] naming the first offending
+    /// operation; nothing is applied in that case.
+    pub fn transaction(&self, ops: Vec<FlowOp>) -> Result<(), ApiError> {
+        match &self.route {
+            CallRoute::Deputy { tx, inflight } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::Transaction {
+                        app: self.app,
+                        ops,
+                        reply: reply_tx,
+                    },
+                )?;
+                reply_rx.recv().map_err(|_| ApiError::Shutdown)?.map(|_| ())
+            }
+            CallRoute::Direct { kernel, pending } => {
+                let (result, events) = kernel.execute_transaction(self.app, &ops);
+                pending.lock().extend(events);
+                result.map(|_| ())
+            }
+        }
+    }
+
+    /// Opens a connection from the controller host (Class-2 channel).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::PermissionDenied`] without `host_network` (or outside
+    /// its destination filter).
+    pub fn host_connect(&self, dst_ip: Ipv4, dst_port: u16) -> Result<ConnId, ApiError> {
+        match self.call(ApiCallKind::HostConnect { dst_ip, dst_port })? {
+            ApiResponse::Connection(id) => Ok(id),
+            other => unreachable!("connect returned {other:?}"),
+        }
+    }
+
+    /// Sends data on an established host connection.
+    ///
+    /// # Errors
+    ///
+    /// Permission denials (destination re-validated) and unknown handles.
+    pub fn host_send(&self, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
+        match &self.route {
+            CallRoute::Deputy { tx, inflight } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::HostSend {
+                        app: self.app,
+                        conn,
+                        data,
+                        reply: reply_tx,
+                    },
+                )?;
+                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+            }
+            CallRoute::Direct { kernel, .. } => kernel.host_send(self.app, conn, data),
+        }
+    }
+
+    /// Opens a file on the controller host.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::PermissionDenied`] without `file_system`.
+    pub fn open_file(&self, path: &str, write: bool) -> Result<(), ApiError> {
+        self.call(ApiCallKind::FileOpen {
+            path: path.to_owned(),
+            write,
+        })
+        .map(|_| ())
+    }
+
+    /// Spawns a process on the controller host.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::PermissionDenied`] without `process_runtime`.
+    pub fn exec(&self, program: &str) -> Result<(), ApiError> {
+        self.call(ApiCallKind::ProcessExec {
+            program: program.to_owned(),
+        })
+        .map(|_| ())
+    }
+}

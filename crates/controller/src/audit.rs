@@ -1,0 +1,166 @@
+//! Activity logging for forensic analysis (paper §VII scenario 2: "the
+//! SDNShield can provide activity logging, which enables forensic analysis
+//! after the attack happens").
+
+use std::fmt;
+
+use sdnshield_core::api::AppId;
+use sdnshield_core::token::PermissionToken;
+
+/// The recorded outcome of a mediated call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The call was allowed and executed.
+    Allowed,
+    /// The call was denied by the permission engine.
+    Denied,
+    /// The call was allowed but the operation failed (e.g. table full).
+    Failed,
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The calling app.
+    pub app: AppId,
+    /// The operation name.
+    pub operation: String,
+    /// The token the call required.
+    pub token: PermissionToken,
+    /// The outcome.
+    pub outcome: AuditOutcome,
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} {} [{}] {:?}",
+            self.seq, self.app, self.operation, self.token, self.outcome
+        )
+    }
+}
+
+/// An append-only in-memory audit log with bounded retention.
+#[derive(Debug)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl AuditLog {
+    /// A log retaining at most `capacity` recent records.
+    pub fn new(capacity: usize) -> Self {
+        AuditLog {
+            records: Vec::new(),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record.
+    pub fn record(
+        &mut self,
+        app: AppId,
+        operation: &str,
+        token: PermissionToken,
+        outcome: AuditOutcome,
+    ) {
+        self.next_seq += 1;
+        if self.records.len() >= self.capacity {
+            // Keep the newest half to amortize the shift.
+            let keep_from = self.records.len() / 2;
+            self.dropped += keep_from as u64;
+            self.records.drain(..keep_from);
+        }
+        self.records.push(AuditRecord {
+            seq: self.next_seq,
+            app,
+            operation: operation.to_owned(),
+            token,
+            outcome,
+        });
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Records for one app.
+    pub fn records_by(&self, app: AppId) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter().filter(move |r| r.app == app)
+    }
+
+    /// Denied calls for one app — the forensic signal of an attack attempt.
+    pub fn denials_by(&self, app: AppId) -> impl Iterator<Item = &AuditRecord> {
+        self.records_by(app)
+            .filter(|r| r.outcome == AuditOutcome::Denied)
+    }
+
+    /// Number of records evicted by retention so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut log = AuditLog::new(100);
+        log.record(
+            AppId(1),
+            "insert_flow",
+            PermissionToken::InsertFlow,
+            AuditOutcome::Allowed,
+        );
+        log.record(
+            AppId(2),
+            "host_connect",
+            PermissionToken::HostNetwork,
+            AuditOutcome::Denied,
+        );
+        log.record(
+            AppId(1),
+            "insert_flow",
+            PermissionToken::InsertFlow,
+            AuditOutcome::Failed,
+        );
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.records_by(AppId(1)).count(), 2);
+        assert_eq!(log.denials_by(AppId(2)).count(), 1);
+        assert_eq!(log.denials_by(AppId(1)).count(), 0);
+        assert_eq!(log.records()[0].seq, 1);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut log = AuditLog::new(4);
+        for i in 0..10 {
+            log.record(
+                AppId(1),
+                &format!("op{i}"),
+                PermissionToken::ReadStatistics,
+                AuditOutcome::Allowed,
+            );
+        }
+        assert!(log.records().len() <= 4);
+        assert!(log.dropped() > 0);
+        // Sequence numbers keep counting across eviction.
+        assert_eq!(log.records().last().unwrap().seq, 10);
+    }
+}

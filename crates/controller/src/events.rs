@@ -1,0 +1,117 @@
+//! Controller events delivered to subscribed apps.
+
+use std::fmt;
+
+use bytes::Bytes;
+use sdnshield_core::api::EventKind;
+use sdnshield_openflow::messages::{FlowRemoved, PacketIn};
+use sdnshield_openflow::types::DatapathId;
+
+/// An event delivered to an app's `on_event` callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A packet punted to the controller.
+    ///
+    /// The payload is stripped (empty) for apps lacking the `read_payload`
+    /// permission — the event token (`pkt_in_event`) and payload access
+    /// (`read_payload`) are separate privileges (paper Table II).
+    PacketIn {
+        /// The switch that punted.
+        dpid: DatapathId,
+        /// The packet-in body (payload possibly stripped).
+        packet_in: PacketIn,
+    },
+    /// A flow entry expired or was deleted.
+    FlowRemoved {
+        /// The switch.
+        dpid: DatapathId,
+        /// The notification body.
+        flow_removed: FlowRemoved,
+    },
+    /// The topology changed (switch/link up/down).
+    TopologyChanged {
+        /// Human-readable description.
+        description: String,
+    },
+    /// An asynchronous error.
+    Error {
+        /// Description.
+        message: String,
+    },
+    /// An application-defined event published through the kernel (used by
+    /// service apps such as the ALTO cost service).
+    Custom {
+        /// Topic name; subscribers filter on it.
+        topic: String,
+        /// Opaque payload.
+        data: Bytes,
+    },
+}
+
+impl Event {
+    /// The subscription kind this event belongs to.
+    ///
+    /// `Custom` events ride the error/notification channel kind-wise; they
+    /// are delivered to apps subscribed to the topic (see the kernel's
+    /// custom-topic subscriptions).
+    pub fn kind(&self) -> Option<EventKind> {
+        match self {
+            Event::PacketIn { .. } => Some(EventKind::PacketIn),
+            Event::FlowRemoved { .. } => Some(EventKind::Flow),
+            Event::TopologyChanged { .. } => Some(EventKind::Topology),
+            Event::Error { .. } => Some(EventKind::Error),
+            Event::Custom { .. } => None,
+        }
+    }
+
+    /// Short name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PacketIn { .. } => "packet_in",
+            Event::FlowRemoved { .. } => "flow_removed",
+            Event::TopologyChanged { .. } => "topology_changed",
+            Event::Error { .. } => "error",
+            Event::Custom { .. } => "custom",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::PacketIn { dpid, .. } => write!(f, "packet_in@{dpid}"),
+            Event::FlowRemoved { dpid, .. } => write!(f, "flow_removed@{dpid}"),
+            Event::TopologyChanged { description } => write!(f, "topology_changed: {description}"),
+            Event::Error { message } => write!(f, "error: {message}"),
+            Event::Custom { topic, .. } => write!(f, "custom:{topic}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_openflow::messages::PacketInReason;
+    use sdnshield_openflow::types::{BufferId, PortNo};
+
+    #[test]
+    fn kinds_and_names() {
+        let pi = Event::PacketIn {
+            dpid: DatapathId(1),
+            packet_in: PacketIn {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo(1),
+                reason: PacketInReason::NoMatch,
+                payload: Bytes::new(),
+            },
+        };
+        assert_eq!(pi.kind(), Some(EventKind::PacketIn));
+        assert_eq!(pi.name(), "packet_in");
+        let custom = Event::Custom {
+            topic: "alto".into(),
+            data: Bytes::new(),
+        };
+        assert_eq!(custom.kind(), None);
+        assert_eq!(custom.to_string(), "custom:alto");
+    }
+}

@@ -1,0 +1,184 @@
+//! The simulated host operating system.
+//!
+//! The paper's Class-2 attacks exfiltrate information through the controller
+//! host's network stack, and its isolation architecture mediates every
+//! system call through the reference monitor (Java `SecurityManager` in the
+//! prototype). This module is the Rust substitute (DESIGN.md §2): a facade
+//! recording outbound connections, file accesses and process spawns so tests
+//! can observe exactly what an app managed to do to the host.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+use sdnshield_core::api::AppId;
+use sdnshield_openflow::types::Ipv4;
+
+/// A handle to an open simulated connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn:{}", self.0)
+    }
+}
+
+/// One outbound connection made by an app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// The handle.
+    pub id: ConnId,
+    /// The app that opened it.
+    pub app: AppId,
+    /// Remote address.
+    pub dst_ip: Ipv4,
+    /// Remote port.
+    pub dst_port: u16,
+    /// Everything the app sent.
+    pub sent: Vec<Bytes>,
+}
+
+/// One file access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAccess {
+    /// The app.
+    pub app: AppId,
+    /// The path.
+    pub path: String,
+    /// Open-for-write?
+    pub write: bool,
+}
+
+/// One spawned process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnedProcess {
+    /// The app.
+    pub app: AppId,
+    /// The program.
+    pub program: String,
+}
+
+/// The simulated host OS state. All mutations go through the kernel deputy
+/// *after* permission checking — an app holding no `host_network` permission
+/// can never cause a [`Connection`] to appear here, which is exactly what
+/// the exfiltration tests assert.
+#[derive(Debug, Default)]
+pub struct HostSystem {
+    connections: BTreeMap<ConnId, Connection>,
+    files: Vec<FileAccess>,
+    processes: Vec<SpawnedProcess>,
+    next_conn: u64,
+}
+
+impl HostSystem {
+    /// An empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a connection on behalf of an app.
+    pub fn connect(&mut self, app: AppId, dst_ip: Ipv4, dst_port: u16) -> ConnId {
+        self.next_conn += 1;
+        let id = ConnId(self.next_conn);
+        self.connections.insert(
+            id,
+            Connection {
+                id,
+                app,
+                dst_ip,
+                dst_port,
+                sent: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Sends bytes on a connection. Returns `false` for unknown handles or
+    /// handles owned by a different app.
+    pub fn send(&mut self, app: AppId, conn: ConnId, data: Bytes) -> bool {
+        match self.connections.get_mut(&conn) {
+            Some(c) if c.app == app => {
+                c.sent.push(data);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a file access.
+    pub fn open_file(&mut self, app: AppId, path: String, write: bool) {
+        self.files.push(FileAccess { app, path, write });
+    }
+
+    /// Records a process spawn.
+    pub fn exec(&mut self, app: AppId, program: String) {
+        self.processes.push(SpawnedProcess { app, program });
+    }
+
+    /// All connections (for forensic inspection in tests).
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.connections.values()
+    }
+
+    /// Connections opened by one app.
+    pub fn connections_by(&self, app: AppId) -> impl Iterator<Item = &Connection> {
+        self.connections.values().filter(move |c| c.app == app)
+    }
+
+    /// Total bytes sent by an app over all connections — the quantity an
+    /// exfiltration attack tries to make nonzero.
+    pub fn bytes_exfiltrated_by(&self, app: AppId) -> usize {
+        self.connections_by(app)
+            .flat_map(|c| c.sent.iter())
+            .map(Bytes::len)
+            .sum()
+    }
+
+    /// File accesses.
+    pub fn files(&self) -> &[FileAccess] {
+        &self.files
+    }
+
+    /// Spawned processes.
+    pub fn processes(&self) -> &[SpawnedProcess] {
+        &self.processes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_send_and_account() {
+        let mut host = HostSystem::new();
+        let c1 = host.connect(AppId(1), Ipv4::new(10, 1, 0, 1), 443);
+        let c2 = host.connect(AppId(2), Ipv4::new(8, 8, 8, 8), 80);
+        assert_ne!(c1, c2);
+        assert!(host.send(AppId(1), c1, Bytes::from_static(b"hello")));
+        assert!(host.send(AppId(1), c1, Bytes::from_static(b"world")));
+        assert_eq!(host.bytes_exfiltrated_by(AppId(1)), 10);
+        assert_eq!(host.bytes_exfiltrated_by(AppId(2)), 0);
+        assert_eq!(host.connections_by(AppId(1)).count(), 1);
+    }
+
+    #[test]
+    fn cross_app_send_rejected() {
+        let mut host = HostSystem::new();
+        let c1 = host.connect(AppId(1), Ipv4::new(10, 1, 0, 1), 443);
+        assert!(!host.send(AppId(2), c1, Bytes::from_static(b"steal")));
+        assert!(!host.send(AppId(1), ConnId(999), Bytes::new()));
+        assert_eq!(host.bytes_exfiltrated_by(AppId(1)), 0);
+    }
+
+    #[test]
+    fn files_and_processes_recorded() {
+        let mut host = HostSystem::new();
+        host.open_file(AppId(3), "/etc/passwd".into(), false);
+        host.exec(AppId(3), "/bin/sh".into());
+        assert_eq!(host.files().len(), 1);
+        assert!(!host.files()[0].write);
+        assert_eq!(host.processes()[0].program, "/bin/sh");
+    }
+}

@@ -1,0 +1,493 @@
+//! The SDNShield thread-based isolation architecture (paper §VI-A).
+//!
+//! * every app runs on its own unprivileged OS thread;
+//! * all app↔kernel communication crosses typed crossbeam channels —
+//!   the only references an app holds are its [`AppCtx`] handle and the
+//!   events it is delivered (data isolation);
+//! * a pool of privileged *Kernel Service Deputy* threads drains the call
+//!   queue, permission-checks each call and executes it on the app's behalf
+//!   (the choke point is a queue, not a serialization point: deputies run in
+//!   parallel, matching the paper's "multiple instances of KSDs can run in
+//!   parallel to offload the API requests from apps").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sdnshield_core::api::AppId;
+use sdnshield_core::perm::PermissionSet;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_netsim::network::Network;
+use sdnshield_openflow::messages::PacketIn;
+use sdnshield_openflow::packet::EthernetFrame;
+use sdnshield_openflow::types::DatapathId;
+
+use crate::api::DeputyRequest;
+use crate::app::{App, AppCtx, CallRoute};
+use crate::events::Event;
+use crate::kernel::{Kernel, OutboundEvent};
+
+/// Message types delivered to an app thread.
+enum AppMsg {
+    /// An event, optionally acknowledged after `on_event` returns.
+    Event(Event, Option<Sender<()>>),
+    /// Terminate the app thread.
+    Stop,
+}
+
+struct AppHandle {
+    name: String,
+    tx: Sender<AppMsg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Routes events to subscribed app threads.
+pub(crate) struct Dispatcher {
+    apps: Mutex<HashMap<AppId, AppHandle>>,
+    /// Outstanding work items: undelivered app events plus unfinished deputy
+    /// requests. Zero ⇒ the controller is quiescent.
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Dispatcher {
+    fn new(inflight: Arc<AtomicUsize>) -> Self {
+        Dispatcher {
+            apps: Mutex::new(HashMap::new()),
+            inflight,
+        }
+    }
+
+    /// Delivers events; when `sync`, blocks until every receiving app's
+    /// `on_event` has returned.
+    ///
+    /// Interceptors (apps whose event-token filter carries
+    /// `EVENT_INTERCEPTION`) process each event to completion before
+    /// non-interceptors see it; non-interceptors then process concurrently.
+    fn dispatch(&self, kernel: &Kernel, events: Vec<OutboundEvent>, sync: bool) {
+        for out in events {
+            let targets: Vec<(AppId, bool)> = match &out.event {
+                Event::Custom { topic, .. } => kernel
+                    .topic_subscribers(topic)
+                    .into_iter()
+                    .map(|a| (a, false))
+                    .collect(),
+                other => match other.kind() {
+                    Some(kind) => kernel.subscribers_phased(kind),
+                    None => Vec::new(),
+                },
+            };
+            // Phase 1: interceptors, one at a time, to completion.
+            for (target, _) in targets.iter().filter(|(_, i)| *i) {
+                if let Some(ack) = self.send_event(kernel, *target, &out.event, true) {
+                    let _ = ack.recv();
+                }
+            }
+            // Phase 2: everyone else, concurrently.
+            let mut acks = Vec::new();
+            for (target, _) in targets.iter().filter(|(_, i)| !*i) {
+                if let Some(ack) = self.send_event(kernel, *target, &out.event, sync) {
+                    acks.push(ack);
+                }
+            }
+            for ack in acks {
+                let _ = ack.recv();
+            }
+        }
+    }
+
+    /// Sends one event view to one app; returns the ack receiver when the
+    /// send is acknowledged (`with_ack`).
+    fn send_event(
+        &self,
+        kernel: &Kernel,
+        target: AppId,
+        event: &Event,
+        with_ack: bool,
+    ) -> Option<crossbeam::channel::Receiver<()>> {
+        let apps = self.apps.lock();
+        let handle = apps.get(&target)?;
+        let view = kernel.event_view_for(target, event)?;
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if with_ack {
+            let (ack_tx, ack_rx) = bounded(1);
+            if handle.tx.send(AppMsg::Event(view, Some(ack_tx))).is_ok() {
+                Some(ack_rx)
+            } else {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                None
+            }
+        } else {
+            if handle.tx.send(AppMsg::Event(view, None)).is_err() {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+            None
+        }
+    }
+}
+
+/// Errors registering an app.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterError {
+    /// Loading-time check failed: these required tokens are not granted.
+    MissingTokens(Vec<PermissionToken>),
+    /// The manifest's virtual topology is invalid for this network.
+    InvalidManifest(String),
+    /// The app panicked inside `on_start`; it was not started.
+    StartupPanic,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::MissingTokens(ts) => {
+                write!(f, "app requires ungrated tokens: ")?;
+                let mut sep = "";
+                for t in ts {
+                    write!(f, "{sep}{t}")?;
+                    sep = ", ";
+                }
+                Ok(())
+            }
+            RegisterError::InvalidManifest(m) => write!(f, "invalid manifest: {m}"),
+            RegisterError::StartupPanic => write!(f, "app panicked during on_start"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// The SDNShield-enabled controller: kernel + deputy pool + isolated apps.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_controller::isolation::ShieldedController;
+/// use sdnshield_netsim::network::Network;
+/// use sdnshield_netsim::topology::builders;
+///
+/// let controller = ShieldedController::new(Network::new(builders::linear(2), 1024), 2);
+/// controller.shutdown();
+/// ```
+pub struct ShieldedController {
+    kernel: Arc<Kernel>,
+    call_tx: Sender<DeputyRequest>,
+    dispatcher: Arc<Dispatcher>,
+    deputies: Mutex<Vec<JoinHandle<()>>>,
+    next_app: AtomicU16,
+    inflight: Arc<AtomicUsize>,
+}
+
+impl ShieldedController {
+    /// Builds a controller over a network with `num_deputies` Kernel Service
+    /// Deputy threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_deputies == 0`. Note that service apps publishing
+    /// synchronous custom events need at least 2 deputies (the publisher's
+    /// deputy blocks on subscriber acknowledgment while subscribers issue
+    /// their own calls).
+    pub fn new(network: Network, num_deputies: usize) -> Self {
+        assert!(num_deputies > 0, "need at least one deputy");
+        let kernel = Arc::new(Kernel::new(network, true));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&inflight)));
+        let (call_tx, call_rx) = unbounded::<DeputyRequest>();
+        let deputies = (0..num_deputies)
+            .map(|i| {
+                let kernel = Arc::clone(&kernel);
+                let dispatcher = Arc::clone(&dispatcher);
+                let rx = call_rx.clone();
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("ksd-{i}"))
+                    .spawn(move || deputy_loop(kernel, dispatcher, rx, inflight))
+                    .expect("spawn deputy")
+            })
+            .collect();
+        ShieldedController {
+            kernel,
+            call_tx,
+            dispatcher,
+            deputies: Mutex::new(deputies),
+            next_app: AtomicU16::new(1),
+            inflight,
+        }
+    }
+
+    /// Blocks until all in-flight events and calls have drained — including
+    /// cascades the synchronous delivery calls do not wait for (e.g. the
+    /// packet-ins a flooded packet-out generates on downstream switches).
+    pub fn quiesce(&self) {
+        let mut stable = 0;
+        loop {
+            if self.inflight.load(Ordering::SeqCst) == 0 {
+                stable += 1;
+                if stable >= 3 {
+                    return;
+                }
+            } else {
+                stable = 0;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The kernel, for inspection (tests, benches, forensics).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Registers an app with its (reconciled) permission manifest: compiles
+    /// the permission engine, runs the loading-time token check, spawns the
+    /// app's unprivileged thread, and runs `on_start` to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError`] on loading-time failures; the app is not started.
+    pub fn register(
+        &self,
+        app: Box<dyn App>,
+        manifest: &PermissionSet,
+    ) -> Result<AppId, RegisterError> {
+        let id = AppId(self.next_app.fetch_add(1, Ordering::Relaxed));
+        let name = app.name().to_owned();
+        self.kernel
+            .register_app(id, &name, manifest)
+            .map_err(|e| RegisterError::InvalidManifest(e.to_string()))?;
+        let missing = self.kernel.missing_tokens(id, &app.required_tokens());
+        if !missing.is_empty() {
+            return Err(RegisterError::MissingTokens(missing));
+        }
+        let ctx = AppCtx::new(
+            id,
+            CallRoute::Deputy {
+                tx: self.call_tx.clone(),
+                inflight: Arc::clone(&self.inflight),
+            },
+        );
+        let (tx, rx) = unbounded::<AppMsg>();
+        let (ready_tx, ready_rx) = bounded(1);
+        let thread_name = format!("app-{}-{name}", id.0);
+        let inflight = Arc::clone(&self.inflight);
+        let thread = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || app_loop(app, ctx, rx, ready_tx, inflight))
+            .expect("spawn app thread");
+        self.dispatcher.apps.lock().insert(
+            id,
+            AppHandle {
+                name,
+                tx,
+                thread: Some(thread),
+            },
+        );
+        // Wait for on_start so subscriptions exist before events flow.
+        if !ready_rx.recv().unwrap_or(false) {
+            self.dispatcher.apps.lock().remove(&id);
+            return Err(RegisterError::StartupPanic);
+        }
+        Ok(id)
+    }
+
+    /// The registered name of an app.
+    pub fn app_name(&self, app: AppId) -> Option<String> {
+        self.dispatcher
+            .apps
+            .lock()
+            .get(&app)
+            .map(|h| h.name.clone())
+    }
+
+    /// Delivers a packet-in to subscribed apps, blocking until every app has
+    /// processed it (the measurement boundary for the paper's latency
+    /// experiments).
+    pub fn deliver_packet_in(&self, dpid: DatapathId, packet_in: PacketIn) {
+        let events = self.kernel.feed_packet_in(dpid, packet_in);
+        self.dispatcher.dispatch(&self.kernel, events, true);
+    }
+
+    /// Delivers a packet-in without waiting for app processing — the
+    /// pipelined pressure-test mode (paper Fig 7: CBench keeps many
+    /// packet-ins outstanding). Pair with [`ShieldedController::quiesce`].
+    pub fn deliver_packet_in_nowait(&self, dpid: DatapathId, packet_in: PacketIn) {
+        let events = self.kernel.feed_packet_in(dpid, packet_in);
+        self.dispatcher.dispatch(&self.kernel, events, false);
+    }
+
+    /// Injects a data-plane frame from a host and synchronously processes
+    /// the resulting packet-ins.
+    pub fn inject_host_frame(&self, frame: EthernetFrame) {
+        let events = self.kernel.inject_host_frame(frame);
+        self.dispatcher.dispatch(&self.kernel, events, true);
+    }
+
+    /// Publishes a custom event from outside the app layer (test drivers:
+    /// e.g. simulating an inbound web request waking an app), blocking until
+    /// subscribers have processed it.
+    pub fn publish_topic(&self, topic: &str, data: bytes::Bytes) {
+        let events = vec![crate::kernel::OutboundEvent {
+            event: Event::Custom {
+                topic: topic.to_owned(),
+                data,
+            },
+        }];
+        self.dispatcher.dispatch(&self.kernel, events, true);
+    }
+
+    /// Fails a physical link and synchronously notifies topology
+    /// subscribers. Returns whether the link existed.
+    pub fn fail_link(&self, a: DatapathId, b: DatapathId) -> bool {
+        match self.kernel.fail_link(a, b) {
+            Some(event) => {
+                self.dispatcher.dispatch(&self.kernel, vec![event], true);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fires a topology-change notification to subscribed apps (the ALTO
+    /// scenario driver), blocking until processed.
+    pub fn deliver_topology_change(&self, description: &str) {
+        let events = vec![crate::kernel::OutboundEvent {
+            event: Event::TopologyChanged {
+                description: description.to_owned(),
+            },
+        }];
+        self.dispatcher.dispatch(&self.kernel, events, true);
+    }
+
+    /// Advances the virtual clock; flow-removed events dispatch
+    /// synchronously.
+    pub fn advance_clock(&self, secs: u64) {
+        let events = self.kernel.advance_clock(secs);
+        self.dispatcher.dispatch(&self.kernel, events, true);
+    }
+
+    /// Stops all app threads and deputies, waiting for them to exit.
+    pub fn shutdown(&self) {
+        // Collect join handles first and release the apps lock before
+        // joining: a deputy may be waiting on that lock to dispatch a
+        // derived event while an app waits on that deputy's reply — joining
+        // with the lock held would deadlock the triangle.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut apps = self.dispatcher.apps.lock();
+            apps.iter_mut()
+                .filter_map(|(_, handle)| {
+                    let _ = handle.tx.send(AppMsg::Stop);
+                    handle.thread.take()
+                })
+                .collect()
+        };
+        for t in handles {
+            let _ = t.join();
+        }
+        let mut deputies = self.deputies.lock();
+        for _ in deputies.iter() {
+            let _ = self.call_tx.send(DeputyRequest::Stop);
+        }
+        for t in deputies.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ShieldedController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn app_loop(
+    mut app: Box<dyn App>,
+    ctx: AppCtx,
+    rx: Receiver<AppMsg>,
+    ready: Sender<bool>,
+    inflight: Arc<AtomicUsize>,
+) {
+    // Panics inside app code stay inside the app's thread — the isolation
+    // property the paper's thread containers provide. A panicking app is
+    // terminated; the controller and its peers keep running.
+    let started = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        app.on_start(&ctx);
+    }))
+    .is_ok();
+    let _ = ready.send(started);
+    if !started {
+        return;
+    }
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            AppMsg::Event(event, ack) => {
+                let survived = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    app.on_event(&ctx, &event);
+                }))
+                .is_ok();
+                // Always acknowledge and account, even on a crash, so
+                // synchronous deliveries and quiesce() never wedge.
+                if let Some(ack) = ack {
+                    let _ = ack.send(());
+                }
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                if !survived {
+                    break;
+                }
+            }
+            AppMsg::Stop => break,
+        }
+    }
+}
+
+fn deputy_loop(
+    kernel: Arc<Kernel>,
+    dispatcher: Arc<Dispatcher>,
+    rx: Receiver<DeputyRequest>,
+    inflight: Arc<AtomicUsize>,
+) {
+    while let Ok(req) = rx.recv() {
+        let counted = !matches!(req, DeputyRequest::Stop);
+        match req {
+            DeputyRequest::Call { call, reply } => {
+                let (result, events) = kernel.execute(&call);
+                let _ = reply.send(result);
+                // Derived events (packet-ins from packet-outs, flow-removed
+                // from deletes) dispatch asynchronously: the issuing call
+                // must not block on other apps.
+                dispatcher.dispatch(&kernel, events, false);
+            }
+            DeputyRequest::Transaction { app, ops, reply } => {
+                let (result, events) = kernel.execute_transaction(app, &ops);
+                let _ = reply.send(result);
+                dispatcher.dispatch(&kernel, events, false);
+            }
+            DeputyRequest::HostSend {
+                app,
+                conn,
+                data,
+                reply,
+            } => {
+                let _ = reply.send(kernel.host_send(app, conn, data));
+            }
+            DeputyRequest::SubscribeTopic { app, topic, reply } => {
+                kernel.subscribe_topic(app, &topic);
+                let _ = reply.send(Ok(()));
+            }
+            DeputyRequest::Publish { event, reply } => {
+                // Publish is synchronous: subscribers finish processing
+                // before the publisher resumes, giving deterministic event
+                // chains (requires ≥ 2 deputies, see `new`).
+                dispatcher.dispatch(&kernel, vec![OutboundEvent { event }], true);
+                let _ = reply.send(Ok(()));
+            }
+            DeputyRequest::Stop => break,
+        }
+        if counted {
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}

@@ -1,0 +1,1330 @@
+//! The controller kernel: the single owner of network state, the permission
+//! engines, and the book-keeping behind stateful filters.
+//!
+//! All mutation goes through [`Kernel::execute`] — the choke point the paper
+//! calls the Kernel Service Deputy boundary (§VI-A). The kernel checks the
+//! call against the calling app's compiled permission engine (unless checks
+//! are disabled — the monolithic baseline), executes it, records the outcome
+//! in the audit log, and returns any events the execution generated for the
+//! dispatcher to deliver.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
+use sdnshield_core::engine::{Decision, OwnershipTracker, PermissionEngine};
+use sdnshield_core::filter::{FilterExpr, SingletonFilter};
+use sdnshield_core::perm::PermissionSet;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_core::vtopo::{PhysView, VirtualTopology};
+use sdnshield_netsim::network::{Delivery, Network};
+use sdnshield_openflow::messages::{FlowMod, FlowRemoved, PacketIn, StatsReply, StatsRequest};
+use sdnshield_openflow::packet::EthernetFrame;
+use sdnshield_openflow::types::{Cookie, DatapathId, EthAddr};
+
+use crate::api::{ApiError, ApiResponse, FlowOp, SwitchView, TopologyView};
+use crate::audit::{AuditLog, AuditOutcome};
+use crate::events::Event;
+use crate::hostsys::{ConnId, HostSystem};
+
+/// An event produced by executing a call, to be routed by the dispatcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutboundEvent {
+    /// The event body (payload stripping happens per receiving app at
+    /// dispatch).
+    pub event: Event,
+}
+
+/// The kernel: shared, internally synchronized controller state.
+pub struct Kernel {
+    state: Mutex<KernelState>,
+    /// Whether permission checks run (false = monolithic baseline).
+    checks_enabled: bool,
+    /// CBench mode: packet-outs are permission-checked and counted but not
+    /// walked through the simulated data plane (emulated benchmark switches
+    /// absorb them, exactly like CBench's fake switches).
+    absorb_packet_outs: std::sync::atomic::AtomicBool,
+}
+
+struct KernelState {
+    network: Network,
+    tracker: OwnershipTracker,
+    engines: HashMap<AppId, Arc<PermissionEngine>>,
+    /// App names for diagnostics.
+    app_names: HashMap<AppId, String>,
+    /// Per-app virtual topology mappers (apps granted a VIRTUAL filter).
+    vtopos: HashMap<AppId, Arc<VirtualTopology>>,
+    /// Event subscriptions by kind: (app, intercepts) in delivery order,
+    /// interceptors first.
+    subs: BTreeMap<&'static str, Vec<(AppId, bool)>>,
+    /// Custom-topic subscriptions (service apps, e.g. ALTO).
+    custom_subs: BTreeMap<String, Vec<AppId>>,
+    host: HostSystem,
+    audit: AuditLog,
+    /// Frames delivered to host NICs, for data-plane observation in tests.
+    host_inbox: BTreeMap<EthAddr, Vec<EthernetFrame>>,
+}
+
+fn kind_key(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::PacketIn => "packet_in",
+        EventKind::Flow => "flow",
+        EventKind::Topology => "topology",
+        EventKind::Error => "error",
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel over a simulated network.
+    ///
+    /// `checks_enabled = false` builds the monolithic baseline: calls are
+    /// executed without permission checks, as in the unmodified controller
+    /// the paper compares against.
+    pub fn new(network: Network, checks_enabled: bool) -> Self {
+        Kernel {
+            state: Mutex::new(KernelState {
+                network,
+                tracker: OwnershipTracker::new(),
+                engines: HashMap::new(),
+                app_names: HashMap::new(),
+                vtopos: HashMap::new(),
+                subs: BTreeMap::new(),
+                custom_subs: BTreeMap::new(),
+                host: HostSystem::new(),
+                audit: AuditLog::default(),
+                host_inbox: BTreeMap::new(),
+            }),
+            checks_enabled,
+            absorb_packet_outs: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Enables/disables CBench mode (see the field documentation).
+    pub fn set_absorb_packet_outs(&self, absorb: bool) {
+        self.absorb_packet_outs
+            .store(absorb, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Registers an app's reconciled manifest, compiling its permission
+    /// engine and materializing any virtual-topology filter.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Vtopo`] when a granted virtual topology names switches
+    /// that do not exist.
+    pub fn register_app(
+        &self,
+        app: AppId,
+        name: &str,
+        manifest: &PermissionSet,
+    ) -> Result<(), ApiError> {
+        let mut st = self.state.lock();
+        let engine = PermissionEngine::compile(manifest);
+        // Materialize a virtual topology if the visible_topology filter
+        // carries a VIRTUAL spec.
+        if let Some(filter) = engine.filter_for(PermissionToken::VisibleTopology) {
+            if let Some(spec) = find_vtopo_spec(filter) {
+                let phys = phys_view(&st.network);
+                let vt = VirtualTopology::build(&spec, &phys)
+                    .map_err(|e| ApiError::Vtopo(e.to_string()))?;
+                st.vtopos.insert(app, Arc::new(vt));
+            }
+        }
+        st.engines.insert(app, Arc::new(engine));
+        st.app_names.insert(app, name.to_owned());
+        Ok(())
+    }
+
+    /// Loading-time access control (paper §VIII-B): are all `required`
+    /// tokens granted at all? Returns the missing tokens.
+    pub fn missing_tokens(&self, app: AppId, required: &[PermissionToken]) -> Vec<PermissionToken> {
+        let st = self.state.lock();
+        match st.engines.get(&app) {
+            Some(engine) => required
+                .iter()
+                .copied()
+                .filter(|t| !engine.has_token(*t))
+                .collect(),
+            None => required.to_vec(),
+        }
+    }
+
+    /// Executes one mediated call: permission check, execution, audit.
+    /// Returns the response plus any events to dispatch.
+    pub fn execute(&self, call: &ApiCall) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        let mut st = self.state.lock();
+        if self.checks_enabled {
+            let Some(engine) = st.engines.get(&call.app).cloned() else {
+                let err = ApiError::PermissionDenied {
+                    token: call.required_token(),
+                    reason: sdnshield_core::engine::DenyReason::MissingToken,
+                };
+                return (Err(err), Vec::new());
+            };
+            let decision = engine.check(call, &st.tracker);
+            if let Decision::Denied { .. } = decision {
+                st.audit.record(
+                    call.app,
+                    call.kind.name(),
+                    call.required_token(),
+                    AuditOutcome::Denied,
+                );
+                return (Err(ApiError::from_decision(decision)), Vec::new());
+            }
+        }
+        if self
+            .absorb_packet_outs
+            .load(std::sync::atomic::Ordering::SeqCst)
+            && matches!(call.kind, ApiCallKind::SendPacketOut { .. })
+        {
+            st.audit.record(
+                call.app,
+                call.kind.name(),
+                call.required_token(),
+                AuditOutcome::Allowed,
+            );
+            return (Ok(ApiResponse::Unit), Vec::new());
+        }
+        let (result, events) = st.apply(call, self.checks_enabled);
+        st.audit.record(
+            call.app,
+            call.kind.name(),
+            call.required_token(),
+            if result.is_ok() {
+                AuditOutcome::Allowed
+            } else {
+                AuditOutcome::Failed
+            },
+        );
+        (result, events)
+    }
+
+    /// Executes an atomic group of flow operations (paper §VI-B2): all
+    /// operations are permission-checked first; execution applies all or —
+    /// on a mid-flight switch error — rolls back the already-applied prefix.
+    pub fn execute_transaction(
+        &self,
+        app: AppId,
+        ops: &[FlowOp],
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        let mut st = self.state.lock();
+        // Phase 1: check everything before touching any state.
+        if self.checks_enabled {
+            let Some(engine) = st.engines.get(&app).cloned() else {
+                return (
+                    Err(ApiError::PermissionDenied {
+                        token: PermissionToken::InsertFlow,
+                        reason: sdnshield_core::engine::DenyReason::MissingToken,
+                    }),
+                    Vec::new(),
+                );
+            };
+            for (i, op) in ops.iter().enumerate() {
+                let call = flow_op_call(app, op);
+                let decision = engine.check(&call, &st.tracker);
+                if let Decision::Denied { .. } = decision {
+                    st.audit.record(
+                        app,
+                        "transaction",
+                        call.required_token(),
+                        AuditOutcome::Denied,
+                    );
+                    return (
+                        Err(ApiError::TransactionAborted {
+                            failed_index: i,
+                            cause: Box::new(ApiError::from_decision(decision)),
+                        }),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        // Phase 2: apply, with rollback on switch errors.
+        let mut applied: Vec<(usize, Vec<sdnshield_openflow::flow_table::RemovedEntry>)> =
+            Vec::new();
+        let mut events = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let stamped = stamp_cookie(app, &op.flow_mod);
+            match st.network.apply_flow_mod(op.dpid, &stamped) {
+                Ok(removed) => {
+                    st.tracker.record_flow_mod(app, op.dpid, &stamped);
+                    events.extend(removed_events(op.dpid, &removed));
+                    applied.push((i, removed));
+                }
+                Err(e) => {
+                    // Roll back the applied prefix in reverse order.
+                    for (j, removed) in applied.into_iter().rev() {
+                        st.rollback(app, &ops[j], removed);
+                    }
+                    st.audit.record(
+                        app,
+                        "transaction",
+                        PermissionToken::InsertFlow,
+                        AuditOutcome::Failed,
+                    );
+                    return (
+                        Err(ApiError::TransactionAborted {
+                            failed_index: i,
+                            cause: Box::new(ApiError::Switch(e)),
+                        }),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        st.audit.record(
+            app,
+            "transaction",
+            PermissionToken::InsertFlow,
+            AuditOutcome::Allowed,
+        );
+        (Ok(ApiResponse::Unit), events)
+    }
+
+    /// Injects a data-plane frame from a host NIC (the simulation driver),
+    /// returning packet-in events for dispatch.
+    pub fn inject_host_frame(&self, frame: EthernetFrame) -> Vec<OutboundEvent> {
+        let mut st = self.state.lock();
+        match st.network.inject_from_host(frame) {
+            Ok(deliveries) => st.absorb_deliveries(deliveries),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Feeds a fabricated packet-in (CBench-style benchmarking) without a
+    /// data-plane walk.
+    pub fn feed_packet_in(&self, dpid: DatapathId, packet_in: PacketIn) -> Vec<OutboundEvent> {
+        vec![OutboundEvent {
+            event: Event::PacketIn { dpid, packet_in },
+        }]
+    }
+
+    /// Fails the link between two switches: removes it from the topology
+    /// and produces a topology-changed event for subscribed apps. Returns
+    /// `false` when no such link existed (no event is produced).
+    pub fn fail_link(&self, a: DatapathId, b: DatapathId) -> Option<OutboundEvent> {
+        let mut st = self.state.lock();
+        if st.network.topology_mut().remove_link(a, b) {
+            Some(OutboundEvent {
+                event: Event::TopologyChanged {
+                    description: format!("link {a} <-> {b} failed"),
+                },
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Advances the virtual clock, expiring flows and producing
+    /// flow-removed events.
+    pub fn advance_clock(&self, secs: u64) -> Vec<OutboundEvent> {
+        let mut st = self.state.lock();
+        let removed = st.network.advance_clock(secs);
+        let mut events = Vec::new();
+        for r in removed {
+            st.tracker.record_expiry(
+                r.dpid,
+                &r.removed.entry.flow_match,
+                r.removed.entry.priority,
+            );
+            events.push(OutboundEvent {
+                event: Event::FlowRemoved {
+                    dpid: r.dpid,
+                    flow_removed: to_flow_removed(&r.removed),
+                },
+            });
+        }
+        events
+    }
+
+    /// Apps subscribed to an event kind, in delivery order (interceptors
+    /// first).
+    pub fn subscribers(&self, kind: EventKind) -> Vec<AppId> {
+        self.state
+            .lock()
+            .subs
+            .get(kind_key(kind))
+            .map(|subs| subs.iter().map(|(a, _)| *a).collect())
+            .unwrap_or_default()
+    }
+
+    /// Apps subscribed to an event kind with their interception flag, in
+    /// delivery order. Interceptors must finish processing an event before
+    /// non-interceptors see it (paper §IV-B, `EVENT_INTERCEPTION`).
+    pub fn subscribers_phased(&self, kind: EventKind) -> Vec<(AppId, bool)> {
+        self.state
+            .lock()
+            .subs
+            .get(kind_key(kind))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Apps subscribed to a custom topic.
+    pub fn topic_subscribers(&self, topic: &str) -> Vec<AppId> {
+        self.state
+            .lock()
+            .custom_subs
+            .get(topic)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Subscribes an app to a custom topic (not permission-gated: topics are
+    /// app-published data, mediated by the publishing app).
+    pub fn subscribe_topic(&self, app: AppId, topic: &str) {
+        let mut st = self.state.lock();
+        let subs = st.custom_subs.entry(topic.to_owned()).or_default();
+        if !subs.contains(&app) {
+            subs.push(app);
+        }
+    }
+
+    /// Prepares the per-app view of an event: strips packet-in payloads for
+    /// apps without `read_payload`, and records payload provenance for those
+    /// with it. Returns `None` if the app should not receive the event.
+    pub fn event_view_for(&self, app: AppId, event: &Event) -> Option<Event> {
+        let mut st = self.state.lock();
+        match event {
+            Event::PacketIn { dpid, packet_in } => {
+                let can_read = if self.checks_enabled {
+                    st.engines
+                        .get(&app)
+                        .is_some_and(|e| e.has_token(PermissionToken::ReadPayload))
+                } else {
+                    true
+                };
+                let mut pi = packet_in.clone();
+                if can_read {
+                    st.tracker.record_pkt_in(app, &pi.payload);
+                } else {
+                    pi.payload = Bytes::new();
+                }
+                Some(Event::PacketIn {
+                    dpid: *dpid,
+                    packet_in: pi,
+                })
+            }
+            other => Some(other.clone()),
+        }
+    }
+
+    /// Read access to the audit log (clones the records).
+    pub fn audit_records(&self) -> Vec<crate::audit::AuditRecord> {
+        self.state.lock().audit.records().to_vec()
+    }
+
+    /// The registered name of an app (diagnostics/forensics).
+    pub fn app_name(&self, app: AppId) -> Option<String> {
+        self.state.lock().app_names.get(&app).cloned()
+    }
+
+    /// Sends real bytes on an app's host connection, re-validating the
+    /// destination against the app's `host_network` filter (so a filter
+    /// narrowed after connect still applies).
+    pub fn host_send(&self, app: AppId, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
+        let mut st = self.state.lock();
+        let Some(c) = st.host.connections_by(app).find(|c| c.id == conn) else {
+            return Err(ApiError::Switch(
+                sdnshield_openflow::messages::OfError::BadRequest(
+                    "unknown connection handle".into(),
+                ),
+            ));
+        };
+        let (dst_ip, dst_port) = (c.dst_ip, c.dst_port);
+        if self.checks_enabled {
+            let Some(engine) = st.engines.get(&app).cloned() else {
+                return Err(ApiError::PermissionDenied {
+                    token: PermissionToken::HostNetwork,
+                    reason: sdnshield_core::engine::DenyReason::MissingToken,
+                });
+            };
+            let synthetic = ApiCall::new(app, ApiCallKind::HostConnect { dst_ip, dst_port });
+            let decision = engine.check(&synthetic, &st.tracker);
+            if let Decision::Denied { .. } = decision {
+                st.audit.record(
+                    app,
+                    "host_send",
+                    PermissionToken::HostNetwork,
+                    AuditOutcome::Denied,
+                );
+                return Err(ApiError::from_decision(decision));
+            }
+        }
+        st.host.send(app, conn, data);
+        st.audit.record(
+            app,
+            "host_send",
+            PermissionToken::HostNetwork,
+            AuditOutcome::Allowed,
+        );
+        Ok(())
+    }
+
+    /// Bytes an app has sent to the outside world via the host network.
+    pub fn bytes_exfiltrated_by(&self, app: AppId) -> usize {
+        self.state.lock().host.bytes_exfiltrated_by(app)
+    }
+
+    /// Host connections opened by an app (forensics).
+    pub fn connections_by(&self, app: AppId) -> Vec<crate::hostsys::Connection> {
+        self.state
+            .lock()
+            .host
+            .connections_by(app)
+            .cloned()
+            .collect()
+    }
+
+    /// Frames received by a host NIC during the simulation.
+    pub fn host_received(&self, mac: EthAddr) -> Vec<EthernetFrame> {
+        self.state
+            .lock()
+            .host_inbox
+            .get(&mac)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Runs a closure with read access to the network (tests, benches).
+    pub fn with_network<R>(&self, f: impl FnOnce(&Network) -> R) -> R {
+        f(&self.state.lock().network)
+    }
+
+    /// Number of flow entries currently installed on a switch.
+    pub fn flow_count(&self, dpid: DatapathId) -> usize {
+        self.state
+            .lock()
+            .network
+            .switch(dpid)
+            .map(|s| s.table().len())
+            .unwrap_or(0)
+    }
+}
+
+impl KernelState {
+    /// Applies an already-authorized call.
+    fn apply(
+        &mut self,
+        call: &ApiCall,
+        checks_enabled: bool,
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        let app = call.app;
+        match &call.kind {
+            ApiCallKind::ReadFlowTable { dpid, query } => {
+                let reply = match self
+                    .network
+                    .stats(*dpid, &StatsRequest::Flow(query.clone()))
+                {
+                    Ok(r) => r,
+                    Err(e) => return (Err(ApiError::Switch(e)), Vec::new()),
+                };
+                let StatsReply::Flow(entries) = reply else {
+                    unreachable!("flow request yields flow reply");
+                };
+                let visible = if checks_enabled {
+                    let engine = self.engines.get(&app).cloned();
+                    entries
+                        .into_iter()
+                        .filter(|e| {
+                            engine.as_ref().is_some_and(|engine| {
+                                engine.entry_visible(
+                                    PermissionToken::ReadFlowTable,
+                                    &e.flow_match,
+                                    *dpid,
+                                    e.cookie.owner() == app.0,
+                                )
+                            })
+                        })
+                        .collect()
+                } else {
+                    entries
+                };
+                (Ok(ApiResponse::FlowEntries(visible)), Vec::new())
+            }
+            ApiCallKind::InsertFlow { dpid, flow_mod }
+            | ApiCallKind::DeleteFlow { dpid, flow_mod } => self.apply_flow(app, *dpid, flow_mod),
+            ApiCallKind::ReadTopology => {
+                let view = self.topology_view_for(app, checks_enabled);
+                (Ok(ApiResponse::Topology(view)), Vec::new())
+            }
+            ApiCallKind::ModifyTopology { dpid } => {
+                // Simulated: announce a change only.
+                let ev = OutboundEvent {
+                    event: Event::TopologyChanged {
+                        description: format!("modified around {dpid}"),
+                    },
+                };
+                (Ok(ApiResponse::Unit), vec![ev])
+            }
+            ApiCallKind::ReadStatistics { dpid, request } => {
+                // Virtual-topology apps fan out to members and aggregate.
+                if let Some(vt) = self.vtopos.get(&app).cloned() {
+                    let members = match vt.expand_members(*dpid) {
+                        Ok(m) => m,
+                        Err(e) => return (Err(ApiError::Vtopo(e.to_string())), Vec::new()),
+                    };
+                    let mut replies = Vec::new();
+                    for m in members {
+                        match self.network.stats(m, request) {
+                            Ok(r) => replies.push(r),
+                            Err(e) => return (Err(ApiError::Switch(e)), Vec::new()),
+                        }
+                    }
+                    return (
+                        Ok(ApiResponse::Stats(vt.aggregate_stats(replies))),
+                        Vec::new(),
+                    );
+                }
+                match self.network.stats(*dpid, request) {
+                    Ok(r) => (Ok(ApiResponse::Stats(r)), Vec::new()),
+                    Err(e) => (Err(ApiError::Switch(e)), Vec::new()),
+                }
+            }
+            ApiCallKind::ReadPayload { .. } => (Ok(ApiResponse::Unit), Vec::new()),
+            ApiCallKind::SendPacketOut { dpid, packet_out } => {
+                let frame = match EthernetFrame::from_bytes(packet_out.payload.clone()) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        return (
+                            Err(ApiError::Switch(
+                                sdnshield_openflow::messages::OfError::BadRequest(e.to_string()),
+                            )),
+                            Vec::new(),
+                        )
+                    }
+                };
+                // Resolve virtual output ports for vtopo apps.
+                let (phys_dpid, actions) = match self.vtopos.get(&app) {
+                    Some(vt) => match resolve_vtopo_packet_out(vt, *dpid, packet_out) {
+                        Ok(x) => x,
+                        Err(e) => return (Err(ApiError::Vtopo(e)), Vec::new()),
+                    },
+                    None => (*dpid, packet_out.actions.0.clone()),
+                };
+                match self
+                    .network
+                    .inject_packet_out(phys_dpid, packet_out.in_port, frame, actions)
+                {
+                    Ok(deliveries) => {
+                        let events = self.absorb_deliveries(deliveries);
+                        (Ok(ApiResponse::Unit), events)
+                    }
+                    Err(e) => (Err(ApiError::Switch(e)), Vec::new()),
+                }
+            }
+            ApiCallKind::Subscribe { kind } => {
+                // The EVENT_INTERCEPTION callback filter (paper §IV-B) lets
+                // an app consume events ahead of others: interceptors sort
+                // to the front of the delivery order.
+                let intercepts = self
+                    .engines
+                    .get(&app)
+                    .and_then(|e| e.filter_for(call.required_token()))
+                    .is_some_and(|f| {
+                        f.atoms().iter().any(|a| {
+                            matches!(
+                                a,
+                                SingletonFilter::Callback(
+                                    sdnshield_core::filter::CallbackCap::EventInterception
+                                )
+                            )
+                        })
+                    });
+                let subs = self.subs.entry(kind_key(*kind)).or_default();
+                if !subs.iter().any(|(a, _)| *a == app) {
+                    if intercepts {
+                        subs.insert(0, (app, true));
+                    } else {
+                        subs.push((app, false));
+                    }
+                }
+                (Ok(ApiResponse::Subscribed(*kind)), Vec::new())
+            }
+            ApiCallKind::HostConnect { dst_ip, dst_port } => {
+                let id = self.host.connect(app, *dst_ip, *dst_port);
+                (Ok(ApiResponse::Connection(id)), Vec::new())
+            }
+            ApiCallKind::HostSend { conn, len } => {
+                // The deputy pre-validated the destination; record the send.
+                let ok = self
+                    .host
+                    .send(app, ConnId(*conn), Bytes::from(vec![0u8; *len]));
+                if ok {
+                    (Ok(ApiResponse::Unit), Vec::new())
+                } else {
+                    (
+                        Err(ApiError::Switch(
+                            sdnshield_openflow::messages::OfError::BadRequest(
+                                "unknown connection handle".into(),
+                            ),
+                        )),
+                        Vec::new(),
+                    )
+                }
+            }
+            ApiCallKind::FileOpen { path, write } => {
+                self.host.open_file(app, path.clone(), *write);
+                (Ok(ApiResponse::Unit), Vec::new())
+            }
+            ApiCallKind::ProcessExec { program } => {
+                self.host.exec(app, program.clone());
+                (Ok(ApiResponse::Unit), Vec::new())
+            }
+        }
+    }
+
+    /// Applies a flow-mod, translating through the app's virtual topology
+    /// when one is granted, stamping ownership cookies, and recording
+    /// ownership.
+    fn apply_flow(
+        &mut self,
+        app: AppId,
+        dpid: DatapathId,
+        flow_mod: &FlowMod,
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        let targets: Vec<(DatapathId, FlowMod)> = match self.vtopos.get(&app) {
+            Some(vt) => match vt.translate_flow_mod(dpid, flow_mod) {
+                Ok(t) => t,
+                Err(e) => return (Err(ApiError::Vtopo(e.to_string())), Vec::new()),
+            },
+            None => vec![(dpid, flow_mod.clone())],
+        };
+        let mut events = Vec::new();
+        for (d, fm) in targets {
+            let stamped = stamp_cookie(app, &fm);
+            match self.network.apply_flow_mod(d, &stamped) {
+                Ok(removed) => {
+                    self.tracker.record_flow_mod(app, d, &stamped);
+                    events.extend(removed_events(d, &removed));
+                }
+                Err(e) => return (Err(ApiError::Switch(e)), events),
+            }
+        }
+        (Ok(ApiResponse::Unit), events)
+    }
+
+    /// Rolls back one applied transaction operation.
+    fn rollback(
+        &mut self,
+        app: AppId,
+        op: &FlowOp,
+        removed: Vec<sdnshield_openflow::flow_table::RemovedEntry>,
+    ) {
+        use sdnshield_openflow::messages::FlowModCommand;
+        let stamped = stamp_cookie(app, &op.flow_mod);
+        match stamped.command {
+            FlowModCommand::Add | FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let mut undo = stamped.clone();
+                undo.command = FlowModCommand::DeleteStrict;
+                let _ = self.network.apply_flow_mod(op.dpid, &undo);
+                self.tracker.record_flow_mod(app, op.dpid, &undo);
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {}
+        }
+        // Restore entries the op deleted.
+        for r in removed {
+            let mut restore = FlowMod::add(
+                r.entry.flow_match.clone(),
+                r.entry.priority,
+                r.entry.actions.clone(),
+            );
+            restore.cookie = r.entry.cookie;
+            restore.idle_timeout = r.entry.idle_timeout;
+            restore.hard_timeout = r.entry.hard_timeout;
+            let _ = self.network.apply_flow_mod(op.dpid, &restore);
+        }
+    }
+
+    /// Converts data-plane deliveries into inbox records + packet-in events.
+    fn absorb_deliveries(&mut self, deliveries: Vec<Delivery>) -> Vec<OutboundEvent> {
+        let mut events = Vec::new();
+        for d in deliveries {
+            match d {
+                Delivery::ToHost { mac, frame } => {
+                    self.host_inbox.entry(mac).or_default().push(frame);
+                }
+                Delivery::ToController { dpid, packet_in } => {
+                    events.push(OutboundEvent {
+                        event: Event::PacketIn { dpid, packet_in },
+                    });
+                }
+                Delivery::Dropped { .. } => {}
+            }
+        }
+        events
+    }
+
+    /// Builds the topology view an app is allowed to see.
+    fn topology_view_for(&self, app: AppId, checks_enabled: bool) -> TopologyView {
+        let topo = self.network.topology();
+        // Virtual topology: present the big switches.
+        if checks_enabled {
+            if let Some(vt) = self.vtopos.get(&app) {
+                let switches = vt
+                    .switches()
+                    .iter()
+                    .map(|vs| SwitchView {
+                        dpid: vs.dpid,
+                        ports: vs.ports.iter().map(|p| p.vport).collect(),
+                    })
+                    .collect();
+                return TopologyView {
+                    switches,
+                    links: Vec::new(),
+                    hosts: topo.hosts().to_vec(),
+                    link_ports: Vec::new(),
+                };
+            }
+        }
+        let phys_filter: Option<&SingletonFilter> = if checks_enabled {
+            self.engines
+                .get(&app)
+                .and_then(|e| e.filter_for(PermissionToken::VisibleTopology))
+                .and_then(find_phys_topo_atom)
+        } else {
+            None
+        };
+        let visible_switch = |d: DatapathId| match phys_filter {
+            Some(SingletonFilter::PhysTopo(t)) => t.contains_switch(d),
+            _ => true,
+        };
+        let visible_link = |a: DatapathId, b: DatapathId| match phys_filter {
+            Some(SingletonFilter::PhysTopo(t)) => t.contains_link(a, b),
+            _ => true,
+        };
+        let switches = topo
+            .switches()
+            .filter(|s| visible_switch(s.dpid))
+            .map(|s| SwitchView {
+                dpid: s.dpid,
+                ports: s.ports.clone(),
+            })
+            .collect();
+        let links = topo
+            .link_ids()
+            .into_iter()
+            .filter(|l| visible_switch(l.0) && visible_switch(l.1) && visible_link(l.0, l.1))
+            .map(|l| (l.0, l.1))
+            .collect();
+        let hosts = topo
+            .hosts()
+            .iter()
+            .filter(|h| visible_switch(h.switch))
+            .cloned()
+            .collect();
+        let link_ports = topo
+            .links()
+            .iter()
+            .filter(|l| {
+                visible_switch(l.src) && visible_switch(l.dst) && visible_link(l.src, l.dst)
+            })
+            .map(|l| (l.src, l.src_port, l.dst, l.dst_port))
+            .collect();
+        TopologyView {
+            switches,
+            links,
+            hosts,
+            link_ports,
+        }
+    }
+}
+
+/// Stamps the app's identity into the rule cookie (ownership convention).
+fn stamp_cookie(app: AppId, fm: &FlowMod) -> FlowMod {
+    let mut stamped = fm.clone();
+    stamped.cookie = Cookie::with_owner(app.0, fm.cookie.tag());
+    stamped
+}
+
+fn flow_op_call(app: AppId, op: &FlowOp) -> ApiCall {
+    use sdnshield_openflow::messages::FlowModCommand;
+    let kind = match op.flow_mod.command {
+        FlowModCommand::Delete | FlowModCommand::DeleteStrict => ApiCallKind::DeleteFlow {
+            dpid: op.dpid,
+            flow_mod: op.flow_mod.clone(),
+        },
+        _ => ApiCallKind::InsertFlow {
+            dpid: op.dpid,
+            flow_mod: op.flow_mod.clone(),
+        },
+    };
+    ApiCall::new(app, kind)
+}
+
+fn removed_events(
+    dpid: DatapathId,
+    removed: &[sdnshield_openflow::flow_table::RemovedEntry],
+) -> Vec<OutboundEvent> {
+    removed
+        .iter()
+        .filter(|r| r.entry.notify_when_removed)
+        .map(|r| OutboundEvent {
+            event: Event::FlowRemoved {
+                dpid,
+                flow_removed: to_flow_removed(r),
+            },
+        })
+        .collect()
+}
+
+fn to_flow_removed(r: &sdnshield_openflow::flow_table::RemovedEntry) -> FlowRemoved {
+    FlowRemoved {
+        flow_match: r.entry.flow_match.clone(),
+        priority: r.entry.priority,
+        cookie: r.entry.cookie,
+        reason: r.reason,
+        packet_count: r.entry.packet_count,
+        byte_count: r.entry.byte_count,
+        duration_secs: 0,
+    }
+}
+
+/// Extracts a VIRTUAL spec from a filter expression, if present as a
+/// positive atom.
+fn find_vtopo_spec(filter: &FilterExpr) -> Option<sdnshield_core::vtopo::VirtualTopologySpec> {
+    filter.atoms().into_iter().find_map(|a| match a {
+        SingletonFilter::VirtTopo(spec) => Some(spec.clone()),
+        _ => None,
+    })
+}
+
+/// Extracts a physical-topology atom from a filter expression.
+fn find_phys_topo_atom(filter: &FilterExpr) -> Option<&SingletonFilter> {
+    filter
+        .atoms()
+        .into_iter()
+        .find(|a| matches!(a, SingletonFilter::PhysTopo(_)))
+}
+
+/// Builds the core-local physical view the vtopo mapper needs.
+fn phys_view(network: &Network) -> PhysView {
+    let topo = network.topology();
+    PhysView {
+        switches: topo.switches().map(|s| s.dpid.0).collect(),
+        links: topo
+            .links()
+            .iter()
+            .map(|l| (l.src.0, l.src_port.0, l.dst.0, l.dst_port.0))
+            .collect(),
+        edge_ports: topo
+            .hosts()
+            .iter()
+            .map(|h| (h.switch.0, h.port.0))
+            .collect(),
+    }
+}
+
+/// Resolves a packet-out issued against a virtual switch into a physical
+/// injection point and actions.
+fn resolve_vtopo_packet_out(
+    vt: &VirtualTopology,
+    dpid: DatapathId,
+    packet_out: &sdnshield_openflow::messages::PacketOut,
+) -> Result<(DatapathId, Vec<sdnshield_openflow::actions::Action>), String> {
+    use sdnshield_openflow::actions::Action;
+    let vs = vt
+        .switch(dpid)
+        .ok_or_else(|| format!("unknown virtual switch {dpid}"))?;
+    let mut phys_dpid = None;
+    let mut actions = Vec::new();
+    for a in &packet_out.actions {
+        match a {
+            Action::Output(p) if !p.is_reserved() => {
+                let vp = vs
+                    .ports
+                    .iter()
+                    .find(|vp| vp.vport == *p)
+                    .ok_or_else(|| format!("unknown virtual port {p}"))?;
+                phys_dpid.get_or_insert(vp.phys_dpid);
+                actions.push(Action::Output(vp.phys_port));
+            }
+            other => actions.push(other.clone()),
+        }
+    }
+    let phys = phys_dpid
+        .or_else(|| vs.members.iter().next().map(|m| DatapathId(*m)))
+        .ok_or_else(|| "virtual switch has no members".to_string())?;
+    Ok((phys, actions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_core::lang::parse_manifest;
+    use sdnshield_netsim::topology::builders;
+    use sdnshield_openflow::actions::ActionList;
+    use sdnshield_openflow::flow_match::FlowMatch;
+    use sdnshield_openflow::types::PortNo;
+    use sdnshield_openflow::types::{Ipv4, Priority};
+
+    fn kernel_with(manifest: &str) -> (Kernel, AppId) {
+        let kernel = Kernel::new(Network::new(builders::linear(3), 1024), true);
+        let app = AppId(1);
+        kernel
+            .register_app(app, "test", &parse_manifest(manifest).unwrap())
+            .unwrap();
+        (kernel, app)
+    }
+
+    fn insert(app: AppId, dpid: u64, tp_dst: u16) -> ApiCall {
+        ApiCall::new(
+            app,
+            ApiCallKind::InsertFlow {
+                dpid: DatapathId(dpid),
+                flow_mod: FlowMod::add(
+                    FlowMatch::default().with_tp_dst(tp_dst),
+                    Priority(10),
+                    ActionList::output(PortNo(1)),
+                ),
+            },
+        )
+    }
+
+    #[test]
+    fn allowed_insert_lands_with_ownership_cookie() {
+        let (kernel, app) = kernel_with("PERM insert_flow");
+        let (res, _) = kernel.execute(&insert(app, 1, 80));
+        assert_eq!(res.unwrap(), ApiResponse::Unit);
+        kernel.with_network(|n| {
+            let entry = n
+                .switch(DatapathId(1))
+                .unwrap()
+                .table()
+                .iter()
+                .next()
+                .unwrap()
+                .clone();
+            assert_eq!(entry.cookie.owner(), app.0);
+        });
+    }
+
+    #[test]
+    fn denied_insert_never_touches_switch_and_audits() {
+        let (kernel, app) = kernel_with("PERM read_statistics");
+        let (res, _) = kernel.execute(&insert(app, 1, 80));
+        assert!(res.unwrap_err().is_denied());
+        assert_eq!(kernel.flow_count(DatapathId(1)), 0);
+        let audit = kernel.audit_records();
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].outcome, AuditOutcome::Denied);
+    }
+
+    #[test]
+    fn unregistered_app_denied() {
+        let kernel = Kernel::new(Network::new(builders::linear(2), 64), true);
+        let (res, _) = kernel.execute(&insert(AppId(9), 1, 80));
+        assert!(res.unwrap_err().is_denied());
+    }
+
+    #[test]
+    fn monolithic_kernel_skips_checks() {
+        let kernel = Kernel::new(Network::new(builders::linear(2), 64), false);
+        let (res, _) = kernel.execute(&insert(AppId(9), 1, 80));
+        assert!(res.is_ok(), "no registration, no checks, still executes");
+        assert_eq!(kernel.flow_count(DatapathId(1)), 1);
+    }
+
+    #[test]
+    fn read_flow_table_visibility_filtered() {
+        let (kernel, app) = kernel_with(
+            "PERM insert_flow\n\
+             PERM read_flow_table LIMITING OWN_FLOWS",
+        );
+        // App 1 installs one rule; a second app installs another.
+        kernel
+            .register_app(
+                AppId(2),
+                "other",
+                &parse_manifest("PERM insert_flow").unwrap(),
+            )
+            .unwrap();
+        kernel.execute(&insert(app, 1, 80)).0.unwrap();
+        kernel.execute(&insert(AppId(2), 1, 443)).0.unwrap();
+        let (res, _) = kernel.execute(&ApiCall::new(
+            app,
+            ApiCallKind::ReadFlowTable {
+                dpid: DatapathId(1),
+                query: FlowMatch::any(),
+            },
+        ));
+        match res.unwrap() {
+            ApiResponse::FlowEntries(entries) => {
+                assert_eq!(entries.len(), 1, "only own flow visible");
+                assert_eq!(entries[0].flow_match.tp_dst, Some(80));
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_view_respects_phys_filter() {
+        let (kernel, app) = kernel_with("PERM visible_topology LIMITING SWITCH 1,2 LINK 1-2");
+        let (res, _) = kernel.execute(&ApiCall::new(app, ApiCallKind::ReadTopology));
+        match res.unwrap() {
+            ApiResponse::Topology(view) => {
+                assert_eq!(view.switches.len(), 2);
+                assert_eq!(view.links, vec![(DatapathId(1), DatapathId(2))]);
+            }
+            other => panic!("expected topology, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_topology_registration_and_view() {
+        let (kernel, app) = kernel_with(
+            "PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH\n\
+             PERM insert_flow",
+        );
+        let (res, _) = kernel.execute(&ApiCall::new(app, ApiCallKind::ReadTopology));
+        match res.unwrap() {
+            ApiResponse::Topology(view) => {
+                assert_eq!(view.switches.len(), 1, "one big switch");
+                // linear(3) has 3 hosts = 3 external edge ports.
+                assert_eq!(view.switches[0].ports.len(), 3);
+            }
+            other => panic!("expected topology, got {other:?}"),
+        }
+        // A flow inserted on the big switch lands on physical switches.
+        let vport_out = PortNo(3); // host on switch 3
+        let call = ApiCall::new(
+            app,
+            ApiCallKind::InsertFlow {
+                dpid: DatapathId(1),
+                flow_mod: FlowMod::add(
+                    FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+                    Priority(10),
+                    ActionList::output(vport_out),
+                ),
+            },
+        );
+        kernel.execute(&call).0.unwrap();
+        let total: usize = (1..=3).map(|d| kernel.flow_count(DatapathId(d))).sum();
+        assert!(total >= 3, "rules along the path, got {total}");
+    }
+
+    #[test]
+    fn virtual_topology_stats_aggregate_across_members() {
+        let (kernel, app) = kernel_with(
+            "PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH\n\
+             PERM insert_flow\n\
+             PERM read_statistics",
+        );
+        // One big-switch rule → one physical rule per member switch.
+        kernel
+            .execute(&ApiCall::new(
+                app,
+                ApiCallKind::InsertFlow {
+                    dpid: DatapathId(1),
+                    flow_mod: FlowMod::add(
+                        FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+                        Priority(10),
+                        ActionList::output(PortNo(3)),
+                    ),
+                },
+            ))
+            .0
+            .unwrap();
+        let (res, _) = kernel.execute(&ApiCall::new(
+            app,
+            ApiCallKind::ReadStatistics {
+                dpid: DatapathId(1),
+                request: sdnshield_openflow::messages::StatsRequest::Table,
+            },
+        ));
+        match res.unwrap() {
+            ApiResponse::Stats(sdnshield_openflow::messages::StatsReply::Table(t)) => {
+                // Aggregated over 3 member switches, one rule each.
+                assert_eq!(t.active_count, 3);
+                assert_eq!(t.max_entries, 3 * 1024);
+            }
+            other => panic!("expected table stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transaction_atomicity_on_denial() {
+        let (kernel, app) =
+            kernel_with("PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0");
+        let good = FlowOp {
+            dpid: DatapathId(1),
+            flow_mod: FlowMod::add(
+                FlowMatch::default().with_ip_dst(Ipv4::new(10, 13, 0, 1)),
+                Priority(10),
+                ActionList::output(PortNo(1)),
+            ),
+        };
+        let bad = FlowOp {
+            dpid: DatapathId(1),
+            flow_mod: FlowMod::add(
+                FlowMatch::default().with_ip_dst(Ipv4::new(10, 99, 0, 1)),
+                Priority(10),
+                ActionList::output(PortNo(1)),
+            ),
+        };
+        let (res, _) = kernel.execute_transaction(app, &[good.clone(), bad]);
+        match res.unwrap_err() {
+            ApiError::TransactionAborted {
+                failed_index,
+                cause,
+            } => {
+                assert_eq!(failed_index, 1);
+                assert!(cause.is_denied());
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(kernel.flow_count(DatapathId(1)), 0, "nothing applied");
+        // The same transaction without the bad op commits.
+        let (res, _) = kernel.execute_transaction(app, &[good]);
+        assert!(res.is_ok());
+        assert_eq!(kernel.flow_count(DatapathId(1)), 1);
+    }
+
+    #[test]
+    fn transaction_rollback_on_switch_error() {
+        // Capacity-1 table: second op fails, first must roll back.
+        let kernel = Kernel::new(Network::new(builders::linear(2), 1), true);
+        let app = AppId(1);
+        kernel
+            .register_app(app, "t", &parse_manifest("PERM insert_flow").unwrap())
+            .unwrap();
+        let op = |tp: u16| FlowOp {
+            dpid: DatapathId(1),
+            flow_mod: FlowMod::add(
+                FlowMatch::default().with_tp_dst(tp),
+                Priority(10),
+                ActionList::output(PortNo(1)),
+            ),
+        };
+        let (res, _) = kernel.execute_transaction(app, &[op(1), op(2)]);
+        match res.unwrap_err() {
+            ApiError::TransactionAborted { failed_index, .. } => assert_eq!(failed_index, 1),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(kernel.flow_count(DatapathId(1)), 0, "rolled back");
+    }
+
+    #[test]
+    fn event_payload_stripping() {
+        let (kernel, app) = kernel_with("PERM pkt_in_event");
+        kernel
+            .register_app(
+                AppId(2),
+                "reader",
+                &parse_manifest("PERM pkt_in_event\nPERM read_payload").unwrap(),
+            )
+            .unwrap();
+        let pi = PacketIn {
+            buffer_id: sdnshield_openflow::types::BufferId::NO_BUFFER,
+            in_port: PortNo(1),
+            reason: sdnshield_openflow::messages::PacketInReason::NoMatch,
+            payload: Bytes::from_static(b"secret"),
+        };
+        let event = Event::PacketIn {
+            dpid: DatapathId(1),
+            packet_in: pi,
+        };
+        match kernel.event_view_for(app, &event).unwrap() {
+            Event::PacketIn { packet_in, .. } => assert!(packet_in.payload.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match kernel.event_view_for(AppId(2), &event).unwrap() {
+            Event::PacketIn { packet_in, .. } => {
+                assert_eq!(packet_in.payload.as_ref(), b"secret")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscriptions_routed() {
+        let (kernel, app) = kernel_with("PERM pkt_in_event");
+        let (res, _) = kernel.execute(&ApiCall::new(
+            app,
+            ApiCallKind::Subscribe {
+                kind: EventKind::PacketIn,
+            },
+        ));
+        assert_eq!(res.unwrap(), ApiResponse::Subscribed(EventKind::PacketIn));
+        assert_eq!(kernel.subscribers(EventKind::PacketIn), vec![app]);
+        // Unpermitted subscription denied.
+        let (res, _) = kernel.execute(&ApiCall::new(
+            app,
+            ApiCallKind::Subscribe {
+                kind: EventKind::Topology,
+            },
+        ));
+        assert!(res.unwrap_err().is_denied());
+        // Custom topics are unmediated pub/sub.
+        kernel.subscribe_topic(app, "alto");
+        kernel.subscribe_topic(app, "alto");
+        assert_eq!(kernel.topic_subscribers("alto"), vec![app]);
+    }
+
+    #[test]
+    fn host_network_accounting() {
+        let (kernel, app) = kernel_with("PERM network_access");
+        let (res, _) = kernel.execute(&ApiCall::new(
+            app,
+            ApiCallKind::HostConnect {
+                dst_ip: Ipv4::new(8, 8, 8, 8),
+                dst_port: 80,
+            },
+        ));
+        let ApiResponse::Connection(conn) = res.unwrap() else {
+            panic!("expected connection")
+        };
+        kernel
+            .execute(&ApiCall::new(
+                app,
+                ApiCallKind::HostSend {
+                    conn: conn.0,
+                    len: 1000,
+                },
+            ))
+            .0
+            .unwrap();
+        assert_eq!(kernel.bytes_exfiltrated_by(app), 1000);
+    }
+
+    #[test]
+    fn loading_time_token_check() {
+        let (kernel, app) = kernel_with("PERM read_statistics");
+        let missing = kernel.missing_tokens(
+            app,
+            &[PermissionToken::ReadStatistics, PermissionToken::InsertFlow],
+        );
+        assert_eq!(missing, vec![PermissionToken::InsertFlow]);
+        assert!(kernel
+            .missing_tokens(AppId(99), &[PermissionToken::ReadStatistics])
+            .contains(&PermissionToken::ReadStatistics));
+    }
+
+    #[test]
+    fn clock_expiry_generates_flow_removed() {
+        let (kernel, app) = kernel_with("PERM insert_flow\nPERM flow_event");
+        let mut fm = FlowMod::add(
+            FlowMatch::default().with_tp_dst(80),
+            Priority(10),
+            ActionList::output(PortNo(1)),
+        )
+        .with_hard_timeout(5);
+        fm.notify_when_removed = true;
+        kernel
+            .execute(&ApiCall::new(
+                app,
+                ApiCallKind::InsertFlow {
+                    dpid: DatapathId(1),
+                    flow_mod: fm,
+                },
+            ))
+            .0
+            .unwrap();
+        let events = kernel.advance_clock(10);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].event, Event::FlowRemoved { .. }));
+    }
+}

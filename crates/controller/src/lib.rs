@@ -1,0 +1,35 @@
+//! The SDN controller kernel and isolation architecture for the SDNShield
+//! reproduction (paper §VI, §VIII).
+//!
+//! Two controller builds share one kernel and one [`app::App`] programming
+//! model:
+//!
+//! * [`isolation::ShieldedController`] — the SDNShield architecture: apps on
+//!   unprivileged threads, every API call marshalled over channels to a pool
+//!   of Kernel Service Deputy threads that permission-check and execute it;
+//! * [`monolithic::MonolithicController`] — the unmodified-controller
+//!   baseline: direct calls, no checks, no isolation.
+//!
+//! Supporting modules: [`kernel`] (the state owner and check/execute choke
+//! point), [`api`] (typed call/response surface), [`events`], [`hostsys`]
+//! (the simulated host OS that Class-2 attacks exfiltrate through),
+//! [`audit`] (forensic activity log).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod app;
+pub mod audit;
+pub mod events;
+pub mod hostsys;
+pub mod isolation;
+pub mod kernel;
+pub mod monolithic;
+
+pub use api::{ApiError, ApiResponse, FlowOp, TopologyView};
+pub use app::{App, AppCtx};
+pub use events::Event;
+pub use isolation::{RegisterError, ShieldedController};
+pub use kernel::Kernel;
+pub use monolithic::MonolithicController;

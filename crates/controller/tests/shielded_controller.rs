@@ -1,0 +1,571 @@
+//! End-to-end tests of the thread-isolated SDNShield controller: apps on
+//! their own threads, deputies checking and executing calls, events flowing
+//! through channels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_controller::isolation::{RegisterError, ShieldedController};
+use sdnshield_core::api::EventKind;
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_core::token::PermissionToken;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::{FlowMod, PacketIn, PacketInReason};
+use sdnshield_openflow::types::{BufferId, DatapathId, PortNo, Priority};
+
+fn controller() -> ShieldedController {
+    ShieldedController::new(Network::new(builders::linear(3), 1024), 4)
+}
+
+fn pi(payload: &'static [u8]) -> PacketIn {
+    PacketIn {
+        buffer_id: BufferId::NO_BUFFER,
+        in_port: PortNo(1),
+        reason: PacketInReason::NoMatch,
+        payload: Bytes::from_static(payload),
+    }
+}
+
+/// Installs one rule per packet-in and counts its denials.
+struct Reactor {
+    denials: Arc<AtomicUsize>,
+    installs: Arc<AtomicUsize>,
+}
+
+impl App for Reactor {
+    fn name(&self) -> &str {
+        "reactor"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe(EventKind::PacketIn).expect("subscribe");
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        if let Event::PacketIn { dpid, .. } = event {
+            let result = ctx.insert_flow(
+                *dpid,
+                FlowMod::add(
+                    FlowMatch::default().with_tp_dst(80),
+                    Priority(10),
+                    ActionList::output(PortNo(1)),
+                ),
+            );
+            match result {
+                Ok(()) => self.installs.fetch_add(1, Ordering::SeqCst),
+                Err(_) => self.denials.fetch_add(1, Ordering::SeqCst),
+            };
+        }
+    }
+}
+
+#[test]
+fn permitted_app_installs_rules_through_deputies() {
+    let c = controller();
+    let installs = Arc::new(AtomicUsize::new(0));
+    let denials = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::clone(&denials),
+            installs: Arc::clone(&installs),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    for _ in 0..5 {
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    }
+    assert_eq!(installs.load(Ordering::SeqCst), 5);
+    assert_eq!(denials.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        c.kernel().flow_count(DatapathId(1)),
+        1,
+        "same rule re-added"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn unpermitted_insert_denied_but_app_survives() {
+    let c = controller();
+    let installs = Arc::new(AtomicUsize::new(0));
+    let denials = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::clone(&denials),
+            installs: Arc::clone(&installs),
+        }),
+        &parse_manifest("PERM pkt_in_event").unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    c.deliver_packet_in(DatapathId(1), pi(b"y"));
+    assert_eq!(denials.load(Ordering::SeqCst), 2);
+    assert_eq!(c.kernel().flow_count(DatapathId(1)), 0);
+    // Audit captured the denials.
+    let audit = c.kernel().audit_records();
+    assert!(audit.iter().any(|r| r.token == PermissionToken::InsertFlow));
+    c.shutdown();
+}
+
+#[test]
+fn loading_time_check_rejects_apps_missing_required_tokens() {
+    struct Needy;
+    impl App for Needy {
+        fn name(&self) -> &str {
+            "needy"
+        }
+        fn required_tokens(&self) -> Vec<PermissionToken> {
+            vec![PermissionToken::InsertFlow, PermissionToken::PktInEvent]
+        }
+    }
+    let c = controller();
+    let err = c
+        .register(
+            Box::new(Needy),
+            &parse_manifest("PERM pkt_in_event").unwrap(),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RegisterError::MissingTokens(vec![PermissionToken::InsertFlow])
+    );
+    c.shutdown();
+}
+
+#[test]
+fn payload_stripped_without_read_payload() {
+    struct PayloadProbe {
+        seen_len: Arc<AtomicUsize>,
+    }
+    impl App for PayloadProbe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, _ctx: &AppCtx, event: &Event) {
+            if let Event::PacketIn { packet_in, .. } = event {
+                self.seen_len
+                    .fetch_add(packet_in.payload.len(), Ordering::SeqCst);
+            }
+        }
+    }
+    let c = controller();
+    let blind_len = Arc::new(AtomicUsize::new(0));
+    let sighted_len = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(PayloadProbe {
+            seen_len: Arc::clone(&blind_len),
+        }),
+        &parse_manifest("PERM pkt_in_event").unwrap(),
+    )
+    .unwrap();
+    c.register(
+        Box::new(PayloadProbe {
+            seen_len: Arc::clone(&sighted_len),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM read_payload").unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"eight_by"));
+    assert_eq!(blind_len.load(Ordering::SeqCst), 0, "payload stripped");
+    assert_eq!(sighted_len.load(Ordering::SeqCst), 8);
+    c.shutdown();
+}
+
+#[test]
+fn publish_subscribe_chains_synchronously() {
+    // A service app publishes on a topic whenever it sees a packet-in; a
+    // consumer app reacts to the topic by installing a rule. One synchronous
+    // deliver_packet_in must leave the rule installed.
+    struct Publisher;
+    impl App for Publisher {
+        fn name(&self) -> &str {
+            "publisher"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+            if matches!(event, Event::PacketIn { .. }) {
+                ctx.publish("costs", Bytes::from_static(b"update")).unwrap();
+            }
+        }
+    }
+    struct Consumer;
+    impl App for Consumer {
+        fn name(&self) -> &str {
+            "consumer"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe_topic("costs").unwrap();
+        }
+        fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+            if matches!(event, Event::Custom { .. }) {
+                ctx.insert_flow(
+                    DatapathId(2),
+                    FlowMod::add(
+                        FlowMatch::default().with_tp_dst(443),
+                        Priority(20),
+                        ActionList::output(PortNo(1)),
+                    ),
+                )
+                .unwrap();
+            }
+        }
+    }
+    let c = controller();
+    c.register(
+        Box::new(Publisher),
+        &parse_manifest("PERM pkt_in_event").unwrap(),
+    )
+    .unwrap();
+    c.register(
+        Box::new(Consumer),
+        &parse_manifest("PERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    assert_eq!(c.kernel().flow_count(DatapathId(2)), 1);
+    c.shutdown();
+}
+
+#[test]
+fn many_apps_many_events_no_deadlock() {
+    let c = ShieldedController::new(Network::new(builders::linear(2), 4096), 4);
+    let installs = Arc::new(AtomicUsize::new(0));
+    for _ in 0..8 {
+        c.register(
+            Box::new(Reactor {
+                denials: Arc::new(AtomicUsize::new(0)),
+                installs: Arc::clone(&installs),
+            }),
+            &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+        )
+        .unwrap();
+    }
+    for i in 0..50 {
+        c.deliver_packet_in(DatapathId(1 + (i % 2)), pi(b"z"));
+    }
+    assert_eq!(installs.load(Ordering::SeqCst), 8 * 50);
+    c.shutdown();
+}
+
+#[test]
+fn host_frame_injection_reaches_apps() {
+    let c = controller();
+    let installs = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::new(AtomicUsize::new(0)),
+            installs: Arc::clone(&installs),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    let arp = sdnshield_openflow::packet::EthernetFrame::arp_request(
+        sdnshield_openflow::types::EthAddr::from_u64(1),
+        sdnshield_openflow::types::Ipv4::new(10, 0, 0, 1),
+        sdnshield_openflow::types::Ipv4::new(10, 0, 0, 2),
+    );
+    c.inject_host_frame(arp);
+    assert_eq!(installs.load(Ordering::SeqCst), 1);
+    c.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drop_safe() {
+    let c = controller();
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::new(AtomicUsize::new(0)),
+            installs: Arc::new(AtomicUsize::new(0)),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    c.shutdown();
+    c.shutdown();
+    drop(c); // Drop runs shutdown again.
+}
+
+#[test]
+fn transactions_apply_atomically_across_threads() {
+    struct TxnApp {
+        outcome: Arc<AtomicUsize>,
+    }
+    impl App for TxnApp {
+        fn name(&self) -> &str {
+            "txn"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+            if let Event::PacketIn { .. } = event {
+                let ok_op = sdnshield_controller::api::FlowOp {
+                    dpid: DatapathId(1),
+                    flow_mod: FlowMod::add(
+                        FlowMatch::default()
+                            .with_ip_dst(sdnshield_openflow::types::Ipv4::new(10, 13, 0, 1)),
+                        Priority(10),
+                        ActionList::output(PortNo(1)),
+                    ),
+                };
+                let bad_op = sdnshield_controller::api::FlowOp {
+                    dpid: DatapathId(1),
+                    flow_mod: FlowMod::add(
+                        FlowMatch::default()
+                            .with_ip_dst(sdnshield_openflow::types::Ipv4::new(99, 0, 0, 1)),
+                        Priority(10),
+                        ActionList::output(PortNo(1)),
+                    ),
+                };
+                match ctx.transaction(vec![ok_op, bad_op]) {
+                    Err(e) if e.is_denied() => self.outcome.store(1, Ordering::SeqCst),
+                    _ => self.outcome.store(2, Ordering::SeqCst),
+                }
+            }
+        }
+    }
+    let c = controller();
+    let outcome = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(TxnApp {
+            outcome: Arc::clone(&outcome),
+        }),
+        &parse_manifest(
+            "PERM pkt_in_event\nPERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    assert_eq!(outcome.load(Ordering::SeqCst), 1, "denied atomically");
+    assert_eq!(c.kernel().flow_count(DatapathId(1)), 0);
+    c.shutdown();
+}
+
+#[test]
+fn event_interception_orders_delivery() {
+    // Two subscribers; the second one registers with EVENT_INTERCEPTION and
+    // must nevertheless receive events first (paper §IV-B callback filters).
+    use parking_lot::Mutex;
+    struct OrderProbe {
+        label: &'static str,
+        log: Arc<Mutex<Vec<&'static str>>>,
+    }
+    impl App for OrderProbe {
+        fn name(&self) -> &str {
+            self.label
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, _ctx: &AppCtx, event: &Event) {
+            if matches!(event, Event::PacketIn { .. }) {
+                self.log.lock().push(self.label);
+            }
+        }
+    }
+    let c = controller();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    c.register(
+        Box::new(OrderProbe {
+            label: "plain",
+            log: Arc::clone(&log),
+        }),
+        &parse_manifest("PERM pkt_in_event").unwrap(),
+    )
+    .unwrap();
+    c.register(
+        Box::new(OrderProbe {
+            label: "interceptor",
+            log: Arc::clone(&log),
+        }),
+        &parse_manifest("PERM pkt_in_event LIMITING EVENT_INTERCEPTION").unwrap(),
+    )
+    .unwrap();
+    for _ in 0..3 {
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    }
+    let order = log.lock().clone();
+    assert_eq!(
+        order,
+        vec![
+            "interceptor",
+            "plain",
+            "interceptor",
+            "plain",
+            "interceptor",
+            "plain"
+        ],
+        "interceptor must always be delivered to first"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn crashing_app_is_contained() {
+    // One app panics on every packet-in; its peer keeps working and the
+    // controller stays responsive — the paper's robustness claim for
+    // thread containment.
+    struct Crasher;
+    impl App for Crasher {
+        fn name(&self) -> &str {
+            "crasher"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, _ctx: &AppCtx, _event: &Event) {
+            panic!("app bug");
+        }
+    }
+    // Silence the expected panic backtrace noise.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let c = controller();
+    let installs = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(Crasher),
+        &parse_manifest("PERM pkt_in_event").unwrap(),
+    )
+    .unwrap();
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::new(AtomicUsize::new(0)),
+            installs: Arc::clone(&installs),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    for _ in 0..3 {
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    }
+    assert_eq!(installs.load(Ordering::SeqCst), 3, "peer unaffected");
+    assert_eq!(c.kernel().flow_count(DatapathId(1)), 1);
+    c.shutdown();
+    std::panic::set_hook(prev_hook);
+}
+
+#[test]
+fn startup_panic_rejected_at_registration() {
+    struct BadStart;
+    impl App for BadStart {
+        fn name(&self) -> &str {
+            "bad-start"
+        }
+        fn on_start(&mut self, _ctx: &AppCtx) {
+            panic!("init bug");
+        }
+    }
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let c = controller();
+    let err = c
+        .register(
+            Box::new(BadStart),
+            &parse_manifest("PERM pkt_in_event").unwrap(),
+        )
+        .unwrap_err();
+    assert_eq!(err, RegisterError::StartupPanic);
+    // The controller is still usable afterwards.
+    c.register(
+        Box::new(Reactor {
+            denials: Arc::new(AtomicUsize::new(0)),
+            installs: Arc::new(AtomicUsize::new(0)),
+        }),
+        &parse_manifest("PERM pkt_in_event\nPERM insert_flow").unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    c.shutdown();
+    std::panic::set_hook(prev_hook);
+}
+
+#[test]
+fn spawned_threads_inherit_app_privilege() {
+    // Paper §VI-A: "all threads spawned from an unprivileged thread inherit
+    // their parents' privilege". An app thread hands its context to a child
+    // thread; the child's calls are still attributed to the app and checked
+    // under the app's permissions.
+    struct Spawner {
+        child_denied: Arc<AtomicUsize>,
+        child_allowed: Arc<AtomicUsize>,
+    }
+    impl App for Spawner {
+        fn name(&self) -> &str {
+            "spawner"
+        }
+        fn on_start(&mut self, ctx: &AppCtx) {
+            ctx.subscribe(EventKind::PacketIn).unwrap();
+        }
+        fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+            if !matches!(event, Event::PacketIn { .. }) {
+                return;
+            }
+            let ctx = ctx.clone();
+            let denied = Arc::clone(&self.child_denied);
+            let allowed = Arc::clone(&self.child_allowed);
+            std::thread::spawn(move || {
+                // In-scope insert: allowed under the parent's grant.
+                let ok = ctx.insert_flow(
+                    DatapathId(1),
+                    FlowMod::add(
+                        FlowMatch::default()
+                            .with_ip_dst(sdnshield_openflow::types::Ipv4::new(10, 13, 0, 1)),
+                        Priority(10),
+                        ActionList::output(PortNo(1)),
+                    ),
+                );
+                if ok.is_ok() {
+                    allowed.fetch_add(1, Ordering::SeqCst);
+                }
+                // Out-of-scope insert: denied — the child has no more
+                // privilege than its parent.
+                let err = ctx.insert_flow(
+                    DatapathId(1),
+                    FlowMod::add(
+                        FlowMatch::default()
+                            .with_ip_dst(sdnshield_openflow::types::Ipv4::new(8, 8, 8, 8)),
+                        Priority(10),
+                        ActionList::output(PortNo(1)),
+                    ),
+                );
+                if err.is_err() {
+                    denied.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .join()
+            .unwrap();
+        }
+    }
+    let c = controller();
+    let child_denied = Arc::new(AtomicUsize::new(0));
+    let child_allowed = Arc::new(AtomicUsize::new(0));
+    c.register(
+        Box::new(Spawner {
+            child_denied: Arc::clone(&child_denied),
+            child_allowed: Arc::clone(&child_allowed),
+        }),
+        &parse_manifest(
+            "PERM pkt_in_event\nPERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    assert_eq!(child_allowed.load(Ordering::SeqCst), 1);
+    assert_eq!(child_denied.load(Ordering::SeqCst), 1);
+    c.shutdown();
+}

@@ -1,0 +1,423 @@
+//! Filter-expression algebra: normal forms and the inclusion decision
+//! procedure (paper §V-B, Algorithm 1).
+//!
+//! To decide whether filter `A` includes filter `B` (every call passing `B`
+//! also passes `A`), the paper's algorithm:
+//!
+//! 1. converts `A` to CNF (`a ∧ b ∧ …`, each a disjunctive clause) and `B` to
+//!    DNF (`x ∨ y ∨ …`, each a conjunctive term);
+//! 2. checks every (clause, term) pair: clause `a = a₁ ∨ a₂ ∨ …` includes
+//!    term `x = x₁ ∧ x₂ ∧ …` if some `aᵢ ⊇ xⱼ` on the same dimension
+//!    (filters on different dimensions are independent and cannot include
+//!    each other).
+//!
+//! The procedure is *sound* (a `true` answer implies set inclusion) but not
+//! complete: unknown relations conservatively answer `false`, which in the
+//! reconciliation engine errs toward flagging a violation — the safe
+//! direction for a security system.
+
+use crate::filter::{FilterExpr, SingletonFilter};
+
+/// Expansion cap: conversions producing more than this many clauses/terms
+/// abort, making [`includes`] answer `false` (unknown). Paper-scale filters
+/// (10–20 singletons) stay far below this.
+pub const MAX_CLAUSES: usize = 4096;
+
+/// A possibly-negated singleton filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Literal {
+    /// The singleton filter.
+    pub filter: SingletonFilter,
+    /// Whether the literal is negated.
+    pub negated: bool,
+}
+
+impl Literal {
+    fn pos(filter: SingletonFilter) -> Self {
+        Literal {
+            filter,
+            negated: false,
+        }
+    }
+
+    fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Sound literal-level inclusion: does `self` allow everything `other`
+    /// allows?
+    ///
+    /// Mixed-polarity pairs are never provable: under the paper's vacuous-
+    /// pass semantics (a filter that does not inspect a call's attributes
+    /// passes it, §IV-B), any two positive filters share all attribute-free
+    /// calls, so `¬A ⊇ B` cannot hold — an attribute-free call passes `B`
+    /// (vacuously) yet fails `¬A` (because it passes `A` vacuously).
+    pub fn includes(&self, other: &Literal) -> bool {
+        match (self.negated, other.negated) {
+            (false, false) => self.filter.includes(&other.filter),
+            // ¬A ⊇ ¬B  ⟺  B ⊇ A (contrapositive; vacuous calls pass both).
+            (true, true) => other.filter.includes(&self.filter),
+            (true, false) | (false, true) => false,
+        }
+    }
+}
+
+/// Internal normal-form tree with explicit False (which [`FilterExpr`] does
+/// not need to represent).
+#[derive(Debug, Clone)]
+enum Nnf {
+    True,
+    False,
+    Lit(Literal),
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+}
+
+/// Pushes negations down to the literals (negation normal form).
+fn to_nnf(expr: &FilterExpr, negate: bool) -> Nnf {
+    match expr {
+        FilterExpr::True => {
+            if negate {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        FilterExpr::Atom(f) => {
+            let lit = Literal::pos(f.clone());
+            Nnf::Lit(if negate { lit.negate() } else { lit })
+        }
+        FilterExpr::And(xs) => {
+            let kids = xs.iter().map(|x| to_nnf(x, negate)).collect();
+            if negate {
+                Nnf::Or(kids)
+            } else {
+                Nnf::And(kids)
+            }
+        }
+        FilterExpr::Or(xs) => {
+            let kids = xs.iter().map(|x| to_nnf(x, negate)).collect();
+            if negate {
+                Nnf::And(kids)
+            } else {
+                Nnf::Or(kids)
+            }
+        }
+        FilterExpr::Not(x) => to_nnf(x, !negate),
+    }
+}
+
+/// A conjunction of clauses (CNF) or disjunction of terms (DNF), depending
+/// on context. Each inner vec is a clause (∨ of literals) or term (∧ of
+/// literals).
+pub type ClauseSet = Vec<Vec<Literal>>;
+
+/// Converts an expression to CNF.
+///
+/// Returns `None` when the conversion exceeds [`MAX_CLAUSES`].
+/// The empty clause set means *true*; a set containing an empty clause means
+/// *false*.
+pub fn to_cnf(expr: &FilterExpr) -> Option<ClauseSet> {
+    cnf_of(&to_nnf(expr, false))
+}
+
+fn cnf_of(n: &Nnf) -> Option<ClauseSet> {
+    match n {
+        Nnf::True => Some(vec![]),
+        Nnf::False => Some(vec![vec![]]),
+        Nnf::Lit(l) => Some(vec![vec![l.clone()]]),
+        Nnf::And(kids) => {
+            let mut out = Vec::new();
+            for k in kids {
+                out.extend(cnf_of(k)?);
+                if out.len() > MAX_CLAUSES {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Nnf::Or(kids) => {
+            // CNF(or) = cross product of the children's clauses.
+            let mut acc: ClauseSet = vec![vec![]];
+            for k in kids {
+                let kc = cnf_of(k)?;
+                let mut next = Vec::with_capacity(acc.len() * kc.len().max(1));
+                for a in &acc {
+                    for c in &kc {
+                        let mut merged = a.clone();
+                        merged.extend(c.iter().cloned());
+                        next.push(merged);
+                        if next.len() > MAX_CLAUSES {
+                            return None;
+                        }
+                    }
+                }
+                // OR with `true` (empty clause set) absorbs everything.
+                if kc.is_empty() {
+                    return Some(vec![]);
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Converts an expression to DNF.
+///
+/// Returns `None` when the conversion exceeds [`MAX_CLAUSES`].
+/// The empty term set means *false*; a set containing an empty term means
+/// *true*.
+pub fn to_dnf(expr: &FilterExpr) -> Option<ClauseSet> {
+    dnf_of(&to_nnf(expr, false))
+}
+
+fn dnf_of(n: &Nnf) -> Option<ClauseSet> {
+    match n {
+        Nnf::True => Some(vec![vec![]]),
+        Nnf::False => Some(vec![]),
+        Nnf::Lit(l) => Some(vec![vec![l.clone()]]),
+        Nnf::Or(kids) => {
+            let mut out = Vec::new();
+            for k in kids {
+                out.extend(dnf_of(k)?);
+                if out.len() > MAX_CLAUSES {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Nnf::And(kids) => {
+            // DNF(and) = cross product of the children's terms.
+            let mut acc: ClauseSet = vec![vec![]];
+            for k in kids {
+                let kd = dnf_of(k)?;
+                if kd.is_empty() {
+                    return Some(vec![]); // AND with false
+                }
+                let mut next = Vec::with_capacity(acc.len() * kd.len());
+                for a in &acc {
+                    for t in &kd {
+                        let mut merged = a.clone();
+                        merged.extend(t.iter().cloned());
+                        next.push(merged);
+                        if next.len() > MAX_CLAUSES {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Does a disjunctive clause include a conjunctive term?
+///
+/// Paper Algorithm 1, step 2: `a ⊇ x` if there exist `aᵢ ⊇ xⱼ`.
+fn clause_includes_term(clause: &[Literal], term: &[Literal]) -> bool {
+    clause.iter().any(|a| term.iter().any(|x| a.includes(x)))
+}
+
+/// Decides whether filter `a` includes filter `b` (paper Algorithm 1).
+///
+/// Sound but not complete: `false` can mean "unknown". `true` guarantees
+/// every API call passing `b` also passes `a`.
+pub fn includes(a: &FilterExpr, b: &FilterExpr) -> bool {
+    let Some(cnf_a) = to_cnf(a) else { return false };
+    let Some(dnf_b) = to_dnf(b) else { return false };
+    // A is true: includes everything.
+    if cnf_a.is_empty() {
+        return true;
+    }
+    // B is false: included in everything.
+    if dnf_b.is_empty() {
+        return true;
+    }
+    cnf_a.iter().all(|clause| {
+        dnf_b.iter().all(|term| {
+            // An empty clause is false (A rejects all): nothing passes it.
+            // An empty term is true (B accepts all): only a true-like clause
+            // could include it, which clause_includes_term cannot prove.
+            clause_includes_term(clause, term)
+        })
+    })
+}
+
+/// Filter-expression equivalence: mutual inclusion.
+pub fn equivalent(a: &FilterExpr, b: &FilterExpr) -> bool {
+    includes(a, b) && includes(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{Ownership, SingletonFilter};
+    use sdnshield_openflow::types::Ipv4;
+
+    fn ip(prefix: u8) -> FilterExpr {
+        FilterExpr::atom(SingletonFilter::ip_dst_prefix(
+            Ipv4::new(10, 13, 0, 0),
+            prefix,
+        ))
+    }
+
+    fn ip_at(a: u8, b: u8, prefix: u8) -> FilterExpr {
+        FilterExpr::atom(SingletonFilter::ip_dst_prefix(
+            Ipv4::new(a, b, 0, 0),
+            prefix,
+        ))
+    }
+
+    fn own() -> FilterExpr {
+        FilterExpr::atom(SingletonFilter::Ownership(Ownership::OwnFlows))
+    }
+
+    fn maxprio(p: u16) -> FilterExpr {
+        FilterExpr::atom(SingletonFilter::MaxPriority(p))
+    }
+
+    #[test]
+    fn atoms_follow_singleton_inclusion() {
+        assert!(includes(&ip(8), &ip(16)));
+        assert!(!includes(&ip(16), &ip(8)));
+        assert!(includes(&ip(16), &ip(16)));
+    }
+
+    #[test]
+    fn true_includes_everything() {
+        assert!(includes(&FilterExpr::True, &ip(16)));
+        assert!(includes(&FilterExpr::True, &own().and(ip(16))));
+        assert!(!includes(&ip(16), &FilterExpr::True));
+    }
+
+    #[test]
+    fn or_widens_and_narrows() {
+        // The paper's running example: OWN_FLOWS OR IP_DST 10.13/16.
+        let granted = own().or(ip(16));
+        assert!(includes(&granted, &ip(16)));
+        assert!(includes(&granted, &own()));
+        assert!(includes(&granted, &ip(24)));
+        assert!(!includes(&granted, &ip(8)), "wider subnet not covered");
+        assert!(!includes(&ip(16), &granted));
+    }
+
+    #[test]
+    fn and_narrows() {
+        let a = ip(16).and(maxprio(10));
+        assert!(includes(&ip(16), &a));
+        assert!(includes(&maxprio(10), &a));
+        assert!(!includes(&a, &ip(16)));
+        assert!(includes(&a, &ip(24).and(maxprio(5))));
+        assert!(!includes(&a, &ip(24).and(maxprio(20))));
+    }
+
+    #[test]
+    fn different_dimensions_are_independent() {
+        assert!(!includes(&own(), &ip(16)));
+        assert!(!includes(&ip(16), &own()));
+    }
+
+    #[test]
+    fn distributivity_respected() {
+        // (A OR B) AND C  ≡  (A AND C) OR (B AND C)
+        let lhs = own().or(ip(16)).and(maxprio(10));
+        let rhs = own().and(maxprio(10)).or(ip(16).and(maxprio(10)));
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn de_morgan_respected() {
+        // NOT (A OR B) ≡ NOT A AND NOT B
+        let lhs = own().or(ip(16)).not();
+        let rhs = own().not().and(ip(16).not());
+        assert!(equivalent(&lhs, &rhs));
+        // Double negation.
+        assert!(equivalent(&ip(16).not().not(), &ip(16)));
+    }
+
+    #[test]
+    fn negated_literal_inclusion() {
+        // ¬narrow includes ¬wide (complement flips inclusion).
+        let not_wide = ip(8).not();
+        let not_narrow = ip(16).not();
+        assert!(includes(&not_narrow, &not_wide));
+        assert!(!includes(&not_wide, &not_narrow));
+    }
+
+    #[test]
+    fn mixed_polarity_never_provable() {
+        // Under vacuous-pass semantics, ¬(10.13/16) does NOT include
+        // 10.14/16 even though the subnets are disjoint: an attribute-free
+        // call (e.g. read_topology) passes 10.14/16 vacuously but fails the
+        // negation. The algebra must answer false.
+        let not_13 = ip(16).not();
+        let in_14 = ip_at(10, 14, 16);
+        assert!(!includes(&not_13, &in_14));
+        assert!(!includes(&not_13, &ip(24)));
+        // Same for priority bounds.
+        let lhs = maxprio(5).not();
+        let rhs = FilterExpr::atom(SingletonFilter::MinPriority(6));
+        assert!(!includes(&lhs, &rhs));
+    }
+
+    #[test]
+    fn cnf_dnf_shapes() {
+        let e = own().or(ip(16)).and(maxprio(10));
+        let cnf = to_cnf(&e).unwrap();
+        // (own ∨ ip) ∧ (maxprio): two clauses.
+        assert_eq!(cnf.len(), 2);
+        let dnf = to_dnf(&e).unwrap();
+        // (own ∧ maxprio) ∨ (ip ∧ maxprio): two terms of two literals.
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn degenerate_forms() {
+        assert_eq!(
+            to_cnf(&FilterExpr::True).unwrap(),
+            Vec::<Vec<Literal>>::new()
+        );
+        assert_eq!(
+            to_dnf(&FilterExpr::True).unwrap(),
+            vec![Vec::<Literal>::new()]
+        );
+        let f = FilterExpr::True.not();
+        assert_eq!(to_cnf(&f).unwrap(), vec![Vec::<Literal>::new()]);
+        assert_eq!(to_dnf(&f).unwrap(), Vec::<Vec<Literal>>::new());
+        // False is included in everything; nothing (but true) includes… false
+        // includes false.
+        assert!(includes(&ip(16), &f));
+        assert!(includes(&f, &f));
+        assert!(!includes(&f, &ip(16)));
+    }
+
+    #[test]
+    fn blowup_is_bounded() {
+        // Build (a1 ∨ b1) ∧ (a2 ∨ b2) ∧ … deep enough that DNF explodes past
+        // the cap; includes() must answer false, not hang or panic.
+        let mut expr = FilterExpr::True;
+        for i in 0..16 {
+            let a = ip_at(10, i as u8, 24);
+            let b = ip_at(172, i as u8, 24);
+            expr = expr.and(a.or(b));
+        }
+        assert_eq!(to_dnf(&expr), None);
+        assert!(!includes(&ip(8), &expr));
+        // CNF of the same expression is small and fine.
+        assert!(to_cnf(&expr).is_some());
+    }
+
+    #[test]
+    fn inclusion_is_transitive_on_samples() {
+        let wide = ip(8);
+        let mid = ip(16);
+        let narrow = ip(24).and(maxprio(10));
+        assert!(includes(&wide, &mid));
+        assert!(includes(&mid, &narrow));
+        assert!(includes(&wide, &narrow));
+    }
+}

@@ -1,0 +1,810 @@
+//! Permission filters: the fine-grained layer of SDNShield's two-level
+//! permission abstraction (paper §IV-B).
+//!
+//! A *singleton filter* labels an API call true or false according to one
+//! attribute of the call (its flow predicate, its actions, its priority, …).
+//! Filters compose with AND / OR / NOT into [`FilterExpr`]s; a permission is
+//! a token plus a filter expression (`PERM token LIMITING expr`).
+//!
+//! Two relations matter:
+//! * **evaluation** against a concrete [`crate::api::ApiCall`] (see
+//!   [`crate::eval`]);
+//! * **inclusion** between filters, which powers policy reconciliation (see
+//!   [`crate::algebra`]). Singleton inclusion is defined here, per
+//!   dimension.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::types::{DatapathId, Ipv4};
+
+use crate::vtopo::VirtualTopologySpec;
+
+/// A packet header field named by predicate / wildcard / modify filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Field {
+    /// Ingress port.
+    InPort,
+    /// Ethernet source.
+    EthSrc,
+    /// Ethernet destination.
+    EthDst,
+    /// EtherType.
+    EthType,
+    /// VLAN id.
+    VlanId,
+    /// IPv4 source.
+    IpSrc,
+    /// IPv4 destination.
+    IpDst,
+    /// IP protocol.
+    IpProto,
+    /// TCP/UDP source port.
+    TpSrc,
+    /// TCP/UDP destination port.
+    TpDst,
+}
+
+impl Field {
+    /// The language keyword for this field.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Field::InPort => "IN_PORT",
+            Field::EthSrc => "ETH_SRC",
+            Field::EthDst => "ETH_DST",
+            Field::EthType => "ETH_TYPE",
+            Field::VlanId => "VLAN_ID",
+            Field::IpSrc => "IP_SRC",
+            Field::IpDst => "IP_DST",
+            Field::IpProto => "IP_PROTO",
+            Field::TpSrc => "TCP_SRC",
+            Field::TpDst => "TCP_DST",
+        }
+    }
+
+    /// Parses a field keyword (accepting both `TCP_*` and `TP_*` spellings).
+    pub fn from_keyword(s: &str) -> Option<Field> {
+        Some(match s {
+            "IN_PORT" => Field::InPort,
+            "ETH_SRC" | "DL_SRC" => Field::EthSrc,
+            "ETH_DST" | "DL_DST" => Field::EthDst,
+            "ETH_TYPE" | "DL_TYPE" => Field::EthType,
+            "VLAN_ID" => Field::VlanId,
+            "IP_SRC" | "NW_SRC" => Field::IpSrc,
+            "IP_DST" | "NW_DST" => Field::IpDst,
+            "IP_PROTO" | "NW_PROTO" => Field::IpProto,
+            "TCP_SRC" | "TP_SRC" | "UDP_SRC" => Field::TpSrc,
+            "TCP_DST" | "TP_DST" | "UDP_DST" => Field::TpDst,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Action constraints (`action_f := DROP | FORWARD | MODIFY field`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionConstraint {
+    /// The rule must drop (no forwarding, no rewrites).
+    Drop,
+    /// The rule must purely forward (no header rewrites).
+    Forward,
+    /// The rule may rewrite only this field (forwarding allowed).
+    Modify(Field),
+}
+
+/// Ownership filters (`owner_f := OWN_FLOWS | ALL_FLOWS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ownership {
+    /// The call may only touch flows the calling app installed.
+    OwnFlows,
+    /// No ownership restriction.
+    AllFlows,
+}
+
+/// Packet-out provenance filters (`pkt_out_f := FROM_PKT_IN | ARBITRARY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PktOutSource {
+    /// Payload must be (a copy of) a packet-in previously delivered to the
+    /// app — prevents fabricated injections.
+    FromPktIn,
+    /// Any payload.
+    Arbitrary,
+}
+
+/// Event-callback capabilities (`callback_f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallbackCap {
+    /// The app may consume events before other apps (interception).
+    EventInterception,
+    /// The app may change its position in the event order.
+    ModifyEventOrder,
+}
+
+/// Statistics granularity (`statistics_f`), ordered from coarse to fine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StatsLevel {
+    /// Whole-switch (table) counters only.
+    SwitchLevel,
+    /// Per-port counters.
+    PortLevel,
+    /// Per-flow counters (finest).
+    FlowLevel,
+}
+
+/// A physical-topology filter: the switches and links an app may see/touch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhysTopoFilter {
+    /// Visible switch datapath ids.
+    pub switches: BTreeSet<u64>,
+    /// Visible undirected links, as (smaller, larger) dpid pairs.
+    pub links: BTreeSet<(u64, u64)>,
+}
+
+impl PhysTopoFilter {
+    /// Builds a filter from switch ids and link endpoint pairs (order of the
+    /// endpoints is normalized).
+    pub fn new(
+        switches: impl IntoIterator<Item = u64>,
+        links: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        PhysTopoFilter {
+            switches: switches.into_iter().collect(),
+            links: links
+                .into_iter()
+                .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                .collect(),
+        }
+    }
+
+    /// Is the switch visible?
+    pub fn contains_switch(&self, dpid: DatapathId) -> bool {
+        self.switches.contains(&dpid.0)
+    }
+
+    /// Is the link visible?
+    pub fn contains_link(&self, a: DatapathId, b: DatapathId) -> bool {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.links.contains(&key)
+    }
+
+    /// Does this filter expose at least everything `other` exposes?
+    pub fn includes(&self, other: &PhysTopoFilter) -> bool {
+        self.switches.is_superset(&other.switches) && self.links.is_superset(&other.links)
+    }
+}
+
+/// The dimension a singleton filter inspects. Filters on different
+/// dimensions are independent: neither can include the other (paper's
+/// Algorithm 1, step 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Flow predicate (any combination of match fields).
+    Predicate,
+    /// Wildcard requirement on one field.
+    Wildcard(Field),
+    /// Action constraint.
+    Action,
+    /// Rule ownership.
+    Ownership,
+    /// Maximum rule priority.
+    MaxPriority,
+    /// Minimum rule priority.
+    MinPriority,
+    /// Rule-count quota.
+    RuleCount,
+    /// Packet-out provenance.
+    PktOut,
+    /// Physical topology visibility.
+    PhysTopo,
+    /// Virtual topology mapping.
+    VirtTopo,
+    /// Callback capability.
+    Callback,
+    /// Statistics granularity.
+    Stats,
+    /// An unexpanded stub macro (no defined dimension until expanded).
+    Stub(String),
+}
+
+/// A singleton filter: one constraint on one attribute of an API call
+/// (paper §IV-B-a).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SingletonFilter {
+    /// Predicate filter: the call's flow space must stay within this match.
+    Pred(FlowMatch),
+    /// Wildcard filter: the given bits of `field` must remain wildcarded in
+    /// issued rules (paper's load-balancer example).
+    Wildcard {
+        /// The constrained field (IP fields support partial masks).
+        field: Field,
+        /// Bits that must NOT be matched on (1 = must stay wildcard).
+        mask: u32,
+    },
+    /// Action filter.
+    Action(ActionConstraint),
+    /// Ownership filter.
+    Ownership(Ownership),
+    /// Upper bound on rule priority.
+    MaxPriority(u16),
+    /// Lower bound on rule priority.
+    MinPriority(u16),
+    /// Per-app, per-switch rule-count quota.
+    MaxRuleCount(u32),
+    /// Packet-out provenance filter.
+    PktOut(PktOutSource),
+    /// Physical topology filter.
+    PhysTopo(PhysTopoFilter),
+    /// Virtual topology filter (big switches).
+    VirtTopo(VirtualTopologySpec),
+    /// Callback capability filter.
+    Callback(CallbackCap),
+    /// Statistics granularity filter.
+    Stats(StatsLevel),
+    /// An administrator-completed stub macro (paper §V-A "Permission
+    /// Customization"). Must be expanded before evaluation.
+    Stub(String),
+}
+
+impl SingletonFilter {
+    /// The dimension this filter inspects.
+    pub fn dimension(&self) -> Dimension {
+        match self {
+            SingletonFilter::Pred(_) => Dimension::Predicate,
+            SingletonFilter::Wildcard { field, .. } => Dimension::Wildcard(*field),
+            SingletonFilter::Action(_) => Dimension::Action,
+            SingletonFilter::Ownership(_) => Dimension::Ownership,
+            SingletonFilter::MaxPriority(_) => Dimension::MaxPriority,
+            SingletonFilter::MinPriority(_) => Dimension::MinPriority,
+            SingletonFilter::MaxRuleCount(_) => Dimension::RuleCount,
+            SingletonFilter::PktOut(_) => Dimension::PktOut,
+            SingletonFilter::PhysTopo(_) => Dimension::PhysTopo,
+            SingletonFilter::VirtTopo(_) => Dimension::VirtTopo,
+            SingletonFilter::Callback(_) => Dimension::Callback,
+            SingletonFilter::Stats(_) => Dimension::Stats,
+            SingletonFilter::Stub(name) => Dimension::Stub(name.clone()),
+        }
+    }
+
+    /// Does this filter allow everything `other` allows?
+    ///
+    /// Only defined within a dimension; filters on different dimensions are
+    /// independent and the answer is `false`. The relation is *sound*: a
+    /// `true` answer guarantees set inclusion of the allowed behaviors.
+    pub fn includes(&self, other: &SingletonFilter) -> bool {
+        use SingletonFilter::*;
+        match (self, other) {
+            (Pred(a), Pred(b)) => a.subsumes(b),
+            (
+                Wildcard {
+                    field: fa,
+                    mask: ma,
+                },
+                Wildcard {
+                    field: fb,
+                    mask: mb,
+                },
+            ) => {
+                // Fewer required-wildcard bits = more rules pass.
+                fa == fb && (ma & mb) == *ma
+            }
+            (Action(a), Action(b)) => a == b,
+            (Ownership(a), Ownership(b)) => {
+                a == b || (*a == self::Ownership::AllFlows && *b == self::Ownership::OwnFlows)
+            }
+            (MaxPriority(a), MaxPriority(b)) => a >= b,
+            (MinPriority(a), MinPriority(b)) => a <= b,
+            (MaxRuleCount(a), MaxRuleCount(b)) => a >= b,
+            (PktOut(a), PktOut(b)) => {
+                a == b || (*a == PktOutSource::Arbitrary && *b == PktOutSource::FromPktIn)
+            }
+            (PhysTopo(a), PhysTopo(b)) => a.includes(b),
+            (VirtTopo(a), VirtTopo(b)) => a == b,
+            (Callback(a), Callback(b)) => a == b,
+            (Stats(a), Stats(b)) => a >= b,
+            // Unexpanded stubs cannot be compared.
+            _ => false,
+        }
+    }
+
+    /// Are the allowed sets of `self` and `other` provably disjoint?
+    ///
+    /// Used when checking whether `NOT a` includes `b`. Sound, not complete:
+    /// `false` means "unknown".
+    pub fn disjoint_with(&self, other: &SingletonFilter) -> bool {
+        use SingletonFilter::*;
+        match (self, other) {
+            (Pred(a), Pred(b)) => !a.overlaps(b),
+            (MaxPriority(a), MinPriority(b)) => b > a,
+            (MinPriority(a), MaxPriority(b)) => a > b,
+            (Action(a), Action(b)) => a != b,
+            (Stats(_), Stats(_)) => false, // levels are nested, never disjoint
+            (PhysTopo(a), PhysTopo(b)) => {
+                a.switches.is_disjoint(&b.switches) && a.links.is_disjoint(&b.links)
+            }
+            _ => false,
+        }
+    }
+
+    /// Convenience constructor: a predicate on an exact IPv4 destination
+    /// subnet, the most common filter in the paper's examples.
+    ///
+    /// Unlike the data-plane match builders, this constrains *only* the
+    /// `ip_dst` field (no implicit EtherType pin): a permission predicate
+    /// bounds one attribute, it does not describe a concrete packet.
+    pub fn ip_dst_prefix(addr: Ipv4, prefix: u8) -> Self {
+        SingletonFilter::Pred(FlowMatch {
+            ip_dst: Some(sdnshield_openflow::flow_match::MaskedIpv4::prefix(
+                addr, prefix,
+            )),
+            ..FlowMatch::default()
+        })
+    }
+
+    /// Like [`SingletonFilter::ip_dst_prefix`] but for the source address.
+    pub fn ip_src_prefix(addr: Ipv4, prefix: u8) -> Self {
+        SingletonFilter::Pred(FlowMatch {
+            ip_src: Some(sdnshield_openflow::flow_match::MaskedIpv4::prefix(
+                addr, prefix,
+            )),
+            ..FlowMatch::default()
+        })
+    }
+}
+
+impl fmt::Display for SingletonFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SingletonFilter::*;
+        match self {
+            Pred(m) => write_pred(m, f),
+            Wildcard { field, mask } => {
+                write!(f, "WILDCARD {} {}", field, Ipv4(*mask))
+            }
+            Action(ActionConstraint::Drop) => write!(f, "ACTION DROP"),
+            Action(ActionConstraint::Forward) => write!(f, "ACTION FORWARD"),
+            Action(ActionConstraint::Modify(field)) => write!(f, "ACTION MODIFY {field}"),
+            Ownership(self::Ownership::OwnFlows) => write!(f, "OWN_FLOWS"),
+            Ownership(self::Ownership::AllFlows) => write!(f, "ALL_FLOWS"),
+            MaxPriority(p) => write!(f, "MAX_PRIORITY {p}"),
+            MinPriority(p) => write!(f, "MIN_PRIORITY {p}"),
+            MaxRuleCount(n) => write!(f, "MAX_RULE_COUNT {n}"),
+            PktOut(PktOutSource::FromPktIn) => write!(f, "FROM_PKT_IN"),
+            PktOut(PktOutSource::Arbitrary) => write!(f, "ARBITRARY"),
+            PhysTopo(t) => {
+                write!(f, "SWITCH ")?;
+                write_list(f, t.switches.iter())?;
+                if !t.links.is_empty() {
+                    write!(f, " LINK ")?;
+                    let mut sep = "";
+                    for (a, b) in &t.links {
+                        write!(f, "{sep}{a}-{b}")?;
+                        sep = ",";
+                    }
+                }
+                Ok(())
+            }
+            VirtTopo(spec) => write!(f, "{spec}"),
+            Callback(CallbackCap::EventInterception) => write!(f, "EVENT_INTERCEPTION"),
+            Callback(CallbackCap::ModifyEventOrder) => write!(f, "MODIFY_EVENT_ORDER"),
+            Stats(StatsLevel::FlowLevel) => write!(f, "FLOW_LEVEL"),
+            Stats(StatsLevel::PortLevel) => write!(f, "PORT_LEVEL"),
+            Stats(StatsLevel::SwitchLevel) => write!(f, "SWITCH_LEVEL"),
+            Stub(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+fn write_list<'a>(f: &mut fmt::Formatter<'_>, items: impl Iterator<Item = &'a u64>) -> fmt::Result {
+    let mut sep = "";
+    for item in items {
+        write!(f, "{sep}{item}")?;
+        sep = ",";
+    }
+    Ok(())
+}
+
+/// Renders a predicate filter in the language's `FIELD value [MASK mask]`
+/// shape, joining multiple constrained fields with AND.
+fn write_pred(m: &FlowMatch, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut sep = "";
+    macro_rules! emit {
+        ($fmt:expr, $($args:expr),*) => {{
+            write!(f, "{sep}")?;
+            write!(f, $fmt, $($args),*)?;
+            sep = " AND ";
+        }};
+    }
+    if let Some(p) = m.in_port {
+        emit!("IN_PORT {}", p.0);
+    }
+    if let Some(a) = m.eth_src {
+        emit!("ETH_SRC {}", a);
+    }
+    if let Some(a) = m.eth_dst {
+        emit!("ETH_DST {}", a);
+    }
+    if let Some(t) = m.eth_type {
+        emit!("ETH_TYPE {}", t);
+    }
+    if let Some(v) = m.vlan_id {
+        emit!("VLAN_ID {}", v);
+    }
+    if let Some(ip) = m.ip_src {
+        if ip.mask.0 == u32::MAX {
+            emit!("IP_SRC {}", ip.addr);
+        } else {
+            emit!("IP_SRC {} MASK {}", ip.addr, ip.mask);
+        }
+    }
+    if let Some(ip) = m.ip_dst {
+        if ip.mask.0 == u32::MAX {
+            emit!("IP_DST {}", ip.addr);
+        } else {
+            emit!("IP_DST {} MASK {}", ip.addr, ip.mask);
+        }
+    }
+    if let Some(p) = m.ip_proto {
+        emit!("IP_PROTO {}", p);
+    }
+    if let Some(p) = m.tp_src {
+        emit!("TCP_SRC {}", p);
+    }
+    if let Some(p) = m.tp_dst {
+        emit!("TCP_DST {}", p);
+    }
+    if sep.is_empty() {
+        // An unconstrained predicate: print a no-op that parses back.
+        write!(f, "ANY")?;
+    }
+    Ok(())
+}
+
+/// A filter expression: singleton filters composed with AND / OR / NOT
+/// (paper §IV-B-b).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// Passes every call (an unfiltered permission).
+    True,
+    /// A singleton filter.
+    Atom(SingletonFilter),
+    /// Conjunction: passes iff all operands pass.
+    And(Vec<FilterExpr>),
+    /// Disjunction: passes iff any operand passes.
+    Or(Vec<FilterExpr>),
+    /// Negation.
+    Not(Box<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// A singleton atom.
+    pub fn atom(f: SingletonFilter) -> Self {
+        FilterExpr::Atom(f)
+    }
+
+    /// Conjunction of two expressions, flattening nested ANDs.
+    pub fn and(self, other: FilterExpr) -> Self {
+        match (self, other) {
+            (FilterExpr::True, x) | (x, FilterExpr::True) => x,
+            (FilterExpr::And(mut a), FilterExpr::And(b)) => {
+                a.extend(b);
+                FilterExpr::And(a)
+            }
+            (FilterExpr::And(mut a), x) => {
+                a.push(x);
+                FilterExpr::And(a)
+            }
+            (x, FilterExpr::And(mut b)) => {
+                b.insert(0, x);
+                FilterExpr::And(b)
+            }
+            (a, b) => FilterExpr::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two expressions, flattening nested ORs.
+    pub fn or(self, other: FilterExpr) -> Self {
+        match (self, other) {
+            (FilterExpr::True, _) | (_, FilterExpr::True) => FilterExpr::True,
+            (FilterExpr::Or(mut a), FilterExpr::Or(b)) => {
+                a.extend(b);
+                FilterExpr::Or(a)
+            }
+            (FilterExpr::Or(mut a), x) => {
+                a.push(x);
+                FilterExpr::Or(a)
+            }
+            (x, FilterExpr::Or(mut b)) => {
+                b.insert(0, x);
+                FilterExpr::Or(b)
+            }
+            (a, b) => FilterExpr::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        FilterExpr::Not(Box::new(self))
+    }
+
+    /// All singleton atoms in the expression.
+    pub fn atoms(&self) -> Vec<&SingletonFilter> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a SingletonFilter>) {
+        match self {
+            FilterExpr::True => {}
+            FilterExpr::Atom(a) => out.push(a),
+            FilterExpr::And(xs) | FilterExpr::Or(xs) => {
+                for x in xs {
+                    x.collect_atoms(out);
+                }
+            }
+            FilterExpr::Not(x) => x.collect_atoms(out),
+        }
+    }
+
+    /// Names of unexpanded stub macros in the expression.
+    pub fn stub_names(&self) -> Vec<&str> {
+        self.atoms()
+            .into_iter()
+            .filter_map(|a| match a {
+                SingletonFilter::Stub(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Replaces stub macros by the given expansion. Returns the rewritten
+    /// expression and whether anything was replaced.
+    pub fn expand_stub(&self, name: &str, replacement: &FilterExpr) -> (FilterExpr, bool) {
+        match self {
+            FilterExpr::Atom(SingletonFilter::Stub(n)) if n == name => (replacement.clone(), true),
+            FilterExpr::True | FilterExpr::Atom(_) => (self.clone(), false),
+            FilterExpr::And(xs) => {
+                let mut any = false;
+                let parts = xs
+                    .iter()
+                    .map(|x| {
+                        let (e, hit) = x.expand_stub(name, replacement);
+                        any |= hit;
+                        e
+                    })
+                    .collect();
+                (FilterExpr::And(parts), any)
+            }
+            FilterExpr::Or(xs) => {
+                let mut any = false;
+                let parts = xs
+                    .iter()
+                    .map(|x| {
+                        let (e, hit) = x.expand_stub(name, replacement);
+                        any |= hit;
+                        e
+                    })
+                    .collect();
+                (FilterExpr::Or(parts), any)
+            }
+            FilterExpr::Not(x) => {
+                let (e, hit) = x.expand_stub(name, replacement);
+                (FilterExpr::Not(Box::new(e)), hit)
+            }
+        }
+    }
+
+    /// Approximate expression size (number of atoms), for workload scaling.
+    pub fn size(&self) -> usize {
+        match self {
+            FilterExpr::True => 0,
+            FilterExpr::Atom(_) => 1,
+            FilterExpr::And(xs) | FilterExpr::Or(xs) => xs.iter().map(FilterExpr::size).sum(),
+            FilterExpr::Not(x) => x.size(),
+        }
+    }
+}
+
+impl From<SingletonFilter> for FilterExpr {
+    fn from(f: SingletonFilter) -> Self {
+        FilterExpr::Atom(f)
+    }
+}
+
+impl fmt::Display for FilterExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterExpr::True => write!(f, "ANY"),
+            FilterExpr::Atom(a) => write!(f, "{a}"),
+            FilterExpr::And(xs) => {
+                let mut sep = "";
+                for x in xs {
+                    write!(f, "{sep}")?;
+                    if matches!(x, FilterExpr::Or(_)) {
+                        write!(f, "( {x} )")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                    sep = " AND ";
+                }
+                Ok(())
+            }
+            FilterExpr::Or(xs) => {
+                let mut sep = "";
+                for x in xs {
+                    write!(f, "{sep}")?;
+                    if matches!(x, FilterExpr::And(_)) {
+                        write!(f, "( {x} )")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                    sep = " OR ";
+                }
+                Ok(())
+            }
+            FilterExpr::Not(x) => {
+                if matches!(**x, FilterExpr::Atom(_) | FilterExpr::True) {
+                    write!(f, "NOT {x}")
+                } else {
+                    write!(f, "NOT ( {x} )")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(prefix: u8) -> SingletonFilter {
+        SingletonFilter::ip_dst_prefix(Ipv4::new(10, 13, 0, 0), prefix)
+    }
+
+    #[test]
+    fn pred_inclusion_follows_subsumption() {
+        assert!(pred(8).includes(&pred(16)));
+        assert!(!pred(16).includes(&pred(8)));
+        assert!(pred(16).includes(&pred(16)));
+    }
+
+    #[test]
+    fn different_dimensions_never_include() {
+        let a = pred(16);
+        let b = SingletonFilter::MaxPriority(10);
+        assert!(!a.includes(&b));
+        assert!(!b.includes(&a));
+        assert_ne!(a.dimension(), b.dimension());
+    }
+
+    #[test]
+    fn wildcard_inclusion() {
+        let loose = SingletonFilter::Wildcard {
+            field: Field::IpDst,
+            mask: 0xff00_0000,
+        };
+        let strict = SingletonFilter::Wildcard {
+            field: Field::IpDst,
+            mask: 0xffff_ff00,
+        };
+        // Requiring fewer wildcard bits admits more rules.
+        assert!(loose.includes(&strict));
+        assert!(!strict.includes(&loose));
+        let other_field = SingletonFilter::Wildcard {
+            field: Field::IpSrc,
+            mask: 0xff00_0000,
+        };
+        assert!(!loose.includes(&other_field));
+    }
+
+    #[test]
+    fn ownership_and_pktout_lattices() {
+        use SingletonFilter::*;
+        assert!(
+            Ownership(self::Ownership::AllFlows).includes(&Ownership(self::Ownership::OwnFlows))
+        );
+        assert!(
+            !Ownership(self::Ownership::OwnFlows).includes(&Ownership(self::Ownership::AllFlows))
+        );
+        assert!(PktOut(PktOutSource::Arbitrary).includes(&PktOut(PktOutSource::FromPktIn)));
+        assert!(!PktOut(PktOutSource::FromPktIn).includes(&PktOut(PktOutSource::Arbitrary)));
+    }
+
+    #[test]
+    fn priority_and_quota_inclusion() {
+        use SingletonFilter::*;
+        assert!(MaxPriority(100).includes(&MaxPriority(50)));
+        assert!(!MaxPriority(50).includes(&MaxPriority(100)));
+        assert!(MinPriority(10).includes(&MinPriority(20)));
+        assert!(MaxRuleCount(1000).includes(&MaxRuleCount(10)));
+    }
+
+    #[test]
+    fn stats_level_lattice() {
+        use SingletonFilter::Stats;
+        assert!(Stats(StatsLevel::FlowLevel).includes(&Stats(StatsLevel::PortLevel)));
+        assert!(Stats(StatsLevel::PortLevel).includes(&Stats(StatsLevel::SwitchLevel)));
+        assert!(Stats(StatsLevel::FlowLevel).includes(&Stats(StatsLevel::SwitchLevel)));
+        assert!(!Stats(StatsLevel::SwitchLevel).includes(&Stats(StatsLevel::FlowLevel)));
+    }
+
+    #[test]
+    fn phys_topo_inclusion() {
+        let big = SingletonFilter::PhysTopo(PhysTopoFilter::new([1, 2, 3], [(1, 2), (2, 3)]));
+        let small = SingletonFilter::PhysTopo(PhysTopoFilter::new([1, 2], [(1, 2)]));
+        assert!(big.includes(&small));
+        assert!(!small.includes(&big));
+        // Link order is normalized.
+        let reversed = SingletonFilter::PhysTopo(PhysTopoFilter::new([1, 2], [(2, 1)]));
+        assert!(big.includes(&reversed));
+    }
+
+    #[test]
+    fn stub_never_includes() {
+        let s = SingletonFilter::Stub("AdminRange".into());
+        assert!(!s.includes(&s.clone()));
+        assert_eq!(s.dimension(), Dimension::Stub("AdminRange".into()));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = SingletonFilter::ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16);
+        let b = SingletonFilter::ip_dst_prefix(Ipv4::new(10, 14, 0, 0), 16);
+        assert!(a.disjoint_with(&b));
+        assert!(!a.disjoint_with(&a.clone()));
+        assert!(SingletonFilter::MaxPriority(5).disjoint_with(&SingletonFilter::MinPriority(6)));
+        assert!(!SingletonFilter::MaxPriority(5).disjoint_with(&SingletonFilter::MinPriority(5)));
+    }
+
+    #[test]
+    fn expr_construction_flattens() {
+        let e = FilterExpr::atom(pred(16))
+            .and(FilterExpr::atom(SingletonFilter::MaxPriority(10)))
+            .and(FilterExpr::atom(SingletonFilter::Ownership(
+                Ownership::OwnFlows,
+            )));
+        match &e {
+            FilterExpr::And(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(e.size(), 3);
+        // True is the identity of AND and absorbing for OR.
+        assert_eq!(FilterExpr::True.and(FilterExpr::atom(pred(8))).size(), 1);
+        assert_eq!(
+            FilterExpr::True.or(FilterExpr::atom(pred(8))),
+            FilterExpr::True
+        );
+    }
+
+    #[test]
+    fn stub_expansion() {
+        let e = FilterExpr::atom(SingletonFilter::Stub("AdminRange".into()))
+            .and(FilterExpr::atom(SingletonFilter::MaxPriority(10)));
+        assert_eq!(e.stub_names(), vec!["AdminRange"]);
+        let replacement = FilterExpr::atom(pred(16));
+        let (expanded, hit) = e.expand_stub("AdminRange", &replacement);
+        assert!(hit);
+        assert!(expanded.stub_names().is_empty());
+        let (_, miss) = e.expand_stub("Nope", &replacement);
+        assert!(!miss);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let e = FilterExpr::atom(SingletonFilter::Ownership(Ownership::OwnFlows))
+            .or(FilterExpr::atom(pred(16)).and(FilterExpr::atom(SingletonFilter::MaxPriority(7))));
+        let s = e.to_string();
+        assert!(
+            s.contains("OWN_FLOWS OR ( IP_DST 10.13.0.0 MASK 255.255.0.0 AND MAX_PRIORITY 7 )"),
+            "{s}"
+        );
+        let n = FilterExpr::atom(pred(16)).not();
+        assert_eq!(n.to_string(), "NOT IP_DST 10.13.0.0 MASK 255.255.0.0");
+    }
+}

@@ -1,0 +1,521 @@
+//! Accommodating high-level SDN languages (paper §VI-C).
+//!
+//! Declarative policy languages (Frenetic, Pyretic, NetKAT) compile to
+//! low-level OpenFlow rules, where SDNShield's access control can be
+//! enforced — but after composition "the source app of an OpenFlow
+//! instruction can become ambiguous". The paper's proposed fix, left as
+//! future work, is to (1) make the compiler track ownership at a finer
+//! granularity during policy composition and expose it to SDNShield, and
+//! (2) let SDNShield split composed rules and check each owner's share.
+//!
+//! This module implements a working prototype of exactly that: a miniature
+//! Pyretic-style combinator language ([`Pol`]), a compiler producing
+//! ownership-annotated rules ([`OwnedRule`]), and a checker that evaluates
+//! every compiled rule against *each* contributing owner's permission
+//! engine ([`check_composed`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::api::{ApiCall, ApiCallKind, AppId};
+use crate::engine::{Decision, PermissionEngine};
+use crate::eval::CheckContext;
+use sdnshield_openflow::actions::{Action, ActionList};
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::FlowMod;
+use sdnshield_openflow::types::{DatapathId, PortNo, Priority};
+
+/// A miniature declarative forwarding policy.
+///
+/// Composition mirrors Pyretic: `Seq` is sequential composition (refine the
+/// packet set, then act), `Par` is parallel composition (both branches
+/// apply). `Owned` tags a sub-policy with its authoring app — the
+/// fine-grained ownership the paper asks the compiler to track.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pol {
+    /// Pass only packets matching the predicate.
+    Filter(FlowMatch),
+    /// Forward out a port.
+    Fwd(PortNo),
+    /// Drop.
+    Drop,
+    /// Sequential composition: `p1 >> p2 >> …`.
+    Seq(Vec<Pol>),
+    /// Parallel composition: `p1 + p2 + …`.
+    Par(Vec<Pol>),
+    /// Ownership annotation: everything below was authored by `app`.
+    Owned(AppId, Box<Pol>),
+}
+
+impl Pol {
+    /// `self >> other`.
+    pub fn seq(self, other: Pol) -> Pol {
+        match self {
+            Pol::Seq(mut xs) => {
+                xs.push(other);
+                Pol::Seq(xs)
+            }
+            x => Pol::Seq(vec![x, other]),
+        }
+    }
+
+    /// `self + other`.
+    pub fn par(self, other: Pol) -> Pol {
+        match self {
+            Pol::Par(mut xs) => {
+                xs.push(other);
+                Pol::Par(xs)
+            }
+            x => Pol::Par(vec![x, other]),
+        }
+    }
+
+    /// Tags this policy as authored by `app`.
+    pub fn owned_by(self, app: AppId) -> Pol {
+        Pol::Owned(app, Box::new(self))
+    }
+}
+
+impl fmt::Display for Pol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pol::Filter(m) => write!(f, "filter({m})"),
+            Pol::Fwd(p) => write!(f, "fwd({p})"),
+            Pol::Drop => write!(f, "drop"),
+            Pol::Seq(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" >> "))
+            }
+            Pol::Par(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" + "))
+            }
+            Pol::Owned(app, p) => write!(f, "[{app}]{p}"),
+        }
+    }
+}
+
+/// One compiled rule with the apps whose policy fragments produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedRule {
+    /// Every app that contributed to this rule during composition.
+    pub owners: BTreeSet<AppId>,
+    /// The packet set.
+    pub flow_match: FlowMatch,
+    /// The actions (empty = drop).
+    pub actions: ActionList,
+}
+
+impl OwnedRule {
+    /// Lowers to a flow-mod at the given priority.
+    pub fn to_flow_mod(&self, priority: Priority) -> FlowMod {
+        FlowMod::add(self.flow_match.clone(), priority, self.actions.clone())
+    }
+}
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Sequential composition produced an unsatisfiable packet set.
+    EmptyIntersection,
+    /// A `Seq` chained two forwarding stages (unsupported in this mini
+    /// language: actions terminate a sequential pipeline).
+    ActionBeforeEndOfSeq,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyIntersection => {
+                write!(f, "sequential composition matches no packets")
+            }
+            CompileError::ActionBeforeEndOfSeq => {
+                write!(
+                    f,
+                    "forwarding stage must be last in a sequential composition"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An intermediate compiled fragment: a guarded action set with owners.
+#[derive(Debug, Clone)]
+struct Fragment {
+    owners: BTreeSet<AppId>,
+    guard: FlowMatch,
+    actions: Vec<Action>,
+    /// Whether an action stage has been reached (no further Seq refinement).
+    terminated: bool,
+}
+
+/// Compiles a policy into ownership-annotated rules.
+///
+/// Semantics: a packet is processed by every `Par` branch independently;
+/// within a `Seq`, `Filter`s intersect the guard and the final `Fwd`/`Drop`
+/// fixes the action.
+///
+/// # Errors
+///
+/// [`CompileError`] on unsatisfiable or ill-formed compositions.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::api::AppId;
+/// use sdnshield_core::hll::{compile, Pol};
+/// use sdnshield_openflow::flow_match::FlowMatch;
+/// use sdnshield_openflow::types::{Ipv4, PortNo};
+///
+/// // (monitor's filter >> fwd(1)) + (router's fwd(2))
+/// let policy = Pol::Filter(FlowMatch::default().with_tp_dst(80))
+///     .seq(Pol::Fwd(PortNo(1)))
+///     .owned_by(AppId(1))
+///     .par(Pol::Fwd(PortNo(2)).owned_by(AppId(2)));
+/// let rules = compile(&policy)?;
+/// assert_eq!(rules.len(), 2);
+/// # Ok::<(), sdnshield_core::hll::CompileError>(())
+/// ```
+pub fn compile(policy: &Pol) -> Result<Vec<OwnedRule>, CompileError> {
+    let fragments = compile_rec(
+        policy,
+        Fragment {
+            owners: BTreeSet::new(),
+            guard: FlowMatch::any(),
+            actions: Vec::new(),
+            terminated: false,
+        },
+    )?;
+    Ok(fragments
+        .into_iter()
+        .map(|f| OwnedRule {
+            owners: f.owners,
+            flow_match: f.guard,
+            actions: ActionList(f.actions),
+        })
+        .collect())
+}
+
+fn compile_rec(policy: &Pol, ctx: Fragment) -> Result<Vec<Fragment>, CompileError> {
+    match policy {
+        Pol::Filter(m) => {
+            if ctx.terminated {
+                return Err(CompileError::ActionBeforeEndOfSeq);
+            }
+            let guard = ctx
+                .guard
+                .intersect(m)
+                .ok_or(CompileError::EmptyIntersection)?;
+            Ok(vec![Fragment { guard, ..ctx }])
+        }
+        Pol::Fwd(port) => {
+            if ctx.terminated {
+                return Err(CompileError::ActionBeforeEndOfSeq);
+            }
+            let mut actions = ctx.actions.clone();
+            actions.push(Action::Output(*port));
+            Ok(vec![Fragment {
+                actions,
+                terminated: true,
+                ..ctx
+            }])
+        }
+        Pol::Drop => {
+            if ctx.terminated {
+                return Err(CompileError::ActionBeforeEndOfSeq);
+            }
+            Ok(vec![Fragment {
+                actions: Vec::new(),
+                terminated: true,
+                ..ctx
+            }])
+        }
+        Pol::Seq(stages) => {
+            let mut current = vec![ctx];
+            for stage in stages {
+                let mut next = Vec::new();
+                for frag in current {
+                    next.extend(compile_rec(stage, frag)?);
+                }
+                current = next;
+            }
+            Ok(current)
+        }
+        Pol::Par(branches) => {
+            let mut out = Vec::new();
+            for branch in branches {
+                out.extend(compile_rec(branch, ctx.clone())?);
+            }
+            Ok(out)
+        }
+        Pol::Owned(app, inner) => {
+            let mut ctx = ctx;
+            ctx.owners.insert(*app);
+            compile_rec(inner, ctx)
+        }
+    }
+}
+
+/// The verdict for one compiled rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleVerdict {
+    /// The rule.
+    pub rule: OwnedRule,
+    /// Denials per owner (empty = every owner authorized, rule may install).
+    pub denials: Vec<(AppId, Decision)>,
+}
+
+impl RuleVerdict {
+    /// May the rule be installed?
+    pub fn permitted(&self) -> bool {
+        self.denials.is_empty()
+    }
+}
+
+/// Checks a compiled rule set against each owner's permission engine
+/// (the paper's "split the rule and feed them to the permission engine
+/// respectively").
+///
+/// A rule with no `Owned` annotation anywhere is attributed to
+/// `default_owner` (the app that submitted the composed policy).
+pub fn check_composed(
+    rules: &[OwnedRule],
+    dpid: DatapathId,
+    priority: Priority,
+    engines: &BTreeMap<AppId, &PermissionEngine>,
+    default_owner: AppId,
+    ctx: &dyn CheckContext,
+) -> Vec<RuleVerdict> {
+    rules
+        .iter()
+        .map(|rule| {
+            let owners: Vec<AppId> = if rule.owners.is_empty() {
+                vec![default_owner]
+            } else {
+                rule.owners.iter().copied().collect()
+            };
+            let mut denials = Vec::new();
+            for owner in owners {
+                let call = ApiCall::new(
+                    owner,
+                    ApiCallKind::InsertFlow {
+                        dpid,
+                        flow_mod: rule.to_flow_mod(priority),
+                    },
+                );
+                match engines.get(&owner) {
+                    Some(engine) => {
+                        let decision = engine.check(&call, ctx);
+                        if !decision.is_allowed() {
+                            denials.push((owner, decision));
+                        }
+                    }
+                    None => denials.push((
+                        owner,
+                        Decision::Denied {
+                            token: crate::token::PermissionToken::InsertFlow,
+                            reason: crate::engine::DenyReason::MissingToken,
+                        },
+                    )),
+                }
+            }
+            RuleVerdict {
+                rule: rule.clone(),
+                denials,
+            }
+        })
+        .collect()
+}
+
+/// Partial enforcement (the paper's envisioned extension): keep exactly the
+/// permitted rules from a composed policy, dropping (and reporting) the
+/// rest.
+pub fn permitted_rules(verdicts: Vec<RuleVerdict>) -> (Vec<OwnedRule>, Vec<RuleVerdict>) {
+    let mut ok = Vec::new();
+    let mut rejected = Vec::new();
+    for v in verdicts {
+        if v.permitted() {
+            ok.push(v.rule);
+        } else {
+            rejected.push(v);
+        }
+    }
+    (ok, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NullContext;
+    use crate::lang::parse_manifest;
+    use sdnshield_openflow::types::Ipv4;
+
+    fn http() -> FlowMatch {
+        FlowMatch::default().with_tp_dst(80)
+    }
+
+    fn subnet() -> FlowMatch {
+        FlowMatch {
+            ip_dst: Some(sdnshield_openflow::flow_match::MaskedIpv4::prefix(
+                Ipv4::new(10, 13, 0, 0),
+                16,
+            )),
+            ..FlowMatch::default()
+        }
+    }
+
+    #[test]
+    fn seq_intersects_guards() {
+        let p = Pol::Filter(http())
+            .seq(Pol::Filter(subnet()))
+            .seq(Pol::Fwd(PortNo(1)));
+        let rules = compile(&p).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].flow_match.tp_dst, Some(80));
+        assert!(rules[0].flow_match.ip_dst.is_some());
+        assert_eq!(rules[0].actions, ActionList::output(PortNo(1)));
+    }
+
+    #[test]
+    fn par_produces_one_rule_per_branch() {
+        let p = Pol::Filter(http())
+            .seq(Pol::Fwd(PortNo(1)))
+            .par(Pol::Filter(subnet()).seq(Pol::Drop));
+        let rules = compile(&p).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules[1].actions.is_drop());
+    }
+
+    #[test]
+    fn unsatisfiable_seq_rejected() {
+        let p = Pol::Filter(http())
+            .seq(Pol::Filter(FlowMatch::default().with_tp_dst(443)))
+            .seq(Pol::Fwd(PortNo(1)));
+        assert_eq!(compile(&p).unwrap_err(), CompileError::EmptyIntersection);
+    }
+
+    #[test]
+    fn action_must_terminate_seq() {
+        let p = Pol::Fwd(PortNo(1)).seq(Pol::Filter(http()));
+        assert_eq!(compile(&p).unwrap_err(), CompileError::ActionBeforeEndOfSeq);
+    }
+
+    #[test]
+    fn ownership_merges_through_composition() {
+        // Monitor's filter composed with router's forwarding: the compiled
+        // rule has BOTH owners — the ambiguity the paper describes, made
+        // explicit.
+        let p = Pol::Filter(subnet())
+            .owned_by(AppId(1))
+            .seq(Pol::Fwd(PortNo(2)).owned_by(AppId(2)));
+        let rules = compile(&p).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].owners, [AppId(1), AppId(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn composed_check_requires_every_owner() {
+        let p = Pol::Filter(subnet())
+            .owned_by(AppId(1))
+            .seq(Pol::Fwd(PortNo(2)).owned_by(AppId(2)));
+        let rules = compile(&p).unwrap();
+
+        let permissive = PermissionEngine::compile(&parse_manifest("PERM insert_flow").unwrap());
+        let restricted = PermissionEngine::compile(
+            &parse_manifest("PERM insert_flow LIMITING IP_DST 172.16.0.0 MASK 255.255.0.0")
+                .unwrap(),
+        );
+        // Both owners permissive → permitted.
+        let engines: BTreeMap<AppId, &PermissionEngine> =
+            [(AppId(1), &permissive), (AppId(2), &permissive)].into();
+        let verdicts = check_composed(
+            &rules,
+            DatapathId(1),
+            Priority(10),
+            &engines,
+            AppId(1),
+            &NullContext,
+        );
+        assert!(verdicts.iter().all(RuleVerdict::permitted));
+
+        // One owner out of scope → the composed rule is denied, naming the
+        // offending owner.
+        let engines: BTreeMap<AppId, &PermissionEngine> =
+            [(AppId(1), &permissive), (AppId(2), &restricted)].into();
+        let verdicts = check_composed(
+            &rules,
+            DatapathId(1),
+            Priority(10),
+            &engines,
+            AppId(1),
+            &NullContext,
+        );
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].permitted());
+        assert_eq!(verdicts[0].denials.len(), 1);
+        assert_eq!(verdicts[0].denials[0].0, AppId(2));
+    }
+
+    #[test]
+    fn partial_enforcement_keeps_permitted_branches() {
+        // Two parallel branches from different owners; only one is in scope.
+        let p = Pol::Filter(subnet())
+            .seq(Pol::Fwd(PortNo(1)))
+            .owned_by(AppId(1))
+            .par(
+                Pol::Filter(FlowMatch::default().with_tp_dst(23))
+                    .seq(Pol::Fwd(PortNo(2)))
+                    .owned_by(AppId(2)),
+            );
+        let rules = compile(&p).unwrap();
+        let in_scope = PermissionEngine::compile(
+            &parse_manifest("PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0").unwrap(),
+        );
+        let engines: BTreeMap<AppId, &PermissionEngine> =
+            [(AppId(1), &in_scope), (AppId(2), &in_scope)].into();
+        let verdicts = check_composed(
+            &rules,
+            DatapathId(1),
+            Priority(10),
+            &engines,
+            AppId(1),
+            &NullContext,
+        );
+        let (ok, rejected) = permitted_rules(verdicts);
+        assert_eq!(ok.len(), 1, "the subnet branch survives");
+        assert_eq!(rejected.len(), 1, "the telnet branch is rejected");
+        assert_eq!(rejected[0].denials[0].0, AppId(2));
+    }
+
+    #[test]
+    fn unowned_rules_fall_back_to_submitter() {
+        let p = Pol::Filter(http()).seq(Pol::Fwd(PortNo(1)));
+        let rules = compile(&p).unwrap();
+        let engines: BTreeMap<AppId, &PermissionEngine> = BTreeMap::new();
+        let verdicts = check_composed(
+            &rules,
+            DatapathId(1),
+            Priority(10),
+            &engines,
+            AppId(7),
+            &NullContext,
+        );
+        // Unknown submitter → denied with MissingToken.
+        assert!(!verdicts[0].permitted());
+        assert_eq!(verdicts[0].denials[0].0, AppId(7));
+    }
+
+    #[test]
+    fn display_renders_composition() {
+        let p = Pol::Filter(http())
+            .seq(Pol::Fwd(PortNo(1)))
+            .owned_by(AppId(1))
+            .par(Pol::Drop.owned_by(AppId(2)));
+        let s = p.to_string();
+        assert!(s.contains(">>"), "{s}");
+        assert!(s.contains('+'), "{s}");
+        assert!(s.contains("[app:1]"), "{s}");
+    }
+}

@@ -1,0 +1,612 @@
+//! Parser for the SDNShield permission language (paper Appendix A).
+//!
+//! ```text
+//! manifest    := perm*
+//! perm        := PERM token | PERM token LIMITING filter_expr
+//! filter_expr := filter_expr AND/OR filter | NOT filter_expr
+//!              | ( filter_expr ) | filter
+//! filter      := pred_f | action_f | owner_f | priority_f | table_size_f
+//!              | pkt_out_f | topo_f | callback_f | statistics_f | stub
+//! ```
+//!
+//! Deviations from the paper's figure, documented here:
+//! * links in `phy_topo_f` are written `a-b` endpoint pairs instead of opaque
+//!   link indices (`LINK 1-2,2-3`), which keeps manifests self-contained;
+//! * `ANY` is accepted as the no-op filter (handy for tests and printing);
+//! * an optional `ACTION` keyword may precede `DROP | FORWARD | MODIFY`,
+//!   matching the paper's §VII examples.
+
+use sdnshield_openflow::flow_match::{FlowMatch, MaskedIpv4};
+use sdnshield_openflow::types::Ipv4;
+
+use crate::filter::{
+    ActionConstraint, CallbackCap, Field, FilterExpr, Ownership, PhysTopoFilter, PktOutSource,
+    SingletonFilter, StatsLevel,
+};
+use crate::lex::{lex, Cursor, SyntaxError, Tok, Token};
+use crate::perm::{Permission, PermissionSet};
+use crate::token::PermissionToken;
+use crate::vtopo::{VirtualSwitchDef, VirtualTopologySpec};
+
+/// Parses a permission manifest: a sequence of `PERM …` declarations.
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] with position information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::lang::parse_manifest;
+/// use sdnshield_core::token::PermissionToken;
+///
+/// let manifest = parse_manifest(
+///     "PERM read_flow_table LIMITING OWN_FLOWS OR \\
+///          IP_DST 10.13.0.0 MASK 255.255.0.0\n\
+///      PERM read_statistics",
+/// )?;
+/// assert!(manifest.contains_token(PermissionToken::ReadFlowTable));
+/// assert!(manifest.contains_token(PermissionToken::ReadStatistics));
+/// # Ok::<(), sdnshield_core::lex::SyntaxError>(())
+/// ```
+pub fn parse_manifest(src: &str) -> Result<PermissionSet, SyntaxError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let mut set = PermissionSet::new();
+    while !cur.at_end() {
+        set.insert(parse_perm(&mut cur)?);
+    }
+    Ok(set)
+}
+
+/// Parses a single `PERM …` declaration.
+pub(crate) fn parse_perm(cur: &mut Cursor) -> Result<Permission, SyntaxError> {
+    cur.expect_word("PERM")?;
+    let tok_word = match cur.next() {
+        Some(Token {
+            tok: Tok::Word(w),
+            line,
+            col,
+        }) => (w, line, col),
+        Some(t) => return Err(SyntaxError::at("expected permission token name", &t)),
+        None => return Err(SyntaxError::eof("expected permission token name")),
+    };
+    let token: PermissionToken = tok_word
+        .0
+        .parse()
+        .map_err(|e| SyntaxError::new(format!("{e}"), tok_word.1, tok_word.2))?;
+    if cur.eat_word("LIMITING") {
+        let filter = parse_filter_expr(cur)?;
+        Ok(Permission::limited(token, filter))
+    } else {
+        Ok(Permission::unrestricted(token))
+    }
+}
+
+/// Parses a filter expression (public entry point, must consume all input).
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] on malformed input or trailing tokens.
+pub fn parse_filter(src: &str) -> Result<FilterExpr, SyntaxError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let expr = parse_filter_expr(&mut cur)?;
+    if let Some(t) = cur.peek() {
+        return Err(SyntaxError::at(format!("unexpected trailing {}", t.tok), t));
+    }
+    Ok(expr)
+}
+
+/// OR-level precedence (lowest).
+pub(crate) fn parse_filter_expr(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
+    let mut expr = parse_and(cur)?;
+    while cur.eat_word("OR") {
+        let rhs = parse_and(cur)?;
+        expr = expr.or(rhs);
+    }
+    Ok(expr)
+}
+
+fn parse_and(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
+    let mut expr = parse_unary(cur)?;
+    while cur.eat_word("AND") {
+        let rhs = parse_unary(cur)?;
+        expr = expr.and(rhs);
+    }
+    Ok(expr)
+}
+
+fn parse_unary(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
+    if cur.eat_word("NOT") {
+        return Ok(parse_unary(cur)?.not());
+    }
+    if cur.eat(&Tok::LParen) {
+        let inner = parse_filter_expr(cur)?;
+        cur.expect(&Tok::RParen)?;
+        return Ok(inner);
+    }
+    parse_singleton(cur)
+}
+
+/// Keywords that terminate a filter expression (so manifests need no
+/// explicit statement separator).
+fn is_singleton_start(w: &str) -> bool {
+    !matches!(
+        w,
+        "PERM"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "LIMITING"
+            | "MASK"
+            | "AS"
+            | "LET"
+            | "ASSERT"
+            | "EITHER"
+            | "MEET"
+            | "JOIN"
+            | "APP"
+            | "FOR"
+    )
+}
+
+fn parse_singleton(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
+    let t = cur
+        .next()
+        .ok_or_else(|| SyntaxError::eof("expected a filter"))?;
+    let word = match &t.tok {
+        Tok::Word(w) if is_singleton_start(w) => w.clone(),
+        other => {
+            return Err(SyntaxError::at(
+                format!("expected a filter, found {other}"),
+                &t,
+            ))
+        }
+    };
+    let filter = match word.as_str() {
+        "ANY" => return Ok(FilterExpr::True),
+        "OWN_FLOWS" => SingletonFilter::Ownership(Ownership::OwnFlows),
+        "ALL_FLOWS" => SingletonFilter::Ownership(Ownership::AllFlows),
+        "FROM_PKT_IN" => SingletonFilter::PktOut(PktOutSource::FromPktIn),
+        "ARBITRARY" => SingletonFilter::PktOut(PktOutSource::Arbitrary),
+        "EVENT_INTERCEPTION" => SingletonFilter::Callback(CallbackCap::EventInterception),
+        "MODIFY_EVENT_ORDER" => SingletonFilter::Callback(CallbackCap::ModifyEventOrder),
+        "FLOW_LEVEL" => SingletonFilter::Stats(StatsLevel::FlowLevel),
+        "PORT_LEVEL" => SingletonFilter::Stats(StatsLevel::PortLevel),
+        "SWITCH_LEVEL" => SingletonFilter::Stats(StatsLevel::SwitchLevel),
+        "MAX_PRIORITY" => SingletonFilter::MaxPriority(expect_u16(cur)?),
+        "MIN_PRIORITY" => SingletonFilter::MinPriority(expect_u16(cur)?),
+        "MAX_RULE_COUNT" => SingletonFilter::MaxRuleCount(expect_u32(cur)?),
+        "DROP" => SingletonFilter::Action(ActionConstraint::Drop),
+        "FORWARD" => SingletonFilter::Action(ActionConstraint::Forward),
+        "MODIFY" => SingletonFilter::Action(ActionConstraint::Modify(expect_field(cur)?)),
+        "ACTION" => {
+            let t = cur
+                .next()
+                .ok_or_else(|| SyntaxError::eof("expected DROP, FORWARD or MODIFY"))?;
+            match &t.tok {
+                Tok::Word(w) if w == "DROP" => SingletonFilter::Action(ActionConstraint::Drop),
+                Tok::Word(w) if w == "FORWARD" => {
+                    SingletonFilter::Action(ActionConstraint::Forward)
+                }
+                Tok::Word(w) if w == "MODIFY" => {
+                    SingletonFilter::Action(ActionConstraint::Modify(expect_field(cur)?))
+                }
+                other => {
+                    return Err(SyntaxError::at(
+                        format!("expected DROP, FORWARD or MODIFY after ACTION, found {other}"),
+                        &t,
+                    ))
+                }
+            }
+        }
+        "WILDCARD" => {
+            let field = expect_field(cur)?;
+            let mask = expect_mask_value(cur)?;
+            SingletonFilter::Wildcard { field, mask }
+        }
+        "SWITCH" => {
+            let switches = parse_int_list(cur)?;
+            let links = if cur.eat_word("LINK") {
+                parse_link_list(cur)?
+            } else {
+                Vec::new()
+            };
+            SingletonFilter::PhysTopo(PhysTopoFilter::new(switches, links))
+        }
+        "VIRTUAL" => parse_virtual(cur)?,
+        // A field keyword starts a predicate filter.
+        w if Field::from_keyword(w).is_some() => {
+            let field = Field::from_keyword(w).expect("checked");
+            parse_pred(cur, field, &t)?
+        }
+        // Anything else is a stub macro left for the administrator.
+        _ => SingletonFilter::Stub(word),
+    };
+    Ok(FilterExpr::Atom(filter))
+}
+
+fn expect_u16(cur: &mut Cursor) -> Result<u16, SyntaxError> {
+    let v = cur.expect_int()?;
+    u16::try_from(v).map_err(|_| SyntaxError::eof(format!("value {v} exceeds 16 bits")))
+}
+
+fn expect_u32(cur: &mut Cursor) -> Result<u32, SyntaxError> {
+    let v = cur.expect_int()?;
+    u32::try_from(v).map_err(|_| SyntaxError::eof(format!("value {v} exceeds 32 bits")))
+}
+
+fn expect_field(cur: &mut Cursor) -> Result<Field, SyntaxError> {
+    let t = cur
+        .next()
+        .ok_or_else(|| SyntaxError::eof("expected a field name"))?;
+    match &t.tok {
+        Tok::Word(w) => Field::from_keyword(w)
+            .ok_or_else(|| SyntaxError::at(format!("unknown field `{w}`"), &t)),
+        other => Err(SyntaxError::at(
+            format!("expected a field name, found {other}"),
+            &t,
+        )),
+    }
+}
+
+/// A wildcard mask value: an IPv4-shaped mask or a plain integer.
+fn expect_mask_value(cur: &mut Cursor) -> Result<u32, SyntaxError> {
+    let t = cur
+        .next()
+        .ok_or_else(|| SyntaxError::eof("expected a mask"))?;
+    match &t.tok {
+        Tok::Ip(ip) => Ok(ip.0),
+        Tok::Int(v) => u32::try_from(*v).map_err(|_| SyntaxError::at("mask exceeds 32 bits", &t)),
+        other => Err(SyntaxError::at(
+            format!("expected a mask, found {other}"),
+            &t,
+        )),
+    }
+}
+
+/// Parses the value (and optional MASK) of a predicate filter on `field`.
+fn parse_pred(cur: &mut Cursor, field: Field, at: &Token) -> Result<SingletonFilter, SyntaxError> {
+    let mut m = FlowMatch::default();
+    let vt = cur
+        .next()
+        .ok_or_else(|| SyntaxError::eof("expected a field value"))?;
+    match field {
+        Field::IpSrc | Field::IpDst => {
+            let addr = match &vt.tok {
+                Tok::Ip(ip) => *ip,
+                Tok::Int(v) => Ipv4(
+                    u32::try_from(*v)
+                        .map_err(|_| SyntaxError::at("IPv4 value exceeds 32 bits", &vt))?,
+                ),
+                other => {
+                    return Err(SyntaxError::at(
+                        format!("expected an IPv4 value, found {other}"),
+                        &vt,
+                    ))
+                }
+            };
+            let mask = if cur.eat_word("MASK") {
+                Ipv4(expect_mask_value(cur)?)
+            } else {
+                Ipv4(u32::MAX)
+            };
+            let masked = MaskedIpv4::new(addr, mask);
+            if field == Field::IpSrc {
+                m.ip_src = Some(masked);
+            } else {
+                m.ip_dst = Some(masked);
+            }
+        }
+        Field::EthSrc | Field::EthDst => {
+            let mac = match &vt.tok {
+                Tok::Mac(mac) => *mac,
+                other => {
+                    return Err(SyntaxError::at(
+                        format!("expected a MAC value, found {other}"),
+                        &vt,
+                    ))
+                }
+            };
+            if field == Field::EthSrc {
+                m.eth_src = Some(mac);
+            } else {
+                m.eth_dst = Some(mac);
+            }
+        }
+        _ => {
+            let v = match &vt.tok {
+                Tok::Int(v) => *v,
+                other => {
+                    return Err(SyntaxError::at(
+                        format!("expected an integer value, found {other}"),
+                        &vt,
+                    ))
+                }
+            };
+            let narrow16 =
+                |v: u64| u16::try_from(v).map_err(|_| SyntaxError::at("value exceeds 16 bits", at));
+            match field {
+                Field::InPort => m.in_port = Some(sdnshield_openflow::types::PortNo(narrow16(v)?)),
+                Field::EthType => m.eth_type = Some(narrow16(v)?),
+                Field::VlanId => m.vlan_id = Some(narrow16(v)?),
+                Field::IpProto => {
+                    m.ip_proto = Some(
+                        u8::try_from(v).map_err(|_| SyntaxError::at("value exceeds 8 bits", at))?,
+                    )
+                }
+                Field::TpSrc => m.tp_src = Some(narrow16(v)?),
+                Field::TpDst => m.tp_dst = Some(narrow16(v)?),
+                Field::IpSrc | Field::IpDst | Field::EthSrc | Field::EthDst => unreachable!(),
+            }
+        }
+    }
+    Ok(SingletonFilter::Pred(m))
+}
+
+fn parse_int_list(cur: &mut Cursor) -> Result<Vec<u64>, SyntaxError> {
+    let mut out = vec![cur.expect_int()?];
+    while cur.eat(&Tok::Comma) {
+        out.push(cur.expect_int()?);
+    }
+    Ok(out)
+}
+
+fn parse_link_list(cur: &mut Cursor) -> Result<Vec<(u64, u64)>, SyntaxError> {
+    let mut out = Vec::new();
+    loop {
+        let a = cur.expect_int()?;
+        cur.expect(&Tok::Dash)?;
+        let b = cur.expect_int()?;
+        out.push((a, b));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_virtual(cur: &mut Cursor) -> Result<SingletonFilter, SyntaxError> {
+    if cur.eat_word("SINGLE_BIG_SWITCH") {
+        // The paper's example allows an optional LINK EXTERNAL_LINKS suffix
+        // stating that external links stay visible; that is the default
+        // behavior here, so the suffix is accepted and ignored.
+        if cur.eat_word("LINK") {
+            cur.expect_word("EXTERNAL_LINKS")?;
+        }
+        return Ok(SingletonFilter::VirtTopo(
+            VirtualTopologySpec::SingleBigSwitch,
+        ));
+    }
+    cur.expect(&Tok::LBrace)?;
+    let mut defs = Vec::new();
+    loop {
+        let members = parse_int_list(cur)?;
+        cur.expect_word("AS")?;
+        let virtual_dpid = cur.expect_int()?;
+        defs.push(VirtualSwitchDef {
+            virtual_dpid,
+            members: members.into_iter().collect(),
+        });
+        if !cur.eat(&Tok::Semi) {
+            break;
+        }
+    }
+    cur.expect(&Tok::RBrace)?;
+    Ok(SingletonFilter::VirtTopo(VirtualTopologySpec::Map(defs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra;
+
+    #[test]
+    fn paper_example_read_flow_table() {
+        // §IV-B: predicate filter on a subnet.
+        let m =
+            parse_manifest("PERM read_flow_table LIMITING \\\n IP_DST 10.13.0.0 MASK 255.255.0.0")
+                .unwrap();
+        let f = m.filter(PermissionToken::ReadFlowTable).unwrap();
+        assert_eq!(
+            *f,
+            FilterExpr::Atom(SingletonFilter::ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16))
+        );
+    }
+
+    #[test]
+    fn paper_example_wildcard() {
+        // §IV-B: the load balancer constrained to the low 8 bits of IP_DST.
+        let m = parse_manifest("PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0").unwrap();
+        let f = m.filter(PermissionToken::InsertFlow).unwrap();
+        assert_eq!(
+            *f,
+            FilterExpr::Atom(SingletonFilter::Wildcard {
+                field: Field::IpDst,
+                mask: 0xffff_ff00,
+            })
+        );
+    }
+
+    #[test]
+    fn paper_example_composition() {
+        // §IV-B-b: OWN_FLOWS OR IP_SRC … OR IP_DST ….
+        let m = parse_manifest(
+            "PERM read_flow_table LIMITING OWN_FLOWS OR \\\n\
+             IP_SRC 10.13.0.0 MASK 255.255.0.0 OR \\\n\
+             IP_DST 10.13.0.0 MASK 255.255.0.0",
+        )
+        .unwrap();
+        let f = m.filter(PermissionToken::ReadFlowTable).unwrap();
+        match f {
+            FilterExpr::Or(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_virtual_topology() {
+        let m = parse_manifest(
+            "PERM visible_topology LIMITING \\\n VIRTUAL SINGLE_BIG_SWITCH LINK EXTERNAL_LINKS",
+        )
+        .unwrap();
+        let f = m.filter(PermissionToken::VisibleTopology).unwrap();
+        assert_eq!(
+            *f,
+            FilterExpr::Atom(SingletonFilter::VirtTopo(
+                VirtualTopologySpec::SingleBigSwitch
+            ))
+        );
+    }
+
+    #[test]
+    fn scenario2_routing_manifest() {
+        // §VII scenario 2.
+        let m = parse_manifest(
+            "PERM visible_topology\n\
+             PERM flow_event\n\
+             PERM send_pkt_out\n\
+             PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 4);
+        let f = m.filter(PermissionToken::InsertFlow).unwrap();
+        assert_eq!(
+            *f,
+            FilterExpr::Atom(SingletonFilter::Action(ActionConstraint::Forward)).and(
+                FilterExpr::Atom(SingletonFilter::Ownership(Ownership::OwnFlows))
+            )
+        );
+    }
+
+    #[test]
+    fn scenario1_stubs() {
+        // §VII scenario 1: stub macros LocalTopo and AdminRange.
+        let m = parse_manifest(
+            "PERM visible_topology LIMITING LocalTopo\n\
+             PERM read_statistics\n\
+             PERM network_access LIMITING AdminRange\n\
+             PERM insert_flow",
+        )
+        .unwrap();
+        assert_eq!(
+            m.stub_names(),
+            vec!["AdminRange".to_owned(), "LocalTopo".to_owned()]
+        );
+        assert!(m.contains_token(PermissionToken::HostNetwork));
+    }
+
+    #[test]
+    fn topology_filter_with_links() {
+        let m = parse_manifest("PERM visible_topology LIMITING SWITCH 1,2,3 LINK 1-2,2-3").unwrap();
+        let f = m.filter(PermissionToken::VisibleTopology).unwrap();
+        assert_eq!(
+            *f,
+            FilterExpr::Atom(SingletonFilter::PhysTopo(PhysTopoFilter::new(
+                [1, 2, 3],
+                [(1, 2), (2, 3)],
+            )))
+        );
+    }
+
+    #[test]
+    fn virtual_map_syntax() {
+        let m = parse_manifest("PERM visible_topology LIMITING VIRTUAL { 1,2 AS 10 ; 3,4 AS 11 }")
+            .unwrap();
+        let f = m.filter(PermissionToken::VisibleTopology).unwrap();
+        match f {
+            FilterExpr::Atom(SingletonFilter::VirtTopo(VirtualTopologySpec::Map(defs))) => {
+                assert_eq!(defs.len(), 2);
+                assert_eq!(defs[0].virtual_dpid, 10);
+                assert_eq!(defs[1].members, [3, 4].into_iter().collect());
+            }
+            other => panic!("expected virtual map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        // AND binds tighter than OR.
+        let a = parse_filter("OWN_FLOWS OR MAX_PRIORITY 5 AND MIN_PRIORITY 1").unwrap();
+        match &a {
+            FilterExpr::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], FilterExpr::And(_)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+        let b = parse_filter("( OWN_FLOWS OR MAX_PRIORITY 5 ) AND MIN_PRIORITY 1").unwrap();
+        assert!(matches!(b, FilterExpr::And(_)));
+        let c = parse_filter("NOT ( OWN_FLOWS OR MAX_PRIORITY 5 )").unwrap();
+        assert!(matches!(c, FilterExpr::Not(_)));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let sources = [
+            "PERM read_flow_table LIMITING OWN_FLOWS OR IP_DST 10.13.0.0 MASK 255.255.0.0",
+            "PERM insert_flow LIMITING ACTION FORWARD AND MAX_PRIORITY 100",
+            "PERM visible_topology LIMITING SWITCH 1,2 LINK 1-2",
+            "PERM read_statistics LIMITING PORT_LEVEL",
+            "PERM send_pkt_out LIMITING FROM_PKT_IN",
+            "PERM insert_flow LIMITING WILDCARD IP_DST 255.255.255.0",
+            "PERM visible_topology LIMITING VIRTUAL { 1,2 AS 10 }",
+            "PERM insert_flow LIMITING NOT MAX_PRIORITY 10",
+        ];
+        for src in sources {
+            let parsed = parse_manifest(src).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = parse_manifest(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(parsed, reparsed, "roundtrip failed for `{src}`");
+        }
+    }
+
+    #[test]
+    fn multiple_perms_same_token_join() {
+        let m = parse_manifest(
+            "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0\n\
+             PERM insert_flow LIMITING IP_DST 10.14.0.0 MASK 255.255.0.0",
+        )
+        .unwrap();
+        let f = m.filter(PermissionToken::InsertFlow).unwrap();
+        let in13 = FilterExpr::Atom(SingletonFilter::ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16));
+        let in14 = FilterExpr::Atom(SingletonFilter::ip_dst_prefix(Ipv4::new(10, 14, 0, 0), 16));
+        assert!(algebra::includes(f, &in13));
+        assert!(algebra::includes(f, &in14));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_manifest("PERM launch_missiles").unwrap_err();
+        assert!(err.to_string().contains("launch_missiles"));
+        let err = parse_manifest("PERM insert_flow LIMITING MAX_PRIORITY banana").unwrap_err();
+        assert!(err.to_string().contains("expected integer"), "{err}");
+        let err = parse_manifest("insert_flow").unwrap_err();
+        assert!(err.to_string().contains("expected `PERM`"), "{err}");
+        let err = parse_manifest("PERM insert_flow LIMITING ( OWN_FLOWS").unwrap_err();
+        assert!(err.to_string().contains("expected `)`"), "{err}");
+    }
+
+    #[test]
+    fn eth_predicate_values() {
+        let m = parse_manifest("PERM insert_flow LIMITING ETH_DST 00:11:22:33:44:55").unwrap();
+        let f = m.filter(PermissionToken::InsertFlow).unwrap();
+        match f {
+            FilterExpr::Atom(SingletonFilter::Pred(p)) => {
+                assert_eq!(p.eth_dst, Some("00:11:22:33:44:55".parse().unwrap()));
+            }
+            other => panic!("expected pred, got {other:?}"),
+        }
+        assert!(parse_manifest("PERM insert_flow LIMITING ETH_DST 42").is_err());
+    }
+
+    #[test]
+    fn integer_predicates() {
+        let m = parse_manifest("PERM insert_flow LIMITING TCP_DST 80 AND IP_PROTO 6 AND IN_PORT 3")
+            .unwrap();
+        let f = m.filter(PermissionToken::InsertFlow).unwrap();
+        let atoms = f.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert!(parse_manifest("PERM insert_flow LIMITING IP_PROTO 4000").is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! Shared lexer for the SDNShield permission language (Appendix A) and
+//! security-policy language (Appendix B).
+//!
+//! The languages are line-oriented in the paper's examples but keyword-
+//! delimited in their grammars; the lexer therefore treats newlines as plain
+//! whitespace, honors `\`-continuations (by ignoring the backslash), and
+//! strips `#`-comments.
+
+use std::fmt;
+
+use sdnshield_openflow::types::{EthAddr, Ipv4};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A bare word: keyword, permission-token name, or identifier.
+    Word(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A dotted-quad IPv4 literal.
+    Ip(Ipv4),
+    /// A colon-separated MAC literal.
+    Mac(EthAddr),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `-`
+    Dash,
+    /// An operator: `=`, `<`, `>`, `<=`, `>=`.
+    Op(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "`{w}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Ip(ip) => write!(f, "`{ip}`"),
+            Tok::Mac(m) => write!(f, "`{m}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Dash => write!(f, "`-`"),
+            Tok::Op(op) => write!(f, "`{op}`"),
+        }
+    }
+}
+
+/// A lexing or parsing error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl SyntaxError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, line: u32, col: u32) -> Self {
+        SyntaxError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// Creates an error at a token's position.
+    pub fn at(message: impl Into<String>, token: &Token) -> Self {
+        Self::new(message, token.line, token.col)
+    }
+
+    /// Creates an error at end of input.
+    pub fn eof(message: impl Into<String>) -> Self {
+        Self::new(message, 0, 0)
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "syntax error at end of input: {}", self.message)
+        } else {
+            write!(
+                f,
+                "syntax error at line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Tokenizes source text.
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] on unexpected characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' | '\\' => {
+                chars.next();
+                bump!(c);
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    bump!(c);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | '{' | '}' | ',' | ';' | '-' => {
+                chars.next();
+                bump!(c);
+                out.push(Token {
+                    tok: match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        ',' => Tok::Comma,
+                        ';' => Tok::Semi,
+                        _ => Tok::Dash,
+                    },
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '<' | '>' | '=' => {
+                chars.next();
+                bump!(c);
+                let op = if c == '=' {
+                    "="
+                } else if chars.peek() == Some(&'=') {
+                    let e = chars.next().unwrap();
+                    bump!(e);
+                    if c == '<' {
+                        "<="
+                    } else {
+                        ">="
+                    }
+                } else if c == '<' {
+                    "<"
+                } else {
+                    ">"
+                };
+                out.push(Token {
+                    tok: Tok::Op(op),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() || c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':' {
+                        word.push(c);
+                        chars.next();
+                        bump!(c);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: classify_word(&word, tline, tcol)?,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(SyntaxError::new(
+                    format!("unexpected character `{other}`"),
+                    tline,
+                    tcol,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn classify_word(word: &str, line: u32, col: u32) -> Result<Tok, SyntaxError> {
+    if word.contains(':') {
+        return word
+            .parse::<EthAddr>()
+            .map(Tok::Mac)
+            .map_err(|e| SyntaxError::new(format!("bad MAC literal `{word}`: {e}"), line, col));
+    }
+    if word.contains('.') {
+        return word
+            .parse::<Ipv4>()
+            .map(Tok::Ip)
+            .map_err(|e| SyntaxError::new(format!("bad IPv4 literal `{word}`: {e}"), line, col));
+    }
+    if word.chars().all(|c| c.is_ascii_digit()) {
+        return word
+            .parse::<u64>()
+            .map(Tok::Int)
+            .map_err(|e| SyntaxError::new(format!("bad integer `{word}`: {e}"), line, col));
+    }
+    if let Some(hex) = word.strip_prefix("0x") {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return Ok(Tok::Int(v));
+        }
+    }
+    Ok(Tok::Word(word.to_owned()))
+}
+
+/// A token cursor shared by the two parsers.
+#[derive(Debug)]
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wraps a token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    /// The next token, without consuming.
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// The token after the next, without consuming.
+    pub fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    /// The token `offset` positions ahead, without consuming.
+    pub fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    /// Consumes and returns the next token.
+    #[allow(clippy::should_implement_trait)] // a cursor, not an iterator
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the next token this exact word?
+    pub fn peek_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Some(Token { tok: Tok::Word(s), .. }) if s == w)
+    }
+
+    /// Consumes the next token if it is this word.
+    pub fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it matches.
+    pub fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek().map(|x| &x.tok) == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the next token to be this word.
+    ///
+    /// # Errors
+    ///
+    /// [`SyntaxError`] naming the expectation.
+    pub fn expect_word(&mut self, w: &str) -> Result<(), SyntaxError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(s), ..
+            }) if s == w => Ok(()),
+            Some(t) => Err(SyntaxError::at(
+                format!("expected `{w}`, found {}", t.tok),
+                &t,
+            )),
+            None => Err(SyntaxError::eof(format!("expected `{w}`"))),
+        }
+    }
+
+    /// Requires and returns an integer literal.
+    ///
+    /// # Errors
+    ///
+    /// [`SyntaxError`] when the next token is not an integer.
+    pub fn expect_int(&mut self) -> Result<u64, SyntaxError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Int(n), ..
+            }) => Ok(n),
+            Some(t) => Err(SyntaxError::at(
+                format!("expected integer, found {}", t.tok),
+                &t,
+            )),
+            None => Err(SyntaxError::eof("expected integer")),
+        }
+    }
+
+    /// Requires and returns a word token.
+    ///
+    /// # Errors
+    ///
+    /// [`SyntaxError`] when the next token is not a word.
+    pub fn expect_any_word(&mut self) -> Result<String, SyntaxError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(s), ..
+            }) => Ok(s),
+            Some(t) => Err(SyntaxError::at(
+                format!("expected identifier, found {}", t.tok),
+                &t,
+            )),
+            None => Err(SyntaxError::eof("expected identifier")),
+        }
+    }
+
+    /// Requires a specific structural token.
+    ///
+    /// # Errors
+    ///
+    /// [`SyntaxError`] when the next token differs.
+    pub fn expect(&mut self, t: &Tok) -> Result<(), SyntaxError> {
+        match self.next() {
+            Some(x) if x.tok == *t => Ok(()),
+            Some(x) => Err(SyntaxError::at(
+                format!("expected {t}, found {}", x.tok),
+                &x,
+            )),
+            None => Err(SyntaxError::eof(format!("expected {t}"))),
+        }
+    }
+
+    /// True when all tokens are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_ints_ips_macs() {
+        assert_eq!(
+            toks("PERM insert_flow 42 10.13.0.0 00:11:22:33:44:55"),
+            vec![
+                Tok::Word("PERM".into()),
+                Tok::Word("insert_flow".into()),
+                Tok::Int(42),
+                Tok::Ip(Ipv4::new(10, 13, 0, 0)),
+                Tok::Mac("00:11:22:33:44:55".parse().unwrap()),
+            ]
+        );
+    }
+
+    #[test]
+    fn continuations_and_comments() {
+        let src = "PERM read_flow_table LIMITING \\\n  IP_DST 10.13.0.0 MASK 255.255.0.0 # visible subnet\nPERM read_statistics";
+        let t = toks(src);
+        assert!(t.contains(&Tok::Word("MASK".into())));
+        assert!(!t
+            .iter()
+            .any(|t| matches!(t, Tok::Word(w) if w.contains("visible"))));
+        assert_eq!(t.last(), Some(&Tok::Word("read_statistics".into())));
+    }
+
+    #[test]
+    fn punctuation_and_ops() {
+        assert_eq!(
+            toks("( ) { } , ; - <= >= < > ="),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Dash,
+                Tok::Op("<="),
+                Tok::Op(">="),
+                Tok::Op("<"),
+                Tok::Op(">"),
+                Tok::Op("="),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let tokens = lex("PERM\n  insert_flow").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_literals_rejected() {
+        assert!(lex("10.13.0").is_err());
+        assert!(lex("0z:00:00:00:00:00").is_err());
+        assert!(lex("PERM @").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! SDNShield core — the permission-control system of the DSN'16 paper
+//! *SDNShield: Reconciliating Configurable Application Permissions for SDN
+//! App Markets*.
+//!
+//! The crate implements the paper's primary contribution:
+//!
+//! * [`token`] + [`filter`] — the two-level permission abstraction: coarse
+//!   permission tokens (Table II) refined by composable permission filters
+//!   (§IV), with per-dimension inclusion relations.
+//! * [`lang`] — the permission language parser (Appendix A).
+//! * [`algebra`] — CNF/DNF normalization and the filter-inclusion decision
+//!   procedure (Algorithm 1).
+//! * [`perm`] — permission sets with MEET / JOIN / inclusion (§V-B1).
+//! * [`policy`] — the security-policy language parser (Appendix B).
+//! * [`reconcile`] — the reconciliation engine: stub customization, mutual
+//!   exclusion, permission boundaries (§V).
+//! * [`api`] + [`eval`] + [`engine`] — the runtime permission engine that
+//!   mediates API calls (§VI-B), with stateful ownership/quota/provenance
+//!   book-keeping.
+//! * [`vtopo`] — abstract (virtual big-switch) topology translation (§VI-B1).
+//!
+//! # Examples
+//!
+//! The full pipeline — parse a manifest, reconcile it against a policy,
+//! compile it, and check a call:
+//!
+//! ```
+//! use sdnshield_core::api::{ApiCall, ApiCallKind, AppId};
+//! use sdnshield_core::engine::PermissionEngine;
+//! use sdnshield_core::eval::NullContext;
+//! use sdnshield_core::lang::parse_manifest;
+//! use sdnshield_core::policy::parse_policy;
+//! use sdnshield_core::reconcile::Reconciler;
+//!
+//! let manifest = parse_manifest("PERM read_topology\nPERM insert_flow\nPERM network_access")?;
+//! let policy = parse_policy("ASSERT EITHER { PERM network_access } OR { PERM insert_flow }")?;
+//! let mut reconciler = Reconciler::new(policy);
+//! reconciler.register_app("monitor", manifest);
+//! let report = reconciler.reconcile("monitor").unwrap();
+//!
+//! let engine = PermissionEngine::compile(&report.reconciled);
+//! let call = ApiCall::new(AppId(1), ApiCallKind::ReadTopology);
+//! assert!(engine.check(&call, &NullContext).is_allowed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod api;
+pub mod engine;
+pub mod eval;
+pub mod filter;
+pub mod hll;
+pub mod lang;
+pub mod lex;
+pub mod perm;
+pub mod policy;
+pub mod reconcile;
+pub mod templates;
+pub mod token;
+pub mod vtopo;
+
+pub use api::{ApiCall, ApiCallKind, AppId};
+pub use engine::{Decision, DenyReason, OwnershipTracker, PermissionEngine};
+pub use eval::{CheckContext, NullContext};
+pub use filter::{FilterExpr, SingletonFilter};
+pub use lang::{parse_filter, parse_manifest};
+pub use perm::{Permission, PermissionSet};
+pub use policy::parse_policy;
+pub use reconcile::{ReconcileReport, Reconciler};
+pub use token::PermissionToken;

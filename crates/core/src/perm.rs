@@ -1,0 +1,380 @@
+//! Permissions and permission sets (manifests).
+//!
+//! A [`Permission`] pairs a coarse token with a fine filter expression; a
+//! [`PermissionSet`] is an app's manifest. Because tokens are orthogonal,
+//! set-like questions on permission sets reduce to per-token filter algebra
+//! (paper §V-B1): inclusion compares filters token-by-token, MEET intersects
+//! filters with AND, JOIN unions them with OR.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::algebra;
+use crate::filter::FilterExpr;
+use crate::token::PermissionToken;
+
+/// One granted/requested permission: token + filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Permission {
+    /// The coarse-grained token.
+    pub token: PermissionToken,
+    /// The fine-grained filter (`FilterExpr::True` when unfiltered).
+    pub filter: FilterExpr,
+}
+
+impl Permission {
+    /// An unfiltered permission for a token.
+    pub fn unrestricted(token: PermissionToken) -> Self {
+        Permission {
+            token,
+            filter: FilterExpr::True,
+        }
+    }
+
+    /// A permission limited by a filter expression.
+    pub fn limited(token: PermissionToken, filter: FilterExpr) -> Self {
+        Permission { token, filter }
+    }
+
+    /// Does this permission allow everything `other` allows?
+    ///
+    /// `false` for different tokens (tokens are orthogonal).
+    pub fn includes(&self, other: &Permission) -> bool {
+        self.token == other.token && algebra::includes(&self.filter, &other.filter)
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.filter {
+            FilterExpr::True => write!(f, "PERM {}", self.token),
+            expr => write!(f, "PERM {} LIMITING {}", self.token, expr),
+        }
+    }
+}
+
+/// An app's permission manifest: at most one (token → filter) entry; granting
+/// the same token twice ORs the filters (either grant suffices).
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::perm::{Permission, PermissionSet};
+/// use sdnshield_core::token::PermissionToken;
+///
+/// let mut manifest = PermissionSet::new();
+/// manifest.insert(Permission::unrestricted(PermissionToken::ReadStatistics));
+/// assert!(manifest.contains_token(PermissionToken::ReadStatistics));
+/// assert!(!manifest.contains_token(PermissionToken::InsertFlow));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PermissionSet {
+    entries: BTreeMap<PermissionToken, FilterExpr>,
+}
+
+impl PermissionSet {
+    /// An empty manifest (no privileges at all).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from permissions.
+    pub fn from_permissions(perms: impl IntoIterator<Item = Permission>) -> Self {
+        let mut set = Self::new();
+        for p in perms {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Adds a permission; repeated tokens OR their filters.
+    pub fn insert(&mut self, perm: Permission) {
+        match self.entries.remove(&perm.token) {
+            Some(existing) => {
+                self.entries.insert(perm.token, existing.or(perm.filter));
+            }
+            None => {
+                self.entries.insert(perm.token, perm.filter);
+            }
+        }
+    }
+
+    /// Removes a token entirely, returning its filter if present.
+    pub fn remove(&mut self, token: PermissionToken) -> Option<FilterExpr> {
+        self.entries.remove(&token)
+    }
+
+    /// Replaces the filter of an existing token (no-op if absent).
+    pub fn restrict(&mut self, token: PermissionToken, filter: FilterExpr) {
+        if let Some(entry) = self.entries.get_mut(&token) {
+            let existing = std::mem::replace(entry, FilterExpr::True);
+            *entry = existing.and(filter);
+        }
+    }
+
+    /// The filter for a token, if granted.
+    pub fn filter(&self, token: PermissionToken) -> Option<&FilterExpr> {
+        self.entries.get(&token)
+    }
+
+    /// Is the token granted (with any filter)?
+    pub fn contains_token(&self, token: PermissionToken) -> bool {
+        self.entries.contains_key(&token)
+    }
+
+    /// Number of granted tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the manifest empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(token, filter)` entries in token order.
+    pub fn iter(&self) -> impl Iterator<Item = (PermissionToken, &FilterExpr)> {
+        self.entries.iter().map(|(t, f)| (*t, f))
+    }
+
+    /// The granted tokens in order.
+    pub fn tokens(&self) -> impl Iterator<Item = PermissionToken> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// MEET (intersection): behaviors allowed by *both* sets. Tokens present
+    /// in only one operand disappear; shared tokens AND their filters.
+    pub fn meet(&self, other: &PermissionSet) -> PermissionSet {
+        let mut out = PermissionSet::new();
+        for (token, f) in &self.entries {
+            if let Some(g) = other.entries.get(token) {
+                out.entries.insert(*token, f.clone().and(g.clone()));
+            }
+        }
+        out
+    }
+
+    /// JOIN (union): behaviors allowed by *either* set.
+    pub fn join(&self, other: &PermissionSet) -> PermissionSet {
+        let mut out = self.clone();
+        for (token, g) in &other.entries {
+            match out.entries.remove(token) {
+                Some(f) => {
+                    out.entries.insert(*token, f.or(g.clone()));
+                }
+                None => {
+                    out.entries.insert(*token, g.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Set inclusion: does this set allow everything `other` allows?
+    ///
+    /// Sound, not complete (inherits [`algebra::includes`]'s conservatism).
+    pub fn includes(&self, other: &PermissionSet) -> bool {
+        other.entries.iter().all(|(token, g)| {
+            self.entries
+                .get(token)
+                .is_some_and(|f| algebra::includes(f, g))
+        })
+    }
+
+    /// Names of unexpanded stub macros anywhere in the manifest.
+    pub fn stub_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .values()
+            .flat_map(|f| f.stub_names().into_iter().map(str::to_owned))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Expands one stub macro throughout the manifest. Returns whether any
+    /// occurrence was replaced.
+    pub fn expand_stub(&mut self, name: &str, replacement: &FilterExpr) -> bool {
+        let mut any = false;
+        for filter in self.entries.values_mut() {
+            let (expanded, hit) = filter.expand_stub(name, replacement);
+            if hit {
+                *filter = expanded;
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+impl FromIterator<Permission> for PermissionSet {
+    fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
+        Self::from_permissions(iter)
+    }
+}
+
+impl Extend<Permission> for PermissionSet {
+    fn extend<I: IntoIterator<Item = Permission>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl fmt::Display for PermissionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (token, filter) in &self.entries {
+            match filter {
+                FilterExpr::True => writeln!(f, "PERM {token}")?,
+                expr => writeln!(f, "PERM {token} LIMITING {expr}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{Ownership, SingletonFilter};
+    use sdnshield_openflow::types::Ipv4;
+
+    fn ip(prefix: u8) -> FilterExpr {
+        FilterExpr::atom(SingletonFilter::ip_dst_prefix(
+            Ipv4::new(10, 13, 0, 0),
+            prefix,
+        ))
+    }
+
+    #[test]
+    fn insert_ors_duplicate_tokens() {
+        let mut s = PermissionSet::new();
+        s.insert(Permission::limited(PermissionToken::InsertFlow, ip(16)));
+        s.insert(Permission::limited(
+            PermissionToken::InsertFlow,
+            FilterExpr::atom(SingletonFilter::Ownership(Ownership::OwnFlows)),
+        ));
+        assert_eq!(s.len(), 1);
+        let f = s.filter(PermissionToken::InsertFlow).unwrap();
+        assert!(matches!(f, FilterExpr::Or(_)));
+        // The OR is wider than either grant.
+        assert!(algebra::includes(f, &ip(16)));
+    }
+
+    #[test]
+    fn restrict_narrows() {
+        let mut s = PermissionSet::new();
+        s.insert(Permission::unrestricted(PermissionToken::InsertFlow));
+        s.restrict(PermissionToken::InsertFlow, ip(16));
+        let f = s.filter(PermissionToken::InsertFlow).unwrap();
+        assert!(algebra::equivalent(f, &ip(16)));
+        // Restricting an absent token is a no-op.
+        s.restrict(PermissionToken::DeleteFlow, ip(16));
+        assert!(!s.contains_token(PermissionToken::DeleteFlow));
+    }
+
+    #[test]
+    fn meet_keeps_shared_tokens_only() {
+        let a = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, ip(16)),
+            Permission::unrestricted(PermissionToken::ReadStatistics),
+        ]);
+        let b = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, ip(8)),
+            Permission::unrestricted(PermissionToken::HostNetwork),
+        ]);
+        let m = a.meet(&b);
+        assert_eq!(m.len(), 1);
+        // meet's filter is the AND, equivalent to the narrower 10.13/16.
+        assert!(algebra::equivalent(
+            m.filter(PermissionToken::InsertFlow).unwrap(),
+            &ip(16)
+        ));
+    }
+
+    #[test]
+    fn join_unions_tokens() {
+        let a = PermissionSet::from_permissions([Permission::limited(
+            PermissionToken::InsertFlow,
+            ip(24),
+        )]);
+        let b = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, ip(16)),
+            Permission::unrestricted(PermissionToken::HostNetwork),
+        ]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert!(algebra::equivalent(
+            j.filter(PermissionToken::InsertFlow).unwrap(),
+            &ip(16)
+        ));
+    }
+
+    #[test]
+    fn set_inclusion() {
+        let template = PermissionSet::from_permissions([
+            Permission::unrestricted(PermissionToken::VisibleTopology),
+            Permission::limited(PermissionToken::HostNetwork, ip(16)),
+        ]);
+        let within = PermissionSet::from_permissions([Permission::limited(
+            PermissionToken::HostNetwork,
+            ip(24),
+        )]);
+        let beyond_filter = PermissionSet::from_permissions([Permission::unrestricted(
+            PermissionToken::HostNetwork,
+        )]);
+        let beyond_token = PermissionSet::from_permissions([Permission::unrestricted(
+            PermissionToken::InsertFlow,
+        )]);
+        assert!(template.includes(&within));
+        assert!(template.includes(&template));
+        assert!(!template.includes(&beyond_filter));
+        assert!(!template.includes(&beyond_token));
+        // The empty set is included in everything and includes nothing
+        // nonempty.
+        assert!(template.includes(&PermissionSet::new()));
+        assert!(!PermissionSet::new().includes(&within));
+    }
+
+    #[test]
+    fn meet_result_is_included_in_both() {
+        let a = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, ip(16)),
+            Permission::unrestricted(PermissionToken::ReadStatistics),
+        ]);
+        let b = PermissionSet::from_permissions([
+            Permission::unrestricted(PermissionToken::InsertFlow),
+            Permission::unrestricted(PermissionToken::ReadStatistics),
+        ]);
+        let m = a.meet(&b);
+        assert!(a.includes(&m));
+        assert!(b.includes(&m));
+        let j = a.join(&b);
+        assert!(j.includes(&a));
+        assert!(j.includes(&b));
+    }
+
+    #[test]
+    fn stub_management() {
+        let mut s = PermissionSet::from_permissions([Permission::limited(
+            PermissionToken::HostNetwork,
+            FilterExpr::atom(SingletonFilter::Stub("AdminRange".into())),
+        )]);
+        assert_eq!(s.stub_names(), vec!["AdminRange".to_owned()]);
+        assert!(s.expand_stub("AdminRange", &ip(16)));
+        assert!(s.stub_names().is_empty());
+        assert!(!s.expand_stub("AdminRange", &ip(16)), "already expanded");
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let s = PermissionSet::from_permissions([
+            Permission::unrestricted(PermissionToken::ReadStatistics),
+            Permission::limited(PermissionToken::InsertFlow, ip(16)),
+        ]);
+        let text = s.to_string();
+        assert!(text.contains("PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0"));
+        assert!(text.contains("PERM read_statistics\n"));
+    }
+}

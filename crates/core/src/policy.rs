@@ -1,0 +1,508 @@
+//! Parser and AST for the SDNShield security-policy language
+//! (paper Appendix B).
+//!
+//! ```text
+//! expr        := binding | constraint
+//! constraint  := ASSERT exclusive | ASSERT assert_expr
+//! exclusive   := EITHER perm_expr OR perm_expr
+//! assert_expr := assert_expr AND/OR boolean_expr | NOT assert_expr
+//!              | ( assert_expr ) | boolean_expr
+//! boolean_expr:= perm_expr cmp_op perm_expr
+//! cmp_op      := < | > | <= | >= | =
+//! binding     := LET var = { perm* }          (permission-set literal)
+//!              | LET var = { filter_expr }    (filter macro, for stubs)
+//!              | LET var = APP app_name
+//!              | LET var = perm_expr
+//! perm_expr   := perm_expr MEET/JOIN perm_expr | ( perm_expr )
+//!              | var | { perm* }
+//! ```
+//!
+//! A braced `LET` body starting with `PERM` is a permission-set literal;
+//! otherwise it is a *filter macro* that completes stub macros left in app
+//! manifests (paper §V-A "Permission Customization", §VII scenario 1).
+
+use std::fmt;
+
+use crate::filter::FilterExpr;
+use crate::lang::{parse_filter_expr, parse_perm};
+use crate::lex::{lex, Cursor, SyntaxError, Tok};
+use crate::perm::PermissionSet;
+
+/// A whole policy program: an ordered list of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Policy {
+    /// The statements, in source order.
+    pub stmts: Vec<PolicyStmt>,
+}
+
+impl Policy {
+    /// All constraint statements.
+    pub fn constraints(&self) -> impl Iterator<Item = &Assertion> {
+        self.stmts.iter().filter_map(|s| match s {
+            PolicyStmt::Assert(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// All filter-macro bindings as `(name, expr)` pairs.
+    pub fn filter_macros(&self) -> impl Iterator<Item = (&str, &FilterExpr)> {
+        self.stmts.iter().filter_map(|s| match s {
+            PolicyStmt::LetFilter { name, expr } => Some((name.as_str(), expr)),
+            _ => None,
+        })
+    }
+}
+
+/// One policy statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyStmt {
+    /// `LET name = { filter_expr }` — a filter macro completing manifest
+    /// stubs.
+    LetFilter {
+        /// Macro name (matches stub identifiers in manifests).
+        name: String,
+        /// The concrete filter.
+        expr: FilterExpr,
+    },
+    /// `LET name = …` — a permission-set variable.
+    LetPermSet {
+        /// Variable name.
+        name: String,
+        /// The bound expression.
+        value: PermSetExpr,
+    },
+    /// `ASSERT …` — a constraint.
+    Assert(Assertion),
+}
+
+/// A permission-set expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PermSetExpr {
+    /// A literal `{ PERM … }` block.
+    Literal(PermissionSet),
+    /// A variable reference.
+    Var(String),
+    /// The manifest of a named app (`APP name`). The reserved name `app`
+    /// refers to the app currently being reconciled.
+    App(String),
+    /// Intersection.
+    Meet(Box<PermSetExpr>, Box<PermSetExpr>),
+    /// Union.
+    Join(Box<PermSetExpr>, Box<PermSetExpr>),
+}
+
+impl PermSetExpr {
+    /// Does this expression (transitively, ignoring variable indirection)
+    /// reference the given app?
+    pub fn references_app(&self, name: &str) -> bool {
+        match self {
+            PermSetExpr::App(n) => n == name,
+            PermSetExpr::Meet(a, b) | PermSetExpr::Join(a, b) => {
+                a.references_app(name) || b.references_app(name)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Comparison operators on permission-set expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Strict subset.
+    Lt,
+    /// Subset (the paper's permission boundary `<=`).
+    Le,
+    /// Strict superset.
+    Gt,
+    /// Superset.
+    Ge,
+    /// Equivalence.
+    Eq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        })
+    }
+}
+
+/// A constraint assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assertion {
+    /// Mutual exclusion: no single app may possess (a nonempty part of)
+    /// both operands.
+    Either(PermSetExpr, PermSetExpr),
+    /// A comparison.
+    Compare {
+        /// Left side.
+        lhs: PermSetExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right side.
+        rhs: PermSetExpr,
+    },
+    /// Conjunction of assertions.
+    And(Vec<Assertion>),
+    /// Disjunction of assertions.
+    Or(Vec<Assertion>),
+    /// Negation.
+    Not(Box<Assertion>),
+}
+
+/// Parses a policy program.
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] with position information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::policy::parse_policy;
+///
+/// let policy = parse_policy(
+///     "LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }\n\
+///      ASSERT EITHER { PERM network_access } OR { PERM insert_flow }",
+/// )?;
+/// assert_eq!(policy.stmts.len(), 2);
+/// # Ok::<(), sdnshield_core::lex::SyntaxError>(())
+/// ```
+pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let mut stmts = Vec::new();
+    while !cur.at_end() {
+        if cur.eat_word("LET") {
+            stmts.push(parse_let(&mut cur)?);
+        } else if cur.eat_word("ASSERT") {
+            stmts.push(PolicyStmt::Assert(parse_assertion(&mut cur)?));
+        } else {
+            let t = cur.next().expect("not at end");
+            return Err(SyntaxError::at(
+                format!("expected LET or ASSERT, found {}", t.tok),
+                &t,
+            ));
+        }
+    }
+    Ok(Policy { stmts })
+}
+
+fn parse_let(cur: &mut Cursor) -> Result<PolicyStmt, SyntaxError> {
+    let name = cur.expect_any_word()?;
+    cur.expect(&Tok::Op("="))?;
+    if cur.eat_word("APP") {
+        let app = cur.expect_any_word()?;
+        return Ok(PolicyStmt::LetPermSet {
+            name,
+            value: PermSetExpr::App(app),
+        });
+    }
+    // A braced body is either a permission-set literal (starts with PERM) or
+    // a filter macro.
+    if cur.peek().map(|t| &t.tok) == Some(&Tok::LBrace) {
+        if matches!(cur.peek2(), Some(t) if t.tok == Tok::Word("PERM".into())) {
+            let value = parse_perm_set_expr(cur)?;
+            return Ok(PolicyStmt::LetPermSet { name, value });
+        }
+        cur.expect(&Tok::LBrace)?;
+        let expr = parse_filter_expr(cur)?;
+        cur.expect(&Tok::RBrace)?;
+        return Ok(PolicyStmt::LetFilter { name, expr });
+    }
+    let value = parse_perm_set_expr(cur)?;
+    Ok(PolicyStmt::LetPermSet { name, value })
+}
+
+/// Parses an assertion (`EITHER …` or a boolean expression over
+/// comparisons).
+fn parse_assertion(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+    if cur.eat_word("EITHER") {
+        let a = parse_perm_set_expr(cur)?;
+        cur.expect_word("OR")?;
+        let b = parse_perm_set_expr(cur)?;
+        return Ok(Assertion::Either(a, b));
+    }
+    parse_assert_or(cur)
+}
+
+fn parse_assert_or(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+    let mut lhs = parse_assert_and(cur)?;
+    while cur.eat_word("OR") {
+        let rhs = parse_assert_and(cur)?;
+        lhs = match lhs {
+            Assertion::Or(mut xs) => {
+                xs.push(rhs);
+                Assertion::Or(xs)
+            }
+            other => Assertion::Or(vec![other, rhs]),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_assert_and(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+    let mut lhs = parse_assert_unary(cur)?;
+    while cur.eat_word("AND") {
+        let rhs = parse_assert_unary(cur)?;
+        lhs = match lhs {
+            Assertion::And(mut xs) => {
+                xs.push(rhs);
+                Assertion::And(xs)
+            }
+            other => Assertion::And(vec![other, rhs]),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_assert_unary(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+    if cur.eat_word("NOT") {
+        return Ok(Assertion::Not(Box::new(parse_assert_unary(cur)?)));
+    }
+    // Parenthesized assertion vs parenthesized perm-expr: try assertion
+    // first by scanning for a comparison operator before the matching close.
+    if cur.peek().map(|t| &t.tok) == Some(&Tok::LParen) && paren_wraps_assertion(cur) {
+        cur.expect(&Tok::LParen)?;
+        let inner = parse_assert_or(cur)?;
+        cur.expect(&Tok::RParen)?;
+        return Ok(inner);
+    }
+    let lhs = parse_perm_set_expr(cur)?;
+    let op = parse_cmp_op(cur)?;
+    let rhs = parse_perm_set_expr(cur)?;
+    Ok(Assertion::Compare { lhs, op, rhs })
+}
+
+/// Lookahead: does the parenthesis at the cursor enclose a comparison (an
+/// assertion) rather than a permission expression?
+fn paren_wraps_assertion(cur: &Cursor) -> bool {
+    // Scan forward counting depth; a comparison operator at depth 1 before
+    // the paren closes means the parens wrap an assertion.
+    let mut depth = 0usize;
+    let mut idx = 0usize;
+    loop {
+        let Some(t) = cur.peek_at(idx) else {
+            return false;
+        };
+        match &t.tok {
+            Tok::LParen | Tok::LBrace => depth += 1,
+            Tok::RParen | Tok::RBrace => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Op(_) if depth == 1 => return true,
+            _ => {}
+        }
+        idx += 1;
+    }
+}
+
+fn parse_cmp_op(cur: &mut Cursor) -> Result<CmpOp, SyntaxError> {
+    match cur.next() {
+        Some(t) => match &t.tok {
+            Tok::Op("<") => Ok(CmpOp::Lt),
+            Tok::Op("<=") => Ok(CmpOp::Le),
+            Tok::Op(">") => Ok(CmpOp::Gt),
+            Tok::Op(">=") => Ok(CmpOp::Ge),
+            Tok::Op("=") => Ok(CmpOp::Eq),
+            other => Err(SyntaxError::at(
+                format!("expected a comparison operator, found {other}"),
+                &t,
+            )),
+        },
+        None => Err(SyntaxError::eof("expected a comparison operator")),
+    }
+}
+
+/// Parses a permission-set expression with left-associative MEET/JOIN.
+fn parse_perm_set_expr(cur: &mut Cursor) -> Result<PermSetExpr, SyntaxError> {
+    let mut lhs = parse_perm_set_atom(cur)?;
+    loop {
+        if cur.eat_word("MEET") {
+            let rhs = parse_perm_set_atom(cur)?;
+            lhs = PermSetExpr::Meet(Box::new(lhs), Box::new(rhs));
+        } else if cur.eat_word("JOIN") {
+            let rhs = parse_perm_set_atom(cur)?;
+            lhs = PermSetExpr::Join(Box::new(lhs), Box::new(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_perm_set_atom(cur: &mut Cursor) -> Result<PermSetExpr, SyntaxError> {
+    if cur.eat(&Tok::LParen) {
+        let inner = parse_perm_set_expr(cur)?;
+        cur.expect(&Tok::RParen)?;
+        return Ok(inner);
+    }
+    if cur.eat(&Tok::LBrace) {
+        let mut set = PermissionSet::new();
+        while cur.peek_word("PERM") {
+            set.insert(parse_perm(cur)?);
+        }
+        cur.expect(&Tok::RBrace)?;
+        return Ok(PermSetExpr::Literal(set));
+    }
+    if cur.eat_word("APP") {
+        let app = cur.expect_any_word()?;
+        return Ok(PermSetExpr::App(app));
+    }
+    let name = cur.expect_any_word()?;
+    Ok(PermSetExpr::Var(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::PermissionToken;
+
+    #[test]
+    fn mutual_exclusion_example() {
+        // §V-A mutual exclusion.
+        let p = parse_policy("ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }")
+            .unwrap();
+        match &p.stmts[0] {
+            PolicyStmt::Assert(Assertion::Either(
+                PermSetExpr::Literal(a),
+                PermSetExpr::Literal(b),
+            )) => {
+                assert!(a.contains_token(PermissionToken::HostNetwork));
+                assert!(b.contains_token(PermissionToken::SendPktOut));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_template_example() {
+        // §V-A permission boundary for monitoring apps.
+        let p = parse_policy(
+            "LET templatePerm = {\n\
+             PERM read_topology\n\
+             PERM read_statistics LIMITING PORT_LEVEL\n\
+             PERM network_access LIMITING \\\n IP_DST 192.168.0.0 MASK 255.255.0.0\n\
+             }\n\
+             LET monitorAppPerm = APP monitoring_app\n\
+             ASSERT monitorAppPerm <= templatePerm",
+        )
+        .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        match &p.stmts[0] {
+            PolicyStmt::LetPermSet {
+                name,
+                value: PermSetExpr::Literal(set),
+            } => {
+                assert_eq!(name, "templatePerm");
+                assert_eq!(set.len(), 3);
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+        match &p.stmts[2] {
+            PolicyStmt::Assert(Assertion::Compare {
+                lhs: PermSetExpr::Var(l),
+                op: CmpOp::Le,
+                rhs: PermSetExpr::Var(r),
+            }) => {
+                assert_eq!(l, "monitorAppPerm");
+                assert_eq!(r, "templatePerm");
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario1_policy() {
+        // §VII scenario 1: stub completions + mutual exclusion.
+        let p = parse_policy(
+            "LET LocalTopo = { SWITCH 0,1 LINK 0-1 }\n\
+             LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }\n\
+             ASSERT EITHER { PERM network_access } OR { PERM insert_flow }",
+        )
+        .unwrap();
+        let macros: Vec<_> = p.filter_macros().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(macros, vec!["LocalTopo", "AdminRange"]);
+        assert_eq!(p.constraints().count(), 1);
+    }
+
+    #[test]
+    fn meet_join_expressions() {
+        let p = parse_policy(
+            "LET a = { PERM insert_flow }\n\
+             LET b = { PERM delete_flow }\n\
+             LET c = a MEET b JOIN { PERM read_statistics }\n\
+             ASSERT c <= a",
+        )
+        .unwrap();
+        match &p.stmts[2] {
+            PolicyStmt::LetPermSet {
+                value: PermSetExpr::Join(inner, _),
+                ..
+            } => {
+                assert!(matches!(**inner, PermSetExpr::Meet(_, _)));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_assertions() {
+        let p = parse_policy(
+            "LET a = APP x\n\
+             LET t = { PERM read_statistics }\n\
+             ASSERT NOT a >= t AND ( a <= t OR a = t )",
+        )
+        .unwrap();
+        match &p.stmts[2] {
+            PolicyStmt::Assert(Assertion::And(parts)) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Assertion::Not(_)));
+                assert!(matches!(parts[1], Assertion::Or(_)));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn app_references_tracked() {
+        let e = PermSetExpr::Meet(
+            Box::new(PermSetExpr::App("monitor".into())),
+            Box::new(PermSetExpr::Var("x".into())),
+        );
+        assert!(e.references_app("monitor"));
+        assert!(!e.references_app("router"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_policy("LET = { PERM insert_flow }").is_err());
+        assert!(parse_policy("ASSERT EITHER { PERM insert_flow }").is_err());
+        assert!(parse_policy("FROB x").is_err());
+        assert!(parse_policy("ASSERT a ~ b").is_err());
+        assert!(parse_policy("LET x = { PERM bogus_token }").is_err());
+    }
+
+    #[test]
+    fn all_cmp_ops_parse() {
+        for (src, op) in [
+            ("ASSERT a < b", CmpOp::Lt),
+            ("ASSERT a <= b", CmpOp::Le),
+            ("ASSERT a > b", CmpOp::Gt),
+            ("ASSERT a >= b", CmpOp::Ge),
+            ("ASSERT a = b", CmpOp::Eq),
+        ] {
+            let p = parse_policy(src).unwrap();
+            match &p.stmts[0] {
+                PolicyStmt::Assert(Assertion::Compare { op: got, .. }) => assert_eq!(*got, op),
+                other => panic!("unexpected stmt {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Distributable security-policy templates (paper §III): "In real
+//! deployment, those security policies for specific threats can be
+//! distributed as templates, so as to lower the hurdle to have basic
+//! protection."
+//!
+//! One template per §II attack class, plus role templates for common app
+//! categories. Each is a policy-language source string so administrators can
+//! read, edit, and compose them before feeding them to the
+//! [`crate::reconcile::Reconciler`].
+
+use crate::lex::SyntaxError;
+use crate::policy::{parse_policy, Policy};
+
+/// Class 1 (intrusion to data plane): an app must not combine data-plane
+/// injection with an outside command channel — a remote attacker could
+/// inject arbitrary packets.
+pub const CLASS1_TEMPLATE: &str = "\
+# Class 1: no remote-controlled packet injection.
+ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }
+";
+
+/// Class 2 (information leakage): an app must not combine broad reads with
+/// an outside channel — what it sees could leave the domain.
+pub const CLASS2_TEMPLATE: &str = "\
+# Class 2: apps that see the network must not talk to the outside.
+ASSERT EITHER { PERM network_access } OR { PERM read_flow_table }
+ASSERT EITHER { PERM network_access } OR { PERM read_payload }
+";
+
+/// Class 3 (rule manipulation): rule writers stay within forwarding actions
+/// on their own flows.
+pub const CLASS3_TEMPLATE: &str = "\
+# Class 3: rule writers are bounded to forwarding their own flows.
+LET ruleWriterBound = {
+  PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS
+  PERM delete_flow LIMITING OWN_FLOWS
+  PERM visible_topology
+  PERM pkt_in_event
+  PERM read_payload
+  PERM send_pkt_out LIMITING FROM_PKT_IN
+  PERM flow_event
+  PERM read_statistics
+}
+ASSERT APP app <= ruleWriterBound
+";
+
+/// Class 4 (attacking other apps): header rewrites are what dynamic-flow
+/// tunneling abuses; deny them together with deletion of foreign rules.
+pub const CLASS4_TEMPLATE: &str = "\
+# Class 4: no header-rewrite tunnels, no foreign-rule deletion.
+LET noTunnelBound = {
+  PERM insert_flow LIMITING ACTION FORWARD OR ACTION DROP
+  PERM delete_flow LIMITING OWN_FLOWS
+  PERM visible_topology
+  PERM pkt_in_event
+  PERM read_payload
+  PERM send_pkt_out
+  PERM flow_event
+  PERM read_statistics
+  PERM topology_event
+}
+ASSERT APP app <= noTunnelBound
+";
+
+/// Role template: monitoring apps (the §V-A example) read topology and
+/// port-level statistics and talk only to collectors the administrator
+/// names via the `CollectorRange` stub.
+pub const MONITOR_ROLE_TEMPLATE: &str = "\
+# Role: monitoring. Complete CollectorRange before use, e.g.
+#   LET CollectorRange = { IP_DST 192.168.0.0 MASK 255.255.0.0 }
+LET monitorBound = {
+  PERM visible_topology
+  PERM topology_event
+  PERM read_statistics LIMITING PORT_LEVEL
+  PERM network_access LIMITING CollectorRange
+}
+ASSERT APP app <= monitorBound
+";
+
+/// All class templates in order.
+pub const CLASS_TEMPLATES: [&str; 4] = [
+    CLASS1_TEMPLATE,
+    CLASS2_TEMPLATE,
+    CLASS3_TEMPLATE,
+    CLASS4_TEMPLATE,
+];
+
+/// Parses and concatenates a set of template sources into one policy.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] (templates are constants, so this only
+/// fires for caller-supplied additions).
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::templates::{compose, CLASS1_TEMPLATE, CLASS2_TEMPLATE};
+///
+/// let policy = compose([CLASS1_TEMPLATE, CLASS2_TEMPLATE])?;
+/// assert_eq!(policy.constraints().count(), 3);
+/// # Ok::<(), sdnshield_core::lex::SyntaxError>(())
+/// ```
+pub fn compose<'a>(sources: impl IntoIterator<Item = &'a str>) -> Result<Policy, SyntaxError> {
+    let mut all = Policy::default();
+    for src in sources {
+        let p = parse_policy(src)?;
+        all.stmts.extend(p.stmts);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_manifest;
+    use crate::reconcile::Reconciler;
+    use crate::token::PermissionToken;
+
+    #[test]
+    fn all_templates_parse() {
+        for (i, t) in CLASS_TEMPLATES.iter().enumerate() {
+            parse_policy(t).unwrap_or_else(|e| panic!("class {} template: {e}", i + 1));
+        }
+        parse_policy(MONITOR_ROLE_TEMPLATE).unwrap();
+    }
+
+    #[test]
+    fn class1_template_truncates_injection_combo() {
+        let mut rec = Reconciler::new(parse_policy(CLASS1_TEMPLATE).unwrap());
+        rec.register_app(
+            "m",
+            parse_manifest("PERM network_access\nPERM send_pkt_out").unwrap(),
+        );
+        let report = rec.reconcile("m").unwrap();
+        assert!(!report.is_clean());
+        assert!(!report
+            .reconciled
+            .contains_token(PermissionToken::SendPktOut));
+    }
+
+    #[test]
+    fn class3_template_bounds_rule_writers() {
+        let mut rec = Reconciler::new(parse_policy(CLASS3_TEMPLATE).unwrap());
+        rec.register_app(
+            "router",
+            parse_manifest("PERM insert_flow\nPERM pkt_in_event").unwrap(),
+        );
+        let report = rec.reconcile("router").unwrap();
+        assert!(!report.is_clean());
+        // insert_flow survives, bounded.
+        let f = report
+            .reconciled
+            .filter(PermissionToken::InsertFlow)
+            .unwrap();
+        let bound = crate::lang::parse_filter("ACTION FORWARD AND OWN_FLOWS").unwrap();
+        assert!(crate::algebra::includes(&bound, f));
+    }
+
+    #[test]
+    fn class4_template_denies_rewrites() {
+        let mut rec = Reconciler::new(parse_policy(CLASS4_TEMPLATE).unwrap());
+        rec.register_app(
+            "tunneler",
+            parse_manifest("PERM insert_flow LIMITING ACTION MODIFY TCP_DST").unwrap(),
+        );
+        let report = rec.reconcile("tunneler").unwrap();
+        assert!(!report.is_clean());
+        let f = report
+            .reconciled
+            .filter(PermissionToken::InsertFlow)
+            .unwrap();
+        // The surviving grant cannot include the rewrite capability.
+        let rewrite = crate::lang::parse_filter("ACTION MODIFY TCP_DST").unwrap();
+        assert!(!crate::algebra::includes(f, &rewrite));
+    }
+
+    #[test]
+    fn monitor_role_with_stub_completion() {
+        let policy = compose([
+            "LET CollectorRange = { IP_DST 192.168.0.0 MASK 255.255.0.0 }",
+            MONITOR_ROLE_TEMPLATE,
+        ])
+        .unwrap();
+        let mut rec = Reconciler::new(policy);
+        rec.register_app(
+            "mon",
+            parse_manifest(
+                "PERM visible_topology\nPERM read_statistics\nPERM network_access LIMITING CollectorRange",
+            )
+            .unwrap(),
+        );
+        let report = rec.reconcile("mon").unwrap();
+        // Stats narrowed to port level by the boundary.
+        let stats = report
+            .reconciled
+            .filter(PermissionToken::ReadStatistics)
+            .unwrap();
+        let port = crate::lang::parse_filter("PORT_LEVEL").unwrap();
+        assert!(crate::algebra::includes(&port, stats));
+        assert!(report.reconciled.stub_names().is_empty());
+    }
+
+    #[test]
+    fn composed_templates_apply_together() {
+        let policy = compose(CLASS_TEMPLATES).unwrap();
+        let mut rec = Reconciler::new(policy);
+        rec.register_app(
+            "kitchen-sink",
+            parse_manifest(
+                "PERM network_access\nPERM send_pkt_out\nPERM read_flow_table\nPERM insert_flow",
+            )
+            .unwrap(),
+        );
+        let report = rec.reconcile("kitchen-sink").unwrap();
+        assert!(report.violations.len() >= 2, "{:#?}", report.violations);
+        // The reconciled manifest passes every template on a second pass.
+        let mut rec2 = Reconciler::new(compose(CLASS_TEMPLATES).unwrap());
+        rec2.register_app("kitchen-sink", report.reconciled);
+        assert!(rec2.reconcile("kitchen-sink").unwrap().is_clean());
+    }
+}

@@ -1,0 +1,259 @@
+//! Permission tokens: the coarse-grained layer of SDNShield's two-level
+//! permission abstraction (paper §IV-A, Table II).
+//!
+//! Tokens partition app behavior along two dimensions — SDN resource and
+//! action (read / write / event) — plus the host-system resources apps reach
+//! via system calls. Tokens are orthogonal: granting one never implies
+//! another.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A coarse-grained permission token (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PermissionToken {
+    // Flow table resource.
+    /// Read flow-table entries.
+    ReadFlowTable,
+    /// Insert (and modify) flow rules.
+    InsertFlow,
+    /// Delete flow rules.
+    DeleteFlow,
+    /// Receive flow-removed / flow-change callbacks.
+    FlowEvent,
+    // Topology resource.
+    /// See the (possibly filtered or virtualized) topology.
+    VisibleTopology,
+    /// Change the controller's view of the physical topology.
+    ModifyTopology,
+    /// Receive topology-change callbacks.
+    TopologyEvent,
+    // Statistics & errors.
+    /// Read switch/port/flow statistics.
+    ReadStatistics,
+    /// Receive error callbacks.
+    ErrorEvent,
+    // Packet-in / packet-out.
+    /// Read the payload of packet-in messages.
+    ReadPayload,
+    /// Send packet-out messages.
+    SendPktOut,
+    /// Receive packet-in callbacks.
+    PktInEvent,
+    // Host system resources.
+    /// Network access outside the control channel.
+    HostNetwork,
+    /// File-system access (shell, config files, …).
+    FileSystem,
+    /// Process/runtime control (spawn processes, load code).
+    ProcessRuntime,
+}
+
+impl PermissionToken {
+    /// All tokens, in a stable order.
+    pub const ALL: [PermissionToken; 15] = [
+        PermissionToken::ReadFlowTable,
+        PermissionToken::InsertFlow,
+        PermissionToken::DeleteFlow,
+        PermissionToken::FlowEvent,
+        PermissionToken::VisibleTopology,
+        PermissionToken::ModifyTopology,
+        PermissionToken::TopologyEvent,
+        PermissionToken::ReadStatistics,
+        PermissionToken::ErrorEvent,
+        PermissionToken::ReadPayload,
+        PermissionToken::SendPktOut,
+        PermissionToken::PktInEvent,
+        PermissionToken::HostNetwork,
+        PermissionToken::FileSystem,
+        PermissionToken::ProcessRuntime,
+    ];
+
+    /// The canonical lower-snake-case name used in the permission language.
+    pub fn name(self) -> &'static str {
+        match self {
+            PermissionToken::ReadFlowTable => "read_flow_table",
+            PermissionToken::InsertFlow => "insert_flow",
+            PermissionToken::DeleteFlow => "delete_flow",
+            PermissionToken::FlowEvent => "flow_event",
+            PermissionToken::VisibleTopology => "visible_topology",
+            PermissionToken::ModifyTopology => "modify_topology",
+            PermissionToken::TopologyEvent => "topology_event",
+            PermissionToken::ReadStatistics => "read_statistics",
+            PermissionToken::ErrorEvent => "error_event",
+            PermissionToken::ReadPayload => "read_payload",
+            PermissionToken::SendPktOut => "send_pkt_out",
+            PermissionToken::PktInEvent => "pkt_in_event",
+            PermissionToken::HostNetwork => "host_network",
+            PermissionToken::FileSystem => "file_system",
+            PermissionToken::ProcessRuntime => "process_runtime",
+        }
+    }
+
+    /// The resource group the token belongs to (Table II's left column).
+    pub fn resource(self) -> Resource {
+        match self {
+            PermissionToken::ReadFlowTable
+            | PermissionToken::InsertFlow
+            | PermissionToken::DeleteFlow
+            | PermissionToken::FlowEvent => Resource::FlowTable,
+            PermissionToken::VisibleTopology
+            | PermissionToken::ModifyTopology
+            | PermissionToken::TopologyEvent => Resource::Topology,
+            PermissionToken::ReadStatistics | PermissionToken::ErrorEvent => {
+                Resource::StatisticsAndErrors
+            }
+            PermissionToken::ReadPayload
+            | PermissionToken::SendPktOut
+            | PermissionToken::PktInEvent => Resource::PacketInOut,
+            PermissionToken::HostNetwork
+            | PermissionToken::FileSystem
+            | PermissionToken::ProcessRuntime => Resource::HostSystem,
+        }
+    }
+
+    /// The action class of the token (read / write / event).
+    pub fn action(self) -> ActionClass {
+        match self {
+            PermissionToken::ReadFlowTable
+            | PermissionToken::VisibleTopology
+            | PermissionToken::ReadStatistics
+            | PermissionToken::ReadPayload => ActionClass::Read,
+            PermissionToken::InsertFlow
+            | PermissionToken::DeleteFlow
+            | PermissionToken::ModifyTopology
+            | PermissionToken::SendPktOut
+            | PermissionToken::HostNetwork
+            | PermissionToken::FileSystem
+            | PermissionToken::ProcessRuntime => ActionClass::Write,
+            PermissionToken::FlowEvent
+            | PermissionToken::TopologyEvent
+            | PermissionToken::ErrorEvent
+            | PermissionToken::PktInEvent => ActionClass::Event,
+        }
+    }
+}
+
+/// SDN/host resource groups (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// Switch flow tables.
+    FlowTable,
+    /// The network topology.
+    Topology,
+    /// Statistics counters and error notifications.
+    StatisticsAndErrors,
+    /// Packet-in / packet-out messages.
+    PacketInOut,
+    /// The host machine's OS resources.
+    HostSystem,
+}
+
+/// Action classes: what an app does to a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionClass {
+    /// Observing state.
+    Read,
+    /// Mutating state or emitting messages.
+    Write,
+    /// Receiving callbacks.
+    Event,
+}
+
+impl fmt::Display for PermissionToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`PermissionToken`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTokenError {
+    name: String,
+}
+
+impl fmt::Display for ParseTokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown permission token `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseTokenError {}
+
+impl FromStr for PermissionToken {
+    type Err = ParseTokenError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Aliases used in the paper's prose and examples.
+        let canonical = match s {
+            "network_access" => "host_network",
+            "read_topology" => "visible_topology",
+            "send_packet_out" => "send_pkt_out",
+            other => other,
+        };
+        PermissionToken::ALL
+            .iter()
+            .find(|t| t.name() == canonical)
+            .copied()
+            .ok_or_else(|| ParseTokenError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for t in PermissionToken::ALL {
+            assert_eq!(t.name().parse::<PermissionToken>().unwrap(), t);
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+
+    #[test]
+    fn aliases_accepted() {
+        assert_eq!(
+            "network_access".parse::<PermissionToken>().unwrap(),
+            PermissionToken::HostNetwork
+        );
+        assert_eq!(
+            "read_topology".parse::<PermissionToken>().unwrap(),
+            PermissionToken::VisibleTopology
+        );
+        assert_eq!(
+            "send_packet_out".parse::<PermissionToken>().unwrap(),
+            PermissionToken::SendPktOut
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let err = "launch_missiles".parse::<PermissionToken>().unwrap_err();
+        assert!(err.to_string().contains("launch_missiles"));
+    }
+
+    #[test]
+    fn resource_and_action_partitions() {
+        use std::collections::BTreeMap;
+        let mut by_resource: BTreeMap<_, usize> = BTreeMap::new();
+        for t in PermissionToken::ALL {
+            *by_resource.entry(t.resource()).or_default() += 1;
+        }
+        assert_eq!(by_resource[&Resource::FlowTable], 4);
+        assert_eq!(by_resource[&Resource::Topology], 3);
+        assert_eq!(by_resource[&Resource::StatisticsAndErrors], 2);
+        assert_eq!(by_resource[&Resource::PacketInOut], 3);
+        assert_eq!(by_resource[&Resource::HostSystem], 3);
+        assert_eq!(PermissionToken::InsertFlow.action(), ActionClass::Write);
+        assert_eq!(PermissionToken::PktInEvent.action(), ActionClass::Event);
+        assert_eq!(PermissionToken::ReadPayload.action(), ActionClass::Read);
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_distinct() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = PermissionToken::ALL.iter().collect();
+        assert_eq!(set.len(), PermissionToken::ALL.len());
+    }
+}

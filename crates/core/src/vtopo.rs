@@ -1,0 +1,675 @@
+//! Abstract (virtual) topology evaluation — paper §VI-B1.
+//!
+//! Controllers do not natively support abstract topologies, so SDNShield's
+//! reference monitor maintains the mapping between the virtual view an app is
+//! granted and the physical network, translating API calls and responses on
+//! the fly:
+//!
+//! * a flow rule added to a *virtual big switch* becomes several physical
+//!   rules along the shortest path between the rule's ingress and egress;
+//! * statistics requests fan out to the member switches and aggregate;
+//! * topology reads return the virtual view.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use sdnshield_openflow::actions::{Action, ActionList};
+use sdnshield_openflow::messages::{AggregateStats, FlowMod, StatsReply};
+use sdnshield_openflow::types::{DatapathId, PortNo};
+
+/// The filter-language specification of a virtual topology
+/// (`virt_topo_f := VIRTUAL switch_map …`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VirtualTopologySpec {
+    /// The entire visible topology appears as one big switch
+    /// (`VIRTUAL SINGLE_BIG_SWITCH`).
+    SingleBigSwitch,
+    /// Explicit grouping: each entry aggregates member physical switches
+    /// into one virtual switch (`VIRTUAL { 1,2 AS 10 ; 3,4 AS 11 }`).
+    Map(Vec<VirtualSwitchDef>),
+}
+
+/// One virtual switch definition in an explicit map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualSwitchDef {
+    /// The datapath id the app sees.
+    pub virtual_dpid: u64,
+    /// The physical member switches.
+    pub members: BTreeSet<u64>,
+}
+
+impl fmt::Display for VirtualTopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtualTopologySpec::SingleBigSwitch => write!(f, "VIRTUAL SINGLE_BIG_SWITCH"),
+            VirtualTopologySpec::Map(defs) => {
+                write!(f, "VIRTUAL {{ ")?;
+                let mut sep = "";
+                for d in defs {
+                    write!(f, "{sep}")?;
+                    let mut isep = "";
+                    for m in &d.members {
+                        write!(f, "{isep}{m}")?;
+                        isep = ",";
+                    }
+                    write!(f, " AS {}", d.virtual_dpid)?;
+                    sep = " ; ";
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+/// A lightweight description of the physical network the mapper needs:
+/// switches, inter-switch links (with ports) and edge (host-facing) ports.
+///
+/// The controller builds this from its topology service; keeping it local to
+/// this crate avoids a dependency on the simulator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhysView {
+    /// All physical switches.
+    pub switches: BTreeSet<u64>,
+    /// Directed inter-switch links: (src dpid, src port, dst dpid, dst port).
+    pub links: Vec<(u64, u16, u64, u16)>,
+    /// Edge ports: (dpid, port) pairs where hosts attach.
+    pub edge_ports: Vec<(u64, u16)>,
+}
+
+/// Errors from virtual-topology translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VtopoError {
+    /// The call targets a dpid that is not a virtual switch in the map.
+    UnknownVirtualSwitch(DatapathId),
+    /// A rule references a virtual port that does not exist.
+    UnknownVirtualPort(PortNo),
+    /// The members of a virtual switch are not mutually reachable.
+    Disconnected {
+        /// Path source.
+        from: u64,
+        /// Path destination.
+        to: u64,
+    },
+    /// A spec member switch does not exist physically.
+    UnknownMember(u64),
+}
+
+impl fmt::Display for VtopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VtopoError::UnknownVirtualSwitch(d) => write!(f, "unknown virtual switch {d}"),
+            VtopoError::UnknownVirtualPort(p) => write!(f, "unknown virtual port {p}"),
+            VtopoError::Disconnected { from, to } => {
+                write!(
+                    f,
+                    "virtual switch members {from} and {to} are not connected"
+                )
+            }
+            VtopoError::UnknownMember(d) => write!(f, "virtual member switch {d} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for VtopoError {}
+
+/// A virtual (external) port of a big switch and the physical endpoint it
+/// maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualPort {
+    /// The port number the app sees on the virtual switch.
+    pub vport: PortNo,
+    /// Physical switch owning the real port.
+    pub phys_dpid: DatapathId,
+    /// The real port.
+    pub phys_port: PortNo,
+}
+
+/// One materialized virtual switch: members + external port map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualSwitch {
+    /// The dpid the app sees.
+    pub dpid: DatapathId,
+    /// Member physical switches.
+    pub members: BTreeSet<u64>,
+    /// External ports in virtual-port order.
+    pub ports: Vec<VirtualPort>,
+}
+
+/// The runtime virtual-topology mapper.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_core::vtopo::{PhysView, VirtualTopology, VirtualTopologySpec};
+///
+/// let phys = PhysView {
+///     switches: [1, 2].into_iter().collect(),
+///     links: vec![(1, 2, 2, 1), (2, 1, 1, 2)],
+///     edge_ports: vec![(1, 1), (2, 2)],
+/// };
+/// let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &phys)?;
+/// assert_eq!(vt.switches().len(), 1);
+/// assert_eq!(vt.switches()[0].ports.len(), 2);
+/// # Ok::<(), sdnshield_core::vtopo::VtopoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualTopology {
+    switches: Vec<VirtualSwitch>,
+    /// Adjacency of the *physical* network restricted to mapped members:
+    /// (src, dst) -> src egress port.
+    adjacency: BTreeMap<(u64, u64), u16>,
+}
+
+impl VirtualTopology {
+    /// Materializes a spec over a physical view.
+    ///
+    /// External ports are numbered 1..=n per virtual switch, ordered by
+    /// (physical dpid, physical port) for determinism.
+    ///
+    /// # Errors
+    ///
+    /// [`VtopoError::UnknownMember`] if the spec names a switch that does not
+    /// exist physically.
+    pub fn build(spec: &VirtualTopologySpec, phys: &PhysView) -> Result<Self, VtopoError> {
+        let defs: Vec<VirtualSwitchDef> = match spec {
+            VirtualTopologySpec::SingleBigSwitch => vec![VirtualSwitchDef {
+                virtual_dpid: 1,
+                members: phys.switches.clone(),
+            }],
+            VirtualTopologySpec::Map(defs) => defs.clone(),
+        };
+        let mut adjacency = BTreeMap::new();
+        for (src, sport, dst, _dport) in &phys.links {
+            adjacency.insert((*src, *dst), *sport);
+        }
+        let mut switches = Vec::new();
+        for def in defs {
+            for m in &def.members {
+                if !phys.switches.contains(m) {
+                    return Err(VtopoError::UnknownMember(*m));
+                }
+            }
+            // External ports: edge ports of members, plus member ports whose
+            // link leaves the member set.
+            let mut endpoints: Vec<(u64, u16)> = phys
+                .edge_ports
+                .iter()
+                .filter(|(d, _)| def.members.contains(d))
+                .copied()
+                .collect();
+            for (src, sport, dst, _) in &phys.links {
+                if def.members.contains(src) && !def.members.contains(dst) {
+                    endpoints.push((*src, *sport));
+                }
+            }
+            endpoints.sort_unstable();
+            endpoints.dedup();
+            let ports = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(i, (d, p))| VirtualPort {
+                    vport: PortNo((i + 1) as u16),
+                    phys_dpid: DatapathId(d),
+                    phys_port: PortNo(p),
+                })
+                .collect();
+            switches.push(VirtualSwitch {
+                dpid: DatapathId(def.virtual_dpid),
+                members: def.members,
+                ports,
+            });
+        }
+        Ok(VirtualTopology {
+            switches,
+            adjacency,
+        })
+    }
+
+    /// The materialized virtual switches.
+    pub fn switches(&self) -> &[VirtualSwitch] {
+        &self.switches
+    }
+
+    /// Looks up a virtual switch by the dpid the app uses.
+    pub fn switch(&self, dpid: DatapathId) -> Option<&VirtualSwitch> {
+        self.switches.iter().find(|s| s.dpid == dpid)
+    }
+
+    /// Is `dpid` one of the virtual switch ids?
+    pub fn contains(&self, dpid: DatapathId) -> bool {
+        self.switch(dpid).is_some()
+    }
+
+    /// The physical member switches a virtual dpid expands to (for stats
+    /// fan-out).
+    ///
+    /// # Errors
+    ///
+    /// [`VtopoError::UnknownVirtualSwitch`] when `dpid` is not mapped.
+    pub fn expand_members(&self, dpid: DatapathId) -> Result<Vec<DatapathId>, VtopoError> {
+        let vs = self
+            .switch(dpid)
+            .ok_or(VtopoError::UnknownVirtualSwitch(dpid))?;
+        Ok(vs.members.iter().map(|m| DatapathId(*m)).collect())
+    }
+
+    /// Translates a flow-mod issued against a virtual big switch into
+    /// physical flow-mods along shortest member paths.
+    ///
+    /// Semantics: for each `Output(vport)` action, physical rules are
+    /// installed on every switch along the path from the rule's scope to the
+    /// egress endpoint. When the match pins `in_port` (a virtual port), only
+    /// the path from that ingress is installed; otherwise rules route from
+    /// *every* member switch toward the egress (destination-routed).
+    ///
+    /// # Errors
+    ///
+    /// * [`VtopoError::UnknownVirtualSwitch`] / [`VtopoError::UnknownVirtualPort`]
+    ///   for unmapped identifiers.
+    /// * [`VtopoError::Disconnected`] when members are not connected.
+    pub fn translate_flow_mod(
+        &self,
+        dpid: DatapathId,
+        fm: &FlowMod,
+    ) -> Result<Vec<(DatapathId, FlowMod)>, VtopoError> {
+        let vs = self
+            .switch(dpid)
+            .ok_or(VtopoError::UnknownVirtualSwitch(dpid))?;
+
+        // Resolve the egress endpoints named by Output actions.
+        let mut egresses: Vec<VirtualPort> = Vec::new();
+        for action in &fm.actions {
+            if let Action::Output(p) = action {
+                if p.is_reserved() {
+                    continue;
+                }
+                let vp = vs
+                    .ports
+                    .iter()
+                    .find(|vp| vp.vport == *p)
+                    .ok_or(VtopoError::UnknownVirtualPort(*p))?;
+                egresses.push(*vp);
+            }
+        }
+
+        // Resolve the ingress scope.
+        let ingress: Option<VirtualPort> = match fm.flow_match.in_port {
+            Some(vp) => Some(
+                *vs.ports
+                    .iter()
+                    .find(|p| p.vport == vp)
+                    .ok_or(VtopoError::UnknownVirtualPort(vp))?,
+            ),
+            None => None,
+        };
+
+        let mut out: Vec<(DatapathId, FlowMod)> = Vec::new();
+        for egress in &egresses {
+            let sources: Vec<u64> = match &ingress {
+                Some(ing) => vec![ing.phys_dpid.0],
+                None => vs.members.iter().copied().collect(),
+            };
+            for src in sources {
+                let path = self.member_path(vs, src, egress.phys_dpid.0)?;
+                for (i, hop) in path.iter().enumerate() {
+                    let out_port = if *hop == egress.phys_dpid.0 {
+                        egress.phys_port
+                    } else {
+                        let next = path[i + 1];
+                        PortNo(
+                            *self
+                                .adjacency
+                                .get(&(*hop, next))
+                                .expect("path edges exist in adjacency"),
+                        )
+                    };
+                    let mut phys = fm.clone();
+                    // Rewrite the match: ingress in_port only applies at the
+                    // first hop; transit hops match on the rest of the tuple.
+                    phys.flow_match.in_port = match (&ingress, i) {
+                        (Some(ing), 0) if *hop == ing.phys_dpid.0 => Some(ing.phys_port),
+                        _ => None,
+                    };
+                    // Rewrite actions: keep rewrites, replace virtual outputs.
+                    let mut actions: Vec<Action> = Vec::new();
+                    for a in &fm.actions {
+                        match a {
+                            Action::Output(_) => actions.push(Action::Output(out_port)),
+                            other => {
+                                // Header rewrites only at the egress switch so
+                                // transit matching still sees original headers.
+                                if *hop == egress.phys_dpid.0 {
+                                    actions.push(other.clone());
+                                }
+                            }
+                        }
+                    }
+                    // Deduplicate identical consecutive outputs produced by
+                    // multiple Output actions to the same egress.
+                    phys.actions = ActionList(actions);
+                    let dp = DatapathId(*hop);
+                    if !out.iter().any(|(d, f)| *d == dp && f == &phys) {
+                        out.push((dp, phys));
+                    }
+                }
+            }
+        }
+        // Egress-less rules (drops) apply on every member (or the ingress).
+        if egresses.is_empty() {
+            let targets: Vec<u64> = match &ingress {
+                Some(ing) => vec![ing.phys_dpid.0],
+                None => vs.members.iter().copied().collect(),
+            };
+            for t in targets {
+                let mut phys = fm.clone();
+                phys.flow_match.in_port = ingress
+                    .as_ref()
+                    .and_then(|ing| (ing.phys_dpid.0 == t).then_some(ing.phys_port));
+                out.push((DatapathId(t), phys));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shortest path between member switches, restricted to the member set.
+    fn member_path(&self, vs: &VirtualSwitch, from: u64, to: u64) -> Result<Vec<u64>, VtopoError> {
+        if from == to {
+            return Ok(vec![from]);
+        }
+        let mut prev: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        seen.insert(from);
+        while let Some(cur) = queue.pop_front() {
+            for ((src, dst), _) in self.adjacency.range((cur, 0)..=(cur, u64::MAX)) {
+                debug_assert_eq!(*src, cur);
+                if vs.members.contains(dst) && seen.insert(*dst) {
+                    prev.insert(*dst, cur);
+                    if *dst == to {
+                        let mut path = vec![to];
+                        let mut c = to;
+                        while c != from {
+                            c = prev[&c];
+                            path.push(c);
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    queue.push_back(*dst);
+                }
+            }
+        }
+        Err(VtopoError::Disconnected { from, to })
+    }
+
+    /// Aggregates per-member statistics replies into one virtual reply.
+    ///
+    /// Flow stats concatenate; aggregate/port/table stats sum.
+    pub fn aggregate_stats(&self, replies: Vec<StatsReply>) -> StatsReply {
+        let mut agg = AggregateStats::default();
+        let mut flows = Vec::new();
+        let mut ports = Vec::new();
+        let mut table: Option<sdnshield_openflow::messages::TableStats> = None;
+        let mut saw_agg = false;
+        let mut saw_flow = false;
+        let mut saw_port = false;
+        for r in replies {
+            match r {
+                StatsReply::Aggregate(a) => {
+                    saw_agg = true;
+                    agg.packet_count += a.packet_count;
+                    agg.byte_count += a.byte_count;
+                    agg.flow_count += a.flow_count;
+                }
+                StatsReply::Flow(mut f) => {
+                    saw_flow = true;
+                    flows.append(&mut f);
+                }
+                StatsReply::Port(mut p) => {
+                    saw_port = true;
+                    ports.append(&mut p);
+                }
+                StatsReply::Table(t) => {
+                    let acc = table.get_or_insert_with(Default::default);
+                    acc.active_count += t.active_count;
+                    acc.lookup_count += t.lookup_count;
+                    acc.matched_count += t.matched_count;
+                    acc.max_entries += t.max_entries;
+                }
+            }
+        }
+        if saw_flow {
+            StatsReply::Flow(flows)
+        } else if saw_port {
+            StatsReply::Port(ports)
+        } else if saw_agg {
+            StatsReply::Aggregate(agg)
+        } else {
+            StatsReply::Table(table.unwrap_or_default())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_openflow::flow_match::FlowMatch;
+    use sdnshield_openflow::types::{Ipv4, Priority};
+
+    /// Linear 3-switch physical view: h-(s1)-(s2)-(s3)-h with hosts on 1, 3.
+    fn linear3() -> PhysView {
+        PhysView {
+            switches: [1, 2, 3].into_iter().collect(),
+            // s1 port2 <-> s2 port1 ; s2 port2 <-> s3 port1
+            links: vec![(1, 2, 2, 1), (2, 1, 1, 2), (2, 2, 3, 1), (3, 1, 2, 2)],
+            edge_ports: vec![(1, 1), (3, 2)],
+        }
+    }
+
+    #[test]
+    fn big_switch_port_enumeration() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let vs = &vt.switches()[0];
+        assert_eq!(vs.dpid, DatapathId(1));
+        assert_eq!(vs.members.len(), 3);
+        // Two edge ports: (1,1) and (3,2), numbered deterministically.
+        assert_eq!(vs.ports.len(), 2);
+        assert_eq!(vs.ports[0].phys_dpid, DatapathId(1));
+        assert_eq!(vs.ports[0].vport, PortNo(1));
+        assert_eq!(vs.ports[1].phys_dpid, DatapathId(3));
+        assert_eq!(vs.ports[1].vport, PortNo(2));
+    }
+
+    #[test]
+    fn unknown_member_rejected() {
+        let spec = VirtualTopologySpec::Map(vec![VirtualSwitchDef {
+            virtual_dpid: 10,
+            members: [1, 99].into_iter().collect(),
+        }]);
+        assert_eq!(
+            VirtualTopology::build(&spec, &linear3()).unwrap_err(),
+            VtopoError::UnknownMember(99)
+        );
+    }
+
+    #[test]
+    fn translate_ingress_to_egress_path() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        // Virtual rule: in_port 1 (s1 edge) -> output port 2 (s3 edge).
+        let fm = FlowMod::add(
+            FlowMatch::default()
+                .with_in_port(PortNo(1))
+                .with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+            Priority(10),
+            ActionList::output(PortNo(2)),
+        );
+        let phys = vt.translate_flow_mod(DatapathId(1), &fm).unwrap();
+        // One rule per switch along 1-2-3.
+        assert_eq!(phys.len(), 3);
+        let dpids: Vec<u64> = phys.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(dpids, vec![1, 2, 3]);
+        // s1 keeps the physical in_port and forwards out port 2 (toward s2).
+        assert_eq!(phys[0].1.flow_match.in_port, Some(PortNo(1)));
+        assert_eq!(phys[0].1.actions, ActionList::output(PortNo(2)));
+        // s2 is transit: no in_port pin, forwards out port 2 (toward s3).
+        assert_eq!(phys[1].1.flow_match.in_port, None);
+        assert_eq!(phys[1].1.actions, ActionList::output(PortNo(2)));
+        // s3 egresses on the edge port 2.
+        assert_eq!(phys[2].1.actions, ActionList::output(PortNo(2)));
+        // All keep the IP match.
+        for (_, f) in &phys {
+            assert!(f.flow_match.ip_dst.is_some());
+            assert_eq!(f.priority, Priority(10));
+        }
+    }
+
+    #[test]
+    fn translate_without_ingress_routes_from_all_members() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let fm = FlowMod::add(
+            FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3)),
+            Priority(10),
+            ActionList::output(PortNo(2)), // egress at s3
+        );
+        let phys = vt.translate_flow_mod(DatapathId(1), &fm).unwrap();
+        // Every member has a rule routing toward s3; dedup keeps them unique.
+        let dpids: BTreeSet<u64> = phys.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(dpids, [1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn rewrites_applied_only_at_egress() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let fm = FlowMod::add(
+            FlowMatch::default().with_in_port(PortNo(1)),
+            Priority(5),
+            ActionList(vec![
+                Action::SetIpDst(Ipv4::new(9, 9, 9, 9)),
+                Action::Output(PortNo(2)),
+            ]),
+        );
+        let phys = vt.translate_flow_mod(DatapathId(1), &fm).unwrap();
+        for (dpid, f) in &phys {
+            let has_rewrite = f.actions.iter().any(|a| a.is_modifying());
+            assert_eq!(has_rewrite, dpid.0 == 3, "rewrite only at egress switch");
+        }
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let fm = FlowMod::add(FlowMatch::any(), Priority(1), ActionList::output(PortNo(9)));
+        assert_eq!(
+            vt.translate_flow_mod(DatapathId(1), &fm).unwrap_err(),
+            VtopoError::UnknownVirtualPort(PortNo(9))
+        );
+        assert_eq!(
+            vt.translate_flow_mod(DatapathId(42), &fm).unwrap_err(),
+            VtopoError::UnknownVirtualSwitch(DatapathId(42))
+        );
+    }
+
+    #[test]
+    fn disconnected_members_detected() {
+        let phys = PhysView {
+            switches: [1, 2].into_iter().collect(),
+            links: vec![], // no connectivity
+            edge_ports: vec![(1, 1), (2, 1)],
+        };
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &phys).unwrap();
+        let fm = FlowMod::add(
+            FlowMatch::default().with_in_port(PortNo(1)),
+            Priority(1),
+            ActionList::output(PortNo(2)),
+        );
+        assert!(matches!(
+            vt.translate_flow_mod(DatapathId(1), &fm).unwrap_err(),
+            VtopoError::Disconnected { .. }
+        ));
+    }
+
+    #[test]
+    fn drop_rules_install_on_scope() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let fm = FlowMod::add(
+            FlowMatch::default().with_tp_dst(23),
+            Priority(100),
+            ActionList::drop(),
+        );
+        let phys = vt.translate_flow_mod(DatapathId(1), &fm).unwrap();
+        assert_eq!(phys.len(), 3, "drop everywhere");
+        for (_, f) in &phys {
+            assert!(f.actions.is_drop());
+        }
+    }
+
+    #[test]
+    fn explicit_map_two_virtual_switches() {
+        let spec = VirtualTopologySpec::Map(vec![
+            VirtualSwitchDef {
+                virtual_dpid: 10,
+                members: [1, 2].into_iter().collect(),
+            },
+            VirtualSwitchDef {
+                virtual_dpid: 11,
+                members: [3].into_iter().collect(),
+            },
+        ]);
+        let vt = VirtualTopology::build(&spec, &linear3()).unwrap();
+        assert!(vt.contains(DatapathId(10)));
+        assert!(vt.contains(DatapathId(11)));
+        assert!(!vt.contains(DatapathId(1)));
+        // Virtual switch 10's external ports: edge (1,1) and boundary (2,2)
+        // toward s3.
+        let vs10 = vt.switch(DatapathId(10)).unwrap();
+        let phys_endpoints: Vec<(u64, u16)> = vs10
+            .ports
+            .iter()
+            .map(|p| (p.phys_dpid.0, p.phys_port.0))
+            .collect();
+        assert_eq!(phys_endpoints, vec![(1, 1), (2, 2)]);
+        assert_eq!(
+            vt.expand_members(DatapathId(11)).unwrap(),
+            vec![DatapathId(3)]
+        );
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let vt = VirtualTopology::build(&VirtualTopologySpec::SingleBigSwitch, &linear3()).unwrap();
+        let agg = vt.aggregate_stats(vec![
+            StatsReply::Aggregate(AggregateStats {
+                packet_count: 5,
+                byte_count: 500,
+                flow_count: 2,
+            }),
+            StatsReply::Aggregate(AggregateStats {
+                packet_count: 3,
+                byte_count: 300,
+                flow_count: 1,
+            }),
+        ]);
+        assert_eq!(
+            agg,
+            StatsReply::Aggregate(AggregateStats {
+                packet_count: 8,
+                byte_count: 800,
+                flow_count: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn spec_display() {
+        assert_eq!(
+            VirtualTopologySpec::SingleBigSwitch.to_string(),
+            "VIRTUAL SINGLE_BIG_SWITCH"
+        );
+        let spec = VirtualTopologySpec::Map(vec![VirtualSwitchDef {
+            virtual_dpid: 10,
+            members: [1, 2].into_iter().collect(),
+        }]);
+        assert_eq!(spec.to_string(), "VIRTUAL { 1,2 AS 10 }");
+    }
+}

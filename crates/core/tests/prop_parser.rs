@@ -1,0 +1,101 @@
+//! Property tests for the two language front ends: no input may panic the
+//! parsers, and well-formed constructs round-trip.
+
+use proptest::prelude::*;
+
+use sdnshield_core::lang::{parse_filter, parse_manifest};
+use sdnshield_core::policy::parse_policy;
+use sdnshield_core::token::PermissionToken;
+
+proptest! {
+    /// Arbitrary byte soup never panics the manifest parser.
+    #[test]
+    fn manifest_parser_never_panics(input in ".{0,256}") {
+        let _ = parse_manifest(&input);
+    }
+
+    /// Arbitrary byte soup never panics the policy parser.
+    #[test]
+    fn policy_parser_never_panics(input in ".{0,256}") {
+        let _ = parse_policy(&input);
+    }
+
+    /// Arbitrary byte soup never panics the filter parser.
+    #[test]
+    fn filter_parser_never_panics(input in ".{0,256}") {
+        let _ = parse_filter(&input);
+    }
+
+    /// Structured-looking garbage (keyword salad) never panics either and
+    /// errors carry a line number within the input.
+    #[test]
+    fn keyword_salad_fails_gracefully(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("PERM"), Just("LIMITING"), Just("AND"), Just("OR"),
+                Just("NOT"), Just("MASK"), Just("ASSERT"), Just("EITHER"),
+                Just("LET"), Just("MEET"), Just("JOIN"), Just("APP"),
+                Just("insert_flow"), Just("IP_DST"), Just("10.0.0.1"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just("42"),
+                Just("<="), Just("OWN_FLOWS"), Just("SWITCH"), Just(","),
+            ],
+            0..24,
+        )
+    ) {
+        let input = words.join(" ");
+        if let Err(e) = parse_manifest(&input) {
+            let _ = e.to_string();
+        }
+        if let Err(e) = parse_policy(&input) {
+            let _ = e.to_string();
+        }
+    }
+
+    /// Every valid single-token manifest parses, prints, and re-parses
+    /// to the same set.
+    #[test]
+    fn token_names_roundtrip(idx in 0usize..PermissionToken::ALL.len()) {
+        let token = PermissionToken::ALL[idx];
+        let src = format!("PERM {}", token.name());
+        let parsed = parse_manifest(&src).unwrap();
+        prop_assert!(parsed.contains_token(token));
+        let reparsed = parse_manifest(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// Random IP/mask predicates round-trip through print → parse.
+    #[test]
+    fn predicate_values_roundtrip(addr in any::<u32>(), prefix in 0u8..=32, port in 1u16..u16::MAX) {
+        let ip = sdnshield_openflow::types::Ipv4(addr);
+        let mask = sdnshield_openflow::types::Ipv4::prefix_mask(prefix);
+        let src = format!(
+            "PERM insert_flow LIMITING IP_DST {} MASK {} AND TCP_DST {}",
+            ip.masked(mask), mask, port
+        );
+        let parsed = parse_manifest(&src).unwrap();
+        let reparsed = parse_manifest(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// Random policy programs built from a small grammar parse and their
+    /// constraints are countable.
+    #[test]
+    fn generated_policies_parse(
+        n_lets in 0usize..4,
+        n_asserts in 0usize..4,
+        subnet in 0u8..200,
+    ) {
+        let mut src = String::new();
+        for i in 0..n_lets {
+            src.push_str(&format!(
+                "LET v{i} = {{ PERM read_statistics LIMITING IP_DST 10.{subnet}.0.0 MASK 255.255.0.0 }}\n"
+            ));
+        }
+        for _ in 0..n_asserts {
+            src.push_str("ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }\n");
+        }
+        let policy = parse_policy(&src).unwrap();
+        prop_assert_eq!(policy.constraints().count(), n_asserts);
+        prop_assert_eq!(policy.stmts.len(), n_lets + n_asserts);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests of the soundness contract binding the three layers
+//! of SDNShield's permission system together:
+//!
+//! * **inclusion soundness** — if `algebra::includes(a, b)` then every API
+//!   call passing filter `b` passes filter `a` (this is what makes
+//!   reconciliation's boundary checks meaningful);
+//! * **MEET/JOIN semantics** — set operations on permission sets behave as
+//!   intersection/union of allowed behaviors;
+//! * **engine consistency** — the compiled DNF fast path and the interpreted
+//!   AST path always agree.
+
+use proptest::prelude::*;
+
+use sdnshield_core::algebra;
+use sdnshield_core::api::{ApiCall, ApiCallKind, AppId};
+use sdnshield_core::engine::PermissionEngine;
+use sdnshield_core::eval::{eval, NullContext};
+use sdnshield_core::filter::{
+    ActionConstraint, FilterExpr, Ownership, SingletonFilter, StatsLevel,
+};
+use sdnshield_core::perm::{Permission, PermissionSet};
+use sdnshield_core::token::PermissionToken;
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::{FlowMatch, MaskedIpv4};
+use sdnshield_openflow::messages::{FlowMod, StatsRequest};
+use sdnshield_openflow::types::{DatapathId, Ipv4, PortNo, Priority};
+
+/// Singleton filters over a small attribute space, so random calls exercise
+/// both passes and rejections.
+fn arb_singleton() -> impl Strategy<Value = SingletonFilter> {
+    prop_oneof![
+        (0u32..4, 8u8..=24).prop_map(|(net, len)| {
+            SingletonFilter::Pred(FlowMatch {
+                ip_dst: Some(MaskedIpv4::prefix(Ipv4(net << 24), len)),
+                ..FlowMatch::default()
+            })
+        }),
+        (0u16..200).prop_map(SingletonFilter::MaxPriority),
+        (0u16..200).prop_map(SingletonFilter::MinPriority),
+        prop_oneof![
+            Just(SingletonFilter::Action(ActionConstraint::Forward)),
+            Just(SingletonFilter::Action(ActionConstraint::Drop)),
+        ],
+        prop_oneof![
+            Just(SingletonFilter::Ownership(Ownership::OwnFlows)),
+            Just(SingletonFilter::Ownership(Ownership::AllFlows)),
+        ],
+        prop_oneof![
+            Just(SingletonFilter::Stats(StatsLevel::FlowLevel)),
+            Just(SingletonFilter::Stats(StatsLevel::PortLevel)),
+            Just(SingletonFilter::Stats(StatsLevel::SwitchLevel)),
+        ],
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = FilterExpr> {
+    let leaf = prop_oneof![
+        Just(FilterExpr::True),
+        arb_singleton().prop_map(FilterExpr::Atom),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(FilterExpr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(FilterExpr::Or),
+            inner.prop_map(|x| FilterExpr::Not(Box::new(x))),
+        ]
+    })
+}
+
+/// Random API calls covering the attributes the filters above inspect.
+fn arb_call() -> impl Strategy<Value = ApiCall> {
+    prop_oneof![
+        // insert_flow with varying subnet, priority, actions.
+        (0u32..4, 8u8..=32, 0u16..200, any::<bool>()).prop_map(|(net, len, prio, drop)| {
+            let actions = if drop {
+                ActionList::drop()
+            } else {
+                ActionList::output(PortNo(1))
+            };
+            ApiCall::new(
+                AppId(1),
+                ApiCallKind::InsertFlow {
+                    dpid: DatapathId(1),
+                    flow_mod: FlowMod::add(
+                        FlowMatch {
+                            ip_dst: Some(MaskedIpv4::prefix(Ipv4(net << 24), len)),
+                            ..FlowMatch::default()
+                        },
+                        Priority(prio),
+                        actions,
+                    ),
+                },
+            )
+        }),
+        // read_statistics at each level.
+        (0u8..3).prop_map(|lvl| {
+            let request = match lvl {
+                0 => StatsRequest::Flow(FlowMatch::any()),
+                1 => StatsRequest::Port(PortNo::NONE),
+                _ => StatsRequest::Table,
+            };
+            ApiCall::new(
+                AppId(1),
+                ApiCallKind::ReadStatistics {
+                    dpid: DatapathId(1),
+                    request,
+                },
+            )
+        }),
+        Just(ApiCall::new(AppId(1), ApiCallKind::ReadTopology)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The central soundness theorem: inclusion implies behavioral
+    /// containment.
+    #[test]
+    fn inclusion_implies_containment(a in arb_filter(), b in arb_filter(), call in arb_call()) {
+        if algebra::includes(&a, &b) && eval(&b, &call, &NullContext) {
+            prop_assert!(
+                eval(&a, &call, &NullContext),
+                "includes({a}, {b}) held but call {call} passed b and failed a"
+            );
+        }
+    }
+
+    /// Inclusion is reflexive on stub-free filters.
+    #[test]
+    fn inclusion_reflexive(a in arb_filter()) {
+        prop_assert!(algebra::includes(&a, &a.clone().and(a.clone())));
+    }
+
+    /// `a AND b` is included in both; both are included in `a OR b`.
+    #[test]
+    fn lattice_shape(a in arb_filter(), b in arb_filter()) {
+        let and = a.clone().and(b.clone());
+        let or = a.clone().or(b.clone());
+        prop_assert!(algebra::includes(&a, &and));
+        prop_assert!(algebra::includes(&b, &and));
+        prop_assert!(algebra::includes(&or, &a));
+        prop_assert!(algebra::includes(&or, &b));
+    }
+
+    /// AND/OR evaluation matches boolean semantics of the operands.
+    #[test]
+    fn eval_composes(a in arb_filter(), b in arb_filter(), call in arb_call()) {
+        let ea = eval(&a, &call, &NullContext);
+        let eb = eval(&b, &call, &NullContext);
+        prop_assert_eq!(eval(&a.clone().and(b.clone()), &call, &NullContext), ea && eb);
+        prop_assert_eq!(eval(&a.clone().or(b.clone()), &call, &NullContext), ea || eb);
+        prop_assert_eq!(eval(&a.clone().not(), &call, &NullContext), !ea);
+    }
+
+    /// Compiled (DNF) and interpreted engine paths agree on every call.
+    #[test]
+    fn engine_paths_agree(f in arb_filter(), call in arb_call()) {
+        let manifest = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, f.clone()),
+            Permission::limited(PermissionToken::ReadStatistics, f.clone()),
+            Permission::limited(PermissionToken::VisibleTopology, f),
+        ]);
+        let engine = PermissionEngine::compile(&manifest);
+        prop_assert_eq!(
+            engine.check(&call, &NullContext),
+            engine.check_interpreted(&call, &NullContext)
+        );
+    }
+
+    /// MEET behaves as behavioral intersection; JOIN as union.
+    #[test]
+    fn meet_join_semantics(fa in arb_filter(), fb in arb_filter(), call in arb_call()) {
+        let a = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, fa),
+        ]);
+        let b = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, fb),
+        ]);
+        let allowed = |s: &PermissionSet| {
+            s.filter(PermissionToken::InsertFlow)
+                .map(|f| eval(f, &call, &NullContext))
+                .unwrap_or(false)
+        };
+        if matches!(call.kind, ApiCallKind::InsertFlow { .. }) {
+            prop_assert_eq!(allowed(&a.meet(&b)), allowed(&a) && allowed(&b));
+            prop_assert_eq!(allowed(&a.join(&b)), allowed(&a) || allowed(&b));
+        }
+    }
+
+    /// Set inclusion is sound for behavior: if A includes B and B's engine
+    /// allows a call, A's engine allows it too.
+    #[test]
+    fn set_inclusion_sound(fa in arb_filter(), fb in arb_filter(), call in arb_call()) {
+        let a = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, fa),
+        ]);
+        let b = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, fb),
+        ]);
+        if a.includes(&b) {
+            let ea = PermissionEngine::compile(&a);
+            let eb = PermissionEngine::compile(&b);
+            if eb.check(&call, &NullContext).is_allowed() {
+                prop_assert!(ea.check(&call, &NullContext).is_allowed());
+            }
+        }
+    }
+
+    /// Print→parse is idempotent: one roundtrip reaches a fixed point that
+    /// further roundtrips preserve exactly. (Raw generated trees may contain
+    /// shapes like `And([True, True])` that the parser's smart constructors
+    /// flatten, so the first roundtrip normalizes rather than preserves.)
+    #[test]
+    fn manifest_print_parse_roundtrip(f in arb_filter()) {
+        let set = PermissionSet::from_permissions([
+            Permission::limited(PermissionToken::InsertFlow, f),
+        ]);
+        let printed = set.to_string();
+        let normalized = sdnshield_core::lang::parse_manifest(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
+        let reprinted = normalized.to_string();
+        let twice = sdnshield_core::lang::parse_manifest(&reprinted)
+            .unwrap_or_else(|e| panic!("re-reparse failed for `{reprinted}`: {e}"));
+        prop_assert_eq!(normalized, twice);
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated OpenFlow network substrate for the SDNShield reproduction.
+//!
+//! The paper's evaluation ran against physical switches driven by CBench.
+//! This crate substitutes a deterministic simulator (see DESIGN.md §2):
+//!
+//! * [`topology`] — the switch/link/host graph with shortest-path queries
+//!   and builders for common shapes.
+//! * [`switch`] — a simulated OpenFlow switch (flow table, ports, counters).
+//! * [`network`] — the data-plane walk carrying packets hop by hop, plus a
+//!   virtual clock driving flow timeouts.
+//! * [`trafficgen`] — a CBench-like packet-in generator for the end-to-end
+//!   benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdnshield_netsim::network::{Delivery, Network};
+//! use sdnshield_netsim::topology::builders;
+//! use sdnshield_openflow::packet::EthernetFrame;
+//! use sdnshield_openflow::types::{EthAddr, Ipv4};
+//!
+//! let mut net = Network::new(builders::linear(2), 1024);
+//! let arp = EthernetFrame::arp_request(
+//!     EthAddr::from_u64(1),
+//!     Ipv4::new(10, 0, 0, 1),
+//!     Ipv4::new(10, 0, 0, 2),
+//! );
+//! // With empty flow tables the first packet punts to the controller.
+//! let deliveries = net.inject_from_host(arp)?;
+//! assert!(matches!(deliveries[0], Delivery::ToController { .. }));
+//! # Ok::<(), sdnshield_openflow::messages::OfError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod network;
+pub mod switch;
+pub mod topology;
+pub mod trafficgen;
+
+pub use network::{Delivery, DropReason, Network};
+pub use switch::SimSwitch;
+pub use topology::{Host, Link, LinkId, Topology};
+pub use trafficgen::{PacketKind, TrafficGen};

@@ -1,0 +1,573 @@
+//! The data-plane walk: injecting packets and carrying them hop by hop
+//! through switch flow tables until they reach hosts or the controller.
+
+use std::collections::BTreeMap;
+
+use sdnshield_openflow::flow_table::RemovedEntry;
+use sdnshield_openflow::messages::{
+    FlowMod, OfError, PacketIn, PacketInReason, StatsReply, StatsRequest,
+};
+use sdnshield_openflow::packet::EthernetFrame;
+use sdnshield_openflow::types::{BufferId, DatapathId, EthAddr, PortNo};
+
+use crate::switch::{Forwarding, SimSwitch};
+use crate::topology::{Host, Topology};
+
+/// Maximum hops a single injected packet may traverse before the simulator
+/// declares a forwarding loop and drops it.
+pub const MAX_HOPS: usize = 64;
+
+/// Where a packet ended up after a data-plane walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered to a host NIC.
+    ToHost {
+        /// MAC of the receiving host.
+        mac: EthAddr,
+        /// The frame as received.
+        frame: EthernetFrame,
+    },
+    /// Punted to the controller as a packet-in.
+    ToController {
+        /// Switch that punted.
+        dpid: DatapathId,
+        /// The packet-in body.
+        packet_in: PacketIn,
+    },
+    /// Dropped: matched a drop rule, exited a dangling port, or hit the hop
+    /// limit.
+    Dropped {
+        /// Switch where the drop happened.
+        dpid: DatapathId,
+        /// Why it dropped.
+        reason: DropReason,
+    },
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// A flow entry with no forwarding action.
+    DropRule,
+    /// Output port had neither a link nor a host.
+    DanglingPort,
+    /// Hop budget exhausted (forwarding loop).
+    LoopGuard,
+}
+
+/// A removed flow entry along with the switch it was removed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedFlow {
+    /// The switch.
+    pub dpid: DatapathId,
+    /// The entry and removal reason.
+    pub removed: RemovedEntry,
+}
+
+/// The simulated network: topology + live switch state + virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_netsim::network::Network;
+/// use sdnshield_netsim::topology::builders;
+///
+/// let net = Network::new(builders::linear(3), 1024);
+/// assert_eq!(net.topology().switch_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    switches: BTreeMap<DatapathId, SimSwitch>,
+    clock: u64,
+}
+
+impl Network {
+    /// Builds a network over a topology, giving every switch the same
+    /// flow-table capacity.
+    pub fn new(topology: Topology, table_capacity: usize) -> Self {
+        let switches = topology
+            .switches()
+            .map(|s| (s.dpid, SimSwitch::new(s.dpid, table_capacity)))
+            .collect();
+        Network {
+            topology,
+            switches,
+            clock: 0,
+        }
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the topology (controller-initiated changes).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the virtual clock and expires timed-out entries everywhere.
+    pub fn advance_clock(&mut self, secs: u64) -> Vec<RemovedFlow> {
+        self.clock += secs;
+        let now = self.clock;
+        let mut removed = Vec::new();
+        for (dpid, sw) in &mut self.switches {
+            for r in sw.expire(now) {
+                removed.push(RemovedFlow {
+                    dpid: *dpid,
+                    removed: r,
+                });
+            }
+        }
+        removed
+    }
+
+    /// Read access to one switch.
+    pub fn switch(&self, dpid: DatapathId) -> Option<&SimSwitch> {
+        self.switches.get(&dpid)
+    }
+
+    /// Applies a flow-mod on a switch.
+    ///
+    /// # Errors
+    ///
+    /// [`OfError::BadRequest`] for unknown switches; table errors otherwise.
+    pub fn apply_flow_mod(
+        &mut self,
+        dpid: DatapathId,
+        fm: &FlowMod,
+    ) -> Result<Vec<RemovedEntry>, OfError> {
+        let now = self.clock;
+        let sw = self
+            .switches
+            .get_mut(&dpid)
+            .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
+        sw.apply_flow_mod(fm, now)
+    }
+
+    /// Answers a stats request for a switch.
+    ///
+    /// # Errors
+    ///
+    /// [`OfError::BadRequest`] for unknown switches.
+    pub fn stats(&self, dpid: DatapathId, req: &StatsRequest) -> Result<StatsReply, OfError> {
+        let sw = self
+            .switches
+            .get(&dpid)
+            .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
+        Ok(sw.stats(req, self.clock))
+    }
+
+    /// Injects a frame from a host NIC; returns every terminal delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`OfError::BadRequest`] when the source MAC is not an attached host.
+    pub fn inject_from_host(&mut self, frame: EthernetFrame) -> Result<Vec<Delivery>, OfError> {
+        let host = self
+            .topology
+            .host_by_mac(frame.src)
+            .cloned()
+            .ok_or_else(|| OfError::BadRequest("source MAC is not an attached host".into()))?;
+        Ok(self.walk(host.switch, host.port, frame))
+    }
+
+    /// Injects a controller packet-out at a switch: applies `actions` and
+    /// walks the results through the network.
+    ///
+    /// # Errors
+    ///
+    /// [`OfError::BadRequest`] for unknown switches.
+    pub fn inject_packet_out(
+        &mut self,
+        dpid: DatapathId,
+        in_port: PortNo,
+        frame: EthernetFrame,
+        actions: impl IntoIterator<Item = sdnshield_openflow::actions::Action>,
+    ) -> Result<Vec<Delivery>, OfError> {
+        let len = frame.to_bytes().len();
+        let sw = self
+            .switches
+            .get_mut(&dpid)
+            .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
+        let (frame, ports) = sw.apply_packet_out(in_port, frame, actions, len);
+        let mut out = Vec::new();
+        for port in self.expand_ports(dpid, in_port, ports) {
+            out.extend(self.emit(dpid, port, frame.clone(), MAX_HOPS));
+        }
+        Ok(out)
+    }
+
+    /// Carries a frame entering `dpid` on `in_port` to its destinations.
+    fn walk(&mut self, dpid: DatapathId, in_port: PortNo, frame: EthernetFrame) -> Vec<Delivery> {
+        self.step(dpid, in_port, frame, MAX_HOPS)
+    }
+
+    fn step(
+        &mut self,
+        dpid: DatapathId,
+        in_port: PortNo,
+        frame: EthernetFrame,
+        budget: usize,
+    ) -> Vec<Delivery> {
+        if budget == 0 {
+            return vec![Delivery::Dropped {
+                dpid,
+                reason: DropReason::LoopGuard,
+            }];
+        }
+        let now = self.clock;
+        let Some(sw) = self.switches.get_mut(&dpid) else {
+            return vec![Delivery::Dropped {
+                dpid,
+                reason: DropReason::DanglingPort,
+            }];
+        };
+        match sw.process(in_port, &frame, now) {
+            Forwarding::PacketIn => {
+                let payload = frame.to_bytes();
+                vec![Delivery::ToController {
+                    dpid,
+                    packet_in: PacketIn {
+                        buffer_id: BufferId::NO_BUFFER,
+                        in_port,
+                        reason: PacketInReason::NoMatch,
+                        payload,
+                    },
+                }]
+            }
+            Forwarding::Forward {
+                frame,
+                ports,
+                copy_to_controller,
+            } => {
+                let mut out = Vec::new();
+                if copy_to_controller {
+                    out.push(Delivery::ToController {
+                        dpid,
+                        packet_in: PacketIn {
+                            buffer_id: BufferId::NO_BUFFER,
+                            in_port,
+                            reason: PacketInReason::Action,
+                            payload: frame.to_bytes(),
+                        },
+                    });
+                }
+                let resolved = self.expand_ports(dpid, in_port, ports);
+                if resolved.is_empty() && out.is_empty() {
+                    return vec![Delivery::Dropped {
+                        dpid,
+                        reason: DropReason::DropRule,
+                    }];
+                }
+                for port in resolved {
+                    out.extend(self.emit(dpid, port, frame.clone(), budget - 1));
+                }
+                out
+            }
+        }
+    }
+
+    /// Resolves reserved ports (FLOOD/ALL/IN_PORT) into concrete port lists.
+    fn expand_ports(&self, dpid: DatapathId, in_port: PortNo, ports: Vec<PortNo>) -> Vec<PortNo> {
+        let mut resolved = Vec::new();
+        for p in ports {
+            match p {
+                PortNo::FLOOD | PortNo::ALL => {
+                    if let Some(info) = self.topology.switch(dpid) {
+                        for port in &info.ports {
+                            let occupied = self.topology.link_from(dpid, *port).is_some()
+                                || self
+                                    .topology
+                                    .hosts()
+                                    .iter()
+                                    .any(|h| h.switch == dpid && h.port == *port);
+                            if *port != in_port && occupied {
+                                resolved.push(*port);
+                            }
+                        }
+                    }
+                }
+                PortNo::IN_PORT => resolved.push(in_port),
+                p if p.is_reserved() => {} // LOCAL/NONE etc.: ignore
+                p => resolved.push(p),
+            }
+        }
+        resolved
+    }
+
+    /// Emits a frame out of `(dpid, port)`: to a host, the next switch, or
+    /// the void.
+    fn emit(
+        &mut self,
+        dpid: DatapathId,
+        port: PortNo,
+        frame: EthernetFrame,
+        budget: usize,
+    ) -> Vec<Delivery> {
+        if let Some(link) = self.topology.link_from(dpid, port).copied() {
+            return self.step(link.dst, link.dst_port, frame, budget);
+        }
+        if let Some(host) = self
+            .topology
+            .hosts()
+            .iter()
+            .find(|h| h.switch == dpid && h.port == port)
+            .cloned()
+        {
+            return vec![Delivery::ToHost {
+                mac: host.mac,
+                frame,
+            }];
+        }
+        vec![Delivery::Dropped {
+            dpid,
+            reason: DropReason::DanglingPort,
+        }]
+    }
+
+    /// Convenience: the host record for a MAC.
+    pub fn host(&self, mac: EthAddr) -> Option<&Host> {
+        self.topology.host_by_mac(mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::builders;
+    use bytes::Bytes;
+    use sdnshield_openflow::actions::{Action, ActionList};
+    use sdnshield_openflow::flow_match::FlowMatch;
+    use sdnshield_openflow::packet::TcpFlags;
+    use sdnshield_openflow::types::{Ipv4, Priority};
+
+    fn tcp(src: u64, dst: u64, dst_ip: Ipv4) -> EthernetFrame {
+        EthernetFrame::tcp(
+            EthAddr::from_u64(src),
+            EthAddr::from_u64(dst),
+            Ipv4::new(10, 0, 0, src as u8),
+            dst_ip,
+            1000,
+            80,
+            TcpFlags::default(),
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn miss_everywhere_reaches_controller_once() {
+        let mut net = Network::new(builders::linear(3), 64);
+        let out = net
+            .inject_from_host(tcp(1, 3, Ipv4::new(10, 0, 0, 3)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Delivery::ToController { dpid, packet_in } => {
+                assert_eq!(*dpid, DatapathId(1));
+                assert_eq!(packet_in.reason, PacketInReason::NoMatch);
+                // Payload parses back to the original frame.
+                let parsed = EthernetFrame::from_bytes(packet_in.payload.clone()).unwrap();
+                assert_eq!(parsed.src, EthAddr::from_u64(1));
+            }
+            other => panic!("expected controller delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn installed_path_delivers_to_host() {
+        let mut net = Network::new(builders::linear(3), 64);
+        // Install a forwarding path 1→2→3→host3 matching dst ip 10.0.0.3.
+        let m = FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3));
+        // Find inter-switch ports.
+        let p12 = net
+            .topology()
+            .link_between(DatapathId(1), DatapathId(2))
+            .unwrap()
+            .src_port;
+        let p23 = net
+            .topology()
+            .link_between(DatapathId(2), DatapathId(3))
+            .unwrap()
+            .src_port;
+        let h3 = net
+            .topology()
+            .host_by_mac(EthAddr::from_u64(3))
+            .unwrap()
+            .port;
+        net.apply_flow_mod(
+            DatapathId(1),
+            &FlowMod::add(m.clone(), Priority(10), ActionList::output(p12)),
+        )
+        .unwrap();
+        net.apply_flow_mod(
+            DatapathId(2),
+            &FlowMod::add(m.clone(), Priority(10), ActionList::output(p23)),
+        )
+        .unwrap();
+        net.apply_flow_mod(
+            DatapathId(3),
+            &FlowMod::add(m.clone(), Priority(10), ActionList::output(h3)),
+        )
+        .unwrap();
+        let out = net
+            .inject_from_host(tcp(1, 3, Ipv4::new(10, 0, 0, 3)))
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Delivery::ToHost {
+                mac: EthAddr::from_u64(3),
+                frame: tcp(1, 3, Ipv4::new(10, 0, 0, 3)),
+            }]
+        );
+    }
+
+    #[test]
+    fn flood_reaches_all_other_hosts_and_switch_misses() {
+        let mut net = Network::new(builders::star(3), 64);
+        // Flood on every switch.
+        for s in [1u64, 2, 3, 4] {
+            net.apply_flow_mod(
+                DatapathId(s),
+                &FlowMod::add(
+                    FlowMatch::any(),
+                    Priority(1),
+                    ActionList::output(PortNo::FLOOD),
+                ),
+            )
+            .unwrap();
+        }
+        let arp = EthernetFrame::arp_request(
+            EthAddr::from_u64(1),
+            Ipv4::new(10, 0, 0, 1),
+            Ipv4::new(10, 0, 0, 2),
+        );
+        let out = net.inject_from_host(arp).unwrap();
+        let host_hits: Vec<_> = out
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::ToHost { mac, .. } => Some(*mac),
+                _ => None,
+            })
+            .collect();
+        assert!(host_hits.contains(&EthAddr::from_u64(2)));
+        assert!(host_hits.contains(&EthAddr::from_u64(3)));
+        assert!(!host_hits.contains(&EthAddr::from_u64(1)), "no hairpin");
+    }
+
+    #[test]
+    fn loop_guard_terminates() {
+        // Two switches forwarding to each other forever.
+        let mut net = Network::new(builders::linear(2), 64);
+        let p12 = net
+            .topology()
+            .link_between(DatapathId(1), DatapathId(2))
+            .unwrap()
+            .src_port;
+        let p21 = net
+            .topology()
+            .link_between(DatapathId(2), DatapathId(1))
+            .unwrap()
+            .src_port;
+        net.apply_flow_mod(
+            DatapathId(1),
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::output(p12)),
+        )
+        .unwrap();
+        net.apply_flow_mod(
+            DatapathId(2),
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::output(p21)),
+        )
+        .unwrap();
+        let out = net
+            .inject_from_host(tcp(1, 2, Ipv4::new(10, 0, 0, 2)))
+            .unwrap();
+        assert!(matches!(
+            out.as_slice(),
+            [Delivery::Dropped {
+                reason: DropReason::LoopGuard,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn drop_rule_reports_drop() {
+        let mut net = Network::new(builders::linear(2), 64);
+        net.apply_flow_mod(
+            DatapathId(1),
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()),
+        )
+        .unwrap();
+        let out = net
+            .inject_from_host(tcp(1, 2, Ipv4::new(10, 0, 0, 2)))
+            .unwrap();
+        assert!(matches!(
+            out.as_slice(),
+            [Delivery::Dropped {
+                dpid: DatapathId(1),
+                reason: DropReason::DropRule,
+            }]
+        ));
+    }
+
+    #[test]
+    fn packet_out_injects_into_dataplane() {
+        let mut net = Network::new(builders::linear(2), 64);
+        let h2 = net.topology().host_by_mac(EthAddr::from_u64(2)).unwrap();
+        let (dpid, port) = (h2.switch, h2.port);
+        let frame = tcp(1, 2, Ipv4::new(10, 0, 0, 2));
+        let out = net
+            .inject_packet_out(dpid, PortNo::NONE, frame.clone(), [Action::Output(port)])
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Delivery::ToHost {
+                mac: EthAddr::from_u64(2),
+                frame,
+            }]
+        );
+    }
+
+    #[test]
+    fn clock_advancement_expires_flows() {
+        let mut net = Network::new(builders::linear(2), 64);
+        net.apply_flow_mod(
+            DatapathId(1),
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()).with_hard_timeout(5),
+        )
+        .unwrap();
+        assert!(net.advance_clock(3).is_empty());
+        let removed = net.advance_clock(3);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].dpid, DatapathId(1));
+    }
+
+    #[test]
+    fn unknown_switch_rejected() {
+        let mut net = Network::new(builders::linear(2), 64);
+        let err = net
+            .apply_flow_mod(
+                DatapathId(99),
+                &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OfError::BadRequest(_)));
+        assert!(net.stats(DatapathId(99), &StatsRequest::Table).is_err());
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let mut net = Network::new(builders::linear(2), 64);
+        let err = net
+            .inject_from_host(tcp(77, 2, Ipv4::new(10, 0, 0, 2)))
+            .unwrap_err();
+        assert!(matches!(err, OfError::BadRequest(_)));
+    }
+}

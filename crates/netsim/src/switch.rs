@@ -1,0 +1,342 @@
+//! A simulated OpenFlow switch: flow table + ports + counters.
+
+use std::collections::BTreeMap;
+
+use sdnshield_openflow::flow_table::{FlowTable, RemovedEntry};
+use sdnshield_openflow::messages::{FlowMod, OfError, PortStats, StatsReply, StatsRequest};
+use sdnshield_openflow::packet::EthernetFrame;
+use sdnshield_openflow::types::{DatapathId, PortNo};
+
+/// What a switch decides to do with a packet after table lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Forwarding {
+    /// No matching entry: punt to the controller (packet-in).
+    PacketIn,
+    /// Matched an entry; forward the (possibly rewritten) frame out these
+    /// ports. An empty list means the entry dropped the packet.
+    Forward {
+        /// The frame after applying rewrite actions.
+        frame: EthernetFrame,
+        /// Egress ports (reserved ports already resolved, except FLOOD which
+        /// the network layer expands).
+        ports: Vec<PortNo>,
+        /// Whether the entry also punts a copy to the controller.
+        copy_to_controller: bool,
+    },
+}
+
+/// A simulated switch.
+#[derive(Debug)]
+pub struct SimSwitch {
+    /// The switch's datapath id.
+    pub dpid: DatapathId,
+    table: FlowTable,
+    port_stats: BTreeMap<PortNo, PortStats>,
+}
+
+impl SimSwitch {
+    /// Creates a switch with the given flow-table capacity.
+    pub fn new(dpid: DatapathId, table_capacity: usize) -> Self {
+        SimSwitch {
+            dpid,
+            table: FlowTable::new(table_capacity),
+            port_stats: BTreeMap::new(),
+        }
+    }
+
+    /// The flow table (read-only).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Applies a flow-mod at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors such as [`OfError::TableFull`].
+    pub fn apply_flow_mod(&mut self, fm: &FlowMod, now: u64) -> Result<Vec<RemovedEntry>, OfError> {
+        self.table.apply(fm, now)
+    }
+
+    /// Expires timed-out entries.
+    pub fn expire(&mut self, now: u64) -> Vec<RemovedEntry> {
+        self.table.expire(now)
+    }
+
+    /// Processes a frame arriving on `in_port` at time `now`.
+    pub fn process(&mut self, in_port: PortNo, frame: &EthernetFrame, now: u64) -> Forwarding {
+        let len = frame.to_bytes().len();
+        self.count_rx(in_port, len);
+        let Some(entry) = self.table.lookup(in_port, frame, len, now) else {
+            return Forwarding::PacketIn;
+        };
+        let (rewritten, ports, copy_to_controller) =
+            apply_actions(frame.clone(), entry.actions.iter(), in_port);
+        for p in &ports {
+            self.count_tx(*p, len);
+        }
+        Forwarding::Forward {
+            frame: rewritten,
+            ports,
+            copy_to_controller,
+        }
+    }
+
+    /// Applies an action list to a frame directly (packet-out path), without
+    /// a table lookup.
+    pub fn apply_packet_out(
+        &mut self,
+        in_port: PortNo,
+        frame: EthernetFrame,
+        actions: impl IntoIterator<Item = sdnshield_openflow::actions::Action>,
+        byte_len: usize,
+    ) -> (EthernetFrame, Vec<PortNo>) {
+        let collected: Vec<_> = actions.into_iter().collect();
+        let (rewritten, ports, _) = apply_actions(frame, collected.iter(), in_port);
+        for p in &ports {
+            self.count_tx(*p, byte_len);
+        }
+        (rewritten, ports)
+    }
+
+    fn count_rx(&mut self, port: PortNo, len: usize) {
+        let s = self.port_stats.entry(port).or_insert(PortStats {
+            port_no: port,
+            ..PortStats::default()
+        });
+        s.rx_packets += 1;
+        s.rx_bytes += len as u64;
+    }
+
+    fn count_tx(&mut self, port: PortNo, len: usize) {
+        if port.is_reserved() {
+            return;
+        }
+        let s = self.port_stats.entry(port).or_insert(PortStats {
+            port_no: port,
+            ..PortStats::default()
+        });
+        s.tx_packets += 1;
+        s.tx_bytes += len as u64;
+    }
+
+    /// Answers a statistics request at time `now`.
+    pub fn stats(&self, req: &StatsRequest, now: u64) -> StatsReply {
+        match req {
+            StatsRequest::Flow(m) => StatsReply::Flow(self.table.flow_stats(m, now)),
+            StatsRequest::Aggregate(m) => StatsReply::Aggregate(self.table.aggregate_stats(m)),
+            StatsRequest::Port(p) => {
+                let ports = if *p == PortNo::NONE {
+                    self.port_stats.values().copied().collect()
+                } else {
+                    self.port_stats.get(p).into_iter().copied().collect()
+                };
+                StatsReply::Port(ports)
+            }
+            StatsRequest::Table => StatsReply::Table(self.table.table_stats()),
+        }
+    }
+}
+
+/// Applies rewrite + output actions to a frame. Returns the rewritten frame,
+/// the egress ports, and whether a copy goes to the controller.
+fn apply_actions<'a>(
+    mut frame: EthernetFrame,
+    actions: impl Iterator<Item = &'a sdnshield_openflow::actions::Action>,
+    _in_port: PortNo,
+) -> (EthernetFrame, Vec<PortNo>, bool) {
+    use sdnshield_openflow::actions::Action;
+    use sdnshield_openflow::packet::{EthPayload, IpPayload, VlanTag};
+
+    let mut ports = Vec::new();
+    let mut to_controller = false;
+    for action in actions {
+        match action {
+            Action::Output(p) => {
+                if *p == PortNo::CONTROLLER {
+                    to_controller = true;
+                } else {
+                    ports.push(*p);
+                }
+            }
+            Action::Enqueue { port, .. } => ports.push(*port),
+            Action::SetEthSrc(a) => frame.src = *a,
+            Action::SetEthDst(a) => frame.dst = *a,
+            Action::SetVlan(v) => {
+                frame.vlan = Some(VlanTag { vid: *v, pcp: 0 });
+            }
+            Action::StripVlan => frame.vlan = None,
+            Action::SetIpSrc(ip) => {
+                if let EthPayload::Ipv4(p) = &mut frame.payload {
+                    p.src = *ip;
+                }
+            }
+            Action::SetIpDst(ip) => {
+                if let EthPayload::Ipv4(p) = &mut frame.payload {
+                    p.dst = *ip;
+                }
+            }
+            Action::SetTpSrc(port) => {
+                if let EthPayload::Ipv4(p) = &mut frame.payload {
+                    match &mut p.payload {
+                        IpPayload::Tcp(t) => t.src_port = *port,
+                        IpPayload::Udp(u) => u.src_port = *port,
+                        _ => {}
+                    }
+                }
+            }
+            Action::SetTpDst(port) => {
+                if let EthPayload::Ipv4(p) = &mut frame.payload {
+                    match &mut p.payload {
+                        IpPayload::Tcp(t) => t.dst_port = *port,
+                        IpPayload::Udp(u) => u.dst_port = *port,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    (frame, ports, to_controller)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use sdnshield_openflow::actions::{Action, ActionList};
+    use sdnshield_openflow::flow_match::FlowMatch;
+    use sdnshield_openflow::packet::TcpFlags;
+    use sdnshield_openflow::types::{EthAddr, Ipv4, Priority};
+
+    fn frame() -> EthernetFrame {
+        EthernetFrame::tcp(
+            EthAddr::from_u64(1),
+            EthAddr::from_u64(2),
+            Ipv4::new(10, 0, 0, 1),
+            Ipv4::new(10, 0, 0, 2),
+            1234,
+            80,
+            TcpFlags::default(),
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn miss_generates_packet_in() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        assert_eq!(sw.process(PortNo(1), &frame(), 0), Forwarding::PacketIn);
+    }
+
+    #[test]
+    fn hit_forwards_and_counts() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        sw.apply_flow_mod(
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::output(PortNo(2))),
+            0,
+        )
+        .unwrap();
+        match sw.process(PortNo(1), &frame(), 1) {
+            Forwarding::Forward { ports, .. } => assert_eq!(ports, vec![PortNo(2)]),
+            other => panic!("expected forward, got {other:?}"),
+        }
+        let reply = sw.stats(&StatsRequest::Port(PortNo(2)), 1);
+        match reply {
+            StatsReply::Port(ps) => {
+                assert_eq!(ps.len(), 1);
+                assert_eq!(ps[0].tx_packets, 1);
+            }
+            other => panic!("expected port stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_actions_apply() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        sw.apply_flow_mod(
+            &FlowMod::add(
+                FlowMatch::any(),
+                Priority(1),
+                ActionList(vec![
+                    Action::SetIpDst(Ipv4::new(99, 99, 99, 99)),
+                    Action::SetTpDst(8080),
+                    Action::Output(PortNo(3)),
+                ]),
+            ),
+            0,
+        )
+        .unwrap();
+        match sw.process(PortNo(1), &frame(), 1) {
+            Forwarding::Forward { frame, ports, .. } => {
+                assert_eq!(ports, vec![PortNo(3)]);
+                match frame.payload {
+                    sdnshield_openflow::packet::EthPayload::Ipv4(ip) => {
+                        assert_eq!(ip.dst, Ipv4::new(99, 99, 99, 99));
+                        match ip.payload {
+                            sdnshield_openflow::packet::IpPayload::Tcp(t) => {
+                                assert_eq!(t.dst_port, 8080)
+                            }
+                            other => panic!("expected tcp, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected ipv4, got {other:?}"),
+                }
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_output_sets_copy_flag() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        sw.apply_flow_mod(
+            &FlowMod::add(
+                FlowMatch::any(),
+                Priority(1),
+                ActionList(vec![
+                    Action::Output(PortNo(2)),
+                    Action::Output(PortNo::CONTROLLER),
+                ]),
+            ),
+            0,
+        )
+        .unwrap();
+        match sw.process(PortNo(1), &frame(), 1) {
+            Forwarding::Forward {
+                ports,
+                copy_to_controller,
+                ..
+            } => {
+                assert_eq!(ports, vec![PortNo(2)]);
+                assert!(copy_to_controller);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_entry_forwards_nowhere() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        sw.apply_flow_mod(
+            &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()),
+            0,
+        )
+        .unwrap();
+        match sw.process(PortNo(1), &frame(), 1) {
+            Forwarding::Forward { ports, .. } => assert!(ports.is_empty()),
+            other => panic!("expected forward-to-nothing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_out_counts_tx() {
+        let mut sw = SimSwitch::new(DatapathId(1), 16);
+        let f = frame();
+        let len = f.to_bytes().len();
+        let (_, ports) = sw.apply_packet_out(PortNo::NONE, f, [Action::Output(PortNo(4))], len);
+        assert_eq!(ports, vec![PortNo(4)]);
+        match sw.stats(&StatsRequest::Port(PortNo::NONE), 0) {
+            StatsReply::Port(ps) => assert_eq!(ps[0].tx_packets, 1),
+            other => panic!("expected port stats, got {other:?}"),
+        }
+    }
+}

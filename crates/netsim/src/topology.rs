@@ -1,0 +1,583 @@
+//! Network topology: the graph of switches, links and hosts.
+//!
+//! The controller kernel exposes (a view of) this graph to apps; SDNShield's
+//! topology filters restrict that view to subsets or virtual aggregations.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::fmt;
+
+use sdnshield_openflow::types::{DatapathId, EthAddr, Ipv4, PortNo};
+
+/// A host attached to a switch port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Host {
+    /// The host's MAC address (unique per host).
+    pub mac: EthAddr,
+    /// The host's IPv4 address.
+    pub ip: Ipv4,
+    /// The switch the host attaches to.
+    pub switch: DatapathId,
+    /// The port on that switch.
+    pub port: PortNo,
+}
+
+/// A unidirectional switch-to-switch link.
+///
+/// Bidirectional connectivity is represented as two `Link`s, one per
+/// direction, which keeps port bookkeeping simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Source switch.
+    pub src: DatapathId,
+    /// Egress port on the source switch.
+    pub src_port: PortNo,
+    /// Destination switch.
+    pub dst: DatapathId,
+    /// Ingress port on the destination switch.
+    pub dst_port: PortNo,
+    /// Link weight for shortest-path computation (1 = hop count).
+    pub weight: u32,
+}
+
+/// An undirected link identifier used by topology filters: the (smaller,
+/// larger) datapath-id pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub DatapathId, pub DatapathId);
+
+impl LinkId {
+    /// Normalizes the endpoint order so `LinkId(a, b) == LinkId(b, a)`.
+    pub fn new(a: DatapathId, b: DatapathId) -> Self {
+        if a <= b {
+            LinkId(a, b)
+        } else {
+            LinkId(b, a)
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link:{}-{}", self.0 .0, self.1 .0)
+    }
+}
+
+/// The topology graph.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_netsim::topology::Topology;
+/// use sdnshield_openflow::types::DatapathId;
+///
+/// let mut topo = Topology::new();
+/// topo.add_switch(DatapathId(1), 4);
+/// topo.add_switch(DatapathId(2), 4);
+/// topo.connect(DatapathId(1), DatapathId(2));
+/// let path = topo.shortest_path(DatapathId(1), DatapathId(2)).unwrap();
+/// assert_eq!(path, vec![DatapathId(1), DatapathId(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    switches: BTreeMap<DatapathId, SwitchInfo>,
+    links: Vec<Link>,
+    hosts: Vec<Host>,
+}
+
+/// Static information about a switch in the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchInfo {
+    /// The switch's datapath id.
+    pub dpid: DatapathId,
+    /// Ports on the switch (1-based, contiguous).
+    pub ports: Vec<PortNo>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a switch with `num_ports` ports numbered from 1.
+    ///
+    /// Re-adding an existing switch replaces its port list.
+    pub fn add_switch(&mut self, dpid: DatapathId, num_ports: u16) {
+        let ports = (1..=num_ports).map(PortNo).collect();
+        self.switches.insert(dpid, SwitchInfo { dpid, ports });
+    }
+
+    /// Removes a switch and all its links and hosts.
+    pub fn remove_switch(&mut self, dpid: DatapathId) {
+        self.switches.remove(&dpid);
+        self.links.retain(|l| l.src != dpid && l.dst != dpid);
+        self.hosts.retain(|h| h.switch != dpid);
+    }
+
+    /// Removes the bidirectional link between two switches. Returns whether
+    /// a link existed.
+    pub fn remove_link(&mut self, a: DatapathId, b: DatapathId) -> bool {
+        let before = self.links.len();
+        self.links
+            .retain(|l| !((l.src == a && l.dst == b) || (l.src == b && l.dst == a)));
+        self.links.len() != before
+    }
+
+    /// Connects two switches bidirectionally on the next free port of each.
+    ///
+    /// Returns the (src_port, dst_port) pair used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch is unknown or has no free port.
+    pub fn connect(&mut self, a: DatapathId, b: DatapathId) -> (PortNo, PortNo) {
+        let pa = self.next_free_port(a).expect("switch a has no free port");
+        let pb = self.next_free_port(b).expect("switch b has no free port");
+        self.connect_on(a, pa, b, pb, 1);
+        (pa, pb)
+    }
+
+    /// Connects two switches bidirectionally on explicit ports with a weight.
+    pub fn connect_on(
+        &mut self,
+        a: DatapathId,
+        pa: PortNo,
+        b: DatapathId,
+        pb: PortNo,
+        weight: u32,
+    ) {
+        self.links.push(Link {
+            src: a,
+            src_port: pa,
+            dst: b,
+            dst_port: pb,
+            weight,
+        });
+        self.links.push(Link {
+            src: b,
+            src_port: pb,
+            dst: a,
+            dst_port: pa,
+            weight,
+        });
+    }
+
+    /// Attaches a host to the next free port of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch is unknown or has no free port.
+    pub fn attach_host(&mut self, mac: EthAddr, ip: Ipv4, switch: DatapathId) -> PortNo {
+        let port = self
+            .next_free_port(switch)
+            .expect("switch has no free port");
+        self.hosts.push(Host {
+            mac,
+            ip,
+            switch,
+            port,
+        });
+        port
+    }
+
+    fn next_free_port(&self, dpid: DatapathId) -> Option<PortNo> {
+        let info = self.switches.get(&dpid)?;
+        let used: BTreeSet<PortNo> = self
+            .links
+            .iter()
+            .filter(|l| l.src == dpid)
+            .map(|l| l.src_port)
+            .chain(
+                self.hosts
+                    .iter()
+                    .filter(|h| h.switch == dpid)
+                    .map(|h| h.port),
+            )
+            .collect();
+        info.ports.iter().copied().find(|p| !used.contains(p))
+    }
+
+    /// All switches, in datapath-id order.
+    pub fn switches(&self) -> impl Iterator<Item = &SwitchInfo> {
+        self.switches.values()
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Looks up a switch.
+    pub fn switch(&self, dpid: DatapathId) -> Option<&SwitchInfo> {
+        self.switches.get(&dpid)
+    }
+
+    /// Returns `true` if the switch exists.
+    pub fn contains_switch(&self, dpid: DatapathId) -> bool {
+        self.switches.contains_key(&dpid)
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All undirected link ids (each physical link once).
+    pub fn link_ids(&self) -> BTreeSet<LinkId> {
+        self.links
+            .iter()
+            .map(|l| LinkId::new(l.src, l.dst))
+            .collect()
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Finds the host with the given MAC.
+    pub fn host_by_mac(&self, mac: EthAddr) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.mac == mac)
+    }
+
+    /// Finds the host with the given IP.
+    pub fn host_by_ip(&self, ip: Ipv4) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.ip == ip)
+    }
+
+    /// The link leaving `dpid` on `port`, if that port is an inter-switch
+    /// link.
+    pub fn link_from(&self, dpid: DatapathId, port: PortNo) -> Option<&Link> {
+        self.links
+            .iter()
+            .find(|l| l.src == dpid && l.src_port == port)
+    }
+
+    /// The directed link from `a` to `b`, if adjacent.
+    pub fn link_between(&self, a: DatapathId, b: DatapathId) -> Option<&Link> {
+        self.links.iter().find(|l| l.src == a && l.dst == b)
+    }
+
+    /// Neighbors of a switch.
+    pub fn neighbors(&self, dpid: DatapathId) -> impl Iterator<Item = DatapathId> + '_ {
+        self.links
+            .iter()
+            .filter(move |l| l.src == dpid)
+            .map(|l| l.dst)
+    }
+
+    /// Unweighted shortest path (hop count) between two switches, inclusive
+    /// of both endpoints. `None` when unreachable.
+    pub fn shortest_path(&self, from: DatapathId, to: DatapathId) -> Option<Vec<DatapathId>> {
+        if !self.switches.contains_key(&from) || !self.switches.contains_key(&to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<DatapathId, DatapathId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        let mut seen = BTreeSet::new();
+        seen.insert(from);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbors(cur) {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    if next == to {
+                        return Some(reconstruct(&prev, from, to));
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Weighted shortest path (Dijkstra over link weights), inclusive of
+    /// both endpoints. `None` when unreachable.
+    pub fn shortest_path_weighted(
+        &self,
+        from: DatapathId,
+        to: DatapathId,
+    ) -> Option<(Vec<DatapathId>, u64)> {
+        if !self.switches.contains_key(&from) || !self.switches.contains_key(&to) {
+            return None;
+        }
+        let mut dist: BTreeMap<DatapathId, u64> = BTreeMap::new();
+        let mut prev: BTreeMap<DatapathId, DatapathId> = BTreeMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(std::cmp::Reverse((0u64, from)));
+        while let Some(std::cmp::Reverse((d, cur))) = heap.pop() {
+            if cur == to {
+                return Some((reconstruct(&prev, from, to), d));
+            }
+            if d > *dist.get(&cur).unwrap_or(&u64::MAX) {
+                continue;
+            }
+            for link in self.links.iter().filter(|l| l.src == cur) {
+                let nd = d + link.weight as u64;
+                if nd < *dist.get(&link.dst).unwrap_or(&u64::MAX) {
+                    dist.insert(link.dst, nd);
+                    prev.insert(link.dst, cur);
+                    heap.push(std::cmp::Reverse((nd, link.dst)));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn reconstruct(
+    prev: &BTreeMap<DatapathId, DatapathId>,
+    from: DatapathId,
+    to: DatapathId,
+) -> Vec<DatapathId> {
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Builders for common test topologies.
+pub mod builders {
+    use super::*;
+
+    /// A linear chain of `n` switches, each with one host:
+    /// `h1 - s1 - s2 - … - sn - hn` (hosts on every switch).
+    ///
+    /// Host `i` (1-based) gets MAC `00:…:0i` and IP `10.0.0.i`.
+    pub fn linear(n: usize) -> Topology {
+        let mut topo = Topology::new();
+        for i in 1..=n {
+            topo.add_switch(DatapathId(i as u64), 8);
+        }
+        for i in 1..n {
+            topo.connect(DatapathId(i as u64), DatapathId(i as u64 + 1));
+        }
+        for i in 1..=n {
+            topo.attach_host(
+                EthAddr::from_u64(i as u64),
+                Ipv4::new(10, 0, 0, i as u8),
+                DatapathId(i as u64),
+            );
+        }
+        topo
+    }
+
+    /// A star: one core switch with `n` edge switches, one host per edge.
+    pub fn star(n: usize) -> Topology {
+        let mut topo = Topology::new();
+        let core = DatapathId(1);
+        topo.add_switch(core, (n + 2) as u16);
+        for i in 0..n {
+            let edge = DatapathId(2 + i as u64);
+            topo.add_switch(edge, 8);
+            topo.connect(core, edge);
+            topo.attach_host(
+                EthAddr::from_u64(i as u64 + 1),
+                Ipv4::new(10, 0, 0, i as u8 + 1),
+                edge,
+            );
+        }
+        topo
+    }
+
+    /// A two-level spine-leaf fabric: `spines` core switches, `leaves` edge
+    /// switches (every leaf connects to every spine), `hosts_per_leaf` hosts
+    /// on each leaf. Spines get dpids 1..=spines; leaves follow.
+    ///
+    /// Host j (0-based) of leaf i gets MAC `(i+1)<<8 | (j+1)` and IP
+    /// `10.(i+1).0.(j+1)`.
+    pub fn spine_leaf(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Topology {
+        let mut topo = Topology::new();
+        for s in 1..=spines {
+            topo.add_switch(DatapathId(s as u64), (leaves + 2) as u16);
+        }
+        for l in 0..leaves {
+            let dpid = DatapathId((spines + 1 + l) as u64);
+            topo.add_switch(dpid, (spines + hosts_per_leaf + 2) as u16);
+            for s in 1..=spines {
+                topo.connect(DatapathId(s as u64), dpid);
+            }
+            for h in 0..hosts_per_leaf {
+                topo.attach_host(
+                    EthAddr::from_u64((((l + 1) as u64) << 8) | (h as u64 + 1)),
+                    Ipv4::new(10, (l + 1) as u8, 0, (h + 1) as u8),
+                    dpid,
+                );
+            }
+        }
+        topo
+    }
+
+    /// A full mesh of `n` switches with one host each. Used to stress path
+    /// diversity (route-hijack experiments need ≥ 2 disjoint paths).
+    pub fn mesh(n: usize) -> Topology {
+        let mut topo = Topology::new();
+        for i in 1..=n {
+            topo.add_switch(DatapathId(i as u64), (n + 4) as u16);
+        }
+        for i in 1..=n {
+            for j in (i + 1)..=n {
+                topo.connect(DatapathId(i as u64), DatapathId(j as u64));
+            }
+        }
+        for i in 1..=n {
+            topo.attach_host(
+                EthAddr::from_u64(i as u64),
+                Ipv4::new(10, 0, 0, i as u8),
+                DatapathId(i as u64),
+            );
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::builders::*;
+    use super::*;
+
+    #[test]
+    fn linear_topology_shape() {
+        let t = linear(4);
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(t.hosts().len(), 4);
+        // 3 physical links = 6 directed links.
+        assert_eq!(t.links().len(), 6);
+        assert_eq!(t.link_ids().len(), 3);
+    }
+
+    #[test]
+    fn shortest_path_linear() {
+        let t = linear(5);
+        let p = t.shortest_path(DatapathId(1), DatapathId(5)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], DatapathId(1));
+        assert_eq!(p[4], DatapathId(5));
+        assert_eq!(
+            t.shortest_path(DatapathId(3), DatapathId(3)).unwrap(),
+            vec![DatapathId(3)]
+        );
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let mut t = linear(2);
+        t.add_switch(DatapathId(99), 4);
+        assert!(t.shortest_path(DatapathId(1), DatapathId(99)).is_none());
+        assert!(t.shortest_path(DatapathId(1), DatapathId(1000)).is_none());
+    }
+
+    #[test]
+    fn weighted_path_prefers_light_links() {
+        let mut t = Topology::new();
+        for i in 1..=3 {
+            t.add_switch(DatapathId(i), 4);
+        }
+        // Direct heavy link 1-3, light detour via 2.
+        t.connect_on(DatapathId(1), PortNo(1), DatapathId(3), PortNo(1), 10);
+        t.connect_on(DatapathId(1), PortNo(2), DatapathId(2), PortNo(1), 1);
+        t.connect_on(DatapathId(2), PortNo(2), DatapathId(3), PortNo(2), 1);
+        let (path, cost) = t
+            .shortest_path_weighted(DatapathId(1), DatapathId(3))
+            .unwrap();
+        assert_eq!(path, vec![DatapathId(1), DatapathId(2), DatapathId(3)]);
+        assert_eq!(cost, 2);
+        // Unweighted BFS takes the direct hop.
+        let hop = t.shortest_path(DatapathId(1), DatapathId(3)).unwrap();
+        assert_eq!(hop, vec![DatapathId(1), DatapathId(3)]);
+    }
+
+    #[test]
+    fn star_topology_paths_via_core() {
+        let t = star(4);
+        let p = t.shortest_path(DatapathId(2), DatapathId(5)).unwrap();
+        assert_eq!(p, vec![DatapathId(2), DatapathId(1), DatapathId(5)]);
+    }
+
+    #[test]
+    fn mesh_is_single_hop() {
+        let t = mesh(4);
+        for i in 1..=4u64 {
+            for j in 1..=4u64 {
+                if i != j {
+                    let p = t.shortest_path(DatapathId(i), DatapathId(j)).unwrap();
+                    assert_eq!(p.len(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_lookup() {
+        let t = linear(3);
+        let h = t.host_by_ip(Ipv4::new(10, 0, 0, 2)).unwrap();
+        assert_eq!(h.switch, DatapathId(2));
+        assert_eq!(
+            t.host_by_mac(EthAddr::from_u64(3)).unwrap().ip,
+            Ipv4::new(10, 0, 0, 3)
+        );
+        assert!(t.host_by_ip(Ipv4::new(9, 9, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn link_port_mapping() {
+        let t = linear(2);
+        let l = t.link_between(DatapathId(1), DatapathId(2)).unwrap();
+        assert_eq!(
+            t.link_from(DatapathId(1), l.src_port).unwrap().dst,
+            DatapathId(2)
+        );
+    }
+
+    #[test]
+    fn remove_switch_cleans_up() {
+        let mut t = linear(3);
+        t.remove_switch(DatapathId(2));
+        assert_eq!(t.switch_count(), 2);
+        assert!(t.shortest_path(DatapathId(1), DatapathId(3)).is_none());
+        assert_eq!(t.hosts().len(), 2);
+    }
+
+    #[test]
+    fn link_id_is_undirected() {
+        assert_eq!(
+            LinkId::new(DatapathId(2), DatapathId(1)),
+            LinkId::new(DatapathId(1), DatapathId(2))
+        );
+    }
+
+    #[test]
+    fn spine_leaf_shape() {
+        let t = spine_leaf(2, 3, 4);
+        assert_eq!(t.switch_count(), 5);
+        assert_eq!(t.hosts().len(), 12);
+        // Each leaf connects to each spine: 6 physical links.
+        assert_eq!(t.link_ids().len(), 6);
+        // Leaf-to-leaf goes via a spine: 3 hops inclusive.
+        let p = t.shortest_path(DatapathId(3), DatapathId(4)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p[1].0 <= 2, "middle hop is a spine");
+        // Host addressing is as documented.
+        let h = t.host_by_ip(Ipv4::new(10, 2, 0, 3)).unwrap();
+        assert_eq!(h.switch, DatapathId(4));
+        assert_eq!(h.mac, EthAddr::from_u64((2 << 8) | 3));
+    }
+
+    #[test]
+    fn free_port_allocation_skips_used() {
+        let mut t = Topology::new();
+        t.add_switch(DatapathId(1), 2);
+        t.add_switch(DatapathId(2), 2);
+        let (pa, _) = t.connect(DatapathId(1), DatapathId(2));
+        assert_eq!(pa, PortNo(1));
+        let hp = t.attach_host(EthAddr::from_u64(1), Ipv4::new(10, 0, 0, 1), DatapathId(1));
+        assert_eq!(hp, PortNo(2));
+    }
+}

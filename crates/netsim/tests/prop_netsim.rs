@@ -1,0 +1,155 @@
+//! Property tests for the network simulator: path invariants, flow-table
+//! semantics under random operation sequences, and data-plane conservation.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use sdnshield_netsim::network::{Delivery, Network};
+use sdnshield_netsim::topology::{builders, Topology};
+use sdnshield_netsim::trafficgen::{PacketKind, TrafficGen};
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::flow_table::FlowTable;
+use sdnshield_openflow::messages::{FlowMod, FlowModCommand};
+use sdnshield_openflow::packet::{EthernetFrame, TcpFlags};
+use sdnshield_openflow::types::{DatapathId, EthAddr, Ipv4, PortNo, Priority};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..12).prop_map(builders::linear),
+        (2usize..8).prop_map(builders::star),
+        (2usize..6).prop_map(builders::mesh),
+    ]
+}
+
+proptest! {
+    /// Shortest paths are real paths: endpoints correct, every hop adjacent,
+    /// length bounded by the switch count.
+    #[test]
+    fn shortest_paths_are_valid(topo in arb_topology(), a in 1u64..12, b in 1u64..12) {
+        let (a, b) = (DatapathId(a), DatapathId(b));
+        if let Some(path) = topo.shortest_path(a, b) {
+            prop_assert_eq!(path[0], a);
+            prop_assert_eq!(*path.last().unwrap(), b);
+            prop_assert!(path.len() <= topo.switch_count());
+            for w in path.windows(2) {
+                prop_assert!(topo.link_between(w[0], w[1]).is_some(),
+                    "hop {}→{} not adjacent", w[0], w[1]);
+            }
+        } else {
+            // Unreachable only when one endpoint is absent (our builders
+            // produce connected graphs).
+            prop_assert!(!topo.contains_switch(a) || !topo.contains_switch(b));
+        }
+    }
+
+    /// Weighted and unweighted paths agree on reachability, and the weighted
+    /// cost is at most hop-count (weights are ≥ 1, builders use weight 1).
+    #[test]
+    fn weighted_agrees_on_reachability(topo in arb_topology(), a in 1u64..12, b in 1u64..12) {
+        let (a, b) = (DatapathId(a), DatapathId(b));
+        let unweighted = topo.shortest_path(a, b);
+        let weighted = topo.shortest_path_weighted(a, b);
+        prop_assert_eq!(unweighted.is_some(), weighted.is_some());
+        if let (Some(u), Some((_, cost))) = (unweighted, weighted) {
+            prop_assert_eq!(cost, (u.len() - 1) as u64);
+        }
+    }
+
+    /// Random flow-mod sequences keep the table within capacity and keep
+    /// priority ordering intact.
+    #[test]
+    fn flow_table_invariants(
+        ops in proptest::collection::vec((0u8..5, 0u16..16, 0u16..400), 0..64),
+        capacity in 1usize..32,
+    ) {
+        let mut table = FlowTable::new(capacity);
+        for (i, (cmd, port, prio)) in ops.into_iter().enumerate() {
+            let command = match cmd {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                _ => FlowModCommand::DeleteStrict,
+            };
+            let fm = FlowMod {
+                command,
+                flow_match: FlowMatch::default().with_tp_dst(port),
+                priority: Priority(prio),
+                actions: ActionList::output(PortNo(1)),
+                cookie: sdnshield_openflow::types::Cookie(i as u64),
+                idle_timeout: 0,
+                hard_timeout: 0,
+                notify_when_removed: false,
+            };
+            let _ = table.apply(&fm, i as u64);
+            prop_assert!(table.len() <= capacity);
+            let priorities: Vec<u16> = table.iter().map(|e| e.priority.0).collect();
+            let mut sorted = priorities.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(priorities, sorted, "table must stay priority-sorted");
+        }
+    }
+
+    /// Every injected packet terminates in an explicit delivery — nothing is
+    /// silently lost, no matter what rules are installed.
+    #[test]
+    fn dataplane_conserves_packets(
+        n in 2usize..6,
+        rules in proptest::collection::vec((1u64..6, 0u16..6, 0u16..100), 0..12),
+        src in 1u64..6,
+        dst in 1u64..6,
+    ) {
+        let mut net = Network::new(builders::linear(n), 1024);
+        for (dpid, out_port, prio) in rules {
+            if dpid > n as u64 {
+                continue;
+            }
+            let _ = net.apply_flow_mod(
+                DatapathId(dpid),
+                &FlowMod::add(
+                    FlowMatch::any(),
+                    Priority(prio),
+                    if out_port == 0 {
+                        ActionList::drop()
+                    } else {
+                        ActionList::output(PortNo(out_port))
+                    },
+                ),
+            );
+        }
+        let src = 1 + (src - 1) % n as u64;
+        let dst = 1 + (dst - 1) % n as u64;
+        let frame = EthernetFrame::tcp(
+            EthAddr::from_u64(src),
+            EthAddr::from_u64(dst),
+            Ipv4::new(10, 0, 0, src as u8),
+            Ipv4::new(10, 0, 0, dst as u8),
+            1000,
+            80,
+            TcpFlags::default(),
+            Bytes::new(),
+        );
+        let deliveries = net.inject_from_host(frame).unwrap();
+        prop_assert!(!deliveries.is_empty(), "packet must terminate somewhere");
+        for d in deliveries {
+            match d {
+                Delivery::ToHost { .. } | Delivery::ToController { .. } | Delivery::Dropped { .. } => {}
+            }
+        }
+    }
+
+    /// The traffic generator's packet-ins always parse and target existing
+    /// emulated switches.
+    #[test]
+    fn trafficgen_wellformed(switches in 1u64..16, hosts in 1u64..16, seed in any::<u64>(), kind in any::<bool>()) {
+        let kind = if kind { PacketKind::Arp } else { PacketKind::TcpSyn };
+        let mut gen = TrafficGen::new(switches, hosts, kind, seed);
+        for _ in 0..32 {
+            let (dpid, pi) = gen.next_packet_in();
+            prop_assert!((1..=switches).contains(&dpid.0));
+            let frame = EthernetFrame::from_bytes(pi.payload).unwrap();
+            prop_assert_ne!(frame.src, frame.dst);
+        }
+    }
+}

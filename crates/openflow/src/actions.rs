@@ -1,0 +1,235 @@
+//! OpenFlow actions applied to matched packets.
+
+use std::fmt;
+
+use crate::types::{EthAddr, Ipv4, PortNo};
+
+/// A single OpenFlow 1.0-style action.
+///
+/// An empty action list means *drop*; [`Action::is_forwarding`] and friends
+/// classify actions the way SDNShield's action filters need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward the packet out a port (possibly a reserved port such as
+    /// [`PortNo::FLOOD`] or [`PortNo::CONTROLLER`]).
+    Output(PortNo),
+    /// Rewrite the Ethernet source address.
+    SetEthSrc(EthAddr),
+    /// Rewrite the Ethernet destination address.
+    SetEthDst(EthAddr),
+    /// Rewrite the IPv4 source address.
+    SetIpSrc(Ipv4),
+    /// Rewrite the IPv4 destination address.
+    SetIpDst(Ipv4),
+    /// Rewrite the transport-layer source port.
+    SetTpSrc(u16),
+    /// Rewrite the transport-layer destination port.
+    SetTpDst(u16),
+    /// Set the VLAN id (pushes a tag if absent).
+    SetVlan(u16),
+    /// Strip the VLAN tag.
+    StripVlan,
+    /// Enqueue on a port's QoS queue.
+    Enqueue {
+        /// Output port.
+        port: PortNo,
+        /// Queue id on that port.
+        queue_id: u32,
+    },
+}
+
+impl Action {
+    /// Does this action forward the packet somewhere?
+    pub fn is_forwarding(&self) -> bool {
+        matches!(self, Action::Output(_) | Action::Enqueue { .. })
+    }
+
+    /// Does this action rewrite a header field?
+    ///
+    /// Header rewrites are what dynamic-flow tunneling (attack Class 4)
+    /// abuses, so SDNShield's `MODIFY` action filter keys off this.
+    pub fn is_modifying(&self) -> bool {
+        matches!(
+            self,
+            Action::SetEthSrc(_)
+                | Action::SetEthDst(_)
+                | Action::SetIpSrc(_)
+                | Action::SetIpDst(_)
+                | Action::SetTpSrc(_)
+                | Action::SetTpDst(_)
+                | Action::SetVlan(_)
+                | Action::StripVlan
+        )
+    }
+
+    /// The field name this action modifies, if any.
+    pub fn modified_field(&self) -> Option<&'static str> {
+        match self {
+            Action::SetEthSrc(_) => Some("eth_src"),
+            Action::SetEthDst(_) => Some("eth_dst"),
+            Action::SetIpSrc(_) => Some("ip_src"),
+            Action::SetIpDst(_) => Some("ip_dst"),
+            Action::SetTpSrc(_) => Some("tp_src"),
+            Action::SetTpDst(_) => Some("tp_dst"),
+            Action::SetVlan(_) | Action::StripVlan => Some("vlan"),
+            _ => None,
+        }
+    }
+
+    /// The output port, when the action forwards.
+    pub fn output_port(&self) -> Option<PortNo> {
+        match self {
+            Action::Output(p) => Some(*p),
+            Action::Enqueue { port, .. } => Some(*port),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output(p) => write!(f, "output({p})"),
+            Action::SetEthSrc(a) => write!(f, "set_eth_src({a})"),
+            Action::SetEthDst(a) => write!(f, "set_eth_dst({a})"),
+            Action::SetIpSrc(a) => write!(f, "set_ip_src({a})"),
+            Action::SetIpDst(a) => write!(f, "set_ip_dst({a})"),
+            Action::SetTpSrc(p) => write!(f, "set_tp_src({p})"),
+            Action::SetTpDst(p) => write!(f, "set_tp_dst({p})"),
+            Action::SetVlan(v) => write!(f, "set_vlan({v})"),
+            Action::StripVlan => write!(f, "strip_vlan"),
+            Action::Enqueue { port, queue_id } => write!(f, "enqueue({port},q{queue_id})"),
+        }
+    }
+}
+
+/// An ordered list of actions; empty means drop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ActionList(pub Vec<Action>);
+
+impl ActionList {
+    /// The empty (drop) action list.
+    pub fn drop() -> Self {
+        ActionList(Vec::new())
+    }
+
+    /// A single-output forwarding list.
+    pub fn output(port: PortNo) -> Self {
+        ActionList(vec![Action::Output(port)])
+    }
+
+    /// Does the list drop the packet (no forwarding action at all)?
+    pub fn is_drop(&self) -> bool {
+        !self.0.iter().any(Action::is_forwarding)
+    }
+
+    /// Does the list contain any header-modifying action?
+    pub fn modifies_headers(&self) -> bool {
+        self.0.iter().any(Action::is_modifying)
+    }
+
+    /// All ports the list outputs to.
+    pub fn output_ports(&self) -> impl Iterator<Item = PortNo> + '_ {
+        self.0.iter().filter_map(Action::output_port)
+    }
+
+    /// Iterates over the actions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Action> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Action> for ActionList {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        ActionList(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Action> for ActionList {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl IntoIterator for ActionList {
+    type Item = Action;
+    type IntoIter = std::vec::IntoIter<Action>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionList {
+    type Item = &'a Action;
+    type IntoIter = std::slice::Iter<'a, Action>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for ActionList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "drop");
+        }
+        let mut sep = "";
+        for a in &self.0 {
+            write!(f, "{sep}{a}")?;
+            sep = ",";
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list_is_drop() {
+        assert!(ActionList::drop().is_drop());
+        assert!(!ActionList::output(PortNo(1)).is_drop());
+        // A list with only header rewrites still drops.
+        let l: ActionList = [Action::SetVlan(5)].into_iter().collect();
+        assert!(l.is_drop());
+        assert!(l.modifies_headers());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Action::Output(PortNo::FLOOD).is_forwarding());
+        assert!(!Action::Output(PortNo(1)).is_modifying());
+        assert!(Action::SetIpDst(Ipv4::new(1, 2, 3, 4)).is_modifying());
+        assert_eq!(
+            Action::SetIpDst(Ipv4::new(1, 2, 3, 4)).modified_field(),
+            Some("ip_dst")
+        );
+        assert_eq!(Action::StripVlan.modified_field(), Some("vlan"));
+        assert_eq!(Action::Output(PortNo(2)).modified_field(), None);
+    }
+
+    #[test]
+    fn output_ports_iteration() {
+        let l: ActionList = [
+            Action::SetVlan(9),
+            Action::Output(PortNo(1)),
+            Action::Enqueue {
+                port: PortNo(2),
+                queue_id: 0,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let ports: Vec<_> = l.output_ports().collect();
+        assert_eq!(ports, vec![PortNo(1), PortNo(2)]);
+    }
+
+    #[test]
+    fn display() {
+        let l = ActionList::output(PortNo(3));
+        assert_eq!(l.to_string(), "output(port:3)");
+        assert_eq!(ActionList::drop().to_string(), "drop");
+    }
+}

@@ -1,0 +1,542 @@
+//! The switch-side flow table: priority-ordered rule storage with OpenFlow
+//! flow-mod semantics, lookup, timeouts and counters.
+
+use std::fmt;
+
+use crate::actions::ActionList;
+use crate::flow_match::FlowMatch;
+use crate::messages::{
+    AggregateStats, FlowMod, FlowModCommand, FlowRemovedReason, FlowStats, OfError, TableStats,
+};
+use crate::packet::EthernetFrame;
+use crate::types::{Cookie, PortNo, Priority};
+
+/// One installed flow entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// The match.
+    pub flow_match: FlowMatch,
+    /// The priority (higher wins).
+    pub priority: Priority,
+    /// Actions applied to matched packets.
+    pub actions: ActionList,
+    /// Opaque cookie (carries SDNShield app ownership).
+    pub cookie: Cookie,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Whether removal should be notified.
+    pub notify_when_removed: bool,
+    /// Install time (virtual seconds).
+    pub installed_at: u64,
+    /// Last packet hit time (virtual seconds).
+    pub last_hit_at: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    fn from_mod(fm: &FlowMod, now: u64) -> Self {
+        FlowEntry {
+            flow_match: fm.flow_match.clone(),
+            priority: fm.priority,
+            actions: fm.actions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            notify_when_removed: fm.notify_when_removed,
+            installed_at: now,
+            last_hit_at: now,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// Seconds the entry has been installed as of `now`.
+    pub fn duration_secs(&self, now: u64) -> u32 {
+        now.saturating_sub(self.installed_at) as u32
+    }
+
+    fn to_stats(&self, now: u64) -> FlowStats {
+        FlowStats {
+            flow_match: self.flow_match.clone(),
+            priority: self.priority,
+            cookie: self.cookie,
+            actions: self.actions.clone(),
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+            duration_secs: self.duration_secs(now),
+        }
+    }
+}
+
+/// A removed entry together with the reason, for flow-removed notifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedEntry {
+    /// The entry at the moment of removal.
+    pub entry: FlowEntry,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+}
+
+/// A priority-ordered flow table with OpenFlow 1.0 flow-mod semantics.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_openflow::flow_table::FlowTable;
+/// use sdnshield_openflow::flow_match::FlowMatch;
+/// use sdnshield_openflow::messages::FlowMod;
+/// use sdnshield_openflow::actions::ActionList;
+/// use sdnshield_openflow::types::{PortNo, Priority};
+///
+/// let mut table = FlowTable::new(1024);
+/// let fm = FlowMod::add(FlowMatch::any(), Priority(1), ActionList::output(PortNo(2)));
+/// table.apply(&fm, 0)?;
+/// assert_eq!(table.len(), 1);
+/// # Ok::<(), sdnshield_openflow::messages::OfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    capacity: usize,
+    lookup_count: u64,
+    matched_count: u64,
+}
+
+impl FlowTable {
+    /// Creates a table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+            lookup_count: 0,
+            matched_count: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over installed entries in priority order (highest first).
+    pub fn iter(&self) -> std::slice::Iter<'_, FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Applies a flow-mod at virtual time `now`, returning entries removed by
+    /// delete commands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfError::TableFull`] when an add would exceed capacity.
+    pub fn apply(&mut self, fm: &FlowMod, now: u64) -> Result<Vec<RemovedEntry>, OfError> {
+        match fm.command {
+            FlowModCommand::Add => {
+                // OpenFlow replaces an identical (match, priority) entry.
+                if let Some(existing) = self
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.priority == fm.priority && e.flow_match == fm.flow_match)
+                {
+                    *existing = FlowEntry::from_mod(fm, now);
+                    return Ok(Vec::new());
+                }
+                if self.entries.len() >= self.capacity {
+                    return Err(OfError::TableFull);
+                }
+                let entry = FlowEntry::from_mod(fm, now);
+                // Keep entries sorted by descending priority; stable insert
+                // keeps earlier-installed rules ahead within a priority.
+                let idx = self
+                    .entries
+                    .partition_point(|e| e.priority >= entry.priority);
+                self.entries.insert(idx, entry);
+                Ok(Vec::new())
+            }
+            FlowModCommand::Modify => {
+                let mut touched = false;
+                for e in &mut self.entries {
+                    if fm.flow_match.subsumes(&e.flow_match) {
+                        e.actions = fm.actions.clone();
+                        e.cookie = fm.cookie;
+                        touched = true;
+                    }
+                }
+                if !touched {
+                    // Per OF 1.0, modify with no match behaves like add.
+                    return self.apply(
+                        &FlowMod {
+                            command: FlowModCommand::Add,
+                            ..fm.clone()
+                        },
+                        now,
+                    );
+                }
+                Ok(Vec::new())
+            }
+            FlowModCommand::ModifyStrict => {
+                let mut touched = false;
+                for e in &mut self.entries {
+                    if e.priority == fm.priority && e.flow_match == fm.flow_match {
+                        e.actions = fm.actions.clone();
+                        e.cookie = fm.cookie;
+                        touched = true;
+                    }
+                }
+                if !touched {
+                    return self.apply(
+                        &FlowMod {
+                            command: FlowModCommand::Add,
+                            ..fm.clone()
+                        },
+                        now,
+                    );
+                }
+                Ok(Vec::new())
+            }
+            FlowModCommand::Delete => {
+                Ok(self.remove_where(|e| fm.flow_match.subsumes(&e.flow_match)))
+            }
+            FlowModCommand::DeleteStrict => {
+                Ok(self
+                    .remove_where(|e| e.priority == fm.priority && e.flow_match == fm.flow_match))
+            }
+        }
+    }
+
+    fn remove_where<F: FnMut(&FlowEntry) -> bool>(&mut self, mut pred: F) -> Vec<RemovedEntry> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if pred(e) {
+                removed.push(RemovedEntry {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::Delete,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Looks up the highest-priority entry matching the frame and updates its
+    /// counters. Returns a clone of the matched entry.
+    pub fn lookup(
+        &mut self,
+        in_port: PortNo,
+        frame: &EthernetFrame,
+        byte_len: usize,
+        now: u64,
+    ) -> Option<FlowEntry> {
+        self.lookup_count += 1;
+        let hit = self
+            .entries
+            .iter_mut()
+            .find(|e| e.flow_match.matches_frame(in_port, frame))?;
+        hit.packet_count += 1;
+        hit.byte_count += byte_len as u64;
+        hit.last_hit_at = now;
+        self.matched_count += 1;
+        Some(hit.clone())
+    }
+
+    /// Expires entries whose idle or hard timeout has passed at `now`,
+    /// returning them with the appropriate reason.
+    pub fn expire(&mut self, now: u64) -> Vec<RemovedEntry> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hard = e.hard_timeout != 0 && now >= e.installed_at + e.hard_timeout as u64;
+            let idle = e.idle_timeout != 0 && now >= e.last_hit_at + e.idle_timeout as u64;
+            if hard || idle {
+                removed.push(RemovedEntry {
+                    entry: e.clone(),
+                    reason: if hard {
+                        FlowRemovedReason::HardTimeout
+                    } else {
+                        FlowRemovedReason::IdleTimeout
+                    },
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Per-flow stats for entries subsumed by `query`.
+    pub fn flow_stats(&self, query: &FlowMatch, now: u64) -> Vec<FlowStats> {
+        self.entries
+            .iter()
+            .filter(|e| query.subsumes(&e.flow_match))
+            .map(|e| e.to_stats(now))
+            .collect()
+    }
+
+    /// Aggregate stats over entries subsumed by `query`.
+    pub fn aggregate_stats(&self, query: &FlowMatch) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for e in self
+            .entries
+            .iter()
+            .filter(|e| query.subsumes(&e.flow_match))
+        {
+            agg.packet_count += e.packet_count;
+            agg.byte_count += e.byte_count;
+            agg.flow_count += 1;
+        }
+        agg
+    }
+
+    /// Table-level counters.
+    pub fn table_stats(&self) -> TableStats {
+        TableStats {
+            active_count: self.entries.len() as u32,
+            lookup_count: self.lookup_count,
+            matched_count: self.matched_count,
+            max_entries: self.capacity as u32,
+        }
+    }
+
+    /// Count of entries owned by the given cookie owner id.
+    pub fn count_owned_by(&self, owner: u16) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.cookie.owner() == owner)
+            .count()
+    }
+}
+
+impl fmt::Display for FlowTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow_table[{}/{} entries]", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+    use crate::types::{EthAddr, Ipv4};
+    use bytes::Bytes;
+
+    fn frame_to(dst: Ipv4, port: u16) -> EthernetFrame {
+        EthernetFrame::tcp(
+            EthAddr::from_u64(1),
+            EthAddr::from_u64(2),
+            Ipv4::new(1, 1, 1, 1),
+            dst,
+            50000,
+            port,
+            TcpFlags::default(),
+            Bytes::new(),
+        )
+    }
+
+    fn add(m: FlowMatch, prio: u16, out: u16) -> FlowMod {
+        FlowMod::add(m, Priority(prio), ActionList::output(PortNo(out)))
+    }
+
+    #[test]
+    fn add_and_lookup_by_priority() {
+        let mut t = FlowTable::new(16);
+        t.apply(&add(FlowMatch::any(), 1, 1), 0).unwrap();
+        t.apply(
+            &add(
+                FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 0, 0, 0), 8),
+                100,
+                2,
+            ),
+            0,
+        )
+        .unwrap();
+        let hit = t
+            .lookup(PortNo(1), &frame_to(Ipv4::new(10, 1, 2, 3), 80), 64, 1)
+            .unwrap();
+        assert_eq!(hit.actions, ActionList::output(PortNo(2)));
+        let miss_to_low = t
+            .lookup(PortNo(1), &frame_to(Ipv4::new(192, 168, 0, 1), 80), 64, 1)
+            .unwrap();
+        assert_eq!(miss_to_low.actions, ActionList::output(PortNo(1)));
+    }
+
+    #[test]
+    fn add_replaces_identical_entry() {
+        let mut t = FlowTable::new(16);
+        let m = FlowMatch::default().with_tp_dst(80);
+        t.apply(&add(m.clone(), 5, 1), 0).unwrap();
+        t.apply(&add(m.clone(), 5, 9), 0).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.iter().next().unwrap().actions,
+            ActionList::output(PortNo(9))
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(2);
+        t.apply(&add(FlowMatch::default().with_tp_dst(1), 1, 1), 0)
+            .unwrap();
+        t.apply(&add(FlowMatch::default().with_tp_dst(2), 1, 1), 0)
+            .unwrap();
+        let err = t
+            .apply(&add(FlowMatch::default().with_tp_dst(3), 1, 1), 0)
+            .unwrap_err();
+        assert_eq!(err, OfError::TableFull);
+    }
+
+    #[test]
+    fn delete_by_subsumption() {
+        let mut t = FlowTable::new(16);
+        t.apply(
+            &add(
+                FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16),
+                5,
+                1,
+            ),
+            0,
+        )
+        .unwrap();
+        t.apply(
+            &add(
+                FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 14, 0, 0), 16),
+                5,
+                1,
+            ),
+            0,
+        )
+        .unwrap();
+        let removed = t
+            .apply(
+                &FlowMod::delete(
+                    FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16),
+                ),
+                1,
+            )
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        // Deleting with the all-wildcard match clears the table.
+        let removed = t.apply(&FlowMod::delete(FlowMatch::any()), 2).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_strict_requires_exact_priority() {
+        let mut t = FlowTable::new(16);
+        let m = FlowMatch::default().with_tp_dst(80);
+        t.apply(&add(m.clone(), 5, 1), 0).unwrap();
+        let mut del = FlowMod::delete(m.clone());
+        del.command = FlowModCommand::DeleteStrict;
+        del.priority = Priority(6);
+        assert!(t.apply(&del, 1).unwrap().is_empty());
+        del.priority = Priority(5);
+        assert_eq!(t.apply(&del, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn modify_rewrites_actions_preserving_counters() {
+        let mut t = FlowTable::new(16);
+        let m = FlowMatch::default().with_tp_dst(80);
+        t.apply(&add(m.clone(), 5, 1), 0).unwrap();
+        t.lookup(PortNo(1), &frame_to(Ipv4::new(9, 9, 9, 9), 80), 100, 1);
+        let mut modify = add(m.clone(), 5, 7);
+        modify.command = FlowModCommand::Modify;
+        t.apply(&modify, 2).unwrap();
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.actions, ActionList::output(PortNo(7)));
+        assert_eq!(e.packet_count, 1, "modify must keep counters");
+    }
+
+    #[test]
+    fn modify_without_match_adds() {
+        let mut t = FlowTable::new(16);
+        let mut modify = add(FlowMatch::default().with_tp_dst(443), 5, 7);
+        modify.command = FlowModCommand::Modify;
+        t.apply(&modify, 0).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn idle_and_hard_timeouts() {
+        let mut t = FlowTable::new(16);
+        let idle = add(FlowMatch::default().with_tp_dst(1), 5, 1).with_idle_timeout(10);
+        let hard = add(FlowMatch::default().with_tp_dst(2), 5, 1).with_hard_timeout(20);
+        t.apply(&idle, 0).unwrap();
+        t.apply(&hard, 0).unwrap();
+        assert!(t.expire(5).is_empty());
+        // Keep the idle entry alive with traffic.
+        t.lookup(PortNo(1), &frame_to(Ipv4::new(9, 9, 9, 9), 1), 64, 9);
+        let removed = t.expire(15);
+        assert!(removed.is_empty(), "idle refreshed at t=9, hard not due");
+        let removed = t.expire(20);
+        assert_eq!(removed.len(), 2);
+        let reasons: Vec<_> = removed.iter().map(|r| r.reason).collect();
+        assert!(reasons.contains(&FlowRemovedReason::IdleTimeout));
+        assert!(reasons.contains(&FlowRemovedReason::HardTimeout));
+    }
+
+    #[test]
+    fn stats_queries() {
+        let mut t = FlowTable::new(16);
+        t.apply(
+            &add(
+                FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16),
+                5,
+                1,
+            ),
+            0,
+        )
+        .unwrap();
+        t.apply(&add(FlowMatch::default().with_tp_dst(22), 5, 1), 0)
+            .unwrap();
+        t.lookup(PortNo(1), &frame_to(Ipv4::new(10, 13, 1, 1), 80), 150, 1);
+        let all = t.flow_stats(&FlowMatch::any(), 2);
+        assert_eq!(all.len(), 2);
+        let sub = t.flow_stats(
+            &FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 0, 0, 0), 8),
+            2,
+        );
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].packet_count, 1);
+        assert_eq!(sub[0].byte_count, 150);
+        let agg = t.aggregate_stats(&FlowMatch::any());
+        assert_eq!(agg.flow_count, 2);
+        assert_eq!(agg.byte_count, 150);
+        let ts = t.table_stats();
+        assert_eq!(ts.active_count, 2);
+        assert_eq!(ts.lookup_count, 1);
+        assert_eq!(ts.matched_count, 1);
+    }
+
+    #[test]
+    fn ownership_counting() {
+        let mut t = FlowTable::new(16);
+        for (i, owner) in [(1u16, 7u16), (2, 7), (3, 8)] {
+            let fm = add(FlowMatch::default().with_tp_dst(i), 5, 1)
+                .with_cookie(Cookie::with_owner(owner, 0));
+            t.apply(&fm, 0).unwrap();
+        }
+        assert_eq!(t.count_owned_by(7), 2);
+        assert_eq!(t.count_owned_by(8), 1);
+        assert_eq!(t.count_owned_by(9), 0);
+    }
+}

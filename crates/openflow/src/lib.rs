@@ -1,0 +1,50 @@
+//! OpenFlow 1.0-style protocol substrate for the SDNShield reproduction.
+//!
+//! The SDNShield paper (DSN'16) evaluates its permission system on
+//! OpenDaylight and Floodlight talking OpenFlow to switches. This crate
+//! provides the protocol layer that reproduction needs:
+//!
+//! * [`types`] — datapath ids, ports, cookies, addresses.
+//! * [`packet`] — a structured Ethernet/ARP/IPv4/TCP/UDP/ICMP packet model
+//!   with byte-level serialization, so packet-in payloads carry real octets.
+//! * [`flow_match`] — the classic 12-tuple match and its subsumption algebra,
+//!   the foundation of SDNShield's flow-space permission filters.
+//! * [`actions`] — OpenFlow actions with the forwarding/modifying
+//!   classification SDNShield's action filters use.
+//! * [`messages`] — the control-channel message set.
+//! * [`flow_table`] — switch-side tables with flow-mod semantics, timeouts
+//!   and counters.
+//! * [`wire`] — a self-consistent binary codec for the message set.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdnshield_openflow::flow_match::FlowMatch;
+//! use sdnshield_openflow::types::Ipv4;
+//!
+//! // The flow space granted to an app…
+//! let granted = FlowMatch::default().with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16);
+//! // …permits this narrower rule:
+//! let rule = FlowMatch::default()
+//!     .with_ip_dst_prefix(Ipv4::new(10, 13, 7, 0), 24)
+//!     .with_tcp_dst(80);
+//! assert!(granted.subsumes(&rule));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod actions;
+pub mod channel;
+pub mod flow_match;
+pub mod flow_table;
+pub mod messages;
+pub mod packet;
+pub mod types;
+pub mod wire;
+
+pub use actions::{Action, ActionList};
+pub use flow_match::{FlowMatch, MaskedIpv4};
+pub use flow_table::{FlowEntry, FlowTable};
+pub use messages::{FlowMod, FlowModCommand, OfBody, OfMessage};
+pub use types::{Cookie, DatapathId, EthAddr, Ipv4, PortNo, Priority};

@@ -1,0 +1,428 @@
+//! OpenFlow control-channel messages (1.0-style subset).
+
+use bytes::Bytes;
+use std::fmt;
+
+use crate::actions::ActionList;
+use crate::flow_match::FlowMatch;
+use crate::types::{BufferId, Cookie, DatapathId, PortNo, Priority, Xid};
+
+/// Why a packet-in was sent to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketInReason {
+    /// No matching flow entry.
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+}
+
+/// Why a flow entry was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowRemovedReason {
+    /// Idle timeout expired.
+    IdleTimeout,
+    /// Hard timeout expired.
+    HardTimeout,
+    /// Deleted by a flow-mod.
+    Delete,
+}
+
+/// Flow-mod commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Add a new entry.
+    Add,
+    /// Modify actions of matching entries (add if none).
+    Modify,
+    /// Modify strictly (match + priority equal).
+    ModifyStrict,
+    /// Delete matching entries (subsumption match).
+    Delete,
+    /// Delete strictly (match + priority equal).
+    DeleteStrict,
+}
+
+/// A flow-mod message body: the unit of rule programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMod {
+    /// Command to apply.
+    pub command: FlowModCommand,
+    /// The flow space the rule matches.
+    pub flow_match: FlowMatch,
+    /// Entry priority.
+    pub priority: Priority,
+    /// Actions applied to matching packets.
+    pub actions: ActionList,
+    /// Opaque cookie (SDNShield encodes ownership here).
+    pub cookie: Cookie,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Ask for a flow-removed notification on expiry.
+    pub notify_when_removed: bool,
+}
+
+impl FlowMod {
+    /// A flow-mod adding a rule with the given match, priority and actions.
+    pub fn add(flow_match: FlowMatch, priority: Priority, actions: ActionList) -> Self {
+        FlowMod {
+            command: FlowModCommand::Add,
+            flow_match,
+            priority,
+            actions,
+            cookie: Cookie::default(),
+            idle_timeout: 0,
+            hard_timeout: 0,
+            notify_when_removed: false,
+        }
+    }
+
+    /// A flow-mod deleting all rules subsumed by `flow_match`.
+    pub fn delete(flow_match: FlowMatch) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            flow_match,
+            priority: Priority::MIN,
+            actions: ActionList::drop(),
+            cookie: Cookie::default(),
+            idle_timeout: 0,
+            hard_timeout: 0,
+            notify_when_removed: false,
+        }
+    }
+
+    /// Builder-style cookie setter.
+    pub fn with_cookie(mut self, cookie: Cookie) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Builder-style idle-timeout setter.
+    pub fn with_idle_timeout(mut self, secs: u16) -> Self {
+        self.idle_timeout = secs;
+        self
+    }
+
+    /// Builder-style hard-timeout setter.
+    pub fn with_hard_timeout(mut self, secs: u16) -> Self {
+        self.hard_timeout = secs;
+        self
+    }
+}
+
+impl fmt::Display for FlowMod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow_mod[{:?} {} {} -> {}]",
+            self.command, self.flow_match, self.priority, self.actions
+        )
+    }
+}
+
+/// A packet-in event body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketIn {
+    /// Buffer id on the switch, if buffered.
+    pub buffer_id: BufferId,
+    /// Port the packet arrived on.
+    pub in_port: PortNo,
+    /// Why the packet was punted.
+    pub reason: PacketInReason,
+    /// The (possibly truncated) packet bytes.
+    pub payload: Bytes,
+}
+
+/// A packet-out command body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketOut {
+    /// Buffered packet to release, or [`BufferId::NO_BUFFER`] with payload.
+    pub buffer_id: BufferId,
+    /// Nominal ingress port (for IN_PORT output semantics).
+    pub in_port: PortNo,
+    /// Actions to apply (typically a single output).
+    pub actions: ActionList,
+    /// Raw packet when not buffered.
+    pub payload: Bytes,
+}
+
+/// A flow-removed notification body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRemoved {
+    /// Match of the removed entry.
+    pub flow_match: FlowMatch,
+    /// Priority of the removed entry.
+    pub priority: Priority,
+    /// Cookie of the removed entry.
+    pub cookie: Cookie,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+    /// Packets matched over the entry's lifetime.
+    pub packet_count: u64,
+    /// Bytes matched over the entry's lifetime.
+    pub byte_count: u64,
+    /// Seconds the entry was installed.
+    pub duration_secs: u32,
+}
+
+/// What a stats request asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsRequest {
+    /// Per-flow stats for entries subsumed by the match.
+    Flow(FlowMatch),
+    /// Aggregate stats over entries subsumed by the match.
+    Aggregate(FlowMatch),
+    /// Per-port counters ([`PortNo::NONE`] = all ports).
+    Port(PortNo),
+    /// Table-level counters.
+    Table,
+}
+
+/// Per-flow statistics entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStats {
+    /// The entry's match.
+    pub flow_match: FlowMatch,
+    /// The entry's priority.
+    pub priority: Priority,
+    /// The entry's cookie.
+    pub cookie: Cookie,
+    /// The entry's actions.
+    pub actions: ActionList,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Seconds installed.
+    pub duration_secs: u32,
+}
+
+/// Per-port statistics entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// The port.
+    pub port_no: PortNo,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Receive drops.
+    pub rx_dropped: u64,
+    /// Transmit drops.
+    pub tx_dropped: u64,
+}
+
+/// Table-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Entries currently installed.
+    pub active_count: u32,
+    /// Packets looked up.
+    pub lookup_count: u64,
+    /// Packets that hit an entry.
+    pub matched_count: u64,
+    /// Maximum entries supported.
+    pub max_entries: u32,
+}
+
+/// Aggregate statistics over a flow-space query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AggregateStats {
+    /// Total packets across matching entries.
+    pub packet_count: u64,
+    /// Total bytes across matching entries.
+    pub byte_count: u64,
+    /// Number of matching entries.
+    pub flow_count: u32,
+}
+
+/// A stats reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsReply {
+    /// Per-flow entries.
+    Flow(Vec<FlowStats>),
+    /// Aggregate over matching entries.
+    Aggregate(AggregateStats),
+    /// Per-port counters.
+    Port(Vec<PortStats>),
+    /// Table counters.
+    Table(TableStats),
+}
+
+/// OpenFlow error types (subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OfError {
+    /// Flow-mod failed: table full.
+    TableFull,
+    /// Flow-mod failed: overlapping entry.
+    Overlap,
+    /// Bad request (malformed/unsupported).
+    BadRequest(String),
+    /// Permission denied at the switch.
+    EPerm(String),
+}
+
+impl fmt::Display for OfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfError::TableFull => write!(f, "flow table full"),
+            OfError::Overlap => write!(f, "overlapping flow entry"),
+            OfError::BadRequest(m) => write!(f, "bad request: {m}"),
+            OfError::EPerm(m) => write!(f, "permission denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OfError {}
+
+/// Port state change notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortChange {
+    /// Port added.
+    Add,
+    /// Port removed.
+    Delete,
+    /// Port attributes changed (e.g. link up/down).
+    Modify,
+}
+
+/// A full OpenFlow message: header (xid) plus typed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfMessage {
+    /// Transaction id correlating requests/replies.
+    pub xid: Xid,
+    /// Message body.
+    pub body: OfBody,
+}
+
+/// OpenFlow message bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OfBody {
+    /// Version negotiation.
+    Hello,
+    /// Liveness probe.
+    EchoRequest,
+    /// Liveness reply.
+    EchoReply,
+    /// Ask the switch for its features.
+    FeaturesRequest,
+    /// Switch features: datapath id and ports.
+    FeaturesReply {
+        /// The switch's datapath id.
+        datapath_id: DatapathId,
+        /// Physical ports on the switch.
+        ports: Vec<PortNo>,
+        /// Flow-table capacity.
+        table_capacity: u32,
+    },
+    /// Packet punted to the controller.
+    PacketIn(PacketIn),
+    /// Packet injected by the controller.
+    PacketOut(PacketOut),
+    /// Flow table programming.
+    FlowMod(FlowMod),
+    /// Flow entry expired or deleted.
+    FlowRemoved(FlowRemoved),
+    /// Port status change.
+    PortStatus {
+        /// What changed.
+        change: PortChange,
+        /// The affected port.
+        port_no: PortNo,
+    },
+    /// Statistics request.
+    StatsRequest(StatsRequest),
+    /// Statistics reply.
+    StatsReply(StatsReply),
+    /// Error notification.
+    Error(OfError),
+    /// Barrier: flush preceding messages.
+    BarrierRequest,
+    /// Barrier acknowledged.
+    BarrierReply,
+}
+
+impl OfMessage {
+    /// Wraps a body with a transaction id.
+    pub fn new(xid: Xid, body: OfBody) -> Self {
+        OfMessage { xid, body }
+    }
+
+    /// Short human-readable name of the message kind.
+    pub fn kind(&self) -> &'static str {
+        match &self.body {
+            OfBody::Hello => "hello",
+            OfBody::EchoRequest => "echo_request",
+            OfBody::EchoReply => "echo_reply",
+            OfBody::FeaturesRequest => "features_request",
+            OfBody::FeaturesReply { .. } => "features_reply",
+            OfBody::PacketIn(_) => "packet_in",
+            OfBody::PacketOut(_) => "packet_out",
+            OfBody::FlowMod(_) => "flow_mod",
+            OfBody::FlowRemoved(_) => "flow_removed",
+            OfBody::PortStatus { .. } => "port_status",
+            OfBody::StatsRequest(_) => "stats_request",
+            OfBody::StatsReply(_) => "stats_reply",
+            OfBody::Error(_) => "error",
+            OfBody::BarrierRequest => "barrier_request",
+            OfBody::BarrierReply => "barrier_reply",
+        }
+    }
+}
+
+impl fmt::Display for OfMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "of[{} {}]", self.xid, self.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ipv4;
+
+    #[test]
+    fn flow_mod_builders() {
+        let fm = FlowMod::add(
+            FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 1)),
+            Priority(100),
+            ActionList::output(PortNo(2)),
+        )
+        .with_cookie(Cookie::with_owner(3, 7))
+        .with_idle_timeout(30);
+        assert_eq!(fm.command, FlowModCommand::Add);
+        assert_eq!(fm.cookie.owner(), 3);
+        assert_eq!(fm.idle_timeout, 30);
+        assert_eq!(fm.hard_timeout, 0);
+    }
+
+    #[test]
+    fn delete_flow_mod_defaults() {
+        let fm = FlowMod::delete(FlowMatch::any());
+        assert_eq!(fm.command, FlowModCommand::Delete);
+        assert!(fm.actions.is_drop());
+    }
+
+    #[test]
+    fn message_kinds() {
+        let m = OfMessage::new(Xid(1), OfBody::Hello);
+        assert_eq!(m.kind(), "hello");
+        assert_eq!(m.to_string(), "of[xid:1 hello]");
+        let m = OfMessage::new(Xid(2), OfBody::FlowMod(FlowMod::delete(FlowMatch::any())));
+        assert_eq!(m.kind(), "flow_mod");
+    }
+
+    #[test]
+    fn of_error_display() {
+        assert_eq!(OfError::TableFull.to_string(), "flow table full");
+        assert_eq!(
+            OfError::EPerm("insert_flow".into()).to_string(),
+            "permission denied: insert_flow"
+        );
+    }
+}

@@ -1,0 +1,701 @@
+//! Data-plane packet model: Ethernet, ARP, IPv4, TCP, UDP, ICMP.
+//!
+//! The simulator moves structured packets rather than raw frames wherever it
+//! can, but every packet can be serialized to bytes (and parsed back) so the
+//! packet-in payload path — which SDNShield's `read_payload` permission
+//! guards — carries realistic octets.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use crate::types::{eth_type, ip_proto, EthAddr, Ipv4};
+
+/// Error returned when a packet fails to parse from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePacketError {
+    /// Human-readable description of the first problem encountered.
+    reason: &'static str,
+}
+
+impl ParsePacketError {
+    fn new(reason: &'static str) -> Self {
+        ParsePacketError { reason }
+    }
+}
+
+impl fmt::Display for ParsePacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed packet: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParsePacketError {}
+
+/// An Ethernet frame with a typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Source MAC address.
+    pub src: EthAddr,
+    /// Destination MAC address.
+    pub dst: EthAddr,
+    /// Optional 802.1Q VLAN id (12 bits) and PCP (3 bits).
+    pub vlan: Option<VlanTag>,
+    /// The payload.
+    pub payload: EthPayload,
+}
+
+/// An 802.1Q VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VlanTag {
+    /// VLAN identifier, 0..=4095.
+    pub vid: u16,
+    /// Priority code point, 0..=7.
+    pub pcp: u8,
+}
+
+/// Payload variants carried by an [`EthernetFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EthPayload {
+    /// An ARP packet.
+    Arp(ArpPacket),
+    /// An IPv4 packet.
+    Ipv4(Ipv4Packet),
+    /// An unparsed payload with explicit EtherType.
+    Other {
+        /// EtherType of the unknown payload.
+        eth_type: u16,
+        /// Raw payload bytes.
+        data: Bytes,
+    },
+}
+
+impl EthPayload {
+    /// The EtherType value describing this payload.
+    pub fn eth_type(&self) -> u16 {
+        match self {
+            EthPayload::Arp(_) => eth_type::ARP,
+            EthPayload::Ipv4(_) => eth_type::IPV4,
+            EthPayload::Other { eth_type, .. } => *eth_type,
+        }
+    }
+}
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// An ARP packet (IPv4 over Ethernet flavor only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: EthAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4,
+    /// Target hardware address (zero in requests).
+    pub target_mac: EthAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4,
+}
+
+/// An IPv4 packet with a typed transport payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Time to live.
+    pub ttl: u8,
+    /// Differentiated services / ToS byte.
+    pub tos: u8,
+    /// Transport payload.
+    pub payload: IpPayload,
+}
+
+/// Transport payloads carried by an [`Ipv4Packet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpPayload {
+    /// TCP segment.
+    Tcp(TcpSegment),
+    /// UDP datagram.
+    Udp(UdpDatagram),
+    /// ICMP message.
+    Icmp(IcmpMessage),
+    /// Unparsed payload with explicit protocol number.
+    Other {
+        /// IP protocol number.
+        proto: u8,
+        /// Raw payload bytes.
+        data: Bytes,
+    },
+}
+
+impl IpPayload {
+    /// The IP protocol number describing this payload.
+    pub fn proto(&self) -> u8 {
+        match self {
+            IpPayload::Tcp(_) => ip_proto::TCP,
+            IpPayload::Udp(_) => ip_proto::UDP,
+            IpPayload::Icmp(_) => ip_proto::ICMP,
+            IpPayload::Other { proto, .. } => *proto,
+        }
+    }
+}
+
+/// TCP control flags, as individual booleans for readability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// Packs the flags into the low bits of a byte (RFC 793 layout).
+    pub fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | ((self.syn as u8) << 1)
+            | ((self.rst as u8) << 2)
+            | ((self.psh as u8) << 3)
+            | ((self.ack as u8) << 4)
+    }
+
+    /// Unpacks flags from a byte (RFC 793 layout).
+    pub fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Application payload.
+    pub data: Bytes,
+}
+
+/// A UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub data: Bytes,
+}
+
+/// An ICMP message (echo request/reply subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpMessage {
+    /// ICMP type (8 = echo request, 0 = echo reply).
+    pub icmp_type: u8,
+    /// ICMP code.
+    pub code: u8,
+    /// Message body.
+    pub data: Bytes,
+}
+
+impl EthernetFrame {
+    /// Serializes the frame to wire bytes.
+    ///
+    /// Checksums are written as zero: the simulator never verifies them, and
+    /// real controllers treat packet-in payloads as opaque anyway.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        if let Some(tag) = self.vlan {
+            buf.put_u16(eth_type::VLAN);
+            buf.put_u16(((tag.pcp as u16) << 13) | (tag.vid & 0x0fff));
+        }
+        buf.put_u16(self.payload.eth_type());
+        match &self.payload {
+            EthPayload::Arp(arp) => encode_arp(arp, &mut buf),
+            EthPayload::Ipv4(ip) => encode_ipv4(ip, &mut buf),
+            EthPayload::Other { data, .. } => buf.put_slice(data),
+        }
+        buf.freeze()
+    }
+
+    /// Parses a frame from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError`] when the bytes are shorter than the
+    /// headers they claim or contain an inconsistent length field.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, ParsePacketError> {
+        if bytes.len() < 14 {
+            return Err(ParsePacketError::new("truncated ethernet header"));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        bytes.copy_to_slice(&mut dst);
+        bytes.copy_to_slice(&mut src);
+        let mut ety = bytes.get_u16();
+        let vlan = if ety == eth_type::VLAN {
+            if bytes.len() < 4 {
+                return Err(ParsePacketError::new("truncated vlan tag"));
+            }
+            let tci = bytes.get_u16();
+            ety = bytes.get_u16();
+            Some(VlanTag {
+                vid: tci & 0x0fff,
+                pcp: (tci >> 13) as u8,
+            })
+        } else {
+            None
+        };
+        let payload = match ety {
+            eth_type::ARP => EthPayload::Arp(decode_arp(&mut bytes)?),
+            eth_type::IPV4 => EthPayload::Ipv4(decode_ipv4(&mut bytes)?),
+            other => EthPayload::Other {
+                eth_type: other,
+                data: bytes,
+            },
+        };
+        Ok(EthernetFrame {
+            src: EthAddr(src),
+            dst: EthAddr(dst),
+            vlan,
+            payload,
+        })
+    }
+
+    /// Convenience constructor for an ARP request frame.
+    pub fn arp_request(sender_mac: EthAddr, sender_ip: Ipv4, target_ip: Ipv4) -> Self {
+        EthernetFrame {
+            src: sender_mac,
+            dst: EthAddr::BROADCAST,
+            vlan: None,
+            payload: EthPayload::Arp(ArpPacket {
+                op: ArpOp::Request,
+                sender_mac,
+                sender_ip,
+                target_mac: EthAddr::ZERO,
+                target_ip,
+            }),
+        }
+    }
+
+    /// Convenience constructor for a unicast TCP frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp(
+        src_mac: EthAddr,
+        dst_mac: EthAddr,
+        src_ip: Ipv4,
+        dst_ip: Ipv4,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        data: Bytes,
+    ) -> Self {
+        EthernetFrame {
+            src: src_mac,
+            dst: dst_mac,
+            vlan: None,
+            payload: EthPayload::Ipv4(Ipv4Packet {
+                src: src_ip,
+                dst: dst_ip,
+                ttl: 64,
+                tos: 0,
+                payload: IpPayload::Tcp(TcpSegment {
+                    src_port,
+                    dst_port,
+                    seq: 0,
+                    ack: 0,
+                    flags,
+                    data,
+                }),
+            }),
+        }
+    }
+
+    /// Convenience constructor for a unicast UDP frame.
+    pub fn udp(
+        src_mac: EthAddr,
+        dst_mac: EthAddr,
+        src_ip: Ipv4,
+        dst_ip: Ipv4,
+        src_port: u16,
+        dst_port: u16,
+        data: Bytes,
+    ) -> Self {
+        EthernetFrame {
+            src: src_mac,
+            dst: dst_mac,
+            vlan: None,
+            payload: EthPayload::Ipv4(Ipv4Packet {
+                src: src_ip,
+                dst: dst_ip,
+                ttl: 64,
+                tos: 0,
+                payload: IpPayload::Udp(UdpDatagram {
+                    src_port,
+                    dst_port,
+                    data,
+                }),
+            }),
+        }
+    }
+}
+
+fn encode_arp(arp: &ArpPacket, buf: &mut BytesMut) {
+    buf.put_u16(1); // hardware type: ethernet
+    buf.put_u16(eth_type::IPV4);
+    buf.put_u8(6);
+    buf.put_u8(4);
+    buf.put_u16(match arp.op {
+        ArpOp::Request => 1,
+        ArpOp::Reply => 2,
+    });
+    buf.put_slice(&arp.sender_mac.0);
+    buf.put_u32(arp.sender_ip.0);
+    buf.put_slice(&arp.target_mac.0);
+    buf.put_u32(arp.target_ip.0);
+}
+
+fn decode_arp(bytes: &mut Bytes) -> Result<ArpPacket, ParsePacketError> {
+    if bytes.len() < 28 {
+        return Err(ParsePacketError::new("truncated arp packet"));
+    }
+    let _htype = bytes.get_u16();
+    let _ptype = bytes.get_u16();
+    let _hlen = bytes.get_u8();
+    let _plen = bytes.get_u8();
+    let op = match bytes.get_u16() {
+        1 => ArpOp::Request,
+        2 => ArpOp::Reply,
+        _ => return Err(ParsePacketError::new("unknown arp opcode")),
+    };
+    let mut smac = [0u8; 6];
+    bytes.copy_to_slice(&mut smac);
+    let sip = Ipv4(bytes.get_u32());
+    let mut tmac = [0u8; 6];
+    bytes.copy_to_slice(&mut tmac);
+    let tip = Ipv4(bytes.get_u32());
+    Ok(ArpPacket {
+        op,
+        sender_mac: EthAddr(smac),
+        sender_ip: sip,
+        target_mac: EthAddr(tmac),
+        target_ip: tip,
+    })
+}
+
+fn encode_ipv4(ip: &Ipv4Packet, buf: &mut BytesMut) {
+    let mut body = BytesMut::with_capacity(32);
+    match &ip.payload {
+        IpPayload::Tcp(tcp) => {
+            body.put_u16(tcp.src_port);
+            body.put_u16(tcp.dst_port);
+            body.put_u32(tcp.seq);
+            body.put_u32(tcp.ack);
+            body.put_u8(5 << 4); // data offset, no options
+            body.put_u8(tcp.flags.to_byte());
+            body.put_u16(0xffff); // window
+            body.put_u16(0); // checksum (unverified)
+            body.put_u16(0); // urgent
+            body.put_slice(&tcp.data);
+        }
+        IpPayload::Udp(udp) => {
+            body.put_u16(udp.src_port);
+            body.put_u16(udp.dst_port);
+            body.put_u16((8 + udp.data.len()) as u16);
+            body.put_u16(0); // checksum (unverified)
+            body.put_slice(&udp.data);
+        }
+        IpPayload::Icmp(icmp) => {
+            body.put_u8(icmp.icmp_type);
+            body.put_u8(icmp.code);
+            body.put_u16(0); // checksum (unverified)
+            body.put_slice(&icmp.data);
+        }
+        IpPayload::Other { data, .. } => body.put_slice(data),
+    }
+    let total_len = 20 + body.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(ip.tos);
+    buf.put_u16(total_len as u16);
+    buf.put_u16(0); // identification
+    buf.put_u16(0); // flags/fragment
+    buf.put_u8(ip.ttl);
+    buf.put_u8(ip.payload.proto());
+    buf.put_u16(0); // header checksum (unverified)
+    buf.put_u32(ip.src.0);
+    buf.put_u32(ip.dst.0);
+    buf.put_slice(&body);
+}
+
+fn decode_ipv4(bytes: &mut Bytes) -> Result<Ipv4Packet, ParsePacketError> {
+    if bytes.len() < 20 {
+        return Err(ParsePacketError::new("truncated ipv4 header"));
+    }
+    let ver_ihl = bytes.get_u8();
+    if ver_ihl >> 4 != 4 {
+        return Err(ParsePacketError::new("not an ipv4 packet"));
+    }
+    let ihl = (ver_ihl & 0x0f) as usize * 4;
+    let tos = bytes.get_u8();
+    let total_len = bytes.get_u16() as usize;
+    let _id = bytes.get_u16();
+    let _frag = bytes.get_u16();
+    let ttl = bytes.get_u8();
+    let proto = bytes.get_u8();
+    let _csum = bytes.get_u16();
+    let src = Ipv4(bytes.get_u32());
+    let dst = Ipv4(bytes.get_u32());
+    if ihl > 20 {
+        let opts = ihl - 20;
+        if bytes.len() < opts {
+            return Err(ParsePacketError::new("truncated ipv4 options"));
+        }
+        bytes.advance(opts);
+    }
+    let body_len = total_len
+        .checked_sub(ihl)
+        .ok_or(ParsePacketError::new("ipv4 length shorter than header"))?;
+    if bytes.len() < body_len {
+        return Err(ParsePacketError::new("truncated ipv4 body"));
+    }
+    let mut body = bytes.split_to(body_len);
+    let payload = match proto {
+        ip_proto::TCP => {
+            if body.len() < 20 {
+                return Err(ParsePacketError::new("truncated tcp header"));
+            }
+            let src_port = body.get_u16();
+            let dst_port = body.get_u16();
+            let seq = body.get_u32();
+            let ack = body.get_u32();
+            let off = (body.get_u8() >> 4) as usize * 4;
+            let flags = TcpFlags::from_byte(body.get_u8());
+            let _win = body.get_u16();
+            let _csum = body.get_u16();
+            let _urg = body.get_u16();
+            if off > 20 {
+                let opts = off - 20;
+                if body.len() < opts {
+                    return Err(ParsePacketError::new("truncated tcp options"));
+                }
+                body.advance(opts);
+            }
+            IpPayload::Tcp(TcpSegment {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                data: body,
+            })
+        }
+        ip_proto::UDP => {
+            if body.len() < 8 {
+                return Err(ParsePacketError::new("truncated udp header"));
+            }
+            let src_port = body.get_u16();
+            let dst_port = body.get_u16();
+            let _len = body.get_u16();
+            let _csum = body.get_u16();
+            IpPayload::Udp(UdpDatagram {
+                src_port,
+                dst_port,
+                data: body,
+            })
+        }
+        ip_proto::ICMP => {
+            if body.len() < 4 {
+                return Err(ParsePacketError::new("truncated icmp header"));
+            }
+            let icmp_type = body.get_u8();
+            let code = body.get_u8();
+            let _csum = body.get_u16();
+            IpPayload::Icmp(IcmpMessage {
+                icmp_type,
+                code,
+                data: body,
+            })
+        }
+        other => IpPayload::Other {
+            proto: other,
+            data: body,
+        },
+    };
+    Ok(Ipv4Packet {
+        src,
+        dst,
+        ttl,
+        tos,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(n: u64) -> EthAddr {
+        EthAddr::from_u64(n)
+    }
+
+    #[test]
+    fn arp_roundtrip() {
+        let frame =
+            EthernetFrame::arp_request(mac(1), Ipv4::new(10, 0, 0, 1), Ipv4::new(10, 0, 0, 2));
+        let bytes = frame.to_bytes();
+        let parsed = EthernetFrame::from_bytes(bytes).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_payload() {
+        let frame = EthernetFrame::tcp(
+            mac(1),
+            mac(2),
+            Ipv4::new(192, 168, 0, 1),
+            Ipv4::new(192, 168, 0, 2),
+            43210,
+            80,
+            TcpFlags {
+                syn: true,
+                ..TcpFlags::default()
+            },
+            Bytes::from_static(b"GET / HTTP/1.0\r\n\r\n"),
+        );
+        let parsed = EthernetFrame::from_bytes(frame.to_bytes()).unwrap();
+        assert_eq!(parsed, frame);
+        match parsed.payload {
+            EthPayload::Ipv4(ip) => match ip.payload {
+                IpPayload::Tcp(tcp) => {
+                    assert!(tcp.flags.syn);
+                    assert_eq!(&tcp.data[..], b"GET / HTTP/1.0\r\n\r\n");
+                }
+                other => panic!("expected tcp, got {other:?}"),
+            },
+            other => panic!("expected ipv4, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let frame = EthernetFrame::udp(
+            mac(3),
+            mac(4),
+            Ipv4::new(10, 1, 1, 1),
+            Ipv4::new(10, 1, 1, 2),
+            5353,
+            53,
+            Bytes::from_static(b"query"),
+        );
+        assert_eq!(EthernetFrame::from_bytes(frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn vlan_tag_roundtrip() {
+        let mut frame = EthernetFrame::udp(
+            mac(3),
+            mac(4),
+            Ipv4::new(10, 1, 1, 1),
+            Ipv4::new(10, 1, 1, 2),
+            1000,
+            2000,
+            Bytes::new(),
+        );
+        frame.vlan = Some(VlanTag { vid: 100, pcp: 5 });
+        assert_eq!(EthernetFrame::from_bytes(frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn icmp_roundtrip() {
+        let frame = EthernetFrame {
+            src: mac(9),
+            dst: mac(10),
+            vlan: None,
+            payload: EthPayload::Ipv4(Ipv4Packet {
+                src: Ipv4::new(1, 2, 3, 4),
+                dst: Ipv4::new(5, 6, 7, 8),
+                ttl: 32,
+                tos: 0,
+                payload: IpPayload::Icmp(IcmpMessage {
+                    icmp_type: 8,
+                    code: 0,
+                    data: Bytes::from_static(b"ping"),
+                }),
+            }),
+        };
+        assert_eq!(EthernetFrame::from_bytes(frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn unknown_ethertype_passthrough() {
+        let frame = EthernetFrame {
+            src: mac(1),
+            dst: mac(2),
+            vlan: None,
+            payload: EthPayload::Other {
+                eth_type: 0x88cc, // LLDP
+                data: Bytes::from_static(b"\x01\x02\x03"),
+            },
+        };
+        assert_eq!(EthernetFrame::from_bytes(frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert!(EthernetFrame::from_bytes(Bytes::from_static(b"short")).is_err());
+        // Valid ethernet header claiming ARP but with a truncated body.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0u8; 12]);
+        buf.put_u16(eth_type::ARP);
+        buf.put_slice(&[0u8; 4]);
+        assert!(EthernetFrame::from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn tcp_flags_byte_roundtrip() {
+        for b in 0..32u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn bad_ip_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0u8; 12]);
+        buf.put_u16(eth_type::IPV4);
+        buf.put_u8(0x45);
+        buf.put_u8(0);
+        buf.put_u16(10); // total length shorter than the 20-byte header
+        buf.put_slice(&[0u8; 16]);
+        assert!(EthernetFrame::from_bytes(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! Fundamental OpenFlow value types.
+//!
+//! These newtypes give static distinctions between the many integer-valued
+//! identifiers that flow through an SDN control plane (datapath ids, port
+//! numbers, priorities, cookies, …), per the newtype guidance of the Rust API
+//! guidelines (C-NEWTYPE).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 64-bit OpenFlow datapath identifier naming one switch.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_openflow::types::DatapathId;
+/// let dpid = DatapathId(42);
+/// assert_eq!(dpid.to_string(), "dpid:42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DatapathId(pub u64);
+
+impl fmt::Display for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpid:{}", self.0)
+    }
+}
+
+impl From<u64> for DatapathId {
+    fn from(v: u64) -> Self {
+        DatapathId(v)
+    }
+}
+
+/// A switch port number.
+///
+/// Reserved values follow OpenFlow 1.0 conventions and are exposed as
+/// associated constants.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_openflow::types::PortNo;
+/// assert!(PortNo::CONTROLLER.is_reserved());
+/// assert!(!PortNo(3).is_reserved());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortNo(pub u16);
+
+impl PortNo {
+    /// Maximum number assignable to a physical port.
+    pub const MAX_PHYSICAL: PortNo = PortNo(0xff00);
+    /// Send the packet out the port it arrived on.
+    pub const IN_PORT: PortNo = PortNo(0xfff8);
+    /// Flood the packet along the minimum spanning tree.
+    pub const FLOOD: PortNo = PortNo(0xfffb);
+    /// Send the packet out all ports except the ingress port.
+    pub const ALL: PortNo = PortNo(0xfffc);
+    /// Send the packet to the controller as a packet-in.
+    pub const CONTROLLER: PortNo = PortNo(0xfffd);
+    /// Local networking stack of the switch.
+    pub const LOCAL: PortNo = PortNo(0xfffe);
+    /// Wildcard port used in match and stats messages.
+    pub const NONE: PortNo = PortNo(0xffff);
+
+    /// Returns `true` when the port number is one of the reserved
+    /// (non-physical) OpenFlow ports.
+    pub fn is_reserved(self) -> bool {
+        self > Self::MAX_PHYSICAL
+    }
+}
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::IN_PORT => write!(f, "in_port"),
+            Self::FLOOD => write!(f, "flood"),
+            Self::ALL => write!(f, "all"),
+            Self::CONTROLLER => write!(f, "controller"),
+            Self::LOCAL => write!(f, "local"),
+            Self::NONE => write!(f, "none"),
+            PortNo(n) => write!(f, "port:{n}"),
+        }
+    }
+}
+
+impl From<u16> for PortNo {
+    fn from(v: u16) -> Self {
+        PortNo(v)
+    }
+}
+
+/// An opaque 64-bit flow cookie.
+///
+/// SDNShield uses the upper bits of the cookie space to track per-app rule
+/// ownership (see `sdnshield-core`'s ownership filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cookie(pub u64);
+
+impl Cookie {
+    /// Number of bits reserved for the owning app id.
+    pub const OWNER_BITS: u32 = 16;
+
+    /// Builds a cookie that encodes `owner` in the upper [`Cookie::OWNER_BITS`]
+    /// bits and `tag` in the remaining lower bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdnshield_openflow::types::Cookie;
+    /// let c = Cookie::with_owner(7, 0xabc);
+    /// assert_eq!(c.owner(), 7);
+    /// assert_eq!(c.tag(), 0xabc);
+    /// ```
+    pub fn with_owner(owner: u16, tag: u64) -> Self {
+        let mask = (1u64 << (64 - Self::OWNER_BITS)) - 1;
+        Cookie(((owner as u64) << (64 - Self::OWNER_BITS)) | (tag & mask))
+    }
+
+    /// The app id encoded in the upper bits.
+    pub fn owner(self) -> u16 {
+        (self.0 >> (64 - Self::OWNER_BITS)) as u16
+    }
+
+    /// The lower tag bits.
+    pub fn tag(self) -> u64 {
+        self.0 & ((1u64 << (64 - Self::OWNER_BITS)) - 1)
+    }
+}
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cookie:{:#x}", self.0)
+    }
+}
+
+/// Flow entry priority. Higher wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u16);
+
+impl Priority {
+    /// The OpenFlow default priority for flow entries.
+    pub const DEFAULT: Priority = Priority(0x8000);
+    /// Lowest possible priority (table-miss style entries).
+    pub const MIN: Priority = Priority(0);
+    /// Highest possible priority.
+    pub const MAX: Priority = Priority(u16::MAX);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio:{}", self.0)
+    }
+}
+
+impl From<u16> for Priority {
+    fn from(v: u16) -> Self {
+        Priority(v)
+    }
+}
+
+/// A buffered-packet id carried by packet-in / packet-out messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub u32);
+
+impl BufferId {
+    /// Indicates the packet is not buffered on the switch.
+    pub const NO_BUFFER: BufferId = BufferId(u32::MAX);
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::NO_BUFFER {
+            write!(f, "buf:none")
+        } else {
+            write!(f, "buf:{}", self.0)
+        }
+    }
+}
+
+/// Transaction id correlating OpenFlow requests and replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Xid(pub u32);
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xid:{}", self.0)
+    }
+}
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use sdnshield_openflow::types::EthAddr;
+/// let a: EthAddr = "00:11:22:33:44:55".parse()?;
+/// assert_eq!(a.to_string(), "00:11:22:33:44:55");
+/// # Ok::<(), sdnshield_openflow::types::ParseEthAddrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EthAddr(pub [u8; 6]);
+
+impl EthAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthAddr = EthAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: EthAddr = EthAddr([0; 6]);
+
+    /// Builds an address from a `u64` (lower 48 bits used).
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        EthAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The address as a `u64` (upper 16 bits zero).
+    pub fn to_u64(self) -> u64 {
+        let b = self.0;
+        u64::from_be_bytes([0, 0, b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Returns `true` for group (multicast/broadcast) addresses.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+impl fmt::Display for EthAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// Error returned when parsing an [`EthAddr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEthAddrError;
+
+impl fmt::Display for ParseEthAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ethernet address syntax")
+    }
+}
+
+impl std::error::Error for ParseEthAddrError {}
+
+impl FromStr for EthAddr {
+    type Err = ParseEthAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let part = parts.next().ok_or(ParseEthAddrError)?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| ParseEthAddrError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseEthAddrError);
+        }
+        Ok(EthAddr(out))
+    }
+}
+
+/// An IPv4 address with conversion helpers used by match masks.
+///
+/// A thin wrapper over `u32` in network (big-endian) interpretation; we avoid
+/// `std::net::Ipv4Addr` in hot paths because mask arithmetic on `u32` is both
+/// simpler and faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Applies a bit mask, retaining only the masked-in bits.
+    pub fn masked(self, mask: Ipv4) -> Ipv4 {
+        Ipv4(self.0 & mask.0)
+    }
+
+    /// Builds a prefix mask of `len` leading one-bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn prefix_mask(len: u8) -> Ipv4 {
+        assert!(len <= 32, "prefix length out of range");
+        if len == 0 {
+            Ipv4(0)
+        } else {
+            Ipv4(u32::MAX << (32 - len as u32))
+        }
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ipv4 {
+    fn from(a: std::net::Ipv4Addr) -> Self {
+        Ipv4(u32::from(a))
+    }
+}
+
+impl From<Ipv4> for std::net::Ipv4Addr {
+    fn from(a: Ipv4) -> Self {
+        std::net::Ipv4Addr::from(a.0)
+    }
+}
+
+/// Error returned when parsing an [`Ipv4`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpv4Error;
+
+impl fmt::Display for ParseIpv4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address syntax")
+    }
+}
+
+impl std::error::Error for ParseIpv4Error {}
+
+impl FromStr for Ipv4 {
+    type Err = ParseIpv4Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let addr: std::net::Ipv4Addr = s.parse().map_err(|_| ParseIpv4Error)?;
+        Ok(addr.into())
+    }
+}
+
+/// Well-known EtherType values.
+pub mod eth_type {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+    /// IEEE 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+}
+
+/// Well-known IP protocol numbers.
+pub mod ip_proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eth_addr_roundtrip_text() {
+        let a: EthAddr = "de:ad:be:ef:00:01".parse().unwrap();
+        assert_eq!(a.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn eth_addr_rejects_bad_syntax() {
+        assert!("de:ad:be:ef:00".parse::<EthAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<EthAddr>().is_err());
+        assert!("zz:ad:be:ef:00:01".parse::<EthAddr>().is_err());
+    }
+
+    #[test]
+    fn eth_addr_u64_roundtrip() {
+        let a = EthAddr::from_u64(0x0011_2233_4455);
+        assert_eq!(a.to_string(), "00:11:22:33:44:55");
+        assert_eq!(a.to_u64(), 0x0011_2233_4455);
+    }
+
+    #[test]
+    fn eth_addr_multicast_bit() {
+        assert!(EthAddr::BROADCAST.is_multicast());
+        assert!(!EthAddr::from_u64(2).is_multicast());
+        assert!(EthAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn ipv4_display_and_parse() {
+        let ip = Ipv4::new(10, 13, 0, 1);
+        assert_eq!(ip.to_string(), "10.13.0.1");
+        assert_eq!("10.13.0.1".parse::<Ipv4>().unwrap(), ip);
+        assert!("10.13.0".parse::<Ipv4>().is_err());
+    }
+
+    #[test]
+    fn ipv4_prefix_masks() {
+        assert_eq!(Ipv4::prefix_mask(0), Ipv4(0));
+        assert_eq!(Ipv4::prefix_mask(16), Ipv4::new(255, 255, 0, 0));
+        assert_eq!(Ipv4::prefix_mask(32), Ipv4(u32::MAX));
+        let ip = Ipv4::new(10, 13, 7, 9);
+        assert_eq!(ip.masked(Ipv4::prefix_mask(16)), Ipv4::new(10, 13, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length out of range")]
+    fn ipv4_prefix_mask_panics_beyond_32() {
+        let _ = Ipv4::prefix_mask(33);
+    }
+
+    #[test]
+    fn cookie_owner_encoding() {
+        let c = Cookie::with_owner(0xbeef, 0x1234_5678_9abc);
+        assert_eq!(c.owner(), 0xbeef);
+        assert_eq!(c.tag(), 0x1234_5678_9abc);
+    }
+
+    #[test]
+    fn cookie_tag_truncates_to_lower_bits() {
+        let c = Cookie::with_owner(1, u64::MAX);
+        assert_eq!(c.owner(), 1);
+        assert_eq!(c.tag(), (1u64 << 48) - 1);
+    }
+
+    #[test]
+    fn reserved_ports() {
+        assert!(PortNo::CONTROLLER.is_reserved());
+        assert!(PortNo::FLOOD.is_reserved());
+        assert!(!PortNo(1).is_reserved());
+        assert_eq!(PortNo::FLOOD.to_string(), "flood");
+        assert_eq!(PortNo(9).to_string(), "port:9");
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::MAX > Priority::DEFAULT);
+        assert!(Priority::DEFAULT > Priority::MIN);
+        assert_eq!(Priority::default(), Priority::DEFAULT);
+    }
+
+    #[test]
+    fn buffer_id_display() {
+        assert_eq!(BufferId::NO_BUFFER.to_string(), "buf:none");
+        assert_eq!(BufferId(5).to_string(), "buf:5");
+    }
+}

@@ -1,0 +1,909 @@
+//! Binary wire encoding of control-channel messages.
+//!
+//! The framing follows the OpenFlow spirit — a fixed header
+//! `(version, type, length, xid)` followed by a type-specific body — but is a
+//! simplified self-consistent codec rather than a byte-exact OpenFlow 1.0
+//! implementation: the simulator is both producer and consumer. Round-trip
+//! fidelity (`decode(encode(m)) == m`) is the contract, enforced by unit and
+//! property tests.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use crate::actions::{Action, ActionList};
+use crate::flow_match::{FlowMatch, MaskedIpv4};
+use crate::messages::*;
+use crate::types::*;
+
+/// Protocol version byte stamped on every frame.
+pub const WIRE_VERSION: u8 = 0x01;
+
+/// Error returned when decoding a wire frame fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    reason: &'static str,
+}
+
+impl WireError {
+    fn new(reason: &'static str) -> Self {
+        WireError { reason }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire frame: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+mod msg_type {
+    pub const HELLO: u8 = 0;
+    pub const ECHO_REQUEST: u8 = 1;
+    pub const ECHO_REPLY: u8 = 2;
+    pub const FEATURES_REQUEST: u8 = 3;
+    pub const FEATURES_REPLY: u8 = 4;
+    pub const PACKET_IN: u8 = 5;
+    pub const PACKET_OUT: u8 = 6;
+    pub const FLOW_MOD: u8 = 7;
+    pub const FLOW_REMOVED: u8 = 8;
+    pub const PORT_STATUS: u8 = 9;
+    pub const STATS_REQUEST: u8 = 10;
+    pub const STATS_REPLY: u8 = 11;
+    pub const ERROR: u8 = 12;
+    pub const BARRIER_REQUEST: u8 = 13;
+    pub const BARRIER_REPLY: u8 = 14;
+}
+
+/// Encodes a message into a self-delimiting wire frame.
+pub fn encode(msg: &OfMessage) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    let ty = encode_body(&msg.body, &mut body);
+    let mut frame = BytesMut::with_capacity(body.len() + 8);
+    frame.put_u8(WIRE_VERSION);
+    frame.put_u8(ty);
+    frame.put_u16((body.len() + 8) as u16);
+    frame.put_u32(msg.xid.0);
+    frame.put_slice(&body);
+    frame.freeze()
+}
+
+/// Decodes a single wire frame.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on version mismatch, bad type codes, or truncation.
+pub fn decode(mut bytes: Bytes) -> Result<OfMessage, WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::new("truncated header"));
+    }
+    let version = bytes.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::new("unsupported version"));
+    }
+    let ty = bytes.get_u8();
+    let len = bytes.get_u16() as usize;
+    let xid = Xid(bytes.get_u32());
+    if len != bytes.len() + 8 {
+        return Err(WireError::new("length field mismatch"));
+    }
+    let body = decode_body(ty, &mut bytes)?;
+    Ok(OfMessage { xid, body })
+}
+
+fn encode_body(body: &OfBody, out: &mut BytesMut) -> u8 {
+    match body {
+        OfBody::Hello => msg_type::HELLO,
+        OfBody::EchoRequest => msg_type::ECHO_REQUEST,
+        OfBody::EchoReply => msg_type::ECHO_REPLY,
+        OfBody::FeaturesRequest => msg_type::FEATURES_REQUEST,
+        OfBody::FeaturesReply {
+            datapath_id,
+            ports,
+            table_capacity,
+        } => {
+            out.put_u64(datapath_id.0);
+            out.put_u32(*table_capacity);
+            out.put_u16(ports.len() as u16);
+            for p in ports {
+                out.put_u16(p.0);
+            }
+            msg_type::FEATURES_REPLY
+        }
+        OfBody::PacketIn(pi) => {
+            out.put_u32(pi.buffer_id.0);
+            out.put_u16(pi.in_port.0);
+            out.put_u8(match pi.reason {
+                PacketInReason::NoMatch => 0,
+                PacketInReason::Action => 1,
+            });
+            out.put_u32(pi.payload.len() as u32);
+            out.put_slice(&pi.payload);
+            msg_type::PACKET_IN
+        }
+        OfBody::PacketOut(po) => {
+            out.put_u32(po.buffer_id.0);
+            out.put_u16(po.in_port.0);
+            encode_actions(&po.actions, out);
+            out.put_u32(po.payload.len() as u32);
+            out.put_slice(&po.payload);
+            msg_type::PACKET_OUT
+        }
+        OfBody::FlowMod(fm) => {
+            out.put_u8(match fm.command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::ModifyStrict => 2,
+                FlowModCommand::Delete => 3,
+                FlowModCommand::DeleteStrict => 4,
+            });
+            encode_match(&fm.flow_match, out);
+            out.put_u16(fm.priority.0);
+            encode_actions(&fm.actions, out);
+            out.put_u64(fm.cookie.0);
+            out.put_u16(fm.idle_timeout);
+            out.put_u16(fm.hard_timeout);
+            out.put_u8(fm.notify_when_removed as u8);
+            msg_type::FLOW_MOD
+        }
+        OfBody::FlowRemoved(fr) => {
+            encode_match(&fr.flow_match, out);
+            out.put_u16(fr.priority.0);
+            out.put_u64(fr.cookie.0);
+            out.put_u8(match fr.reason {
+                FlowRemovedReason::IdleTimeout => 0,
+                FlowRemovedReason::HardTimeout => 1,
+                FlowRemovedReason::Delete => 2,
+            });
+            out.put_u64(fr.packet_count);
+            out.put_u64(fr.byte_count);
+            out.put_u32(fr.duration_secs);
+            msg_type::FLOW_REMOVED
+        }
+        OfBody::PortStatus { change, port_no } => {
+            out.put_u8(match change {
+                PortChange::Add => 0,
+                PortChange::Delete => 1,
+                PortChange::Modify => 2,
+            });
+            out.put_u16(port_no.0);
+            msg_type::PORT_STATUS
+        }
+        OfBody::StatsRequest(req) => {
+            match req {
+                StatsRequest::Flow(m) => {
+                    out.put_u8(0);
+                    encode_match(m, out);
+                }
+                StatsRequest::Aggregate(m) => {
+                    out.put_u8(1);
+                    encode_match(m, out);
+                }
+                StatsRequest::Port(p) => {
+                    out.put_u8(2);
+                    out.put_u16(p.0);
+                }
+                StatsRequest::Table => out.put_u8(3),
+            }
+            msg_type::STATS_REQUEST
+        }
+        OfBody::StatsReply(rep) => {
+            match rep {
+                StatsReply::Flow(entries) => {
+                    out.put_u8(0);
+                    out.put_u16(entries.len() as u16);
+                    for e in entries {
+                        encode_match(&e.flow_match, out);
+                        out.put_u16(e.priority.0);
+                        out.put_u64(e.cookie.0);
+                        encode_actions(&e.actions, out);
+                        out.put_u64(e.packet_count);
+                        out.put_u64(e.byte_count);
+                        out.put_u32(e.duration_secs);
+                    }
+                }
+                StatsReply::Aggregate(a) => {
+                    out.put_u8(1);
+                    out.put_u64(a.packet_count);
+                    out.put_u64(a.byte_count);
+                    out.put_u32(a.flow_count);
+                }
+                StatsReply::Port(ports) => {
+                    out.put_u8(2);
+                    out.put_u16(ports.len() as u16);
+                    for p in ports {
+                        out.put_u16(p.port_no.0);
+                        out.put_u64(p.rx_packets);
+                        out.put_u64(p.tx_packets);
+                        out.put_u64(p.rx_bytes);
+                        out.put_u64(p.tx_bytes);
+                        out.put_u64(p.rx_dropped);
+                        out.put_u64(p.tx_dropped);
+                    }
+                }
+                StatsReply::Table(t) => {
+                    out.put_u8(3);
+                    out.put_u32(t.active_count);
+                    out.put_u64(t.lookup_count);
+                    out.put_u64(t.matched_count);
+                    out.put_u32(t.max_entries);
+                }
+            }
+            msg_type::STATS_REPLY
+        }
+        OfBody::Error(err) => {
+            match err {
+                OfError::TableFull => {
+                    out.put_u8(0);
+                }
+                OfError::Overlap => {
+                    out.put_u8(1);
+                }
+                OfError::BadRequest(m) => {
+                    out.put_u8(2);
+                    put_string(m, out);
+                }
+                OfError::EPerm(m) => {
+                    out.put_u8(3);
+                    put_string(m, out);
+                }
+            }
+            msg_type::ERROR
+        }
+        OfBody::BarrierRequest => msg_type::BARRIER_REQUEST,
+        OfBody::BarrierReply => msg_type::BARRIER_REPLY,
+    }
+}
+
+fn decode_body(ty: u8, b: &mut Bytes) -> Result<OfBody, WireError> {
+    Ok(match ty {
+        msg_type::HELLO => OfBody::Hello,
+        msg_type::ECHO_REQUEST => OfBody::EchoRequest,
+        msg_type::ECHO_REPLY => OfBody::EchoReply,
+        msg_type::FEATURES_REQUEST => OfBody::FeaturesRequest,
+        msg_type::FEATURES_REPLY => {
+            need(b, 14)?;
+            let datapath_id = DatapathId(b.get_u64());
+            let table_capacity = b.get_u32();
+            let n = b.get_u16() as usize;
+            need(b, n * 2)?;
+            let ports = (0..n).map(|_| PortNo(b.get_u16())).collect();
+            OfBody::FeaturesReply {
+                datapath_id,
+                ports,
+                table_capacity,
+            }
+        }
+        msg_type::PACKET_IN => {
+            need(b, 11)?;
+            let buffer_id = BufferId(b.get_u32());
+            let in_port = PortNo(b.get_u16());
+            let reason = match b.get_u8() {
+                0 => PacketInReason::NoMatch,
+                1 => PacketInReason::Action,
+                _ => return Err(WireError::new("bad packet-in reason")),
+            };
+            let payload = get_bytes(b)?;
+            OfBody::PacketIn(PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                payload,
+            })
+        }
+        msg_type::PACKET_OUT => {
+            need(b, 6)?;
+            let buffer_id = BufferId(b.get_u32());
+            let in_port = PortNo(b.get_u16());
+            let actions = decode_actions(b)?;
+            let payload = get_bytes(b)?;
+            OfBody::PacketOut(PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                payload,
+            })
+        }
+        msg_type::FLOW_MOD => {
+            need(b, 1)?;
+            let command = match b.get_u8() {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                4 => FlowModCommand::DeleteStrict,
+                _ => return Err(WireError::new("bad flow-mod command")),
+            };
+            let flow_match = decode_match(b)?;
+            need(b, 2)?;
+            let priority = Priority(b.get_u16());
+            let actions = decode_actions(b)?;
+            need(b, 13)?;
+            let cookie = Cookie(b.get_u64());
+            let idle_timeout = b.get_u16();
+            let hard_timeout = b.get_u16();
+            let notify_when_removed = b.get_u8() != 0;
+            OfBody::FlowMod(FlowMod {
+                command,
+                flow_match,
+                priority,
+                actions,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                notify_when_removed,
+            })
+        }
+        msg_type::FLOW_REMOVED => {
+            let flow_match = decode_match(b)?;
+            need(b, 31)?;
+            let priority = Priority(b.get_u16());
+            let cookie = Cookie(b.get_u64());
+            let reason = match b.get_u8() {
+                0 => FlowRemovedReason::IdleTimeout,
+                1 => FlowRemovedReason::HardTimeout,
+                2 => FlowRemovedReason::Delete,
+                _ => return Err(WireError::new("bad flow-removed reason")),
+            };
+            let packet_count = b.get_u64();
+            let byte_count = b.get_u64();
+            let duration_secs = b.get_u32();
+            OfBody::FlowRemoved(FlowRemoved {
+                flow_match,
+                priority,
+                cookie,
+                reason,
+                packet_count,
+                byte_count,
+                duration_secs,
+            })
+        }
+        msg_type::PORT_STATUS => {
+            need(b, 3)?;
+            let change = match b.get_u8() {
+                0 => PortChange::Add,
+                1 => PortChange::Delete,
+                2 => PortChange::Modify,
+                _ => return Err(WireError::new("bad port-status change")),
+            };
+            let port_no = PortNo(b.get_u16());
+            OfBody::PortStatus { change, port_no }
+        }
+        msg_type::STATS_REQUEST => {
+            need(b, 1)?;
+            match b.get_u8() {
+                0 => OfBody::StatsRequest(StatsRequest::Flow(decode_match(b)?)),
+                1 => OfBody::StatsRequest(StatsRequest::Aggregate(decode_match(b)?)),
+                2 => {
+                    need(b, 2)?;
+                    OfBody::StatsRequest(StatsRequest::Port(PortNo(b.get_u16())))
+                }
+                3 => OfBody::StatsRequest(StatsRequest::Table),
+                _ => return Err(WireError::new("bad stats-request kind")),
+            }
+        }
+        msg_type::STATS_REPLY => {
+            need(b, 1)?;
+            match b.get_u8() {
+                0 => {
+                    need(b, 2)?;
+                    let n = b.get_u16() as usize;
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let flow_match = decode_match(b)?;
+                        need(b, 10)?;
+                        let priority = Priority(b.get_u16());
+                        let cookie = Cookie(b.get_u64());
+                        let actions = decode_actions(b)?;
+                        need(b, 20)?;
+                        entries.push(FlowStats {
+                            flow_match,
+                            priority,
+                            cookie,
+                            actions,
+                            packet_count: b.get_u64(),
+                            byte_count: b.get_u64(),
+                            duration_secs: b.get_u32(),
+                        });
+                    }
+                    OfBody::StatsReply(StatsReply::Flow(entries))
+                }
+                1 => {
+                    need(b, 20)?;
+                    OfBody::StatsReply(StatsReply::Aggregate(AggregateStats {
+                        packet_count: b.get_u64(),
+                        byte_count: b.get_u64(),
+                        flow_count: b.get_u32(),
+                    }))
+                }
+                2 => {
+                    need(b, 2)?;
+                    let n = b.get_u16() as usize;
+                    need(b, n * 50)?;
+                    let ports = (0..n)
+                        .map(|_| PortStats {
+                            port_no: PortNo(b.get_u16()),
+                            rx_packets: b.get_u64(),
+                            tx_packets: b.get_u64(),
+                            rx_bytes: b.get_u64(),
+                            tx_bytes: b.get_u64(),
+                            rx_dropped: b.get_u64(),
+                            tx_dropped: b.get_u64(),
+                        })
+                        .collect();
+                    OfBody::StatsReply(StatsReply::Port(ports))
+                }
+                3 => {
+                    need(b, 24)?;
+                    OfBody::StatsReply(StatsReply::Table(TableStats {
+                        active_count: b.get_u32(),
+                        lookup_count: b.get_u64(),
+                        matched_count: b.get_u64(),
+                        max_entries: b.get_u32(),
+                    }))
+                }
+                _ => return Err(WireError::new("bad stats-reply kind")),
+            }
+        }
+        msg_type::ERROR => {
+            need(b, 1)?;
+            match b.get_u8() {
+                0 => OfBody::Error(OfError::TableFull),
+                1 => OfBody::Error(OfError::Overlap),
+                2 => OfBody::Error(OfError::BadRequest(get_string(b)?)),
+                3 => OfBody::Error(OfError::EPerm(get_string(b)?)),
+                _ => return Err(WireError::new("bad error kind")),
+            }
+        }
+        msg_type::BARRIER_REQUEST => OfBody::BarrierRequest,
+        msg_type::BARRIER_REPLY => OfBody::BarrierReply,
+        _ => return Err(WireError::new("unknown message type")),
+    })
+}
+
+fn need(b: &Bytes, n: usize) -> Result<(), WireError> {
+    if b.len() < n {
+        Err(WireError::new("truncated body"))
+    } else {
+        Ok(())
+    }
+}
+
+fn put_string(s: &str, out: &mut BytesMut) {
+    out.put_u16(s.len() as u16);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_string(b: &mut Bytes) -> Result<String, WireError> {
+    need(b, 2)?;
+    let n = b.get_u16() as usize;
+    need(b, n)?;
+    let raw = b.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::new("invalid utf-8 string"))
+}
+
+fn get_bytes(b: &mut Bytes) -> Result<Bytes, WireError> {
+    need(b, 4)?;
+    let n = b.get_u32() as usize;
+    need(b, n)?;
+    Ok(b.split_to(n))
+}
+
+// Field-presence bitmap layout for match encoding.
+mod match_bits {
+    pub const IN_PORT: u16 = 1 << 0;
+    pub const ETH_SRC: u16 = 1 << 1;
+    pub const ETH_DST: u16 = 1 << 2;
+    pub const ETH_TYPE: u16 = 1 << 3;
+    pub const VLAN_ID: u16 = 1 << 4;
+    pub const VLAN_PCP: u16 = 1 << 5;
+    pub const IP_SRC: u16 = 1 << 6;
+    pub const IP_DST: u16 = 1 << 7;
+    pub const IP_PROTO: u16 = 1 << 8;
+    pub const IP_TOS: u16 = 1 << 9;
+    pub const TP_SRC: u16 = 1 << 10;
+    pub const TP_DST: u16 = 1 << 11;
+}
+
+fn encode_match(m: &FlowMatch, out: &mut BytesMut) {
+    use match_bits::*;
+    let mut bits = 0u16;
+    if m.in_port.is_some() {
+        bits |= IN_PORT;
+    }
+    if m.eth_src.is_some() {
+        bits |= ETH_SRC;
+    }
+    if m.eth_dst.is_some() {
+        bits |= ETH_DST;
+    }
+    if m.eth_type.is_some() {
+        bits |= ETH_TYPE;
+    }
+    if m.vlan_id.is_some() {
+        bits |= VLAN_ID;
+    }
+    if m.vlan_pcp.is_some() {
+        bits |= VLAN_PCP;
+    }
+    if m.ip_src.is_some() {
+        bits |= IP_SRC;
+    }
+    if m.ip_dst.is_some() {
+        bits |= IP_DST;
+    }
+    if m.ip_proto.is_some() {
+        bits |= IP_PROTO;
+    }
+    if m.ip_tos.is_some() {
+        bits |= IP_TOS;
+    }
+    if m.tp_src.is_some() {
+        bits |= TP_SRC;
+    }
+    if m.tp_dst.is_some() {
+        bits |= TP_DST;
+    }
+    out.put_u16(bits);
+    if let Some(v) = m.in_port {
+        out.put_u16(v.0);
+    }
+    if let Some(v) = m.eth_src {
+        out.put_slice(&v.0);
+    }
+    if let Some(v) = m.eth_dst {
+        out.put_slice(&v.0);
+    }
+    if let Some(v) = m.eth_type {
+        out.put_u16(v);
+    }
+    if let Some(v) = m.vlan_id {
+        out.put_u16(v);
+    }
+    if let Some(v) = m.vlan_pcp {
+        out.put_u8(v);
+    }
+    if let Some(v) = m.ip_src {
+        out.put_u32(v.addr.0);
+        out.put_u32(v.mask.0);
+    }
+    if let Some(v) = m.ip_dst {
+        out.put_u32(v.addr.0);
+        out.put_u32(v.mask.0);
+    }
+    if let Some(v) = m.ip_proto {
+        out.put_u8(v);
+    }
+    if let Some(v) = m.ip_tos {
+        out.put_u8(v);
+    }
+    if let Some(v) = m.tp_src {
+        out.put_u16(v);
+    }
+    if let Some(v) = m.tp_dst {
+        out.put_u16(v);
+    }
+}
+
+fn decode_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
+    use match_bits::*;
+    need(b, 2)?;
+    let bits = b.get_u16();
+    let mut m = FlowMatch::default();
+    if bits & IN_PORT != 0 {
+        need(b, 2)?;
+        m.in_port = Some(PortNo(b.get_u16()));
+    }
+    if bits & ETH_SRC != 0 {
+        need(b, 6)?;
+        let mut a = [0u8; 6];
+        b.copy_to_slice(&mut a);
+        m.eth_src = Some(EthAddr(a));
+    }
+    if bits & ETH_DST != 0 {
+        need(b, 6)?;
+        let mut a = [0u8; 6];
+        b.copy_to_slice(&mut a);
+        m.eth_dst = Some(EthAddr(a));
+    }
+    if bits & ETH_TYPE != 0 {
+        need(b, 2)?;
+        m.eth_type = Some(b.get_u16());
+    }
+    if bits & VLAN_ID != 0 {
+        need(b, 2)?;
+        m.vlan_id = Some(b.get_u16());
+    }
+    if bits & VLAN_PCP != 0 {
+        need(b, 1)?;
+        m.vlan_pcp = Some(b.get_u8());
+    }
+    if bits & IP_SRC != 0 {
+        need(b, 8)?;
+        let addr = Ipv4(b.get_u32());
+        let mask = Ipv4(b.get_u32());
+        m.ip_src = Some(MaskedIpv4::new(addr, mask));
+    }
+    if bits & IP_DST != 0 {
+        need(b, 8)?;
+        let addr = Ipv4(b.get_u32());
+        let mask = Ipv4(b.get_u32());
+        m.ip_dst = Some(MaskedIpv4::new(addr, mask));
+    }
+    if bits & IP_PROTO != 0 {
+        need(b, 1)?;
+        m.ip_proto = Some(b.get_u8());
+    }
+    if bits & IP_TOS != 0 {
+        need(b, 1)?;
+        m.ip_tos = Some(b.get_u8());
+    }
+    if bits & TP_SRC != 0 {
+        need(b, 2)?;
+        m.tp_src = Some(b.get_u16());
+    }
+    if bits & TP_DST != 0 {
+        need(b, 2)?;
+        m.tp_dst = Some(b.get_u16());
+    }
+    Ok(m)
+}
+
+fn encode_actions(actions: &ActionList, out: &mut BytesMut) {
+    out.put_u16(actions.0.len() as u16);
+    for a in actions {
+        match a {
+            Action::Output(p) => {
+                out.put_u8(0);
+                out.put_u16(p.0);
+            }
+            Action::SetEthSrc(a) => {
+                out.put_u8(1);
+                out.put_slice(&a.0);
+            }
+            Action::SetEthDst(a) => {
+                out.put_u8(2);
+                out.put_slice(&a.0);
+            }
+            Action::SetIpSrc(ip) => {
+                out.put_u8(3);
+                out.put_u32(ip.0);
+            }
+            Action::SetIpDst(ip) => {
+                out.put_u8(4);
+                out.put_u32(ip.0);
+            }
+            Action::SetTpSrc(p) => {
+                out.put_u8(5);
+                out.put_u16(*p);
+            }
+            Action::SetTpDst(p) => {
+                out.put_u8(6);
+                out.put_u16(*p);
+            }
+            Action::SetVlan(v) => {
+                out.put_u8(7);
+                out.put_u16(*v);
+            }
+            Action::StripVlan => {
+                out.put_u8(8);
+            }
+            Action::Enqueue { port, queue_id } => {
+                out.put_u8(9);
+                out.put_u16(port.0);
+                out.put_u32(*queue_id);
+            }
+        }
+    }
+}
+
+fn decode_actions(b: &mut Bytes) -> Result<ActionList, WireError> {
+    need(b, 2)?;
+    let n = b.get_u16() as usize;
+    let mut list = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(b, 1)?;
+        let a = match b.get_u8() {
+            0 => {
+                need(b, 2)?;
+                Action::Output(PortNo(b.get_u16()))
+            }
+            1 => {
+                need(b, 6)?;
+                let mut a = [0u8; 6];
+                b.copy_to_slice(&mut a);
+                Action::SetEthSrc(EthAddr(a))
+            }
+            2 => {
+                need(b, 6)?;
+                let mut a = [0u8; 6];
+                b.copy_to_slice(&mut a);
+                Action::SetEthDst(EthAddr(a))
+            }
+            3 => {
+                need(b, 4)?;
+                Action::SetIpSrc(Ipv4(b.get_u32()))
+            }
+            4 => {
+                need(b, 4)?;
+                Action::SetIpDst(Ipv4(b.get_u32()))
+            }
+            5 => {
+                need(b, 2)?;
+                Action::SetTpSrc(b.get_u16())
+            }
+            6 => {
+                need(b, 2)?;
+                Action::SetTpDst(b.get_u16())
+            }
+            7 => {
+                need(b, 2)?;
+                Action::SetVlan(b.get_u16())
+            }
+            8 => Action::StripVlan,
+            9 => {
+                need(b, 6)?;
+                Action::Enqueue {
+                    port: PortNo(b.get_u16()),
+                    queue_id: b.get_u32(),
+                }
+            }
+            _ => return Err(WireError::new("unknown action type")),
+        };
+        list.push(a);
+    }
+    Ok(ActionList(list))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(body: OfBody) {
+        let msg = OfMessage::new(Xid(77), body);
+        let bytes = encode(&msg);
+        let decoded = decode(bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn simple_bodies_roundtrip() {
+        for body in [
+            OfBody::Hello,
+            OfBody::EchoRequest,
+            OfBody::EchoReply,
+            OfBody::FeaturesRequest,
+            OfBody::BarrierRequest,
+            OfBody::BarrierReply,
+        ] {
+            roundtrip(body);
+        }
+    }
+
+    #[test]
+    fn features_reply_roundtrip() {
+        roundtrip(OfBody::FeaturesReply {
+            datapath_id: DatapathId(9),
+            ports: vec![PortNo(1), PortNo(2), PortNo(3)],
+            table_capacity: 4096,
+        });
+    }
+
+    #[test]
+    fn flow_mod_roundtrip() {
+        let fm = FlowMod::add(
+            FlowMatch::default()
+                .with_in_port(PortNo(4))
+                .with_eth_src(EthAddr::from_u64(0xa))
+                .with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16)
+                .with_tp_dst(80),
+            Priority(777),
+            ActionList(vec![
+                Action::SetIpDst(Ipv4::new(1, 2, 3, 4)),
+                Action::Output(PortNo::FLOOD),
+                Action::Enqueue {
+                    port: PortNo(5),
+                    queue_id: 3,
+                },
+            ]),
+        )
+        .with_cookie(Cookie::with_owner(12, 99))
+        .with_idle_timeout(30)
+        .with_hard_timeout(300);
+        roundtrip(OfBody::FlowMod(fm));
+    }
+
+    #[test]
+    fn packet_in_out_roundtrip() {
+        roundtrip(OfBody::PacketIn(PacketIn {
+            buffer_id: BufferId(55),
+            in_port: PortNo(2),
+            reason: PacketInReason::NoMatch,
+            payload: Bytes::from_static(b"\x01\x02\x03\x04"),
+        }));
+        roundtrip(OfBody::PacketOut(PacketOut {
+            buffer_id: BufferId::NO_BUFFER,
+            in_port: PortNo::NONE,
+            actions: ActionList::output(PortNo(9)),
+            payload: Bytes::from_static(b"payload"),
+        }));
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        roundtrip(OfBody::StatsRequest(StatsRequest::Flow(
+            FlowMatch::default().with_tp_dst(443),
+        )));
+        roundtrip(OfBody::StatsRequest(StatsRequest::Table));
+        roundtrip(OfBody::StatsReply(StatsReply::Aggregate(AggregateStats {
+            packet_count: 10,
+            byte_count: 1000,
+            flow_count: 3,
+        })));
+        roundtrip(OfBody::StatsReply(StatsReply::Port(vec![PortStats {
+            port_no: PortNo(1),
+            rx_packets: 1,
+            tx_packets: 2,
+            rx_bytes: 3,
+            tx_bytes: 4,
+            rx_dropped: 5,
+            tx_dropped: 6,
+        }])));
+        roundtrip(OfBody::StatsReply(StatsReply::Flow(vec![FlowStats {
+            flow_match: FlowMatch::default().with_ip_src(Ipv4::new(9, 9, 9, 9)),
+            priority: Priority(5),
+            cookie: Cookie(42),
+            actions: ActionList::drop(),
+            packet_count: 7,
+            byte_count: 700,
+            duration_secs: 60,
+        }])));
+        roundtrip(OfBody::StatsReply(StatsReply::Table(TableStats {
+            active_count: 5,
+            lookup_count: 100,
+            matched_count: 90,
+            max_entries: 1024,
+        })));
+    }
+
+    #[test]
+    fn errors_roundtrip() {
+        roundtrip(OfBody::Error(OfError::TableFull));
+        roundtrip(OfBody::Error(OfError::EPerm("insert_flow denied".into())));
+        roundtrip(OfBody::Error(OfError::BadRequest("nope".into())));
+    }
+
+    #[test]
+    fn flow_removed_roundtrip() {
+        roundtrip(OfBody::FlowRemoved(FlowRemoved {
+            flow_match: FlowMatch::default().with_tp_dst(22),
+            priority: Priority(9),
+            cookie: Cookie(77),
+            reason: FlowRemovedReason::IdleTimeout,
+            packet_count: 3,
+            byte_count: 333,
+            duration_secs: 12,
+        }));
+        roundtrip(OfBody::PortStatus {
+            change: PortChange::Modify,
+            port_no: PortNo(3),
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(Bytes::from_static(b"")).is_err());
+        assert!(decode(Bytes::from_static(b"\x02\x00\x00\x08\x00\x00\x00\x01")).is_err());
+        // Bad length field.
+        assert!(decode(Bytes::from_static(b"\x01\x00\x00\x09\x00\x00\x00\x01")).is_err());
+        // Unknown type.
+        assert!(decode(Bytes::from_static(b"\x01\x63\x00\x08\x00\x00\x00\x01")).is_err());
+    }
+
+    #[test]
+    fn xid_preserved() {
+        let msg = OfMessage::new(Xid(0xdead_beef), OfBody::Hello);
+        assert_eq!(decode(encode(&msg)).unwrap().xid, Xid(0xdead_beef));
+    }
+}

@@ -1,0 +1,131 @@
+//! Paper §VII, Scenario 2: the malicious routing app, end to end.
+//!
+//! A shortest-path routing app carries a hidden payload. Under the
+//! `insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS` grant its honest
+//! routing keeps working, while exfiltration, route hijacking against a
+//! firewall app's rules, and dynamic-flow tunneling are denied — and every
+//! denied attempt lands in the audit log for forensics.
+//!
+//! Run with: `cargo run --example malicious_routing`
+
+use sdnshield::apps::routing::{MaliciousCommand, RoutingApp, ROUTING_MANIFEST};
+use sdnshield::controller::app::{App, AppCtx};
+use sdnshield::controller::ShieldedController;
+use sdnshield::core::{parse_manifest, AppId};
+use sdnshield::netsim::network::Network;
+use sdnshield::netsim::topology::builders;
+use sdnshield::openflow::actions::ActionList;
+use sdnshield::openflow::flow_match::FlowMatch;
+use sdnshield::openflow::messages::FlowMod;
+use sdnshield::openflow::packet::{EthernetFrame, TcpFlags};
+use sdnshield::openflow::types::{DatapathId, EthAddr, Ipv4, PortNo, Priority};
+
+/// A minimal firewall app whose rules the malicious router will try to
+/// bypass.
+struct Firewall;
+
+impl App for Firewall {
+    fn name(&self) -> &str {
+        "firewall"
+    }
+    fn on_start(&mut self, ctx: &AppCtx) {
+        // Drop all telnet at s2.
+        ctx.insert_flow(
+            DatapathId(2),
+            FlowMod::add(
+                FlowMatch::default().with_tp_dst(23),
+                Priority(400),
+                ActionList::drop(),
+            ),
+        )
+        .expect("firewall provisioning");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== routing app manifest (§VII scenario 2) ===\n{ROUTING_MANIFEST}");
+    let controller = ShieldedController::new(Network::new(builders::linear(3), 1024), 4);
+    controller
+        .register(Box::new(Firewall), &parse_manifest("PERM insert_flow")?)
+        .expect("register firewall");
+
+    let (router, trigger) = RoutingApp::new();
+    let router_id = controller
+        .register(Box::new(router), &parse_manifest(ROUTING_MANIFEST)?)
+        .expect("register router");
+
+    // Honest duty: route an HTTP flow h1 → h3.
+    let http = EthernetFrame::tcp(
+        EthAddr::from_u64(1),
+        EthAddr::from_u64(3),
+        Ipv4::new(10, 0, 0, 1),
+        Ipv4::new(10, 0, 0, 3),
+        5555,
+        80,
+        TcpFlags::default(),
+        bytes::Bytes::new(),
+    );
+    controller.inject_host_frame(http);
+    controller.quiesce();
+    println!(
+        "honest routing: h3 received {} frame(s)",
+        controller
+            .kernel()
+            .host_received(EthAddr::from_u64(3))
+            .len()
+    );
+
+    // The hidden payload fires.
+    println!("=== hidden payload activates ===");
+    trigger.commands.send(MaliciousCommand::Exfiltrate {
+        to: Ipv4::new(203, 0, 113, 66),
+        port: 443,
+    })?;
+    trigger.commands.send(MaliciousCommand::HijackRoute {
+        victim_dst: Ipv4::new(10, 0, 0, 3),
+        via: (DatapathId(2), PortNo(1)),
+    })?;
+    trigger.commands.send(MaliciousCommand::TunnelFirewall {
+        firewall: DatapathId(2),
+        blocked_port: 23,
+        allowed_port: 80,
+        out_port: PortNo(2),
+    })?;
+    // Another packet-in wakes the app and drains the command queue.
+    let wake = EthernetFrame::tcp(
+        EthAddr::from_u64(3),
+        EthAddr::from_u64(1),
+        Ipv4::new(10, 0, 0, 3),
+        Ipv4::new(10, 0, 0, 1),
+        5555,
+        80,
+        TcpFlags::default(),
+        bytes::Bytes::new(),
+    );
+    controller.inject_host_frame(wake);
+    controller.quiesce();
+
+    for outcome in trigger.outcomes.lock().iter() {
+        println!(
+            "  {}: {}",
+            outcome.attack,
+            if outcome.succeeded {
+                "SUCCEEDED"
+            } else {
+                "BLOCKED"
+            }
+        );
+    }
+
+    // Forensics: the audit log recorded every denied attempt.
+    println!("=== forensic audit (denials by the routing app) ===");
+    for record in controller.kernel().audit_records() {
+        if record.app == AppId(router_id.0)
+            && record.outcome == sdnshield::controller::audit::AuditOutcome::Denied
+        {
+            println!("  {record}");
+        }
+    }
+    controller.shutdown();
+    Ok(())
+}

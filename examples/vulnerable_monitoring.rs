@@ -1,0 +1,112 @@
+//! Paper §VII, Scenario 1: the vulnerable monitoring app, end to end.
+//!
+//! A tenant-monitoring app with a web interface is compromised (arbitrary
+//! code execution). The administrator's policy — stub completions plus a
+//! mutual exclusion — confines the damage: exfiltration, packet injection
+//! and rule insertion are all denied, while the app's legitimate reporting
+//! keeps working.
+//!
+//! Run with: `cargo run --example vulnerable_monitoring`
+
+use bytes::Bytes;
+use sdnshield::apps::monitoring::{
+    MonitoringApp, WebCommand, WebRequest, MONITORING_MANIFEST, MONITORING_POLICY,
+};
+use sdnshield::controller::ShieldedController;
+use sdnshield::core::{parse_manifest, parse_policy, Reconciler};
+use sdnshield::netsim::network::Network;
+use sdnshield::netsim::topology::builders;
+use sdnshield::openflow::flow_match::MaskedIpv4;
+use sdnshield::openflow::types::{DatapathId, Ipv4, PortNo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== developer's requested manifest ===\n{MONITORING_MANIFEST}");
+    println!("=== administrator's security policy ===\n{MONITORING_POLICY}");
+
+    // Reconciliation: expand stubs, verify, repair.
+    let mut reconciler = Reconciler::new(parse_policy(MONITORING_POLICY)?);
+    reconciler.register_app("monitoring", parse_manifest(MONITORING_MANIFEST)?);
+    let report = reconciler.reconcile("monitoring").expect("reconcile");
+    println!("=== reconciliation ===");
+    for v in &report.violations {
+        println!("violation: {v}");
+    }
+    println!("final permissions:\n{}", report.reconciled);
+
+    // Deploy on the shielded controller.
+    let controller = ShieldedController::new(Network::new(builders::linear(2), 1024), 4);
+    let (app, web) = MonitoringApp::new(MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16));
+    let app_id = controller
+        .register(Box::new(app), &report.reconciled)
+        .expect("register");
+
+    // The attacker gained code execution and spoofs an admin source IP.
+    println!("=== attacker drives the compromised app ===");
+    let attacks = [
+        (
+            "exfiltrate to 203.0.113.66:443",
+            WebCommand::Exfiltrate {
+                to: Ipv4::new(203, 0, 113, 66),
+                port: 443,
+            },
+        ),
+        (
+            "inject packet at s1",
+            WebCommand::InjectPacket {
+                dpid: DatapathId(1),
+                port: PortNo(1),
+                payload: Bytes::from_static(b"\x00"),
+            },
+        ),
+        (
+            "install hijack rule at s1",
+            WebCommand::AddRule {
+                dpid: DatapathId(1),
+                dst: Ipv4::new(10, 0, 0, 2),
+                port: PortNo(1),
+            },
+        ),
+        (
+            "legitimate stats report to 10.1.0.9:4000",
+            WebCommand::ReportStats {
+                to: Ipv4::new(10, 1, 0, 9),
+                port: 4000,
+            },
+        ),
+    ];
+    for (_, command) in &attacks {
+        web.requests.send(WebRequest {
+            source_ip: Ipv4::new(10, 1, 0, 200), // spoofed admin address
+            command: command.clone(),
+        })?;
+    }
+    controller.publish_topic("web", Bytes::new());
+    controller.quiesce();
+
+    for ((label, _), outcome) in attacks.iter().zip(web.outcomes.lock().iter()) {
+        println!(
+            "  {label}: {}",
+            if outcome.succeeded {
+                "SUCCEEDED"
+            } else {
+                "BLOCKED"
+            }
+        );
+    }
+    println!(
+        "bytes exfiltrated outside the admin range: {}",
+        controller
+            .kernel()
+            .connections_by(app_id)
+            .iter()
+            .filter(|c| !MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16).matches(c.dst_ip))
+            .map(|c| c.sent.iter().map(Bytes::len).sum::<usize>())
+            .sum::<usize>()
+    );
+    println!(
+        "rules the attacker managed to install: {}",
+        controller.kernel().flow_count(DatapathId(1))
+    );
+    controller.shutdown();
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! `sdnshield` — command-line front end for the permission tooling.
+//!
+//! ```text
+//! sdnshield check <manifest-file>                validate a permission manifest
+//! sdnshield policy <policy-file>                 validate a security policy
+//! sdnshield reconcile <manifest-file> <policy-file> [app-name]
+//!                                                reconcile and print the result
+//! sdnshield templates                            print the stock class templates
+//! ```
+//!
+//! Exit status: 0 on success (including reconciliations that repaired
+//! violations — the report says so), 1 on usage errors, 2 on syntax errors.
+
+use std::process::ExitCode;
+
+use sdnshield::core::templates::CLASS_TEMPLATES;
+use sdnshield::core::{parse_manifest, parse_policy, Reconciler};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => with_file(args.get(1), |src| match parse_manifest(src) {
+            Ok(manifest) => {
+                println!("manifest OK: {} permission(s)", manifest.len());
+                print!("{manifest}");
+                let stubs = manifest.stub_names();
+                if !stubs.is_empty() {
+                    println!(
+                        "stub macros awaiting administrator values: {}",
+                        stubs.join(", ")
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        }),
+        Some("policy") => with_file(args.get(1), |src| match parse_policy(src) {
+            Ok(policy) => {
+                println!(
+                    "policy OK: {} statement(s), {} constraint(s)",
+                    policy.stmts.len(),
+                    policy.constraints().count()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        }),
+        Some("reconcile") => {
+            let (Some(manifest_path), Some(policy_path)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: sdnshield reconcile <manifest-file> <policy-file> [app-name]");
+                return ExitCode::FAILURE;
+            };
+            let app = args.get(3).map(String::as_str).unwrap_or("app");
+            let manifest_src = match std::fs::read_to_string(manifest_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{manifest_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let policy_src = match std::fs::read_to_string(policy_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{policy_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let manifest = match parse_manifest(&manifest_src) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{manifest_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let policy = match parse_policy(&policy_src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{policy_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut reconciler = Reconciler::new(policy);
+            reconciler.register_app(app, manifest);
+            match reconciler.reconcile(app) {
+                Ok(report) => {
+                    if report.is_clean() {
+                        println!("clean: the manifest satisfies the policy unchanged");
+                    } else {
+                        println!("{} violation(s) repaired:", report.violations.len());
+                        for v in &report.violations {
+                            println!("  - {v}");
+                        }
+                    }
+                    println!("\nreconciled permissions for `{app}`:");
+                    print!("{}", report.reconciled);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("reconciliation failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("templates") => {
+            for (i, t) in CLASS_TEMPLATES.iter().enumerate() {
+                println!("# ===== attack class {} template =====", i + 1);
+                println!("{t}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: sdnshield <check|policy|reconcile|templates> [args]\n\
+                 \n\
+                 check <manifest-file>                      validate a manifest\n\
+                 policy <policy-file>                       validate a policy\n\
+                 reconcile <manifest> <policy> [app-name]   reconcile and print\n\
+                 templates                                  print class templates"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_file(path: Option<&String>, f: impl FnOnce(&str) -> ExitCode) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    match std::fs::read_to_string(path) {
+        Ok(src) => f(&src),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # SDNShield
+//!
+//! A from-scratch Rust reproduction of *SDNShield: Reconciliating
+//! Configurable Application Permissions for SDN App Markets* (DSN 2016) —
+//! a permission-control system for SDN controller applications.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`sdnshield-core`) — the paper's contribution: the two-level
+//!   permission abstraction, the permission and security-policy languages,
+//!   policy reconciliation, and the runtime permission engine.
+//! * [`controller`] (`sdnshield-controller`) — the SDN controller kernel
+//!   with the thread-based isolation architecture, plus the monolithic
+//!   baseline.
+//! * [`openflow`] (`sdnshield-openflow`) — the OpenFlow 1.0-style protocol
+//!   substrate.
+//! * [`netsim`] (`sdnshield-netsim`) — the simulated network (switches,
+//!   topology, data plane, CBench-style traffic generation).
+//! * [`apps`] (`sdnshield-apps`) — evaluation workloads, the §VII case-study
+//!   apps, and the four proof-of-concept attack apps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdnshield::controller::ShieldedController;
+//! use sdnshield::core::{parse_manifest, parse_policy, Reconciler};
+//! use sdnshield::netsim::network::Network;
+//! use sdnshield::netsim::topology::builders;
+//!
+//! // 1. The developer ships a manifest; the administrator writes a policy.
+//! let manifest = parse_manifest("PERM read_topology\nPERM network_access\nPERM insert_flow")?;
+//! let policy = parse_policy("ASSERT EITHER { PERM network_access } OR { PERM insert_flow }")?;
+//!
+//! // 2. Reconciliation merges them (truncating insert_flow here).
+//! let mut reconciler = Reconciler::new(policy);
+//! reconciler.register_app("my-app", manifest);
+//! let report = reconciler.reconcile("my-app").unwrap();
+//!
+//! // 3. The reconciled permissions are enforced by the controller.
+//! let controller = ShieldedController::new(Network::new(builders::linear(2), 1024), 2);
+//! // controller.register(Box::new(my_app), &report.reconciled) …
+//! # let _ = report;
+//! controller.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sdnshield_apps as apps;
+pub use sdnshield_controller as controller;
+pub use sdnshield_core as core;
+pub use sdnshield_netsim as netsim;
+pub use sdnshield_openflow as openflow;

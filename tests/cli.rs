@@ -1,0 +1,102 @@
+//! End-to-end tests of the `sdnshield` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdnshield"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sdnshield-cli-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn check_valid_manifest() {
+    let path = write_temp("ok.perm", "PERM read_statistics\nPERM insert_flow\n");
+    let out = bin().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("manifest OK: 2 permission(s)"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_reports_stubs() {
+    let path = write_temp("stub.perm", "PERM network_access LIMITING AdminRange\n");
+    let out = bin().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("AdminRange"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_bad_manifest_with_exit_2() {
+    let path = write_temp("bad.perm", "PERM launch_missiles\n");
+    let out = bin().arg("check").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("launch_missiles"), "{stderr}");
+}
+
+#[test]
+fn reconcile_scenario1_from_files() {
+    let manifest = write_temp(
+        "s1.perm",
+        "PERM visible_topology LIMITING LocalTopo\n\
+         PERM read_statistics\n\
+         PERM network_access LIMITING AdminRange\n\
+         PERM insert_flow\n",
+    );
+    let policy = write_temp(
+        "s1.pol",
+        "LET LocalTopo = { SWITCH 1,2 LINK 1-2 }\n\
+         LET AdminRange = { IP_DST 10.1.0.0 MASK 255.255.0.0 }\n\
+         ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n",
+    );
+    let out = bin()
+        .args(["reconcile"])
+        .arg(&manifest)
+        .arg(&policy)
+        .arg("monitoring")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 violation(s) repaired"), "{stdout}");
+    assert!(
+        stdout.contains("PERM host_network LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("PERM insert_flow\n"), "{stdout}");
+}
+
+#[test]
+fn templates_print() {
+    let out = bin().arg("templates").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("attack class 1 template"), "{stdout}");
+    assert!(stdout.contains("ASSERT EITHER"), "{stdout}");
+}
+
+#[test]
+fn usage_on_unknown_command() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_reported() {
+    let out = bin()
+        .args(["check", "/nonexistent/manifest.perm"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,137 @@
+//! Differential testing: the same apps fed the same stimuli must leave the
+//! network in the same state on the monolithic baseline and on SDNShield
+//! (when permissions allow everything) — the paper's compatibility claim
+//! that legacy apps run unmodified under the isolation architecture.
+
+use std::collections::BTreeSet;
+
+use sdnshield::apps::l2_learning::{L2LearningSwitch, L2_MANIFEST};
+use sdnshield::apps::routing::{RoutingApp, ROUTING_MANIFEST};
+use sdnshield::controller::{Kernel, MonolithicController, ShieldedController};
+use sdnshield::core::parse_manifest;
+use sdnshield::netsim::network::Network;
+use sdnshield::netsim::topology::builders;
+use sdnshield::openflow::packet::{ArpOp, ArpPacket, EthPayload, EthernetFrame, TcpFlags};
+use sdnshield::openflow::types::{DatapathId, EthAddr, Ipv4};
+
+/// A canonical, cookie-free view of every flow table (cookies differ by
+/// design: SDNShield stamps app ownership into them).
+fn table_fingerprint(kernel: &Kernel, switches: u64) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    kernel.with_network(|n| {
+        for d in 1..=switches {
+            if let Some(sw) = n.switch(DatapathId(d)) {
+                for e in sw.table().iter() {
+                    out.insert(format!(
+                        "s{d} {} {} {}",
+                        e.flow_match, e.priority, e.actions
+                    ));
+                }
+            }
+        }
+    });
+    out
+}
+
+fn arp_reply(src: u64, dst: u64) -> EthernetFrame {
+    EthernetFrame {
+        src: EthAddr::from_u64(src),
+        dst: EthAddr::from_u64(dst),
+        vlan: None,
+        payload: EthPayload::Arp(ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: EthAddr::from_u64(src),
+            sender_ip: Ipv4::new(10, 0, 0, src as u8),
+            target_mac: EthAddr::from_u64(dst),
+            target_ip: Ipv4::new(10, 0, 0, dst as u8),
+        }),
+    }
+}
+
+fn stimuli() -> Vec<EthernetFrame> {
+    let mut frames = Vec::new();
+    // ARP sweep teaching every host location…
+    for src in 1..=3u64 {
+        frames.push(EthernetFrame::arp_request(
+            EthAddr::from_u64(src),
+            Ipv4::new(10, 0, 0, src as u8),
+            Ipv4::new(10, 0, 0, (src % 3 + 1) as u8),
+        ));
+    }
+    // …then unicast replies that trigger rule installation.
+    frames.push(arp_reply(2, 1));
+    frames.push(arp_reply(3, 1));
+    frames.push(arp_reply(1, 2));
+    frames
+}
+
+#[test]
+fn l2_learning_converges_identically() {
+    let baseline = {
+        let c = MonolithicController::new(Network::new(builders::linear(3), 4096));
+        c.register(
+            Box::new(L2LearningSwitch::new()),
+            &parse_manifest(L2_MANIFEST).unwrap(),
+        );
+        for f in stimuli() {
+            c.inject_host_frame(f);
+        }
+        table_fingerprint(c.kernel(), 3)
+    };
+    let shielded = {
+        let c = ShieldedController::new(Network::new(builders::linear(3), 4096), 4);
+        c.register(
+            Box::new(L2LearningSwitch::new()),
+            &parse_manifest(L2_MANIFEST).unwrap(),
+        )
+        .unwrap();
+        for f in stimuli() {
+            c.inject_host_frame(f);
+            c.quiesce();
+        }
+        let fp = table_fingerprint(c.kernel(), 3);
+        c.shutdown();
+        fp
+    };
+    assert!(!baseline.is_empty(), "stimuli installed rules");
+    assert_eq!(baseline, shielded, "identical rules on both architectures");
+}
+
+#[test]
+fn routing_app_converges_identically() {
+    let tcp = |src: u64, dst: u64| {
+        EthernetFrame::tcp(
+            EthAddr::from_u64(src),
+            EthAddr::from_u64(dst),
+            Ipv4::new(10, 0, 0, src as u8),
+            Ipv4::new(10, 0, 0, dst as u8),
+            5000,
+            80,
+            TcpFlags::default(),
+            bytes::Bytes::new(),
+        )
+    };
+    let baseline = {
+        let c = MonolithicController::new(Network::new(builders::linear(4), 4096));
+        let (app, _trigger) = RoutingApp::new();
+        c.register(Box::new(app), &parse_manifest(ROUTING_MANIFEST).unwrap());
+        c.inject_host_frame(tcp(1, 4));
+        c.inject_host_frame(tcp(4, 1));
+        table_fingerprint(c.kernel(), 4)
+    };
+    let shielded = {
+        let c = ShieldedController::new(Network::new(builders::linear(4), 4096), 4);
+        let (app, _trigger) = RoutingApp::new();
+        c.register(Box::new(app), &parse_manifest(ROUTING_MANIFEST).unwrap())
+            .unwrap();
+        c.inject_host_frame(tcp(1, 4));
+        c.quiesce();
+        c.inject_host_frame(tcp(4, 1));
+        c.quiesce();
+        let fp = table_fingerprint(c.kernel(), 4);
+        c.shutdown();
+        fp
+    };
+    assert!(!baseline.is_empty());
+    assert_eq!(baseline, shielded);
+}

@@ -1,0 +1,145 @@
+//! Property tests for the reconciliation engine's global invariants:
+//!
+//! * **monotonicity** — reconciliation only removes or narrows privileges
+//!   (for stub-free manifests, the request always includes the result);
+//! * **fixed point** — a reconciled manifest passes the same policy cleanly
+//!   (the paper: constraints are "satisfied persistently");
+//! * **exclusion soundness** — after reconciliation no app holds both sides
+//!   of any mutual exclusion.
+
+use proptest::prelude::*;
+
+use sdnshield::core::perm::{Permission, PermissionSet};
+use sdnshield::core::policy::parse_policy;
+use sdnshield::core::reconcile::Reconciler;
+use sdnshield::core::token::PermissionToken;
+
+fn arb_manifest() -> impl Strategy<Value = PermissionSet> {
+    proptest::collection::btree_set(0usize..PermissionToken::ALL.len(), 0..8).prop_map(|idxs| {
+        PermissionSet::from_permissions(
+            idxs.into_iter()
+                .map(|i| Permission::unrestricted(PermissionToken::ALL[i])),
+        )
+    })
+}
+
+/// A random policy made of mutual exclusions between random token pairs and
+/// an optional boundary over a random token subset.
+fn arb_policy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(
+            (
+                0usize..PermissionToken::ALL.len(),
+                0usize..PermissionToken::ALL.len(),
+            ),
+            0..3,
+        ),
+        proptest::option::of(proptest::collection::btree_set(
+            0usize..PermissionToken::ALL.len(),
+            1..6,
+        )),
+    )
+        .prop_map(|(exclusions, boundary)| {
+            let mut src = String::new();
+            for (a, b) in exclusions {
+                if a == b {
+                    continue;
+                }
+                src.push_str(&format!(
+                    "ASSERT EITHER {{ PERM {} }} OR {{ PERM {} }}\n",
+                    PermissionToken::ALL[a].name(),
+                    PermissionToken::ALL[b].name(),
+                ));
+            }
+            if let Some(tokens) = boundary {
+                src.push_str("LET bound = {\n");
+                for i in tokens {
+                    src.push_str(&format!("PERM {}\n", PermissionToken::ALL[i].name()));
+                }
+                src.push_str("}\nASSERT APP app <= bound\n");
+            }
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reconciliation never grants anything the developer didn't request.
+    #[test]
+    fn reconciliation_is_monotone(manifest in arb_manifest(), policy_src in arb_policy()) {
+        let policy = parse_policy(&policy_src).unwrap();
+        let mut rec = Reconciler::new(policy);
+        rec.register_app("app", manifest.clone());
+        let report = rec.reconcile("app").unwrap();
+        prop_assert!(
+            manifest.includes(&report.reconciled),
+            "request {manifest} must include result {}",
+            report.reconciled
+        );
+    }
+
+    /// Reconciling the reconciled manifest is a no-op (clean fixed point).
+    #[test]
+    fn reconciliation_reaches_fixed_point(manifest in arb_manifest(), policy_src in arb_policy()) {
+        let mut rec = Reconciler::new(parse_policy(&policy_src).unwrap());
+        rec.register_app("app", manifest);
+        let first = rec.reconcile("app").unwrap();
+        let mut rec2 = Reconciler::new(parse_policy(&policy_src).unwrap());
+        rec2.register_app("app", first.reconciled.clone());
+        let second = rec2.reconcile("app").unwrap();
+        prop_assert!(second.is_clean(), "violations on second pass: {:?}", second.violations);
+        prop_assert_eq!(second.reconciled, first.reconciled);
+    }
+
+    /// No mutual exclusion is violated by the reconciled manifest.
+    #[test]
+    fn exclusions_hold_after_reconciliation(
+        manifest in arb_manifest(),
+        a in 0usize..PermissionToken::ALL.len(),
+        b in 0usize..PermissionToken::ALL.len(),
+    ) {
+        prop_assume!(a != b);
+        let (ta, tb) = (PermissionToken::ALL[a], PermissionToken::ALL[b]);
+        let src = format!(
+            "ASSERT EITHER {{ PERM {} }} OR {{ PERM {} }}",
+            ta.name(),
+            tb.name()
+        );
+        let mut rec = Reconciler::new(parse_policy(&src).unwrap());
+        rec.register_app("app", manifest);
+        let report = rec.reconcile("app").unwrap();
+        prop_assert!(
+            !(report.reconciled.contains_token(ta) && report.reconciled.contains_token(tb)),
+            "both exclusive tokens survive in {}",
+            report.reconciled
+        );
+    }
+
+    /// Boundary assertions leave the result inside the boundary.
+    #[test]
+    fn boundary_holds_after_reconciliation(
+        manifest in arb_manifest(),
+        bound_idxs in proptest::collection::btree_set(0usize..PermissionToken::ALL.len(), 1..6),
+    ) {
+        let bound = PermissionSet::from_permissions(
+            bound_idxs
+                .iter()
+                .map(|i| Permission::unrestricted(PermissionToken::ALL[*i])),
+        );
+        let mut src = String::from("LET bound = {\n");
+        for i in &bound_idxs {
+            src.push_str(&format!("PERM {}\n", PermissionToken::ALL[*i].name()));
+        }
+        src.push_str("}\nASSERT APP app <= bound\n");
+        let mut rec = Reconciler::new(parse_policy(&src).unwrap());
+        rec.register_app("app", manifest);
+        let report = rec.reconcile("app").unwrap();
+        prop_assert!(
+            bound.includes(&report.reconciled),
+            "result {} escapes boundary {}",
+            report.reconciled,
+            bound
+        );
+    }
+}

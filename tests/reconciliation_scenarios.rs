@@ -1,0 +1,271 @@
+//! Reconciliation effectiveness (paper §V, §VII, §IX-B1): over-privileged
+//! manifests are caught and cut down by security policies, and the
+//! reconciled permissions then hold up under enforcement.
+
+use sdnshield::apps::monitoring::{
+    MonitoringApp, WebCommand, WebRequest, MONITORING_MANIFEST, MONITORING_POLICY,
+};
+use sdnshield::controller::ShieldedController;
+use sdnshield::core::algebra;
+use sdnshield::core::reconcile::Resolution;
+use sdnshield::core::{parse_filter, parse_manifest, parse_policy, PermissionToken, Reconciler};
+use sdnshield::netsim::network::Network;
+use sdnshield::netsim::topology::builders;
+use sdnshield::openflow::flow_match::MaskedIpv4;
+use sdnshield::openflow::types::{DatapathId, Ipv4, PortNo};
+
+/// §VII scenario 1, end to end: developer manifest + administrator policy →
+/// reconciliation → the paper's exact final permission set → runtime
+/// enforcement against a compromised app.
+#[test]
+fn scenario1_full_pipeline() {
+    // Reconcile.
+    let mut rec = Reconciler::new(parse_policy(MONITORING_POLICY).unwrap());
+    rec.register_app("monitoring", parse_manifest(MONITORING_MANIFEST).unwrap());
+    let report = rec.reconcile("monitoring").unwrap();
+
+    // The paper's outcome: one mutual-exclusion violation, insert_flow gone,
+    // stubs expanded to the admin-supplied values.
+    assert_eq!(report.violations.len(), 1);
+    assert!(matches!(
+        &report.violations[0].resolution,
+        Resolution::Truncated(ts) if ts == &[PermissionToken::InsertFlow]
+    ));
+    assert_eq!(report.reconciled.len(), 3);
+    assert!(report
+        .reconciled
+        .contains_token(PermissionToken::VisibleTopology));
+    assert!(report
+        .reconciled
+        .contains_token(PermissionToken::ReadStatistics));
+    assert!(report
+        .reconciled
+        .contains_token(PermissionToken::HostNetwork));
+    assert!(!report
+        .reconciled
+        .contains_token(PermissionToken::InsertFlow));
+    let net_filter = report
+        .reconciled
+        .filter(PermissionToken::HostNetwork)
+        .unwrap();
+    assert!(algebra::equivalent(
+        net_filter,
+        &parse_filter("IP_DST 10.1.0.0 MASK 255.255.0.0").unwrap()
+    ));
+
+    // Enforce: attacker drives the compromised app from an admin-spoofed IP.
+    let c = ShieldedController::new(Network::new(builders::linear(2), 1024), 4);
+    let (app, web) = MonitoringApp::new(MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16));
+    let app_id = c.register(Box::new(app), &report.reconciled).unwrap();
+    let spoofed_admin = Ipv4::new(10, 1, 0, 200);
+    for command in [
+        // Class 2 to an outside collector: blocked by the AdminRange filter.
+        WebCommand::Exfiltrate {
+            to: Ipv4::new(203, 0, 113, 66),
+            port: 443,
+        },
+        // Class 1: blocked, send_pkt_out was never granted.
+        WebCommand::InjectPacket {
+            dpid: DatapathId(1),
+            port: PortNo(1),
+            payload: bytes::Bytes::from_static(b"\x00"),
+        },
+        // Class 3: blocked, insert_flow was truncated at reconciliation.
+        WebCommand::AddRule {
+            dpid: DatapathId(1),
+            dst: Ipv4::new(10, 0, 0, 2),
+            port: PortNo(1),
+        },
+        // Normal duty still works: report to the real admin collector.
+        WebCommand::ReportStats {
+            to: Ipv4::new(10, 1, 0, 9),
+            port: 4000,
+        },
+    ] {
+        web.requests
+            .send(WebRequest {
+                source_ip: spoofed_admin,
+                command,
+            })
+            .unwrap();
+    }
+    c.publish_topic("web", bytes::Bytes::new());
+    c.quiesce();
+
+    let outcomes = web.outcomes.lock().clone();
+    assert_eq!(outcomes.len(), 4);
+    assert!(!outcomes[0].succeeded, "exfiltrate blocked: {outcomes:?}");
+    assert!(!outcomes[1].succeeded, "inject blocked");
+    assert!(!outcomes[2].succeeded, "add_rule blocked");
+    assert!(outcomes[3].succeeded, "legitimate reporting works");
+    // Nothing reached the attacker; the admin report did leave.
+    let conns = c.kernel().connections_by(app_id);
+    assert!(conns
+        .iter()
+        .all(|conn| { MaskedIpv4::prefix(Ipv4::new(10, 1, 0, 0), 16).matches(conn.dst_ip) }));
+    assert_eq!(c.kernel().flow_count(DatapathId(1)), 0);
+    c.shutdown();
+}
+
+/// §V-A's monitoring-template boundary: an over-privileged manifest is
+/// intersected down to the template.
+#[test]
+fn boundary_template_cuts_over_privilege() {
+    let policy = parse_policy(
+        "LET templatePerm = {\n\
+           PERM read_topology\n\
+           PERM read_statistics LIMITING PORT_LEVEL\n\
+           PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0\n\
+         }\n\
+         ASSERT APP app <= templatePerm",
+    )
+    .unwrap();
+    let over_privileged = parse_manifest(
+        "PERM read_topology\n\
+         PERM read_statistics\n\
+         PERM network_access\n\
+         PERM insert_flow\n\
+         PERM send_pkt_out",
+    )
+    .unwrap();
+    let mut rec = Reconciler::new(policy);
+    rec.register_app("grabby", over_privileged);
+    let report = rec.reconcile("grabby").unwrap();
+    assert!(!report.is_clean());
+    // Everything outside the template vanished…
+    assert!(!report
+        .reconciled
+        .contains_token(PermissionToken::InsertFlow));
+    assert!(!report
+        .reconciled
+        .contains_token(PermissionToken::SendPktOut));
+    // …and what remains is within it.
+    let template = parse_manifest(
+        "PERM read_topology\n\
+         PERM read_statistics LIMITING PORT_LEVEL\n\
+         PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0",
+    )
+    .unwrap();
+    assert!(template.includes(&report.reconciled));
+    // A second pass is clean: the constraint holds persistently.
+    let mut rec2 = Reconciler::new(
+        parse_policy(
+            "LET templatePerm = {\n\
+           PERM read_topology\n\
+           PERM read_statistics LIMITING PORT_LEVEL\n\
+           PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0\n\
+         }\n\
+         ASSERT APP app <= templatePerm",
+        )
+        .unwrap(),
+    );
+    rec2.register_app("grabby", report.reconciled);
+    assert!(rec2.reconcile("grabby").unwrap().is_clean());
+}
+
+/// The paper's attack-pattern templates: each class maps to a policy that a
+/// manifest enabling the attack violates.
+#[test]
+fn attack_pattern_policies_flag_risky_manifests() {
+    // Class 1 pattern: pkt-in/out + host network enables remote-controlled
+    // traffic injection.
+    let class1_policy =
+        parse_policy("ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }").unwrap();
+    let risky = parse_manifest("PERM network_access\nPERM send_pkt_out").unwrap();
+    let mut rec = Reconciler::new(class1_policy);
+    rec.register_app("risky", risky);
+    let report = rec.reconcile("risky").unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        !(report
+            .reconciled
+            .contains_token(PermissionToken::HostNetwork)
+            && report
+                .reconciled
+                .contains_token(PermissionToken::SendPktOut)),
+        "the dangerous combination must not survive"
+    );
+
+    // Class 3/4 pattern: arbitrary rule modification + deletion.
+    let class3_policy = parse_policy(
+        "LET routerBound = { PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\n\
+                             PERM visible_topology\n\
+                             PERM pkt_in_event\n\
+                             PERM read_payload\n\
+                             PERM send_pkt_out\n\
+                             PERM flow_event }\n\
+         ASSERT APP app <= routerBound",
+    )
+    .unwrap();
+    let tunnel_capable =
+        parse_manifest("PERM insert_flow\nPERM visible_topology\nPERM pkt_in_event").unwrap();
+    let mut rec = Reconciler::new(class3_policy);
+    rec.register_app("router", tunnel_capable);
+    let report = rec.reconcile("router").unwrap();
+    assert!(!report.is_clean());
+    // insert_flow survives but only within the forwarding/own-flows bound.
+    let f = report
+        .reconciled
+        .filter(PermissionToken::InsertFlow)
+        .unwrap();
+    let bound = parse_filter("ACTION FORWARD AND OWN_FLOWS").unwrap();
+    assert!(algebra::includes(&bound, f));
+}
+
+/// The inherent limitation the paper concedes: a forwarding app essentially
+/// requires the resources that enable forwarding-rule attacks.
+#[test]
+fn forwarding_apps_keep_their_inherent_capability() {
+    let policy = parse_policy(
+        "LET routerBound = { PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS }\n\
+         ASSERT APP app <= routerBound",
+    )
+    .unwrap();
+    let honest_router =
+        parse_manifest("PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS").unwrap();
+    let mut rec = Reconciler::new(policy);
+    rec.register_app("router", honest_router.clone());
+    let report = rec.reconcile("router").unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.reconciled, honest_router);
+}
+
+/// Reconciliation reports every violation; administrators see the alert
+/// trail (paper: "by default SDNShield alerts administrators of any
+/// security policy violations").
+#[test]
+fn violations_are_fully_reported() {
+    let policy = parse_policy(
+        "LET bound = { PERM read_statistics }\n\
+         ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }\n\
+         ASSERT APP app <= bound",
+    )
+    .unwrap();
+    let manifest = parse_manifest(
+        "PERM network_access LIMITING MissingStub\nPERM send_pkt_out\nPERM read_statistics",
+    )
+    .unwrap();
+    let mut rec = Reconciler::new(policy);
+    rec.register_app("noisy", manifest);
+    let report = rec.reconcile("noisy").unwrap();
+    // Three violations: the unexpanded stub, the mutual exclusion, the
+    // boundary.
+    assert_eq!(report.violations.len(), 3, "{:#?}", report.violations);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(&v.resolution, Resolution::UnexpandedStub(s) if s == "MissingStub")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(&v.resolution, Resolution::Truncated(_))));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(&v.resolution, Resolution::IntersectedWithBoundary)));
+    // The final manifest satisfies everything.
+    assert_eq!(
+        report.reconciled.tokens().collect::<Vec<_>>(),
+        vec![PermissionToken::ReadStatistics]
+    );
+}
