@@ -14,6 +14,12 @@
 //! matrix can be produced mechanically: run each app on the baseline
 //! controller (attacks succeed) and on SDNShield with the scenario
 //! permissions (attacks are denied).
+//!
+//! The file also hosts [`CrasherApp`] — not an attack but a *fault
+//! workload*: a deliberately buggy app driven by a
+//! [`FaultPlan`](sdnshield_controller::FaultPlan) that crashes, stalls and
+//! misbehaves on schedule so the supervision tests can exercise crash
+//! containment deterministically.
 
 use std::sync::Arc;
 
@@ -22,7 +28,9 @@ use parking_lot::Mutex;
 
 use sdnshield_controller::app::{App, AppCtx};
 use sdnshield_controller::events::Event;
+use sdnshield_controller::FaultPlan;
 use sdnshield_core::api::EventKind;
+use sdnshield_core::token::PermissionToken;
 use sdnshield_openflow::actions::{Action, ActionList};
 use sdnshield_openflow::flow_match::FlowMatch;
 use sdnshield_openflow::messages::FlowMod;
@@ -382,5 +390,156 @@ mod tests {
                 .bytes_exfiltrated_by(sdnshield_core::api::AppId(2))
                 > 0
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the supervision test driver.
+// ---------------------------------------------------------------------------
+
+/// Observation handle for a [`CrasherApp`].
+pub type CrasherHandle = Arc<Mutex<CrasherStats>>;
+
+/// What a [`CrasherApp`] managed to do before (and after) its faults fired.
+#[derive(Debug, Default)]
+pub struct CrasherStats {
+    /// Events delivered to `on_event` (including the one it crashed in).
+    pub events_seen: u64,
+    /// Canary flows successfully installed across all starts.
+    pub canaries_installed: u64,
+    /// Host connections successfully opened across all starts.
+    pub conns_opened: u64,
+    /// Times `on_start` ran (restarts increment this).
+    pub starts: u64,
+    /// The last mediated-call error observed, if any (e.g. the
+    /// `ApiError::Internal` a deputy panic surfaces as).
+    pub last_call_error: Option<String>,
+}
+
+/// A deliberately faulty app driven by a [`FaultPlan`]: the workload for the
+/// crash-containment tests.
+///
+/// On start it subscribes to packet-ins and optionally leaves *footprints*
+/// in the controller — a high-priority canary flow and an open host
+/// connection — precisely so the tests can verify the supervisor reclaims
+/// them after the crash. On each event it issues one mediated call (a canary
+/// re-install) so deputy-side faults keyed to this app have traffic to fire
+/// on, then interprets the app-side faults of its plan: stall on the Nth
+/// event, panic on the Nth event, panic in `on_start`.
+pub struct CrasherApp {
+    plan: FaultPlan,
+    canary_dpid: Option<DatapathId>,
+    host_dst: Option<(Ipv4, u16)>,
+    /// Events seen by *this incarnation* — fault triggers are per-life, so
+    /// a restarted instance re-arms (its own "first event" counts from 1),
+    /// while `stats.events_seen` accumulates across restarts.
+    events_this_life: u64,
+    stats: CrasherHandle,
+}
+
+impl CrasherApp {
+    /// Creates the app and its observation handle.
+    pub fn new(plan: FaultPlan) -> (Self, CrasherHandle) {
+        let stats = Arc::new(Mutex::new(CrasherStats::default()));
+        (
+            CrasherApp {
+                plan,
+                canary_dpid: None,
+                host_dst: None,
+                events_this_life: 0,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+
+    /// Builds an identically-configured instance sharing the same stats —
+    /// the factory body for `register_supervised` restart tests.
+    pub fn clone_fresh(&self) -> CrasherApp {
+        CrasherApp {
+            plan: self.plan.clone(),
+            canary_dpid: self.canary_dpid,
+            host_dst: self.host_dst,
+            events_this_life: 0,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Install a high-priority canary flow on `dpid` during `on_start`.
+    pub fn with_canary_flow(mut self, dpid: DatapathId) -> Self {
+        self.canary_dpid = Some(dpid);
+        self
+    }
+
+    /// Open a host connection to `dst` during `on_start`.
+    pub fn with_host_conn(mut self, ip: Ipv4, port: u16) -> Self {
+        self.host_dst = Some((ip, port));
+        self
+    }
+
+    fn canary_flow(&self) -> FlowMod {
+        FlowMod::add(
+            FlowMatch::default().with_ip_dst(Ipv4::new(203, 0, 113, 99)),
+            Priority(990),
+            ActionList::drop(),
+        )
+    }
+}
+
+impl App for CrasherApp {
+    fn name(&self) -> &str {
+        "fault-crasher"
+    }
+
+    fn required_tokens(&self) -> Vec<PermissionToken> {
+        let mut tokens = vec![PermissionToken::PktInEvent];
+        if self.canary_dpid.is_some() {
+            tokens.push(PermissionToken::InsertFlow);
+        }
+        if self.host_dst.is_some() {
+            tokens.push(PermissionToken::HostNetwork);
+        }
+        tokens
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        self.stats.lock().starts += 1;
+        if self.plan.panic_on_start {
+            panic!("injected fault: panic in on_start");
+        }
+        let _ = ctx.subscribe(EventKind::PacketIn);
+        if let Some(dpid) = self.canary_dpid {
+            if ctx.insert_flow(dpid, self.canary_flow()).is_ok() {
+                self.stats.lock().canaries_installed += 1;
+            }
+        }
+        if let Some((ip, port)) = self.host_dst {
+            if ctx.host_connect(ip, port).is_ok() {
+                self.stats.lock().conns_opened += 1;
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, _event: &Event) {
+        self.events_this_life += 1;
+        let nth = self.events_this_life;
+        self.stats.lock().events_seen += 1;
+        // One mediated call per event, so deputy-side faults have traffic
+        // to fire on.
+        if let Some(dpid) = self.canary_dpid {
+            if let Err(e) = ctx.insert_flow(dpid, self.canary_flow()) {
+                self.stats.lock().last_call_error = Some(e.to_string());
+            }
+        }
+        if let Some((n, d)) = self.plan.stall_on_nth_event {
+            if u64::from(n) == nth {
+                std::thread::sleep(d);
+            }
+        }
+        if let Some(n) = self.plan.panic_on_nth_event {
+            if u64::from(n) == nth {
+                panic!("injected fault: panic on event {nth}");
+            }
+        }
     }
 }

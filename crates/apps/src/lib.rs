@@ -14,7 +14,10 @@ pub mod monitoring;
 pub mod routing;
 
 pub use alto::{AltoService, TrafficEngApp, ALTO_MANIFEST, TE_MANIFEST};
-pub use attacks::{FlowTunnelApp, InfoLeakApp, RouteHijackApp, SniffInjectApp};
+pub use attacks::{
+    CrasherApp, CrasherHandle, CrasherStats, FlowTunnelApp, InfoLeakApp, RouteHijackApp,
+    SniffInjectApp,
+};
 pub use l2_learning::{L2LearningSwitch, L2_MANIFEST};
 pub use monitoring::{MonitoringApp, MONITORING_MANIFEST, MONITORING_POLICY};
 pub use routing::{RoutingApp, ROUTING_MANIFEST};

@@ -3,7 +3,7 @@
 
 use sdnshield_apps::alto::{AltoService, TrafficEngApp, ALTO_MANIFEST, TE_MANIFEST};
 use sdnshield_apps::l2_learning::{L2LearningSwitch, L2_MANIFEST};
-use sdnshield_controller::isolation::ShieldedController;
+use sdnshield_controller::isolation::{ControllerConfig, ShieldedController};
 use sdnshield_controller::monolithic::MonolithicController;
 use sdnshield_core::lang::parse_manifest;
 use sdnshield_netsim::network::Network;
@@ -113,7 +113,18 @@ pub fn l2_scenario_opts(
             AnyController::Baseline(c)
         }
         Arch::Shielded => {
-            let c = ShieldedController::new(network, deputies);
+            // The pressure tests pipeline thousands of packet-ins ahead of
+            // the app; the default (overload-protection) queue bound would
+            // shed events and quietly measure partial processing. Size the
+            // queue for the whole batch so every delivered event is handled.
+            let c = ShieldedController::new_with_config(
+                network,
+                ControllerConfig {
+                    num_deputies: deputies,
+                    app_queue_capacity: 16_384,
+                    ..ControllerConfig::default()
+                },
+            );
             c.register(Box::new(L2LearningSwitch::new()), &manifest)
                 .expect("register l2");
             AnyController::Shielded(c)

@@ -150,6 +150,11 @@ pub enum ApiError {
     Vtopo(String),
     /// The controller is shutting down.
     Shutdown,
+    /// The deputy executing the call crashed; the call was discarded but the
+    /// deputy pool (and every other app) keeps running.
+    Internal(String),
+    /// No reply arrived within the app's per-call deadline.
+    Timeout,
 }
 
 impl ApiError {
@@ -188,6 +193,8 @@ impl fmt::Display for ApiError {
             }
             ApiError::Vtopo(m) => write!(f, "virtual topology error: {m}"),
             ApiError::Shutdown => write!(f, "controller is shutting down"),
+            ApiError::Internal(m) => write!(f, "internal controller fault: {m}"),
+            ApiError::Timeout => write!(f, "call timed out waiting for a reply"),
         }
     }
 }

@@ -9,9 +9,10 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
@@ -59,6 +60,10 @@ pub(crate) enum CallRoute {
         tx: Sender<DeputyRequest>,
         /// Work counter shared with the controller's quiesce logic.
         inflight: Arc<std::sync::atomic::AtomicUsize>,
+        /// Per-call reply deadline: a deputy that dies (or a fault that
+        /// swallows the reply) surfaces as [`ApiError::Timeout`] instead of
+        /// blocking the app forever.
+        timeout: Duration,
     },
     /// Direct invocation (monolithic baseline). Derived events queue up for
     /// the dispatcher loop.
@@ -81,6 +86,17 @@ fn send_deputy(
     })
 }
 
+/// Waits for a deputy reply with a deadline. Disconnection (controller
+/// shutting down, or the serving deputy died taking the sender with it)
+/// surfaces immediately; silence past the deadline becomes a timeout.
+fn await_reply<T>(rx: &Receiver<T>, timeout: Duration) -> Result<T, ApiError> {
+    match rx.recv_timeout(timeout) {
+        Ok(reply) => Ok(reply),
+        Err(RecvTimeoutError::Disconnected) => Err(ApiError::Shutdown),
+        Err(RecvTimeoutError::Timeout) => Err(ApiError::Timeout),
+    }
+}
+
 /// The handle apps use for every controller and host interaction.
 #[derive(Clone)]
 pub struct AppCtx {
@@ -101,7 +117,11 @@ impl AppCtx {
     fn call(&self, kind: ApiCallKind) -> Result<ApiResponse, ApiError> {
         let call = ApiCall::new(self.app, kind);
         match &self.route {
-            CallRoute::Deputy { tx, inflight } => {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -111,7 +131,7 @@ impl AppCtx {
                         reply: reply_tx,
                     },
                 )?;
-                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+                await_reply(&reply_rx, *timeout)?
             }
             CallRoute::Direct { kernel, pending } => {
                 let (result, events) = kernel.execute(&call);
@@ -234,7 +254,11 @@ impl AppCtx {
     /// [`ApiError::Shutdown`] when the controller is stopping.
     pub fn subscribe_topic(&self, topic: &str) -> Result<(), ApiError> {
         match &self.route {
-            CallRoute::Deputy { tx, inflight } => {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -245,7 +269,8 @@ impl AppCtx {
                         reply: reply_tx,
                     },
                 )?;
-                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+                await_reply(&reply_rx, *timeout)??;
+                Ok(())
             }
             CallRoute::Direct { kernel, .. } => {
                 kernel.subscribe_topic(self.app, topic);
@@ -265,7 +290,11 @@ impl AppCtx {
             data,
         };
         match &self.route {
-            CallRoute::Deputy { tx, inflight } => {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -275,7 +304,8 @@ impl AppCtx {
                         reply: reply_tx,
                     },
                 )?;
-                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+                await_reply(&reply_rx, *timeout)??;
+                Ok(())
             }
             CallRoute::Direct { pending, .. } => {
                 pending.lock().push_back(OutboundEvent { event });
@@ -292,7 +322,11 @@ impl AppCtx {
     /// operation; nothing is applied in that case.
     pub fn transaction(&self, ops: Vec<FlowOp>) -> Result<(), ApiError> {
         match &self.route {
-            CallRoute::Deputy { tx, inflight } => {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -303,7 +337,8 @@ impl AppCtx {
                         reply: reply_tx,
                     },
                 )?;
-                reply_rx.recv().map_err(|_| ApiError::Shutdown)?.map(|_| ())
+                await_reply(&reply_rx, *timeout)??;
+                Ok(())
             }
             CallRoute::Direct { kernel, pending } => {
                 let (result, events) = kernel.execute_transaction(self.app, &ops);
@@ -333,7 +368,11 @@ impl AppCtx {
     /// Permission denials (destination re-validated) and unknown handles.
     pub fn host_send(&self, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
         match &self.route {
-            CallRoute::Deputy { tx, inflight } => {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -345,7 +384,8 @@ impl AppCtx {
                         reply: reply_tx,
                     },
                 )?;
-                reply_rx.recv().map_err(|_| ApiError::Shutdown)?
+                await_reply(&reply_rx, *timeout)??;
+                Ok(())
             }
             CallRoute::Direct { kernel, .. } => kernel.host_send(self.app, conn, data),
         }

@@ -16,6 +16,11 @@ pub enum AuditOutcome {
     Denied,
     /// The call was allowed but the operation failed (e.g. table full).
     Failed,
+    /// The app crashed and was reaped by the supervisor.
+    Crashed,
+    /// An event addressed to the app was shed under overload (or discarded
+    /// while reaping a crash) before the app saw it.
+    Dropped,
 }
 
 /// One audit record.
@@ -27,19 +32,27 @@ pub struct AuditRecord {
     pub app: AppId,
     /// The operation name.
     pub operation: String,
-    /// The token the call required.
-    pub token: PermissionToken,
+    /// The token the call required. `None` for supervisor records (crash /
+    /// overload shedding), which are not permission-mediated calls.
+    pub token: Option<PermissionToken>,
     /// The outcome.
     pub outcome: AuditOutcome,
 }
 
 impl fmt::Display for AuditRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "#{} {} {} [{}] {:?}",
-            self.seq, self.app, self.operation, self.token, self.outcome
-        )
+        match &self.token {
+            Some(token) => write!(
+                f,
+                "#{} {} {} [{}] {:?}",
+                self.seq, self.app, self.operation, token, self.outcome
+            ),
+            None => write!(
+                f,
+                "#{} {} {} [-] {:?}",
+                self.seq, self.app, self.operation, self.outcome
+            ),
+        }
     }
 }
 
@@ -63,12 +76,27 @@ impl AuditLog {
         }
     }
 
-    /// Appends a record.
+    /// Appends a record for a permission-mediated call.
     pub fn record(
         &mut self,
         app: AppId,
         operation: &str,
         token: PermissionToken,
+        outcome: AuditOutcome,
+    ) {
+        self.push(app, operation, Some(token), outcome);
+    }
+
+    /// Appends a supervisor record (crash, shed event) with no token.
+    pub fn record_system(&mut self, app: AppId, operation: &str, outcome: AuditOutcome) {
+        self.push(app, operation, None, outcome);
+    }
+
+    fn push(
+        &mut self,
+        app: AppId,
+        operation: &str,
+        token: Option<PermissionToken>,
         outcome: AuditOutcome,
     ) {
         self.next_seq += 1;
@@ -162,5 +190,51 @@ mod tests {
         assert!(log.dropped() > 0);
         // Sequence numbers keep counting across eviction.
         assert_eq!(log.records().last().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn dropped_counter_is_exact() {
+        let mut log = AuditLog::new(4);
+        for i in 0..4 {
+            log.record(
+                AppId(1),
+                &format!("op{i}"),
+                PermissionToken::ReadStatistics,
+                AuditOutcome::Allowed,
+            );
+        }
+        assert_eq!(log.dropped(), 0, "no eviction until capacity is exceeded");
+
+        // The 5th record triggers one eviction of the oldest half (2 records).
+        log.record(
+            AppId(1),
+            "op4",
+            PermissionToken::ReadStatistics,
+            AuditOutcome::Allowed,
+        );
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.records().first().unwrap().seq, 3, "oldest half gone");
+
+        // Nothing retained is ever double-counted: retained + dropped = seen.
+        log.record(
+            AppId(1),
+            "op5",
+            PermissionToken::ReadStatistics,
+            AuditOutcome::Allowed,
+        );
+        assert_eq!(log.records().len() as u64 + log.dropped(), 6);
+    }
+
+    #[test]
+    fn system_records_have_no_token() {
+        let mut log = AuditLog::new(10);
+        log.record_system(AppId(7), "crash:on_event", AuditOutcome::Crashed);
+        log.record_system(AppId(7), "event_shed", AuditOutcome::Dropped);
+        let recs: Vec<_> = log.records_by(AppId(7)).collect();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.token.is_none()));
+        assert_eq!(recs[0].outcome, AuditOutcome::Crashed);
+        assert!(recs[0].to_string().contains("[-]"));
     }
 }

@@ -1,0 +1,188 @@
+//! Fault-injection harness for the crash-containment tests.
+//!
+//! The supervision subsystem (app reaping, deputy watchdog, overload
+//! shedding) is only trustworthy if it can be exercised deterministically.
+//! A [`FaultPlan`] describes *where* and *when* a component should
+//! misbehave:
+//!
+//! * app-side faults (`panic_on_start`, `panic_on_nth_event`,
+//!   `stall_on_nth_event`) are interpreted by the app under test itself —
+//!   see `CrasherApp` in `sdnshield-apps` — because only the app thread can
+//!   panic "inside `on_event`";
+//! * deputy-side faults (`panic_in_deputy_on_nth_call`,
+//!   `drop_reply_on_nth_call`, `kill_deputy_on_nth_call`) are armed on the
+//!   controller with `ShieldedController::arm_faults` and consulted by the
+//!   deputy loop per mediated call, keyed by the calling app.
+//!
+//! Counters are 1-based: `panic_on_nth_event = Some(2)` crashes while
+//! handling the second delivered event. Each deputy fault fires exactly
+//! once, then disarms, so a respawned deputy (or retried call) proceeds
+//! normally.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sdnshield_core::api::AppId;
+
+/// A declarative fault schedule for one app.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Panic inside `on_start` (registration-time crash).
+    pub panic_on_start: bool,
+    /// Panic while handling the Nth delivered event (1-based).
+    pub panic_on_nth_event: Option<u32>,
+    /// Sleep for the given duration while handling the Nth event (1-based).
+    pub stall_on_nth_event: Option<(u32, Duration)>,
+    /// Panic inside the deputy executing the app's Nth mediated call.
+    pub panic_in_deputy_on_nth_call: Option<u32>,
+    /// Execute the app's Nth call but never send the reply (the sender is
+    /// parked alive, so the app's per-call timeout — not channel disconnect
+    /// — is what unblocks it).
+    pub drop_reply_on_nth_call: Option<u32>,
+    /// Kill the whole deputy thread on the app's Nth call (exercises the
+    /// watchdog respawn path).
+    pub kill_deputy_on_nth_call: Option<u32>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Panic inside `on_start`.
+    pub fn panic_on_start(mut self) -> Self {
+        self.panic_on_start = true;
+        self
+    }
+
+    /// Panic while handling the `n`th event (1-based).
+    pub fn panic_on_event(mut self, n: u32) -> Self {
+        self.panic_on_nth_event = Some(n);
+        self
+    }
+
+    /// Stall for `d` while handling the `n`th event (1-based).
+    pub fn stall_on_event(mut self, n: u32, d: Duration) -> Self {
+        self.stall_on_nth_event = Some((n, d));
+        self
+    }
+
+    /// Panic inside the deputy on the `n`th mediated call (1-based).
+    pub fn panic_in_deputy(mut self, n: u32) -> Self {
+        self.panic_in_deputy_on_nth_call = Some(n);
+        self
+    }
+
+    /// Swallow the reply to the `n`th mediated call (1-based).
+    pub fn drop_reply(mut self, n: u32) -> Self {
+        self.drop_reply_on_nth_call = Some(n);
+        self
+    }
+
+    /// Kill the deputy thread serving the `n`th mediated call (1-based).
+    pub fn kill_deputy(mut self, n: u32) -> Self {
+        self.kill_deputy_on_nth_call = Some(n);
+        self
+    }
+}
+
+/// What a deputy should do with the call it is about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeputyFault {
+    /// Execute normally.
+    None,
+    /// Panic mid-execution (caught by the deputy's unwind guard).
+    Panic,
+    /// Execute, then discard the reply without sending it.
+    DropReply,
+    /// Die: panic outside the unwind guard, taking the deputy thread down.
+    KillDeputy,
+}
+
+struct ArmedPlan {
+    plan: FaultPlan,
+    calls_seen: u32,
+}
+
+/// Per-app armed fault plans, shared between the controller front-end (which
+/// arms them) and the deputy pool (which consults them).
+#[derive(Default)]
+pub(crate) struct FaultRegistry {
+    plans: Mutex<HashMap<AppId, ArmedPlan>>,
+    /// Reply senders deliberately kept alive by `DropReply` so the caller
+    /// sees a timeout rather than a disconnect.
+    parked: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+}
+
+impl FaultRegistry {
+    /// Arms (or replaces) the plan for an app. Counters restart at zero.
+    pub(crate) fn arm(&self, app: AppId, plan: FaultPlan) {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner()).insert(
+            app,
+            ArmedPlan {
+                plan,
+                calls_seen: 0,
+            },
+        );
+    }
+
+    /// Called by a deputy once per mediated call from `app`; returns the
+    /// fault (if any) scheduled for this call. Each fault fires once.
+    pub(crate) fn deputy_action(&self, app: AppId) -> DeputyFault {
+        let mut plans = self.plans.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(armed) = plans.get_mut(&app) else {
+            return DeputyFault::None;
+        };
+        armed.calls_seen += 1;
+        let nth = armed.calls_seen;
+        if armed.plan.kill_deputy_on_nth_call == Some(nth) {
+            armed.plan.kill_deputy_on_nth_call = None;
+            return DeputyFault::KillDeputy;
+        }
+        if armed.plan.panic_in_deputy_on_nth_call == Some(nth) {
+            armed.plan.panic_in_deputy_on_nth_call = None;
+            return DeputyFault::Panic;
+        }
+        if armed.plan.drop_reply_on_nth_call == Some(nth) {
+            armed.plan.drop_reply_on_nth_call = None;
+            return DeputyFault::DropReply;
+        }
+        DeputyFault::None
+    }
+
+    /// Keeps a reply sender alive for the rest of the controller's lifetime.
+    pub(crate) fn park(&self, sender: Box<dyn std::any::Any + Send>) {
+        self.parked
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(sender);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deputy_faults_fire_once_at_the_scheduled_call() {
+        let reg = FaultRegistry::default();
+        reg.arm(AppId(1), FaultPlan::none().panic_in_deputy(2));
+        assert_eq!(reg.deputy_action(AppId(1)), DeputyFault::None);
+        assert_eq!(reg.deputy_action(AppId(1)), DeputyFault::Panic);
+        assert_eq!(reg.deputy_action(AppId(1)), DeputyFault::None);
+        // Unarmed apps are never faulted.
+        assert_eq!(reg.deputy_action(AppId(2)), DeputyFault::None);
+    }
+
+    #[test]
+    fn kill_takes_precedence_and_counters_are_per_app() {
+        let reg = FaultRegistry::default();
+        let plan = FaultPlan::none().kill_deputy(1).drop_reply(1);
+        reg.arm(AppId(3), plan);
+        assert_eq!(reg.deputy_action(AppId(3)), DeputyFault::KillDeputy);
+        // Drop-reply was scheduled for call 1 as well; it missed its slot.
+        assert_eq!(reg.deputy_action(AppId(3)), DeputyFault::None);
+    }
+}

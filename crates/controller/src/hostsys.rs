@@ -37,6 +37,8 @@ pub struct Connection {
     pub dst_port: u16,
     /// Everything the app sent.
     pub sent: Vec<Bytes>,
+    /// Whether the connection has been closed (e.g. its owner crashed).
+    pub closed: bool,
 }
 
 /// One file access.
@@ -89,21 +91,36 @@ impl HostSystem {
                 dst_ip,
                 dst_port,
                 sent: Vec::new(),
+                closed: false,
             },
         );
         id
     }
 
-    /// Sends bytes on a connection. Returns `false` for unknown handles or
-    /// handles owned by a different app.
+    /// Sends bytes on a connection. Returns `false` for unknown or closed
+    /// handles, or handles owned by a different app.
     pub fn send(&mut self, app: AppId, conn: ConnId, data: Bytes) -> bool {
         match self.connections.get_mut(&conn) {
-            Some(c) if c.app == app => {
+            Some(c) if c.app == app && !c.closed => {
                 c.sent.push(data);
                 true
             }
             _ => false,
         }
+    }
+
+    /// Closes every open connection held by an app (crash reaping). The
+    /// records stay for forensics; further sends on them fail. Returns how
+    /// many were open.
+    pub fn close_connections(&mut self, app: AppId) -> usize {
+        let mut closed = 0;
+        for c in self.connections.values_mut() {
+            if c.app == app && !c.closed {
+                c.closed = true;
+                closed += 1;
+            }
+        }
+        closed
     }
 
     /// Records a file access.
@@ -170,6 +187,19 @@ mod tests {
         assert!(!host.send(AppId(2), c1, Bytes::from_static(b"steal")));
         assert!(!host.send(AppId(1), ConnId(999), Bytes::new()));
         assert_eq!(host.bytes_exfiltrated_by(AppId(1)), 0);
+    }
+
+    #[test]
+    fn closed_connections_reject_sends_but_keep_history() {
+        let mut host = HostSystem::new();
+        let c1 = host.connect(AppId(1), Ipv4::new(10, 1, 0, 1), 443);
+        assert!(host.send(AppId(1), c1, Bytes::from_static(b"pre")));
+        assert_eq!(host.close_connections(AppId(1)), 1);
+        assert!(!host.send(AppId(1), c1, Bytes::from_static(b"post")));
+        // Forensic record survives: what was sent before the close.
+        assert_eq!(host.bytes_exfiltrated_by(AppId(1)), 3);
+        // Idempotent: nothing left open.
+        assert_eq!(host.close_connections(AppId(1)), 0);
     }
 
     #[test]

@@ -9,11 +9,25 @@
 //!   (the choke point is a queue, not a serialization point: deputies run in
 //!   parallel, matching the paper's "multiple instances of KSDs can run in
 //!   parallel to offload the API requests from apps").
+//!
+//! On top of the isolation boundary sits a supervision layer (fault
+//! containment, DESIGN.md "Fault model & supervision"):
+//!
+//! * an app that panics inside `on_event` is *reaped*: its flow entries,
+//!   subscriptions and host connections are reclaimed, the crash is
+//!   audited, and its [`RestartPolicy`] decides whether it comes back
+//!   (exponential backoff on the virtual clock) or stays down;
+//! * deputies run each call under an unwind guard — a call that panics the
+//!   kernel logic kills that call, not the deputy — and a watchdog respawns
+//!   any deputy thread that dies anyway;
+//! * per-app event queues are bounded: under overload the oldest pending
+//!   event is shed (audited as `Dropped`) rather than growing without limit.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -26,22 +40,115 @@ use sdnshield_openflow::messages::PacketIn;
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::DatapathId;
 
-use crate::api::DeputyRequest;
+use crate::api::{ApiError, DeputyRequest};
 use crate::app::{App, AppCtx, CallRoute};
 use crate::events::Event;
+use crate::fault::{DeputyFault, FaultPlan, FaultRegistry};
 use crate::kernel::{Kernel, OutboundEvent};
 
-/// Message types delivered to an app thread.
+/// One message for an app thread.
 enum AppMsg {
     /// An event, optionally acknowledged after `on_event` returns.
     Event(Event, Option<Sender<()>>),
-    /// Terminate the app thread.
+    /// Terminate the app thread (after already-queued events).
     Stop,
 }
 
+/// Outcome of pushing an event onto an [`AppQueue`].
+enum PushOutcome {
+    /// The event was queued.
+    Queued,
+    /// The queue was full: the event was queued and the *oldest* pending
+    /// event was shed. Its ack sender (if any) is handed back so the caller
+    /// can unblock waiters and fix the accounting.
+    Shed(Option<Sender<()>>),
+    /// The queue no longer accepts events (app stopped or crashed).
+    Closed,
+}
+
+/// A bounded per-app event queue with a shed-oldest overload policy.
+///
+/// Replaces an unbounded channel: a slow or stalled app can hold at most
+/// `capacity` undelivered events; beyond that the oldest is discarded
+/// (freshest-state-wins, the usual choice for network event streams) and
+/// audited as [`crate::audit::AuditOutcome::Dropped`].
+struct AppQueue {
+    inner: StdMutex<AppQueueInner>,
+    readable: Condvar,
+    capacity: usize,
+}
+
+struct AppQueueInner {
+    queue: VecDeque<(Event, Option<Sender<()>>)>,
+    /// Stop requested: delivered after already-queued events drain.
+    stop: bool,
+    /// Closed: the app thread is gone; pushes are refused.
+    closed: bool,
+}
+
+impl AppQueue {
+    fn new(capacity: usize) -> Self {
+        AppQueue {
+            inner: StdMutex::new(AppQueueInner {
+                queue: VecDeque::new(),
+                stop: false,
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push_event(&self, event: Event, ack: Option<Sender<()>>) -> PushOutcome {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.closed || inner.stop {
+            return PushOutcome::Closed;
+        }
+        let shed = if inner.queue.len() >= self.capacity {
+            inner.queue.pop_front().map(|(_, old_ack)| old_ack)
+        } else {
+            None
+        };
+        inner.queue.push_back((event, ack));
+        self.readable.notify_one();
+        match shed {
+            Some(old_ack) => PushOutcome::Shed(old_ack),
+            None => PushOutcome::Queued,
+        }
+    }
+
+    fn push_stop(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.stop = true;
+        self.readable.notify_all();
+    }
+
+    /// Blocks for the next message; `Stop` is returned only once queued
+    /// events have drained.
+    fn pop(&self) -> AppMsg {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some((event, ack)) = inner.queue.pop_front() {
+                return AppMsg::Event(event, ack);
+            }
+            if inner.stop || inner.closed {
+                return AppMsg::Stop;
+            }
+            inner = self.readable.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Refuses further pushes and hands back whatever was still queued so
+    /// the caller can acknowledge and account for it.
+    fn close_and_drain(&self) -> Vec<(Event, Option<Sender<()>>)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        inner.queue.drain(..).collect()
+    }
+}
+
 struct AppHandle {
-    name: String,
-    tx: Sender<AppMsg>,
+    queue: Arc<AppQueue>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -100,7 +207,9 @@ impl Dispatcher {
     }
 
     /// Sends one event view to one app; returns the ack receiver when the
-    /// send is acknowledged (`with_ack`).
+    /// send is acknowledged (`with_ack`). An event shed from a full queue is
+    /// acknowledged on the spot and audited; a closed queue (crashed or
+    /// stopped app) refuses the event with the accounting undone.
     fn send_event(
         &self,
         kernel: &Kernel,
@@ -112,19 +221,26 @@ impl Dispatcher {
         let handle = apps.get(&target)?;
         let view = kernel.event_view_for(target, event)?;
         self.inflight.fetch_add(1, Ordering::SeqCst);
-        if with_ack {
-            let (ack_tx, ack_rx) = bounded(1);
-            if handle.tx.send(AppMsg::Event(view, Some(ack_tx))).is_ok() {
-                Some(ack_rx)
-            } else {
+        let (ack_tx, ack_rx) = if with_ack {
+            let (tx, rx) = bounded(1);
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        match handle.queue.push_event(view, ack_tx) {
+            PushOutcome::Queued => ack_rx,
+            PushOutcome::Shed(old_ack) => {
+                if let Some(old_ack) = old_ack {
+                    let _ = old_ack.send(());
+                }
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                kernel.audit_dropped(target, "event_shed");
+                ack_rx
+            }
+            PushOutcome::Closed => {
                 self.inflight.fetch_sub(1, Ordering::SeqCst);
                 None
             }
-        } else {
-            if handle.tx.send(AppMsg::Event(view, None)).is_err() {
-                self.inflight.fetch_sub(1, Ordering::SeqCst);
-            }
-            None
         }
     }
 }
@@ -144,7 +260,7 @@ impl std::fmt::Display for RegisterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RegisterError::MissingTokens(ts) => {
-                write!(f, "app requires ungrated tokens: ")?;
+                write!(f, "app requires ungranted tokens: ")?;
                 let mut sep = "";
                 for t in ts {
                     write!(f, "{sep}{t}")?;
@@ -159,6 +275,198 @@ impl std::fmt::Display for RegisterError {
 }
 
 impl std::error::Error for RegisterError {}
+
+/// Lifecycle state of a registered app, as seen by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppState {
+    /// Processing events normally.
+    Running,
+    /// Just crashed; the restart policy has not been applied yet. Observable
+    /// only transiently — the supervisor immediately moves the app to
+    /// [`AppState::Quarantined`] or [`AppState::Stopped`].
+    Crashed,
+    /// Crashed and waiting out its restart backoff; the supervisor restarts
+    /// it once the virtual clock reaches `until`.
+    Quarantined {
+        /// Virtual time (seconds) at which the restart becomes due.
+        until: u64,
+    },
+    /// A restart is in progress (`on_start` of the fresh instance running).
+    Restarting,
+    /// Terminal: stopped by policy ([`RestartPolicy::Never`] or restart
+    /// budget exhausted) or by controller shutdown.
+    Stopped,
+}
+
+/// What the supervisor does with an app that crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Never restart: one crash and the app stays down.
+    #[default]
+    Never,
+    /// Restart up to `max_restarts` times, with exponential backoff on the
+    /// virtual clock: the k-th restart (1-based) waits
+    /// `backoff_base_secs * 2^(k-1)` virtual seconds in quarantine.
+    UpTo {
+        /// Restart budget.
+        max_restarts: u32,
+        /// First backoff, in virtual seconds; doubles per restart.
+        backoff_base_secs: u64,
+    },
+}
+
+/// Tunables for the isolation + supervision machinery.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Kernel Service Deputy threads (must be ≥ 1; service apps publishing
+    /// synchronous custom events need ≥ 2).
+    pub num_deputies: usize,
+    /// Bound on each app's undelivered-event queue; beyond it the oldest
+    /// pending event is shed.
+    pub app_queue_capacity: usize,
+    /// Per-call reply deadline on the app side.
+    pub call_timeout: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            num_deputies: 4,
+            app_queue_capacity: 1024,
+            call_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+type AppFactory = Box<dyn Fn() -> Box<dyn App> + Send>;
+
+/// Supervisor bookkeeping for one registered app.
+struct Supervised {
+    name: String,
+    manifest: PermissionSet,
+    policy: RestartPolicy,
+    /// Builds a fresh instance for restarts; `None` ⇒ not restartable.
+    factory: Option<AppFactory>,
+    state: AppState,
+    crashes: u32,
+    restarts: u32,
+}
+
+/// Lifecycle state for every registered app, shared between the controller
+/// front-end and the app threads (which report their own crashes).
+#[derive(Default)]
+pub(crate) struct Supervisor {
+    entries: Mutex<HashMap<AppId, Supervised>>,
+}
+
+impl Supervised {
+    /// The state after one more crash, given the policy and current budget.
+    fn state_after_crash(&self, now: u64) -> AppState {
+        match self.policy {
+            RestartPolicy::Never => AppState::Stopped,
+            RestartPolicy::UpTo {
+                max_restarts,
+                backoff_base_secs,
+            } => {
+                if self.factory.is_some() && self.restarts < max_restarts {
+                    AppState::Quarantined {
+                        until: now + (backoff_base_secs << self.restarts),
+                    }
+                } else {
+                    AppState::Stopped
+                }
+            }
+        }
+    }
+}
+
+/// Reaps a crashed app end-to-end. Runs on the crashed app's own thread
+/// (for `on_event` crashes): unroutes it, reclaims its kernel state and
+/// flows, audits the crash, and applies the restart policy.
+fn handle_crash(
+    kernel: &Kernel,
+    dispatcher: &Dispatcher,
+    supervisor: &Supervisor,
+    id: AppId,
+    phase: &str,
+) {
+    // Stop routing events to the dead thread. (The JoinHandle is dropped:
+    // this IS that thread, so joining is neither possible nor needed.)
+    dispatcher.apps.lock().remove(&id);
+    // Reclaim everything the app held; surviving subscribers learn of the
+    // reclaimed flows exactly as they would of a timeout expiry.
+    let events = kernel.deregister_app(id);
+    kernel.audit_crash(id, phase);
+    dispatcher.dispatch(kernel, events, false);
+    // Apply the restart policy.
+    let mut entries = supervisor.entries.lock();
+    if let Some(sup) = entries.get_mut(&id) {
+        sup.crashes += 1;
+        sup.state = AppState::Crashed;
+        sup.state = sup.state_after_crash(kernel.now());
+    }
+}
+
+/// The deputy pool plus the shared state its watchdog needs to respawn
+/// members that die.
+struct DeputyPool {
+    kernel: Arc<Kernel>,
+    dispatcher: Arc<Dispatcher>,
+    call_rx: Receiver<DeputyRequest>,
+    inflight: Arc<AtomicUsize>,
+    faults: Arc<FaultRegistry>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_deputy: AtomicUsize,
+    respawns: AtomicUsize,
+    shutting_down: AtomicBool,
+}
+
+impl DeputyPool {
+    fn spawn_deputy(&self) {
+        let i = self.next_deputy.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::clone(&self.kernel);
+        let dispatcher = Arc::clone(&self.dispatcher);
+        let rx = self.call_rx.clone();
+        let inflight = Arc::clone(&self.inflight);
+        let faults = Arc::clone(&self.faults);
+        let handle = std::thread::Builder::new()
+            .name(format!("ksd-{i}"))
+            .spawn(move || deputy_loop(kernel, dispatcher, rx, inflight, faults))
+            .expect("spawn deputy");
+        self.handles.lock().push(handle);
+    }
+
+    /// Joins any deputy thread that died and spawns a replacement. Returns
+    /// how many were replaced.
+    fn reap_and_respawn(&self) -> usize {
+        let mut dead = 0;
+        {
+            let mut handles = self.handles.lock();
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    let _ = handles.swap_remove(i).join();
+                    dead += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for _ in 0..dead {
+            self.spawn_deputy();
+        }
+        self.respawns.fetch_add(dead, Ordering::SeqCst);
+        dead
+    }
+}
+
+/// Polls the pool for dead deputies until shutdown.
+fn watchdog_loop(pool: Arc<DeputyPool>) {
+    while !pool.shutting_down.load(Ordering::SeqCst) {
+        pool.reap_and_respawn();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
 
 /// The SDNShield-enabled controller: kernel + deputy pool + isolated apps.
 ///
@@ -176,14 +484,18 @@ pub struct ShieldedController {
     kernel: Arc<Kernel>,
     call_tx: Sender<DeputyRequest>,
     dispatcher: Arc<Dispatcher>,
-    deputies: Mutex<Vec<JoinHandle<()>>>,
+    pool: Arc<DeputyPool>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+    supervisor: Arc<Supervisor>,
+    faults: Arc<FaultRegistry>,
     next_app: AtomicU16,
     inflight: Arc<AtomicUsize>,
+    config: ControllerConfig,
 }
 
 impl ShieldedController {
     /// Builds a controller over a network with `num_deputies` Kernel Service
-    /// Deputy threads.
+    /// Deputy threads and default supervision tunables.
     ///
     /// # Panics
     ///
@@ -192,30 +504,59 @@ impl ShieldedController {
     /// deputy blocks on subscriber acknowledgment while subscribers issue
     /// their own calls).
     pub fn new(network: Network, num_deputies: usize) -> Self {
-        assert!(num_deputies > 0, "need at least one deputy");
+        Self::new_with_config(
+            network,
+            ControllerConfig {
+                num_deputies,
+                ..ControllerConfig::default()
+            },
+        )
+    }
+
+    /// Builds a controller with explicit supervision tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.num_deputies == 0`.
+    pub fn new_with_config(network: Network, config: ControllerConfig) -> Self {
+        assert!(config.num_deputies > 0, "need at least one deputy");
         let kernel = Arc::new(Kernel::new(network, true));
         let inflight = Arc::new(AtomicUsize::new(0));
         let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&inflight)));
+        let faults = Arc::new(FaultRegistry::default());
         let (call_tx, call_rx) = unbounded::<DeputyRequest>();
-        let deputies = (0..num_deputies)
-            .map(|i| {
-                let kernel = Arc::clone(&kernel);
-                let dispatcher = Arc::clone(&dispatcher);
-                let rx = call_rx.clone();
-                let inflight = Arc::clone(&inflight);
-                std::thread::Builder::new()
-                    .name(format!("ksd-{i}"))
-                    .spawn(move || deputy_loop(kernel, dispatcher, rx, inflight))
-                    .expect("spawn deputy")
-            })
-            .collect();
+        let pool = Arc::new(DeputyPool {
+            kernel: Arc::clone(&kernel),
+            dispatcher: Arc::clone(&dispatcher),
+            call_rx,
+            inflight: Arc::clone(&inflight),
+            faults: Arc::clone(&faults),
+            handles: Mutex::new(Vec::new()),
+            next_deputy: AtomicUsize::new(0),
+            respawns: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        for _ in 0..config.num_deputies {
+            pool.spawn_deputy();
+        }
+        let watchdog = {
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("ksd-watchdog".into())
+                .spawn(move || watchdog_loop(pool))
+                .expect("spawn watchdog")
+        };
         ShieldedController {
             kernel,
             call_tx,
             dispatcher,
-            deputies: Mutex::new(deputies),
+            pool,
+            watchdog: Mutex::new(Some(watchdog)),
+            supervisor: Arc::new(Supervisor::default()),
+            faults,
             next_app: AtomicU16::new(1),
             inflight,
+            config,
         }
     }
 
@@ -223,15 +564,28 @@ impl ShieldedController {
     /// cascades the synchronous delivery calls do not wait for (e.g. the
     /// packet-ins a flooded packet-out generates on downstream switches).
     pub fn quiesce(&self) {
+        while !self.quiesce_timeout(Duration::from_millis(100)) {}
+    }
+
+    /// Like [`ShieldedController::quiesce`], but gives up at the deadline.
+    /// Returns whether the controller actually went quiescent — `false`
+    /// means work was still outstanding (e.g. an app stalled inside
+    /// `on_event`), and the caller decides what to do about it instead of
+    /// spinning forever.
+    pub fn quiesce_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
         let mut stable = 0;
         loop {
             if self.inflight.load(Ordering::SeqCst) == 0 {
                 stable += 1;
                 if stable >= 3 {
-                    return;
+                    return true;
                 }
             } else {
                 stable = 0;
+            }
+            if Instant::now() >= deadline {
+                return self.inflight.load(Ordering::SeqCst) == 0;
             }
             std::thread::yield_now();
         }
@@ -244,15 +598,48 @@ impl ShieldedController {
 
     /// Registers an app with its (reconciled) permission manifest: compiles
     /// the permission engine, runs the loading-time token check, spawns the
-    /// app's unprivileged thread, and runs `on_start` to completion.
+    /// app's unprivileged thread, and runs `on_start` to completion. The
+    /// app is supervised with [`RestartPolicy::Never`]: a crash reaps it
+    /// permanently.
     ///
     /// # Errors
     ///
-    /// [`RegisterError`] on loading-time failures; the app is not started.
+    /// [`RegisterError`] on loading-time failures; the app is not started
+    /// and no kernel state survives the failure.
     pub fn register(
         &self,
         app: Box<dyn App>,
         manifest: &PermissionSet,
+    ) -> Result<AppId, RegisterError> {
+        self.register_inner(app, manifest, RestartPolicy::Never, None)
+    }
+
+    /// Registers a *restartable* app: `factory` builds a fresh instance for
+    /// the initial start and for every supervised restart after a crash,
+    /// per `policy`. Restarts keep the same [`AppId`] (audit continuity)
+    /// and re-run `on_start` on the fresh instance once the quarantine
+    /// backoff elapses on the virtual clock (see
+    /// [`ShieldedController::advance_clock`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShieldedController::register`].
+    pub fn register_supervised(
+        &self,
+        factory: impl Fn() -> Box<dyn App> + Send + 'static,
+        manifest: &PermissionSet,
+        policy: RestartPolicy,
+    ) -> Result<AppId, RegisterError> {
+        let app = factory();
+        self.register_inner(app, manifest, policy, Some(Box::new(factory)))
+    }
+
+    fn register_inner(
+        &self,
+        app: Box<dyn App>,
+        manifest: &PermissionSet,
+        policy: RestartPolicy,
+        factory: Option<AppFactory>,
     ) -> Result<AppId, RegisterError> {
         let id = AppId(self.next_app.fetch_add(1, Ordering::Relaxed));
         let name = app.name().to_owned();
@@ -261,46 +648,138 @@ impl ShieldedController {
             .map_err(|e| RegisterError::InvalidManifest(e.to_string()))?;
         let missing = self.kernel.missing_tokens(id, &app.required_tokens());
         if !missing.is_empty() {
+            // Roll the registration back: without this the rejected app
+            // would stay resident in the kernel (engine + name) forever.
+            self.kernel.deregister_app(id);
             return Err(RegisterError::MissingTokens(missing));
         }
+        self.supervisor.entries.lock().insert(
+            id,
+            Supervised {
+                name: name.clone(),
+                manifest: manifest.clone(),
+                policy,
+                factory,
+                state: AppState::Running,
+                crashes: 0,
+                restarts: 0,
+            },
+        );
+        match self.spawn_app(id, &name, app) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                // Registration-time startup panic is a registration failure,
+                // not a crash: undo everything.
+                self.kernel.deregister_app(id);
+                self.supervisor.entries.lock().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Spawns the app thread and waits for `on_start` to finish.
+    fn spawn_app(&self, id: AppId, name: &str, app: Box<dyn App>) -> Result<(), RegisterError> {
         let ctx = AppCtx::new(
             id,
             CallRoute::Deputy {
                 tx: self.call_tx.clone(),
                 inflight: Arc::clone(&self.inflight),
+                timeout: self.config.call_timeout,
             },
         );
-        let (tx, rx) = unbounded::<AppMsg>();
+        let queue = Arc::new(AppQueue::new(self.config.app_queue_capacity));
         let (ready_tx, ready_rx) = bounded(1);
         let thread_name = format!("app-{}-{name}", id.0);
-        let inflight = Arc::clone(&self.inflight);
-        let thread = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || app_loop(app, ctx, rx, ready_tx, inflight))
-            .expect("spawn app thread");
+        let thread = {
+            let queue = Arc::clone(&queue);
+            let kernel = Arc::clone(&self.kernel);
+            let dispatcher = Arc::clone(&self.dispatcher);
+            let supervisor = Arc::clone(&self.supervisor);
+            let inflight = Arc::clone(&self.inflight);
+            std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    app_loop(
+                        app, ctx, id, queue, ready_tx, kernel, dispatcher, supervisor, inflight,
+                    )
+                })
+                .expect("spawn app thread")
+        };
         self.dispatcher.apps.lock().insert(
             id,
             AppHandle {
-                name,
-                tx,
+                queue,
                 thread: Some(thread),
             },
         );
         // Wait for on_start so subscriptions exist before events flow.
         if !ready_rx.recv().unwrap_or(false) {
-            self.dispatcher.apps.lock().remove(&id);
+            if let Some(mut handle) = self.dispatcher.apps.lock().remove(&id) {
+                if let Some(t) = handle.thread.take() {
+                    let _ = t.join();
+                }
+            }
             return Err(RegisterError::StartupPanic);
         }
-        Ok(id)
+        Ok(())
     }
 
-    /// The registered name of an app.
-    pub fn app_name(&self, app: AppId) -> Option<String> {
-        self.dispatcher
-            .apps
+    /// Arms a fault-injection plan for an app's mediated calls (the
+    /// deputy-side faults; app-side faults live in the app under test —
+    /// see [`crate::fault`]).
+    pub fn arm_faults(&self, app: AppId, plan: FaultPlan) {
+        self.faults.arm(app, plan);
+    }
+
+    /// The supervisor's view of an app's lifecycle state.
+    pub fn app_state(&self, app: AppId) -> Option<AppState> {
+        self.supervisor
+            .entries
             .lock()
             .get(&app)
-            .map(|h| h.name.clone())
+            .map(|sup| sup.state)
+    }
+
+    /// How many times an app has crashed (any phase).
+    pub fn crash_count(&self, app: AppId) -> u32 {
+        self.supervisor
+            .entries
+            .lock()
+            .get(&app)
+            .map_or(0, |sup| sup.crashes)
+    }
+
+    /// How many restart attempts the supervisor has made for an app.
+    pub fn restart_count(&self, app: AppId) -> u32 {
+        self.supervisor
+            .entries
+            .lock()
+            .get(&app)
+            .map_or(0, |sup| sup.restarts)
+    }
+
+    /// How many dead deputy threads the watchdog has replaced.
+    pub fn deputy_respawns(&self) -> usize {
+        self.pool.respawns.load(Ordering::SeqCst)
+    }
+
+    /// Deputy threads currently alive.
+    pub fn deputies_alive(&self) -> usize {
+        self.pool
+            .handles
+            .lock()
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// The registered name of an app (survives crashes, for forensics).
+    pub fn app_name(&self, app: AppId) -> Option<String> {
+        self.supervisor
+            .entries
+            .lock()
+            .get(&app)
+            .map(|sup| sup.name.clone())
     }
 
     /// Delivers a packet-in to subscribed apps, blocking until every app has
@@ -362,11 +841,64 @@ impl ShieldedController {
         self.dispatcher.dispatch(&self.kernel, events, true);
     }
 
-    /// Advances the virtual clock; flow-removed events dispatch
-    /// synchronously.
+    /// Advances the virtual clock: flow-removed events dispatch
+    /// synchronously, then any quarantined app whose backoff has elapsed is
+    /// restarted.
     pub fn advance_clock(&self, secs: u64) {
         let events = self.kernel.advance_clock(secs);
         self.dispatcher.dispatch(&self.kernel, events, true);
+        self.process_due_restarts();
+    }
+
+    /// Restarts every quarantined app whose backoff deadline has passed.
+    fn process_due_restarts(&self) {
+        loop {
+            let now = self.kernel.now();
+            // Claim one due entry at a time so the entries lock is not held
+            // across the restart itself (on_start runs app code).
+            let due = {
+                let mut entries = self.supervisor.entries.lock();
+                entries.iter_mut().find_map(|(id, sup)| match sup.state {
+                    AppState::Quarantined { until } if until <= now => {
+                        let fresh = sup.factory.as_ref().map(|f| f());
+                        fresh.map(|app| {
+                            sup.state = AppState::Restarting;
+                            sup.restarts += 1;
+                            (*id, sup.name.clone(), sup.manifest.clone(), app)
+                        })
+                    }
+                    _ => None,
+                })
+            };
+            let Some((id, name, manifest, app)) = due else {
+                return;
+            };
+            // The crash reaping removed the app's engine; re-register it.
+            if self.kernel.register_app(id, &name, &manifest).is_err() {
+                if let Some(sup) = self.supervisor.entries.lock().get_mut(&id) {
+                    sup.state = AppState::Stopped;
+                }
+                continue;
+            }
+            match self.spawn_app(id, &name, app) {
+                Ok(()) => {
+                    if let Some(sup) = self.supervisor.entries.lock().get_mut(&id) {
+                        sup.state = AppState::Running;
+                    }
+                }
+                Err(_) => {
+                    // The fresh instance crashed in on_start: that is a
+                    // crash like any other — reap, audit, re-apply policy.
+                    self.kernel.deregister_app(id);
+                    self.kernel.audit_crash(id, "on_start");
+                    let now = self.kernel.now();
+                    if let Some(sup) = self.supervisor.entries.lock().get_mut(&id) {
+                        sup.crashes += 1;
+                        sup.state = sup.state_after_crash(now);
+                    }
+                }
+            }
+        }
     }
 
     /// Stops all app threads and deputies, waiting for them to exit.
@@ -379,7 +911,7 @@ impl ShieldedController {
             let mut apps = self.dispatcher.apps.lock();
             apps.iter_mut()
                 .filter_map(|(_, handle)| {
-                    let _ = handle.tx.send(AppMsg::Stop);
+                    handle.queue.push_stop();
                     handle.thread.take()
                 })
                 .collect()
@@ -387,7 +919,13 @@ impl ShieldedController {
         for t in handles {
             let _ = t.join();
         }
-        let mut deputies = self.deputies.lock();
+        // Stop the watchdog before the deputies, so it does not resurrect
+        // them as they exit.
+        self.pool.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(w) = self.watchdog.lock().take() {
+            let _ = w.join();
+        }
+        let mut deputies = self.pool.handles.lock();
         for _ in deputies.iter() {
             let _ = self.call_tx.send(DeputyRequest::Stop);
         }
@@ -403,42 +941,62 @@ impl Drop for ShieldedController {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn app_loop(
     mut app: Box<dyn App>,
     ctx: AppCtx,
-    rx: Receiver<AppMsg>,
+    id: AppId,
+    queue: Arc<AppQueue>,
     ready: Sender<bool>,
+    kernel: Arc<Kernel>,
+    dispatcher: Arc<Dispatcher>,
+    supervisor: Arc<Supervisor>,
     inflight: Arc<AtomicUsize>,
 ) {
     // Panics inside app code stay inside the app's thread — the isolation
     // property the paper's thread containers provide. A panicking app is
-    // terminated; the controller and its peers keep running.
+    // reaped by the supervisor; the controller and its peers keep running.
     let started = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         app.on_start(&ctx);
     }))
     .is_ok();
     let _ = ready.send(started);
     if !started {
+        // The registration (or restart) path owns the rollback.
         return;
     }
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            AppMsg::Event(event, ack) => {
-                let survived = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    app.on_event(&ctx, &event);
-                }))
-                .is_ok();
-                // Always acknowledge and account, even on a crash, so
-                // synchronous deliveries and quiesce() never wedge.
-                if let Some(ack) = ack {
-                    let _ = ack.send(());
-                }
-                inflight.fetch_sub(1, Ordering::SeqCst);
-                if !survived {
-                    break;
-                }
-            }
-            AppMsg::Stop => break,
+    while let AppMsg::Event(event, ack) = queue.pop() {
+        let survived = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            app.on_event(&ctx, &event);
+        }))
+        .is_ok();
+        // Always acknowledge and account, even on a crash, so synchronous
+        // deliveries and quiesce() never wedge.
+        if let Some(ack) = ack {
+            let _ = ack.send(());
+        }
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        if !survived {
+            drain_queue(&queue, &kernel, id, &inflight, true);
+            handle_crash(&kernel, &dispatcher, &supervisor, id, "on_event");
+            return;
+        }
+    }
+    // Graceful stop: account for anything still queued so quiesce() and
+    // synchronous dispatchers stay accurate.
+    drain_queue(&queue, &kernel, id, &inflight, false);
+}
+
+/// Closes an app queue and acknowledges/uncounts every event left in it.
+/// Crash-time drains additionally audit each discarded event.
+fn drain_queue(queue: &AppQueue, kernel: &Kernel, id: AppId, inflight: &AtomicUsize, audit: bool) {
+    for (_, ack) in queue.close_and_drain() {
+        if let Some(ack) = ack {
+            let _ = ack.send(());
+        }
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        if audit {
+            kernel.audit_dropped(id, "event_discarded_on_crash");
         }
     }
 }
@@ -448,22 +1006,68 @@ fn deputy_loop(
     dispatcher: Arc<Dispatcher>,
     rx: Receiver<DeputyRequest>,
     inflight: Arc<AtomicUsize>,
+    faults: Arc<FaultRegistry>,
 ) {
     while let Ok(req) = rx.recv() {
         let counted = !matches!(req, DeputyRequest::Stop);
         match req {
             DeputyRequest::Call { call, reply } => {
-                let (result, events) = kernel.execute(&call);
-                let _ = reply.send(result);
-                // Derived events (packet-ins from packet-outs, flow-removed
-                // from deletes) dispatch asynchronously: the issuing call
-                // must not block on other apps.
-                dispatcher.dispatch(&kernel, events, false);
+                let fault = faults.deputy_action(call.app);
+                if fault == DeputyFault::KillDeputy {
+                    // The work item must be uncounted before the thread
+                    // dies, or quiesce() would wait for it forever. The
+                    // reply sender drops with the stack, so the caller sees
+                    // an immediate disconnect, and the watchdog respawns
+                    // this deputy.
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    panic!("injected fault: deputy killed");
+                }
+                // The unwind guard is the containment boundary: a call that
+                // panics kernel logic (or an injected fault) poisons that
+                // one call, not the deputy serving it.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if fault == DeputyFault::Panic {
+                        panic!("injected fault: panic during call execution");
+                    }
+                    kernel.execute(&call)
+                }));
+                match outcome {
+                    Ok((result, events)) => {
+                        if fault == DeputyFault::DropReply {
+                            // Keep the sender alive so the caller times out
+                            // rather than seeing a disconnect.
+                            faults.park(Box::new(reply));
+                        } else {
+                            let _ = reply.send(result);
+                        }
+                        // Derived events (packet-ins from packet-outs,
+                        // flow-removed from deletes) dispatch
+                        // asynchronously: the issuing call must not block
+                        // on other apps.
+                        dispatcher.dispatch(&kernel, events, false);
+                    }
+                    Err(_) => {
+                        let _ = reply.send(Err(ApiError::Internal(
+                            "deputy panicked executing the call".into(),
+                        )));
+                    }
+                }
             }
             DeputyRequest::Transaction { app, ops, reply } => {
-                let (result, events) = kernel.execute_transaction(app, &ops);
-                let _ = reply.send(result);
-                dispatcher.dispatch(&kernel, events, false);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    kernel.execute_transaction(app, &ops)
+                }));
+                match outcome {
+                    Ok((result, events)) => {
+                        let _ = reply.send(result);
+                        dispatcher.dispatch(&kernel, events, false);
+                    }
+                    Err(_) => {
+                        let _ = reply.send(Err(ApiError::Internal(
+                            "deputy panicked executing the transaction".into(),
+                        )));
+                    }
+                }
             }
             DeputyRequest::HostSend {
                 app,
@@ -489,5 +1093,109 @@ fn deputy_loop(
         if counted {
             inflight.fetch_sub(1, Ordering::SeqCst);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnshield_netsim::topology::builders;
+
+    fn dead_handle(queue: Arc<AppQueue>) -> AppHandle {
+        AppHandle {
+            queue,
+            thread: None,
+        }
+    }
+
+    #[test]
+    fn app_queue_sheds_oldest_beyond_capacity() {
+        let q = AppQueue::new(2);
+        let ev = |d: &str| Event::TopologyChanged {
+            description: d.into(),
+        };
+        assert!(matches!(q.push_event(ev("a"), None), PushOutcome::Queued));
+        assert!(matches!(q.push_event(ev("b"), None), PushOutcome::Queued));
+        // Full: pushing "c" sheds "a".
+        assert!(matches!(q.push_event(ev("c"), None), PushOutcome::Shed(_)));
+        match q.pop() {
+            AppMsg::Event(Event::TopologyChanged { description }, _) => {
+                assert_eq!(description, "b");
+            }
+            _ => panic!("expected event b"),
+        }
+        match q.pop() {
+            AppMsg::Event(Event::TopologyChanged { description }, _) => {
+                assert_eq!(description, "c");
+            }
+            _ => panic!("expected event c"),
+        }
+    }
+
+    #[test]
+    fn app_queue_delivers_stop_after_drain_then_closes() {
+        let q = AppQueue::new(4);
+        let ev = Event::TopologyChanged {
+            description: "x".into(),
+        };
+        assert!(matches!(
+            q.push_event(ev.clone(), None),
+            PushOutcome::Queued
+        ));
+        q.push_stop();
+        // Events queued before the stop still drain first.
+        assert!(matches!(q.pop(), AppMsg::Event(..)));
+        assert!(matches!(q.pop(), AppMsg::Stop));
+        // After stop, pushes are refused.
+        assert!(matches!(q.push_event(ev, None), PushOutcome::Closed));
+    }
+
+    #[test]
+    fn send_event_to_closed_queue_keeps_inflight_balanced() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Dispatcher::new(Arc::clone(&inflight));
+        let kernel = Kernel::new(Network::new(builders::linear(1), 16), true);
+        let queue = Arc::new(AppQueue::new(4));
+        queue.close_and_drain();
+        dispatcher.apps.lock().insert(AppId(9), dead_handle(queue));
+        let event = Event::TopologyChanged {
+            description: "link flap".into(),
+        };
+        let ack = dispatcher.send_event(&kernel, AppId(9), &event, true);
+        assert!(ack.is_none(), "closed queue must not promise an ack");
+        assert_eq!(
+            inflight.load(Ordering::SeqCst),
+            0,
+            "refused delivery must not leak an in-flight count"
+        );
+    }
+
+    #[test]
+    fn send_event_shed_accounts_and_audits() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let dispatcher = Dispatcher::new(Arc::clone(&inflight));
+        let kernel = Kernel::new(Network::new(builders::linear(1), 16), true);
+        let queue = Arc::new(AppQueue::new(1));
+        dispatcher
+            .apps
+            .lock()
+            .insert(AppId(5), dead_handle(Arc::clone(&queue)));
+        let event = Event::TopologyChanged {
+            description: "e".into(),
+        };
+        // First delivery fills the queue; second sheds the first.
+        let first_ack = dispatcher.send_event(&kernel, AppId(5), &event, true);
+        assert!(first_ack.is_some());
+        let second_ack = dispatcher.send_event(&kernel, AppId(5), &event, true);
+        assert!(second_ack.is_some());
+        // The shed event was acknowledged on the spot...
+        assert!(first_ack.unwrap().try_recv().is_ok());
+        // ...its in-flight count was released (one event remains queued)...
+        assert_eq!(inflight.load(Ordering::SeqCst), 1);
+        // ...and the drop is on the audit trail.
+        let audit = kernel.audit_records();
+        assert!(audit.iter().any(|r| r.app == AppId(5)
+            && r.outcome == crate::audit::AuditOutcome::Dropped
+            && r.operation == "event_shed"));
     }
 }

@@ -340,6 +340,72 @@ impl Kernel {
         events
     }
 
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> u64 {
+        self.state.lock().network.now()
+    }
+
+    /// Reaps every trace of an app from the kernel: its permission engine,
+    /// virtual topology, event and topic subscriptions, open host
+    /// connections, and — via cookie ownership — every flow entry it
+    /// installed on any switch. Called by the supervisor when the app
+    /// crashes (and by registration rollback).
+    ///
+    /// Returns flow-removed events for the reclaimed entries so surviving
+    /// subscribers can react, exactly as they would to a timeout expiry.
+    /// Crash forensics (the app's name, crash counts) live with the
+    /// supervisor, which outlives the kernel-side registration; the removals
+    /// are recorded in the ownership tracker so later reads of the reclaimed
+    /// matches are not misattributed.
+    pub fn deregister_app(&self, app: AppId) -> Vec<OutboundEvent> {
+        let mut st = self.state.lock();
+        st.engines.remove(&app);
+        st.app_names.remove(&app);
+        st.vtopos.remove(&app);
+        for subs in st.subs.values_mut() {
+            subs.retain(|(a, _)| *a != app);
+        }
+        for subs in st.custom_subs.values_mut() {
+            subs.retain(|a| *a != app);
+        }
+        st.host.close_connections(app);
+        let removed = st.network.remove_flows_owned_by(app.0);
+        let mut events = Vec::new();
+        for r in removed {
+            st.tracker.record_expiry(
+                r.dpid,
+                &r.removed.entry.flow_match,
+                r.removed.entry.priority,
+            );
+            events.push(OutboundEvent {
+                event: Event::FlowRemoved {
+                    dpid: r.dpid,
+                    flow_removed: to_flow_removed(&r.removed),
+                },
+            });
+        }
+        events
+    }
+
+    /// Records an app crash in the audit log (`phase` says where it died,
+    /// e.g. `on_event`).
+    pub fn audit_crash(&self, app: AppId, phase: &str) {
+        self.state.lock().audit.record_system(
+            app,
+            &format!("crash:{phase}"),
+            crate::audit::AuditOutcome::Crashed,
+        );
+    }
+
+    /// Records an event discarded before the app saw it (overload shedding
+    /// or crash reaping).
+    pub fn audit_dropped(&self, app: AppId, reason: &str) {
+        self.state
+            .lock()
+            .audit
+            .record_system(app, reason, crate::audit::AuditOutcome::Dropped);
+    }
+
     /// Apps subscribed to an event kind, in delivery order (interceptors
     /// first).
     pub fn subscribers(&self, kind: EventKind) -> Vec<AppId> {

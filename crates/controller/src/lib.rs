@@ -13,7 +13,8 @@
 //! Supporting modules: [`kernel`] (the state owner and check/execute choke
 //! point), [`api`] (typed call/response surface), [`events`], [`hostsys`]
 //! (the simulated host OS that Class-2 attacks exfiltrate through),
-//! [`audit`] (forensic activity log).
+//! [`audit`] (forensic activity log), [`fault`] (the fault-injection harness
+//! driving the crash-containment tests).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +23,7 @@ pub mod api;
 pub mod app;
 pub mod audit;
 pub mod events;
+pub mod fault;
 pub mod hostsys;
 pub mod isolation;
 pub mod kernel;
@@ -30,6 +32,7 @@ pub mod monolithic;
 pub use api::{ApiError, ApiResponse, FlowOp, TopologyView};
 pub use app::{App, AppCtx};
 pub use events::Event;
-pub use isolation::{RegisterError, ShieldedController};
+pub use fault::FaultPlan;
+pub use isolation::{AppState, ControllerConfig, RegisterError, RestartPolicy, ShieldedController};
 pub use kernel::Kernel;
 pub use monolithic::MonolithicController;

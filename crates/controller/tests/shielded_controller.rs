@@ -110,7 +110,9 @@ fn unpermitted_insert_denied_but_app_survives() {
     assert_eq!(c.kernel().flow_count(DatapathId(1)), 0);
     // Audit captured the denials.
     let audit = c.kernel().audit_records();
-    assert!(audit.iter().any(|r| r.token == PermissionToken::InsertFlow));
+    assert!(audit
+        .iter()
+        .any(|r| r.token == Some(PermissionToken::InsertFlow)));
     c.shutdown();
 }
 

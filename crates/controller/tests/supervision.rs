@@ -1,0 +1,436 @@
+//! Crash-containment and supervision tests: a faulty app driven by a
+//! [`FaultPlan`] crashes in every way the fault model (DESIGN.md "Fault
+//! model & supervision") covers, and the supervisor must reap it end-to-end
+//! while the controller and its peer apps keep running.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use sdnshield_apps::attacks::CrasherApp;
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::audit::AuditOutcome;
+use sdnshield_controller::events::Event;
+use sdnshield_controller::{
+    AppState, ControllerConfig, FaultPlan, RegisterError, RestartPolicy, ShieldedController,
+};
+use sdnshield_core::api::EventKind;
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_core::perm::PermissionSet;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_openflow::messages::{PacketIn, PacketInReason};
+use sdnshield_openflow::types::{BufferId, DatapathId, Ipv4, PortNo};
+
+fn controller() -> ShieldedController {
+    ShieldedController::new(Network::new(builders::linear(3), 1024), 4)
+}
+
+fn pi(payload: &'static [u8]) -> PacketIn {
+    PacketIn {
+        buffer_id: BufferId::NO_BUFFER,
+        in_port: PortNo(1),
+        reason: PacketInReason::NoMatch,
+        payload: Bytes::from_static(payload),
+    }
+}
+
+fn manifest(src: &str) -> PermissionSet {
+    parse_manifest(src).unwrap()
+}
+
+/// Crash handling runs on the crashed app's own thread after the delivery
+/// ack, so tests poll for the post-crash state instead of assuming it is
+/// visible the moment the delivery call returns.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        if Instant::now() >= deadline {
+            // Printed directly: several tests suppress the panic hook.
+            eprintln!("timed out waiting for: {what}");
+            panic!("timed out waiting for: {what}");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Silences the expected panic backtraces for the duration of `f`.
+fn with_quiet_panics(f: impl FnOnce()) {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    f();
+    std::panic::set_hook(prev_hook);
+}
+
+/// A well-behaved peer that counts the packet-ins it sees.
+struct Counter {
+    seen: Arc<AtomicUsize>,
+}
+
+impl App for Counter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe(EventKind::PacketIn).unwrap();
+    }
+    fn on_event(&mut self, _ctx: &AppCtx, event: &Event) {
+        if matches!(event, Event::PacketIn { .. }) {
+            self.seen.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[test]
+fn crash_mid_event_reaps_flows_and_audits() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, stats) = CrasherApp::new(FaultPlan::none().panic_on_event(2));
+        let app = app.with_canary_flow(DatapathId(1));
+        let id = c
+            .register(
+                Box::new(app),
+                &manifest("PERM pkt_in_event\nPERM insert_flow"),
+            )
+            .unwrap();
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        assert_eq!(c.kernel().flow_count(DatapathId(1)), 1, "canary in place");
+        c.deliver_packet_in(DatapathId(1), pi(b"y"));
+        // The supervisor reaps the crashed app's flows...
+        wait_until("canary flow reclaimed", || {
+            c.kernel().flow_count(DatapathId(1)) == 0
+        });
+        // ...records the crash on the audit trail...
+        let audit = c.kernel().audit_records();
+        assert!(audit.iter().any(|r| r.app == id
+            && r.outcome == AuditOutcome::Crashed
+            && r.operation == "crash:on_event"));
+        // ...and, under the default never-restart policy, parks it for good.
+        wait_until("app stopped", || c.app_state(id) == Some(AppState::Stopped));
+        assert_eq!(c.crash_count(id), 1);
+        assert_eq!(stats.lock().events_seen, 2);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn crash_removes_subscriptions() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, stats) = CrasherApp::new(FaultPlan::none().panic_on_event(1));
+        let id = c
+            .register(Box::new(app), &manifest("PERM pkt_in_event"))
+            .unwrap();
+        assert!(c.kernel().subscribers(EventKind::PacketIn).contains(&id));
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("subscription dropped", || {
+            !c.kernel().subscribers(EventKind::PacketIn).contains(&id)
+        });
+        // Later events no longer reach the dead app.
+        c.deliver_packet_in(DatapathId(1), pi(b"y"));
+        c.deliver_packet_in(DatapathId(1), pi(b"z"));
+        assert_eq!(stats.lock().events_seen, 1);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn crash_closes_host_connections() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, stats) = CrasherApp::new(FaultPlan::none().panic_on_event(1));
+        let app = app.with_host_conn(Ipv4::new(203, 0, 113, 7), 443);
+        let id = c
+            .register(
+                Box::new(app),
+                &manifest("PERM pkt_in_event\nPERM host_network"),
+            )
+            .unwrap();
+        assert_eq!(stats.lock().conns_opened, 1);
+        assert!(c
+            .kernel()
+            .connections_by(id)
+            .iter()
+            .any(|conn| !conn.closed));
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("host connections closed", || {
+            c.kernel().connections_by(id).iter().all(|conn| conn.closed)
+        });
+        // The connection record survives (forensics), but is dead.
+        assert_eq!(c.kernel().connections_by(id).len(), 1);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn peers_survive_a_crashing_neighbor() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (crasher, _) = CrasherApp::new(FaultPlan::none().panic_on_event(1));
+        c.register(Box::new(crasher), &manifest("PERM pkt_in_event"))
+            .unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        c.register(
+            Box::new(Counter {
+                seen: Arc::clone(&seen),
+            }),
+            &manifest("PERM pkt_in_event"),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        }
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            3,
+            "peer must see every event despite the neighbor crashing"
+        );
+        c.shutdown();
+    });
+}
+
+#[test]
+fn restart_policy_backs_off_exponentially_then_gives_up() {
+    with_quiet_panics(|| {
+        let c = controller();
+        // Every incarnation crashes on its first event.
+        let (template, stats) = CrasherApp::new(FaultPlan::none().panic_on_event(1));
+        let id = c
+            .register_supervised(
+                move || Box::new(template.clone_fresh()),
+                &manifest("PERM pkt_in_event"),
+                RestartPolicy::UpTo {
+                    max_restarts: 2,
+                    backoff_base_secs: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(c.app_state(id), Some(AppState::Running));
+
+        // Crash 1 at t=0: quarantined until t=4 (base * 2^0).
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("first quarantine", || {
+            c.app_state(id) == Some(AppState::Quarantined { until: 4 })
+        });
+        c.advance_clock(3);
+        assert_eq!(
+            c.app_state(id),
+            Some(AppState::Quarantined { until: 4 }),
+            "backoff must not release early"
+        );
+        c.advance_clock(1);
+        assert_eq!(c.app_state(id), Some(AppState::Running));
+        assert_eq!(c.restart_count(id), 1);
+        assert_eq!(stats.lock().starts, 2, "fresh instance re-ran on_start");
+
+        // Crash 2 at t=4: quarantined until t=12 (base * 2^1).
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("second quarantine", || {
+            c.app_state(id) == Some(AppState::Quarantined { until: 12 })
+        });
+        c.advance_clock(8);
+        assert_eq!(c.app_state(id), Some(AppState::Running));
+        assert_eq!(c.restart_count(id), 2);
+
+        // Crash 3: the restart budget is exhausted.
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("terminal stop", || {
+            c.app_state(id) == Some(AppState::Stopped)
+        });
+        c.advance_clock(100);
+        assert_eq!(c.app_state(id), Some(AppState::Stopped));
+        assert_eq!(c.crash_count(id), 3);
+        assert_eq!(stats.lock().starts, 3);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn quiesce_timeout_returns_while_an_app_stalls() {
+    let c = controller();
+    let (app, stats) =
+        CrasherApp::new(FaultPlan::none().stall_on_event(1, Duration::from_millis(200)));
+    c.register(Box::new(app), &manifest("PERM pkt_in_event"))
+        .unwrap();
+    c.deliver_packet_in_nowait(DatapathId(1), pi(b"x"));
+    // The app is asleep inside on_event: a bounded wait reports the truth
+    // instead of spinning forever.
+    assert!(
+        !c.quiesce_timeout(Duration::from_millis(30)),
+        "controller cannot be quiescent while an app stalls"
+    );
+    // Once the stall ends the same controller drains normally.
+    c.quiesce();
+    assert_eq!(stats.lock().events_seen, 1);
+    c.shutdown();
+}
+
+#[test]
+fn deputy_panic_poisons_the_call_not_the_deputy() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, stats) = CrasherApp::new(FaultPlan::none());
+        let app = app.with_canary_flow(DatapathId(1));
+        let id = c
+            .register(
+                Box::new(app),
+                &manifest("PERM pkt_in_event\nPERM insert_flow"),
+            )
+            .unwrap();
+        // Armed after registration, so on_start's calls are not counted:
+        // the next mediated call (the per-event canary insert) is the one
+        // that panics inside the deputy.
+        c.arm_faults(id, FaultPlan::none().panic_in_deputy(1));
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        let err = stats.lock().last_call_error.clone();
+        assert!(
+            err.as_deref()
+                .unwrap_or("")
+                .contains("internal controller fault"),
+            "app must see ApiError::Internal, got {err:?}"
+        );
+        // The fault was contained to the call: no deputy died.
+        assert_eq!(c.deputy_respawns(), 0);
+        assert_eq!(c.deputies_alive(), 4);
+        // The next call on the same controller succeeds.
+        c.deliver_packet_in(DatapathId(1), pi(b"y"));
+        assert_eq!(c.kernel().flow_count(DatapathId(1)), 1);
+        assert_eq!(stats.lock().events_seen, 2);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn watchdog_respawns_a_killed_deputy() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, _stats) = CrasherApp::new(FaultPlan::none());
+        let app = app.with_canary_flow(DatapathId(1));
+        let id = c
+            .register(
+                Box::new(app),
+                &manifest("PERM pkt_in_event\nPERM insert_flow"),
+            )
+            .unwrap();
+        c.arm_faults(id, FaultPlan::none().kill_deputy(1));
+        c.deliver_packet_in(DatapathId(1), pi(b"x"));
+        wait_until("watchdog replaced the dead deputy", || {
+            c.deputy_respawns() >= 1 && c.deputies_alive() == 4
+        });
+        // The pool is whole again: calls flow.
+        c.deliver_packet_in(DatapathId(1), pi(b"y"));
+        assert_eq!(c.kernel().flow_count(DatapathId(1)), 1);
+        c.shutdown();
+    });
+}
+
+#[test]
+fn dropped_reply_surfaces_as_timeout_not_hang() {
+    let c = ShieldedController::new_with_config(
+        Network::new(builders::linear(3), 1024),
+        ControllerConfig {
+            num_deputies: 4,
+            call_timeout: Duration::from_millis(50),
+            ..ControllerConfig::default()
+        },
+    );
+    let (app, stats) = CrasherApp::new(FaultPlan::none());
+    let app = app.with_canary_flow(DatapathId(1));
+    let id = c
+        .register(
+            Box::new(app),
+            &manifest("PERM pkt_in_event\nPERM insert_flow"),
+        )
+        .unwrap();
+    c.arm_faults(id, FaultPlan::none().drop_reply(1));
+    let started = Instant::now();
+    c.deliver_packet_in(DatapathId(1), pi(b"x"));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a swallowed reply must be bounded by the call timeout"
+    );
+    let err = stats.lock().last_call_error.clone();
+    assert!(
+        err.as_deref().unwrap_or("").contains("timed out"),
+        "app must see ApiError::Timeout, got {err:?}"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn overload_sheds_oldest_events_and_audits_them() {
+    let c = ShieldedController::new_with_config(
+        Network::new(builders::linear(3), 1024),
+        ControllerConfig {
+            num_deputies: 4,
+            app_queue_capacity: 4,
+            ..ControllerConfig::default()
+        },
+    );
+    let (app, stats) =
+        CrasherApp::new(FaultPlan::none().stall_on_event(1, Duration::from_millis(100)));
+    let id = c
+        .register(Box::new(app), &manifest("PERM pkt_in_event"))
+        .unwrap();
+    // Let the first event begin its stall, then flood the stalled app.
+    c.deliver_packet_in_nowait(DatapathId(1), pi(b"x"));
+    wait_until("stall entered", || stats.lock().events_seen == 1);
+    for _ in 0..20 {
+        c.deliver_packet_in_nowait(DatapathId(1), pi(b"y"));
+    }
+    c.quiesce();
+    let seen = stats.lock().events_seen;
+    assert!(
+        seen < 21,
+        "a bounded queue cannot deliver all 21 events ({seen} seen)"
+    );
+    let shed = c
+        .kernel()
+        .audit_records()
+        .iter()
+        .filter(|r| {
+            r.app == id && r.outcome == AuditOutcome::Dropped && r.operation == "event_shed"
+        })
+        .count() as u64;
+    assert!(shed >= 1, "shed events must be audited");
+    // Accounting closes: every flooded event was either delivered or shed.
+    assert_eq!(seen + shed, 21);
+    c.shutdown();
+}
+
+#[test]
+fn rejected_registration_leaves_no_kernel_state() {
+    let c = controller();
+    // Requires insert_flow (canary) but the manifest only grants pkt_in.
+    let (app, _stats) = CrasherApp::new(FaultPlan::none());
+    let app = app.with_canary_flow(DatapathId(1));
+    let err = c
+        .register(Box::new(app), &manifest("PERM pkt_in_event"))
+        .unwrap_err();
+    assert!(matches!(err, RegisterError::MissingTokens(_)));
+    // The rejected app must not stay resident in the kernel.
+    assert!(
+        c.kernel().app_name(sdnshield_core::api::AppId(1)).is_none(),
+        "rejected registration leaked kernel state"
+    );
+    assert!(c.kernel().subscribers(EventKind::PacketIn).is_empty());
+    c.shutdown();
+}
+
+#[test]
+fn startup_panic_leaves_no_kernel_state() {
+    with_quiet_panics(|| {
+        let c = controller();
+        let (app, stats) = CrasherApp::new(FaultPlan::none().panic_on_start());
+        let err = c
+            .register(Box::new(app), &manifest("PERM pkt_in_event"))
+            .unwrap_err();
+        assert_eq!(err, RegisterError::StartupPanic);
+        assert_eq!(stats.lock().starts, 1);
+        assert!(c.kernel().app_name(sdnshield_core::api::AppId(1)).is_none());
+        assert!(c.kernel().subscribers(EventKind::PacketIn).is_empty());
+        assert_eq!(c.app_state(sdnshield_core::api::AppId(1)), None);
+        c.shutdown();
+    });
+}

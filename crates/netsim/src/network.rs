@@ -128,6 +128,21 @@ impl Network {
         removed
     }
 
+    /// Removes, from every switch, all flow entries whose cookie carries the
+    /// given owner id. Used to reclaim a crashed app's rules.
+    pub fn remove_flows_owned_by(&mut self, owner: u16) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        for (dpid, sw) in &mut self.switches {
+            for r in sw.remove_owned_by(owner) {
+                removed.push(RemovedFlow {
+                    dpid: *dpid,
+                    removed: r,
+                });
+            }
+        }
+        removed
+    }
+
     /// Read access to one switch.
     pub fn switch(&self, dpid: DatapathId) -> Option<&SimSwitch> {
         self.switches.get(&dpid)

@@ -63,6 +63,11 @@ impl SimSwitch {
         self.table.expire(now)
     }
 
+    /// Removes every entry owned (via cookie) by the given app id.
+    pub fn remove_owned_by(&mut self, owner: u16) -> Vec<RemovedEntry> {
+        self.table.remove_owned_by(owner)
+    }
+
     /// Processes a frame arriving on `in_port` at time `now`.
     pub fn process(&mut self, in_port: PortNo, frame: &EthernetFrame, now: u64) -> Forwarding {
         let len = frame.to_bytes().len();

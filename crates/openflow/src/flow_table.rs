@@ -235,6 +235,12 @@ impl FlowTable {
         removed
     }
 
+    /// Removes every entry whose cookie carries the given owner id. Used to
+    /// reclaim a crashed app's rules without knowing its matches.
+    pub fn remove_owned_by(&mut self, owner: u16) -> Vec<RemovedEntry> {
+        self.remove_where(|e| e.cookie.owner() == owner)
+    }
+
     /// Looks up the highest-priority entry matching the frame and updates its
     /// counters. Returns a clone of the matched entry.
     pub fn lookup(
