@@ -85,5 +85,47 @@ fn bench_deputies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_apps, bench_complexity, bench_deputies);
+fn bench_deputy_throughput(c: &mut Criterion) {
+    // The multi-deputy path end-to-end: pipelined (nowait) delivery keeps
+    // every deputy busy, unlike the blocking per-event loops above which
+    // serialize at the driver.
+    let mut group = c.benchmark_group("fig8_deputy_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    const BATCH: usize = 256;
+    for deputies in [1usize, 2, 4, 8] {
+        let controller = caller_scenario(Arch::Shielded, 4, 4, deputies);
+        let mut gen = traffic(4, 24);
+        for _ in 0..32 {
+            let (dpid, pi) = gen.next_packet_in();
+            controller.deliver_packet_in_nowait(dpid, pi);
+        }
+        controller.quiesce();
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", deputies),
+            &deputies,
+            |b, _| {
+                b.iter(|| {
+                    for _ in 0..BATCH {
+                        let (dpid, pi) = gen.next_packet_in();
+                        controller.deliver_packet_in_nowait(dpid, pi);
+                    }
+                    controller.quiesce();
+                })
+            },
+        );
+        controller.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_apps,
+    bench_complexity,
+    bench_deputies,
+    bench_deputy_throughput
+);
 criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Figure 9: mediated-call throughput vs deputy count on the decomposed
+//! (shard-locked) kernel — the paper's §IX-B2 claim that stateless
+//! permission checks "scale out across deputy threads", measurable now that
+//! the single global kernel lock is gone.
+//!
+//! Emits a machine-readable `BENCH_fig9.json` next to the table so later
+//! PRs have a throughput baseline to compare against.
+//!
+//! Run with: `cargo run --release -p sdnshield-bench --bin fig9_table`
+//! (`--fast` shrinks the batches for CI smoke runs).
+
+use std::fmt::Write as _;
+use std::fs;
+
+use sdnshield_bench::contention::{ContentionHarness, Workload};
+
+const DEPUTIES: [usize; 4] = [1, 2, 4, 8];
+
+fn measure(calls_per_deputy: usize, reps: usize) -> Vec<(Workload, Vec<(usize, f64)>)> {
+    let mut out = Vec::new();
+    for workload in Workload::ALL {
+        let harness = ContentionHarness::new();
+        harness.run_batch(2, calls_per_deputy.min(512), workload); // warmup
+        let mut rows = Vec::new();
+        for &deputies in &DEPUTIES {
+            // Best of `reps` batches: contention benches are noisy and the
+            // max is the least-perturbed observation.
+            let best = (0..reps)
+                .map(|_| harness.throughput(deputies, calls_per_deputy, workload))
+                .fold(f64::MIN, f64::max);
+            rows.push((deputies, best));
+        }
+        out.push((workload, rows));
+    }
+    out
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn to_json(results: &[(Workload, Vec<(usize, f64)>)], calls_per_deputy: usize) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig9_contention\",\n");
+    s.push_str("  \"unit\": \"calls_per_sec\",\n");
+    let _ = writeln!(s, "  \"host_parallelism\": {parallelism},");
+    let _ = writeln!(s, "  \"calls_per_deputy\": {calls_per_deputy},");
+    s.push_str("  \"workloads\": {\n");
+    for (wi, (workload, rows)) in results.iter().enumerate() {
+        let _ = writeln!(s, "    \"{}\": {{", workload.label());
+        for (ri, (deputies, cps)) in rows.iter().enumerate() {
+            let comma = if ri + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(s, "      \"{deputies}\": {cps:.0}{comma}");
+        }
+        let comma = if wi + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  },\n");
+    let speedup = speedup_mixed_4_vs_1(results);
+    let _ = writeln!(s, "  \"speedup_mixed_4_vs_1\": {speedup:.2}");
+    s.push_str("}\n");
+    s
+}
+
+fn speedup_mixed_4_vs_1(results: &[(Workload, Vec<(usize, f64)>)]) -> f64 {
+    let mixed = results
+        .iter()
+        .find(|(w, _)| *w == Workload::Mixed)
+        .map(|(_, rows)| rows)
+        .expect("mixed workload measured");
+    let at = |d: usize| {
+        mixed
+            .iter()
+            .find(|(dep, _)| *dep == d)
+            .map(|(_, cps)| *cps)
+            .expect("deputy count measured")
+    };
+    at(4) / at(1)
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (calls, reps) = if fast { (2_000, 2) } else { (20_000, 5) };
+
+    println!("Figure 9 — kernel call throughput vs deputies (best of {reps} batches)\n");
+    let results = measure(calls, reps);
+    println!(
+        "{:<10} {:>10} {:>16} {:>12}",
+        "workload", "deputies", "calls/sec", "vs 1 deputy"
+    );
+    for (workload, rows) in &results {
+        let base = rows[0].1;
+        for (deputies, cps) in rows {
+            println!(
+                "{:<10} {:>10} {:>16.0} {:>11.2}x",
+                workload.label(),
+                deputies,
+                cps,
+                cps / base
+            );
+        }
+    }
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = speedup_mixed_4_vs_1(&results);
+    println!("\nhost parallelism: {parallelism} hardware threads");
+    println!("mixed-workload speedup 4 vs 1 deputies: {speedup:.2}x");
+    if parallelism < 4 {
+        println!(
+            "note: scaling cannot materialize below 4 hardware threads; the\n\
+             tier-2 test `four_deputies_beat_one_by_1_5x` asserts the >=1.5x\n\
+             bar on capable hosts (cargo test -- --ignored)."
+        );
+    }
+
+    let json = to_json(&results, calls);
+    fs::write("BENCH_fig9.json", &json).expect("write BENCH_fig9.json");
+    println!("\nwrote BENCH_fig9.json");
+}

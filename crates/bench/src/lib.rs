@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod contention;
 pub mod fig5;
 pub mod scenario;
 pub mod stats;

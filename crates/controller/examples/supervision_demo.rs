@@ -131,7 +131,7 @@ fn main() {
     let delivered = seen.load(Ordering::SeqCst) - before;
     let shed = c
         .kernel()
-        .audit_records()
+        .audit_records_since(0)
         .iter()
         .filter(|r| r.operation == "event_shed")
         .count();

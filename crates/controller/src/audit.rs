@@ -1,9 +1,23 @@
 //! Activity logging for forensic analysis (paper §VII scenario 2: "the
 //! SDNShield can provide activity logging, which enables forensic analysis
 //! after the attack happens").
+//!
+//! # Concurrency
+//!
+//! The log is internally segmented so concurrent deputies appending records
+//! never serialize on one lock: a sequence number is allocated from an
+//! atomic counter and the record lands in segment `seq % N`, each segment
+//! behind its own mutex. Appends therefore take `&self` and contend only
+//! 1/N of the time. Readers use [`AuditLog::records_since`] as an
+//! incremental cursor instead of cloning the whole log: it returns the
+//! *contiguous* run of records after the cursor, so a record whose append
+//! is still in flight (sequence allocated, segment push pending) is never
+//! skipped — it is simply returned by a later call.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
 use sdnshield_core::api::AppId;
 use sdnshield_core::token::PermissionToken;
 
@@ -56,29 +70,60 @@ impl fmt::Display for AuditRecord {
     }
 }
 
-/// An append-only in-memory audit log with bounded retention.
-#[derive(Debug)]
-pub struct AuditLog {
+/// Records per segment that justify splitting the log; below this a single
+/// segment keeps small logs' retention behavior simple and exact.
+const SEGMENT_TARGET: usize = 8_192;
+/// Upper bound on segments (append shards).
+const MAX_SEGMENTS: usize = 8;
+
+#[derive(Default)]
+struct Segment {
     records: Vec<AuditRecord>,
-    capacity: usize,
-    next_seq: u64,
     dropped: u64,
 }
 
+/// An append-only, internally synchronized audit log with bounded retention.
+///
+/// Appends take `&self`; multiple deputy threads write concurrently.
+pub struct AuditLog {
+    segments: Vec<Mutex<Segment>>,
+    per_segment_capacity: usize,
+    capacity: usize,
+    /// Last allocated sequence number (records are 1-based).
+    next_seq: AtomicU64,
+    /// Highest sequence number evicted by retention; readers report only
+    /// records beyond this floor.
+    evicted_through: AtomicU64,
+}
+
+impl fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("capacity", &self.capacity)
+            .field("segments", &self.segments.len())
+            .field("seen", &self.next_seq.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
 impl AuditLog {
-    /// A log retaining at most `capacity` recent records.
+    /// A log retaining at most (about) `capacity` recent records.
     pub fn new(capacity: usize) -> Self {
+        let num_segments = (capacity / SEGMENT_TARGET).clamp(1, MAX_SEGMENTS);
         AuditLog {
-            records: Vec::new(),
+            segments: (0..num_segments)
+                .map(|_| Mutex::new(Segment::default()))
+                .collect(),
+            per_segment_capacity: (capacity / num_segments).max(1),
             capacity,
-            next_seq: 0,
-            dropped: 0,
+            next_seq: AtomicU64::new(0),
+            evicted_through: AtomicU64::new(0),
         }
     }
 
     /// Appends a record for a permission-mediated call.
     pub fn record(
-        &mut self,
+        &self,
         app: AppId,
         operation: &str,
         token: PermissionToken,
@@ -88,26 +133,31 @@ impl AuditLog {
     }
 
     /// Appends a supervisor record (crash, shed event) with no token.
-    pub fn record_system(&mut self, app: AppId, operation: &str, outcome: AuditOutcome) {
+    pub fn record_system(&self, app: AppId, operation: &str, outcome: AuditOutcome) {
         self.push(app, operation, None, outcome);
     }
 
     fn push(
-        &mut self,
+        &self,
         app: AppId,
         operation: &str,
         token: Option<PermissionToken>,
         outcome: AuditOutcome,
     ) {
-        self.next_seq += 1;
-        if self.records.len() >= self.capacity {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut seg = self.segments[(seq as usize - 1) % self.segments.len()].lock();
+        if seg.records.len() >= self.per_segment_capacity {
             // Keep the newest half to amortize the shift.
-            let keep_from = self.records.len() / 2;
-            self.dropped += keep_from as u64;
-            self.records.drain(..keep_from);
+            let keep_from = seg.records.len() / 2;
+            if keep_from > 0 {
+                seg.dropped += keep_from as u64;
+                let floor = seg.records[keep_from - 1].seq;
+                seg.records.drain(..keep_from);
+                self.evicted_through.fetch_max(floor, Ordering::SeqCst);
+            }
         }
-        self.records.push(AuditRecord {
-            seq: self.next_seq,
+        seg.records.push(AuditRecord {
+            seq,
             app,
             operation: operation.to_owned(),
             token,
@@ -115,25 +165,61 @@ impl AuditLog {
         });
     }
 
-    /// All retained records, oldest first.
-    pub fn records(&self) -> &[AuditRecord] {
-        &self.records
+    /// All retained records, oldest first (a snapshot; see
+    /// [`AuditLog::records_since`] for incremental reads).
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records_since(0)
     }
 
-    /// Records for one app.
-    pub fn records_by(&self, app: AppId) -> impl Iterator<Item = &AuditRecord> {
-        self.records.iter().filter(move |r| r.app == app)
+    /// Records with sequence number greater than `since`, oldest first —
+    /// the incremental-reader path. Returns the contiguous run starting at
+    /// the cursor (or at the retention floor, whichever is higher): records
+    /// whose append is still in flight on another thread are deferred to a
+    /// later call rather than skipped, so a reader that advances its cursor
+    /// to the last returned `seq` sees every record exactly once.
+    pub fn records_since(&self, since: u64) -> Vec<AuditRecord> {
+        let floor = since.max(self.evicted_through.load(Ordering::SeqCst));
+        let mut out: Vec<AuditRecord> = Vec::new();
+        for seg in &self.segments {
+            let seg = seg.lock();
+            out.extend(seg.records.iter().filter(|r| r.seq > floor).cloned());
+        }
+        out.sort_by_key(|r| r.seq);
+        // Truncate at the first gap: a missing seq means an append between
+        // counter allocation and segment insertion is still in flight.
+        let keep = out
+            .iter()
+            .zip(floor + 1..)
+            .take_while(|(r, expected)| r.seq == *expected)
+            .count();
+        out.truncate(keep);
+        out
+    }
+
+    /// Records for one app (snapshot).
+    pub fn records_by(&self, app: AppId) -> Vec<AuditRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.app == app)
+            .collect()
     }
 
     /// Denied calls for one app — the forensic signal of an attack attempt.
-    pub fn denials_by(&self, app: AppId) -> impl Iterator<Item = &AuditRecord> {
+    pub fn denials_by(&self, app: AppId) -> Vec<AuditRecord> {
         self.records_by(app)
+            .into_iter()
             .filter(|r| r.outcome == AuditOutcome::Denied)
+            .collect()
     }
 
     /// Number of records evicted by retention so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.segments.iter().map(|s| s.lock().dropped).sum()
+    }
+
+    /// Total records ever appended (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst)
     }
 }
 
@@ -149,7 +235,7 @@ mod tests {
 
     #[test]
     fn records_and_queries() {
-        let mut log = AuditLog::new(100);
+        let log = AuditLog::new(100);
         log.record(
             AppId(1),
             "insert_flow",
@@ -169,15 +255,15 @@ mod tests {
             AuditOutcome::Failed,
         );
         assert_eq!(log.records().len(), 3);
-        assert_eq!(log.records_by(AppId(1)).count(), 2);
-        assert_eq!(log.denials_by(AppId(2)).count(), 1);
-        assert_eq!(log.denials_by(AppId(1)).count(), 0);
+        assert_eq!(log.records_by(AppId(1)).len(), 2);
+        assert_eq!(log.denials_by(AppId(2)).len(), 1);
+        assert_eq!(log.denials_by(AppId(1)).len(), 0);
         assert_eq!(log.records()[0].seq, 1);
     }
 
     #[test]
     fn retention_evicts_oldest() {
-        let mut log = AuditLog::new(4);
+        let log = AuditLog::new(4);
         for i in 0..10 {
             log.record(
                 AppId(1),
@@ -194,7 +280,7 @@ mod tests {
 
     #[test]
     fn dropped_counter_is_exact() {
-        let mut log = AuditLog::new(4);
+        let log = AuditLog::new(4);
         for i in 0..4 {
             log.record(
                 AppId(1),
@@ -224,17 +310,77 @@ mod tests {
             AuditOutcome::Allowed,
         );
         assert_eq!(log.records().len() as u64 + log.dropped(), 6);
+        assert_eq!(log.seen(), 6);
     }
 
     #[test]
     fn system_records_have_no_token() {
-        let mut log = AuditLog::new(10);
+        let log = AuditLog::new(10);
         log.record_system(AppId(7), "crash:on_event", AuditOutcome::Crashed);
         log.record_system(AppId(7), "event_shed", AuditOutcome::Dropped);
-        let recs: Vec<_> = log.records_by(AppId(7)).collect();
+        let recs = log.records_by(AppId(7));
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|r| r.token.is_none()));
         assert_eq!(recs[0].outcome, AuditOutcome::Crashed);
         assert!(recs[0].to_string().contains("[-]"));
+    }
+
+    #[test]
+    fn records_since_is_an_exactly_once_cursor() {
+        let log = AuditLog::new(1024);
+        for i in 0..5 {
+            log.record(
+                AppId(1),
+                &format!("op{i}"),
+                PermissionToken::ReadStatistics,
+                AuditOutcome::Allowed,
+            );
+        }
+        let first = log.records_since(0);
+        assert_eq!(first.len(), 5);
+        let cursor = first.last().unwrap().seq;
+        assert!(log.records_since(cursor).is_empty());
+        for i in 5..8 {
+            log.record(
+                AppId(1),
+                &format!("op{i}"),
+                PermissionToken::ReadStatistics,
+                AuditOutcome::Allowed,
+            );
+        }
+        let next = log.records_since(cursor);
+        assert_eq!(
+            next.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_keep_sequences_unique_and_complete() {
+        use std::sync::Arc;
+        let log = Arc::new(AuditLog::default());
+        let threads = 8;
+        let per_thread = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        log.record(
+                            AppId(t as u16),
+                            &format!("op{i}"),
+                            PermissionToken::ReadStatistics,
+                            AuditOutcome::Allowed,
+                        );
+                    }
+                });
+            }
+        });
+        let recs = log.records();
+        assert_eq!(recs.len(), (threads as u64 * per_thread) as usize);
+        // Sorted, unique, gap-free sequence numbers.
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
     }
 }

@@ -1193,7 +1193,7 @@ mod tests {
         // ...its in-flight count was released (one event remains queued)...
         assert_eq!(inflight.load(Ordering::SeqCst), 1);
         // ...and the drop is on the audit trail.
-        let audit = kernel.audit_records();
+        let audit = kernel.audit_records_since(0);
         assert!(audit.iter().any(|r| r.app == AppId(5)
             && r.outcome == crate::audit::AuditOutcome::Dropped
             && r.operation == "event_shed"));

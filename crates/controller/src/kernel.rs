@@ -7,12 +7,41 @@
 //! are disabled — the monolithic baseline), executes it, records the outcome
 //! in the audit log, and returns any events the execution generated for the
 //! dispatcher to deliver.
+//!
+//! # Concurrency
+//!
+//! There is no kernel-wide lock. State is decomposed into independently
+//! synchronized subsystems so concurrent deputies contend only where they
+//! genuinely share data (paper §IX-B2: permission engines are stateless per
+//! call and scale out across deputy threads):
+//!
+//! * **registry** (`RwLock`): engines, app names, virtual topologies.
+//!   Read-mostly — written only at register/deregister time. The permission
+//!   check clones an `Arc<PermissionEngine>` out of a read guard and runs
+//!   against the tracker's read lock: no exclusive kernel lock anywhere on
+//!   the check path.
+//! * **network**: internally sharded by `netsim` — per-switch mutexes, an
+//!   `RwLock` topology, an atomic clock. Flow-mods on distinct datapaths
+//!   take distinct locks.
+//! * **tracker** (`RwLock`): ownership/quota state read by checks, written
+//!   after successful flow-mods.
+//! * **audit**: internally segmented, lock-free sequence allocation;
+//!   appends never serialize deputies on one mutex.
+//! * **subs**, **host**, **host_inbox**: small independent locks.
+//!
+//! Lock-ordering hierarchy (a thread may only acquire downward, and the
+//! code never holds two of these at once except Registry→Topology inside
+//! `topology_view_for`): Registry → Subs → Tracker → Topology →
+//! Switch(ascending dpid, one at a time) → Host → HostInbox. See
+//! DESIGN.md "Locking hierarchy & scaling" for the rationale and the
+//! relaxations this buys (check-then-apply quota overshoot, cross-thread
+//! audit ordering).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
 use sdnshield_core::engine::{Decision, OwnershipTracker, PermissionEngine};
@@ -38,34 +67,43 @@ pub struct OutboundEvent {
     pub event: Event,
 }
 
+/// Read-mostly app registry: written only at register/deregister time, read
+/// on every checked call.
+#[derive(Default)]
+struct Registry {
+    engines: HashMap<AppId, Arc<PermissionEngine>>,
+    /// App names for diagnostics.
+    app_names: HashMap<AppId, String>,
+    /// Per-app virtual topology mappers (apps granted a VIRTUAL filter).
+    vtopos: HashMap<AppId, Arc<VirtualTopology>>,
+}
+
+/// Event routing state.
+#[derive(Default)]
+struct Subscriptions {
+    /// Event subscriptions by kind: (app, intercepts) in delivery order,
+    /// interceptors first.
+    by_kind: BTreeMap<&'static str, Vec<(AppId, bool)>>,
+    /// Custom-topic subscriptions (service apps, e.g. ALTO).
+    custom: BTreeMap<String, Vec<AppId>>,
+}
+
 /// The kernel: shared, internally synchronized controller state.
 pub struct Kernel {
-    state: Mutex<KernelState>,
+    registry: RwLock<Registry>,
+    subs: RwLock<Subscriptions>,
+    tracker: RwLock<OwnershipTracker>,
+    network: Network,
+    host: Mutex<HostSystem>,
+    /// Frames delivered to host NICs, for data-plane observation in tests.
+    host_inbox: Mutex<BTreeMap<EthAddr, Vec<EthernetFrame>>>,
+    audit: AuditLog,
     /// Whether permission checks run (false = monolithic baseline).
     checks_enabled: bool,
     /// CBench mode: packet-outs are permission-checked and counted but not
     /// walked through the simulated data plane (emulated benchmark switches
     /// absorb them, exactly like CBench's fake switches).
     absorb_packet_outs: std::sync::atomic::AtomicBool,
-}
-
-struct KernelState {
-    network: Network,
-    tracker: OwnershipTracker,
-    engines: HashMap<AppId, Arc<PermissionEngine>>,
-    /// App names for diagnostics.
-    app_names: HashMap<AppId, String>,
-    /// Per-app virtual topology mappers (apps granted a VIRTUAL filter).
-    vtopos: HashMap<AppId, Arc<VirtualTopology>>,
-    /// Event subscriptions by kind: (app, intercepts) in delivery order,
-    /// interceptors first.
-    subs: BTreeMap<&'static str, Vec<(AppId, bool)>>,
-    /// Custom-topic subscriptions (service apps, e.g. ALTO).
-    custom_subs: BTreeMap<String, Vec<AppId>>,
-    host: HostSystem,
-    audit: AuditLog,
-    /// Frames delivered to host NICs, for data-plane observation in tests.
-    host_inbox: BTreeMap<EthAddr, Vec<EthernetFrame>>,
 }
 
 fn kind_key(kind: EventKind) -> &'static str {
@@ -85,18 +123,13 @@ impl Kernel {
     /// the paper compares against.
     pub fn new(network: Network, checks_enabled: bool) -> Self {
         Kernel {
-            state: Mutex::new(KernelState {
-                network,
-                tracker: OwnershipTracker::new(),
-                engines: HashMap::new(),
-                app_names: HashMap::new(),
-                vtopos: HashMap::new(),
-                subs: BTreeMap::new(),
-                custom_subs: BTreeMap::new(),
-                host: HostSystem::new(),
-                audit: AuditLog::default(),
-                host_inbox: BTreeMap::new(),
-            }),
+            registry: RwLock::new(Registry::default()),
+            subs: RwLock::new(Subscriptions::default()),
+            tracker: RwLock::new(OwnershipTracker::new()),
+            network,
+            host: Mutex::new(HostSystem::new()),
+            host_inbox: Mutex::new(BTreeMap::new()),
+            audit: AuditLog::default(),
             checks_enabled,
             absorb_packet_outs: std::sync::atomic::AtomicBool::new(false),
         }
@@ -106,6 +139,16 @@ impl Kernel {
     pub fn set_absorb_packet_outs(&self, absorb: bool) {
         self.absorb_packet_outs
             .store(absorb, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The permission engine for an app, if registered.
+    fn engine_for(&self, app: AppId) -> Option<Arc<PermissionEngine>> {
+        self.registry.read().engines.get(&app).cloned()
+    }
+
+    /// The virtual-topology mapper for an app, if granted one.
+    fn vtopo_for(&self, app: AppId) -> Option<Arc<VirtualTopology>> {
+        self.registry.read().vtopos.get(&app).cloned()
     }
 
     /// Registers an app's reconciled manifest, compiling its permission
@@ -121,28 +164,32 @@ impl Kernel {
         name: &str,
         manifest: &PermissionSet,
     ) -> Result<(), ApiError> {
-        let mut st = self.state.lock();
         let engine = PermissionEngine::compile(manifest);
         // Materialize a virtual topology if the visible_topology filter
-        // carries a VIRTUAL spec.
+        // carries a VIRTUAL spec — built before the registry write lock is
+        // taken, so registration never holds Registry across topology reads.
+        let mut vtopo = None;
         if let Some(filter) = engine.filter_for(PermissionToken::VisibleTopology) {
             if let Some(spec) = find_vtopo_spec(filter) {
-                let phys = phys_view(&st.network);
+                let phys = phys_view(&self.network);
                 let vt = VirtualTopology::build(&spec, &phys)
                     .map_err(|e| ApiError::Vtopo(e.to_string()))?;
-                st.vtopos.insert(app, Arc::new(vt));
+                vtopo = Some(Arc::new(vt));
             }
         }
-        st.engines.insert(app, Arc::new(engine));
-        st.app_names.insert(app, name.to_owned());
+        let mut reg = self.registry.write();
+        if let Some(vt) = vtopo {
+            reg.vtopos.insert(app, vt);
+        }
+        reg.engines.insert(app, Arc::new(engine));
+        reg.app_names.insert(app, name.to_owned());
         Ok(())
     }
 
     /// Loading-time access control (paper §VIII-B): are all `required`
     /// tokens granted at all? Returns the missing tokens.
     pub fn missing_tokens(&self, app: AppId, required: &[PermissionToken]) -> Vec<PermissionToken> {
-        let st = self.state.lock();
-        match st.engines.get(&app) {
+        match self.engine_for(app) {
             Some(engine) => required
                 .iter()
                 .copied()
@@ -154,19 +201,24 @@ impl Kernel {
 
     /// Executes one mediated call: permission check, execution, audit.
     /// Returns the response plus any events to dispatch.
+    ///
+    /// The check acquires no exclusive lock: it reads the engine out of the
+    /// registry (shared lock, dropped immediately) and evaluates against a
+    /// shared borrow of the ownership tracker. Execution then takes only
+    /// the locks the specific call needs — a flow-mod on switch 3 contends
+    /// with nothing but other traffic on switch 3.
     pub fn execute(&self, call: &ApiCall) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
-        let mut st = self.state.lock();
         if self.checks_enabled {
-            let Some(engine) = st.engines.get(&call.app).cloned() else {
+            let Some(engine) = self.engine_for(call.app) else {
                 let err = ApiError::PermissionDenied {
                     token: call.required_token(),
                     reason: sdnshield_core::engine::DenyReason::MissingToken,
                 };
                 return (Err(err), Vec::new());
             };
-            let decision = engine.check(call, &st.tracker);
+            let decision = engine.check(call, &*self.tracker.read());
             if let Decision::Denied { .. } = decision {
-                st.audit.record(
+                self.audit.record(
                     call.app,
                     call.kind.name(),
                     call.required_token(),
@@ -180,7 +232,7 @@ impl Kernel {
             .load(std::sync::atomic::Ordering::SeqCst)
             && matches!(call.kind, ApiCallKind::SendPacketOut { .. })
         {
-            st.audit.record(
+            self.audit.record(
                 call.app,
                 call.kind.name(),
                 call.required_token(),
@@ -188,8 +240,8 @@ impl Kernel {
             );
             return (Ok(ApiResponse::Unit), Vec::new());
         }
-        let (result, events) = st.apply(call, self.checks_enabled);
-        st.audit.record(
+        let (result, events) = self.apply(call);
+        self.audit.record(
             call.app,
             call.kind.name(),
             call.required_token(),
@@ -210,10 +262,9 @@ impl Kernel {
         app: AppId,
         ops: &[FlowOp],
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
-        let mut st = self.state.lock();
         // Phase 1: check everything before touching any state.
         if self.checks_enabled {
-            let Some(engine) = st.engines.get(&app).cloned() else {
+            let Some(engine) = self.engine_for(app) else {
                 return (
                     Err(ApiError::PermissionDenied {
                         token: PermissionToken::InsertFlow,
@@ -222,11 +273,13 @@ impl Kernel {
                     Vec::new(),
                 );
             };
+            let tracker = self.tracker.read();
             for (i, op) in ops.iter().enumerate() {
                 let call = flow_op_call(app, op);
-                let decision = engine.check(&call, &st.tracker);
+                let decision = engine.check(&call, &*tracker);
                 if let Decision::Denied { .. } = decision {
-                    st.audit.record(
+                    drop(tracker);
+                    self.audit.record(
                         app,
                         "transaction",
                         call.required_token(),
@@ -248,18 +301,18 @@ impl Kernel {
         let mut events = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             let stamped = stamp_cookie(app, &op.flow_mod);
-            match st.network.apply_flow_mod(op.dpid, &stamped) {
+            match self.network.apply_flow_mod(op.dpid, &stamped) {
                 Ok(removed) => {
-                    st.tracker.record_flow_mod(app, op.dpid, &stamped);
+                    self.tracker.write().record_flow_mod(app, op.dpid, &stamped);
                     events.extend(removed_events(op.dpid, &removed));
                     applied.push((i, removed));
                 }
                 Err(e) => {
                     // Roll back the applied prefix in reverse order.
                     for (j, removed) in applied.into_iter().rev() {
-                        st.rollback(app, &ops[j], removed);
+                        self.rollback(app, &ops[j], removed);
                     }
-                    st.audit.record(
+                    self.audit.record(
                         app,
                         "transaction",
                         PermissionToken::InsertFlow,
@@ -275,7 +328,7 @@ impl Kernel {
                 }
             }
         }
-        st.audit.record(
+        self.audit.record(
             app,
             "transaction",
             PermissionToken::InsertFlow,
@@ -287,9 +340,8 @@ impl Kernel {
     /// Injects a data-plane frame from a host NIC (the simulation driver),
     /// returning packet-in events for dispatch.
     pub fn inject_host_frame(&self, frame: EthernetFrame) -> Vec<OutboundEvent> {
-        let mut st = self.state.lock();
-        match st.network.inject_from_host(frame) {
-            Ok(deliveries) => st.absorb_deliveries(deliveries),
+        match self.network.inject_from_host(frame) {
+            Ok(deliveries) => self.absorb_deliveries(deliveries),
             Err(_) => Vec::new(),
         }
     }
@@ -304,10 +356,9 @@ impl Kernel {
 
     /// Fails the link between two switches: removes it from the topology
     /// and produces a topology-changed event for subscribed apps. Returns
-    /// `false` when no such link existed (no event is produced).
+    /// `None` when no such link existed (no event is produced).
     pub fn fail_link(&self, a: DatapathId, b: DatapathId) -> Option<OutboundEvent> {
-        let mut st = self.state.lock();
-        if st.network.topology_mut().remove_link(a, b) {
+        if self.network.with_topology_mut(|t| t.remove_link(a, b)) {
             Some(OutboundEvent {
                 event: Event::TopologyChanged {
                     description: format!("link {a} <-> {b} failed"),
@@ -321,11 +372,14 @@ impl Kernel {
     /// Advances the virtual clock, expiring flows and producing
     /// flow-removed events.
     pub fn advance_clock(&self, secs: u64) -> Vec<OutboundEvent> {
-        let mut st = self.state.lock();
-        let removed = st.network.advance_clock(secs);
+        let removed = self.network.advance_clock(secs);
         let mut events = Vec::new();
+        if removed.is_empty() {
+            return events;
+        }
+        let mut tracker = self.tracker.write();
         for r in removed {
-            st.tracker.record_expiry(
+            tracker.record_expiry(
                 r.dpid,
                 &r.removed.entry.flow_match,
                 r.removed.entry.priority,
@@ -342,7 +396,7 @@ impl Kernel {
 
     /// Current virtual time in seconds.
     pub fn now(&self) -> u64 {
-        self.state.lock().network.now()
+        self.network.now()
     }
 
     /// Reaps every trace of an app from the kernel: its permission engine,
@@ -357,22 +411,35 @@ impl Kernel {
     /// supervisor, which outlives the kernel-side registration; the removals
     /// are recorded in the ownership tracker so later reads of the reclaimed
     /// matches are not misattributed.
+    ///
+    /// Locks are taken strictly one subsystem at a time in hierarchy order
+    /// (Registry, Subs, Host, then each switch in ascending dpid order, then
+    /// Tracker), so reaping can never deadlock against concurrent deputies.
     pub fn deregister_app(&self, app: AppId) -> Vec<OutboundEvent> {
-        let mut st = self.state.lock();
-        st.engines.remove(&app);
-        st.app_names.remove(&app);
-        st.vtopos.remove(&app);
-        for subs in st.subs.values_mut() {
-            subs.retain(|(a, _)| *a != app);
+        {
+            let mut reg = self.registry.write();
+            reg.engines.remove(&app);
+            reg.app_names.remove(&app);
+            reg.vtopos.remove(&app);
         }
-        for subs in st.custom_subs.values_mut() {
-            subs.retain(|a| *a != app);
+        {
+            let mut subs = self.subs.write();
+            for subs in subs.by_kind.values_mut() {
+                subs.retain(|(a, _)| *a != app);
+            }
+            for subs in subs.custom.values_mut() {
+                subs.retain(|a| *a != app);
+            }
         }
-        st.host.close_connections(app);
-        let removed = st.network.remove_flows_owned_by(app.0);
+        self.host.lock().close_connections(app);
+        let removed = self.network.remove_flows_owned_by(app.0);
         let mut events = Vec::new();
+        if removed.is_empty() {
+            return events;
+        }
+        let mut tracker = self.tracker.write();
         for r in removed {
-            st.tracker.record_expiry(
+            tracker.record_expiry(
                 r.dpid,
                 &r.removed.entry.flow_match,
                 r.removed.entry.priority,
@@ -390,7 +457,7 @@ impl Kernel {
     /// Records an app crash in the audit log (`phase` says where it died,
     /// e.g. `on_event`).
     pub fn audit_crash(&self, app: AppId, phase: &str) {
-        self.state.lock().audit.record_system(
+        self.audit.record_system(
             app,
             &format!("crash:{phase}"),
             crate::audit::AuditOutcome::Crashed,
@@ -400,18 +467,16 @@ impl Kernel {
     /// Records an event discarded before the app saw it (overload shedding
     /// or crash reaping).
     pub fn audit_dropped(&self, app: AppId, reason: &str) {
-        self.state
-            .lock()
-            .audit
+        self.audit
             .record_system(app, reason, crate::audit::AuditOutcome::Dropped);
     }
 
     /// Apps subscribed to an event kind, in delivery order (interceptors
     /// first).
     pub fn subscribers(&self, kind: EventKind) -> Vec<AppId> {
-        self.state
-            .lock()
-            .subs
+        self.subs
+            .read()
+            .by_kind
             .get(kind_key(kind))
             .map(|subs| subs.iter().map(|(a, _)| *a).collect())
             .unwrap_or_default()
@@ -421,9 +486,9 @@ impl Kernel {
     /// delivery order. Interceptors must finish processing an event before
     /// non-interceptors see it (paper §IV-B, `EVENT_INTERCEPTION`).
     pub fn subscribers_phased(&self, kind: EventKind) -> Vec<(AppId, bool)> {
-        self.state
-            .lock()
-            .subs
+        self.subs
+            .read()
+            .by_kind
             .get(kind_key(kind))
             .cloned()
             .unwrap_or_default()
@@ -431,9 +496,9 @@ impl Kernel {
 
     /// Apps subscribed to a custom topic.
     pub fn topic_subscribers(&self, topic: &str) -> Vec<AppId> {
-        self.state
-            .lock()
-            .custom_subs
+        self.subs
+            .read()
+            .custom
             .get(topic)
             .cloned()
             .unwrap_or_default()
@@ -442,8 +507,8 @@ impl Kernel {
     /// Subscribes an app to a custom topic (not permission-gated: topics are
     /// app-published data, mediated by the publishing app).
     pub fn subscribe_topic(&self, app: AppId, topic: &str) {
-        let mut st = self.state.lock();
-        let subs = st.custom_subs.entry(topic.to_owned()).or_default();
+        let mut subs = self.subs.write();
+        let subs = subs.custom.entry(topic.to_owned()).or_default();
         if !subs.contains(&app) {
             subs.push(app);
         }
@@ -453,19 +518,17 @@ impl Kernel {
     /// apps without `read_payload`, and records payload provenance for those
     /// with it. Returns `None` if the app should not receive the event.
     pub fn event_view_for(&self, app: AppId, event: &Event) -> Option<Event> {
-        let mut st = self.state.lock();
         match event {
             Event::PacketIn { dpid, packet_in } => {
                 let can_read = if self.checks_enabled {
-                    st.engines
-                        .get(&app)
+                    self.engine_for(app)
                         .is_some_and(|e| e.has_token(PermissionToken::ReadPayload))
                 } else {
                     true
                 };
                 let mut pi = packet_in.clone();
                 if can_read {
-                    st.tracker.record_pkt_in(app, &pi.payload);
+                    self.tracker.write().record_pkt_in(app, &pi.payload);
                 } else {
                     pi.payload = Bytes::new();
                 }
@@ -478,40 +541,55 @@ impl Kernel {
         }
     }
 
-    /// Read access to the audit log (clones the records).
+    /// Snapshot of the audit log (prefer [`Kernel::audit_records_since`]
+    /// for repeated reads).
     pub fn audit_records(&self) -> Vec<crate::audit::AuditRecord> {
-        self.state.lock().audit.records().to_vec()
+        self.audit.records()
+    }
+
+    /// Incremental audit read: records with sequence number greater than
+    /// `since`, oldest first. A reader advancing its cursor to the last
+    /// returned `seq` sees every record exactly once, without cloning the
+    /// whole log on each poll.
+    pub fn audit_records_since(&self, since: u64) -> Vec<crate::audit::AuditRecord> {
+        self.audit.records_since(since)
     }
 
     /// The registered name of an app (diagnostics/forensics).
     pub fn app_name(&self, app: AppId) -> Option<String> {
-        self.state.lock().app_names.get(&app).cloned()
+        self.registry.read().app_names.get(&app).cloned()
     }
 
     /// Sends real bytes on an app's host connection, re-validating the
     /// destination against the app's `host_network` filter (so a filter
     /// narrowed after connect still applies).
     pub fn host_send(&self, app: AppId, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
-        let mut st = self.state.lock();
-        let Some(c) = st.host.connections_by(app).find(|c| c.id == conn) else {
+        let dst = {
+            let host = self.host.lock();
+            let found = host
+                .connections_by(app)
+                .find(|c| c.id == conn)
+                .map(|c| (c.dst_ip, c.dst_port));
+            found
+        };
+        let Some((dst_ip, dst_port)) = dst else {
             return Err(ApiError::Switch(
                 sdnshield_openflow::messages::OfError::BadRequest(
                     "unknown connection handle".into(),
                 ),
             ));
         };
-        let (dst_ip, dst_port) = (c.dst_ip, c.dst_port);
         if self.checks_enabled {
-            let Some(engine) = st.engines.get(&app).cloned() else {
+            let Some(engine) = self.engine_for(app) else {
                 return Err(ApiError::PermissionDenied {
                     token: PermissionToken::HostNetwork,
                     reason: sdnshield_core::engine::DenyReason::MissingToken,
                 });
             };
             let synthetic = ApiCall::new(app, ApiCallKind::HostConnect { dst_ip, dst_port });
-            let decision = engine.check(&synthetic, &st.tracker);
+            let decision = engine.check(&synthetic, &*self.tracker.read());
             if let Decision::Denied { .. } = decision {
-                st.audit.record(
+                self.audit.record(
                     app,
                     "host_send",
                     PermissionToken::HostNetwork,
@@ -520,8 +598,8 @@ impl Kernel {
                 return Err(ApiError::from_decision(decision));
             }
         }
-        st.host.send(app, conn, data);
-        st.audit.record(
+        self.host.lock().send(app, conn, data);
+        self.audit.record(
             app,
             "host_send",
             PermissionToken::HostNetwork,
@@ -532,24 +610,18 @@ impl Kernel {
 
     /// Bytes an app has sent to the outside world via the host network.
     pub fn bytes_exfiltrated_by(&self, app: AppId) -> usize {
-        self.state.lock().host.bytes_exfiltrated_by(app)
+        self.host.lock().bytes_exfiltrated_by(app)
     }
 
     /// Host connections opened by an app (forensics).
     pub fn connections_by(&self, app: AppId) -> Vec<crate::hostsys::Connection> {
-        self.state
-            .lock()
-            .host
-            .connections_by(app)
-            .cloned()
-            .collect()
+        self.host.lock().connections_by(app).cloned().collect()
     }
 
     /// Frames received by a host NIC during the simulation.
     pub fn host_received(&self, mac: EthAddr) -> Vec<EthernetFrame> {
-        self.state
+        self.host_inbox
             .lock()
-            .host_inbox
             .get(&mac)
             .cloned()
             .unwrap_or_default()
@@ -557,27 +629,19 @@ impl Kernel {
 
     /// Runs a closure with read access to the network (tests, benches).
     pub fn with_network<R>(&self, f: impl FnOnce(&Network) -> R) -> R {
-        f(&self.state.lock().network)
+        f(&self.network)
     }
 
     /// Number of flow entries currently installed on a switch.
     pub fn flow_count(&self, dpid: DatapathId) -> usize {
-        self.state
-            .lock()
-            .network
+        self.network
             .switch(dpid)
             .map(|s| s.table().len())
             .unwrap_or(0)
     }
-}
 
-impl KernelState {
     /// Applies an already-authorized call.
-    fn apply(
-        &mut self,
-        call: &ApiCall,
-        checks_enabled: bool,
-    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+    fn apply(&self, call: &ApiCall) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
         let app = call.app;
         match &call.kind {
             ApiCallKind::ReadFlowTable { dpid, query } => {
@@ -591,8 +655,8 @@ impl KernelState {
                 let StatsReply::Flow(entries) = reply else {
                     unreachable!("flow request yields flow reply");
                 };
-                let visible = if checks_enabled {
-                    let engine = self.engines.get(&app).cloned();
+                let visible = if self.checks_enabled {
+                    let engine = self.engine_for(app);
                     entries
                         .into_iter()
                         .filter(|e| {
@@ -614,7 +678,7 @@ impl KernelState {
             ApiCallKind::InsertFlow { dpid, flow_mod }
             | ApiCallKind::DeleteFlow { dpid, flow_mod } => self.apply_flow(app, *dpid, flow_mod),
             ApiCallKind::ReadTopology => {
-                let view = self.topology_view_for(app, checks_enabled);
+                let view = self.topology_view_for(app);
                 (Ok(ApiResponse::Topology(view)), Vec::new())
             }
             ApiCallKind::ModifyTopology { dpid } => {
@@ -628,7 +692,7 @@ impl KernelState {
             }
             ApiCallKind::ReadStatistics { dpid, request } => {
                 // Virtual-topology apps fan out to members and aggregate.
-                if let Some(vt) = self.vtopos.get(&app).cloned() {
+                if let Some(vt) = self.vtopo_for(app) {
                     let members = match vt.expand_members(*dpid) {
                         Ok(m) => m,
                         Err(e) => return (Err(ApiError::Vtopo(e.to_string())), Vec::new()),
@@ -664,8 +728,8 @@ impl KernelState {
                     }
                 };
                 // Resolve virtual output ports for vtopo apps.
-                let (phys_dpid, actions) = match self.vtopos.get(&app) {
-                    Some(vt) => match resolve_vtopo_packet_out(vt, *dpid, packet_out) {
+                let (phys_dpid, actions) = match self.vtopo_for(app) {
+                    Some(vt) => match resolve_vtopo_packet_out(&vt, *dpid, packet_out) {
                         Ok(x) => x,
                         Err(e) => return (Err(ApiError::Vtopo(e)), Vec::new()),
                     },
@@ -687,20 +751,22 @@ impl KernelState {
                 // an app consume events ahead of others: interceptors sort
                 // to the front of the delivery order.
                 let intercepts = self
-                    .engines
-                    .get(&app)
-                    .and_then(|e| e.filter_for(call.required_token()))
-                    .is_some_and(|f| {
-                        f.atoms().iter().any(|a| {
-                            matches!(
-                                a,
-                                SingletonFilter::Callback(
-                                    sdnshield_core::filter::CallbackCap::EventInterception
+                    .engine_for(app)
+                    .and_then(|e| {
+                        e.filter_for(call.required_token()).map(|f| {
+                            f.atoms().iter().any(|a| {
+                                matches!(
+                                    a,
+                                    SingletonFilter::Callback(
+                                        sdnshield_core::filter::CallbackCap::EventInterception
+                                    )
                                 )
-                            )
+                            })
                         })
-                    });
-                let subs = self.subs.entry(kind_key(*kind)).or_default();
+                    })
+                    .unwrap_or(false);
+                let mut subs = self.subs.write();
+                let subs = subs.by_kind.entry(kind_key(*kind)).or_default();
                 if !subs.iter().any(|(a, _)| *a == app) {
                     if intercepts {
                         subs.insert(0, (app, true));
@@ -711,13 +777,14 @@ impl KernelState {
                 (Ok(ApiResponse::Subscribed(*kind)), Vec::new())
             }
             ApiCallKind::HostConnect { dst_ip, dst_port } => {
-                let id = self.host.connect(app, *dst_ip, *dst_port);
+                let id = self.host.lock().connect(app, *dst_ip, *dst_port);
                 (Ok(ApiResponse::Connection(id)), Vec::new())
             }
             ApiCallKind::HostSend { conn, len } => {
                 // The deputy pre-validated the destination; record the send.
                 let ok = self
                     .host
+                    .lock()
                     .send(app, ConnId(*conn), Bytes::from(vec![0u8; *len]));
                 if ok {
                     (Ok(ApiResponse::Unit), Vec::new())
@@ -733,11 +800,11 @@ impl KernelState {
                 }
             }
             ApiCallKind::FileOpen { path, write } => {
-                self.host.open_file(app, path.clone(), *write);
+                self.host.lock().open_file(app, path.clone(), *write);
                 (Ok(ApiResponse::Unit), Vec::new())
             }
             ApiCallKind::ProcessExec { program } => {
-                self.host.exec(app, program.clone());
+                self.host.lock().exec(app, program.clone());
                 (Ok(ApiResponse::Unit), Vec::new())
             }
         }
@@ -745,14 +812,15 @@ impl KernelState {
 
     /// Applies a flow-mod, translating through the app's virtual topology
     /// when one is granted, stamping ownership cookies, and recording
-    /// ownership.
+    /// ownership. Takes only the target switch's lock (per target), then
+    /// the tracker write lock — never both at once.
     fn apply_flow(
-        &mut self,
+        &self,
         app: AppId,
         dpid: DatapathId,
         flow_mod: &FlowMod,
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
-        let targets: Vec<(DatapathId, FlowMod)> = match self.vtopos.get(&app) {
+        let targets: Vec<(DatapathId, FlowMod)> = match self.vtopo_for(app) {
             Some(vt) => match vt.translate_flow_mod(dpid, flow_mod) {
                 Ok(t) => t,
                 Err(e) => return (Err(ApiError::Vtopo(e.to_string())), Vec::new()),
@@ -764,7 +832,7 @@ impl KernelState {
             let stamped = stamp_cookie(app, &fm);
             match self.network.apply_flow_mod(d, &stamped) {
                 Ok(removed) => {
-                    self.tracker.record_flow_mod(app, d, &stamped);
+                    self.tracker.write().record_flow_mod(app, d, &stamped);
                     events.extend(removed_events(d, &removed));
                 }
                 Err(e) => return (Err(ApiError::Switch(e)), events),
@@ -775,7 +843,7 @@ impl KernelState {
 
     /// Rolls back one applied transaction operation.
     fn rollback(
-        &mut self,
+        &self,
         app: AppId,
         op: &FlowOp,
         removed: Vec<sdnshield_openflow::flow_table::RemovedEntry>,
@@ -787,7 +855,7 @@ impl KernelState {
                 let mut undo = stamped.clone();
                 undo.command = FlowModCommand::DeleteStrict;
                 let _ = self.network.apply_flow_mod(op.dpid, &undo);
-                self.tracker.record_flow_mod(app, op.dpid, &undo);
+                self.tracker.write().record_flow_mod(app, op.dpid, &undo);
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {}
         }
@@ -806,12 +874,12 @@ impl KernelState {
     }
 
     /// Converts data-plane deliveries into inbox records + packet-in events.
-    fn absorb_deliveries(&mut self, deliveries: Vec<Delivery>) -> Vec<OutboundEvent> {
+    fn absorb_deliveries(&self, deliveries: Vec<Delivery>) -> Vec<OutboundEvent> {
         let mut events = Vec::new();
         for d in deliveries {
             match d {
                 Delivery::ToHost { mac, frame } => {
-                    self.host_inbox.entry(mac).or_default().push(frame);
+                    self.host_inbox.lock().entry(mac).or_default().push(frame);
                 }
                 Delivery::ToController { dpid, packet_in } => {
                     events.push(OutboundEvent {
@@ -824,36 +892,41 @@ impl KernelState {
         events
     }
 
-    /// Builds the topology view an app is allowed to see.
-    fn topology_view_for(&self, app: AppId, checks_enabled: bool) -> TopologyView {
+    /// Builds the topology view an app is allowed to see. Registry state is
+    /// cloned out first, so the topology read lock is never nested inside
+    /// (or under) another subsystem lock here.
+    fn topology_view_for(&self, app: AppId) -> TopologyView {
+        let (vtopo, engine) = if self.checks_enabled {
+            let reg = self.registry.read();
+            (
+                reg.vtopos.get(&app).cloned(),
+                reg.engines.get(&app).cloned(),
+            )
+        } else {
+            (None, None)
+        };
         let topo = self.network.topology();
         // Virtual topology: present the big switches.
-        if checks_enabled {
-            if let Some(vt) = self.vtopos.get(&app) {
-                let switches = vt
-                    .switches()
-                    .iter()
-                    .map(|vs| SwitchView {
-                        dpid: vs.dpid,
-                        ports: vs.ports.iter().map(|p| p.vport).collect(),
-                    })
-                    .collect();
-                return TopologyView {
-                    switches,
-                    links: Vec::new(),
-                    hosts: topo.hosts().to_vec(),
-                    link_ports: Vec::new(),
-                };
-            }
+        if let Some(vt) = vtopo {
+            let switches = vt
+                .switches()
+                .iter()
+                .map(|vs| SwitchView {
+                    dpid: vs.dpid,
+                    ports: vs.ports.iter().map(|p| p.vport).collect(),
+                })
+                .collect();
+            return TopologyView {
+                switches,
+                links: Vec::new(),
+                hosts: topo.hosts().to_vec(),
+                link_ports: Vec::new(),
+            };
         }
-        let phys_filter: Option<&SingletonFilter> = if checks_enabled {
-            self.engines
-                .get(&app)
-                .and_then(|e| e.filter_for(PermissionToken::VisibleTopology))
-                .and_then(find_phys_topo_atom)
-        } else {
-            None
-        };
+        let phys_filter: Option<&SingletonFilter> = engine
+            .as_ref()
+            .and_then(|e| e.filter_for(PermissionToken::VisibleTopology))
+            .and_then(find_phys_topo_atom);
         let visible_switch = |d: DatapathId| match phys_filter {
             Some(SingletonFilter::PhysTopo(t)) => t.contains_switch(d),
             _ => true,
@@ -1392,5 +1465,20 @@ mod tests {
         let events = kernel.advance_clock(10);
         assert_eq!(events.len(), 1);
         assert!(matches!(events[0].event, Event::FlowRemoved { .. }));
+    }
+
+    #[test]
+    fn audit_records_since_cursor() {
+        let (kernel, app) = kernel_with("PERM insert_flow");
+        kernel.execute(&insert(app, 1, 80)).0.unwrap();
+        kernel.execute(&insert(app, 1, 81)).0.unwrap();
+        let first = kernel.audit_records_since(0);
+        assert_eq!(first.len(), 2);
+        let cursor = first.last().unwrap().seq;
+        assert!(kernel.audit_records_since(cursor).is_empty());
+        kernel.execute(&insert(app, 1, 82)).0.unwrap();
+        let next = kernel.audit_records_since(cursor);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].seq, cursor + 1);
     }
 }

@@ -109,7 +109,7 @@ fn unpermitted_insert_denied_but_app_survives() {
     assert_eq!(denials.load(Ordering::SeqCst), 2);
     assert_eq!(c.kernel().flow_count(DatapathId(1)), 0);
     // Audit captured the denials.
-    let audit = c.kernel().audit_records();
+    let audit = c.kernel().audit_records_since(0);
     assert!(audit
         .iter()
         .any(|r| r.token == Some(PermissionToken::InsertFlow)));

@@ -102,7 +102,7 @@ fn crash_mid_event_reaps_flows_and_audits() {
             c.kernel().flow_count(DatapathId(1)) == 0
         });
         // ...records the crash on the audit trail...
-        let audit = c.kernel().audit_records();
+        let audit = c.kernel().audit_records_since(0);
         assert!(audit.iter().any(|r| r.app == id
             && r.outcome == AuditOutcome::Crashed
             && r.operation == "crash:on_event"));
@@ -387,7 +387,7 @@ fn overload_sheds_oldest_events_and_audits_them() {
     );
     let shed = c
         .kernel()
-        .audit_records()
+        .audit_records_since(0)
         .iter()
         .filter(|r| {
             r.app == id && r.outcome == AuditOutcome::Dropped && r.operation == "event_shed"

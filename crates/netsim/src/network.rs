@@ -1,8 +1,26 @@
 //! The data-plane walk: injecting packets and carrying them hop by hop
 //! through switch flow tables until they reach hosts or the controller.
+//!
+//! # Concurrency
+//!
+//! The network is sharded so concurrent controller deputies never funnel
+//! through one lock: each switch sits behind its own [`Mutex`], the (mostly
+//! static) topology behind an [`RwLock`], and the virtual clock is an atomic.
+//! Every public method takes `&self`.
+//!
+//! Lock ordering: **Topology before Switch**, and **at most one switch lock
+//! at a time**. The data-plane walk releases a switch's lock before
+//! following a link into the next switch (`step` computes the forwarding
+//! decision under the lock, then recurses lock-free), so concurrent walks in
+//! opposite directions cannot deadlock. Cross-switch sweeps
+//! (`advance_clock`, `remove_flows_owned_by`) visit switches one at a time
+//! in ascending dpid order.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use sdnshield_openflow::flow_table::RemovedEntry;
 use sdnshield_openflow::messages::{
     FlowMod, OfError, PacketIn, PacketInReason, StatsReply, StatsRequest,
@@ -75,11 +93,19 @@ pub struct RemovedFlow {
 /// let net = Network::new(builders::linear(3), 1024);
 /// assert_eq!(net.topology().switch_count(), 3);
 /// ```
-#[derive(Debug)]
 pub struct Network {
-    topology: Topology,
-    switches: BTreeMap<DatapathId, SimSwitch>,
-    clock: u64,
+    topology: RwLock<Topology>,
+    switches: BTreeMap<DatapathId, Mutex<SimSwitch>>,
+    clock: AtomicU64,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("switches", &self.switches.len())
+            .field("clock", &self.now())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Network {
@@ -88,37 +114,40 @@ impl Network {
     pub fn new(topology: Topology, table_capacity: usize) -> Self {
         let switches = topology
             .switches()
-            .map(|s| (s.dpid, SimSwitch::new(s.dpid, table_capacity)))
+            .map(|s| (s.dpid, Mutex::new(SimSwitch::new(s.dpid, table_capacity))))
             .collect();
         Network {
-            topology,
+            topology: RwLock::new(topology),
             switches,
-            clock: 0,
+            clock: AtomicU64::new(0),
         }
     }
 
-    /// The static topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// The static topology (shared read lock; drop the guard before calling
+    /// into switches from the same scope if holding it across is avoidable).
+    pub fn topology(&self) -> RwLockReadGuard<'_, Topology> {
+        self.topology.read()
     }
 
-    /// Mutable access to the topology (controller-initiated changes).
-    pub fn topology_mut(&mut self) -> &mut Topology {
-        &mut self.topology
+    /// Mutates the topology (controller-initiated changes) under the write
+    /// lock.
+    pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.topology.write())
     }
 
     /// Current virtual time in seconds.
     pub fn now(&self) -> u64 {
-        self.clock
+        self.clock.load(Ordering::SeqCst)
     }
 
     /// Advances the virtual clock and expires timed-out entries everywhere.
-    pub fn advance_clock(&mut self, secs: u64) -> Vec<RemovedFlow> {
-        self.clock += secs;
-        let now = self.clock;
+    /// Switches are visited one at a time (ascending dpid), so concurrent
+    /// flow-mods on other switches proceed unhindered.
+    pub fn advance_clock(&self, secs: u64) -> Vec<RemovedFlow> {
+        let now = self.clock.fetch_add(secs, Ordering::SeqCst) + secs;
         let mut removed = Vec::new();
-        for (dpid, sw) in &mut self.switches {
-            for r in sw.expire(now) {
+        for (dpid, sw) in &self.switches {
+            for r in sw.lock().expire(now) {
                 removed.push(RemovedFlow {
                     dpid: *dpid,
                     removed: r,
@@ -129,11 +158,12 @@ impl Network {
     }
 
     /// Removes, from every switch, all flow entries whose cookie carries the
-    /// given owner id. Used to reclaim a crashed app's rules.
-    pub fn remove_flows_owned_by(&mut self, owner: u16) -> Vec<RemovedFlow> {
+    /// given owner id. Used to reclaim a crashed app's rules. Takes one
+    /// switch lock at a time in ascending dpid order.
+    pub fn remove_flows_owned_by(&self, owner: u16) -> Vec<RemovedFlow> {
         let mut removed = Vec::new();
-        for (dpid, sw) in &mut self.switches {
-            for r in sw.remove_owned_by(owner) {
+        for (dpid, sw) in &self.switches {
+            for r in sw.lock().remove_owned_by(owner) {
                 removed.push(RemovedFlow {
                     dpid: *dpid,
                     removed: r,
@@ -143,27 +173,27 @@ impl Network {
         removed
     }
 
-    /// Read access to one switch.
-    pub fn switch(&self, dpid: DatapathId) -> Option<&SimSwitch> {
-        self.switches.get(&dpid)
+    /// Locks one switch for inspection or mutation.
+    pub fn switch(&self, dpid: DatapathId) -> Option<MutexGuard<'_, SimSwitch>> {
+        self.switches.get(&dpid).map(|m| m.lock())
     }
 
-    /// Applies a flow-mod on a switch.
+    /// Applies a flow-mod on a switch, taking only that switch's lock.
     ///
     /// # Errors
     ///
     /// [`OfError::BadRequest`] for unknown switches; table errors otherwise.
     pub fn apply_flow_mod(
-        &mut self,
+        &self,
         dpid: DatapathId,
         fm: &FlowMod,
     ) -> Result<Vec<RemovedEntry>, OfError> {
-        let now = self.clock;
+        let now = self.now();
         let sw = self
             .switches
-            .get_mut(&dpid)
+            .get(&dpid)
             .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-        sw.apply_flow_mod(fm, now)
+        sw.lock().apply_flow_mod(fm, now)
     }
 
     /// Answers a stats request for a switch.
@@ -176,7 +206,8 @@ impl Network {
             .switches
             .get(&dpid)
             .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-        Ok(sw.stats(req, self.clock))
+        let now = self.now();
+        Ok(sw.lock().stats(req, now))
     }
 
     /// Injects a frame from a host NIC; returns every terminal delivery.
@@ -184,9 +215,10 @@ impl Network {
     /// # Errors
     ///
     /// [`OfError::BadRequest`] when the source MAC is not an attached host.
-    pub fn inject_from_host(&mut self, frame: EthernetFrame) -> Result<Vec<Delivery>, OfError> {
+    pub fn inject_from_host(&self, frame: EthernetFrame) -> Result<Vec<Delivery>, OfError> {
         let host = self
             .topology
+            .read()
             .host_by_mac(frame.src)
             .cloned()
             .ok_or_else(|| OfError::BadRequest("source MAC is not an attached host".into()))?;
@@ -200,18 +232,21 @@ impl Network {
     ///
     /// [`OfError::BadRequest`] for unknown switches.
     pub fn inject_packet_out(
-        &mut self,
+        &self,
         dpid: DatapathId,
         in_port: PortNo,
         frame: EthernetFrame,
         actions: impl IntoIterator<Item = sdnshield_openflow::actions::Action>,
     ) -> Result<Vec<Delivery>, OfError> {
         let len = frame.to_bytes().len();
-        let sw = self
-            .switches
-            .get_mut(&dpid)
-            .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-        let (frame, ports) = sw.apply_packet_out(in_port, frame, actions, len);
+        let (frame, ports) = {
+            let sw = self
+                .switches
+                .get(&dpid)
+                .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
+            let mut sw = sw.lock();
+            sw.apply_packet_out(in_port, frame, actions, len)
+        };
         let mut out = Vec::new();
         for port in self.expand_ports(dpid, in_port, ports) {
             out.extend(self.emit(dpid, port, frame.clone(), MAX_HOPS));
@@ -220,12 +255,12 @@ impl Network {
     }
 
     /// Carries a frame entering `dpid` on `in_port` to its destinations.
-    fn walk(&mut self, dpid: DatapathId, in_port: PortNo, frame: EthernetFrame) -> Vec<Delivery> {
+    fn walk(&self, dpid: DatapathId, in_port: PortNo, frame: EthernetFrame) -> Vec<Delivery> {
         self.step(dpid, in_port, frame, MAX_HOPS)
     }
 
     fn step(
-        &mut self,
+        &self,
         dpid: DatapathId,
         in_port: PortNo,
         frame: EthernetFrame,
@@ -237,14 +272,22 @@ impl Network {
                 reason: DropReason::LoopGuard,
             }];
         }
-        let now = self.clock;
-        let Some(sw) = self.switches.get_mut(&dpid) else {
-            return vec![Delivery::Dropped {
-                dpid,
-                reason: DropReason::DanglingPort,
-            }];
+        let now = self.now();
+        // Compute the forwarding decision under this switch's lock alone,
+        // then release it before walking onward: the recursion into `emit`
+        // takes the *next* switch's lock, and holding two at once would
+        // deadlock against a walk travelling the opposite direction.
+        let forwarding = {
+            let Some(sw) = self.switches.get(&dpid) else {
+                return vec![Delivery::Dropped {
+                    dpid,
+                    reason: DropReason::DanglingPort,
+                }];
+            };
+            let mut sw = sw.lock();
+            sw.process(in_port, &frame, now)
         };
-        match sw.process(in_port, &frame, now) {
+        match forwarding {
             Forwarding::PacketIn => {
                 let payload = frame.to_bytes();
                 vec![Delivery::ToController {
@@ -292,14 +335,14 @@ impl Network {
     /// Resolves reserved ports (FLOOD/ALL/IN_PORT) into concrete port lists.
     fn expand_ports(&self, dpid: DatapathId, in_port: PortNo, ports: Vec<PortNo>) -> Vec<PortNo> {
         let mut resolved = Vec::new();
+        let topology = self.topology.read();
         for p in ports {
             match p {
                 PortNo::FLOOD | PortNo::ALL => {
-                    if let Some(info) = self.topology.switch(dpid) {
+                    if let Some(info) = topology.switch(dpid) {
                         for port in &info.ports {
-                            let occupied = self.topology.link_from(dpid, *port).is_some()
-                                || self
-                                    .topology
+                            let occupied = topology.link_from(dpid, *port).is_some()
+                                || topology
                                     .hosts()
                                     .iter()
                                     .any(|h| h.switch == dpid && h.port == *port);
@@ -318,24 +361,29 @@ impl Network {
     }
 
     /// Emits a frame out of `(dpid, port)`: to a host, the next switch, or
-    /// the void.
+    /// the void. The topology guard is dropped before recursing into the
+    /// next switch.
     fn emit(
-        &mut self,
+        &self,
         dpid: DatapathId,
         port: PortNo,
         frame: EthernetFrame,
         budget: usize,
     ) -> Vec<Delivery> {
-        if let Some(link) = self.topology.link_from(dpid, port).copied() {
+        let (link, host) = {
+            let topology = self.topology.read();
+            let link = topology.link_from(dpid, port).copied();
+            let host = topology
+                .hosts()
+                .iter()
+                .find(|h| h.switch == dpid && h.port == port)
+                .cloned();
+            (link, host)
+        };
+        if let Some(link) = link {
             return self.step(link.dst, link.dst_port, frame, budget);
         }
-        if let Some(host) = self
-            .topology
-            .hosts()
-            .iter()
-            .find(|h| h.switch == dpid && h.port == port)
-            .cloned()
-        {
+        if let Some(host) = host {
             return vec![Delivery::ToHost {
                 mac: host.mac,
                 frame,
@@ -348,8 +396,8 @@ impl Network {
     }
 
     /// Convenience: the host record for a MAC.
-    pub fn host(&self, mac: EthAddr) -> Option<&Host> {
-        self.topology.host_by_mac(mac)
+    pub fn host(&self, mac: EthAddr) -> Option<Host> {
+        self.topology.read().host_by_mac(mac).cloned()
     }
 }
 
@@ -378,7 +426,7 @@ mod tests {
 
     #[test]
     fn miss_everywhere_reaches_controller_once() {
-        let mut net = Network::new(builders::linear(3), 64);
+        let net = Network::new(builders::linear(3), 64);
         let out = net
             .inject_from_host(tcp(1, 3, Ipv4::new(10, 0, 0, 3)))
             .unwrap();
@@ -397,7 +445,7 @@ mod tests {
 
     #[test]
     fn installed_path_delivers_to_host() {
-        let mut net = Network::new(builders::linear(3), 64);
+        let net = Network::new(builders::linear(3), 64);
         // Install a forwarding path 1→2→3→host3 matching dst ip 10.0.0.3.
         let m = FlowMatch::default().with_ip_dst(Ipv4::new(10, 0, 0, 3));
         // Find inter-switch ports.
@@ -445,7 +493,7 @@ mod tests {
 
     #[test]
     fn flood_reaches_all_other_hosts_and_switch_misses() {
-        let mut net = Network::new(builders::star(3), 64);
+        let net = Network::new(builders::star(3), 64);
         // Flood on every switch.
         for s in [1u64, 2, 3, 4] {
             net.apply_flow_mod(
@@ -479,7 +527,7 @@ mod tests {
     #[test]
     fn loop_guard_terminates() {
         // Two switches forwarding to each other forever.
-        let mut net = Network::new(builders::linear(2), 64);
+        let net = Network::new(builders::linear(2), 64);
         let p12 = net
             .topology()
             .link_between(DatapathId(1), DatapathId(2))
@@ -514,7 +562,7 @@ mod tests {
 
     #[test]
     fn drop_rule_reports_drop() {
-        let mut net = Network::new(builders::linear(2), 64);
+        let net = Network::new(builders::linear(2), 64);
         net.apply_flow_mod(
             DatapathId(1),
             &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()),
@@ -534,8 +582,8 @@ mod tests {
 
     #[test]
     fn packet_out_injects_into_dataplane() {
-        let mut net = Network::new(builders::linear(2), 64);
-        let h2 = net.topology().host_by_mac(EthAddr::from_u64(2)).unwrap();
+        let net = Network::new(builders::linear(2), 64);
+        let h2 = net.host(EthAddr::from_u64(2)).unwrap();
         let (dpid, port) = (h2.switch, h2.port);
         let frame = tcp(1, 2, Ipv4::new(10, 0, 0, 2));
         let out = net
@@ -552,7 +600,7 @@ mod tests {
 
     #[test]
     fn clock_advancement_expires_flows() {
-        let mut net = Network::new(builders::linear(2), 64);
+        let net = Network::new(builders::linear(2), 64);
         net.apply_flow_mod(
             DatapathId(1),
             &FlowMod::add(FlowMatch::any(), Priority(1), ActionList::drop()).with_hard_timeout(5),
@@ -566,7 +614,7 @@ mod tests {
 
     #[test]
     fn unknown_switch_rejected() {
-        let mut net = Network::new(builders::linear(2), 64);
+        let net = Network::new(builders::linear(2), 64);
         let err = net
             .apply_flow_mod(
                 DatapathId(99),
@@ -579,10 +627,37 @@ mod tests {
 
     #[test]
     fn unknown_host_rejected() {
-        let mut net = Network::new(builders::linear(2), 64);
+        let net = Network::new(builders::linear(2), 64);
         let err = net
             .inject_from_host(tcp(77, 2, Ipv4::new(10, 0, 0, 2)))
             .unwrap_err();
         assert!(matches!(err, OfError::BadRequest(_)));
+    }
+
+    #[test]
+    fn concurrent_flow_mods_on_distinct_switches() {
+        use std::sync::Arc;
+        let net = Arc::new(Network::new(builders::linear(4), 4096));
+        std::thread::scope(|s| {
+            for d in 1u64..=4 {
+                let net = Arc::clone(&net);
+                s.spawn(move || {
+                    for i in 0..200u16 {
+                        net.apply_flow_mod(
+                            DatapathId(d),
+                            &FlowMod::add(
+                                FlowMatch::default().with_tp_dst(i + 1),
+                                Priority(10),
+                                ActionList::drop(),
+                            ),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        for d in 1u64..=4 {
+            assert_eq!(net.switch(DatapathId(d)).unwrap().table().len(), 200);
+        }
     }
 }

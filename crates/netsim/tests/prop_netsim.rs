@@ -100,7 +100,7 @@ proptest! {
         src in 1u64..6,
         dst in 1u64..6,
     ) {
-        let mut net = Network::new(builders::linear(n), 1024);
+        let net = Network::new(builders::linear(n), 1024);
         for (dpid, out_port, prio) in rules {
             if dpid > n as u64 {
                 continue;

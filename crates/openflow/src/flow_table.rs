@@ -1,6 +1,22 @@
 //! The switch-side flow table: priority-ordered rule storage with OpenFlow
 //! flow-mod semantics, lookup, timeouts and counters.
+//!
+//! # Storage layout
+//!
+//! Entries live in a slab (`slots`) and are reachable two ways:
+//!
+//! * an **exact-match index** keyed by `(flow_match, priority)` — the
+//!   identity OpenFlow uses for Add-replace, `ModifyStrict` and
+//!   `DeleteStrict` — making those commands O(1) instead of an O(n) scan;
+//! * **priority buckets** (descending priority, insertion order within a
+//!   bucket) that give `lookup` and `iter` the match order OpenFlow
+//!   requires without re-sorting on every insert.
+//!
+//! Non-strict `Modify`/`Delete` match by subsumption over arbitrary entry
+//! sets and remain O(n) by nature, as does timeout expiry.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::actions::ActionList;
@@ -82,6 +98,9 @@ pub struct RemovedEntry {
     pub reason: FlowRemovedReason,
 }
 
+/// The exact-match identity of an entry.
+type ExactKey = (FlowMatch, Priority);
+
 /// A priority-ordered flow table with OpenFlow 1.0 flow-mod semantics.
 ///
 /// # Examples
@@ -101,7 +120,16 @@ pub struct RemovedEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    /// Slab storage; `None` marks a free slot (recycled via `free`).
+    slots: Vec<Option<FlowEntry>>,
+    /// Recycled slot ids.
+    free: Vec<usize>,
+    /// `(match, priority)` → slot, for O(1) exact-identity commands.
+    index: HashMap<ExactKey, usize>,
+    /// Descending priority → slot ids in insertion order. The concatenation
+    /// of the buckets is the table's match/iteration order.
+    buckets: BTreeMap<Reverse<Priority>, Vec<usize>>,
+    len: usize,
     capacity: usize,
     lookup_count: u64,
     matched_count: u64,
@@ -111,7 +139,11 @@ impl FlowTable {
     /// Creates a table holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         FlowTable {
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            buckets: BTreeMap::new(),
+            len: 0,
             capacity,
             lookup_count: 0,
             matched_count: 0,
@@ -120,12 +152,12 @@ impl FlowTable {
 
     /// Number of installed entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` when no entries are installed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Maximum number of entries.
@@ -133,9 +165,81 @@ impl FlowTable {
         self.capacity
     }
 
-    /// Iterates over installed entries in priority order (highest first).
-    pub fn iter(&self) -> std::slice::Iter<'_, FlowEntry> {
-        self.entries.iter()
+    /// Iterates over installed entries in priority order (highest first;
+    /// insertion order within a priority).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
+        self.buckets
+            .values()
+            .flatten()
+            .map(|&i| self.slots[i].as_ref().expect("bucketed slot occupied"))
+    }
+
+    /// Slot ids in match order whose entries satisfy `pred`.
+    fn collect_matching(&self, mut pred: impl FnMut(&FlowEntry) -> bool) -> Vec<usize> {
+        self.buckets
+            .values()
+            .flatten()
+            .copied()
+            .filter(|&i| self.slots[i].as_ref().is_some_and(&mut pred))
+            .collect()
+    }
+
+    /// Removes the given slots (with per-slot reasons), returning the
+    /// entries in the order given.
+    fn remove_slots(&mut self, ids: &[(usize, FlowRemovedReason)]) -> Vec<RemovedEntry> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let mut removed = Vec::with_capacity(ids.len());
+        for &(i, reason) in ids {
+            let entry = self.slots[i].take().expect("removing occupied slot");
+            self.index
+                .remove(&(entry.flow_match.clone(), entry.priority));
+            self.free.push(i);
+            self.len -= 1;
+            removed.push(RemovedEntry { entry, reason });
+        }
+        let gone: std::collections::HashSet<usize> = ids.iter().map(|&(i, _)| i).collect();
+        self.buckets.retain(|_, v| {
+            v.retain(|i| !gone.contains(i));
+            !v.is_empty()
+        });
+        removed
+    }
+
+    fn remove_where<F: FnMut(&FlowEntry) -> bool>(
+        &mut self,
+        pred: F,
+        reason: FlowRemovedReason,
+    ) -> Vec<RemovedEntry> {
+        let ids: Vec<(usize, FlowRemovedReason)> = self
+            .collect_matching(pred)
+            .into_iter()
+            .map(|i| (i, reason))
+            .collect();
+        self.remove_slots(&ids)
+    }
+
+    /// Inserts an entry into a fresh slot, indexing it.
+    fn insert_entry(&mut self, entry: FlowEntry) {
+        let key = (entry.flow_match.clone(), entry.priority);
+        let priority = entry.priority;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.buckets
+            .entry(Reverse(priority))
+            .or_default()
+            .push(slot);
+        self.len += 1;
     }
 
     /// Applies a flow-mod at virtual time `now`, returning entries removed by
@@ -147,37 +251,21 @@ impl FlowTable {
     pub fn apply(&mut self, fm: &FlowMod, now: u64) -> Result<Vec<RemovedEntry>, OfError> {
         match fm.command {
             FlowModCommand::Add => {
-                // OpenFlow replaces an identical (match, priority) entry.
-                if let Some(existing) = self
-                    .entries
-                    .iter_mut()
-                    .find(|e| e.priority == fm.priority && e.flow_match == fm.flow_match)
-                {
-                    *existing = FlowEntry::from_mod(fm, now);
+                // OpenFlow replaces an identical (match, priority) entry in
+                // place: one index probe, no scan, bucket position retained.
+                if let Some(&slot) = self.index.get(&(fm.flow_match.clone(), fm.priority)) {
+                    self.slots[slot] = Some(FlowEntry::from_mod(fm, now));
                     return Ok(Vec::new());
                 }
-                if self.entries.len() >= self.capacity {
+                if self.len >= self.capacity {
                     return Err(OfError::TableFull);
                 }
-                let entry = FlowEntry::from_mod(fm, now);
-                // Keep entries sorted by descending priority; stable insert
-                // keeps earlier-installed rules ahead within a priority.
-                let idx = self
-                    .entries
-                    .partition_point(|e| e.priority >= entry.priority);
-                self.entries.insert(idx, entry);
+                self.insert_entry(FlowEntry::from_mod(fm, now));
                 Ok(Vec::new())
             }
             FlowModCommand::Modify => {
-                let mut touched = false;
-                for e in &mut self.entries {
-                    if fm.flow_match.subsumes(&e.flow_match) {
-                        e.actions = fm.actions.clone();
-                        e.cookie = fm.cookie;
-                        touched = true;
-                    }
-                }
-                if !touched {
+                let targets = self.collect_matching(|e| fm.flow_match.subsumes(&e.flow_match));
+                if targets.is_empty() {
                     // Per OF 1.0, modify with no match behaves like add.
                     return self.apply(
                         &FlowMod {
@@ -187,109 +275,103 @@ impl FlowTable {
                         now,
                     );
                 }
+                for i in targets {
+                    let e = self.slots[i].as_mut().expect("matched slot occupied");
+                    e.actions = fm.actions.clone();
+                    e.cookie = fm.cookie;
+                }
                 Ok(Vec::new())
             }
             FlowModCommand::ModifyStrict => {
-                let mut touched = false;
-                for e in &mut self.entries {
-                    if e.priority == fm.priority && e.flow_match == fm.flow_match {
+                match self.index.get(&(fm.flow_match.clone(), fm.priority)) {
+                    Some(&slot) => {
+                        let e = self.slots[slot].as_mut().expect("indexed slot occupied");
                         e.actions = fm.actions.clone();
                         e.cookie = fm.cookie;
-                        touched = true;
+                        Ok(Vec::new())
                     }
-                }
-                if !touched {
-                    return self.apply(
+                    None => self.apply(
                         &FlowMod {
                             command: FlowModCommand::Add,
                             ..fm.clone()
                         },
                         now,
-                    );
+                    ),
                 }
-                Ok(Vec::new())
             }
-            FlowModCommand::Delete => {
-                Ok(self.remove_where(|e| fm.flow_match.subsumes(&e.flow_match)))
-            }
+            FlowModCommand::Delete => Ok(self.remove_where(
+                |e| fm.flow_match.subsumes(&e.flow_match),
+                FlowRemovedReason::Delete,
+            )),
             FlowModCommand::DeleteStrict => {
-                Ok(self
-                    .remove_where(|e| e.priority == fm.priority && e.flow_match == fm.flow_match))
+                let ids: Vec<(usize, FlowRemovedReason)> = self
+                    .index
+                    .get(&(fm.flow_match.clone(), fm.priority))
+                    .map(|&slot| (slot, FlowRemovedReason::Delete))
+                    .into_iter()
+                    .collect();
+                Ok(self.remove_slots(&ids))
             }
         }
-    }
-
-    fn remove_where<F: FnMut(&FlowEntry) -> bool>(&mut self, mut pred: F) -> Vec<RemovedEntry> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if pred(e) {
-                removed.push(RemovedEntry {
-                    entry: e.clone(),
-                    reason: FlowRemovedReason::Delete,
-                });
-                false
-            } else {
-                true
-            }
-        });
-        removed
     }
 
     /// Removes every entry whose cookie carries the given owner id. Used to
     /// reclaim a crashed app's rules without knowing its matches.
     pub fn remove_owned_by(&mut self, owner: u16) -> Vec<RemovedEntry> {
-        self.remove_where(|e| e.cookie.owner() == owner)
+        self.remove_where(|e| e.cookie.owner() == owner, FlowRemovedReason::Delete)
     }
 
     /// Looks up the highest-priority entry matching the frame and updates its
-    /// counters. Returns a clone of the matched entry.
+    /// counters. Returns a borrow of the matched entry — callers that need
+    /// to retain it across further table mutation clone explicitly.
     pub fn lookup(
         &mut self,
         in_port: PortNo,
         frame: &EthernetFrame,
         byte_len: usize,
         now: u64,
-    ) -> Option<FlowEntry> {
+    ) -> Option<&FlowEntry> {
         self.lookup_count += 1;
-        let hit = self
-            .entries
-            .iter_mut()
-            .find(|e| e.flow_match.matches_frame(in_port, frame))?;
+        let slot = self.buckets.values().flatten().copied().find(|&i| {
+            self.slots[i]
+                .as_ref()
+                .is_some_and(|e| e.flow_match.matches_frame(in_port, frame))
+        })?;
+        self.matched_count += 1;
+        let hit = self.slots[slot].as_mut().expect("matched slot occupied");
         hit.packet_count += 1;
         hit.byte_count += byte_len as u64;
         hit.last_hit_at = now;
-        self.matched_count += 1;
-        Some(hit.clone())
+        Some(&*hit)
     }
 
     /// Expires entries whose idle or hard timeout has passed at `now`,
     /// returning them with the appropriate reason.
     pub fn expire(&mut self, now: u64) -> Vec<RemovedEntry> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            let hard = e.hard_timeout != 0 && now >= e.installed_at + e.hard_timeout as u64;
-            let idle = e.idle_timeout != 0 && now >= e.last_hit_at + e.idle_timeout as u64;
-            if hard || idle {
-                removed.push(RemovedEntry {
-                    entry: e.clone(),
-                    reason: if hard {
-                        FlowRemovedReason::HardTimeout
-                    } else {
-                        FlowRemovedReason::IdleTimeout
-                    },
-                });
-                false
-            } else {
-                true
-            }
-        });
-        removed
+        let due: Vec<(usize, FlowRemovedReason)> = self
+            .buckets
+            .values()
+            .flatten()
+            .copied()
+            .filter_map(|i| {
+                let e = self.slots[i].as_ref()?;
+                let hard = e.hard_timeout != 0 && now >= e.installed_at + e.hard_timeout as u64;
+                let idle = e.idle_timeout != 0 && now >= e.last_hit_at + e.idle_timeout as u64;
+                if hard {
+                    Some((i, FlowRemovedReason::HardTimeout))
+                } else if idle {
+                    Some((i, FlowRemovedReason::IdleTimeout))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.remove_slots(&due)
     }
 
     /// Per-flow stats for entries subsumed by `query`.
     pub fn flow_stats(&self, query: &FlowMatch, now: u64) -> Vec<FlowStats> {
-        self.entries
-            .iter()
+        self.iter()
             .filter(|e| query.subsumes(&e.flow_match))
             .map(|e| e.to_stats(now))
             .collect()
@@ -298,11 +380,7 @@ impl FlowTable {
     /// Aggregate stats over entries subsumed by `query`.
     pub fn aggregate_stats(&self, query: &FlowMatch) -> AggregateStats {
         let mut agg = AggregateStats::default();
-        for e in self
-            .entries
-            .iter()
-            .filter(|e| query.subsumes(&e.flow_match))
-        {
+        for e in self.iter().filter(|e| query.subsumes(&e.flow_match)) {
             agg.packet_count += e.packet_count;
             agg.byte_count += e.byte_count;
             agg.flow_count += 1;
@@ -313,7 +391,7 @@ impl FlowTable {
     /// Table-level counters.
     pub fn table_stats(&self) -> TableStats {
         TableStats {
-            active_count: self.entries.len() as u32,
+            active_count: self.len as u32,
             lookup_count: self.lookup_count,
             matched_count: self.matched_count,
             max_entries: self.capacity as u32,
@@ -322,10 +400,7 @@ impl FlowTable {
 
     /// Count of entries owned by the given cookie owner id.
     pub fn count_owned_by(&self, owner: u16) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.cookie.owner() == owner)
-            .count()
+        self.iter().filter(|e| e.cookie.owner() == owner).count()
     }
 }
 
@@ -409,6 +484,23 @@ mod tests {
     }
 
     #[test]
+    fn capacity_reusable_after_delete() {
+        let mut t = FlowTable::new(2);
+        t.apply(&add(FlowMatch::default().with_tp_dst(1), 1, 1), 0)
+            .unwrap();
+        t.apply(&add(FlowMatch::default().with_tp_dst(2), 1, 1), 0)
+            .unwrap();
+        let removed = t
+            .apply(&FlowMod::delete(FlowMatch::default().with_tp_dst(1)), 1)
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        // The freed slot is reusable.
+        t.apply(&add(FlowMatch::default().with_tp_dst(3), 1, 1), 1)
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn delete_by_subsumption() {
         let mut t = FlowTable::new(16);
         t.apply(
@@ -470,6 +562,23 @@ mod tests {
         let e = t.iter().next().unwrap();
         assert_eq!(e.actions, ActionList::output(PortNo(7)));
         assert_eq!(e.packet_count, 1, "modify must keep counters");
+    }
+
+    #[test]
+    fn modify_strict_rewrites_only_exact_identity() {
+        let mut t = FlowTable::new(16);
+        let m = FlowMatch::default().with_tp_dst(80);
+        t.apply(&add(m.clone(), 5, 1), 0).unwrap();
+        t.apply(&add(m.clone(), 6, 2), 0).unwrap();
+        let mut modify = add(m.clone(), 5, 9);
+        modify.command = FlowModCommand::ModifyStrict;
+        t.apply(&modify, 1).unwrap();
+        let actions: Vec<_> = t.iter().map(|e| e.actions.clone()).collect();
+        assert_eq!(
+            actions,
+            vec![ActionList::output(PortNo(2)), ActionList::output(PortNo(9))],
+            "only the priority-5 entry rewritten"
+        );
     }
 
     #[test]
@@ -544,5 +653,25 @@ mod tests {
         assert_eq!(t.count_owned_by(7), 2);
         assert_eq!(t.count_owned_by(8), 1);
         assert_eq!(t.count_owned_by(9), 0);
+    }
+
+    #[test]
+    fn iteration_order_stable_within_priority() {
+        let mut t = FlowTable::new(16);
+        for port in [10u16, 20, 30] {
+            t.apply(&add(FlowMatch::default().with_tp_dst(port), 5, port), 0)
+                .unwrap();
+        }
+        t.apply(&add(FlowMatch::default().with_tp_dst(99), 9, 99), 0)
+            .unwrap();
+        let order: Vec<u16> = t.iter().map(|e| e.flow_match.tp_dst.unwrap()).collect();
+        assert_eq!(order, vec![99, 10, 20, 30]);
+        // Deleting the middle one preserves the rest of the order.
+        let mut del = FlowMod::delete(FlowMatch::default().with_tp_dst(20));
+        del.command = FlowModCommand::DeleteStrict;
+        del.priority = Priority(5);
+        t.apply(&del, 1).unwrap();
+        let order: Vec<u16> = t.iter().map(|e| e.flow_match.tp_dst.unwrap()).collect();
+        assert_eq!(order, vec![99, 10, 30]);
     }
 }

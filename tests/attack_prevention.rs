@@ -229,7 +229,7 @@ fn class2_blocked_on_sdnshield() {
     // Forensics: the audit log shows the denied host_connect.
     let denials: Vec<_> = c
         .kernel()
-        .audit_records()
+        .audit_records_since(0)
         .into_iter()
         .filter(|r| {
             r.app == app_id && r.outcome == sdnshield::controller::audit::AuditOutcome::Denied
