@@ -1,0 +1,181 @@
+//! `shieldcheck` — static analyzer CLI for SDNShield manifests and policies.
+//!
+//! ```text
+//! shieldcheck [--format text|json] [--market] [--deny-warnings] FILE...
+//! ```
+//!
+//! Files ending in `.pol` are policies; everything else is a manifest.
+//! With `--market`, the manifests and the (single) policy are additionally
+//! cross-checked as one app-market submission: `APP` references must name a
+//! submitted manifest, and stub macros must be completed by the policy.
+//!
+//! Exit status: `0` clean (or warnings only), `1` findings at the failing
+//! severity (errors, or warnings too under `--deny-warnings`), `2` usage or
+//! I/O error.
+
+use std::process::ExitCode;
+
+use sdnshield_analysis::{analyze_manifest, analyze_market, analyze_policy, Diagnostic, Severity};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    market: bool,
+    deny_warnings: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: shieldcheck [--format text|json] [--market] [--deny-warnings] FILE...
+  FILE            manifest source, or policy when the name ends in .pol
+  --format FMT    output format: text (default) or json
+  --market        cross-check all manifests against the single policy
+  --deny-warnings exit 1 on warnings as well as errors";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        market: false,
+        deny_warnings: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--market" => opts.market = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(opts)
+}
+
+fn is_policy(path: &str) -> bool {
+    path.ends_with(".pol")
+}
+
+/// An app's name in market mode: the file stem.
+fn app_name(path: &str) -> &str {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    base.strip_suffix(".perm").unwrap_or(base)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Read everything up front so I/O failures exit 2 before any analysis.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in &opts.files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => sources.push((path.clone(), src)),
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // (origin, source, diagnostics) triples for rendering.
+    let mut results: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
+    if opts.market {
+        let policies: Vec<&(String, String)> =
+            sources.iter().filter(|(p, _)| is_policy(p)).collect();
+        if policies.len() != 1 {
+            eprintln!(
+                "error: --market needs exactly one policy (.pol) among the inputs, found {}",
+                policies.len()
+            );
+            return ExitCode::from(2);
+        }
+        let (policy_path, policy_src) = policies[0];
+        let manifests: Vec<(&str, &str)> = sources
+            .iter()
+            .filter(|(p, _)| !is_policy(p))
+            .map(|(p, s)| (app_name(p), s.as_str()))
+            .collect();
+        let report = analyze_market(&manifests, policy_src);
+        let manifest_sources: Vec<&(String, String)> =
+            sources.iter().filter(|(p, _)| !is_policy(p)).collect();
+        for ((path, src), (_, diags)) in manifest_sources.iter().zip(report.manifests) {
+            results.push((path.clone(), src.clone(), diags));
+        }
+        results.push((policy_path.clone(), policy_src.clone(), report.policy));
+    } else {
+        for (path, src) in &sources {
+            let diags = if is_policy(path) {
+                analyze_policy(src)
+            } else {
+                analyze_manifest(src)
+            };
+            results.push((path.clone(), src.clone(), diags));
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    match opts.format {
+        Format::Json => {
+            let mut objects = Vec::new();
+            for (origin, _, diags) in &results {
+                for d in diags {
+                    objects.push(d.render_json(origin));
+                }
+            }
+            println!("[{}]", objects.join(","));
+        }
+        Format::Text => {
+            for (origin, src, diags) in &results {
+                for d in diags {
+                    print!("{}", d.render_text(src, origin));
+                }
+            }
+        }
+    }
+    for (_, _, diags) in &results {
+        for d in diags {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+    }
+    if opts.format == Format::Text {
+        println!(
+            "shieldcheck: {} file(s), {errors} error(s), {warnings} warning(s)",
+            results.len()
+        );
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

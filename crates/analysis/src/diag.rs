@@ -1,0 +1,186 @@
+//! The diagnostics engine: structured findings with source spans, rendered
+//! either as caret-underlined terminal text or as JSON.
+
+use std::fmt;
+
+use sdnshield_core::Span;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; accepted by default.
+    Warning,
+    /// A defect: the artifact is rejected by gating consumers (CI, the
+    /// kernel's pre-registration check).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding produced by the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable registry code (`SH0xx`, see DESIGN.md).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Where in the source the problem is, when known. `None` for findings
+    /// over span-less inputs (e.g. an already-parsed `PermissionSet` handed
+    /// to the kernel).
+    pub span: Option<Span>,
+    /// Supplementary context lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a finding at a span; a zero span (line 0) from a span-less
+    /// tree is normalized to `None`.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: if span.line == 0 { None } else { Some(span) },
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders `rustc`-style text with a caret underline pointing at the
+    /// span within `src` (the artifact's source text). `origin` names the
+    /// artifact (file path or app name) in the `-->` line.
+    pub fn render_text(&self, src: &str, origin: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if let Some(span) = self.span {
+            out.push_str(&format!("  --> {origin}:{}:{}\n", span.line, span.col));
+            if let Some(line_text) = src.lines().nth(span.line as usize - 1) {
+                let gutter = span.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                out.push_str(&format!("{pad} |\n"));
+                out.push_str(&format!("{gutter} | {line_text}\n"));
+                // The lexer counts characters, so underline by char index
+                // (clamped to the line in case the span is stale).
+                let indent = line_text.chars().take(span.col as usize - 1).count();
+                let carets = "^".repeat(span.len.max(1) as usize);
+                out.push_str(&format!("{pad} | {}{carets}\n", " ".repeat(indent)));
+            }
+        } else {
+            out.push_str(&format!("  --> {origin}\n"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders one JSON object (no trailing newline). The shape is stable:
+    /// `{"code","severity","message","origin","line","col","len","notes"}`,
+    /// with `line`/`col`/`len` null when the finding has no span.
+    pub fn render_json(&self, origin: &str) -> String {
+        let (line, col, len) = match self.span {
+            Some(s) => (s.line.to_string(), s.col.to_string(), s.len.to_string()),
+            None => ("null".into(), "null".into(), "null".into()),
+        };
+        let notes = self
+            .notes
+            .iter()
+            .map(|n| json_string(n))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"code\":{},\"severity\":{},\"message\":{},\"origin\":{},\"line\":{line},\"col\":{col},\"len\":{len},\"notes\":[{notes}]}}",
+            json_string(self.code),
+            json_string(&self.severity.to_string()),
+            json_string(&self.message),
+            json_string(origin),
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_points_at_span() {
+        let d = Diagnostic::new(
+            "SH001",
+            Severity::Error,
+            "conjunction is unsatisfiable",
+            Span::new(2, 27, 6),
+        )
+        .with_note("both conjuncts constrain IP_DST to disjoint subnets");
+        let src =
+            "PERM read_statistics\nPERM insert_flow LIMITING IP_DST 10.0.0.1 AND IP_DST 10.0.0.2";
+        let text = d.render_text(src, "m.perm");
+        assert!(text.contains("error[SH001]"), "{text}");
+        assert!(text.contains("--> m.perm:2:27"), "{text}");
+        assert!(text.contains("^^^^^^"), "{text}");
+        assert!(text.contains("= note:"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic::new(
+            "SH005",
+            Severity::Warning,
+            "binding `x\"y` is never used",
+            Span::new(1, 5, 1),
+        );
+        let json = d.render_json("p.pol");
+        assert!(json.contains("\"code\":\"SH005\""), "{json}");
+        assert!(json.contains("\\\"y"), "{json}");
+        assert!(json.contains("\"line\":1"), "{json}");
+    }
+
+    #[test]
+    fn spanless_renders_null_span() {
+        let d = Diagnostic::new(
+            "SH004",
+            Severity::Warning,
+            "broad grant",
+            Span::new(0, 0, 0),
+        );
+        assert_eq!(d.span, None);
+        assert!(d.render_json("app:7").contains("\"line\":null"));
+        assert!(d.render_text("", "app:7").contains("--> app:7\n"));
+    }
+}

@@ -1,0 +1,172 @@
+//! `sdnshield-analysis` — static analysis for SDNShield permission manifests
+//! (Appendix A) and security policies (Appendix B).
+//!
+//! The analyzer vets app-market submissions *before* any controller is
+//! instantiated: it parses artifacts with span-carrying ASTs and runs
+//! semantic lint passes built on the paper's Algorithm-1 inclusion algebra.
+//! Every finding is a [`Diagnostic`] with a stable `SH0xx` code, a severity,
+//! a source span, and notes, renderable as caret-underlined text or JSON.
+//!
+//! # Code registry
+//!
+//! | Code  | Severity | Finding |
+//! |-------|----------|---------|
+//! | SH000 | error    | syntax error (lex/parse failure) |
+//! | SH001 | error    | unsatisfiable filter conjunction (provably disjoint conjuncts) |
+//! | SH002 | warning  | shadowed/redundant OR branch (subsumed by a sibling) |
+//! | SH003 | warning  | duplicate permission declaration (filters OR-join) |
+//! | SH004 | warning  | sensitive (write-class) token granted without a narrowing filter |
+//! | SH005 | warning  | unused LET binding / orphaned filter macro |
+//! | SH006 | error    | undefined variable reference |
+//! | SH007 | warning  | vacuous mutual exclusion (an operand is empty) |
+//! | SH008 | warning  | overlapping mutual-exclusion operands |
+//! | SH009 | error    | `APP` reference to an unknown app (market mode) |
+//! | SH010 | warning  | constant assertion (references no app; can never trigger) |
+//! | SH011 | warning  | stub macro not completed by the policy (market mode) |
+//!
+//! # Examples
+//!
+//! ```
+//! use sdnshield_analysis::analyze_manifest;
+//!
+//! let diags = analyze_manifest(
+//!     "PERM insert_flow LIMITING IP_DST 10.0.0.1 AND IP_DST 10.0.0.2",
+//! );
+//! assert_eq!(diags[0].code, "SH001");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lint;
+
+use sdnshield_core::lang::{parse_manifest_spanned, SpannedExpr, SpannedManifest, SpannedPerm};
+use sdnshield_core::policy::parse_policy_spanned;
+use sdnshield_core::{PermissionSet, SyntaxError};
+
+pub use diag::{Diagnostic, Severity};
+pub use lint::MarketManifest;
+
+/// Analyzes a manifest source text: parse (SH000 on failure) + all manifest
+/// lint passes. Diagnostics are ordered by source position.
+pub fn analyze_manifest(src: &str) -> Vec<Diagnostic> {
+    match parse_manifest_spanned(src) {
+        Ok(m) => sorted(lint::lint_manifest(&m)),
+        Err(e) => vec![syntax_diag(&e)],
+    }
+}
+
+/// Analyzes a policy source text in isolation: parse (SH000 on failure) +
+/// the policy lint passes that need no manifests.
+pub fn analyze_policy(src: &str) -> Vec<Diagnostic> {
+    match parse_policy_spanned(src) {
+        Ok(p) => sorted(lint::lint_policy(&p)),
+        Err(e) => vec![syntax_diag(&e)],
+    }
+}
+
+/// The result of a whole-market analysis: per-manifest findings plus policy
+/// findings, each attributed to the artifact they point into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketReport {
+    /// Diagnostics per manifest, in submission order, keyed by app name.
+    pub manifests: Vec<(String, Vec<Diagnostic>)>,
+    /// Diagnostics pointing into the policy.
+    pub policy: Vec<Diagnostic>,
+}
+
+impl MarketReport {
+    /// Does any finding (anywhere) reach the given severity?
+    pub fn has_severity(&self, severity: Severity) -> bool {
+        self.manifests
+            .iter()
+            .flat_map(|(_, ds)| ds.iter())
+            .chain(self.policy.iter())
+            .any(|d| d.severity >= severity)
+    }
+}
+
+/// Analyzes an app market: every manifest individually, the policy, and the
+/// cross-artifact checks (unknown `APP` references, uncompleted stubs,
+/// orphaned filter macros). `manifests` pairs each app name with its source.
+pub fn analyze_market(manifests: &[(&str, &str)], policy_src: &str) -> MarketReport {
+    let mut parsed: Vec<(usize, SpannedManifest)> = Vec::new();
+    let mut report = MarketReport {
+        manifests: manifests
+            .iter()
+            .map(|(name, _)| ((*name).to_owned(), Vec::new()))
+            .collect(),
+        policy: Vec::new(),
+    };
+    for (i, (_, src)) in manifests.iter().enumerate() {
+        match parse_manifest_spanned(src) {
+            Ok(m) => {
+                report.manifests[i].1.extend(lint::lint_manifest(&m));
+                parsed.push((i, m));
+            }
+            Err(e) => report.manifests[i].1.push(syntax_diag(&e)),
+        }
+    }
+    match parse_policy_spanned(policy_src) {
+        Ok(policy) => {
+            let market: Vec<MarketManifest<'_>> = parsed
+                .iter()
+                .map(|(i, m)| MarketManifest {
+                    name: manifests[*i].0,
+                    manifest: m,
+                })
+                .collect();
+            report.policy = lint::lint_policy_with(&policy, Some(&market));
+            for (i, m) in &parsed {
+                report.manifests[*i].1.extend(lint::stub_lints(m, &policy));
+            }
+        }
+        Err(e) => report.policy.push(syntax_diag(&e)),
+    }
+    for (_, ds) in &mut report.manifests {
+        *ds = sorted(std::mem::take(ds));
+    }
+    report.policy = sorted(std::mem::take(&mut report.policy));
+    report
+}
+
+/// Analyzes an already-parsed permission set (the kernel's pre-registration
+/// path). Spans are unavailable, so diagnostics carry `span: None`.
+pub fn analyze_permission_set(set: &PermissionSet) -> Vec<Diagnostic> {
+    let m = SpannedManifest {
+        perms: set
+            .iter()
+            .map(|(token, filter)| SpannedPerm {
+                token,
+                keyword_span: SpannedExpr::DUMMY_SPAN,
+                name_span: SpannedExpr::DUMMY_SPAN,
+                filter: Some(SpannedExpr::from_expr(filter)),
+            })
+            .collect(),
+    };
+    lint::lint_manifest(&m)
+}
+
+/// Does any diagnostic in the slice reach the given severity?
+pub fn has_severity(diags: &[Diagnostic], severity: Severity) -> bool {
+    diags.iter().any(|d| d.severity >= severity)
+}
+
+fn syntax_diag(e: &SyntaxError) -> Diagnostic {
+    Diagnostic::new(
+        "SH000",
+        Severity::Error,
+        format!("syntax error: {}", e.message),
+        e.span(),
+    )
+}
+
+/// Stable order: by position, then code.
+fn sorted(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by_key(|d| {
+        let (l, c) = d.span.map(|s| (s.line, s.col)).unwrap_or((0, 0));
+        (l, c, d.code)
+    });
+    diags
+}

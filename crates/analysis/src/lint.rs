@@ -1,0 +1,590 @@
+//! Semantic lint passes over parsed manifests and policies.
+//!
+//! The passes reuse the Algorithm-1 CNF/DNF machinery from
+//! `sdnshield_core::algebra` for subsumption and disjointness reasoning, so
+//! every verdict here is *sound*: a reported shadowing or unsatisfiability is
+//! provable under the paper's inclusion relation (unknown relations stay
+//! silent rather than produce false positives).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdnshield_core::algebra::{self, to_dnf, Literal};
+use sdnshield_core::filter::{FilterExpr, SingletonFilter};
+use sdnshield_core::lang::{SpannedExpr, SpannedManifest};
+use sdnshield_core::policy::{
+    CmpOp, SpannedAssertion, SpannedPermSetExpr, SpannedPolicy, SpannedStmtKind,
+};
+use sdnshield_core::reconcile::CURRENT_APP;
+use sdnshield_core::token::ActionClass;
+use sdnshield_core::{PermissionSet, PermissionToken, Span};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Variable-resolution depth cap (policies are tiny; this only guards
+/// against pathological self-referential chains).
+const MAX_RESOLVE_DEPTH: u32 = 8;
+
+/// Lints a parsed manifest: duplicate grants, overly-broad sensitive grants,
+/// unsatisfiable conjunctions, shadowed OR branches.
+pub fn lint_manifest(m: &SpannedManifest) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut first_seen: BTreeMap<PermissionToken, Span> = BTreeMap::new();
+    for p in &m.perms {
+        if let Some(prev) = first_seen.get(&p.token) {
+            out.push(
+                Diagnostic::new(
+                    "SH003",
+                    Severity::Warning,
+                    format!(
+                        "permission `{}` is declared more than once; the filters are OR-joined",
+                        p.token.name()
+                    ),
+                    p.name_span,
+                )
+                .with_note(locate("first declaration", *prev)),
+            );
+        } else {
+            first_seen.insert(p.token, p.name_span);
+        }
+        let unrestricted = match &p.filter {
+            None => true,
+            Some(f) => matches!(f.to_expr(), FilterExpr::True),
+        };
+        if unrestricted && p.token.action() == ActionClass::Write {
+            out.push(
+                Diagnostic::new(
+                    "SH004",
+                    Severity::Warning,
+                    format!(
+                        "sensitive permission `{}` is granted without a narrowing filter",
+                        p.token.name()
+                    ),
+                    p.name_span,
+                )
+                .with_note(
+                    "write-class tokens should be scoped with LIMITING \
+                     (e.g. OWN_FLOWS, a subnet predicate, or a priority bound)",
+                ),
+            );
+        }
+        if let Some(f) = &p.filter {
+            lint_filter(f, &mut out);
+        }
+    }
+    out
+}
+
+/// Lints one filter expression tree (recursive).
+pub fn lint_filter(e: &SpannedExpr, out: &mut Vec<Diagnostic>) {
+    match e {
+        SpannedExpr::And(parts) => {
+            let lowered: Vec<FilterExpr> = parts.iter().map(SpannedExpr::to_expr).collect();
+            for i in 0..parts.len() {
+                for j in (i + 1)..parts.len() {
+                    if provably_disjoint(&lowered[i], &lowered[j]) {
+                        out.push(
+                            Diagnostic::new(
+                                "SH001",
+                                Severity::Error,
+                                "conjunction is unsatisfiable: \
+                                 these conjuncts are provably disjoint",
+                                parts[j].span(),
+                            )
+                            .with_note(locate("conflicts with the conjunct", parts[i].span()))
+                            .with_note(
+                                "no API call can ever satisfy this filter; did you mean OR?",
+                            ),
+                        );
+                    }
+                }
+            }
+            for p in parts {
+                lint_filter(p, out);
+            }
+        }
+        SpannedExpr::Or(parts) => {
+            let lowered: Vec<FilterExpr> = parts.iter().map(SpannedExpr::to_expr).collect();
+            for i in 0..parts.len() {
+                let shadowing = (0..parts.len()).find(|&j| {
+                    j != i
+                        && algebra::includes(&lowered[j], &lowered[i])
+                        && (j < i || !algebra::includes(&lowered[i], &lowered[j]))
+                });
+                if let Some(j) = shadowing {
+                    out.push(
+                        Diagnostic::new(
+                            "SH002",
+                            Severity::Warning,
+                            "this OR branch is redundant: a sibling branch already covers it",
+                            parts[i].span(),
+                        )
+                        .with_note(locate("subsumed by the branch", parts[j].span())),
+                    );
+                }
+            }
+            for p in parts {
+                lint_filter(p, out);
+            }
+        }
+        SpannedExpr::Not(inner, _) => lint_filter(inner, out),
+        SpannedExpr::True(_) | SpannedExpr::Atom(_, _) => {}
+    }
+}
+
+/// Provable unsatisfiability of `a AND b`: every DNF term of `a` conflicts
+/// with every DNF term of `b`. Sound, not complete (`false` = unknown).
+fn provably_disjoint(a: &FilterExpr, b: &FilterExpr) -> bool {
+    let (Some(da), Some(db)) = (to_dnf(a), to_dnf(b)) else {
+        return false;
+    };
+    // An empty DNF means the side is already false — vacuously disjoint.
+    if da.is_empty() || db.is_empty() {
+        return true;
+    }
+    da.iter()
+        .all(|ta| db.iter().all(|tb| terms_conflict(ta, tb)))
+}
+
+fn terms_conflict(a: &[Literal], b: &[Literal]) -> bool {
+    a.iter()
+        .any(|la| b.iter().any(|lb| literals_conflict(la, lb)))
+}
+
+fn literals_conflict(a: &Literal, b: &Literal) -> bool {
+    match (a.negated, b.negated) {
+        (false, false) => a.filter.disjoint_with(&b.filter),
+        // x ∧ ¬y is unsatisfiable when y ⊇ x.
+        (false, true) => b.filter.includes(&a.filter),
+        (true, false) => a.filter.includes(&b.filter),
+        (true, true) => false,
+    }
+}
+
+/// Per-app market context: the parsed manifests the policy governs.
+pub struct MarketManifest<'a> {
+    /// The app's name (how `APP name` refers to it).
+    pub name: &'a str,
+    /// Its spanned manifest.
+    pub manifest: &'a SpannedManifest,
+}
+
+/// Lints a parsed policy in isolation (no manifests available).
+pub fn lint_policy(p: &SpannedPolicy) -> Vec<Diagnostic> {
+    lint_policy_with(p, None)
+}
+
+/// Lints a policy, optionally against the manifests of a whole app market.
+/// With manifests present, `APP` references are checked against the market
+/// (SH009) and filter-macro bindings are matched against manifest stubs
+/// (SH005 for orphaned macros; the manifest-side SH011 is emitted by
+/// [`stub_lints`]).
+pub fn lint_policy_with(
+    p: &SpannedPolicy,
+    market: Option<&[MarketManifest<'_>]>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Binding tables. Later bindings shadow earlier ones for resolution;
+    // usage is tracked by name.
+    let mut perm_set_binds: BTreeMap<&str, &SpannedPermSetExpr> = BTreeMap::new();
+    let mut perm_set_decls: Vec<(&str, Span)> = Vec::new();
+    let mut filter_decls: Vec<(&str, Span)> = Vec::new();
+    for stmt in &p.stmts {
+        match &stmt.kind {
+            SpannedStmtKind::LetPermSet {
+                name,
+                name_span,
+                value,
+            } => {
+                perm_set_binds.insert(name.as_str(), value);
+                perm_set_decls.push((name.as_str(), *name_span));
+            }
+            SpannedStmtKind::LetFilter {
+                name, name_span, ..
+            } => {
+                filter_decls.push((name.as_str(), *name_span));
+            }
+            SpannedStmtKind::Assert(_) => {}
+        }
+    }
+
+    // Walk every perm-set expression: undefined references + usage marks.
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    let visit_expr = |e: &'_ SpannedPermSetExpr, out: &mut Vec<Diagnostic>| {
+        walk_perm_set_expr(e, &mut |node| match node {
+            SpannedPermSetExpr::Var(name, span) if !perm_set_binds.contains_key(name.as_str()) => {
+                out.push(
+                    Diagnostic::new(
+                        "SH006",
+                        Severity::Error,
+                        format!("variable `{name}` is not bound by any LET statement"),
+                        *span,
+                    )
+                    .with_note("reconciliation aborts with an unbound-variable error here"),
+                );
+            }
+            SpannedPermSetExpr::App(name, span) => {
+                if let Some(apps) = market {
+                    if name != CURRENT_APP && !apps.iter().any(|a| a.name == name) {
+                        out.push(
+                            Diagnostic::new(
+                                "SH009",
+                                Severity::Error,
+                                format!("`APP {name}` does not match any submitted manifest"),
+                                *span,
+                            )
+                            .with_note(format!(
+                                "known apps: {} (and the reserved name `{CURRENT_APP}`)",
+                                known_apps(apps)
+                            )),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        });
+    };
+
+    for stmt in &p.stmts {
+        match &stmt.kind {
+            SpannedStmtKind::LetPermSet { value, .. } => {
+                mark_vars_used(value, &mut used);
+                visit_expr(value, &mut out);
+            }
+            SpannedStmtKind::LetFilter { expr, .. } => {
+                lint_filter(expr, &mut out);
+            }
+            SpannedStmtKind::Assert(a) => {
+                walk_assertion_exprs(a, &mut |e| {
+                    mark_vars_used(e, &mut used);
+                });
+                walk_assertion_exprs(a, &mut |e| visit_expr(e, &mut out));
+                lint_assertion(a, stmt.span, &perm_set_binds, &mut out);
+            }
+        }
+    }
+
+    // SH005: unused bindings.
+    for (name, span) in &perm_set_decls {
+        if !used.contains(name) {
+            out.push(
+                Diagnostic::new(
+                    "SH005",
+                    Severity::Warning,
+                    format!("LET binding `{name}` is never used"),
+                    *span,
+                )
+                .with_note("it is referenced by no assertion or later binding"),
+            );
+        }
+    }
+    if let Some(apps) = market {
+        let stubs: BTreeSet<String> = apps
+            .iter()
+            .flat_map(|a| a.manifest.to_set().stub_names())
+            .collect();
+        for (name, span) in &filter_decls {
+            if !stubs.contains(*name) {
+                out.push(
+                    Diagnostic::new(
+                        "SH005",
+                        Severity::Warning,
+                        format!(
+                            "filter macro `{name}` completes no stub in any submitted manifest"
+                        ),
+                        *span,
+                    )
+                    .with_note(
+                        "stub macros in manifests are matched to LET filter bindings by name",
+                    ),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Manifest-side market lint: SH011, stub macros the policy never completes.
+/// Returns diagnostics positioned inside the given manifest.
+pub fn stub_lints(m: &SpannedManifest, policy: &SpannedPolicy) -> Vec<Diagnostic> {
+    let macros: BTreeSet<&str> = policy
+        .stmts
+        .iter()
+        .filter_map(|s| match &s.kind {
+            SpannedStmtKind::LetFilter { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for p in &m.perms {
+        if let Some(f) = &p.filter {
+            walk_spanned_expr(f, &mut |e| {
+                if let SpannedExpr::Atom(SingletonFilter::Stub(name), span) = e {
+                    if !macros.contains(name.as_str()) {
+                        out.push(
+                            Diagnostic::new(
+                                "SH011",
+                                Severity::Warning,
+                                format!("stub macro `{name}` is not completed by the policy"),
+                                *span,
+                            )
+                            .with_note(
+                                "reconciliation treats an uncompleted stub as an \
+                                 unsatisfied grant; add `LET <name> = { <filter> }`",
+                            ),
+                        );
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Assertion-level lints: vacuous/overlapping mutual exclusions (SH007,
+/// SH008) and constant assertions (SH010).
+fn lint_assertion(
+    a: &SpannedAssertion,
+    stmt_span: Span,
+    binds: &BTreeMap<&str, &SpannedPermSetExpr>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let SpannedAssertion::Either(lhs, rhs, _) = a {
+        let l = resolve_set(lhs, binds, 0);
+        let r = resolve_set(rhs, binds, 0);
+        for (operand, set) in [(lhs, &l), (rhs, &r)] {
+            if let Some(s) = set {
+                if s.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            "SH007",
+                            Severity::Warning,
+                            "mutual-exclusion operand is an empty permission set; \
+                             the assertion never excludes anything",
+                            operand.span(),
+                        )
+                        .with_note("EITHER … OR … only bites when both operands are nonempty"),
+                    );
+                }
+            }
+        }
+        if let (Some(l), Some(r)) = (&l, &r) {
+            let shared = l.meet(r);
+            if !shared.is_empty() && !l.is_empty() && !r.is_empty() {
+                let tokens: Vec<&str> = shared.tokens().map(PermissionToken::name).collect();
+                out.push(
+                    Diagnostic::new(
+                        "SH008",
+                        Severity::Warning,
+                        "mutual-exclusion operands overlap; \
+                         any app granted the shared permissions violates the assertion",
+                        stmt_span,
+                    )
+                    .with_note(format!("shared: {}", tokens.join(", "))),
+                );
+            }
+        }
+        return;
+    }
+    // Boolean assertions that reference no app are constant: they either
+    // always hold or always fail, independent of what is being registered.
+    if !assertion_refs_app(a, binds, 0) {
+        let mut d = Diagnostic::new(
+            "SH010",
+            Severity::Warning,
+            "assertion references no application; it is constant and can never trigger \
+             on a registration",
+            stmt_span,
+        );
+        if let Some(v) = eval_assertion(a, binds) {
+            d = d.with_note(format!(
+                "it is always {}",
+                if v {
+                    "true (a no-op)"
+                } else {
+                    "false (every registration is rejected)"
+                }
+            ));
+        }
+        out.push(d);
+    }
+}
+
+/// Resolves a perm-set expression to a concrete set when possible
+/// (literals, variables bound to resolvable expressions, MEET/JOIN of
+/// resolvable operands). `APP` references are not resolvable statically.
+fn resolve_set(
+    e: &SpannedPermSetExpr,
+    binds: &BTreeMap<&str, &SpannedPermSetExpr>,
+    depth: u32,
+) -> Option<PermissionSet> {
+    if depth > MAX_RESOLVE_DEPTH {
+        return None;
+    }
+    match e {
+        SpannedPermSetExpr::Literal(perms, _) => {
+            let mut set = PermissionSet::new();
+            for p in perms {
+                set.insert(p.to_permission());
+            }
+            Some(set)
+        }
+        SpannedPermSetExpr::Var(name, _) => binds
+            .get(name.as_str())
+            .and_then(|v| resolve_set(v, binds, depth + 1)),
+        SpannedPermSetExpr::App(_, _) => None,
+        SpannedPermSetExpr::Meet(a, b) => {
+            Some(resolve_set(a, binds, depth + 1)?.meet(&resolve_set(b, binds, depth + 1)?))
+        }
+        SpannedPermSetExpr::Join(a, b) => {
+            Some(resolve_set(a, binds, depth + 1)?.join(&resolve_set(b, binds, depth + 1)?))
+        }
+    }
+}
+
+/// Does the assertion (transitively through variable bindings) reference any
+/// application manifest? Deep/cyclic chains conservatively answer `true`.
+fn assertion_refs_app(
+    a: &SpannedAssertion,
+    binds: &BTreeMap<&str, &SpannedPermSetExpr>,
+    depth: u32,
+) -> bool {
+    match a {
+        // EITHER quantifies over every app implicitly; never constant.
+        SpannedAssertion::Either(_, _, _) => true,
+        SpannedAssertion::Compare { lhs, rhs, .. } => {
+            expr_refs_app(lhs, binds, depth) || expr_refs_app(rhs, binds, depth)
+        }
+        SpannedAssertion::And(xs) | SpannedAssertion::Or(xs) => {
+            xs.iter().any(|x| assertion_refs_app(x, binds, depth))
+        }
+        SpannedAssertion::Not(x, _) => assertion_refs_app(x, binds, depth),
+    }
+}
+
+fn expr_refs_app(
+    e: &SpannedPermSetExpr,
+    binds: &BTreeMap<&str, &SpannedPermSetExpr>,
+    depth: u32,
+) -> bool {
+    if depth > MAX_RESOLVE_DEPTH {
+        return true; // assume the worst
+    }
+    match e {
+        SpannedPermSetExpr::App(_, _) => true,
+        SpannedPermSetExpr::Literal(_, _) => false,
+        SpannedPermSetExpr::Var(name, _) => binds
+            .get(name.as_str())
+            .is_some_and(|v| expr_refs_app(v, binds, depth + 1)),
+        SpannedPermSetExpr::Meet(a, b) | SpannedPermSetExpr::Join(a, b) => {
+            expr_refs_app(a, binds, depth) || expr_refs_app(b, binds, depth)
+        }
+    }
+}
+
+/// Evaluates an app-free assertion to a constant, when all operands resolve.
+fn eval_assertion(
+    a: &SpannedAssertion,
+    binds: &BTreeMap<&str, &SpannedPermSetExpr>,
+) -> Option<bool> {
+    match a {
+        SpannedAssertion::Either(_, _, _) => None,
+        SpannedAssertion::Compare { lhs, op, rhs, .. } => {
+            let l = resolve_set(lhs, binds, 0)?;
+            let r = resolve_set(rhs, binds, 0)?;
+            let le = r.includes(&l);
+            let ge = l.includes(&r);
+            Some(match op {
+                CmpOp::Le => le,
+                CmpOp::Ge => ge,
+                CmpOp::Eq => le && ge,
+                CmpOp::Lt => le && !ge,
+                CmpOp::Gt => ge && !le,
+            })
+        }
+        SpannedAssertion::And(xs) => {
+            let mut acc = true;
+            for x in xs {
+                acc &= eval_assertion(x, binds)?;
+            }
+            Some(acc)
+        }
+        SpannedAssertion::Or(xs) => {
+            let mut acc = false;
+            for x in xs {
+                acc |= eval_assertion(x, binds)?;
+            }
+            Some(acc)
+        }
+        SpannedAssertion::Not(x, _) => eval_assertion(x, binds).map(|v| !v),
+    }
+}
+
+/// Marks every variable referenced by `e` as used.
+fn mark_vars_used<'a>(e: &'a SpannedPermSetExpr, used: &mut BTreeSet<&'a str>) {
+    walk_perm_set_expr(e, &mut |node| {
+        if let SpannedPermSetExpr::Var(name, _) = node {
+            used.insert(name.as_str());
+        }
+    });
+}
+
+fn walk_spanned_expr<'a>(e: &'a SpannedExpr, f: &mut impl FnMut(&'a SpannedExpr)) {
+    f(e);
+    match e {
+        SpannedExpr::And(parts) | SpannedExpr::Or(parts) => {
+            for p in parts {
+                walk_spanned_expr(p, f);
+            }
+        }
+        SpannedExpr::Not(inner, _) => walk_spanned_expr(inner, f),
+        SpannedExpr::True(_) | SpannedExpr::Atom(_, _) => {}
+    }
+}
+
+fn walk_perm_set_expr<'a>(e: &'a SpannedPermSetExpr, f: &mut impl FnMut(&'a SpannedPermSetExpr)) {
+    f(e);
+    match e {
+        SpannedPermSetExpr::Meet(a, b) | SpannedPermSetExpr::Join(a, b) => {
+            walk_perm_set_expr(a, f);
+            walk_perm_set_expr(b, f);
+        }
+        _ => {}
+    }
+}
+
+fn walk_assertion_exprs<'a>(a: &'a SpannedAssertion, f: &mut impl FnMut(&'a SpannedPermSetExpr)) {
+    match a {
+        SpannedAssertion::Either(l, r, _) => {
+            f(l);
+            f(r);
+        }
+        SpannedAssertion::Compare { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        SpannedAssertion::And(xs) | SpannedAssertion::Or(xs) => {
+            for x in xs {
+                walk_assertion_exprs(x, f);
+            }
+        }
+        SpannedAssertion::Not(x, _) => walk_assertion_exprs(x, f),
+    }
+}
+
+fn known_apps(apps: &[MarketManifest<'_>]) -> String {
+    if apps.is_empty() {
+        return "none".into();
+    }
+    apps.iter().map(|a| a.name).collect::<Vec<_>>().join(", ")
+}
+
+/// `"<prefix> at line:col"`, omitting the position for span-less trees.
+fn locate(prefix: &str, span: Span) -> String {
+    if span.line == 0 {
+        prefix.to_string()
+    } else {
+        format!("{prefix} at {span}")
+    }
+}

@@ -1,0 +1,158 @@
+//! The lint fixture corpus: one fixture per `SH0xx` code, each asserting
+//! the exact code, severity, and span the analyzer must report.
+//!
+//! Fixtures live in `tests/fixtures/`; files ending in `.pol` run through
+//! [`analyze_policy`], the rest through [`analyze_manifest`]. Each fixture
+//! declares its expected findings in `# expect: CODE severity line:col`
+//! header comments (comment lines count toward line numbers — the lexer
+//! skips them but keeps counting). The harness requires an exact match in
+//! order: missing, extra, or misplaced findings all fail.
+//!
+//! Market-only codes (SH009 unknown `APP`, SH011 uncompleted stub, the
+//! cross-artifact SH005 orphan-macro case) need several artifacts at once,
+//! so they are asserted inline against [`analyze_market`].
+
+use sdnshield_analysis::{analyze_manifest, analyze_market, analyze_policy, Diagnostic, Severity};
+
+fn fmt_diag(d: &Diagnostic) -> String {
+    let pos = d
+        .span
+        .map(|s| format!("{}:{}", s.line, s.col))
+        .unwrap_or_else(|| "-".into());
+    format!("{} {} {pos}", d.code, d.severity)
+}
+
+fn check(name: &str) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let expected: Vec<String> = src
+        .lines()
+        .filter_map(|l| l.strip_prefix("# expect: "))
+        .map(|l| l.trim().to_owned())
+        .collect();
+    let diags = if name.ends_with(".pol") {
+        analyze_policy(&src)
+    } else {
+        analyze_manifest(&src)
+    };
+    let actual: Vec<String> = diags.iter().map(fmt_diag).collect();
+    assert_eq!(actual, expected, "fixture {name}\ndiagnostics: {diags:#?}");
+}
+
+#[test]
+fn sh000_syntax_error() {
+    check("sh000_syntax.perm");
+}
+
+#[test]
+fn sh001_unsatisfiable_conjunction() {
+    check("sh001_unsat.perm");
+}
+
+#[test]
+fn sh002_shadowed_or_branch() {
+    check("sh002_shadowed.perm");
+}
+
+#[test]
+fn sh003_duplicate_permission() {
+    check("sh003_duplicate.perm");
+}
+
+#[test]
+fn sh004_broad_sensitive_grant() {
+    check("sh004_broad.perm");
+}
+
+#[test]
+fn sh005_unused_let_binding() {
+    check("sh005_unused.pol");
+}
+
+#[test]
+fn sh006_undefined_variable() {
+    check("sh006_undefined.pol");
+}
+
+#[test]
+fn sh007_vacuous_mutual_exclusion() {
+    check("sh007_vacuous.pol");
+}
+
+#[test]
+fn sh008_overlapping_exclusion_operands() {
+    check("sh008_overlap.pol");
+}
+
+#[test]
+fn sh010_constant_assertion() {
+    check("sh010_constant.pol");
+}
+
+#[test]
+fn clean_manifest_has_no_findings() {
+    check("clean.perm");
+}
+
+// --- market-mode codes --------------------------------------------------
+
+#[test]
+fn sh009_unknown_app_reference() {
+    let report = analyze_market(
+        &[("fwd", "PERM insert_flow LIMITING SWITCH 1")],
+        "ASSERT APP ghost <= { PERM insert_flow }",
+    );
+    assert!(report.manifests[0].1.is_empty(), "{report:#?}");
+    let [d] = &report.policy[..] else {
+        panic!("expected exactly one policy finding: {report:#?}");
+    };
+    assert_eq!(d.code, "SH009");
+    assert_eq!(d.severity, Severity::Error);
+    let span = d.span.expect("SH009 carries the APP name span");
+    assert_eq!((span.line, span.col), (1, 12), "{d:#?}");
+}
+
+#[test]
+fn sh011_uncompleted_stub_macro() {
+    // `admin_choice` is a stub the policy never completes with a LET.
+    let report = analyze_market(
+        &[("fwd", "PERM insert_flow LIMITING admin_choice")],
+        "ASSERT APP fwd <= { PERM insert_flow }",
+    );
+    let [d] = &report.manifests[0].1[..] else {
+        panic!("expected exactly one manifest finding: {report:#?}");
+    };
+    assert_eq!(d.code, "SH011");
+    assert_eq!(d.severity, Severity::Warning);
+    let span = d.span.expect("SH011 carries the stub atom span");
+    assert_eq!((span.line, span.col), (1, 27), "{d:#?}");
+    assert!(report.policy.is_empty(), "{report:#?}");
+}
+
+#[test]
+fn completed_stub_is_clean_and_macro_is_used() {
+    // The same stub, completed by the policy: no SH011, no SH005.
+    let report = analyze_market(
+        &[("fwd", "PERM insert_flow LIMITING admin_choice")],
+        "LET admin_choice = { SWITCH 1 }\nASSERT APP fwd <= { PERM insert_flow }",
+    );
+    assert!(report.manifests[0].1.is_empty(), "{report:#?}");
+    assert!(report.policy.is_empty(), "{report:#?}");
+}
+
+#[test]
+fn sh005_orphaned_filter_macro_in_market() {
+    // A LET filter macro no submitted manifest stubs: flagged only in
+    // market mode, where the full set of manifests is known.
+    let report = analyze_market(
+        &[("fwd", "PERM insert_flow LIMITING SWITCH 1")],
+        "LET nobody_uses_me = { SWITCH 2 }\nASSERT APP fwd <= { PERM insert_flow }",
+    );
+    let [d] = &report.policy[..] else {
+        panic!("expected exactly one policy finding: {report:#?}");
+    };
+    assert_eq!(d.code, "SH005");
+    assert_eq!(d.severity, Severity::Warning);
+    let span = d.span.expect("SH005 carries the binding name span");
+    assert_eq!((span.line, span.col), (1, 5), "{d:#?}");
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests for the `shieldcheck` binary: exit codes, text and
+//! JSON rendering, market mode, and usage errors.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_shieldcheck"))
+        .args(args)
+        .output()
+        .expect("spawn shieldcheck")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_manifest_exits_zero() {
+    let out = run(&[fixture("clean.perm").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+}
+
+#[test]
+fn error_finding_exits_one_with_caret_text() {
+    let out = run(&[fixture("sh001_unsat.perm").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("error[SH001]"), "{text}");
+    assert!(text.contains("^^^^^^"), "{text}");
+    assert!(text.contains("1 error(s)"), "{text}");
+}
+
+#[test]
+fn warning_exits_zero_unless_denied() {
+    let path = fixture("sh004_broad.perm");
+    let path = path.to_str().unwrap();
+    let out = run(&[path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("warning[SH004]"));
+    let denied = run(&["--deny-warnings", path]);
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+}
+
+#[test]
+fn json_output_is_one_array_with_origins() {
+    let manifest = fixture("sh001_unsat.perm");
+    let policy = fixture("sh005_unused.pol");
+    let out = run(&[
+        "--format",
+        "json",
+        manifest.to_str().unwrap(),
+        policy.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = stdout(&out);
+    assert!(
+        json.starts_with('[') && json.trim_end().ends_with(']'),
+        "{json}"
+    );
+    assert!(json.contains("\"code\":\"SH001\""), "{json}");
+    assert!(json.contains("\"code\":\"SH005\""), "{json}");
+    assert!(json.contains("sh001_unsat.perm"), "{json}");
+    assert!(json.contains("\"severity\":\"warning\""), "{json}");
+}
+
+#[test]
+fn market_mode_cross_checks() {
+    let dir = std::env::temp_dir().join("shieldcheck_market_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let app = dir.join("fwd.perm");
+    let pol = dir.join("site.pol");
+    std::fs::write(&app, "PERM insert_flow LIMITING admin_choice\n").unwrap();
+    std::fs::write(&pol, "ASSERT APP ghost <= { PERM insert_flow }\n").unwrap();
+    let out = run(&["--market", app.to_str().unwrap(), pol.to_str().unwrap()]);
+    // SH009 (unknown app, error) + SH011 (uncompleted stub, warning).
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("error[SH009]"), "{text}");
+    assert!(text.contains("warning[SH011]"), "{text}");
+}
+
+#[test]
+fn market_mode_requires_exactly_one_policy() {
+    let out = run(&["--market", fixture("clean.perm").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn missing_file_and_bad_flag_exit_two() {
+    let out = run(&["definitely_missing_file.perm"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -148,6 +148,9 @@ pub enum ApiError {
     },
     /// Virtual-topology translation failed.
     Vtopo(String),
+    /// The registration-time lint rejected the manifest (error-severity
+    /// static-analysis finding; see `sdnshield-analysis`).
+    ManifestRejected(String),
     /// The controller is shutting down.
     Shutdown,
     /// The deputy executing the call crashed; the call was discarded but the
@@ -192,6 +195,7 @@ impl fmt::Display for ApiError {
                 write!(f, "transaction aborted at op {failed_index}: {cause}")
             }
             ApiError::Vtopo(m) => write!(f, "virtual topology error: {m}"),
+            ApiError::ManifestRejected(m) => write!(f, "manifest rejected by lint: {m}"),
             ApiError::Shutdown => write!(f, "controller is shutting down"),
             ApiError::Internal(m) => write!(f, "internal controller fault: {m}"),
             ApiError::Timeout => write!(f, "call timed out waiting for a reply"),

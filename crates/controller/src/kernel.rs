@@ -41,7 +41,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
 use sdnshield_core::engine::{Decision, OwnershipTracker, PermissionEngine};
@@ -58,6 +58,7 @@ use crate::api::{ApiError, ApiResponse, FlowOp, SwitchView, TopologyView};
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::events::Event;
 use crate::hostsys::{ConnId, HostSystem};
+use crate::lockorder::{self, Ordered, Rank};
 
 /// An event produced by executing a call, to be routed by the dispatcher.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +105,9 @@ pub struct Kernel {
     /// walked through the simulated data plane (emulated benchmark switches
     /// absorb them, exactly like CBench's fake switches).
     absorb_packet_outs: std::sync::atomic::AtomicBool,
+    /// Opt-in: run the `sdnshield-analysis` lint pass over manifests at
+    /// registration time, rejecting manifests with error-severity findings.
+    lint_on_register: std::sync::atomic::AtomicBool,
 }
 
 fn kind_key(kind: EventKind) -> &'static str {
@@ -132,7 +136,53 @@ impl Kernel {
             audit: AuditLog::default(),
             checks_enabled,
             absorb_packet_outs: std::sync::atomic::AtomicBool::new(false),
+            lint_on_register: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Enables/disables the registration-time manifest lint (see
+    /// [`Kernel::register_app`]). Off by default: linting is the app
+    /// market's job; the kernel check is a defense-in-depth backstop.
+    pub fn set_lint_on_register(&self, lint: bool) {
+        self.lint_on_register
+            .store(lint, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    // Lock accessors: every acquisition of a kernel-level lock goes through
+    // one of these, so debug builds assert the documented hierarchy (module
+    // docs above; `lockorder`) and panic on inversion instead of
+    // deadlocking.
+
+    fn reg_read(&self) -> Ordered<RwLockReadGuard<'_, Registry>> {
+        lockorder::order(Rank::Registry, || self.registry.read())
+    }
+
+    fn reg_write(&self) -> Ordered<RwLockWriteGuard<'_, Registry>> {
+        lockorder::order(Rank::Registry, || self.registry.write())
+    }
+
+    fn subs_read(&self) -> Ordered<RwLockReadGuard<'_, Subscriptions>> {
+        lockorder::order(Rank::Subs, || self.subs.read())
+    }
+
+    fn subs_write(&self) -> Ordered<RwLockWriteGuard<'_, Subscriptions>> {
+        lockorder::order(Rank::Subs, || self.subs.write())
+    }
+
+    fn tracker_read(&self) -> Ordered<RwLockReadGuard<'_, OwnershipTracker>> {
+        lockorder::order(Rank::Tracker, || self.tracker.read())
+    }
+
+    fn tracker_write(&self) -> Ordered<RwLockWriteGuard<'_, OwnershipTracker>> {
+        lockorder::order(Rank::Tracker, || self.tracker.write())
+    }
+
+    fn host_lock(&self) -> Ordered<MutexGuard<'_, HostSystem>> {
+        lockorder::order(Rank::Host, || self.host.lock())
+    }
+
+    fn host_inbox_lock(&self) -> Ordered<MutexGuard<'_, BTreeMap<EthAddr, Vec<EthernetFrame>>>> {
+        lockorder::order(Rank::HostInbox, || self.host_inbox.lock())
     }
 
     /// Enables/disables CBench mode (see the field documentation).
@@ -143,27 +193,41 @@ impl Kernel {
 
     /// The permission engine for an app, if registered.
     fn engine_for(&self, app: AppId) -> Option<Arc<PermissionEngine>> {
-        self.registry.read().engines.get(&app).cloned()
+        self.reg_read().engines.get(&app).cloned()
     }
 
     /// The virtual-topology mapper for an app, if granted one.
     fn vtopo_for(&self, app: AppId) -> Option<Arc<VirtualTopology>> {
-        self.registry.read().vtopos.get(&app).cloned()
+        self.reg_read().vtopos.get(&app).cloned()
     }
 
     /// Registers an app's reconciled manifest, compiling its permission
     /// engine and materializing any virtual-topology filter.
     ///
+    /// When the registration-time lint is enabled
+    /// ([`Kernel::set_lint_on_register`]), the manifest first runs through
+    /// the `sdnshield-analysis` semantic checks: every finding is recorded
+    /// in the audit log (`lint:SH0xx` operations), and error-severity
+    /// findings (e.g. an unsatisfiable filter conjunction) reject the
+    /// registration outright.
+    ///
     /// # Errors
     ///
     /// [`ApiError::Vtopo`] when a granted virtual topology names switches
-    /// that do not exist.
+    /// that do not exist; [`ApiError::ManifestRejected`] when the lint pass
+    /// finds an error-severity defect.
     pub fn register_app(
         &self,
         app: AppId,
         name: &str,
         manifest: &PermissionSet,
     ) -> Result<(), ApiError> {
+        if self
+            .lint_on_register
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            self.lint_manifest(app, name, manifest)?;
+        }
         let engine = PermissionEngine::compile(manifest);
         // Materialize a virtual topology if the visible_topology filter
         // carries a VIRTUAL spec — built before the registry write lock is
@@ -177,12 +241,48 @@ impl Kernel {
                 vtopo = Some(Arc::new(vt));
             }
         }
-        let mut reg = self.registry.write();
+        let mut reg = self.reg_write();
         if let Some(vt) = vtopo {
             reg.vtopos.insert(app, vt);
         }
         reg.engines.insert(app, Arc::new(engine));
         reg.app_names.insert(app, name.to_owned());
+        Ok(())
+    }
+
+    /// The registration-time lint backstop: runs the static analyzer over
+    /// the already-parsed manifest (span-less, so findings carry no source
+    /// positions), records every finding in the audit log, and rejects on
+    /// error severity.
+    fn lint_manifest(
+        &self,
+        app: AppId,
+        name: &str,
+        manifest: &PermissionSet,
+    ) -> Result<(), ApiError> {
+        use sdnshield_analysis::Severity;
+        let diags = sdnshield_analysis::analyze_permission_set(manifest);
+        for d in &diags {
+            self.audit.record_system(
+                app,
+                &format!("lint:{}", d.code),
+                if d.severity >= Severity::Error {
+                    AuditOutcome::Denied
+                } else {
+                    AuditOutcome::Allowed
+                },
+            );
+        }
+        if sdnshield_analysis::has_severity(&diags, Severity::Error) {
+            let first = diags
+                .iter()
+                .find(|d| d.severity >= Severity::Error)
+                .expect("an error-severity finding exists");
+            return Err(ApiError::ManifestRejected(format!(
+                "{name}: [{}] {}",
+                first.code, first.message
+            )));
+        }
         Ok(())
     }
 
@@ -216,7 +316,7 @@ impl Kernel {
                 };
                 return (Err(err), Vec::new());
             };
-            let decision = engine.check(call, &*self.tracker.read());
+            let decision = engine.check(call, &*self.tracker_read());
             if let Decision::Denied { .. } = decision {
                 self.audit.record(
                     call.app,
@@ -273,7 +373,7 @@ impl Kernel {
                     Vec::new(),
                 );
             };
-            let tracker = self.tracker.read();
+            let tracker = self.tracker_read();
             for (i, op) in ops.iter().enumerate() {
                 let call = flow_op_call(app, op);
                 let decision = engine.check(&call, &*tracker);
@@ -303,7 +403,7 @@ impl Kernel {
             let stamped = stamp_cookie(app, &op.flow_mod);
             match self.network.apply_flow_mod(op.dpid, &stamped) {
                 Ok(removed) => {
-                    self.tracker.write().record_flow_mod(app, op.dpid, &stamped);
+                    self.tracker_write().record_flow_mod(app, op.dpid, &stamped);
                     events.extend(removed_events(op.dpid, &removed));
                     applied.push((i, removed));
                 }
@@ -377,7 +477,7 @@ impl Kernel {
         if removed.is_empty() {
             return events;
         }
-        let mut tracker = self.tracker.write();
+        let mut tracker = self.tracker_write();
         for r in removed {
             tracker.record_expiry(
                 r.dpid,
@@ -417,13 +517,13 @@ impl Kernel {
     /// Tracker), so reaping can never deadlock against concurrent deputies.
     pub fn deregister_app(&self, app: AppId) -> Vec<OutboundEvent> {
         {
-            let mut reg = self.registry.write();
+            let mut reg = self.reg_write();
             reg.engines.remove(&app);
             reg.app_names.remove(&app);
             reg.vtopos.remove(&app);
         }
         {
-            let mut subs = self.subs.write();
+            let mut subs = self.subs_write();
             for subs in subs.by_kind.values_mut() {
                 subs.retain(|(a, _)| *a != app);
             }
@@ -431,13 +531,13 @@ impl Kernel {
                 subs.retain(|a| *a != app);
             }
         }
-        self.host.lock().close_connections(app);
+        self.host_lock().close_connections(app);
         let removed = self.network.remove_flows_owned_by(app.0);
         let mut events = Vec::new();
         if removed.is_empty() {
             return events;
         }
-        let mut tracker = self.tracker.write();
+        let mut tracker = self.tracker_write();
         for r in removed {
             tracker.record_expiry(
                 r.dpid,
@@ -474,8 +574,7 @@ impl Kernel {
     /// Apps subscribed to an event kind, in delivery order (interceptors
     /// first).
     pub fn subscribers(&self, kind: EventKind) -> Vec<AppId> {
-        self.subs
-            .read()
+        self.subs_read()
             .by_kind
             .get(kind_key(kind))
             .map(|subs| subs.iter().map(|(a, _)| *a).collect())
@@ -486,8 +585,7 @@ impl Kernel {
     /// delivery order. Interceptors must finish processing an event before
     /// non-interceptors see it (paper §IV-B, `EVENT_INTERCEPTION`).
     pub fn subscribers_phased(&self, kind: EventKind) -> Vec<(AppId, bool)> {
-        self.subs
-            .read()
+        self.subs_read()
             .by_kind
             .get(kind_key(kind))
             .cloned()
@@ -496,8 +594,7 @@ impl Kernel {
 
     /// Apps subscribed to a custom topic.
     pub fn topic_subscribers(&self, topic: &str) -> Vec<AppId> {
-        self.subs
-            .read()
+        self.subs_read()
             .custom
             .get(topic)
             .cloned()
@@ -507,7 +604,7 @@ impl Kernel {
     /// Subscribes an app to a custom topic (not permission-gated: topics are
     /// app-published data, mediated by the publishing app).
     pub fn subscribe_topic(&self, app: AppId, topic: &str) {
-        let mut subs = self.subs.write();
+        let mut subs = self.subs_write();
         let subs = subs.custom.entry(topic.to_owned()).or_default();
         if !subs.contains(&app) {
             subs.push(app);
@@ -528,7 +625,7 @@ impl Kernel {
                 };
                 let mut pi = packet_in.clone();
                 if can_read {
-                    self.tracker.write().record_pkt_in(app, &pi.payload);
+                    self.tracker_write().record_pkt_in(app, &pi.payload);
                 } else {
                     pi.payload = Bytes::new();
                 }
@@ -557,7 +654,7 @@ impl Kernel {
 
     /// The registered name of an app (diagnostics/forensics).
     pub fn app_name(&self, app: AppId) -> Option<String> {
-        self.registry.read().app_names.get(&app).cloned()
+        self.reg_read().app_names.get(&app).cloned()
     }
 
     /// Sends real bytes on an app's host connection, re-validating the
@@ -565,7 +662,7 @@ impl Kernel {
     /// narrowed after connect still applies).
     pub fn host_send(&self, app: AppId, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
         let dst = {
-            let host = self.host.lock();
+            let host = self.host_lock();
             let found = host
                 .connections_by(app)
                 .find(|c| c.id == conn)
@@ -587,7 +684,7 @@ impl Kernel {
                 });
             };
             let synthetic = ApiCall::new(app, ApiCallKind::HostConnect { dst_ip, dst_port });
-            let decision = engine.check(&synthetic, &*self.tracker.read());
+            let decision = engine.check(&synthetic, &*self.tracker_read());
             if let Decision::Denied { .. } = decision {
                 self.audit.record(
                     app,
@@ -598,7 +695,7 @@ impl Kernel {
                 return Err(ApiError::from_decision(decision));
             }
         }
-        self.host.lock().send(app, conn, data);
+        self.host_lock().send(app, conn, data);
         self.audit.record(
             app,
             "host_send",
@@ -610,18 +707,17 @@ impl Kernel {
 
     /// Bytes an app has sent to the outside world via the host network.
     pub fn bytes_exfiltrated_by(&self, app: AppId) -> usize {
-        self.host.lock().bytes_exfiltrated_by(app)
+        self.host_lock().bytes_exfiltrated_by(app)
     }
 
     /// Host connections opened by an app (forensics).
     pub fn connections_by(&self, app: AppId) -> Vec<crate::hostsys::Connection> {
-        self.host.lock().connections_by(app).cloned().collect()
+        self.host_lock().connections_by(app).cloned().collect()
     }
 
     /// Frames received by a host NIC during the simulation.
     pub fn host_received(&self, mac: EthAddr) -> Vec<EthernetFrame> {
-        self.host_inbox
-            .lock()
+        self.host_inbox_lock()
             .get(&mac)
             .cloned()
             .unwrap_or_default()
@@ -765,7 +861,7 @@ impl Kernel {
                         })
                     })
                     .unwrap_or(false);
-                let mut subs = self.subs.write();
+                let mut subs = self.subs_write();
                 let subs = subs.by_kind.entry(kind_key(*kind)).or_default();
                 if !subs.iter().any(|(a, _)| *a == app) {
                     if intercepts {
@@ -777,14 +873,13 @@ impl Kernel {
                 (Ok(ApiResponse::Subscribed(*kind)), Vec::new())
             }
             ApiCallKind::HostConnect { dst_ip, dst_port } => {
-                let id = self.host.lock().connect(app, *dst_ip, *dst_port);
+                let id = self.host_lock().connect(app, *dst_ip, *dst_port);
                 (Ok(ApiResponse::Connection(id)), Vec::new())
             }
             ApiCallKind::HostSend { conn, len } => {
                 // The deputy pre-validated the destination; record the send.
                 let ok = self
-                    .host
-                    .lock()
+                    .host_lock()
                     .send(app, ConnId(*conn), Bytes::from(vec![0u8; *len]));
                 if ok {
                     (Ok(ApiResponse::Unit), Vec::new())
@@ -800,11 +895,11 @@ impl Kernel {
                 }
             }
             ApiCallKind::FileOpen { path, write } => {
-                self.host.lock().open_file(app, path.clone(), *write);
+                self.host_lock().open_file(app, path.clone(), *write);
                 (Ok(ApiResponse::Unit), Vec::new())
             }
             ApiCallKind::ProcessExec { program } => {
-                self.host.lock().exec(app, program.clone());
+                self.host_lock().exec(app, program.clone());
                 (Ok(ApiResponse::Unit), Vec::new())
             }
         }
@@ -832,7 +927,7 @@ impl Kernel {
             let stamped = stamp_cookie(app, &fm);
             match self.network.apply_flow_mod(d, &stamped) {
                 Ok(removed) => {
-                    self.tracker.write().record_flow_mod(app, d, &stamped);
+                    self.tracker_write().record_flow_mod(app, d, &stamped);
                     events.extend(removed_events(d, &removed));
                 }
                 Err(e) => return (Err(ApiError::Switch(e)), events),
@@ -855,7 +950,7 @@ impl Kernel {
                 let mut undo = stamped.clone();
                 undo.command = FlowModCommand::DeleteStrict;
                 let _ = self.network.apply_flow_mod(op.dpid, &undo);
-                self.tracker.write().record_flow_mod(app, op.dpid, &undo);
+                self.tracker_write().record_flow_mod(app, op.dpid, &undo);
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {}
         }
@@ -879,7 +974,7 @@ impl Kernel {
         for d in deliveries {
             match d {
                 Delivery::ToHost { mac, frame } => {
-                    self.host_inbox.lock().entry(mac).or_default().push(frame);
+                    self.host_inbox_lock().entry(mac).or_default().push(frame);
                 }
                 Delivery::ToController { dpid, packet_in } => {
                     events.push(OutboundEvent {
@@ -897,7 +992,7 @@ impl Kernel {
     /// (or under) another subsystem lock here.
     fn topology_view_for(&self, app: AppId) -> TopologyView {
         let (vtopo, engine) = if self.checks_enabled {
-            let reg = self.registry.read();
+            let reg = self.reg_read();
             (
                 reg.vtopos.get(&app).cloned(),
                 reg.engines.get(&app).cloned(),
@@ -1150,6 +1245,56 @@ mod tests {
         let audit = kernel.audit_records();
         assert_eq!(audit.len(), 1);
         assert_eq!(audit[0].outcome, AuditOutcome::Denied);
+    }
+
+    #[test]
+    fn lint_on_register_rejects_unsatisfiable_manifest() {
+        let kernel = Kernel::new(Network::new(builders::linear(2), 64), true);
+        kernel.set_lint_on_register(true);
+        let manifest =
+            parse_manifest("PERM insert_flow LIMITING IP_DST 10.0.0.1 AND IP_DST 10.0.0.2")
+                .unwrap();
+        let err = kernel
+            .register_app(AppId(1), "bad-app", &manifest)
+            .unwrap_err();
+        let ApiError::ManifestRejected(msg) = err else {
+            panic!("expected ManifestRejected, got {err:?}");
+        };
+        assert!(msg.contains("SH001"), "{msg}");
+        // The finding is on the audit trail, and the app never registered.
+        let audit = kernel.audit_records();
+        assert!(audit
+            .iter()
+            .any(|r| r.operation == "lint:SH001" && r.outcome == AuditOutcome::Denied));
+        assert_eq!(kernel.app_name(AppId(1)), None);
+    }
+
+    #[test]
+    fn lint_on_register_accepts_warnings() {
+        let kernel = Kernel::new(Network::new(builders::linear(2), 64), true);
+        kernel.set_lint_on_register(true);
+        // Unrestricted write-class token: SH004 warning, accepted.
+        let manifest = parse_manifest("PERM insert_flow").unwrap();
+        kernel
+            .register_app(AppId(1), "broad-app", &manifest)
+            .unwrap();
+        let audit = kernel.audit_records();
+        assert!(audit
+            .iter()
+            .any(|r| r.operation == "lint:SH004" && r.outcome == AuditOutcome::Allowed));
+        assert_eq!(kernel.app_name(AppId(1)).as_deref(), Some("broad-app"));
+    }
+
+    #[test]
+    fn lint_off_by_default_registers_unsatisfiable_manifest() {
+        let kernel = Kernel::new(Network::new(builders::linear(2), 64), true);
+        let manifest =
+            parse_manifest("PERM insert_flow LIMITING IP_DST 10.0.0.1 AND IP_DST 10.0.0.2")
+                .unwrap();
+        kernel
+            .register_app(AppId(1), "legacy-app", &manifest)
+            .unwrap();
+        assert_eq!(kernel.app_name(AppId(1)).as_deref(), Some("legacy-app"));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! point), [`api`] (typed call/response surface), [`events`], [`hostsys`]
 //! (the simulated host OS that Class-2 attacks exfiltrate through),
 //! [`audit`] (forensic activity log), [`fault`] (the fault-injection harness
-//! driving the crash-containment tests).
+//! driving the crash-containment tests), [`lockorder`] (debug-build
+//! assertions for the kernel's documented lock hierarchy).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +28,7 @@ pub mod fault;
 pub mod hostsys;
 pub mod isolation;
 pub mod kernel;
+pub mod lockorder;
 pub mod monolithic;
 
 pub use api::{ApiError, ApiResponse, FlowOp, TopologyView};

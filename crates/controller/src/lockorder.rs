@@ -1,0 +1,255 @@
+//! Debug-only lock-order assertions for the kernel's locking hierarchy.
+//!
+//! The kernel documents a strict acquisition order (DESIGN.md "Locking
+//! hierarchy & scaling"): **Registry → Subs → Tracker → Topology → Switch →
+//! Host → HostInbox**. A thread may only acquire downward — while holding a
+//! lock it may take another only at a strictly greater rank. Holding the
+//! discipline is what makes the kernel deadlock-free without a global lock,
+//! but nothing used to *check* it: an inversion introduced by a refactor
+//! would surface as a rare hang under contention, not a test failure.
+//!
+//! This module makes the discipline executable. Every kernel-level lock
+//! acquisition goes through [`acquire`] (usually via [`order`]), which in
+//! debug/test builds maintains a thread-local stack of held ranks and
+//! **panics immediately** on an out-of-order acquisition — turning a
+//! would-be deadlock into a deterministic unit-test failure with both lock
+//! names in the message. In release builds the whole bookkeeping compiles
+//! away: [`Held`] is a zero-sized token and [`acquire`] is a no-op.
+//!
+//! Only *simultaneously held* locks are constrained. Sequential
+//! acquisitions (take Host, release it, then take Tracker — as
+//! `Kernel::deregister_app` does) are always legal, which the stack model
+//! captures naturally: a released lock pops off and no longer bounds later
+//! acquisitions. Re-acquiring a rank already held is also flagged — the
+//! kernel's locks are not reentrant, so that is a self-deadlock. The
+//! `Switch` rank's internal discipline (ascending dpid) lives inside
+//! `netsim` and is out of scope here; the kernel only ever observes switch
+//! locks one at a time.
+
+use std::ops::{Deref, DerefMut};
+
+/// Lock ranks in acquisition order. Higher ranks must be taken after lower
+/// ones when held simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rank {
+    /// The app registry (engines, names, virtual topologies).
+    Registry,
+    /// Event and topic subscriptions.
+    Subs,
+    /// The ownership/quota tracker.
+    Tracker,
+    /// The netsim topology `RwLock` (annotated only where the kernel wraps
+    /// a topology access; netsim-internal acquisitions are unchecked).
+    Topology,
+    /// A per-switch mutex (netsim-internal; ascending-dpid discipline is
+    /// enforced there, one at a time from the kernel's perspective).
+    Switch,
+    /// The simulated host system.
+    Host,
+    /// The host NIC inbox.
+    HostInbox,
+}
+
+impl Rank {
+    // Only the debug-build inversion message reads the name.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn name(self) -> &'static str {
+        match self {
+            Rank::Registry => "Registry",
+            Rank::Subs => "Subs",
+            Rank::Tracker => "Tracker",
+            Rank::Topology => "Topology",
+            Rank::Switch => "Switch",
+            Rank::Host => "Host",
+            Rank::HostInbox => "HostInbox",
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::Rank;
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        /// Ranks this thread currently holds, as (token id, rank) pairs.
+        /// Guards can drop in any order, so entries are keyed by id, not
+        /// stack position.
+        static HELD: RefCell<Vec<(u64, Rank)>> = const { RefCell::new(Vec::new()) };
+        static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn push(rank: Rank) -> u64 {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(_, worst)) = held.iter().max_by_key(|&&(_, r)| r) {
+                assert!(
+                    rank > worst,
+                    "lock-order inversion: acquiring {} while holding {} \
+                     (hierarchy: Registry -> Subs -> Tracker -> Topology -> \
+                     Switch -> Host -> HostInbox; see DESIGN.md)",
+                    rank.name(),
+                    worst.name(),
+                );
+            }
+            let id = NEXT_ID.with(|n| {
+                let id = n.get();
+                n.set(id + 1);
+                id
+            });
+            held.push((id, rank));
+            id
+        })
+    }
+
+    pub(super) fn pop(id: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().position(|&(i, _)| i == id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Proof that a rank was registered as held. Keep it alive exactly as long
+/// as the lock guard it annotates; dropping it releases the rank.
+#[must_use = "the order token must live as long as the lock guard it annotates"]
+pub struct Held {
+    #[cfg(debug_assertions)]
+    id: u64,
+}
+
+#[cfg(debug_assertions)]
+impl Drop for Held {
+    fn drop(&mut self) {
+        imp::pop(self.id);
+    }
+}
+
+/// Registers the intent to acquire a lock at `rank`.
+///
+/// # Panics
+///
+/// In debug builds, panics when this thread already holds a lock at `rank`
+/// or greater. Release builds never panic (the check compiles away).
+pub fn acquire(rank: Rank) -> Held {
+    #[cfg(debug_assertions)]
+    {
+        Held {
+            id: imp::push(rank),
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = rank;
+        Held {}
+    }
+}
+
+/// A lock guard bundled with its order token. Derefs to the guard's target,
+/// so call sites read exactly like a bare `lock()`/`read()`/`write()`.
+pub struct Ordered<G> {
+    // Declared first so the lock releases before the rank pops.
+    guard: G,
+    _held: Held,
+}
+
+/// Acquires a lock through its closure at the given rank, checking the
+/// hierarchy first (so an inversion panics *before* blocking — a
+/// deterministic failure instead of a deadlock).
+pub fn order<G>(rank: Rank, lock: impl FnOnce() -> G) -> Ordered<G> {
+    let held = acquire(rank);
+    Ordered {
+        guard: lock(),
+        _held: held,
+    }
+}
+
+impl<G: Deref> Deref for Ordered<G> {
+    type Target = G::Target;
+
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Ordered<G> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_acquisition_is_legal() {
+        let a = acquire(Rank::Registry);
+        let b = acquire(Rank::Tracker);
+        let c = acquire(Rank::HostInbox);
+        // Guards may release in any order.
+        drop(a);
+        drop(c);
+        drop(b);
+    }
+
+    #[test]
+    fn sequential_reuse_is_legal() {
+        // Take-release-take at non-increasing ranks is fine: only
+        // simultaneous holds are constrained.
+        drop(acquire(Rank::Host));
+        drop(acquire(Rank::Tracker));
+        drop(acquire(Rank::Host));
+        drop(acquire(Rank::Registry));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn inversion_panics() {
+        let _tracker = acquire(Rank::Tracker);
+        let _registry = acquire(Rank::Registry);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn same_rank_reacquire_panics() {
+        let _a = acquire(Rank::Host);
+        let _b = acquire(Rank::Host);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn inversion_against_highest_held_panics() {
+        // The check is against the maximum held rank, not the most recent:
+        // holding HostInbox (via any path) forbids taking Tracker even if
+        // a lower rank was acquired in between and released.
+        let _inbox = acquire(Rank::HostInbox);
+        let _tracker = acquire(Rank::Tracker);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let _registry = acquire(Rank::Host);
+        std::thread::spawn(|| {
+            // A fresh thread holds nothing; low ranks are fine.
+            drop(acquire(Rank::Registry));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn ordered_derefs_to_guard_target() {
+        let cell = std::sync::Mutex::new(5i32);
+        let mut g = order(Rank::Tracker, || cell.lock().unwrap());
+        assert_eq!(*g, 5);
+        *g = 6;
+        drop(g);
+        assert_eq!(*cell.lock().unwrap(), 6);
+    }
+}

@@ -23,7 +23,7 @@ use crate::filter::{
     ActionConstraint, CallbackCap, Field, FilterExpr, Ownership, PhysTopoFilter, PktOutSource,
     SingletonFilter, StatsLevel,
 };
-use crate::lex::{lex, Cursor, SyntaxError, Tok, Token};
+use crate::lex::{lex, Cursor, Span, SyntaxError, Tok, Token};
 use crate::perm::{Permission, PermissionSet};
 use crate::token::PermissionToken;
 use crate::vtopo::{VirtualSwitchDef, VirtualTopologySpec};
@@ -50,36 +50,168 @@ use crate::vtopo::{VirtualSwitchDef, VirtualTopologySpec};
 /// # Ok::<(), sdnshield_core::lex::SyntaxError>(())
 /// ```
 pub fn parse_manifest(src: &str) -> Result<PermissionSet, SyntaxError> {
-    let mut cur = Cursor::new(lex(src)?);
-    let mut set = PermissionSet::new();
-    while !cur.at_end() {
-        set.insert(parse_perm(&mut cur)?);
-    }
-    Ok(set)
+    Ok(parse_manifest_spanned(src)?.to_set())
 }
 
-/// Parses a single `PERM …` declaration.
-pub(crate) fn parse_perm(cur: &mut Cursor) -> Result<Permission, SyntaxError> {
+/// Parses a manifest keeping source spans for every declaration and filter
+/// atom, for tooling that reports positions (the `shieldcheck` analyzer).
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] with position information on malformed input.
+pub fn parse_manifest_spanned(src: &str) -> Result<SpannedManifest, SyntaxError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let mut perms = Vec::new();
+    while !cur.at_end() {
+        perms.push(parse_perm_spanned(&mut cur)?);
+    }
+    Ok(SpannedManifest { perms })
+}
+
+/// A manifest parse result that retains source spans and declaration order
+/// (duplicate tokens are preserved rather than OR-joined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedManifest {
+    /// The declarations, in source order.
+    pub perms: Vec<SpannedPerm>,
+}
+
+impl SpannedManifest {
+    /// Lowers to the plain [`PermissionSet`] (duplicate tokens OR-join).
+    pub fn to_set(&self) -> PermissionSet {
+        let mut set = PermissionSet::new();
+        for p in &self.perms {
+            set.insert(p.to_permission());
+        }
+        set
+    }
+}
+
+/// One `PERM …` declaration with source spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedPerm {
+    /// The granted token.
+    pub token: PermissionToken,
+    /// Span of the `PERM` keyword.
+    pub keyword_span: Span,
+    /// Span of the token name.
+    pub name_span: Span,
+    /// The `LIMITING` filter, if present.
+    pub filter: Option<SpannedExpr>,
+}
+
+impl SpannedPerm {
+    /// Lowers to a plain [`Permission`].
+    pub fn to_permission(&self) -> Permission {
+        match &self.filter {
+            Some(f) => Permission::limited(self.token, f.to_expr()),
+            None => Permission::unrestricted(self.token),
+        }
+    }
+}
+
+/// A filter expression with a source span on every leaf.
+///
+/// Mirrors [`FilterExpr`] but keeps the position of each atom's head token.
+/// [`SpannedExpr::to_expr`] lowers through the same [`FilterExpr::and`] /
+/// [`FilterExpr::or`] combinators the parser historically used, so the
+/// lowered tree is structurally identical to what `parse_filter` produces
+/// (flattening and `ANY`-absorption included).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedExpr {
+    /// `ANY`; the span covers the keyword.
+    True(Span),
+    /// A singleton filter; the span covers its head keyword.
+    Atom(SingletonFilter, Span),
+    /// Conjunction (two or more operands).
+    And(Vec<SpannedExpr>),
+    /// Disjunction (two or more operands).
+    Or(Vec<SpannedExpr>),
+    /// Negation; the span covers the `NOT` keyword.
+    Not(Box<SpannedExpr>, Span),
+}
+
+impl SpannedExpr {
+    /// The zero span used when rebuilding spans from a span-less tree.
+    pub const DUMMY_SPAN: Span = Span {
+        line: 0,
+        col: 0,
+        len: 0,
+    };
+
+    /// Lowers to the plain [`FilterExpr`].
+    pub fn to_expr(&self) -> FilterExpr {
+        match self {
+            SpannedExpr::True(_) => FilterExpr::True,
+            SpannedExpr::Atom(f, _) => FilterExpr::Atom(f.clone()),
+            SpannedExpr::And(parts) => parts
+                .iter()
+                .map(SpannedExpr::to_expr)
+                .reduce(FilterExpr::and)
+                .unwrap_or(FilterExpr::True),
+            SpannedExpr::Or(parts) => parts
+                .iter()
+                .map(SpannedExpr::to_expr)
+                .reduce(FilterExpr::or)
+                .unwrap_or(FilterExpr::True),
+            SpannedExpr::Not(inner, _) => inner.to_expr().not(),
+        }
+    }
+
+    /// Rebuilds a spanned tree (with [`Self::DUMMY_SPAN`] everywhere) from a
+    /// plain expression, so span-less callers can reuse span-based analyses.
+    pub fn from_expr(e: &FilterExpr) -> SpannedExpr {
+        match e {
+            FilterExpr::True => SpannedExpr::True(Self::DUMMY_SPAN),
+            FilterExpr::Atom(f) => SpannedExpr::Atom(f.clone(), Self::DUMMY_SPAN),
+            FilterExpr::And(parts) => SpannedExpr::And(parts.iter().map(Self::from_expr).collect()),
+            FilterExpr::Or(parts) => SpannedExpr::Or(parts.iter().map(Self::from_expr).collect()),
+            FilterExpr::Not(inner) => {
+                SpannedExpr::Not(Box::new(Self::from_expr(inner)), Self::DUMMY_SPAN)
+            }
+        }
+    }
+
+    /// A span anchoring this subtree: its first leaf's span.
+    pub fn span(&self) -> Span {
+        match self {
+            SpannedExpr::True(s) | SpannedExpr::Atom(_, s) | SpannedExpr::Not(_, s) => *s,
+            SpannedExpr::And(parts) | SpannedExpr::Or(parts) => parts
+                .first()
+                .map(SpannedExpr::span)
+                .unwrap_or(Self::DUMMY_SPAN),
+        }
+    }
+}
+
+/// Parses a single `PERM …` declaration keeping spans.
+pub(crate) fn parse_perm_spanned(cur: &mut Cursor) -> Result<SpannedPerm, SyntaxError> {
+    let keyword_span = cur.peek_span();
     cur.expect_word("PERM")?;
-    let tok_word = match cur.next() {
+    let (name, name_span) = match cur.next() {
         Some(Token {
             tok: Tok::Word(w),
             line,
             col,
-        }) => (w, line, col),
+            len,
+        }) => (w, Span::new(line, col, len)),
         Some(t) => return Err(SyntaxError::at("expected permission token name", &t)),
-        None => return Err(SyntaxError::eof("expected permission token name")),
+        None => return Err(cur.eof_err("expected permission token name")),
     };
-    let token: PermissionToken = tok_word
-        .0
+    let token: PermissionToken = name
         .parse()
-        .map_err(|e| SyntaxError::new(format!("{e}"), tok_word.1, tok_word.2))?;
-    if cur.eat_word("LIMITING") {
-        let filter = parse_filter_expr(cur)?;
-        Ok(Permission::limited(token, filter))
+        .map_err(|e| SyntaxError::new(format!("{e}"), name_span.line, name_span.col))?;
+    let filter = if cur.eat_word("LIMITING") {
+        Some(parse_filter_expr_spanned(cur)?)
     } else {
-        Ok(Permission::unrestricted(token))
-    }
+        None
+    };
+    Ok(SpannedPerm {
+        token,
+        keyword_span,
+        name_span,
+        filter,
+    })
 }
 
 /// Parses a filter expression (public entry point, must consume all input).
@@ -88,8 +220,17 @@ pub(crate) fn parse_perm(cur: &mut Cursor) -> Result<Permission, SyntaxError> {
 ///
 /// Returns [`SyntaxError`] on malformed input or trailing tokens.
 pub fn parse_filter(src: &str) -> Result<FilterExpr, SyntaxError> {
+    Ok(parse_filter_spanned(src)?.to_expr())
+}
+
+/// Spanned variant of [`parse_filter`].
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] on malformed input or trailing tokens.
+pub fn parse_filter_spanned(src: &str) -> Result<SpannedExpr, SyntaxError> {
     let mut cur = Cursor::new(lex(src)?);
-    let expr = parse_filter_expr(&mut cur)?;
+    let expr = parse_filter_expr_spanned(&mut cur)?;
     if let Some(t) = cur.peek() {
         return Err(SyntaxError::at(format!("unexpected trailing {}", t.tok), t));
     }
@@ -97,30 +238,38 @@ pub fn parse_filter(src: &str) -> Result<FilterExpr, SyntaxError> {
 }
 
 /// OR-level precedence (lowest).
-pub(crate) fn parse_filter_expr(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
-    let mut expr = parse_and(cur)?;
+pub(crate) fn parse_filter_expr_spanned(cur: &mut Cursor) -> Result<SpannedExpr, SyntaxError> {
+    let mut parts = vec![parse_and(cur)?];
     while cur.eat_word("OR") {
-        let rhs = parse_and(cur)?;
-        expr = expr.or(rhs);
+        parts.push(parse_and(cur)?);
     }
-    Ok(expr)
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one operand")
+    } else {
+        SpannedExpr::Or(parts)
+    })
 }
 
-fn parse_and(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
-    let mut expr = parse_unary(cur)?;
+fn parse_and(cur: &mut Cursor) -> Result<SpannedExpr, SyntaxError> {
+    let mut parts = vec![parse_unary(cur)?];
     while cur.eat_word("AND") {
-        let rhs = parse_unary(cur)?;
-        expr = expr.and(rhs);
+        parts.push(parse_unary(cur)?);
     }
-    Ok(expr)
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one operand")
+    } else {
+        SpannedExpr::And(parts)
+    })
 }
 
-fn parse_unary(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
-    if cur.eat_word("NOT") {
-        return Ok(parse_unary(cur)?.not());
+fn parse_unary(cur: &mut Cursor) -> Result<SpannedExpr, SyntaxError> {
+    if cur.peek_word("NOT") {
+        let span = cur.peek_span();
+        cur.next();
+        return Ok(SpannedExpr::Not(Box::new(parse_unary(cur)?), span));
     }
     if cur.eat(&Tok::LParen) {
-        let inner = parse_filter_expr(cur)?;
+        let inner = parse_filter_expr_spanned(cur)?;
         cur.expect(&Tok::RParen)?;
         return Ok(inner);
     }
@@ -149,10 +298,10 @@ fn is_singleton_start(w: &str) -> bool {
     )
 }
 
-fn parse_singleton(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
-    let t = cur
-        .next()
-        .ok_or_else(|| SyntaxError::eof("expected a filter"))?;
+fn parse_singleton(cur: &mut Cursor) -> Result<SpannedExpr, SyntaxError> {
+    let eof = cur.eof_err("expected a filter");
+    let t = cur.next().ok_or(eof)?;
+    let span = t.span();
     let word = match &t.tok {
         Tok::Word(w) if is_singleton_start(w) => w.clone(),
         other => {
@@ -163,7 +312,7 @@ fn parse_singleton(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
         }
     };
     let filter = match word.as_str() {
-        "ANY" => return Ok(FilterExpr::True),
+        "ANY" => return Ok(SpannedExpr::True(span)),
         "OWN_FLOWS" => SingletonFilter::Ownership(Ownership::OwnFlows),
         "ALL_FLOWS" => SingletonFilter::Ownership(Ownership::AllFlows),
         "FROM_PKT_IN" => SingletonFilter::PktOut(PktOutSource::FromPktIn),
@@ -180,9 +329,8 @@ fn parse_singleton(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
         "FORWARD" => SingletonFilter::Action(ActionConstraint::Forward),
         "MODIFY" => SingletonFilter::Action(ActionConstraint::Modify(expect_field(cur)?)),
         "ACTION" => {
-            let t = cur
-                .next()
-                .ok_or_else(|| SyntaxError::eof("expected DROP, FORWARD or MODIFY"))?;
+            let eof = cur.eof_err("expected DROP, FORWARD or MODIFY");
+            let t = cur.next().ok_or(eof)?;
             match &t.tok {
                 Tok::Word(w) if w == "DROP" => SingletonFilter::Action(ActionConstraint::Drop),
                 Tok::Word(w) if w == "FORWARD" => {
@@ -222,23 +370,26 @@ fn parse_singleton(cur: &mut Cursor) -> Result<FilterExpr, SyntaxError> {
         // Anything else is a stub macro left for the administrator.
         _ => SingletonFilter::Stub(word),
     };
-    Ok(FilterExpr::Atom(filter))
+    Ok(SpannedExpr::Atom(filter, span))
 }
 
 fn expect_u16(cur: &mut Cursor) -> Result<u16, SyntaxError> {
+    let sp = cur.peek_span();
     let v = cur.expect_int()?;
-    u16::try_from(v).map_err(|_| SyntaxError::eof(format!("value {v} exceeds 16 bits")))
+    u16::try_from(v)
+        .map_err(|_| SyntaxError::new(format!("value {v} exceeds 16 bits"), sp.line, sp.col))
 }
 
 fn expect_u32(cur: &mut Cursor) -> Result<u32, SyntaxError> {
+    let sp = cur.peek_span();
     let v = cur.expect_int()?;
-    u32::try_from(v).map_err(|_| SyntaxError::eof(format!("value {v} exceeds 32 bits")))
+    u32::try_from(v)
+        .map_err(|_| SyntaxError::new(format!("value {v} exceeds 32 bits"), sp.line, sp.col))
 }
 
 fn expect_field(cur: &mut Cursor) -> Result<Field, SyntaxError> {
-    let t = cur
-        .next()
-        .ok_or_else(|| SyntaxError::eof("expected a field name"))?;
+    let eof = cur.eof_err("expected a field name");
+    let t = cur.next().ok_or(eof)?;
     match &t.tok {
         Tok::Word(w) => Field::from_keyword(w)
             .ok_or_else(|| SyntaxError::at(format!("unknown field `{w}`"), &t)),
@@ -251,9 +402,8 @@ fn expect_field(cur: &mut Cursor) -> Result<Field, SyntaxError> {
 
 /// A wildcard mask value: an IPv4-shaped mask or a plain integer.
 fn expect_mask_value(cur: &mut Cursor) -> Result<u32, SyntaxError> {
-    let t = cur
-        .next()
-        .ok_or_else(|| SyntaxError::eof("expected a mask"))?;
+    let eof = cur.eof_err("expected a mask");
+    let t = cur.next().ok_or(eof)?;
     match &t.tok {
         Tok::Ip(ip) => Ok(ip.0),
         Tok::Int(v) => u32::try_from(*v).map_err(|_| SyntaxError::at("mask exceeds 32 bits", &t)),
@@ -267,9 +417,8 @@ fn expect_mask_value(cur: &mut Cursor) -> Result<u32, SyntaxError> {
 /// Parses the value (and optional MASK) of a predicate filter on `field`.
 fn parse_pred(cur: &mut Cursor, field: Field, at: &Token) -> Result<SingletonFilter, SyntaxError> {
     let mut m = FlowMatch::default();
-    let vt = cur
-        .next()
-        .ok_or_else(|| SyntaxError::eof("expected a field value"))?;
+    let eof = cur.eof_err("expected a field value");
+    let vt = cur.next().ok_or(eof)?;
     match field {
         Field::IpSrc | Field::IpDst => {
             let addr = match &vt.tok {

@@ -10,6 +10,39 @@ use std::fmt;
 
 use sdnshield_openflow::types::{EthAddr, Ipv4};
 
+/// A half-open source region: a start position plus a length in characters.
+///
+/// Spans are carried by every [`Token`] and threaded through the parsers'
+/// spanned ASTs so downstream tooling (the `shieldcheck` analyzer, error
+/// rendering) can point at the exact offending characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Length in characters (at least 1 for rendering purposes).
+    pub len: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+
+    /// The column one past the end of the span.
+    pub fn end_col(&self) -> u32 {
+        self.col + self.len.max(1)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A lexical token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
@@ -19,6 +52,15 @@ pub struct Token {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Length of the token's source text in characters.
+    pub len: u32,
+}
+
+impl Token {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.col, self.len)
+    }
 }
 
 /// Token kinds.
@@ -95,9 +137,16 @@ impl SyntaxError {
         Self::new(message, token.line, token.col)
     }
 
-    /// Creates an error at end of input.
-    pub fn eof(message: impl Into<String>) -> Self {
-        Self::new(message, 0, 0)
+    /// Creates an error at end of input, carrying the end-of-input position
+    /// so EOF errors render with a real line/column like every other
+    /// diagnostic (parsers obtain the position from [`Cursor::eof_pos`]).
+    pub fn eof(message: impl Into<String>, line: u32, col: u32) -> Self {
+        Self::new(message, line, col)
+    }
+
+    /// The error's source span (EOF and lex errors are one column wide).
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.col, 1)
     }
 }
 
@@ -170,6 +219,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                     },
                     line: tline,
                     col: tcol,
+                    len: 1,
                 });
             }
             '<' | '>' | '=' => {
@@ -194,6 +244,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                     tok: Tok::Op(op),
                     line: tline,
                     col: tcol,
+                    len: op.len() as u32,
                 });
             }
             c if c.is_ascii_digit() || c.is_ascii_alphabetic() || c == '_' => {
@@ -207,10 +258,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
                         break;
                     }
                 }
+                let len = word.chars().count() as u32;
                 out.push(Token {
                     tok: classify_word(&word, tline, tcol)?,
                     line: tline,
                     col: tcol,
+                    len,
                 });
             }
             other => {
@@ -257,12 +310,33 @@ fn classify_word(word: &str, line: u32, col: u32) -> Result<Tok, SyntaxError> {
 pub struct Cursor {
     tokens: Vec<Token>,
     pos: usize,
+    /// Position one past the final token, for EOF diagnostics.
+    end: (u32, u32),
 }
 
 impl Cursor {
     /// Wraps a token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Cursor { tokens, pos: 0 }
+        let end = tokens
+            .last()
+            .map(|t| (t.line, t.col + t.len))
+            .unwrap_or((1, 1));
+        Cursor {
+            tokens,
+            pos: 0,
+            end,
+        }
+    }
+
+    /// The end-of-input position `(line, col)`: one column past the last
+    /// token (or `(1, 1)` for an empty stream).
+    pub fn eof_pos(&self) -> (u32, u32) {
+        self.end
+    }
+
+    /// Builds a [`SyntaxError`] at the end-of-input position.
+    pub fn eof_err(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError::eof(message, self.end.0, self.end.1)
     }
 
     /// The next token, without consuming.
@@ -329,7 +403,7 @@ impl Cursor {
                 format!("expected `{w}`, found {}", t.tok),
                 &t,
             )),
-            None => Err(SyntaxError::eof(format!("expected `{w}`"))),
+            None => Err(self.eof_err(format!("expected `{w}`"))),
         }
     }
 
@@ -347,7 +421,7 @@ impl Cursor {
                 format!("expected integer, found {}", t.tok),
                 &t,
             )),
-            None => Err(SyntaxError::eof("expected integer")),
+            None => Err(self.eof_err("expected integer")),
         }
     }
 
@@ -365,7 +439,36 @@ impl Cursor {
                 format!("expected identifier, found {}", t.tok),
                 &t,
             )),
-            None => Err(SyntaxError::eof("expected identifier")),
+            None => Err(self.eof_err("expected identifier")),
+        }
+    }
+
+    /// Requires and returns a word token together with its span.
+    ///
+    /// # Errors
+    ///
+    /// [`SyntaxError`] when the next token is not a word.
+    pub fn expect_any_word_spanned(&mut self) -> Result<(String, Span), SyntaxError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(s),
+                line,
+                col,
+                len,
+            }) => Ok((s, Span::new(line, col, len))),
+            Some(t) => Err(SyntaxError::at(
+                format!("expected identifier, found {}", t.tok),
+                &t,
+            )),
+            None => Err(self.eof_err("expected identifier")),
+        }
+    }
+
+    /// The span of the next token, or a one-column span at end of input.
+    pub fn peek_span(&self) -> Span {
+        match self.peek() {
+            Some(t) => t.span(),
+            None => Span::new(self.end.0, self.end.1, 1),
         }
     }
 
@@ -381,7 +484,7 @@ impl Cursor {
                 format!("expected {t}, found {}", x.tok),
                 &x,
             )),
-            None => Err(SyntaxError::eof(format!("expected {t}"))),
+            None => Err(self.eof_err(format!("expected {t}"))),
         }
     }
 
@@ -450,6 +553,25 @@ mod tests {
         let tokens = lex("PERM\n  insert_flow").unwrap();
         assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
         assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn spans_cover_token_text() {
+        let tokens = lex("PERM insert_flow <=").unwrap();
+        assert_eq!(tokens[0].span(), Span::new(1, 1, 4));
+        assert_eq!(tokens[1].span(), Span::new(1, 6, 11));
+        assert_eq!(tokens[2].span(), Span::new(1, 18, 2));
+    }
+
+    #[test]
+    fn eof_errors_carry_end_position() {
+        let mut cur = Cursor::new(lex("PERM insert_flow").unwrap());
+        cur.next();
+        cur.next();
+        let err = cur.expect_any_word().unwrap_err();
+        assert_eq!((err.line, err.col), (1, 17));
+        let empty = Cursor::new(Vec::new());
+        assert_eq!(empty.eof_pos(), (1, 1));
     }
 
     #[test]

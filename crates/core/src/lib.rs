@@ -66,8 +66,12 @@ pub use api::{ApiCall, ApiCallKind, AppId};
 pub use engine::{Decision, DenyReason, OwnershipTracker, PermissionEngine};
 pub use eval::{CheckContext, NullContext};
 pub use filter::{FilterExpr, SingletonFilter};
-pub use lang::{parse_filter, parse_manifest};
+pub use lang::{
+    parse_filter, parse_filter_spanned, parse_manifest, parse_manifest_spanned, SpannedExpr,
+    SpannedManifest, SpannedPerm,
+};
+pub use lex::{Span, SyntaxError};
 pub use perm::{Permission, PermissionSet};
-pub use policy::parse_policy;
+pub use policy::{parse_policy, parse_policy_spanned, SpannedPolicy};
 pub use reconcile::{ReconcileReport, Reconciler};
 pub use token::PermissionToken;

@@ -24,8 +24,8 @@
 use std::fmt;
 
 use crate::filter::FilterExpr;
-use crate::lang::{parse_filter_expr, parse_perm};
-use crate::lex::{lex, Cursor, SyntaxError, Tok};
+use crate::lang::{parse_filter_expr_spanned, parse_perm_spanned, SpannedExpr, SpannedPerm};
+use crate::lex::{lex, Cursor, Span, SyntaxError, Tok};
 use crate::perm::PermissionSet;
 
 /// A whole policy program: an ordered list of statements.
@@ -155,6 +155,281 @@ pub enum Assertion {
     Not(Box<Assertion>),
 }
 
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for stmt in &self.stmts {
+            writeln!(f, "{stmt}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PolicyStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyStmt::LetFilter { name, expr } => write!(f, "LET {name} = {{ {expr} }}"),
+            PolicyStmt::LetPermSet { name, value } => write!(f, "LET {name} = {value}"),
+            PolicyStmt::Assert(a) => write!(f, "ASSERT {a}"),
+        }
+    }
+}
+
+impl fmt::Display for PermSetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // MEET/JOIN share one left-associative precedence level, so the left
+        // operand prints bare and a composite right operand needs parens.
+        fn atom(e: &PermSetExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                PermSetExpr::Meet(_, _) | PermSetExpr::Join(_, _) => write!(f, "( {e} )"),
+                simple => write!(f, "{simple}"),
+            }
+        }
+        match self {
+            PermSetExpr::Literal(set) => {
+                writeln!(f, "{{")?;
+                write!(f, "{set}")?;
+                write!(f, "}}")
+            }
+            PermSetExpr::Var(name) => write!(f, "{name}"),
+            PermSetExpr::App(name) => write!(f, "APP {name}"),
+            PermSetExpr::Meet(a, b) => {
+                write!(f, "{a} MEET ")?;
+                atom(b, f)
+            }
+            PermSetExpr::Join(a, b) => {
+                write!(f, "{a} JOIN ")?;
+                atom(b, f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Precedence mirrors the parser: NOT > AND > OR, so only children
+        // looser than their parent need parentheses.
+        fn child(a: &Assertion, wrap_or: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let needs_parens = match a {
+                Assertion::Or(_) => wrap_or,
+                Assertion::And(_) => !wrap_or,
+                _ => false,
+            };
+            if needs_parens {
+                write!(f, "( {a} )")
+            } else {
+                write!(f, "{a}")
+            }
+        }
+        match self {
+            Assertion::Either(a, b) => write!(f, "EITHER {a} OR {b}"),
+            Assertion::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Assertion::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    child(p, true, f)?;
+                }
+                Ok(())
+            }
+            Assertion::Or(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    child(p, false, f)?;
+                }
+                Ok(())
+            }
+            Assertion::Not(inner) => {
+                write!(f, "NOT ")?;
+                match **inner {
+                    Assertion::And(_) | Assertion::Or(_) => write!(f, "( {inner} )"),
+                    _ => write!(f, "{inner}"),
+                }
+            }
+        }
+    }
+}
+
+/// A policy parse result that retains source spans on every statement,
+/// binding, reference, and assertion operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedPolicy {
+    /// The statements, in source order.
+    pub stmts: Vec<SpannedPolicyStmt>,
+}
+
+impl SpannedPolicy {
+    /// Lowers to the plain [`Policy`].
+    pub fn to_policy(&self) -> Policy {
+        Policy {
+            stmts: self.stmts.iter().map(|s| s.kind.to_stmt()).collect(),
+        }
+    }
+}
+
+/// One policy statement with its keyword span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedPolicyStmt {
+    /// Span of the leading `LET` / `ASSERT` keyword.
+    pub span: Span,
+    /// The statement itself.
+    pub kind: SpannedStmtKind,
+}
+
+/// Spanned counterpart of [`PolicyStmt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedStmtKind {
+    /// `LET name = { filter_expr }`.
+    LetFilter {
+        /// Macro name.
+        name: String,
+        /// Span of the macro name.
+        name_span: Span,
+        /// The concrete filter.
+        expr: SpannedExpr,
+    },
+    /// `LET name = …` binding a permission-set expression.
+    LetPermSet {
+        /// Variable name.
+        name: String,
+        /// Span of the variable name.
+        name_span: Span,
+        /// The bound expression.
+        value: SpannedPermSetExpr,
+    },
+    /// `ASSERT …`.
+    Assert(SpannedAssertion),
+}
+
+impl SpannedStmtKind {
+    /// Lowers to the plain [`PolicyStmt`].
+    pub fn to_stmt(&self) -> PolicyStmt {
+        match self {
+            SpannedStmtKind::LetFilter { name, expr, .. } => PolicyStmt::LetFilter {
+                name: name.clone(),
+                expr: expr.to_expr(),
+            },
+            SpannedStmtKind::LetPermSet { name, value, .. } => PolicyStmt::LetPermSet {
+                name: name.clone(),
+                value: value.to_perm_set_expr(),
+            },
+            SpannedStmtKind::Assert(a) => PolicyStmt::Assert(a.to_assertion()),
+        }
+    }
+}
+
+/// Spanned counterpart of [`PermSetExpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedPermSetExpr {
+    /// A literal `{ PERM … }` block, in declaration order (duplicates
+    /// preserved); the span covers the opening brace.
+    Literal(Vec<SpannedPerm>, Span),
+    /// A variable reference; the span covers the name.
+    Var(String, Span),
+    /// `APP name`; the span covers the app name.
+    App(String, Span),
+    /// Intersection.
+    Meet(Box<SpannedPermSetExpr>, Box<SpannedPermSetExpr>),
+    /// Union.
+    Join(Box<SpannedPermSetExpr>, Box<SpannedPermSetExpr>),
+}
+
+impl SpannedPermSetExpr {
+    /// Lowers to the plain [`PermSetExpr`].
+    pub fn to_perm_set_expr(&self) -> PermSetExpr {
+        match self {
+            SpannedPermSetExpr::Literal(perms, _) => {
+                let mut set = PermissionSet::new();
+                for p in perms {
+                    set.insert(p.to_permission());
+                }
+                PermSetExpr::Literal(set)
+            }
+            SpannedPermSetExpr::Var(n, _) => PermSetExpr::Var(n.clone()),
+            SpannedPermSetExpr::App(n, _) => PermSetExpr::App(n.clone()),
+            SpannedPermSetExpr::Meet(a, b) => PermSetExpr::Meet(
+                Box::new(a.to_perm_set_expr()),
+                Box::new(b.to_perm_set_expr()),
+            ),
+            SpannedPermSetExpr::Join(a, b) => PermSetExpr::Join(
+                Box::new(a.to_perm_set_expr()),
+                Box::new(b.to_perm_set_expr()),
+            ),
+        }
+    }
+
+    /// A span anchoring this subtree: its leftmost leaf's span.
+    pub fn span(&self) -> Span {
+        match self {
+            SpannedPermSetExpr::Literal(_, s)
+            | SpannedPermSetExpr::Var(_, s)
+            | SpannedPermSetExpr::App(_, s) => *s,
+            SpannedPermSetExpr::Meet(a, _) | SpannedPermSetExpr::Join(a, _) => a.span(),
+        }
+    }
+}
+
+/// Spanned counterpart of [`Assertion`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedAssertion {
+    /// Mutual exclusion; the span covers the `EITHER` keyword.
+    Either(SpannedPermSetExpr, SpannedPermSetExpr, Span),
+    /// A comparison; the span covers the operator.
+    Compare {
+        /// Left side.
+        lhs: SpannedPermSetExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Span of the operator token.
+        op_span: Span,
+        /// Right side.
+        rhs: SpannedPermSetExpr,
+    },
+    /// Conjunction.
+    And(Vec<SpannedAssertion>),
+    /// Disjunction.
+    Or(Vec<SpannedAssertion>),
+    /// Negation; the span covers the `NOT` keyword.
+    Not(Box<SpannedAssertion>, Span),
+}
+
+impl SpannedAssertion {
+    /// Lowers to the plain [`Assertion`].
+    pub fn to_assertion(&self) -> Assertion {
+        match self {
+            SpannedAssertion::Either(a, b, _) => {
+                Assertion::Either(a.to_perm_set_expr(), b.to_perm_set_expr())
+            }
+            SpannedAssertion::Compare { lhs, op, rhs, .. } => Assertion::Compare {
+                lhs: lhs.to_perm_set_expr(),
+                op: *op,
+                rhs: rhs.to_perm_set_expr(),
+            },
+            SpannedAssertion::And(parts) => {
+                Assertion::And(parts.iter().map(SpannedAssertion::to_assertion).collect())
+            }
+            SpannedAssertion::Or(parts) => {
+                Assertion::Or(parts.iter().map(SpannedAssertion::to_assertion).collect())
+            }
+            SpannedAssertion::Not(inner, _) => Assertion::Not(Box::new(inner.to_assertion())),
+        }
+    }
+
+    /// A span anchoring this subtree.
+    pub fn span(&self) -> Span {
+        match self {
+            SpannedAssertion::Either(_, _, s) | SpannedAssertion::Not(_, s) => *s,
+            SpannedAssertion::Compare { op_span, .. } => *op_span,
+            SpannedAssertion::And(parts) | SpannedAssertion::Or(parts) => parts
+                .first()
+                .map(SpannedAssertion::span)
+                .unwrap_or(SpannedExpr::DUMMY_SPAN),
+        }
+    }
+}
+
 /// Parses a policy program.
 ///
 /// # Errors
@@ -174,13 +449,30 @@ pub enum Assertion {
 /// # Ok::<(), sdnshield_core::lex::SyntaxError>(())
 /// ```
 pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
+    Ok(parse_policy_spanned(src)?.to_policy())
+}
+
+/// Parses a policy program keeping source spans, for tooling that reports
+/// positions (the `shieldcheck` analyzer).
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] with position information on malformed input.
+pub fn parse_policy_spanned(src: &str) -> Result<SpannedPolicy, SyntaxError> {
     let mut cur = Cursor::new(lex(src)?);
     let mut stmts = Vec::new();
     while !cur.at_end() {
+        let span = cur.peek_span();
         if cur.eat_word("LET") {
-            stmts.push(parse_let(&mut cur)?);
+            stmts.push(SpannedPolicyStmt {
+                span,
+                kind: parse_let(&mut cur)?,
+            });
         } else if cur.eat_word("ASSERT") {
-            stmts.push(PolicyStmt::Assert(parse_assertion(&mut cur)?));
+            stmts.push(SpannedPolicyStmt {
+                span,
+                kind: SpannedStmtKind::Assert(parse_assertion(&mut cur)?),
+            });
         } else {
             let t = cur.next().expect("not at end");
             return Err(SyntaxError::at(
@@ -189,17 +481,18 @@ pub fn parse_policy(src: &str) -> Result<Policy, SyntaxError> {
             ));
         }
     }
-    Ok(Policy { stmts })
+    Ok(SpannedPolicy { stmts })
 }
 
-fn parse_let(cur: &mut Cursor) -> Result<PolicyStmt, SyntaxError> {
-    let name = cur.expect_any_word()?;
+fn parse_let(cur: &mut Cursor) -> Result<SpannedStmtKind, SyntaxError> {
+    let (name, name_span) = cur.expect_any_word_spanned()?;
     cur.expect(&Tok::Op("="))?;
     if cur.eat_word("APP") {
-        let app = cur.expect_any_word()?;
-        return Ok(PolicyStmt::LetPermSet {
+        let (app, app_span) = cur.expect_any_word_spanned()?;
+        return Ok(SpannedStmtKind::LetPermSet {
             name,
-            value: PermSetExpr::App(app),
+            name_span,
+            value: SpannedPermSetExpr::App(app, app_span),
         });
     }
     // A braced body is either a permission-set literal (starts with PERM) or
@@ -207,62 +500,81 @@ fn parse_let(cur: &mut Cursor) -> Result<PolicyStmt, SyntaxError> {
     if cur.peek().map(|t| &t.tok) == Some(&Tok::LBrace) {
         if matches!(cur.peek2(), Some(t) if t.tok == Tok::Word("PERM".into())) {
             let value = parse_perm_set_expr(cur)?;
-            return Ok(PolicyStmt::LetPermSet { name, value });
+            return Ok(SpannedStmtKind::LetPermSet {
+                name,
+                name_span,
+                value,
+            });
         }
         cur.expect(&Tok::LBrace)?;
-        let expr = parse_filter_expr(cur)?;
+        let expr = parse_filter_expr_spanned(cur)?;
         cur.expect(&Tok::RBrace)?;
-        return Ok(PolicyStmt::LetFilter { name, expr });
+        return Ok(SpannedStmtKind::LetFilter {
+            name,
+            name_span,
+            expr,
+        });
     }
     let value = parse_perm_set_expr(cur)?;
-    Ok(PolicyStmt::LetPermSet { name, value })
+    Ok(SpannedStmtKind::LetPermSet {
+        name,
+        name_span,
+        value,
+    })
 }
 
 /// Parses an assertion (`EITHER …` or a boolean expression over
 /// comparisons).
-fn parse_assertion(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
-    if cur.eat_word("EITHER") {
+fn parse_assertion(cur: &mut Cursor) -> Result<SpannedAssertion, SyntaxError> {
+    if cur.peek_word("EITHER") {
+        let span = cur.peek_span();
+        cur.next();
         let a = parse_perm_set_expr(cur)?;
         cur.expect_word("OR")?;
         let b = parse_perm_set_expr(cur)?;
-        return Ok(Assertion::Either(a, b));
+        return Ok(SpannedAssertion::Either(a, b, span));
     }
     parse_assert_or(cur)
 }
 
-fn parse_assert_or(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+fn parse_assert_or(cur: &mut Cursor) -> Result<SpannedAssertion, SyntaxError> {
     let mut lhs = parse_assert_and(cur)?;
     while cur.eat_word("OR") {
         let rhs = parse_assert_and(cur)?;
         lhs = match lhs {
-            Assertion::Or(mut xs) => {
+            SpannedAssertion::Or(mut xs) => {
                 xs.push(rhs);
-                Assertion::Or(xs)
+                SpannedAssertion::Or(xs)
             }
-            other => Assertion::Or(vec![other, rhs]),
+            other => SpannedAssertion::Or(vec![other, rhs]),
         };
     }
     Ok(lhs)
 }
 
-fn parse_assert_and(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
+fn parse_assert_and(cur: &mut Cursor) -> Result<SpannedAssertion, SyntaxError> {
     let mut lhs = parse_assert_unary(cur)?;
     while cur.eat_word("AND") {
         let rhs = parse_assert_unary(cur)?;
         lhs = match lhs {
-            Assertion::And(mut xs) => {
+            SpannedAssertion::And(mut xs) => {
                 xs.push(rhs);
-                Assertion::And(xs)
+                SpannedAssertion::And(xs)
             }
-            other => Assertion::And(vec![other, rhs]),
+            other => SpannedAssertion::And(vec![other, rhs]),
         };
     }
     Ok(lhs)
 }
 
-fn parse_assert_unary(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
-    if cur.eat_word("NOT") {
-        return Ok(Assertion::Not(Box::new(parse_assert_unary(cur)?)));
+fn parse_assert_unary(cur: &mut Cursor) -> Result<SpannedAssertion, SyntaxError> {
+    if cur.peek_word("NOT") {
+        let span = cur.peek_span();
+        cur.next();
+        return Ok(SpannedAssertion::Not(
+            Box::new(parse_assert_unary(cur)?),
+            span,
+        ));
     }
     // Parenthesized assertion vs parenthesized perm-expr: try assertion
     // first by scanning for a comparison operator before the matching close.
@@ -273,16 +585,23 @@ fn parse_assert_unary(cur: &mut Cursor) -> Result<Assertion, SyntaxError> {
         return Ok(inner);
     }
     let lhs = parse_perm_set_expr(cur)?;
+    let op_span = cur.peek_span();
     let op = parse_cmp_op(cur)?;
     let rhs = parse_perm_set_expr(cur)?;
-    Ok(Assertion::Compare { lhs, op, rhs })
+    Ok(SpannedAssertion::Compare {
+        lhs,
+        op,
+        op_span,
+        rhs,
+    })
 }
 
 /// Lookahead: does the parenthesis at the cursor enclose a comparison (an
 /// assertion) rather than a permission expression?
 fn paren_wraps_assertion(cur: &Cursor) -> bool {
-    // Scan forward counting depth; a comparison operator at depth 1 before
-    // the paren closes means the parens wrap an assertion.
+    // Scan forward to the matching close; comparison operators cannot occur
+    // anywhere inside a permission expression, so one at any depth (e.g.
+    // behind further parens: `( ( a <= b ) )`) means an assertion.
     let mut depth = 0usize;
     let mut idx = 0usize;
     loop {
@@ -297,7 +616,7 @@ fn paren_wraps_assertion(cur: &Cursor) -> bool {
                     return false;
                 }
             }
-            Tok::Op(_) if depth == 1 => return true,
+            Tok::Op(_) => return true,
             _ => {}
         }
         idx += 1;
@@ -317,46 +636,47 @@ fn parse_cmp_op(cur: &mut Cursor) -> Result<CmpOp, SyntaxError> {
                 &t,
             )),
         },
-        None => Err(SyntaxError::eof("expected a comparison operator")),
+        None => Err(cur.eof_err("expected a comparison operator")),
     }
 }
 
 /// Parses a permission-set expression with left-associative MEET/JOIN.
-fn parse_perm_set_expr(cur: &mut Cursor) -> Result<PermSetExpr, SyntaxError> {
+fn parse_perm_set_expr(cur: &mut Cursor) -> Result<SpannedPermSetExpr, SyntaxError> {
     let mut lhs = parse_perm_set_atom(cur)?;
     loop {
         if cur.eat_word("MEET") {
             let rhs = parse_perm_set_atom(cur)?;
-            lhs = PermSetExpr::Meet(Box::new(lhs), Box::new(rhs));
+            lhs = SpannedPermSetExpr::Meet(Box::new(lhs), Box::new(rhs));
         } else if cur.eat_word("JOIN") {
             let rhs = parse_perm_set_atom(cur)?;
-            lhs = PermSetExpr::Join(Box::new(lhs), Box::new(rhs));
+            lhs = SpannedPermSetExpr::Join(Box::new(lhs), Box::new(rhs));
         } else {
             return Ok(lhs);
         }
     }
 }
 
-fn parse_perm_set_atom(cur: &mut Cursor) -> Result<PermSetExpr, SyntaxError> {
+fn parse_perm_set_atom(cur: &mut Cursor) -> Result<SpannedPermSetExpr, SyntaxError> {
     if cur.eat(&Tok::LParen) {
         let inner = parse_perm_set_expr(cur)?;
         cur.expect(&Tok::RParen)?;
         return Ok(inner);
     }
+    let brace_span = cur.peek_span();
     if cur.eat(&Tok::LBrace) {
-        let mut set = PermissionSet::new();
+        let mut perms = Vec::new();
         while cur.peek_word("PERM") {
-            set.insert(parse_perm(cur)?);
+            perms.push(parse_perm_spanned(cur)?);
         }
         cur.expect(&Tok::RBrace)?;
-        return Ok(PermSetExpr::Literal(set));
+        return Ok(SpannedPermSetExpr::Literal(perms, brace_span));
     }
     if cur.eat_word("APP") {
-        let app = cur.expect_any_word()?;
-        return Ok(PermSetExpr::App(app));
+        let (app, app_span) = cur.expect_any_word_spanned()?;
+        return Ok(SpannedPermSetExpr::App(app, app_span));
     }
-    let name = cur.expect_any_word()?;
-    Ok(PermSetExpr::Var(name))
+    let (name, name_span) = cur.expect_any_word_spanned()?;
+    Ok(SpannedPermSetExpr::Var(name, name_span))
 }
 
 #[cfg(test)]
