@@ -233,6 +233,17 @@ pub(crate) enum DeputyRequest {
         /// Where to send the outcome.
         reply: crossbeam::channel::Sender<Result<ApiResponse, ApiError>>,
     },
+    /// A batch of flow operations moved across the channel in one crossing
+    /// and checked under a single engine snapshot (same atomicity as
+    /// `Transaction`, audited as a `batch`).
+    Batch {
+        /// The calling app.
+        app: sdnshield_core::api::AppId,
+        /// The operations, applied all-or-nothing.
+        ops: Vec<FlowOp>,
+        /// Where to send the outcome.
+        reply: crossbeam::channel::Sender<Result<ApiResponse, ApiError>>,
+    },
     /// Send on an established host connection (payload carried out-of-band
     /// of the core `ApiCall` so forensics records real bytes).
     HostSend {

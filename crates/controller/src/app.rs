@@ -348,6 +348,48 @@ impl AppCtx {
         }
     }
 
+    /// Submits a batch of flow operations in a single app→KSD channel
+    /// crossing, checked under one engine snapshot and applied atomically
+    /// (the transaction rollback machinery backs it). Returns the number of
+    /// operations applied.
+    ///
+    /// Prefer this over a loop of [`AppCtx::insert_flow`] for bulk rule
+    /// pushes: it pays the channel crossing, engine fetch, tracker read
+    /// guard, and audit record once per batch instead of once per op.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::TransactionAborted`] naming the first offending
+    /// operation; nothing is applied in that case.
+    pub fn submit_batch(&self, ops: Vec<FlowOp>) -> Result<usize, ApiError> {
+        let n = ops.len();
+        match &self.route {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+            } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::Batch {
+                        app: self.app,
+                        ops,
+                        reply: reply_tx,
+                    },
+                )?;
+                await_reply(&reply_rx, *timeout)??;
+                Ok(n)
+            }
+            CallRoute::Direct { kernel, pending } => {
+                let (result, events) = kernel.execute_batch(self.app, &ops);
+                pending.lock().extend(events);
+                result.map(|_| n)
+            }
+        }
+    }
+
     /// Opens a connection from the controller host (Class-2 channel).
     ///
     /// # Errors

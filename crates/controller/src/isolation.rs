@@ -1069,6 +1069,22 @@ fn deputy_loop(
                     }
                 }
             }
+            DeputyRequest::Batch { app, ops, reply } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    kernel.execute_batch(app, &ops)
+                }));
+                match outcome {
+                    Ok((result, events)) => {
+                        let _ = reply.send(result);
+                        dispatcher.dispatch(&kernel, events, false);
+                    }
+                    Err(_) => {
+                        let _ = reply.send(Err(ApiError::Internal(
+                            "deputy panicked executing the batch".into(),
+                        )));
+                    }
+                }
+            }
             DeputyRequest::HostSend {
                 app,
                 conn,

@@ -362,6 +362,39 @@ impl Kernel {
         app: AppId,
         ops: &[FlowOp],
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        self.run_atomic(app, ops, "transaction")
+    }
+
+    /// Executes a batch of flow operations submitted through the batched
+    /// deputy API (`AppCtx::submit_batch`): the same atomic check/apply/
+    /// rollback machinery as [`Kernel::execute_transaction`], but audited
+    /// as a `batch`. The win over N singleton calls is amortization — one
+    /// channel crossing, one engine fetch, one tracker read guard, and one
+    /// audit record for the whole group.
+    pub fn execute_batch(
+        &self,
+        app: AppId,
+        ops: &[FlowOp],
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        self.run_atomic(app, ops, "batch")
+    }
+
+    /// The current context epoch: advances whenever the ownership tracker
+    /// mutates, invalidating engine decision caches keyed on it (see
+    /// [`sdnshield_core::eval::CheckContext::epoch`]). Every tracker
+    /// mutation routes through its `record_*` methods, which bump the
+    /// counter unconditionally — no kernel call site can forget.
+    pub fn context_epoch(&self) -> u64 {
+        self.tracker_read().epoch()
+    }
+
+    /// Shared atomic check/apply/rollback for transactions and batches.
+    fn run_atomic(
+        &self,
+        app: AppId,
+        ops: &[FlowOp],
+        audit_op: &'static str,
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
         // Phase 1: check everything before touching any state.
         if self.checks_enabled {
             let Some(engine) = self.engine_for(app) else {
@@ -379,12 +412,8 @@ impl Kernel {
                 let decision = engine.check(&call, &*tracker);
                 if let Decision::Denied { .. } = decision {
                     drop(tracker);
-                    self.audit.record(
-                        app,
-                        "transaction",
-                        call.required_token(),
-                        AuditOutcome::Denied,
-                    );
+                    self.audit
+                        .record(app, audit_op, call.required_token(), AuditOutcome::Denied);
                     return (
                         Err(ApiError::TransactionAborted {
                             failed_index: i,
@@ -414,7 +443,7 @@ impl Kernel {
                     }
                     self.audit.record(
                         app,
-                        "transaction",
+                        audit_op,
                         PermissionToken::InsertFlow,
                         AuditOutcome::Failed,
                     );
@@ -430,7 +459,7 @@ impl Kernel {
         }
         self.audit.record(
             app,
-            "transaction",
+            audit_op,
             PermissionToken::InsertFlow,
             AuditOutcome::Allowed,
         );

@@ -45,6 +45,15 @@ pub trait CheckContext {
         let _ = (app, payload);
         false
     }
+
+    /// A counter that advances whenever the answers of the other methods may
+    /// have changed (tracker/quota mutations). The engine's decision cache
+    /// keys entries on this epoch; a stale epoch is a cache miss, never a
+    /// stale answer. Contexts whose state never changes may keep the
+    /// default constant.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// A [`CheckContext`] with permissive defaults: no foreign flows, zero rule
@@ -153,6 +162,87 @@ pub fn eval_singleton(f: &SingletonFilter, call: &ApiCall, ctx: &dyn CheckContex
         },
         // Unexpanded stubs deny: manifests must be reconciled first.
         SingletonFilter::Stub(_) => false,
+    }
+}
+
+/// How much of the evaluation environment a singleton filter consults —
+/// the compile-time classification behind the engine's check plans
+/// (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralClass {
+    /// Decidable from the manifest alone: [`eval_singleton`] returns the
+    /// carried constant for every call and every context, so plan
+    /// compilation folds the literal out.
+    Static(bool),
+    /// Depends only on the call's own attributes — a pure function of the
+    /// [`ApiCall`], cacheable per call shape.
+    CallOnly,
+    /// Reads the kernel's [`CheckContext`] (ownership, quotas, packet-in
+    /// provenance). Never cached: the answer can change between calls.
+    Stateful,
+}
+
+/// Classifies a singleton filter by what [`eval_singleton`] consults.
+///
+/// The classification must stay conservative with respect to the evaluator:
+/// a filter marked [`LiteralClass::CallOnly`] must never read the context,
+/// and one marked [`LiteralClass::Static`] must evaluate to the carried
+/// constant for *every* call. The plan/cache ≡ interpreted property test
+/// enforces this end to end.
+pub fn classify(f: &SingletonFilter) -> LiteralClass {
+    match f {
+        // Constant-true: the evaluator accepts these unconditionally.
+        SingletonFilter::Ownership(Ownership::AllFlows)
+        | SingletonFilter::PktOut(PktOutSource::Arbitrary)
+        | SingletonFilter::VirtTopo(_)
+        | SingletonFilter::Callback(_) => LiteralClass::Static(true),
+        // Constant-false: unexpanded stubs always deny.
+        SingletonFilter::Stub(_) => LiteralClass::Static(false),
+        SingletonFilter::Pred(_)
+        | SingletonFilter::Wildcard { .. }
+        | SingletonFilter::Action(_)
+        | SingletonFilter::MaxPriority(_)
+        | SingletonFilter::MinPriority(_)
+        | SingletonFilter::PhysTopo(_)
+        | SingletonFilter::Stats(_) => LiteralClass::CallOnly,
+        SingletonFilter::Ownership(Ownership::OwnFlows)
+        | SingletonFilter::MaxRuleCount(_)
+        | SingletonFilter::PktOut(PktOutSource::FromPktIn) => LiteralClass::Stateful,
+    }
+}
+
+/// Relative evaluation cost of a singleton filter, for cheapest-first
+/// ordering inside check plans. Only the order matters, not the scale:
+/// integer comparisons < set probes < flow-match algebra < context reads
+/// (which scan tracker state).
+pub fn cost_rank(f: &SingletonFilter) -> u8 {
+    match f {
+        SingletonFilter::MaxPriority(_) | SingletonFilter::MinPriority(_) => 0,
+        SingletonFilter::Stats(_) => 1,
+        SingletonFilter::PhysTopo(_) => 2,
+        SingletonFilter::Wildcard { .. } => 3,
+        SingletonFilter::Action(_) => 4,
+        SingletonFilter::Pred(_) => 5,
+        // Constants fold out of plans; ranked only for completeness.
+        SingletonFilter::Ownership(Ownership::AllFlows)
+        | SingletonFilter::PktOut(PktOutSource::Arbitrary)
+        | SingletonFilter::VirtTopo(_)
+        | SingletonFilter::Callback(_)
+        | SingletonFilter::Stub(_) => 0,
+        // Stateful reads walk tracker state (rule lists, payload windows).
+        SingletonFilter::MaxRuleCount(_) => 6,
+        SingletonFilter::PktOut(PktOutSource::FromPktIn) => 7,
+        SingletonFilter::Ownership(Ownership::OwnFlows) => 8,
+    }
+}
+
+/// The statistics granularity a call demands, exposed for the engine's
+/// canonical call shape (the decision-cache key must capture every call
+/// attribute a call-only filter can observe).
+pub(crate) fn stats_level_of(kind: &ApiCallKind) -> Option<StatsLevel> {
+    match kind {
+        ApiCallKind::ReadStatistics { request, .. } => Some(required_stats_level(request)),
+        _ => None,
     }
 }
 

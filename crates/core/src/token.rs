@@ -69,6 +69,16 @@ impl PermissionToken {
         PermissionToken::ProcessRuntime,
     ];
 
+    /// Position of this token in [`PermissionToken::ALL`].
+    ///
+    /// The enum declares its variants in exactly `ALL`'s order, so the
+    /// discriminant *is* the index — a constant-time cast rather than a
+    /// linear scan. The `token_index_agrees` test in `engine.rs` asserts
+    /// this stays true for every token.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// The canonical lower-snake-case name used in the permission language.
     pub fn name(self) -> &'static str {
         match self {
