@@ -4,13 +4,14 @@
 
 use std::collections::HashMap;
 
+use sdnshield_controller::api::FlowOp;
 use sdnshield_controller::app::{App, AppCtx};
 use sdnshield_controller::events::Event;
 use sdnshield_core::api::EventKind;
 use sdnshield_core::token::PermissionToken;
 use sdnshield_openflow::actions::ActionList;
 use sdnshield_openflow::flow_match::FlowMatch;
-use sdnshield_openflow::messages::{FlowMod, PacketOut};
+use sdnshield_openflow::messages::{FlowMod, PacketIn, PacketOut};
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{BufferId, DatapathId, EthAddr, PortNo, Priority};
 
@@ -49,6 +50,57 @@ impl L2LearningSwitch {
     pub fn learned(&self) -> usize {
         self.mac_table.len()
     }
+
+    /// Learns the source and decides the reaction to one packet-in: the
+    /// forwarding rule to install (known unicast destination only) plus the
+    /// packet-out that releases the packet. `None` for unparseable frames.
+    fn react(
+        &mut self,
+        dpid: DatapathId,
+        packet_in: &PacketIn,
+    ) -> Option<(Option<FlowMod>, PacketOut)> {
+        let frame = EthernetFrame::from_bytes(packet_in.payload.clone()).ok()?;
+        // Learn the source location.
+        self.mac_table.insert((dpid, frame.src), packet_in.in_port);
+        // Known destination: install a forwarding rule and release the
+        // packet; unknown: flood.
+        let out_port = if frame.dst.is_multicast() {
+            None
+        } else {
+            self.mac_table.get(&(dpid, frame.dst)).copied()
+        };
+        Some(match out_port {
+            Some(port) => {
+                let fm = FlowMod::add(
+                    FlowMatch::default().with_eth_dst(frame.dst),
+                    Priority(100),
+                    ActionList::output(port),
+                )
+                .with_idle_timeout(60);
+                (
+                    Some(fm),
+                    PacketOut {
+                        buffer_id: BufferId::NO_BUFFER,
+                        in_port: packet_in.in_port,
+                        actions: ActionList::output(port),
+                        payload: packet_in.payload.clone(),
+                    },
+                )
+            }
+            None => {
+                self.floods += 1;
+                (
+                    None,
+                    PacketOut {
+                        buffer_id: BufferId::NO_BUFFER,
+                        in_port: packet_in.in_port,
+                        actions: ActionList::output(PortNo::FLOOD),
+                        payload: packet_in.payload.clone(),
+                    },
+                )
+            }
+        })
+    }
 }
 
 impl App for L2LearningSwitch {
@@ -74,52 +126,47 @@ impl App for L2LearningSwitch {
         let Event::PacketIn { dpid, packet_in } = event else {
             return;
         };
-        let Ok(frame) = EthernetFrame::from_bytes(packet_in.payload.clone()) else {
+        let Some((flow_mod, packet_out)) = self.react(*dpid, packet_in) else {
             return;
         };
-        // Learn the source location.
-        self.mac_table.insert((*dpid, frame.src), packet_in.in_port);
-        // Known destination: install a forwarding rule and release the
-        // packet; unknown: flood.
-        let out_port = if frame.dst.is_multicast() {
-            None
-        } else {
-            self.mac_table.get(&(*dpid, frame.dst)).copied()
-        };
-        match out_port {
-            Some(port) => {
-                let fm = FlowMod::add(
-                    FlowMatch::default().with_eth_dst(frame.dst),
-                    Priority(100),
-                    ActionList::output(port),
-                )
-                .with_idle_timeout(60);
-                if ctx.insert_flow(*dpid, fm).is_ok() {
-                    self.rules_installed += 1;
-                }
-                let _ = ctx.send_packet_out(
-                    *dpid,
-                    PacketOut {
-                        buffer_id: BufferId::NO_BUFFER,
-                        in_port: packet_in.in_port,
-                        actions: ActionList::output(port),
-                        payload: packet_in.payload.clone(),
-                    },
-                );
-            }
-            None => {
-                self.floods += 1;
-                let _ = ctx.send_packet_out(
-                    *dpid,
-                    PacketOut {
-                        buffer_id: BufferId::NO_BUFFER,
-                        in_port: packet_in.in_port,
-                        actions: ActionList::output(PortNo::FLOOD),
-                        payload: packet_in.payload.clone(),
-                    },
-                );
+        if let Some(fm) = flow_mod {
+            if ctx.insert_flow(*dpid, fm).is_ok() {
+                self.rules_installed += 1;
             }
         }
+        let _ = ctx.send_packet_out(*dpid, packet_out);
+    }
+
+    /// Vectored delivery: one wake-up carries a burst of packet-ins; the
+    /// forwarding rules for the whole burst are returned as one batch (the
+    /// runtime submits it through a single mediated `submit_batch` call)
+    /// and the packet-outs releasing each packet go out, in arrival order,
+    /// through one vectored `send_packet_outs` crossing.
+    fn on_events(&mut self, ctx: &AppCtx, events: &[&Event]) -> Vec<FlowOp> {
+        let mut ops = Vec::new();
+        let mut outs = Vec::new();
+        for event in events {
+            let Event::PacketIn { dpid, packet_in } = event else {
+                continue;
+            };
+            let Some((flow_mod, packet_out)) = self.react(*dpid, packet_in) else {
+                continue;
+            };
+            if let Some(flow_mod) = flow_mod {
+                // Counted at emission: the runtime submits the batch as this
+                // app, and L2's manifest grants insert_flow unconditionally.
+                self.rules_installed += 1;
+                ops.push(FlowOp {
+                    dpid: *dpid,
+                    flow_mod,
+                });
+            }
+            outs.push((*dpid, packet_out));
+        }
+        if !outs.is_empty() {
+            let _ = ctx.send_packet_outs(outs);
+        }
+        ops
     }
 }
 

@@ -5,6 +5,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sdnshield_bench::scenario::{alto_scenario, l2_scenario_opts, traffic, Arch};
+use sdnshield_controller::app::{App, AppCtx};
+use sdnshield_controller::events::Event;
+use sdnshield_controller::isolation::{ControllerConfig, ShieldedController};
+use sdnshield_core::api::EventKind;
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_openflow::messages::StatsRequest;
 
 const SWITCH_COUNTS: [usize; 3] = [4, 16, 64];
 
@@ -58,5 +66,72 @@ fn bench_alto(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_l2, bench_alto);
+/// An app issuing a burst of call-only statistics reads per packet-in —
+/// the workload the PR 5 read fast path serves without a channel crossing.
+struct ReadHeavy {
+    reads_per_event: usize,
+}
+
+impl App for ReadHeavy {
+    fn name(&self) -> &str {
+        "read-heavy"
+    }
+
+    fn on_start(&mut self, ctx: &AppCtx) {
+        ctx.subscribe(EventKind::PacketIn).expect("subscribe");
+    }
+
+    fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
+        let Event::PacketIn { dpid, .. } = event else {
+            return;
+        };
+        for _ in 0..self.reads_per_event {
+            let _ = ctx.read_statistics(*dpid, StatsRequest::Table);
+        }
+    }
+}
+
+/// Mediated read latency with the fast lane on vs off (PR 5): each
+/// packet-in triggers 16 call-only `read_statistics` calls, served on the
+/// app thread (fast lane) or round-tripped through the deputy.
+fn bench_read_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_read_latency");
+    group
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, fast_path) in [("pure_deputy", false), ("fast_lane", true)] {
+        let controller = ShieldedController::new_with_config(
+            Network::new(builders::linear(1), 4096),
+            ControllerConfig {
+                read_fast_path: fast_path,
+                ..ControllerConfig::default()
+            },
+        );
+        controller
+            .register(
+                Box::new(ReadHeavy {
+                    reads_per_event: 16,
+                }),
+                &parse_manifest("PERM pkt_in_event\nPERM read_statistics").expect("manifest"),
+            )
+            .expect("register");
+        let mut gen = traffic(1, 7);
+        for _ in 0..50 {
+            let (dpid, pi) = gen.next_packet_in();
+            controller.deliver_packet_in(dpid, pi);
+        }
+        controller.quiesce();
+        group.bench_function(BenchmarkId::new(label, "16reads"), |b| {
+            b.iter(|| {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            })
+        });
+        controller.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_l2, bench_alto, bench_read_fast_path);
 criterion_main!(benches);

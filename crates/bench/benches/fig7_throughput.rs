@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use sdnshield_bench::scenario::{l2_scenario_opts, traffic, Arch};
+use sdnshield_bench::scenario::{l2_scenario_opts, l2_scenario_tuned, traffic, Arch};
 
 const BATCH: usize = 512;
 const SWITCH_COUNTS: [usize; 3] = [4, 16, 64];
@@ -38,5 +38,46 @@ fn bench_fig7(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig7);
+/// Vectored delivery (PR 5): the same pressure test driven through
+/// `deliver_packet_in_batch` — one enqueue and one wake-up per app per
+/// batch — against the per-event pure-deputy path on an otherwise
+/// identical shielded controller.
+fn bench_fig7_vectored(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vectored");
+    group
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (label, fast_path, vectored) in [
+        ("pure_deputy", false, false),
+        ("fast_lane_vectored", true, true),
+    ] {
+        for n in SWITCH_COUNTS {
+            let controller = l2_scenario_tuned(Arch::Shielded, n, 4, true, fast_path);
+            let mut gen = traffic(n, 5);
+            for _ in 0..200 {
+                let (dpid, pi) = gen.next_packet_in();
+                controller.deliver_packet_in(dpid, pi);
+            }
+            controller.quiesce();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    if vectored {
+                        controller.deliver_packet_in_batch(gen.batch(BATCH));
+                    } else {
+                        for (dpid, pi) in gen.batch(BATCH) {
+                            controller.deliver_packet_in_nowait(dpid, pi);
+                        }
+                    }
+                    controller.quiesce();
+                })
+            });
+            controller.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7, bench_fig7_vectored);
 criterion_main!(benches);

@@ -59,6 +59,20 @@ impl AnyController {
         }
     }
 
+    /// Vectored delivery: the whole batch is enqueued with one wake-up per
+    /// receiving app (shielded); the synchronous baseline just processes the
+    /// batch in order. Pair with [`AnyController::quiesce`].
+    pub fn deliver_packet_in_batch(&self, batch: Vec<(DatapathId, PacketIn)>) {
+        match self {
+            AnyController::Baseline(c) => {
+                for (dpid, pi) in batch {
+                    c.deliver_packet_in(dpid, pi);
+                }
+            }
+            AnyController::Shielded(c) => c.deliver_packet_in_batch(batch),
+        }
+    }
+
     /// Fires a topology-change event (the ALTO chain trigger).
     pub fn deliver_topology_change(&self, description: &str) {
         match self {
@@ -104,6 +118,19 @@ pub fn l2_scenario_opts(
     deputies: usize,
     cbench: bool,
 ) -> AnyController {
+    l2_scenario_tuned(arch, num_switches, deputies, cbench, true)
+}
+
+/// [`l2_scenario_opts`] with an explicit read-fast-path switch, so the
+/// before/after comparison (pure deputy vs fast lane) runs on otherwise
+/// identical controllers.
+pub fn l2_scenario_tuned(
+    arch: Arch,
+    num_switches: usize,
+    deputies: usize,
+    cbench: bool,
+    read_fast_path: bool,
+) -> AnyController {
     let network = Network::new(builders::linear(num_switches), 16_384);
     let manifest = parse_manifest(L2_MANIFEST).expect("l2 manifest");
     let c = match arch {
@@ -122,6 +149,7 @@ pub fn l2_scenario_opts(
                 ControllerConfig {
                     num_deputies: deputies,
                     app_queue_capacity: 16_384,
+                    read_fast_path,
                     ..ControllerConfig::default()
                 },
             );

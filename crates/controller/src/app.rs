@@ -50,6 +50,23 @@ pub trait App: Send {
     fn on_event(&mut self, ctx: &AppCtx, event: &Event) {
         let _ = (ctx, event);
     }
+
+    /// Called with the batch of events delivered in one wake-up (vectored
+    /// delivery). The default forwards each event to [`App::on_event`] and
+    /// returns no batched operations, so existing apps run unchanged.
+    ///
+    /// Overriders may instead accumulate flow operations across the batch
+    /// and return them: the app runtime submits the returned operations
+    /// through [`AppCtx::submit_batch`] (one channel crossing, one engine
+    /// snapshot, atomic apply) *before* acknowledging the events, so a
+    /// synchronous delivery still means "fully processed, including the
+    /// batched operations".
+    fn on_events(&mut self, ctx: &AppCtx, events: &[&Event]) -> Vec<FlowOp> {
+        for event in events {
+            self.on_event(ctx, event);
+        }
+        Vec::new()
+    }
 }
 
 /// How an [`AppCtx`] reaches the kernel.
@@ -64,6 +81,9 @@ pub(crate) enum CallRoute {
         /// swallows the reply) surfaces as [`ApiError::Timeout`] instead of
         /// blocking the app forever.
         timeout: Duration,
+        /// App-side read fast path; `None` when disabled by configuration
+        /// (every call then crosses the channel).
+        fast: Option<Arc<FastLane>>,
     },
     /// Direct invocation (monolithic baseline). Derived events queue up for
     /// the dispatcher loop.
@@ -71,6 +91,82 @@ pub(crate) enum CallRoute {
         kernel: Arc<Kernel>,
         pending: Arc<Mutex<VecDeque<OutboundEvent>>>,
     },
+}
+
+/// The app-side read fast path (DESIGN.md "Read fast path & vectored
+/// delivery"): an epoch-validated engine snapshot that lets the app thread
+/// check *and serve* side-effect-free reads with zero channel crossings.
+///
+/// Soundness rests on three pillars:
+///
+/// * only call-only permission decisions are made here
+///   ([`sdnshield_core::engine::PermissionEngine::check_call_only`] returns
+///   `None` for anything stateful, which then rides the deputy), with the
+///   kernel's context epoch re-validated around the decision;
+/// * only the read-only handler kinds are served
+///   ([`Kernel::try_serve_read_with`] rejects everything mutating);
+/// * the cached `Arc` engine snapshot is keyed on the kernel's registry
+///   epoch, so registration changes force a refetch before the next hit.
+pub(crate) struct FastLane {
+    kernel: Arc<Kernel>,
+    app: AppId,
+    /// Cached engine snapshot, keyed by the registry epoch it was fetched
+    /// under. Only the owning app thread takes this mutex, so it is
+    /// uncontended; a `Mutex` (not a `RwLock`) keeps the hot path to one
+    /// atomic op.
+    snapshot: Mutex<Option<(u64, Option<Arc<sdnshield_core::engine::PermissionEngine>>)>>,
+    /// Controller-wide hit counter (observability, tests).
+    hits: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl FastLane {
+    pub(crate) fn new(
+        kernel: Arc<Kernel>,
+        app: AppId,
+        hits: Arc<std::sync::atomic::AtomicU64>,
+    ) -> Self {
+        FastLane {
+            kernel,
+            app,
+            snapshot: Mutex::new(None),
+            hits,
+        }
+    }
+
+    /// Serves the call on the calling thread if it is fast-path eligible.
+    /// `None` means "cross the channel" — never "denied".
+    fn try_serve(&self, call: &ApiCall) -> Option<Result<ApiResponse, ApiError>> {
+        if !matches!(
+            call.kind,
+            ApiCallKind::ReadTopology
+                | ApiCallKind::ReadFlowTable { .. }
+                | ApiCallKind::ReadStatistics { .. }
+        ) {
+            return None;
+        }
+        let result = if self.kernel.checks_enabled() {
+            let registry_epoch = self.kernel.registry_epoch();
+            let engine = {
+                let mut snap = self.snapshot.lock();
+                match snap.as_ref() {
+                    Some((epoch, engine)) if *epoch == registry_epoch => engine.clone(),
+                    _ => {
+                        let engine = self.kernel.engine_snapshot(self.app);
+                        *snap = Some((registry_epoch, engine.clone()));
+                        engine
+                    }
+                }
+            };
+            // Not registered (mid-deregistration race): take the deputy so
+            // the error path is uniform with the slow lane.
+            let engine = engine?;
+            self.kernel.try_serve_read_with(call, Some(&engine))?
+        } else {
+            self.kernel.try_serve_read_with(call, None)?
+        };
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(result)
+    }
 }
 
 /// Sends a deputy request, maintaining the in-flight counter.
@@ -121,7 +217,13 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                fast,
             } => {
+                if let Some(lane) = fast {
+                    if let Some(result) = lane.try_serve(&call) {
+                        return result;
+                    }
+                }
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
                     tx,
@@ -216,6 +318,46 @@ impl AppCtx {
             .map(|_| ())
     }
 
+    /// Sends a group of packet-outs in one app→KSD channel crossing — the
+    /// vectored counterpart of a [`AppCtx::send_packet_out`] loop, built
+    /// for batched event handlers ([`App::on_events`]) that release a whole
+    /// burst of packets at once. Best-effort: each packet-out is checked
+    /// and applied independently, exactly as the singleton loop would, and
+    /// the count actually sent is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Shutdown`] / [`ApiError::Timeout`] on channel failures;
+    /// a missing `send_pkt_out` token denies the whole group. Per-packet
+    /// denials and switch errors only reduce the returned count.
+    pub fn send_packet_outs(&self, outs: Vec<(DatapathId, PacketOut)>) -> Result<usize, ApiError> {
+        match &self.route {
+            CallRoute::Deputy {
+                tx,
+                inflight,
+                timeout,
+                ..
+            } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                send_deputy(
+                    tx,
+                    inflight,
+                    DeputyRequest::PacketOuts {
+                        app: self.app,
+                        outs,
+                        reply: reply_tx,
+                    },
+                )?;
+                await_reply(&reply_rx, *timeout)?
+            }
+            CallRoute::Direct { kernel, pending } => {
+                let (result, events) = kernel.execute_packet_outs(self.app, &outs);
+                pending.lock().extend(events);
+                result
+            }
+        }
+    }
+
     /// Convenience: packet-out of a raw frame through one port.
     ///
     /// # Errors
@@ -258,6 +400,7 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                ..
             } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
@@ -294,6 +437,7 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                ..
             } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
@@ -326,6 +470,7 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                ..
             } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
@@ -368,6 +513,7 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                ..
             } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(
@@ -414,6 +560,7 @@ impl AppCtx {
                 tx,
                 inflight,
                 timeout,
+                ..
             } => {
                 let (reply_tx, reply_rx) = bounded(1);
                 send_deputy(

@@ -15,7 +15,7 @@
 //! skipped — it is simply returned by a later call.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use sdnshield_core::api::AppId;
@@ -94,6 +94,9 @@ pub struct AuditLog {
     /// Highest sequence number evicted by retention; readers report only
     /// records beyond this floor.
     evicted_through: AtomicU64,
+    /// Admission gate: when `false` no record is admitted (and callers using
+    /// the `_with` constructors never build their detail strings).
+    enabled: AtomicBool,
 }
 
 impl fmt::Debug for AuditLog {
@@ -118,7 +121,23 @@ impl AuditLog {
             capacity,
             next_seq: AtomicU64::new(0),
             evicted_through: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Turns record admission on or off. Disabling keeps existing records
+    /// readable but admits nothing new — and, through
+    /// [`AuditLog::record_system_with`], spares callers the cost of
+    /// formatting detail strings nobody will retain.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Would a record be admitted right now? Callers building expensive
+    /// operation strings should consult this (or use
+    /// [`AuditLog::record_system_with`]) before formatting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
     }
 
     /// Appends a record for a permission-mediated call.
@@ -137,10 +156,38 @@ impl AuditLog {
         self.push(app, operation, None, outcome);
     }
 
+    /// Appends a supervisor record whose operation string is built lazily:
+    /// the closure runs only when the record will actually be admitted, so
+    /// hot paths pay no `format!` allocation while auditing is disabled.
+    pub fn record_system_with(
+        &self,
+        app: AppId,
+        operation: impl FnOnce() -> String,
+        outcome: AuditOutcome,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push_owned(app, operation(), None, outcome);
+    }
+
     fn push(
         &self,
         app: AppId,
         operation: &str,
+        token: Option<PermissionToken>,
+        outcome: AuditOutcome,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push_owned(app, operation.to_owned(), token, outcome);
+    }
+
+    fn push_owned(
+        &self,
+        app: AppId,
+        operation: String,
         token: Option<PermissionToken>,
         outcome: AuditOutcome,
     ) {
@@ -159,7 +206,7 @@ impl AuditLog {
         seg.records.push(AuditRecord {
             seq,
             app,
-            operation: operation.to_owned(),
+            operation,
             token,
             outcome,
         });
@@ -353,6 +400,58 @@ mod tests {
             next.iter().map(|r| r.seq).collect::<Vec<_>>(),
             vec![6, 7, 8]
         );
+    }
+
+    #[test]
+    fn disabled_log_admits_nothing() {
+        let log = AuditLog::new(16);
+        log.record(
+            AppId(1),
+            "insert_flow",
+            PermissionToken::InsertFlow,
+            AuditOutcome::Allowed,
+        );
+        log.set_enabled(false);
+        log.record(
+            AppId(1),
+            "insert_flow",
+            PermissionToken::InsertFlow,
+            AuditOutcome::Allowed,
+        );
+        log.record_system(AppId(1), "event_shed", AuditOutcome::Dropped);
+        assert_eq!(log.records().len(), 1, "only the pre-disable record");
+        assert_eq!(log.seen(), 1, "no sequence numbers burned while off");
+        log.set_enabled(true);
+        log.record_system(AppId(1), "event_shed", AuditOutcome::Dropped);
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn record_system_with_skips_formatting_when_disabled() {
+        let log = AuditLog::new(16);
+        log.set_enabled(false);
+        let mut built = false;
+        log.record_system_with(
+            AppId(3),
+            || {
+                built = true;
+                "crash:on_event".to_owned()
+            },
+            AuditOutcome::Crashed,
+        );
+        assert!(!built, "detail string must not be built while disabled");
+        log.set_enabled(true);
+        log.record_system_with(
+            AppId(3),
+            || {
+                built = true;
+                "crash:on_event".to_owned()
+            },
+            AuditOutcome::Crashed,
+        );
+        assert!(built);
+        assert_eq!(log.records_by(AppId(3)).len(), 1);
+        assert_eq!(log.records_by(AppId(3))[0].operation, "crash:on_event");
     }
 
     #[test]

@@ -64,6 +64,24 @@ impl Event {
         }
     }
 
+    /// A copy of this event with the packet-in payload removed — the shared
+    /// view delivered to subscribers lacking `read_payload`. Non-packet-in
+    /// events are returned unchanged (a cheap clone; `Bytes` payloads are
+    /// reference-counted).
+    pub fn with_stripped_payload(&self) -> Event {
+        match self {
+            Event::PacketIn { dpid, packet_in } => {
+                let mut pi = packet_in.clone();
+                pi.payload = Bytes::new();
+                Event::PacketIn {
+                    dpid: *dpid,
+                    packet_in: pi,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Short name for logs.
     pub fn name(&self) -> &'static str {
         match self {

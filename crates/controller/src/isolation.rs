@@ -22,14 +22,29 @@
 //!   any deputy thread that dies anyway;
 //! * per-app event queues are bounded: under overload the oldest pending
 //!   event is shed (audited as `Dropped`) rather than growing without limit.
+//!
+//! PR 5 cuts the isolation tax on the hot paths (DESIGN.md "Read fast path
+//! & vectored delivery"):
+//!
+//! * read-only calls whose compiled permission plan is call-only are checked
+//!   and served on the app's own thread ([`crate::app::FastLane`]) with zero
+//!   channel crossings, falling back to the deputy on epoch change or any
+//!   stateful/mutating call;
+//! * deputies use a spin-then-park receive and drain request bursts, so a
+//!   pipelined workload pays one wake-up per burst instead of one per call;
+//! * event fan-out shares one `Arc<Event>` view across subscribers and
+//!   [`Dispatcher::dispatch_vectored`] enqueues whole event batches per app
+//!   (one wake-up, N events), with app handlers able to return batched
+//!   flow-ops through [`crate::app::App::on_events`].
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use sdnshield_core::api::AppId;
@@ -41,18 +56,10 @@ use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::DatapathId;
 
 use crate::api::{ApiError, DeputyRequest};
-use crate::app::{App, AppCtx, CallRoute};
+use crate::app::{App, AppCtx, CallRoute, FastLane};
 use crate::events::Event;
 use crate::fault::{DeputyFault, FaultPlan, FaultRegistry};
 use crate::kernel::{Kernel, OutboundEvent};
-
-/// One message for an app thread.
-enum AppMsg {
-    /// An event, optionally acknowledged after `on_event` returns.
-    Event(Event, Option<Sender<()>>),
-    /// Terminate the app thread (after already-queued events).
-    Stop,
-}
 
 /// Outcome of pushing an event onto an [`AppQueue`].
 enum PushOutcome {
@@ -66,12 +73,30 @@ enum PushOutcome {
     Closed,
 }
 
+/// A queued event view plus the ack sender of a synchronous delivery
+/// (`None` for asynchronous/vectored deliveries).
+type QueuedEvent = (Arc<Event>, Option<Sender<()>>);
+
+/// Accounting for a batched push (see [`AppQueue::push_batch`]).
+#[derive(Default)]
+struct BatchPushOutcome {
+    /// Ack senders of the events shed to make room — one entry per shed
+    /// event, `None` when the shed event carried no ack. The caller must
+    /// acknowledge each and release its in-flight count.
+    shed_acks: Vec<Option<Sender<()>>>,
+    /// Events refused outright because the queue was closed or stopping.
+    refused: usize,
+}
+
 /// A bounded per-app event queue with a shed-oldest overload policy.
 ///
 /// Replaces an unbounded channel: a slow or stalled app can hold at most
 /// `capacity` undelivered events; beyond that the oldest is discarded
 /// (freshest-state-wins, the usual choice for network event streams) and
 /// audited as [`crate::audit::AuditOutcome::Dropped`].
+///
+/// Events are `Arc`-shared: one fan-out builds at most two views of an
+/// event (full and payload-stripped) no matter how many apps subscribe.
 struct AppQueue {
     inner: StdMutex<AppQueueInner>,
     readable: Condvar,
@@ -79,7 +104,7 @@ struct AppQueue {
 }
 
 struct AppQueueInner {
-    queue: VecDeque<(Event, Option<Sender<()>>)>,
+    queue: VecDeque<QueuedEvent>,
     /// Stop requested: delivered after already-queued events drain.
     stop: bool,
     /// Closed: the app thread is gone; pushes are refused.
@@ -99,7 +124,7 @@ impl AppQueue {
         }
     }
 
-    fn push_event(&self, event: Event, ack: Option<Sender<()>>) -> PushOutcome {
+    fn push_event(&self, event: Arc<Event>, ack: Option<Sender<()>>) -> PushOutcome {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.closed || inner.stop {
             return PushOutcome::Closed;
@@ -117,22 +142,46 @@ impl AppQueue {
         }
     }
 
+    /// Enqueues a whole batch under one lock acquisition and wakes the app
+    /// thread once — the vectored-delivery counterpart of
+    /// [`AppQueue::push_event`]. The shed-oldest policy applies per slot.
+    fn push_batch(&self, batch: Vec<Arc<Event>>) -> BatchPushOutcome {
+        let mut out = BatchPushOutcome::default();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.closed || inner.stop {
+            out.refused = batch.len();
+            return out;
+        }
+        for event in batch {
+            if inner.queue.len() >= self.capacity {
+                if let Some((_, old_ack)) = inner.queue.pop_front() {
+                    out.shed_acks.push(old_ack);
+                }
+            }
+            inner.queue.push_back((event, None));
+        }
+        self.readable.notify_one();
+        out
+    }
+
     fn push_stop(&self) {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.stop = true;
         self.readable.notify_all();
     }
 
-    /// Blocks for the next message; `Stop` is returned only once queued
-    /// events have drained.
-    fn pop(&self) -> AppMsg {
+    /// Blocks for the next burst of messages: drains up to `max` queued
+    /// events in one lock acquisition. Returns `(batch, stop)`; `stop` is
+    /// reported (with an empty batch) only once queued events have drained.
+    fn pop_batch(&self, max: usize) -> (Vec<QueuedEvent>, bool) {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some((event, ack)) = inner.queue.pop_front() {
-                return AppMsg::Event(event, ack);
+            if !inner.queue.is_empty() {
+                let n = inner.queue.len().min(max.max(1));
+                return (inner.queue.drain(..n).collect(), false);
             }
             if inner.stop || inner.closed {
-                return AppMsg::Stop;
+                return (Vec::new(), true);
             }
             inner = self.readable.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
@@ -140,7 +189,7 @@ impl AppQueue {
 
     /// Refuses further pushes and hands back whatever was still queued so
     /// the caller can acknowledge and account for it.
-    fn close_and_drain(&self) -> Vec<(Event, Option<Sender<()>>)> {
+    fn close_and_drain(&self) -> Vec<QueuedEvent> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.closed = true;
         inner.queue.drain(..).collect()
@@ -168,40 +217,189 @@ impl Dispatcher {
         }
     }
 
+    /// The subscribed targets for one event, as `(app, is_interceptor)`.
+    fn targets_for(kernel: &Kernel, event: &Event) -> Vec<(AppId, bool)> {
+        match event {
+            Event::Custom { topic, .. } => kernel
+                .topic_subscribers(topic)
+                .into_iter()
+                .map(|a| (a, false))
+                .collect(),
+            other => match other.kind() {
+                Some(kind) => kernel.subscribers_phased(kind),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Snapshots the live queue handles for `targets`, dropping the apps
+    /// lock before any kernel call (provenance recording takes the tracker
+    /// lock; holding the apps map across it would nest unrelated locks).
+    fn queues_for(&self, targets: &[AppId]) -> Vec<(AppId, Arc<AppQueue>)> {
+        let apps = self.apps.lock();
+        targets
+            .iter()
+            .filter_map(|t| apps.get(t).map(|h| (*t, Arc::clone(&h.queue))))
+            .collect()
+    }
+
     /// Delivers events; when `sync`, blocks until every receiving app's
-    /// `on_event` has returned.
+    /// handler has returned.
     ///
     /// Interceptors (apps whose event-token filter carries
     /// `EVENT_INTERCEPTION`) process each event to completion before
-    /// non-interceptors see it; non-interceptors then process concurrently.
+    /// non-interceptors see it; non-interceptors then process concurrently,
+    /// all sharing one `Arc` view per (event, payload-visibility) pair.
     fn dispatch(&self, kernel: &Kernel, events: Vec<OutboundEvent>, sync: bool) {
         for out in events {
-            let targets: Vec<(AppId, bool)> = match &out.event {
-                Event::Custom { topic, .. } => kernel
-                    .topic_subscribers(topic)
-                    .into_iter()
-                    .map(|a| (a, false))
-                    .collect(),
-                other => match other.kind() {
-                    Some(kind) => kernel.subscribers_phased(kind),
-                    None => Vec::new(),
-                },
-            };
-            // Phase 1: interceptors, one at a time, to completion.
-            for (target, _) in targets.iter().filter(|(_, i)| *i) {
-                if let Some(ack) = self.send_event(kernel, *target, &out.event, true) {
-                    let _ = ack.recv();
+            self.dispatch_one(kernel, &out.event, sync);
+        }
+    }
+
+    fn dispatch_one(&self, kernel: &Kernel, event: &Event, sync: bool) {
+        let targets = Self::targets_for(kernel, event);
+        // Phase 1: interceptors, one at a time, to completion.
+        for (target, _) in targets.iter().filter(|(_, i)| *i) {
+            if let Some(ack) = self.send_event(kernel, *target, event, true) {
+                let _ = ack.recv();
+            }
+        }
+        // Phase 2: everyone else, concurrently, on shared views.
+        let receivers: Vec<AppId> = targets
+            .iter()
+            .filter(|(_, i)| !*i)
+            .map(|(a, _)| *a)
+            .collect();
+        let mut acks = Vec::new();
+        self.fan_out(kernel, event, &receivers, sync, &mut acks);
+        for ack in acks {
+            let _ = ack.recv();
+        }
+    }
+
+    /// Fans one event out to `targets` sharing at most two materialized
+    /// views: the full event for apps holding `read_payload` (whose
+    /// packet-in provenance is recorded in a single tracker pass) and a
+    /// lazily built payload-stripped view for the rest. Non-packet-in
+    /// events share a single view.
+    fn fan_out(
+        &self,
+        kernel: &Kernel,
+        event: &Event,
+        targets: &[AppId],
+        with_ack: bool,
+        acks: &mut Vec<Receiver<()>>,
+    ) {
+        let live = self.queues_for(targets);
+        if live.is_empty() {
+            return;
+        }
+        if let Event::PacketIn { packet_in, .. } = event {
+            let mut grants: Vec<(AppId, Bytes)> = Vec::new();
+            let mut granted = Vec::new();
+            let mut stripped_targets = Vec::new();
+            for (target, queue) in live {
+                if kernel.payload_access_for(target) {
+                    grants.push((target, packet_in.payload.clone()));
+                    granted.push((target, queue));
+                } else {
+                    stripped_targets.push((target, queue));
                 }
             }
-            // Phase 2: everyone else, concurrently.
-            let mut acks = Vec::new();
-            for (target, _) in targets.iter().filter(|(_, i)| !*i) {
-                if let Some(ack) = self.send_event(kernel, *target, &out.event, sync) {
+            kernel.record_pkt_ins(&grants);
+            if !granted.is_empty() {
+                let full = Arc::new(event.clone());
+                for (target, queue) in granted {
+                    if let Some(ack) =
+                        self.push_shared(kernel, target, &queue, Arc::clone(&full), with_ack)
+                    {
+                        acks.push(ack);
+                    }
+                }
+            }
+            if !stripped_targets.is_empty() {
+                let stripped = Arc::new(event.with_stripped_payload());
+                for (target, queue) in stripped_targets {
+                    if let Some(ack) =
+                        self.push_shared(kernel, target, &queue, Arc::clone(&stripped), with_ack)
+                    {
+                        acks.push(ack);
+                    }
+                }
+            }
+        } else {
+            let shared = Arc::new(event.clone());
+            for (target, queue) in live {
+                if let Some(ack) =
+                    self.push_shared(kernel, target, &queue, Arc::clone(&shared), with_ack)
+                {
                     acks.push(ack);
                 }
             }
-            for ack in acks {
-                let _ = ack.recv();
+        }
+    }
+
+    /// Vectored delivery: enqueues a whole batch of events with one queue
+    /// wake-up per receiving app and one provenance pass for every granted
+    /// packet-in in the batch. Asynchronous by design — pair with
+    /// [`ShieldedController::quiesce`]. Events with interceptor targets
+    /// fall back to per-event dispatch (interception is a serialization
+    /// point incompatible with batching).
+    fn dispatch_vectored(&self, kernel: &Kernel, events: Vec<OutboundEvent>) {
+        let mut per_app: HashMap<AppId, Vec<Arc<Event>>> = HashMap::new();
+        let mut grants: Vec<(AppId, Bytes)> = Vec::new();
+        for out in events {
+            let event = out.event;
+            let targets = Self::targets_for(kernel, &event);
+            if targets.iter().any(|(_, i)| *i) {
+                self.dispatch_one(kernel, &event, false);
+                continue;
+            }
+            if let Event::PacketIn { packet_in, .. } = &event {
+                let mut full: Option<Arc<Event>> = None;
+                let mut stripped: Option<Arc<Event>> = None;
+                for (target, _) in &targets {
+                    let view = if kernel.payload_access_for(*target) {
+                        grants.push((*target, packet_in.payload.clone()));
+                        full.get_or_insert_with(|| Arc::new(event.clone()))
+                    } else {
+                        stripped.get_or_insert_with(|| Arc::new(event.with_stripped_payload()))
+                    };
+                    per_app.entry(*target).or_default().push(Arc::clone(view));
+                }
+            } else {
+                let shared = Arc::new(event);
+                for (target, _) in &targets {
+                    per_app
+                        .entry(*target)
+                        .or_default()
+                        .push(Arc::clone(&shared));
+                }
+            }
+        }
+        kernel.record_pkt_ins(&grants);
+        let batches: Vec<(AppId, Arc<AppQueue>, Vec<Arc<Event>>)> = {
+            let apps = self.apps.lock();
+            per_app
+                .into_iter()
+                .filter_map(|(target, batch)| {
+                    apps.get(&target)
+                        .map(|h| (target, Arc::clone(&h.queue), batch))
+                })
+                .collect()
+        };
+        for (target, queue, batch) in batches {
+            self.inflight.fetch_add(batch.len(), Ordering::SeqCst);
+            let outcome = queue.push_batch(batch);
+            let undone = outcome.shed_acks.len() + outcome.refused;
+            for old_ack in outcome.shed_acks {
+                if let Some(old_ack) = old_ack {
+                    let _ = old_ack.send(());
+                }
+                kernel.audit_dropped(target, "event_shed");
+            }
+            if undone > 0 {
+                self.inflight.fetch_sub(undone, Ordering::SeqCst);
             }
         }
     }
@@ -217,9 +415,24 @@ impl Dispatcher {
         event: &Event,
         with_ack: bool,
     ) -> Option<crossbeam::channel::Receiver<()>> {
-        let apps = self.apps.lock();
-        let handle = apps.get(&target)?;
+        let queue = {
+            let apps = self.apps.lock();
+            Arc::clone(&apps.get(&target)?.queue)
+        };
         let view = kernel.event_view_for(target, event)?;
+        self.push_shared(kernel, target, &queue, Arc::new(view), with_ack)
+    }
+
+    /// Pushes an already-materialized shared view onto one app queue, with
+    /// the in-flight/shed/closed accounting shared by every delivery path.
+    fn push_shared(
+        &self,
+        kernel: &Kernel,
+        target: AppId,
+        queue: &AppQueue,
+        view: Arc<Event>,
+        with_ack: bool,
+    ) -> Option<crossbeam::channel::Receiver<()>> {
         self.inflight.fetch_add(1, Ordering::SeqCst);
         let (ack_tx, ack_rx) = if with_ack {
             let (tx, rx) = bounded(1);
@@ -227,7 +440,7 @@ impl Dispatcher {
         } else {
             (None, None)
         };
-        match handle.queue.push_event(view, ack_tx) {
+        match queue.push_event(view, ack_tx) {
             PushOutcome::Queued => ack_rx,
             PushOutcome::Shed(old_ack) => {
                 if let Some(old_ack) = old_ack {
@@ -326,6 +539,11 @@ pub struct ControllerConfig {
     pub app_queue_capacity: usize,
     /// Per-call reply deadline on the app side.
     pub call_timeout: Duration,
+    /// Serve call-only read calls on the app's own thread (epoch-validated,
+    /// zero channel crossings), falling back to the deputy on epoch change
+    /// and for every stateful or mutating call. On by default; turn off to
+    /// force the pure-deputy path (baseline measurements, differentials).
+    pub read_fast_path: bool,
 }
 
 impl Default for ControllerConfig {
@@ -334,6 +552,7 @@ impl Default for ControllerConfig {
             num_deputies: 4,
             app_queue_capacity: 1024,
             call_timeout: Duration::from_secs(10),
+            read_fast_path: true,
         }
     }
 }
@@ -490,6 +709,7 @@ pub struct ShieldedController {
     faults: Arc<FaultRegistry>,
     next_app: AtomicU16,
     inflight: Arc<AtomicUsize>,
+    fast_hits: Arc<AtomicU64>,
     config: ControllerConfig,
 }
 
@@ -556,8 +776,15 @@ impl ShieldedController {
             faults,
             next_app: AtomicU16::new(1),
             inflight,
+            fast_hits: Arc::new(AtomicU64::new(0)),
             config,
         }
+    }
+
+    /// How many API calls the app-side read fast path has served without a
+    /// deputy crossing (all registered apps combined).
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_hits.load(Ordering::Relaxed)
     }
 
     /// Blocks until all in-flight events and calls have drained — including
@@ -679,12 +906,20 @@ impl ShieldedController {
 
     /// Spawns the app thread and waits for `on_start` to finish.
     fn spawn_app(&self, id: AppId, name: &str, app: Box<dyn App>) -> Result<(), RegisterError> {
+        let fast = self.config.read_fast_path.then(|| {
+            Arc::new(FastLane::new(
+                Arc::clone(&self.kernel),
+                id,
+                Arc::clone(&self.fast_hits),
+            ))
+        });
         let ctx = AppCtx::new(
             id,
             CallRoute::Deputy {
                 tx: self.call_tx.clone(),
                 inflight: Arc::clone(&self.inflight),
                 timeout: self.config.call_timeout,
+                fast,
             },
         );
         let queue = Arc::new(AppQueue::new(self.config.app_queue_capacity));
@@ -796,6 +1031,19 @@ impl ShieldedController {
     pub fn deliver_packet_in_nowait(&self, dpid: DatapathId, packet_in: PacketIn) {
         let events = self.kernel.feed_packet_in(dpid, packet_in);
         self.dispatcher.dispatch(&self.kernel, events, false);
+    }
+
+    /// Delivers a whole batch of packet-ins with vectored dispatch: events
+    /// are grouped per subscribing app and enqueued with one wake-up per
+    /// app, sharing `Arc` views and a single provenance pass. Asynchronous —
+    /// pair with [`ShieldedController::quiesce`]. This is the high-rate
+    /// ingestion path the paper's Fig 7 CBench workload exercises.
+    pub fn deliver_packet_in_batch(&self, batch: Vec<(DatapathId, PacketIn)>) {
+        let mut events = Vec::new();
+        for (dpid, packet_in) in batch {
+            events.extend(self.kernel.feed_packet_in(dpid, packet_in));
+        }
+        self.dispatcher.dispatch_vectored(&self.kernel, events);
     }
 
     /// Injects a data-plane frame from a host and synchronously processes
@@ -965,17 +1213,34 @@ fn app_loop(
         // The registration (or restart) path owns the rollback.
         return;
     }
-    while let AppMsg::Event(event, ack) = queue.pop() {
+    loop {
+        let (batch, stop) = queue.pop_batch(APP_BATCH_MAX);
+        if batch.is_empty() {
+            if stop {
+                break;
+            }
+            continue;
+        }
+        let views: Vec<&Event> = batch.iter().map(|(event, _)| event.as_ref()).collect();
+        // The whole burst — handler AND the submission of whatever flow-ops
+        // it returns — runs under one unwind guard, and the acks only fire
+        // afterwards: a synchronous delivery observes the event's full
+        // effect, batched flow-mods included.
         let survived = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            app.on_event(&ctx, &event);
+            let ops = app.on_events(&ctx, &views);
+            if !ops.is_empty() {
+                let _ = ctx.submit_batch(ops);
+            }
         }))
         .is_ok();
         // Always acknowledge and account, even on a crash, so synchronous
         // deliveries and quiesce() never wedge.
-        if let Some(ack) = ack {
-            let _ = ack.send(());
+        for (_, ack) in &batch {
+            if let Some(ack) = ack {
+                let _ = ack.send(());
+            }
         }
-        inflight.fetch_sub(1, Ordering::SeqCst);
+        inflight.fetch_sub(batch.len(), Ordering::SeqCst);
         if !survived {
             drain_queue(&queue, &kernel, id, &inflight, true);
             handle_crash(&kernel, &dispatcher, &supervisor, id, "on_event");
@@ -986,6 +1251,9 @@ fn app_loop(
     // synchronous dispatchers stay accurate.
     drain_queue(&queue, &kernel, id, &inflight, false);
 }
+
+/// How many queued events an app thread drains per wake-up.
+const APP_BATCH_MAX: usize = 128;
 
 /// Closes an app queue and acknowledges/uncounts every event left in it.
 /// Crash-time drains additionally audit each discarded event.
@@ -1001,6 +1269,48 @@ fn drain_queue(queue: &AppQueue, kernel: &Kernel, id: AppId, inflight: &AtomicUs
     }
 }
 
+/// How many `try_recv` attempts a deputy burns before parking on the
+/// blocking `recv` — long enough to catch back-to-back pipelined requests,
+/// short enough not to hurt an idle machine.
+const DEPUTY_SPIN_TRIES: usize = 64;
+
+/// Upper bound on the requests a deputy drains into one local burst.
+const DEPUTY_BURST_MAX: usize = 32;
+
+/// Spin-then-park receive: a deputy under load takes the next request off
+/// the queue without a park/wake syscall round trip; an idle deputy falls
+/// back to the blocking `recv` after a short spin.
+fn recv_adaptive(rx: &Receiver<DeputyRequest>) -> Option<DeputyRequest> {
+    for _ in 0..DEPUTY_SPIN_TRIES {
+        match rx.try_recv() {
+            Ok(req) => return Some(req),
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
+
+/// Requests a deputy has drained into its local burst but not yet served.
+/// If the deputy dies mid-burst (the injected `KillDeputy` fault), the drop
+/// guard uncounts every unserved request and drops its reply sender, so
+/// callers observe a disconnect and `quiesce()` never waits on work no
+/// thread will do.
+struct Burst<'a> {
+    pending: VecDeque<DeputyRequest>,
+    inflight: &'a AtomicUsize,
+}
+
+impl Drop for Burst<'_> {
+    fn drop(&mut self) {
+        for req in self.pending.drain(..) {
+            if !matches!(req, DeputyRequest::Stop) {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
 fn deputy_loop(
     kernel: Arc<Kernel>,
     dispatcher: Arc<Dispatcher>,
@@ -1008,106 +1318,149 @@ fn deputy_loop(
     inflight: Arc<AtomicUsize>,
     faults: Arc<FaultRegistry>,
 ) {
-    while let Ok(req) = rx.recv() {
-        let counted = !matches!(req, DeputyRequest::Stop);
-        match req {
-            DeputyRequest::Call { call, reply } => {
-                let fault = faults.deputy_action(call.app);
-                if fault == DeputyFault::KillDeputy {
-                    // The work item must be uncounted before the thread
-                    // dies, or quiesce() would wait for it forever. The
-                    // reply sender drops with the stack, so the caller sees
-                    // an immediate disconnect, and the watchdog respawns
-                    // this deputy.
-                    inflight.fetch_sub(1, Ordering::SeqCst);
-                    panic!("injected fault: deputy killed");
-                }
-                // The unwind guard is the containment boundary: a call that
-                // panics kernel logic (or an injected fault) poisons that
-                // one call, not the deputy serving it.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if fault == DeputyFault::Panic {
-                        panic!("injected fault: panic during call execution");
-                    }
-                    kernel.execute(&call)
-                }));
-                match outcome {
-                    Ok((result, events)) => {
-                        if fault == DeputyFault::DropReply {
-                            // Keep the sender alive so the caller times out
-                            // rather than seeing a disconnect.
-                            faults.park(Box::new(reply));
-                        } else {
-                            let _ = reply.send(result);
-                        }
-                        // Derived events (packet-ins from packet-outs,
-                        // flow-removed from deletes) dispatch
-                        // asynchronously: the issuing call must not block
-                        // on other apps.
-                        dispatcher.dispatch(&kernel, events, false);
-                    }
-                    Err(_) => {
-                        let _ = reply.send(Err(ApiError::Internal(
-                            "deputy panicked executing the call".into(),
-                        )));
-                    }
-                }
+    loop {
+        let Some(first) = recv_adaptive(&rx) else {
+            return;
+        };
+        let mut burst = Burst {
+            pending: VecDeque::new(),
+            inflight: &inflight,
+        };
+        burst.pending.push_back(first);
+        // Wake batching: whatever else is already queued rides the same
+        // wake-up. A `Publish` or `Stop` must be the LAST request drained:
+        // a publish dispatches synchronously to subscribers whose own
+        // pending calls could be trapped *behind* it in this local burst
+        // (un-stealable by peer deputies — deadlock), and a swallowed Stop
+        // would starve a peer deputy of its shutdown signal.
+        while burst.pending.len() < DEPUTY_BURST_MAX
+            && !matches!(
+                burst.pending.back(),
+                Some(DeputyRequest::Publish { .. } | DeputyRequest::Stop)
+            )
+        {
+            match rx.try_recv() {
+                Ok(req) => burst.pending.push_back(req),
+                Err(_) => break,
             }
-            DeputyRequest::Transaction { app, ops, reply } => {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    kernel.execute_transaction(app, &ops)
-                }));
-                match outcome {
-                    Ok((result, events)) => {
-                        let _ = reply.send(result);
-                        dispatcher.dispatch(&kernel, events, false);
-                    }
-                    Err(_) => {
-                        let _ = reply.send(Err(ApiError::Internal(
-                            "deputy panicked executing the transaction".into(),
-                        )));
-                    }
-                }
-            }
-            DeputyRequest::Batch { app, ops, reply } => {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    kernel.execute_batch(app, &ops)
-                }));
-                match outcome {
-                    Ok((result, events)) => {
-                        let _ = reply.send(result);
-                        dispatcher.dispatch(&kernel, events, false);
-                    }
-                    Err(_) => {
-                        let _ = reply.send(Err(ApiError::Internal(
-                            "deputy panicked executing the batch".into(),
-                        )));
-                    }
-                }
-            }
-            DeputyRequest::HostSend {
-                app,
-                conn,
-                data,
-                reply,
-            } => {
-                let _ = reply.send(kernel.host_send(app, conn, data));
-            }
-            DeputyRequest::SubscribeTopic { app, topic, reply } => {
-                kernel.subscribe_topic(app, &topic);
-                let _ = reply.send(Ok(()));
-            }
-            DeputyRequest::Publish { event, reply } => {
-                // Publish is synchronous: subscribers finish processing
-                // before the publisher resumes, giving deterministic event
-                // chains (requires ≥ 2 deputies, see `new`).
-                dispatcher.dispatch(&kernel, vec![OutboundEvent { event }], true);
-                let _ = reply.send(Ok(()));
-            }
-            DeputyRequest::Stop => break,
         }
-        if counted {
-            inflight.fetch_sub(1, Ordering::SeqCst);
+        while let Some(req) = burst.pending.pop_front() {
+            let counted = !matches!(req, DeputyRequest::Stop);
+            match req {
+                DeputyRequest::Call { call, reply } => {
+                    let fault = faults.deputy_action(call.app);
+                    if fault == DeputyFault::KillDeputy {
+                        // The work item must be uncounted before the thread
+                        // dies, or quiesce() would wait for it forever. The
+                        // reply sender drops with the stack, so the caller sees
+                        // an immediate disconnect, and the watchdog respawns
+                        // this deputy.
+                        inflight.fetch_sub(1, Ordering::SeqCst);
+                        panic!("injected fault: deputy killed");
+                    }
+                    // The unwind guard is the containment boundary: a call that
+                    // panics kernel logic (or an injected fault) poisons that
+                    // one call, not the deputy serving it.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if fault == DeputyFault::Panic {
+                            panic!("injected fault: panic during call execution");
+                        }
+                        kernel.execute(&call)
+                    }));
+                    match outcome {
+                        Ok((result, events)) => {
+                            if fault == DeputyFault::DropReply {
+                                // Keep the sender alive so the caller times out
+                                // rather than seeing a disconnect.
+                                faults.park(Box::new(reply));
+                            } else {
+                                let _ = reply.send(result);
+                            }
+                            // Derived events (packet-ins from packet-outs,
+                            // flow-removed from deletes) dispatch
+                            // asynchronously: the issuing call must not block
+                            // on other apps.
+                            dispatcher.dispatch(&kernel, events, false);
+                        }
+                        Err(_) => {
+                            let _ = reply.send(Err(ApiError::Internal(
+                                "deputy panicked executing the call".into(),
+                            )));
+                        }
+                    }
+                }
+                DeputyRequest::Transaction { app, ops, reply } => {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        kernel.execute_transaction(app, &ops)
+                    }));
+                    match outcome {
+                        Ok((result, events)) => {
+                            let _ = reply.send(result);
+                            dispatcher.dispatch(&kernel, events, false);
+                        }
+                        Err(_) => {
+                            let _ = reply.send(Err(ApiError::Internal(
+                                "deputy panicked executing the transaction".into(),
+                            )));
+                        }
+                    }
+                }
+                DeputyRequest::Batch { app, ops, reply } => {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        kernel.execute_batch(app, &ops)
+                    }));
+                    match outcome {
+                        Ok((result, events)) => {
+                            let _ = reply.send(result);
+                            dispatcher.dispatch(&kernel, events, false);
+                        }
+                        Err(_) => {
+                            let _ = reply.send(Err(ApiError::Internal(
+                                "deputy panicked executing the batch".into(),
+                            )));
+                        }
+                    }
+                }
+                DeputyRequest::PacketOuts { app, outs, reply } => {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        kernel.execute_packet_outs(app, &outs)
+                    }));
+                    match outcome {
+                        Ok((result, events)) => {
+                            let _ = reply.send(result);
+                            dispatcher.dispatch(&kernel, events, false);
+                        }
+                        Err(_) => {
+                            let _ = reply.send(Err(ApiError::Internal(
+                                "deputy panicked executing the packet-out group".into(),
+                            )));
+                        }
+                    }
+                }
+                DeputyRequest::HostSend {
+                    app,
+                    conn,
+                    data,
+                    reply,
+                } => {
+                    let _ = reply.send(kernel.host_send(app, conn, data));
+                }
+                DeputyRequest::SubscribeTopic { app, topic, reply } => {
+                    kernel.subscribe_topic(app, &topic);
+                    let _ = reply.send(Ok(()));
+                }
+                DeputyRequest::Publish { event, reply } => {
+                    // Publish is synchronous: subscribers finish processing
+                    // before the publisher resumes, giving deterministic
+                    // event chains (requires ≥ 2 deputies, see `new`).
+                    dispatcher.dispatch(&kernel, vec![OutboundEvent { event }], true);
+                    let _ = reply.send(Ok(()));
+                }
+                DeputyRequest::Stop => return,
+            }
+            if counted {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 }
@@ -1124,46 +1477,90 @@ mod tests {
         }
     }
 
+    fn desc_of(event: &Event) -> &str {
+        match event {
+            Event::TopologyChanged { description } => description,
+            _ => panic!("expected a topology event"),
+        }
+    }
+
     #[test]
     fn app_queue_sheds_oldest_beyond_capacity() {
         let q = AppQueue::new(2);
-        let ev = |d: &str| Event::TopologyChanged {
-            description: d.into(),
+        let ev = |d: &str| {
+            Arc::new(Event::TopologyChanged {
+                description: d.into(),
+            })
         };
         assert!(matches!(q.push_event(ev("a"), None), PushOutcome::Queued));
         assert!(matches!(q.push_event(ev("b"), None), PushOutcome::Queued));
         // Full: pushing "c" sheds "a".
         assert!(matches!(q.push_event(ev("c"), None), PushOutcome::Shed(_)));
-        match q.pop() {
-            AppMsg::Event(Event::TopologyChanged { description }, _) => {
-                assert_eq!(description, "b");
-            }
-            _ => panic!("expected event b"),
-        }
-        match q.pop() {
-            AppMsg::Event(Event::TopologyChanged { description }, _) => {
-                assert_eq!(description, "c");
-            }
-            _ => panic!("expected event c"),
-        }
+        let (batch, stop) = q.pop_batch(8);
+        assert!(!stop);
+        let got: Vec<&str> = batch.iter().map(|(e, _)| desc_of(e)).collect();
+        assert_eq!(got, ["b", "c"]);
     }
 
     #[test]
     fn app_queue_delivers_stop_after_drain_then_closes() {
         let q = AppQueue::new(4);
-        let ev = Event::TopologyChanged {
+        let ev = Arc::new(Event::TopologyChanged {
             description: "x".into(),
-        };
+        });
         assert!(matches!(
-            q.push_event(ev.clone(), None),
+            q.push_event(Arc::clone(&ev), None),
             PushOutcome::Queued
         ));
         q.push_stop();
         // Events queued before the stop still drain first.
-        assert!(matches!(q.pop(), AppMsg::Event(..)));
-        assert!(matches!(q.pop(), AppMsg::Stop));
+        let (batch, stop) = q.pop_batch(8);
+        assert_eq!(batch.len(), 1);
+        assert!(!stop);
+        let (batch, stop) = q.pop_batch(8);
+        assert!(batch.is_empty());
+        assert!(stop);
         // After stop, pushes are refused.
         assert!(matches!(q.push_event(ev, None), PushOutcome::Closed));
+    }
+
+    #[test]
+    fn push_batch_sheds_per_slot_and_reports_refusals() {
+        let q = AppQueue::new(2);
+        let ev = |d: &str| {
+            Arc::new(Event::TopologyChanged {
+                description: d.into(),
+            })
+        };
+        // Four events into a capacity-2 queue: the two oldest are shed.
+        let outcome = q.push_batch(vec![ev("a"), ev("b"), ev("c"), ev("d")]);
+        assert_eq!(outcome.shed_acks.len(), 2);
+        assert_eq!(outcome.refused, 0);
+        let (batch, _) = q.pop_batch(8);
+        let got: Vec<&str> = batch.iter().map(|(e, _)| desc_of(e)).collect();
+        assert_eq!(got, ["c", "d"]);
+        // A closed queue refuses the whole batch.
+        q.close_and_drain();
+        let outcome = q.push_batch(vec![ev("e"), ev("f")]);
+        assert!(outcome.shed_acks.is_empty());
+        assert_eq!(outcome.refused, 2);
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let q = AppQueue::new(8);
+        for d in ["a", "b", "c"] {
+            let ev = Arc::new(Event::TopologyChanged {
+                description: d.into(),
+            });
+            assert!(matches!(q.push_event(ev, None), PushOutcome::Queued));
+        }
+        let (batch, stop) = q.pop_batch(2);
+        assert_eq!(batch.len(), 2);
+        assert!(!stop);
+        let (batch, stop) = q.pop_batch(2);
+        assert_eq!(batch.len(), 1);
+        assert!(!stop);
     }
 
     #[test]

@@ -50,7 +50,9 @@ use sdnshield_core::perm::PermissionSet;
 use sdnshield_core::token::PermissionToken;
 use sdnshield_core::vtopo::{PhysView, VirtualTopology};
 use sdnshield_netsim::network::{Delivery, Network};
-use sdnshield_openflow::messages::{FlowMod, FlowRemoved, PacketIn, StatsReply, StatsRequest};
+use sdnshield_openflow::messages::{
+    FlowMod, FlowRemoved, PacketIn, PacketOut, StatsReply, StatsRequest,
+};
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{Cookie, DatapathId, EthAddr};
 
@@ -108,6 +110,15 @@ pub struct Kernel {
     /// Opt-in: run the `sdnshield-analysis` lint pass over manifests at
     /// registration time, rejecting manifests with error-severity findings.
     lint_on_register: std::sync::atomic::AtomicBool,
+    /// Advances after every registry mutation (app registered or reaped).
+    /// App-side fast lanes key their cached `Arc<PermissionEngine>` snapshot
+    /// on this counter; a bump forces a refetch. Incremented strictly
+    /// *after* the registry write completes, so a lane that observes epoch
+    /// `E` and then fetches sees state at least as new as `E` (observing a
+    /// pre-bump engine under a pre-bump epoch is fine — the next bump
+    /// invalidates it; the reverse order could cache a stale engine under
+    /// the *current* epoch forever).
+    registry_epoch: std::sync::atomic::AtomicU64,
 }
 
 fn kind_key(kind: EventKind) -> &'static str {
@@ -137,7 +148,42 @@ impl Kernel {
             checks_enabled,
             absorb_packet_outs: std::sync::atomic::AtomicBool::new(false),
             lint_on_register: std::sync::atomic::AtomicBool::new(false),
+            registry_epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Are permission checks enabled (i.e. is this a shielded kernel rather
+    /// than the monolithic baseline)?
+    pub fn checks_enabled(&self) -> bool {
+        self.checks_enabled
+    }
+
+    /// The registry epoch: advances after every app registration or
+    /// deregistration. Fast lanes use it to validate their cached engine
+    /// snapshot without taking the registry lock.
+    pub fn registry_epoch(&self) -> u64 {
+        self.registry_epoch
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_registry_epoch(&self) {
+        self.registry_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// A shared snapshot of an app's compiled permission engine (the same
+    /// `Arc` the deputies check against, so its decision cache is shared
+    /// across both sides of the channel). `None` when the app is not
+    /// registered.
+    pub fn engine_snapshot(&self, app: AppId) -> Option<Arc<PermissionEngine>> {
+        self.engine_for(app)
+    }
+
+    /// Turns audit-record admission on or off (see
+    /// [`crate::audit::AuditLog::set_enabled`]). On by default; benches may
+    /// disable it to isolate mediation cost from logging cost.
+    pub fn set_audit_enabled(&self, enabled: bool) {
+        self.audit.set_enabled(enabled);
     }
 
     /// Enables/disables the registration-time manifest lint (see
@@ -241,12 +287,15 @@ impl Kernel {
                 vtopo = Some(Arc::new(vt));
             }
         }
-        let mut reg = self.reg_write();
-        if let Some(vt) = vtopo {
-            reg.vtopos.insert(app, vt);
+        {
+            let mut reg = self.reg_write();
+            if let Some(vt) = vtopo {
+                reg.vtopos.insert(app, vt);
+            }
+            reg.engines.insert(app, Arc::new(engine));
+            reg.app_names.insert(app, name.to_owned());
         }
-        reg.engines.insert(app, Arc::new(engine));
-        reg.app_names.insert(app, name.to_owned());
+        self.bump_registry_epoch();
         Ok(())
     }
 
@@ -263,9 +312,9 @@ impl Kernel {
         use sdnshield_analysis::Severity;
         let diags = sdnshield_analysis::analyze_permission_set(manifest);
         for d in &diags {
-            self.audit.record_system(
+            self.audit.record_system_with(
                 app,
-                &format!("lint:{}", d.code),
+                || format!("lint:{}", d.code),
                 if d.severity >= Severity::Error {
                     AuditOutcome::Denied
                 } else {
@@ -354,6 +403,85 @@ impl Kernel {
         (result, events)
     }
 
+    /// Serves a side-effect-free read entirely on the calling thread — the
+    /// app-side fast path (DESIGN.md "Read fast path & vectored delivery").
+    ///
+    /// Returns `Some` only when *both* halves of the call are pure:
+    ///
+    /// * the permission decision is a pure function of the call
+    ///   ([`PermissionEngine::check_call_only`] — constant or call-only
+    ///   plan; stateful literals route to the deputy), and
+    /// * the handler is one of the read-only kinds (`read_topology`,
+    ///   `read_flow_table`, `read_statistics`), whose `apply` arms mutate
+    ///   nothing and emit no events.
+    ///
+    /// The context epoch is re-read after the check: if the ownership
+    /// tracker mutated mid-decision the hit is abandoned (`None`) and the
+    /// call falls back to the deputy, which decides against a live tracker
+    /// view. Denials and served reads are audited exactly as
+    /// [`Kernel::execute`] would audit them, so forensics cannot tell the
+    /// two paths apart.
+    ///
+    /// `None` always means "route through the deputy", never "denied".
+    pub fn try_serve_read(&self, call: &ApiCall) -> Option<Result<ApiResponse, ApiError>> {
+        let engine = if self.checks_enabled {
+            self.engine_for(call.app)
+        } else {
+            None
+        };
+        self.try_serve_read_with(call, engine.as_deref())
+    }
+
+    /// [`Kernel::try_serve_read`] with a caller-supplied engine snapshot, so
+    /// an app-thread fast lane that already holds a registry-epoch-validated
+    /// `Arc<PermissionEngine>` skips the registry read lock entirely.
+    pub(crate) fn try_serve_read_with(
+        &self,
+        call: &ApiCall,
+        engine: Option<&PermissionEngine>,
+    ) -> Option<Result<ApiResponse, ApiError>> {
+        if !matches!(
+            call.kind,
+            ApiCallKind::ReadTopology
+                | ApiCallKind::ReadFlowTable { .. }
+                | ApiCallKind::ReadStatistics { .. }
+        ) {
+            return None;
+        }
+        if self.checks_enabled {
+            let engine = engine?;
+            let epoch = self.context_epoch();
+            let decision = engine.check_call_only(call, epoch)?;
+            if self.context_epoch() != epoch {
+                // The tracker mutated mid-decision: abandon the hit and let
+                // the deputy re-decide against a live tracker view.
+                return None;
+            }
+            if let Decision::Denied { .. } = decision {
+                self.audit.record(
+                    call.app,
+                    call.kind.name(),
+                    call.required_token(),
+                    AuditOutcome::Denied,
+                );
+                return Some(Err(ApiError::from_decision(decision)));
+            }
+        }
+        let (result, events) = self.apply(call);
+        debug_assert!(events.is_empty(), "read-only apply arms emit no events");
+        self.audit.record(
+            call.app,
+            call.kind.name(),
+            call.required_token(),
+            if result.is_ok() {
+                AuditOutcome::Allowed
+            } else {
+                AuditOutcome::Failed
+            },
+        );
+        Some(result)
+    }
+
     /// Executes an atomic group of flow operations (paper §VI-B2): all
     /// operations are permission-checked first; execution applies all or —
     /// on a mid-flight switch error — rolls back the already-applied prefix.
@@ -377,6 +505,89 @@ impl Kernel {
         ops: &[FlowOp],
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
         self.run_atomic(app, ops, "batch")
+    }
+
+    /// Checks and applies a group of packet-outs moved across the deputy
+    /// channel in one crossing (`AppCtx::send_packet_outs`) — the vectored
+    /// counterpart of N singleton `send_pkt_out` calls. Best-effort like a
+    /// loop of singleton calls: one denial or switch error skips that
+    /// packet-out, audited individually, and the rest still go out. The win
+    /// is amortization — one channel crossing, one reply wake-up, and one
+    /// engine fetch for the whole group. Returns the number actually sent
+    /// plus derived events (packet-ins absorbed from the data-plane walk).
+    pub fn execute_packet_outs(
+        &self,
+        app: AppId,
+        outs: &[(DatapathId, PacketOut)],
+    ) -> (Result<usize, ApiError>, Vec<OutboundEvent>) {
+        let engine = if self.checks_enabled {
+            match self.engine_for(app) {
+                Some(e) => Some(e),
+                None => {
+                    return (
+                        Err(ApiError::PermissionDenied {
+                            token: PermissionToken::SendPktOut,
+                            reason: sdnshield_core::engine::DenyReason::MissingToken,
+                        }),
+                        Vec::new(),
+                    );
+                }
+            }
+        } else {
+            None
+        };
+        let absorb = self
+            .absorb_packet_outs
+            .load(std::sync::atomic::Ordering::SeqCst);
+        let mut sent = 0usize;
+        let mut events = Vec::new();
+        for (dpid, packet_out) in outs {
+            let call = ApiCall {
+                app,
+                kind: ApiCallKind::SendPacketOut {
+                    dpid: *dpid,
+                    packet_out: packet_out.clone(),
+                },
+            };
+            if let Some(engine) = engine.as_deref() {
+                let decision = engine.check(&call, &*self.tracker_read());
+                if let Decision::Denied { .. } = decision {
+                    self.audit.record(
+                        app,
+                        call.kind.name(),
+                        call.required_token(),
+                        AuditOutcome::Denied,
+                    );
+                    continue;
+                }
+            }
+            if absorb {
+                self.audit.record(
+                    app,
+                    call.kind.name(),
+                    call.required_token(),
+                    AuditOutcome::Allowed,
+                );
+                sent += 1;
+                continue;
+            }
+            let (result, evs) = self.apply(&call);
+            self.audit.record(
+                app,
+                call.kind.name(),
+                call.required_token(),
+                if result.is_ok() {
+                    AuditOutcome::Allowed
+                } else {
+                    AuditOutcome::Failed
+                },
+            );
+            if result.is_ok() {
+                sent += 1;
+            }
+            events.extend(evs);
+        }
+        (Ok(sent), events)
     }
 
     /// The current context epoch: advances whenever the ownership tracker
@@ -551,6 +762,7 @@ impl Kernel {
             reg.app_names.remove(&app);
             reg.vtopos.remove(&app);
         }
+        self.bump_registry_epoch();
         {
             let mut subs = self.subs_write();
             for subs in subs.by_kind.values_mut() {
@@ -586,9 +798,9 @@ impl Kernel {
     /// Records an app crash in the audit log (`phase` says where it died,
     /// e.g. `on_event`).
     pub fn audit_crash(&self, app: AppId, phase: &str) {
-        self.audit.record_system(
+        self.audit.record_system_with(
             app,
-            &format!("crash:{phase}"),
+            || format!("crash:{phase}"),
             crate::audit::AuditOutcome::Crashed,
         );
     }
@@ -637,6 +849,32 @@ impl Kernel {
         let subs = subs.custom.entry(topic.to_owned()).or_default();
         if !subs.contains(&app) {
             subs.push(app);
+        }
+    }
+
+    /// May this app read packet-in payloads (`read_payload`)? Always true on
+    /// the monolithic baseline. The fan-out path uses this to pick between
+    /// the shared full view and the shared stripped view of a packet-in
+    /// instead of cloning a per-app event.
+    pub(crate) fn payload_access_for(&self, app: AppId) -> bool {
+        if !self.checks_enabled {
+            return true;
+        }
+        self.engine_for(app)
+            .is_some_and(|e| e.has_token(PermissionToken::ReadPayload))
+    }
+
+    /// Records packet-in payload provenance for a batch of deliveries under
+    /// one tracker write lock (one epoch bump per `record_pkt_in`, exactly
+    /// as the per-app [`Kernel::event_view_for`] would do, but without
+    /// re-acquiring the lock per app per event).
+    pub(crate) fn record_pkt_ins(&self, grants: &[(AppId, Bytes)]) {
+        if grants.is_empty() {
+            return;
+        }
+        let mut tracker = self.tracker_write();
+        for (app, payload) in grants {
+            tracker.record_pkt_in(*app, payload);
         }
     }
 

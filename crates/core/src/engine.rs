@@ -24,7 +24,8 @@ use bytes::Bytes;
 use crate::algebra::{to_dnf, Literal};
 use crate::api::{ApiCall, ApiCallKind, AppId};
 use crate::eval::{
-    classify, cost_rank, eval, eval_singleton, stats_level_of, CheckContext, LiteralClass,
+    classify, cost_rank, eval, eval_singleton, stats_level_of, CheckContext, EpochContext,
+    LiteralClass,
 };
 use crate::filter::{FilterExpr, Ownership, SingletonFilter, StatsLevel};
 use crate::perm::PermissionSet;
@@ -605,6 +606,46 @@ impl PermissionEngine {
             None => eval(&entry.original, call, ctx),
         };
         Self::verdict(token, passed)
+    }
+
+    /// Checks a call *only when* the decision is a pure function of the
+    /// call: token gate, stub gate, constant-folded plans, and call-only
+    /// plans (through the same epoch-keyed decision cache as
+    /// [`PermissionEngine::check`]). Returns `None` whenever the granted
+    /// filter retains a stateful literal after folding (or its DNF blew
+    /// up), i.e. whenever the decision could depend on tracker state beyond
+    /// what the epoch fingerprints — the caller must then route the call
+    /// through a context that can answer stateful queries.
+    ///
+    /// This is the app-side read fast path's entry point: the app thread
+    /// passes the kernel's observed context epoch, and a `Some` decision is
+    /// identical to what [`PermissionEngine::check`] would return against a
+    /// tracker context at that epoch.
+    pub fn check_call_only(&self, call: &ApiCall, epoch: u64) -> Option<Decision> {
+        let token = call.required_token();
+        let entry = match self.gate(token) {
+            Ok(e) => e,
+            Err(d) => return Some(d),
+        };
+        let plan = entry.plan.as_ref()?;
+        if let Some(constant) = plan.constant {
+            return Some(Self::verdict(token, constant));
+        }
+        if !plan.call_only {
+            return None;
+        }
+        let ctx = EpochContext(epoch);
+        let token_idx = token.index();
+        let passed = match self.cache.query(token_idx, call, epoch) {
+            CacheQuery::Hit(p) => p,
+            CacheQuery::Miss(hash) => {
+                let p = plan.eval(call, &ctx);
+                self.cache.insert(token_idx, call, hash, epoch, p);
+                p
+            }
+            CacheQuery::Bypass => plan.eval(call, &ctx),
+        };
+        Some(Self::verdict(token, passed))
     }
 
     /// Checks a call through the compiled plan without consulting the

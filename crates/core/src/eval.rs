@@ -67,6 +67,23 @@ impl CheckContext for NullContext {
     }
 }
 
+/// A [`CheckContext`] carrying only an epoch observation — the app-side
+/// read fast path's context.
+///
+/// Call-only check plans never consult the stateful methods, so the
+/// (deliberately restrictive) defaults below are unreachable on that path;
+/// the epoch keys the engine's decision cache exactly as the kernel-side
+/// tracker context would at the same instant. Callers that cannot prove a
+/// plan is call-only must use a real tracker-backed context instead.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochContext(pub u64);
+
+impl CheckContext for EpochContext {
+    fn epoch(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Why a filter rejected a call (carried in deny decisions).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterViolation {
