@@ -90,7 +90,7 @@ impl AnyController {
     }
 
     /// The kernel, for inspection.
-    pub fn kernel(&self) -> &sdnshield_controller::kernel::Kernel {
+    pub fn kernel(&self) -> std::sync::Arc<sdnshield_controller::kernel::Kernel> {
         match self {
             AnyController::Baseline(c) => c.kernel(),
             AnyController::Shielded(c) => c.kernel(),

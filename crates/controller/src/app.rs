@@ -108,25 +108,34 @@ pub(crate) enum CallRoute {
 /// * the cached `Arc` engine snapshot is keyed on the kernel's registry
 ///   epoch, so registration changes force a refetch before the next hit.
 pub(crate) struct FastLane {
-    kernel: Arc<Kernel>,
+    cell: Arc<crate::isolation::KernelCell>,
     app: AppId,
-    /// Cached engine snapshot, keyed by the registry epoch it was fetched
-    /// under. Only the owning app thread takes this mutex, so it is
-    /// uncontended; a `Mutex` (not a `RwLock`) keeps the hot path to one
-    /// atomic op.
-    snapshot: Mutex<Option<(u64, Option<Arc<sdnshield_core::engine::PermissionEngine>>)>>,
+    /// Cached engine snapshot, keyed by the (kernel-cell version, registry
+    /// epoch) pair it was fetched under — the version term invalidates the
+    /// cache across a failover promotion, the epoch term across any
+    /// registration change. Only the owning app thread takes this mutex, so
+    /// it is uncontended; a `Mutex` (not a `RwLock`) keeps the hot path to
+    /// one atomic op.
+    #[allow(clippy::type_complexity)]
+    snapshot: Mutex<
+        Option<(
+            u64,
+            u64,
+            Option<Arc<sdnshield_core::engine::PermissionEngine>>,
+        )>,
+    >,
     /// Controller-wide hit counter (observability, tests).
     hits: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl FastLane {
     pub(crate) fn new(
-        kernel: Arc<Kernel>,
+        cell: Arc<crate::isolation::KernelCell>,
         app: AppId,
         hits: Arc<std::sync::atomic::AtomicU64>,
     ) -> Self {
         FastLane {
-            kernel,
+            cell,
             app,
             snapshot: Mutex::new(None),
             hits,
@@ -144,15 +153,19 @@ impl FastLane {
         ) {
             return None;
         }
-        let result = if self.kernel.checks_enabled() {
-            let registry_epoch = self.kernel.registry_epoch();
+        let version = self.cell.version();
+        let kernel = self.cell.load();
+        let result = if kernel.checks_enabled() {
+            let registry_epoch = kernel.registry_epoch();
             let engine = {
                 let mut snap = self.snapshot.lock();
                 match snap.as_ref() {
-                    Some((epoch, engine)) if *epoch == registry_epoch => engine.clone(),
+                    Some((ver, epoch, engine)) if *ver == version && *epoch == registry_epoch => {
+                        engine.clone()
+                    }
                     _ => {
-                        let engine = self.kernel.engine_snapshot(self.app);
-                        *snap = Some((registry_epoch, engine.clone()));
+                        let engine = kernel.engine_snapshot(self.app);
+                        *snap = Some((version, registry_epoch, engine.clone()));
                         engine
                     }
                 }
@@ -160,9 +173,9 @@ impl FastLane {
             // Not registered (mid-deregistration race): take the deputy so
             // the error path is uniform with the slow lane.
             let engine = engine?;
-            self.kernel.try_serve_read_with(call, Some(&engine))?
+            kernel.try_serve_read_with(call, Some(&engine))?
         } else {
-            self.kernel.try_serve_read_with(call, None)?
+            kernel.try_serve_read_with(call, None)?
         };
         self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Some(result)

@@ -268,6 +268,15 @@ impl AuditLog {
     pub fn seen(&self) -> u64 {
         self.next_seq.load(Ordering::SeqCst)
     }
+
+    /// Seeds sequence numbering after recovery: the next appended record
+    /// takes `through + 1`, and sequences `..=through` read as evicted (the
+    /// pre-crash records themselves are gone, but cursors positioned at or
+    /// before `through` resume without observing the gap as data loss).
+    pub fn seed(&self, through: u64) {
+        self.next_seq.store(through, Ordering::SeqCst);
+        self.evicted_through.fetch_max(through, Ordering::SeqCst);
+    }
 }
 
 impl Default for AuditLog {

@@ -43,6 +43,15 @@ pub struct FaultPlan {
     /// Kill the whole deputy thread on the app's Nth call (exercises the
     /// watchdog respawn path).
     pub kill_deputy_on_nth_call: Option<u32>,
+    /// Journal fault: tear the command-journal write that crosses this file
+    /// byte offset, then die (see [`crate::journal::JournalFaults`]).
+    pub torn_journal_write_at_byte: Option<u64>,
+    /// Journal fault: corrupt the stored CRC of the journal record with
+    /// this commit sequence.
+    pub corrupt_journal_crc_on_record: Option<u64>,
+    /// Journal fault: die between applying and appending the record with
+    /// this commit sequence.
+    pub crash_before_journal_append_on_record: Option<u64>,
 }
 
 impl FaultPlan {
@@ -85,6 +94,34 @@ impl FaultPlan {
     pub fn kill_deputy(mut self, n: u32) -> Self {
         self.kill_deputy_on_nth_call = Some(n);
         self
+    }
+
+    /// Tear the journal write that crosses file byte offset `at`.
+    pub fn torn_journal_write_at_byte(mut self, at: u64) -> Self {
+        self.torn_journal_write_at_byte = Some(at);
+        self
+    }
+
+    /// Corrupt the stored CRC of journal record `seq`.
+    pub fn corrupt_journal_crc_on_record(mut self, seq: u64) -> Self {
+        self.corrupt_journal_crc_on_record = Some(seq);
+        self
+    }
+
+    /// Die between applying and appending journal record `seq`.
+    pub fn crash_before_journal_append(mut self, seq: u64) -> Self {
+        self.crash_before_journal_append_on_record = Some(seq);
+        self
+    }
+
+    /// The journal-level faults in this plan, ready to arm on a
+    /// [`crate::journal::Journal`].
+    pub fn journal_faults(&self) -> crate::journal::JournalFaults {
+        crate::journal::JournalFaults {
+            torn_write_at_byte: self.torn_journal_write_at_byte,
+            corrupt_crc_on_record: self.corrupt_journal_crc_on_record,
+            crash_before_append_on_record: self.crash_before_journal_append_on_record,
+        }
     }
 }
 

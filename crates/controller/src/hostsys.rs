@@ -161,6 +161,45 @@ impl HostSystem {
     pub fn processes(&self) -> &[SpawnedProcess] {
         &self.processes
     }
+
+    /// Serializable image of the whole host state.
+    pub fn snapshot(&self) -> HostSnapshot {
+        HostSnapshot {
+            connections: self.connections.values().cloned().collect(),
+            files: self.files.clone(),
+            processes: self.processes.clone(),
+            next_conn: self.next_conn,
+        }
+    }
+
+    /// Rebuilds a host from a snapshot (restore-exact, handle counter
+    /// included so recovered kernels allocate the same future `ConnId`s).
+    pub fn restore(snapshot: &HostSnapshot) -> Self {
+        HostSystem {
+            connections: snapshot
+                .connections
+                .iter()
+                .map(|c| (c.id, c.clone()))
+                .collect(),
+            files: snapshot.files.clone(),
+            processes: snapshot.processes.clone(),
+            next_conn: snapshot.next_conn,
+        }
+    }
+}
+
+/// A serializable image of [`HostSystem`] (part of
+/// [`crate::command::KernelSnapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HostSnapshot {
+    /// All connections ever opened, ascending [`ConnId`].
+    pub connections: Vec<Connection>,
+    /// File accesses in record order.
+    pub files: Vec<FileAccess>,
+    /// Process spawns in record order.
+    pub processes: Vec<SpawnedProcess>,
+    /// The connection-handle counter.
+    pub next_conn: u64,
 }
 
 #[cfg(test)]

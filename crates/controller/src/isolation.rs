@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use sdnshield_core::api::AppId;
 use sdnshield_core::perm::PermissionSet;
@@ -57,8 +57,10 @@ use sdnshield_openflow::types::DatapathId;
 
 use crate::api::{ApiError, DeputyRequest};
 use crate::app::{App, AppCtx, CallRoute, FastLane};
+use crate::command::KernelSnapshot;
 use crate::events::Event;
 use crate::fault::{DeputyFault, FaultPlan, FaultRegistry};
+use crate::journal::Journal;
 use crate::kernel::{Kernel, OutboundEvent};
 
 /// Outcome of pushing an event onto an [`AppQueue`].
@@ -629,7 +631,7 @@ fn handle_crash(
 /// The deputy pool plus the shared state its watchdog needs to respawn
 /// members that die.
 struct DeputyPool {
-    kernel: Arc<Kernel>,
+    cell: Arc<KernelCell>,
     dispatcher: Arc<Dispatcher>,
     call_rx: Receiver<DeputyRequest>,
     inflight: Arc<AtomicUsize>,
@@ -643,14 +645,14 @@ struct DeputyPool {
 impl DeputyPool {
     fn spawn_deputy(&self) {
         let i = self.next_deputy.fetch_add(1, Ordering::Relaxed);
-        let kernel = Arc::clone(&self.kernel);
+        let cell = Arc::clone(&self.cell);
         let dispatcher = Arc::clone(&self.dispatcher);
         let rx = self.call_rx.clone();
         let inflight = Arc::clone(&self.inflight);
         let faults = Arc::clone(&self.faults);
         let handle = std::thread::Builder::new()
             .name(format!("ksd-{i}"))
-            .spawn(move || deputy_loop(kernel, dispatcher, rx, inflight, faults))
+            .spawn(move || deputy_loop(cell, dispatcher, rx, inflight, faults))
             .expect("spawn deputy");
         self.handles.lock().push(handle);
     }
@@ -687,6 +689,95 @@ fn watchdog_loop(pool: Arc<DeputyPool>) {
     }
 }
 
+/// The swappable handle to the active kernel (warm-standby failover,
+/// DESIGN.md §12).
+///
+/// Deputies, app threads and the controller front-end no longer pin an
+/// `Arc<Kernel>` for their lifetime; they hold the cell and load the active
+/// kernel at the point of use. [`ShieldedController::promote`] swaps a
+/// caught-up standby in and bumps the version, so per-kernel caches (the
+/// read fast path's engine snapshot) invalidate on the next access.
+///
+/// Loads take an uncontended `RwLock` read — promotion is rare, reads are
+/// the common case — and each load is a self-contained `Arc` clone, so a
+/// component that loaded the old kernel mid-failover finishes its current
+/// operation against the sealed primary (observing [`ApiError::Shutdown`]
+/// for mutations) and picks up the promoted kernel on its next load.
+pub struct KernelCell {
+    current: RwLock<Arc<Kernel>>,
+    version: AtomicU64,
+}
+
+impl KernelCell {
+    /// Wraps the initial kernel.
+    pub fn new(kernel: Arc<Kernel>) -> Self {
+        KernelCell {
+            current: RwLock::new(kernel),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// The active kernel.
+    pub fn load(&self) -> Arc<Kernel> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Bumped on every [`KernelCell::store`]; cache keys include it so a
+    /// promoted kernel never serves another kernel's cached state.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Swaps in a new active kernel (failover promotion).
+    pub fn store(&self, kernel: Arc<Kernel>) {
+        let mut current = self.current.write();
+        *current = kernel;
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// A warm-standby kernel tailing the primary's command journal
+/// (DESIGN.md §12).
+///
+/// The standby is stood up from a [`KernelSnapshot`] over its own simulated
+/// network replica and catches up by replaying journal records past its
+/// `last_applied` watermark. Replay is idempotent (keyed by sequence
+/// number), so tailing while the primary still appends is safe: a record
+/// replayed early is skipped when seen again.
+///
+/// Promotion ([`ShieldedController::promote`]) seals the primary first —
+/// the seal is a barrier behind the commit lock, so by the time the final
+/// [`WarmStandby::catch_up`] runs, the journal holds every command whose
+/// reply was acknowledged to a caller. Zero acknowledged commands are lost;
+/// duplicate applies are impossible.
+pub struct WarmStandby {
+    kernel: Arc<Kernel>,
+    journal: Arc<Journal>,
+}
+
+impl WarmStandby {
+    /// Recovers a standby kernel from `snapshot` over `network` and tails
+    /// `journal` from the snapshot's watermark.
+    pub fn new(network: Network, snapshot: &KernelSnapshot, journal: Arc<Journal>) -> Self {
+        let kernel = Arc::new(Kernel::recover(network, snapshot, &journal));
+        WarmStandby { kernel, journal }
+    }
+
+    /// Replays every journal record the standby has not applied yet.
+    /// Returns how many were applied. Call periodically while tailing, and
+    /// once more (via [`ShieldedController::promote`]) after the primary is
+    /// sealed.
+    pub fn catch_up(&self) -> usize {
+        let records = self.journal.records_since(self.kernel.last_applied());
+        self.kernel.replay_records(&records)
+    }
+
+    /// The standby kernel, for inspection (it is not serving apps yet).
+    pub fn kernel(&self) -> Arc<Kernel> {
+        Arc::clone(&self.kernel)
+    }
+}
+
 /// The SDNShield-enabled controller: kernel + deputy pool + isolated apps.
 ///
 /// # Examples
@@ -700,7 +791,7 @@ fn watchdog_loop(pool: Arc<DeputyPool>) {
 /// controller.shutdown();
 /// ```
 pub struct ShieldedController {
-    kernel: Arc<Kernel>,
+    cell: Arc<KernelCell>,
     call_tx: Sender<DeputyRequest>,
     dispatcher: Arc<Dispatcher>,
     pool: Arc<DeputyPool>,
@@ -741,12 +832,13 @@ impl ShieldedController {
     pub fn new_with_config(network: Network, config: ControllerConfig) -> Self {
         assert!(config.num_deputies > 0, "need at least one deputy");
         let kernel = Arc::new(Kernel::new(network, true));
+        let cell = Arc::new(KernelCell::new(kernel));
         let inflight = Arc::new(AtomicUsize::new(0));
         let dispatcher = Arc::new(Dispatcher::new(Arc::clone(&inflight)));
         let faults = Arc::new(FaultRegistry::default());
         let (call_tx, call_rx) = unbounded::<DeputyRequest>();
         let pool = Arc::new(DeputyPool {
-            kernel: Arc::clone(&kernel),
+            cell: Arc::clone(&cell),
             dispatcher: Arc::clone(&dispatcher),
             call_rx,
             inflight: Arc::clone(&inflight),
@@ -767,7 +859,7 @@ impl ShieldedController {
                 .expect("spawn watchdog")
         };
         ShieldedController {
-            kernel,
+            cell,
             call_tx,
             dispatcher,
             pool,
@@ -818,9 +910,52 @@ impl ShieldedController {
         }
     }
 
-    /// The kernel, for inspection (tests, benches, forensics).
-    pub fn kernel(&self) -> &Kernel {
-        &self.kernel
+    /// The active kernel, for inspection (tests, benches, forensics).
+    ///
+    /// The returned handle is a point-in-time load: after a
+    /// [`ShieldedController::promote`] it refers to the sealed old primary;
+    /// load again to observe the promoted kernel.
+    pub fn kernel(&self) -> Arc<Kernel> {
+        self.cell.load()
+    }
+
+    /// The kernel cell (components that must track failover hold this).
+    pub fn kernel_cell(&self) -> Arc<KernelCell> {
+        Arc::clone(&self.cell)
+    }
+
+    /// Attaches a command journal to the active kernel: every subsequent
+    /// state-changing command is appended under the commit lock (see
+    /// [`crate::journal`]).
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        self.cell.load().attach_journal(journal);
+    }
+
+    /// A consistent snapshot of the active kernel — the starting point for
+    /// standing up a [`WarmStandby`] or writing a checkpoint to disk.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        self.cell.load().snapshot()
+    }
+
+    /// Fails over to `standby` and returns the promoted kernel.
+    ///
+    /// Protocol (DESIGN.md §12): seal the active kernel — the seal is a
+    /// barrier, so every command whose reply was acknowledged has finished
+    /// appending to the journal — then replay the journal tail into the
+    /// standby, hand the journal over to the promoted kernel, and swap it
+    /// into the cell. Deputies and app threads pick the promoted kernel up
+    /// on their next load; calls that raced the seal observe
+    /// [`ApiError::Shutdown`] and can be retried against the new primary.
+    pub fn promote(&self, standby: &WarmStandby) -> Arc<Kernel> {
+        let old = self.cell.load();
+        old.seal();
+        standby.catch_up();
+        let promoted = standby.kernel();
+        if let Some(journal) = old.journal() {
+            promoted.attach_journal(journal);
+        }
+        self.cell.store(Arc::clone(&promoted));
+        promoted
     }
 
     /// Registers an app with its (reconciled) permission manifest: compiles
@@ -870,14 +1005,15 @@ impl ShieldedController {
     ) -> Result<AppId, RegisterError> {
         let id = AppId(self.next_app.fetch_add(1, Ordering::Relaxed));
         let name = app.name().to_owned();
-        self.kernel
+        let kernel = self.cell.load();
+        kernel
             .register_app(id, &name, manifest)
             .map_err(|e| RegisterError::InvalidManifest(e.to_string()))?;
-        let missing = self.kernel.missing_tokens(id, &app.required_tokens());
+        let missing = kernel.missing_tokens(id, &app.required_tokens());
         if !missing.is_empty() {
             // Roll the registration back: without this the rejected app
             // would stay resident in the kernel (engine + name) forever.
-            self.kernel.deregister_app(id);
+            kernel.deregister_app(id);
             return Err(RegisterError::MissingTokens(missing));
         }
         self.supervisor.entries.lock().insert(
@@ -897,7 +1033,7 @@ impl ShieldedController {
             Err(e) => {
                 // Registration-time startup panic is a registration failure,
                 // not a crash: undo everything.
-                self.kernel.deregister_app(id);
+                kernel.deregister_app(id);
                 self.supervisor.entries.lock().remove(&id);
                 Err(e)
             }
@@ -908,7 +1044,7 @@ impl ShieldedController {
     fn spawn_app(&self, id: AppId, name: &str, app: Box<dyn App>) -> Result<(), RegisterError> {
         let fast = self.config.read_fast_path.then(|| {
             Arc::new(FastLane::new(
-                Arc::clone(&self.kernel),
+                Arc::clone(&self.cell),
                 id,
                 Arc::clone(&self.fast_hits),
             ))
@@ -927,7 +1063,7 @@ impl ShieldedController {
         let thread_name = format!("app-{}-{name}", id.0);
         let thread = {
             let queue = Arc::clone(&queue);
-            let kernel = Arc::clone(&self.kernel);
+            let cell = Arc::clone(&self.cell);
             let dispatcher = Arc::clone(&self.dispatcher);
             let supervisor = Arc::clone(&self.supervisor);
             let inflight = Arc::clone(&self.inflight);
@@ -935,7 +1071,7 @@ impl ShieldedController {
                 .name(thread_name)
                 .spawn(move || {
                     app_loop(
-                        app, ctx, id, queue, ready_tx, kernel, dispatcher, supervisor, inflight,
+                        app, ctx, id, queue, ready_tx, cell, dispatcher, supervisor, inflight,
                     )
                 })
                 .expect("spawn app thread")
@@ -963,6 +1099,12 @@ impl ShieldedController {
     /// deputy-side faults; app-side faults live in the app under test —
     /// see [`crate::fault`]).
     pub fn arm_faults(&self, app: AppId, plan: FaultPlan) {
+        let journal_faults = plan.journal_faults();
+        if !journal_faults.is_none() {
+            if let Some(journal) = self.cell.load().journal() {
+                journal.arm_faults(journal_faults);
+            }
+        }
         self.faults.arm(app, plan);
     }
 
@@ -1021,16 +1163,18 @@ impl ShieldedController {
     /// processed it (the measurement boundary for the paper's latency
     /// experiments).
     pub fn deliver_packet_in(&self, dpid: DatapathId, packet_in: PacketIn) {
-        let events = self.kernel.feed_packet_in(dpid, packet_in);
-        self.dispatcher.dispatch(&self.kernel, events, true);
+        let kernel = self.cell.load();
+        let events = kernel.feed_packet_in(dpid, packet_in);
+        self.dispatcher.dispatch(&kernel, events, true);
     }
 
     /// Delivers a packet-in without waiting for app processing — the
     /// pipelined pressure-test mode (paper Fig 7: CBench keeps many
     /// packet-ins outstanding). Pair with [`ShieldedController::quiesce`].
     pub fn deliver_packet_in_nowait(&self, dpid: DatapathId, packet_in: PacketIn) {
-        let events = self.kernel.feed_packet_in(dpid, packet_in);
-        self.dispatcher.dispatch(&self.kernel, events, false);
+        let kernel = self.cell.load();
+        let events = kernel.feed_packet_in(dpid, packet_in);
+        self.dispatcher.dispatch(&kernel, events, false);
     }
 
     /// Delivers a whole batch of packet-ins with vectored dispatch: events
@@ -1039,18 +1183,20 @@ impl ShieldedController {
     /// pair with [`ShieldedController::quiesce`]. This is the high-rate
     /// ingestion path the paper's Fig 7 CBench workload exercises.
     pub fn deliver_packet_in_batch(&self, batch: Vec<(DatapathId, PacketIn)>) {
+        let kernel = self.cell.load();
         let mut events = Vec::new();
         for (dpid, packet_in) in batch {
-            events.extend(self.kernel.feed_packet_in(dpid, packet_in));
+            events.extend(kernel.feed_packet_in(dpid, packet_in));
         }
-        self.dispatcher.dispatch_vectored(&self.kernel, events);
+        self.dispatcher.dispatch_vectored(&kernel, events);
     }
 
     /// Injects a data-plane frame from a host and synchronously processes
     /// the resulting packet-ins.
     pub fn inject_host_frame(&self, frame: EthernetFrame) {
-        let events = self.kernel.inject_host_frame(frame);
-        self.dispatcher.dispatch(&self.kernel, events, true);
+        let kernel = self.cell.load();
+        let events = kernel.inject_host_frame(frame);
+        self.dispatcher.dispatch(&kernel, events, true);
     }
 
     /// Publishes a custom event from outside the app layer (test drivers:
@@ -1063,15 +1209,16 @@ impl ShieldedController {
                 data,
             },
         }];
-        self.dispatcher.dispatch(&self.kernel, events, true);
+        self.dispatcher.dispatch(&self.cell.load(), events, true);
     }
 
     /// Fails a physical link and synchronously notifies topology
     /// subscribers. Returns whether the link existed.
     pub fn fail_link(&self, a: DatapathId, b: DatapathId) -> bool {
-        match self.kernel.fail_link(a, b) {
+        let kernel = self.cell.load();
+        match kernel.fail_link(a, b) {
             Some(event) => {
-                self.dispatcher.dispatch(&self.kernel, vec![event], true);
+                self.dispatcher.dispatch(&kernel, vec![event], true);
                 true
             }
             None => false,
@@ -1086,22 +1233,24 @@ impl ShieldedController {
                 description: description.to_owned(),
             },
         }];
-        self.dispatcher.dispatch(&self.kernel, events, true);
+        self.dispatcher.dispatch(&self.cell.load(), events, true);
     }
 
     /// Advances the virtual clock: flow-removed events dispatch
     /// synchronously, then any quarantined app whose backoff has elapsed is
     /// restarted.
     pub fn advance_clock(&self, secs: u64) {
-        let events = self.kernel.advance_clock(secs);
-        self.dispatcher.dispatch(&self.kernel, events, true);
+        let kernel = self.cell.load();
+        let events = kernel.advance_clock(secs);
+        self.dispatcher.dispatch(&kernel, events, true);
         self.process_due_restarts();
     }
 
     /// Restarts every quarantined app whose backoff deadline has passed.
     fn process_due_restarts(&self) {
         loop {
-            let now = self.kernel.now();
+            let kernel = self.cell.load();
+            let now = kernel.now();
             // Claim one due entry at a time so the entries lock is not held
             // across the restart itself (on_start runs app code).
             let due = {
@@ -1122,7 +1271,7 @@ impl ShieldedController {
                 return;
             };
             // The crash reaping removed the app's engine; re-register it.
-            if self.kernel.register_app(id, &name, &manifest).is_err() {
+            if kernel.register_app(id, &name, &manifest).is_err() {
                 if let Some(sup) = self.supervisor.entries.lock().get_mut(&id) {
                     sup.state = AppState::Stopped;
                 }
@@ -1137,9 +1286,9 @@ impl ShieldedController {
                 Err(_) => {
                     // The fresh instance crashed in on_start: that is a
                     // crash like any other — reap, audit, re-apply policy.
-                    self.kernel.deregister_app(id);
-                    self.kernel.audit_crash(id, "on_start");
-                    let now = self.kernel.now();
+                    kernel.deregister_app(id);
+                    kernel.audit_crash(id, "on_start");
+                    let now = kernel.now();
                     if let Some(sup) = self.supervisor.entries.lock().get_mut(&id) {
                         sup.crashes += 1;
                         sup.state = sup.state_after_crash(now);
@@ -1196,7 +1345,7 @@ fn app_loop(
     id: AppId,
     queue: Arc<AppQueue>,
     ready: Sender<bool>,
-    kernel: Arc<Kernel>,
+    cell: Arc<KernelCell>,
     dispatcher: Arc<Dispatcher>,
     supervisor: Arc<Supervisor>,
     inflight: Arc<AtomicUsize>,
@@ -1242,6 +1391,7 @@ fn app_loop(
         }
         inflight.fetch_sub(batch.len(), Ordering::SeqCst);
         if !survived {
+            let kernel = cell.load();
             drain_queue(&queue, &kernel, id, &inflight, true);
             handle_crash(&kernel, &dispatcher, &supervisor, id, "on_event");
             return;
@@ -1249,7 +1399,7 @@ fn app_loop(
     }
     // Graceful stop: account for anything still queued so quiesce() and
     // synchronous dispatchers stay accurate.
-    drain_queue(&queue, &kernel, id, &inflight, false);
+    drain_queue(&queue, &cell.load(), id, &inflight, false);
 }
 
 /// How many queued events an app thread drains per wake-up.
@@ -1312,7 +1462,7 @@ impl Drop for Burst<'_> {
 }
 
 fn deputy_loop(
-    kernel: Arc<Kernel>,
+    cell: Arc<KernelCell>,
     dispatcher: Arc<Dispatcher>,
     rx: Receiver<DeputyRequest>,
     inflight: Arc<AtomicUsize>,
@@ -1322,6 +1472,10 @@ fn deputy_loop(
         let Some(first) = recv_adaptive(&rx) else {
             return;
         };
+        // One load per burst: after a failover promotion the next burst
+        // executes against the promoted kernel; requests in the current
+        // burst that raced the seal see `ApiError::Shutdown` and retry.
+        let kernel = cell.load();
         let mut burst = Burst {
             pending: VecDeque::new(),
             inflight: &inflight,

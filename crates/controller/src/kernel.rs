@@ -38,6 +38,7 @@
 //! audit ordering).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -58,8 +59,10 @@ use sdnshield_openflow::types::{Cookie, DatapathId, EthAddr};
 
 use crate::api::{ApiError, ApiResponse, FlowOp, SwitchView, TopologyView};
 use crate::audit::{AuditLog, AuditOutcome};
+use crate::command::{Command, CommandOutcome, KernelSnapshot, SwitchSnapshot};
 use crate::events::Event;
 use crate::hostsys::{ConnId, HostSystem};
+use crate::journal::{Journal, JournalRecord};
 use crate::lockorder::{self, Ordered, Rank};
 
 /// An event produced by executing a call, to be routed by the dispatcher.
@@ -79,6 +82,9 @@ struct Registry {
     app_names: HashMap<AppId, String>,
     /// Per-app virtual topology mappers (apps granted a VIRTUAL filter).
     vtopos: HashMap<AppId, Arc<VirtualTopology>>,
+    /// Canonical manifest text per app, kept so snapshots and journaled
+    /// registrations can recompile the identical engine after a restart.
+    manifests: HashMap<AppId, String>,
 }
 
 /// Event routing state.
@@ -119,6 +125,26 @@ pub struct Kernel {
     /// invalidates it; the reverse order could cache a stale engine under
     /// the *current* epoch forever).
     registry_epoch: std::sync::atomic::AtomicU64,
+    /// Serializes command apply+append once a journal is attached, making
+    /// journal order identical to commit order. Deliberately OUTSIDE the
+    /// `lockorder` hierarchy: it is always acquired before any ranked
+    /// subsystem lock and released after them, so it cannot participate in
+    /// an inversion — and reads never take it at all.
+    commit: Mutex<()>,
+    /// The attached command journal, if any.
+    journal: Mutex<Option<Arc<Journal>>>,
+    /// Fast flag mirroring `journal.is_some()`, checked by the public
+    /// wrappers without taking the journal mutex.
+    journal_attached: AtomicBool,
+    /// Set by [`Kernel::seal`]: every later submit is refused with
+    /// [`ApiError::Shutdown`] instead of being applied. This is how failover
+    /// fences the old primary.
+    sealed: AtomicBool,
+    /// Sequence of the last applied command (== last journal seq).
+    last_applied: AtomicU64,
+    /// True while this kernel is replaying journal records: audit records
+    /// are re-derived under a `replay:` tag and nothing is re-appended.
+    replaying: AtomicBool,
 }
 
 fn kind_key(kind: EventKind) -> &'static str {
@@ -127,6 +153,18 @@ fn kind_key(kind: EventKind) -> &'static str {
         EventKind::Flow => "flow",
         EventKind::Topology => "topology",
         EventKind::Error => "error",
+    }
+}
+
+/// Maps a snapshot's owned kind key back to the `'static` key the
+/// subscription table uses (inverse of [`kind_key`]).
+fn static_kind(s: &str) -> Option<&'static str> {
+    match s {
+        "packet_in" => Some("packet_in"),
+        "flow" => Some("flow"),
+        "topology" => Some("topology"),
+        "error" => Some("error"),
+        _ => None,
     }
 }
 
@@ -149,6 +187,12 @@ impl Kernel {
             absorb_packet_outs: std::sync::atomic::AtomicBool::new(false),
             lint_on_register: std::sync::atomic::AtomicBool::new(false),
             registry_epoch: std::sync::atomic::AtomicU64::new(0),
+            commit: Mutex::new(()),
+            journal: Mutex::new(None),
+            journal_attached: AtomicBool::new(false),
+            sealed: AtomicBool::new(false),
+            last_applied: AtomicU64::new(0),
+            replaying: AtomicBool::new(false),
         }
     }
 
@@ -231,6 +275,25 @@ impl Kernel {
         lockorder::order(Rank::HostInbox, || self.host_inbox.lock())
     }
 
+    /// Records a mediated-call audit record, tagging the operation with
+    /// `replay:` while this kernel is replaying journal records — forensic
+    /// readers can tell re-derived records from originals, and the recovery
+    /// tests can prove nothing is double-counted.
+    fn record_audit(
+        &self,
+        app: AppId,
+        operation: &str,
+        token: PermissionToken,
+        outcome: AuditOutcome,
+    ) {
+        if self.replaying.load(Ordering::SeqCst) {
+            self.audit
+                .record(app, &format!("replay:{operation}"), token, outcome);
+        } else {
+            self.audit.record(app, operation, token, outcome);
+        }
+    }
+
     /// Enables/disables CBench mode (see the field documentation).
     pub fn set_absorb_packet_outs(&self, absorb: bool) {
         self.absorb_packet_outs
@@ -268,10 +331,33 @@ impl Kernel {
         name: &str,
         manifest: &PermissionSet,
     ) -> Result<(), ApiError> {
-        if self
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, _) = self.submit(Command::RegisterApp {
+                app,
+                name: name.to_owned(),
+                manifest: manifest.to_string(),
+            });
+            return outcome.into_ack();
+        }
+        let lint = self
             .lint_on_register
-            .load(std::sync::atomic::Ordering::SeqCst)
-        {
+            .load(std::sync::atomic::Ordering::SeqCst);
+        self.register_app_unjournaled(app, name, manifest, &manifest.to_string(), lint)
+    }
+
+    /// The registration body proper. `text` is the canonical manifest text
+    /// retained for snapshots; `lint` gates the registration-time lint
+    /// (recovery re-registers snapshot apps with `lint = false` — those
+    /// manifests were admitted before the crash).
+    fn register_app_unjournaled(
+        &self,
+        app: AppId,
+        name: &str,
+        manifest: &PermissionSet,
+        text: &str,
+        lint: bool,
+    ) -> Result<(), ApiError> {
+        if lint {
             self.lint_manifest(app, name, manifest)?;
         }
         let engine = PermissionEngine::compile(manifest);
@@ -294,6 +380,7 @@ impl Kernel {
             }
             reg.engines.insert(app, Arc::new(engine));
             reg.app_names.insert(app, name.to_owned());
+            reg.manifests.insert(app, text.to_owned());
         }
         self.bump_registry_epoch();
         Ok(())
@@ -311,10 +398,15 @@ impl Kernel {
     ) -> Result<(), ApiError> {
         use sdnshield_analysis::Severity;
         let diags = sdnshield_analysis::analyze_permission_set(manifest);
+        let replay = if self.replaying.load(Ordering::SeqCst) {
+            "replay:"
+        } else {
+            ""
+        };
         for d in &diags {
             self.audit.record_system_with(
                 app,
-                || format!("lint:{}", d.code),
+                || format!("{replay}lint:{}", d.code),
                 if d.severity >= Severity::Error {
                     AuditOutcome::Denied
                 } else {
@@ -351,12 +443,30 @@ impl Kernel {
     /// Executes one mediated call: permission check, execution, audit.
     /// Returns the response plus any events to dispatch.
     ///
+    /// With a journal attached the call is reified as a [`Command`] and
+    /// routed through [`Kernel::submit`] — applied and appended under the
+    /// commit lock. Journaling is unconditional, denials included: replay
+    /// re-derives the same denials, which is what keeps tracker epochs (a
+    /// count of tracker mutations) identical between a live kernel and its
+    /// recovered twin.
+    ///
     /// The check acquires no exclusive lock: it reads the engine out of the
     /// registry (shared lock, dropped immediately) and evaluates against a
     /// shared borrow of the ownership tracker. Execution then takes only
     /// the locks the specific call needs — a flow-mod on switch 3 contends
     /// with nothing but other traffic on switch 3.
     pub fn execute(&self, call: &ApiCall) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, events) = self.submit(Command::Call(call.clone()));
+            return (outcome.into_api(), events);
+        }
+        self.execute_unjournaled(call)
+    }
+
+    fn execute_unjournaled(
+        &self,
+        call: &ApiCall,
+    ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
         if self.checks_enabled {
             let Some(engine) = self.engine_for(call.app) else {
                 let err = ApiError::PermissionDenied {
@@ -367,7 +477,7 @@ impl Kernel {
             };
             let decision = engine.check(call, &*self.tracker_read());
             if let Decision::Denied { .. } = decision {
-                self.audit.record(
+                self.record_audit(
                     call.app,
                     call.kind.name(),
                     call.required_token(),
@@ -381,7 +491,7 @@ impl Kernel {
             .load(std::sync::atomic::Ordering::SeqCst)
             && matches!(call.kind, ApiCallKind::SendPacketOut { .. })
         {
-            self.audit.record(
+            self.record_audit(
                 call.app,
                 call.kind.name(),
                 call.required_token(),
@@ -390,7 +500,7 @@ impl Kernel {
             return (Ok(ApiResponse::Unit), Vec::new());
         }
         let (result, events) = self.apply(call);
-        self.audit.record(
+        self.record_audit(
             call.app,
             call.kind.name(),
             call.required_token(),
@@ -458,7 +568,7 @@ impl Kernel {
                 return None;
             }
             if let Decision::Denied { .. } = decision {
-                self.audit.record(
+                self.record_audit(
                     call.app,
                     call.kind.name(),
                     call.required_token(),
@@ -469,7 +579,7 @@ impl Kernel {
         }
         let (result, events) = self.apply(call);
         debug_assert!(events.is_empty(), "read-only apply arms emit no events");
-        self.audit.record(
+        self.record_audit(
             call.app,
             call.kind.name(),
             call.required_token(),
@@ -490,6 +600,13 @@ impl Kernel {
         app: AppId,
         ops: &[FlowOp],
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, events) = self.submit(Command::Transaction {
+                app,
+                ops: ops.to_vec(),
+            });
+            return (outcome.into_api(), events);
+        }
         self.run_atomic(app, ops, "transaction")
     }
 
@@ -504,6 +621,13 @@ impl Kernel {
         app: AppId,
         ops: &[FlowOp],
     ) -> (Result<ApiResponse, ApiError>, Vec<OutboundEvent>) {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, events) = self.submit(Command::Batch {
+                app,
+                ops: ops.to_vec(),
+            });
+            return (outcome.into_api(), events);
+        }
         self.run_atomic(app, ops, "batch")
     }
 
@@ -516,6 +640,21 @@ impl Kernel {
     /// engine fetch for the whole group. Returns the number actually sent
     /// plus derived events (packet-ins absorbed from the data-plane walk).
     pub fn execute_packet_outs(
+        &self,
+        app: AppId,
+        outs: &[(DatapathId, PacketOut)],
+    ) -> (Result<usize, ApiError>, Vec<OutboundEvent>) {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, events) = self.submit(Command::PacketOuts {
+                app,
+                outs: outs.to_vec(),
+            });
+            return (outcome.into_count(), events);
+        }
+        self.execute_packet_outs_unjournaled(app, outs)
+    }
+
+    fn execute_packet_outs_unjournaled(
         &self,
         app: AppId,
         outs: &[(DatapathId, PacketOut)],
@@ -552,7 +691,7 @@ impl Kernel {
             if let Some(engine) = engine.as_deref() {
                 let decision = engine.check(&call, &*self.tracker_read());
                 if let Decision::Denied { .. } = decision {
-                    self.audit.record(
+                    self.record_audit(
                         app,
                         call.kind.name(),
                         call.required_token(),
@@ -562,7 +701,7 @@ impl Kernel {
                 }
             }
             if absorb {
-                self.audit.record(
+                self.record_audit(
                     app,
                     call.kind.name(),
                     call.required_token(),
@@ -572,7 +711,7 @@ impl Kernel {
                 continue;
             }
             let (result, evs) = self.apply(&call);
-            self.audit.record(
+            self.record_audit(
                 app,
                 call.kind.name(),
                 call.required_token(),
@@ -652,7 +791,7 @@ impl Kernel {
                     for (j, removed) in applied.into_iter().rev() {
                         self.rollback(app, &ops[j], removed);
                     }
-                    self.audit.record(
+                    self.record_audit(
                         app,
                         audit_op,
                         PermissionToken::InsertFlow,
@@ -668,7 +807,7 @@ impl Kernel {
                 }
             }
         }
-        self.audit.record(
+        self.record_audit(
             app,
             audit_op,
             PermissionToken::InsertFlow,
@@ -680,6 +819,14 @@ impl Kernel {
     /// Injects a data-plane frame from a host NIC (the simulation driver),
     /// returning packet-in events for dispatch.
     pub fn inject_host_frame(&self, frame: EthernetFrame) -> Vec<OutboundEvent> {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (_, events) = self.submit(Command::InjectHostFrame { frame });
+            return events;
+        }
+        self.inject_host_frame_unjournaled(frame)
+    }
+
+    fn inject_host_frame_unjournaled(&self, frame: EthernetFrame) -> Vec<OutboundEvent> {
         match self.network.inject_from_host(frame) {
             Ok(deliveries) => self.absorb_deliveries(deliveries),
             Err(_) => Vec::new(),
@@ -698,6 +845,14 @@ impl Kernel {
     /// and produces a topology-changed event for subscribed apps. Returns
     /// `None` when no such link existed (no event is produced).
     pub fn fail_link(&self, a: DatapathId, b: DatapathId) -> Option<OutboundEvent> {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (_, events) = self.submit(Command::FailLink { a, b });
+            return events.into_iter().next();
+        }
+        self.fail_link_unjournaled(a, b)
+    }
+
+    fn fail_link_unjournaled(&self, a: DatapathId, b: DatapathId) -> Option<OutboundEvent> {
         if self.network.with_topology_mut(|t| t.remove_link(a, b)) {
             Some(OutboundEvent {
                 event: Event::TopologyChanged {
@@ -710,8 +865,18 @@ impl Kernel {
     }
 
     /// Advances the virtual clock, expiring flows and producing
-    /// flow-removed events.
+    /// flow-removed events. Time itself is a journaled command: flow expiry
+    /// is a deterministic function of clock position, so replaying the
+    /// clock replays the expiries.
     pub fn advance_clock(&self, secs: u64) -> Vec<OutboundEvent> {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (_, events) = self.submit(Command::AdvanceClock { secs });
+            return events;
+        }
+        self.advance_clock_unjournaled(secs)
+    }
+
+    fn advance_clock_unjournaled(&self, secs: u64) -> Vec<OutboundEvent> {
         let removed = self.network.advance_clock(secs);
         let mut events = Vec::new();
         if removed.is_empty() {
@@ -756,11 +921,20 @@ impl Kernel {
     /// (Registry, Subs, Host, then each switch in ascending dpid order, then
     /// Tracker), so reaping can never deadlock against concurrent deputies.
     pub fn deregister_app(&self, app: AppId) -> Vec<OutboundEvent> {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (_, events) = self.submit(Command::DeregisterApp { app });
+            return events;
+        }
+        self.deregister_app_unjournaled(app)
+    }
+
+    fn deregister_app_unjournaled(&self, app: AppId) -> Vec<OutboundEvent> {
         {
             let mut reg = self.reg_write();
             reg.engines.remove(&app);
             reg.app_names.remove(&app);
             reg.vtopos.remove(&app);
+            reg.manifests.remove(&app);
         }
         self.bump_registry_epoch();
         {
@@ -845,6 +1019,17 @@ impl Kernel {
     /// Subscribes an app to a custom topic (not permission-gated: topics are
     /// app-published data, mediated by the publishing app).
     pub fn subscribe_topic(&self, app: AppId, topic: &str) {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let _ = self.submit(Command::SubscribeTopic {
+                app,
+                topic: topic.to_owned(),
+            });
+            return;
+        }
+        self.subscribe_topic_unjournaled(app, topic);
+    }
+
+    fn subscribe_topic_unjournaled(&self, app: AppId, topic: &str) {
         let mut subs = self.subs_write();
         let subs = subs.custom.entry(topic.to_owned()).or_default();
         if !subs.contains(&app) {
@@ -872,6 +1057,19 @@ impl Kernel {
         if grants.is_empty() {
             return;
         }
+        if self.journal_attached.load(Ordering::Acquire) {
+            let _ = self.submit(Command::RecordPktIns {
+                grants: grants.to_vec(),
+            });
+            return;
+        }
+        self.record_pkt_ins_unjournaled(grants);
+    }
+
+    fn record_pkt_ins_unjournaled(&self, grants: &[(AppId, Bytes)]) {
+        if grants.is_empty() {
+            return;
+        }
         let mut tracker = self.tracker_write();
         for (app, payload) in grants {
             tracker.record_pkt_in(*app, payload);
@@ -892,7 +1090,9 @@ impl Kernel {
                 };
                 let mut pi = packet_in.clone();
                 if can_read {
-                    self.tracker_write().record_pkt_in(app, &pi.payload);
+                    // Routed through the journaled seam: the provenance
+                    // grant is a tracker mutation and must replay.
+                    self.record_pkt_ins(&[(app, pi.payload.clone())]);
                 } else {
                     pi.payload = Bytes::new();
                 }
@@ -928,6 +1128,18 @@ impl Kernel {
     /// destination against the app's `host_network` filter (so a filter
     /// narrowed after connect still applies).
     pub fn host_send(&self, app: AppId, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
+        if self.journal_attached.load(Ordering::Acquire) {
+            let (outcome, _) = self.submit(Command::HostSend {
+                app,
+                conn: conn.0,
+                data,
+            });
+            return outcome.into_ack();
+        }
+        self.host_send_unjournaled(app, conn, data)
+    }
+
+    fn host_send_unjournaled(&self, app: AppId, conn: ConnId, data: Bytes) -> Result<(), ApiError> {
         let dst = {
             let host = self.host_lock();
             let found = host
@@ -953,7 +1165,7 @@ impl Kernel {
             let synthetic = ApiCall::new(app, ApiCallKind::HostConnect { dst_ip, dst_port });
             let decision = engine.check(&synthetic, &*self.tracker_read());
             if let Decision::Denied { .. } = decision {
-                self.audit.record(
+                self.record_audit(
                     app,
                     "host_send",
                     PermissionToken::HostNetwork,
@@ -963,7 +1175,7 @@ impl Kernel {
             }
         }
         self.host_lock().send(app, conn, data);
-        self.audit.record(
+        self.record_audit(
             app,
             "host_send",
             PermissionToken::HostNetwork,
@@ -1001,6 +1213,354 @@ impl Kernel {
             .switch(dpid)
             .map(|s| s.table().len())
             .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // The deterministic command pipeline (DESIGN.md §12).
+    // ------------------------------------------------------------------
+
+    /// Attaches a command journal: every subsequent state-changing entry
+    /// point is reified as a [`Command`], applied and appended under the
+    /// commit lock. Attach AFTER any recovery replay has finished — replay
+    /// must never re-append the records it is consuming.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _commit = self.commit.lock();
+        let seq = journal
+            .last_seq()
+            .max(self.last_applied.load(Ordering::SeqCst));
+        self.last_applied.store(seq, Ordering::SeqCst);
+        *self.journal.lock() = Some(journal);
+        self.journal_attached.store(true, Ordering::Release);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal.lock().clone()
+    }
+
+    /// Sequence number of the last applied command (0 before any).
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied.load(Ordering::SeqCst)
+    }
+
+    /// Fences this kernel: every later [`Kernel::submit`] is refused with
+    /// [`ApiError::Shutdown`] instead of being applied. Locking and
+    /// unlocking the commit mutex makes seal a barrier — by the time it
+    /// returns, any in-flight submit has finished appending, so the journal
+    /// holds every command whose reply was acknowledged. This is how
+    /// failover fences the old primary before promoting the standby.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+        drop(self.commit.lock());
+    }
+
+    /// Has this kernel been sealed?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
+    }
+
+    /// The single mutation seam: applies `cmd` and appends it to the
+    /// attached journal, both under the commit lock, so journal order is
+    /// commit order and the appended `audit_seq_after` watermark is exact.
+    pub fn submit(&self, cmd: Command) -> (CommandOutcome, Vec<OutboundEvent>) {
+        let _commit = self.commit.lock();
+        if self.sealed.load(Ordering::SeqCst) {
+            return (CommandOutcome::sealed_for(&cmd), Vec::new());
+        }
+        let (outcome, events) = self.apply_command(&cmd);
+        let seq = self.last_applied.load(Ordering::SeqCst) + 1;
+        self.last_applied.store(seq, Ordering::SeqCst);
+        // Holding the slot lock across the append is safe: attach_journal
+        // is a rare configuration action, and append itself never calls
+        // back into the kernel.
+        if let Some(journal) = self.journal.lock().as_ref() {
+            journal.append(seq, self.audit.seen(), cmd);
+        }
+        (outcome, events)
+    }
+
+    /// Dispatches a command to its (unjournaled) handler. Pure function of
+    /// kernel state plus the command: no wall clock, no randomness — the
+    /// determinism the whole recovery story rests on.
+    fn apply_command(&self, cmd: &Command) -> (CommandOutcome, Vec<OutboundEvent>) {
+        match cmd {
+            Command::RegisterApp {
+                app,
+                name,
+                manifest,
+            } => {
+                let result = match sdnshield_core::lang::parse_manifest(manifest) {
+                    Ok(set) => {
+                        // Lint per the (snapshot-restored) runtime flag, so
+                        // replaying a lint-rejected registration re-derives
+                        // the same rejection.
+                        let lint = self
+                            .lint_on_register
+                            .load(std::sync::atomic::Ordering::SeqCst);
+                        self.register_app_unjournaled(*app, name, &set, manifest, lint)
+                    }
+                    Err(e) => Err(ApiError::ManifestRejected(e.to_string())),
+                };
+                (CommandOutcome::Ack(result), Vec::new())
+            }
+            Command::DeregisterApp { app } => {
+                let events = self.deregister_app_unjournaled(*app);
+                (CommandOutcome::Ack(Ok(())), events)
+            }
+            Command::Call(call) => {
+                let (result, events) = self.execute_unjournaled(call);
+                (CommandOutcome::Api(result), events)
+            }
+            Command::Transaction { app, ops } => {
+                let (result, events) = self.run_atomic(*app, ops, "transaction");
+                (CommandOutcome::Api(result), events)
+            }
+            Command::Batch { app, ops } => {
+                let (result, events) = self.run_atomic(*app, ops, "batch");
+                (CommandOutcome::Api(result), events)
+            }
+            Command::PacketOuts { app, outs } => {
+                let (result, events) = self.execute_packet_outs_unjournaled(*app, outs);
+                (CommandOutcome::Count(result), events)
+            }
+            Command::HostSend { app, conn, data } => {
+                let result = self.host_send_unjournaled(*app, ConnId(*conn), data.clone());
+                (CommandOutcome::Ack(result), Vec::new())
+            }
+            Command::SubscribeTopic { app, topic } => {
+                self.subscribe_topic_unjournaled(*app, topic);
+                (CommandOutcome::Ack(Ok(())), Vec::new())
+            }
+            Command::AdvanceClock { secs } => (
+                CommandOutcome::Ack(Ok(())),
+                self.advance_clock_unjournaled(*secs),
+            ),
+            Command::FailLink { a, b } => {
+                let ev = self.fail_link_unjournaled(*a, *b);
+                (CommandOutcome::Ack(Ok(())), ev.into_iter().collect())
+            }
+            Command::InjectHostFrame { frame } => (
+                CommandOutcome::Ack(Ok(())),
+                self.inject_host_frame_unjournaled(frame.clone()),
+            ),
+            Command::RecordPktIns { grants } => {
+                self.record_pkt_ins_unjournaled(grants);
+                (CommandOutcome::Ack(Ok(())), Vec::new())
+            }
+        }
+    }
+
+    /// Applies journal records in order, skipping any with `seq` at or
+    /// below [`Kernel::last_applied`] — idempotent replay keyed by command
+    /// sequence, so a record delivered twice (recovery then catch-up, say)
+    /// is applied exactly once. Audit records re-derived during replay are
+    /// tagged `replay:`. Returns how many records were applied.
+    pub fn replay_records(&self, records: &[JournalRecord]) -> usize {
+        let _commit = self.commit.lock();
+        self.replaying.store(true, Ordering::SeqCst);
+        let mut applied = 0;
+        for rec in records {
+            if rec.seq <= self.last_applied.load(Ordering::SeqCst) {
+                continue;
+            }
+            let _ = self.apply_command(&rec.cmd);
+            self.last_applied.store(rec.seq, Ordering::SeqCst);
+            applied += 1;
+        }
+        self.replaying.store(false, Ordering::SeqCst);
+        applied
+    }
+
+    /// Serializes the kernel's entire mutable state. Taken under the commit
+    /// lock, so the image is a consistent cut: no command is half-included.
+    /// The result doubles as the equivalence digest the differential
+    /// recovery tests compare ([`KernelSnapshot::state_eq`]).
+    pub fn snapshot(&self) -> KernelSnapshot {
+        let _commit = self.commit.lock();
+        // Subsystems are read strictly one at a time in hierarchy order —
+        // the commit lock already excludes writers, so sequential reads
+        // still form a consistent cut.
+        let apps = {
+            let reg = self.reg_read();
+            let mut apps: Vec<(AppId, String, String)> = reg
+                .app_names
+                .iter()
+                .map(|(id, name)| {
+                    (
+                        *id,
+                        name.clone(),
+                        reg.manifests.get(id).cloned().unwrap_or_default(),
+                    )
+                })
+                .collect();
+            apps.sort_by_key(|(id, _, _)| *id);
+            apps
+        };
+        let (subs_by_kind, subs_custom) = {
+            let subs = self.subs_read();
+            (
+                subs.by_kind
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect(),
+                subs.custom
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            )
+        };
+        let tracker = self.tracker_read().snapshot();
+        let (links, mut dpids) = {
+            let topo = self.network.topology();
+            let links: Vec<(DatapathId, DatapathId)> =
+                topo.link_ids().into_iter().map(|l| (l.0, l.1)).collect();
+            let dpids: Vec<DatapathId> = topo.switches().map(|s| s.dpid).collect();
+            (links, dpids)
+        };
+        dpids.sort_unstable();
+        let mut switches = Vec::with_capacity(dpids.len());
+        for dpid in dpids {
+            if let Some(sw) = self.network.switch(dpid) {
+                let stats = sw.table().table_stats();
+                switches.push(SwitchSnapshot {
+                    dpid,
+                    entries: sw.table().iter().cloned().collect(),
+                    lookup_count: stats.lookup_count,
+                    matched_count: stats.matched_count,
+                    port_stats: sw.port_stats().cloned().collect(),
+                });
+            }
+        }
+        let host = self.host_lock().snapshot();
+        let host_inbox = self
+            .host_inbox_lock()
+            .iter()
+            .map(|(mac, frames)| (*mac, frames.clone()))
+            .collect();
+        KernelSnapshot {
+            last_seq: self.last_applied.load(Ordering::SeqCst),
+            audit_seq: self.audit.seen(),
+            clock: self.network.now(),
+            checks_enabled: self.checks_enabled,
+            absorb_packet_outs: self
+                .absorb_packet_outs
+                .load(std::sync::atomic::Ordering::SeqCst),
+            lint_on_register: self
+                .lint_on_register
+                .load(std::sync::atomic::Ordering::SeqCst),
+            registry_epoch: self
+                .registry_epoch
+                .load(std::sync::atomic::Ordering::SeqCst),
+            apps,
+            subs_by_kind,
+            subs_custom,
+            tracker,
+            links,
+            switches,
+            host,
+            host_inbox,
+        }
+    }
+
+    /// Rebuilds a kernel from a snapshot, then replays the journal suffix
+    /// after it (`seq > snapshot.last_seq`) — the crash-recovery restart
+    /// path. `network` must be a FRESH simulation built from the same
+    /// topology blueprint the crashed kernel ran on (same switches, hosts,
+    /// table capacity); recovery prunes the links the snapshot recorded as
+    /// failed and overwrites per-switch state on top.
+    ///
+    /// The journal is NOT attached: replay must never re-append the records
+    /// it consumes. Attach it afterwards with [`Kernel::attach_journal`] if
+    /// the recovered kernel should keep journaling.
+    pub fn recover(network: Network, snapshot: &KernelSnapshot, journal: &Journal) -> Kernel {
+        let kernel = Kernel::new(network, snapshot.checks_enabled);
+        kernel.set_absorb_packet_outs(snapshot.absorb_packet_outs);
+        kernel.set_lint_on_register(snapshot.lint_on_register);
+        kernel.network.set_clock(snapshot.clock);
+        // Prune links that had already failed by snapshot time.
+        let fresh: Vec<(DatapathId, DatapathId)> = kernel
+            .network
+            .topology()
+            .link_ids()
+            .into_iter()
+            .map(|l| (l.0, l.1))
+            .collect();
+        for (a, b) in fresh {
+            let survived = snapshot
+                .links
+                .iter()
+                .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b));
+            if !survived {
+                kernel.network.with_topology_mut(|t| t.remove_link(a, b));
+            }
+        }
+        // Re-register apps from canonical manifest text, recompiling the
+        // identical engines. No lint: these manifests were admitted before
+        // the crash.
+        for (app, name, text) in &snapshot.apps {
+            if let Ok(set) = sdnshield_core::lang::parse_manifest(text) {
+                let _ = kernel.register_app_unjournaled(*app, name, &set, text, false);
+            }
+        }
+        kernel
+            .registry_epoch
+            .store(snapshot.registry_epoch, std::sync::atomic::Ordering::SeqCst);
+        {
+            let mut subs = kernel.subs_write();
+            subs.by_kind.clear();
+            for (kind, list) in &snapshot.subs_by_kind {
+                if let Some(k) = static_kind(kind) {
+                    subs.by_kind.insert(k, list.clone());
+                }
+            }
+            subs.custom.clear();
+            for (topic, list) in &snapshot.subs_custom {
+                subs.custom.insert(topic.clone(), list.clone());
+            }
+        }
+        *kernel.tracker_write() = OwnershipTracker::restore(&snapshot.tracker);
+        for sw in &snapshot.switches {
+            if let Some(mut s) = kernel.network.switch(sw.dpid) {
+                s.restore_state(
+                    sw.entries.clone(),
+                    sw.lookup_count,
+                    sw.matched_count,
+                    sw.port_stats.clone(),
+                );
+            }
+        }
+        *kernel.host_lock() = HostSystem::restore(&snapshot.host);
+        {
+            let mut inbox = kernel.host_inbox_lock();
+            inbox.clear();
+            for (mac, frames) in &snapshot.host_inbox {
+                inbox.insert(*mac, frames.clone());
+            }
+        }
+        // Seed audit numbering at the watermark of the last durable record
+        // (or the snapshot's, when the suffix is empty): replayed audit
+        // records extend the sequence from there under `replay:` tags, and
+        // pre-crash cursors resume without reading the renumbering as loss.
+        let suffix = journal.records_since(snapshot.last_seq);
+        let audit_watermark = suffix
+            .last()
+            .map_or(snapshot.audit_seq, |r| r.audit_seq_after);
+        kernel.audit.seed(audit_watermark);
+        kernel
+            .last_applied
+            .store(snapshot.last_seq, Ordering::SeqCst);
+        kernel.replay_records(&suffix);
+        kernel
+    }
+
+    /// Replays a recorded command trace onto a fresh kernel — the
+    /// record/replay debugging path: a trace captured from a crashed run
+    /// re-executes deterministically on the virtual clock as a
+    /// single-threaded unit test. Audit records carry `replay:` tags.
+    pub fn replay_trace(network: Network, checks_enabled: bool, trace: &[JournalRecord]) -> Kernel {
+        let kernel = Kernel::new(network, checks_enabled);
+        kernel.replay_records(trace);
+        kernel
     }
 
     /// Applies an already-authorized call.

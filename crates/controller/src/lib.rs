@@ -15,7 +15,10 @@
 //! (the simulated host OS that Class-2 attacks exfiltrate through),
 //! [`audit`] (forensic activity log), [`fault`] (the fault-injection harness
 //! driving the crash-containment tests), [`lockorder`] (debug-build
-//! assertions for the kernel's documented lock hierarchy).
+//! assertions for the kernel's documented lock hierarchy), [`command`] (the
+//! serializable command vocabulary and kernel snapshot format), [`journal`]
+//! (the durable CRC-framed command log behind crash recovery, record/replay
+//! debugging, and warm-standby failover — DESIGN.md §12).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,18 +26,25 @@
 pub mod api;
 pub mod app;
 pub mod audit;
+pub mod command;
 pub mod events;
 pub mod fault;
 pub mod hostsys;
 pub mod isolation;
+pub mod journal;
 pub mod kernel;
 pub mod lockorder;
 pub mod monolithic;
 
 pub use api::{ApiError, ApiResponse, FlowOp, TopologyView};
 pub use app::{App, AppCtx};
+pub use command::{Command, CommandOutcome, KernelSnapshot};
 pub use events::Event;
 pub use fault::FaultPlan;
-pub use isolation::{AppState, ControllerConfig, RegisterError, RestartPolicy, ShieldedController};
+pub use isolation::{
+    AppState, ControllerConfig, KernelCell, RegisterError, RestartPolicy, ShieldedController,
+    WarmStandby,
+};
+pub use journal::{Journal, JournalFaults, JournalRecord};
 pub use kernel::Kernel;
 pub use monolithic::MonolithicController;

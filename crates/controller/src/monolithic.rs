@@ -63,8 +63,8 @@ impl MonolithicController {
     }
 
     /// The kernel, for inspection.
-    pub fn kernel(&self) -> &Kernel {
-        &self.kernel
+    pub fn kernel(&self) -> Arc<Kernel> {
+        Arc::clone(&self.kernel)
     }
 
     /// Registers an app. The manifest is recorded for parity with the

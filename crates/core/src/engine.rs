@@ -868,6 +868,90 @@ impl OwnershipTracker {
             .map(|rules| rules.iter().filter(|r| r.app == app).count() as u32)
             .unwrap_or(0)
     }
+
+    /// Captures the full tracker state in a plain-data form a durability
+    /// layer can serialize and later hand back to
+    /// [`OwnershipTracker::restore`]. Rule records keep their in-vector
+    /// order (ownership replacement scans depend on it); packet-in windows
+    /// are sorted by app so two snapshots of identical state compare equal.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        let rules = self
+            .rules
+            .iter()
+            .map(|(dpid, records)| {
+                (
+                    *dpid,
+                    records
+                        .iter()
+                        .map(|r| (r.app, r.flow_match.clone(), r.priority))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut pkt_in_seen: Vec<(AppId, Vec<u64>)> = self
+            .pkt_in_seen
+            .iter()
+            .map(|(app, seen)| (*app, seen.iter().copied().collect()))
+            .collect();
+        pkt_in_seen.sort_by_key(|(app, _)| *app);
+        TrackerSnapshot {
+            epoch: self.epoch,
+            pkt_in_window: self.pkt_in_window,
+            rules,
+            pkt_in_seen,
+        }
+    }
+
+    /// Rebuilds a tracker from a snapshot, restoring the epoch exactly so
+    /// decision caches keyed on it behave identically after recovery.
+    pub fn restore(snapshot: &TrackerSnapshot) -> Self {
+        OwnershipTracker {
+            rules: snapshot
+                .rules
+                .iter()
+                .map(|(dpid, records)| {
+                    (
+                        *dpid,
+                        records
+                            .iter()
+                            .map(|(app, flow_match, priority)| RuleRecord {
+                                app: *app,
+                                flow_match: flow_match.clone(),
+                                priority: *priority,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            pkt_in_seen: snapshot
+                .pkt_in_seen
+                .iter()
+                .map(|(app, seen)| (*app, seen.iter().copied().collect()))
+                .collect(),
+            pkt_in_window: snapshot.pkt_in_window,
+            epoch: snapshot.epoch,
+        }
+    }
+}
+
+/// One switch's tracker-recorded rules: `(owner, match, priority)` per
+/// entry, in tracker order.
+pub type TrackedRules = Vec<(AppId, FlowMatch, Priority)>;
+
+/// Serializable image of an [`OwnershipTracker`] (see
+/// [`OwnershipTracker::snapshot`]). Doubles as an equivalence digest: two
+/// trackers with equal snapshots are observationally identical to every
+/// stateful filter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrackerSnapshot {
+    /// The context epoch at capture time.
+    pub epoch: u64,
+    /// Packet-in window size.
+    pub pkt_in_window: usize,
+    /// Per-switch rule records in tracker order.
+    pub rules: Vec<(DatapathId, TrackedRules)>,
+    /// Per-app packet-in payload hashes, oldest first, sorted by app.
+    pub pkt_in_seen: Vec<(AppId, Vec<u64>)>,
 }
 
 fn hash_payload(payload: &Bytes) -> u64 {

@@ -140,6 +140,14 @@ impl Network {
         self.clock.load(Ordering::SeqCst)
     }
 
+    /// Sets the virtual clock directly without expiring anything — recovery
+    /// support for restoring a snapshotted network to its recorded time. The
+    /// expiry side effects of the skipped interval are assumed to be carried
+    /// by the snapshot itself.
+    pub fn set_clock(&self, now: u64) {
+        self.clock.store(now, Ordering::SeqCst);
+    }
+
     /// Advances the virtual clock and expires timed-out entries everywhere.
     /// Switches are visited one at a time (ascending dpid), so concurrent
     /// flow-mods on other switches proceed unhindered.

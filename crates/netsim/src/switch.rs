@@ -49,6 +49,26 @@ impl SimSwitch {
         &self.table
     }
 
+    /// Per-port counters in ascending port order (snapshot support).
+    pub fn port_stats(&self) -> impl Iterator<Item = &PortStats> {
+        self.port_stats.values()
+    }
+
+    /// Replaces the switch's mutable state from a snapshot: flow entries in
+    /// [`FlowTable::iter`] order, the table-level lookup counters, and the
+    /// per-port counters. The table capacity is preserved.
+    pub fn restore_state(
+        &mut self,
+        entries: Vec<sdnshield_openflow::flow_table::FlowEntry>,
+        lookup_count: u64,
+        matched_count: u64,
+        port_stats: Vec<PortStats>,
+    ) {
+        self.table =
+            FlowTable::restore(self.table.capacity(), entries, lookup_count, matched_count);
+        self.port_stats = port_stats.into_iter().map(|p| (p.port_no, p)).collect();
+    }
+
     /// Applies a flow-mod at virtual time `now`.
     ///
     /// # Errors

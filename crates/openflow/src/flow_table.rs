@@ -402,6 +402,27 @@ impl FlowTable {
     pub fn count_owned_by(&self, owner: u16) -> usize {
         self.iter().filter(|e| e.cookie.owner() == owner).count()
     }
+
+    /// Rebuilds a table from a snapshot: entries in [`FlowTable::iter`]
+    /// order plus the table-level counters. Inserting in the given order
+    /// reconstructs the per-priority insertion order exactly, so the
+    /// restored table iterates (and therefore matches ties) identically to
+    /// the one snapshotted. Entries beyond `capacity` are discarded — a
+    /// well-formed snapshot never carries more than its own capacity.
+    pub fn restore(
+        capacity: usize,
+        entries: Vec<FlowEntry>,
+        lookup_count: u64,
+        matched_count: u64,
+    ) -> Self {
+        let mut table = FlowTable::new(capacity);
+        for entry in entries.into_iter().take(capacity) {
+            table.insert_entry(entry);
+        }
+        table.lookup_count = lookup_count;
+        table.matched_count = matched_count;
+        table
+    }
 }
 
 impl fmt::Display for FlowTable {

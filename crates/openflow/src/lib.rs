@@ -15,6 +15,8 @@
 //! * [`flow_table`] — switch-side tables with flow-mod semantics, timeouts
 //!   and counters.
 //! * [`wire`] — a self-consistent binary codec for the message set.
+//! * [`snapshot`] — composable `put_*`/`get_*` codecs for embedding protocol
+//!   values in durability formats (command journals, kernel snapshots).
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ pub mod flow_match;
 pub mod flow_table;
 pub mod messages;
 pub mod packet;
+pub mod snapshot;
 pub mod types;
 pub mod wire;
 

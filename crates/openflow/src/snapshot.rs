@@ -1,0 +1,392 @@
+//! Snapshot-grade binary encoding of protocol values.
+//!
+//! The controller's durability layer (its command journal and kernel
+//! snapshots) needs to persist OpenFlow values — matches, actions, flow-mods,
+//! whole flow-table entries — and read them back bit-exactly. This module
+//! exposes the same self-consistent codec the [`crate::wire`] frame encoder
+//! uses internally, but as composable `put_*`/`get_*` pairs over raw buffers
+//! instead of framed control-channel messages, so callers can embed protocol
+//! values inside their own record formats.
+//!
+//! Round-trip fidelity (`get(put(v)) == v`) is the contract, shared with the
+//! wire codec and enforced by the tests below.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::actions::ActionList;
+use crate::flow_match::FlowMatch;
+use crate::flow_table::FlowEntry;
+use crate::messages::{FlowMod, FlowModCommand, PacketOut, PortStats, StatsRequest};
+use crate::types::{BufferId, Cookie, PortNo, Priority};
+use crate::wire::{self, WireError};
+
+/// Appends a length-prefixed UTF-8 string (u16 length).
+pub fn put_string(s: &str, out: &mut BytesMut) {
+    wire::put_string(s, out);
+}
+
+/// Reads a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or invalid UTF-8.
+pub fn get_string(b: &mut Bytes) -> Result<String, WireError> {
+    wire::get_string(b)
+}
+
+/// Appends a length-prefixed byte blob (u32 length).
+pub fn put_bytes(data: &[u8], out: &mut BytesMut) {
+    out.put_u32(data.len() as u32);
+    out.put_slice(data);
+}
+
+/// Reads a length-prefixed byte blob.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation.
+pub fn get_bytes(b: &mut Bytes) -> Result<Bytes, WireError> {
+    wire::get_bytes(b)
+}
+
+/// Appends a boolean as one byte.
+pub fn put_bool(v: bool, out: &mut BytesMut) {
+    out.put_u8(v as u8);
+}
+
+/// Reads a one-byte boolean.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation.
+pub fn get_bool(b: &mut Bytes) -> Result<bool, WireError> {
+    wire::need(b, 1)?;
+    Ok(b.get_u8() != 0)
+}
+
+/// Appends a flow match (presence bitmap + present fields).
+pub fn put_flow_match(m: &FlowMatch, out: &mut BytesMut) {
+    wire::encode_match(m, out);
+}
+
+/// Reads a flow match.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation.
+pub fn get_flow_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
+    wire::decode_match(b)
+}
+
+/// Appends an action list (u16 count + tagged actions).
+pub fn put_actions(actions: &ActionList, out: &mut BytesMut) {
+    wire::encode_actions(actions, out);
+}
+
+/// Reads an action list.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or unknown action tags.
+pub fn get_actions(b: &mut Bytes) -> Result<ActionList, WireError> {
+    wire::decode_actions(b)
+}
+
+fn put_flow_mod_command(c: FlowModCommand, out: &mut BytesMut) {
+    out.put_u8(match c {
+        FlowModCommand::Add => 0,
+        FlowModCommand::Modify => 1,
+        FlowModCommand::ModifyStrict => 2,
+        FlowModCommand::Delete => 3,
+        FlowModCommand::DeleteStrict => 4,
+    });
+}
+
+fn get_flow_mod_command(b: &mut Bytes) -> Result<FlowModCommand, WireError> {
+    wire::need(b, 1)?;
+    Ok(match b.get_u8() {
+        0 => FlowModCommand::Add,
+        1 => FlowModCommand::Modify,
+        2 => FlowModCommand::ModifyStrict,
+        3 => FlowModCommand::Delete,
+        4 => FlowModCommand::DeleteStrict,
+        _ => return Err(WireError::new("bad flow-mod command")),
+    })
+}
+
+/// Appends a flow-mod (same field order as the wire codec's FLOW_MOD body).
+pub fn put_flow_mod(fm: &FlowMod, out: &mut BytesMut) {
+    put_flow_mod_command(fm.command, out);
+    put_flow_match(&fm.flow_match, out);
+    out.put_u16(fm.priority.0);
+    put_actions(&fm.actions, out);
+    out.put_u64(fm.cookie.0);
+    out.put_u16(fm.idle_timeout);
+    out.put_u16(fm.hard_timeout);
+    put_bool(fm.notify_when_removed, out);
+}
+
+/// Reads a flow-mod.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or bad tags.
+pub fn get_flow_mod(b: &mut Bytes) -> Result<FlowMod, WireError> {
+    let command = get_flow_mod_command(b)?;
+    let flow_match = get_flow_match(b)?;
+    wire::need(b, 2)?;
+    let priority = Priority(b.get_u16());
+    let actions = get_actions(b)?;
+    wire::need(b, 12)?;
+    let cookie = Cookie(b.get_u64());
+    let idle_timeout = b.get_u16();
+    let hard_timeout = b.get_u16();
+    let notify_when_removed = get_bool(b)?;
+    Ok(FlowMod {
+        command,
+        flow_match,
+        priority,
+        actions,
+        cookie,
+        idle_timeout,
+        hard_timeout,
+        notify_when_removed,
+    })
+}
+
+/// Appends a packet-out.
+pub fn put_packet_out(po: &PacketOut, out: &mut BytesMut) {
+    out.put_u32(po.buffer_id.0);
+    out.put_u16(po.in_port.0);
+    put_actions(&po.actions, out);
+    put_bytes(&po.payload, out);
+}
+
+/// Reads a packet-out.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or bad tags.
+pub fn get_packet_out(b: &mut Bytes) -> Result<PacketOut, WireError> {
+    wire::need(b, 6)?;
+    let buffer_id = BufferId(b.get_u32());
+    let in_port = PortNo(b.get_u16());
+    let actions = get_actions(b)?;
+    let payload = get_bytes(b)?;
+    Ok(PacketOut {
+        buffer_id,
+        in_port,
+        actions,
+        payload,
+    })
+}
+
+/// Appends a stats request.
+pub fn put_stats_request(req: &StatsRequest, out: &mut BytesMut) {
+    match req {
+        StatsRequest::Flow(m) => {
+            out.put_u8(0);
+            put_flow_match(m, out);
+        }
+        StatsRequest::Aggregate(m) => {
+            out.put_u8(1);
+            put_flow_match(m, out);
+        }
+        StatsRequest::Port(p) => {
+            out.put_u8(2);
+            out.put_u16(p.0);
+        }
+        StatsRequest::Table => out.put_u8(3),
+    }
+}
+
+/// Reads a stats request.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or unknown kinds.
+pub fn get_stats_request(b: &mut Bytes) -> Result<StatsRequest, WireError> {
+    wire::need(b, 1)?;
+    Ok(match b.get_u8() {
+        0 => StatsRequest::Flow(get_flow_match(b)?),
+        1 => StatsRequest::Aggregate(get_flow_match(b)?),
+        2 => {
+            wire::need(b, 2)?;
+            StatsRequest::Port(PortNo(b.get_u16()))
+        }
+        3 => StatsRequest::Table,
+        _ => return Err(WireError::new("bad stats-request kind")),
+    })
+}
+
+/// Appends a full flow-table entry, counters and timestamps included — the
+/// restore-exact form a flow-table snapshot needs (unlike `FlowStats`, which
+/// is a read-API projection).
+pub fn put_flow_entry(e: &FlowEntry, out: &mut BytesMut) {
+    put_flow_match(&e.flow_match, out);
+    out.put_u16(e.priority.0);
+    put_actions(&e.actions, out);
+    out.put_u64(e.cookie.0);
+    out.put_u16(e.idle_timeout);
+    out.put_u16(e.hard_timeout);
+    put_bool(e.notify_when_removed, out);
+    out.put_u64(e.installed_at);
+    out.put_u64(e.last_hit_at);
+    out.put_u64(e.packet_count);
+    out.put_u64(e.byte_count);
+}
+
+/// Reads a full flow-table entry.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or bad tags.
+pub fn get_flow_entry(b: &mut Bytes) -> Result<FlowEntry, WireError> {
+    let flow_match = get_flow_match(b)?;
+    wire::need(b, 2)?;
+    let priority = Priority(b.get_u16());
+    let actions = get_actions(b)?;
+    wire::need(b, 45)?;
+    Ok(FlowEntry {
+        flow_match,
+        priority,
+        actions,
+        cookie: Cookie(b.get_u64()),
+        idle_timeout: b.get_u16(),
+        hard_timeout: b.get_u16(),
+        notify_when_removed: b.get_u8() != 0,
+        installed_at: b.get_u64(),
+        last_hit_at: b.get_u64(),
+        packet_count: b.get_u64(),
+        byte_count: b.get_u64(),
+    })
+}
+
+/// Appends per-port counters.
+pub fn put_port_stats(p: &PortStats, out: &mut BytesMut) {
+    out.put_u16(p.port_no.0);
+    out.put_u64(p.rx_packets);
+    out.put_u64(p.tx_packets);
+    out.put_u64(p.rx_bytes);
+    out.put_u64(p.tx_bytes);
+    out.put_u64(p.rx_dropped);
+    out.put_u64(p.tx_dropped);
+}
+
+/// Reads per-port counters.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation.
+pub fn get_port_stats(b: &mut Bytes) -> Result<PortStats, WireError> {
+    wire::need(b, 50)?;
+    Ok(PortStats {
+        port_no: PortNo(b.get_u16()),
+        rx_packets: b.get_u64(),
+        tx_packets: b.get_u64(),
+        rx_bytes: b.get_u64(),
+        tx_bytes: b.get_u64(),
+        rx_dropped: b.get_u64(),
+        tx_dropped: b.get_u64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Action;
+    use crate::types::{EthAddr, Ipv4};
+
+    #[test]
+    fn flow_mod_roundtrip() {
+        let fm = FlowMod::add(
+            FlowMatch::default()
+                .with_in_port(PortNo(4))
+                .with_eth_src(EthAddr::from_u64(0xa))
+                .with_ip_dst_prefix(Ipv4::new(10, 13, 0, 0), 16)
+                .with_tp_dst(80),
+            Priority(777),
+            ActionList(vec![
+                Action::SetIpDst(Ipv4::new(1, 2, 3, 4)),
+                Action::Output(PortNo::FLOOD),
+            ]),
+        )
+        .with_cookie(Cookie::with_owner(12, 99))
+        .with_idle_timeout(30)
+        .with_hard_timeout(300);
+        let mut out = BytesMut::new();
+        put_flow_mod(&fm, &mut out);
+        let mut b = out.freeze();
+        assert_eq!(get_flow_mod(&mut b).unwrap(), fm);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flow_entry_roundtrip_preserves_counters() {
+        let entry = FlowEntry {
+            flow_match: FlowMatch::default().with_tp_dst(443),
+            priority: Priority(9),
+            actions: ActionList::output(PortNo(2)),
+            cookie: Cookie::with_owner(3, 7),
+            idle_timeout: 10,
+            hard_timeout: 60,
+            notify_when_removed: true,
+            installed_at: 5,
+            last_hit_at: 17,
+            packet_count: 42,
+            byte_count: 4200,
+        };
+        let mut out = BytesMut::new();
+        put_flow_entry(&entry, &mut out);
+        let mut b = out.freeze();
+        assert_eq!(get_flow_entry(&mut b).unwrap(), entry);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn packet_out_and_stats_request_roundtrip() {
+        let po = PacketOut {
+            buffer_id: BufferId::NO_BUFFER,
+            in_port: PortNo::NONE,
+            actions: ActionList::output(PortNo(9)),
+            payload: Bytes::from_static(b"payload"),
+        };
+        let mut out = BytesMut::new();
+        put_packet_out(&po, &mut out);
+        assert_eq!(get_packet_out(&mut out.freeze()).unwrap(), po);
+
+        for req in [
+            StatsRequest::Flow(FlowMatch::default().with_tp_dst(80)),
+            StatsRequest::Aggregate(FlowMatch::any()),
+            StatsRequest::Port(PortNo(3)),
+            StatsRequest::Table,
+        ] {
+            let mut out = BytesMut::new();
+            put_stats_request(&req, &mut out);
+            assert_eq!(get_stats_request(&mut out.freeze()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut out = BytesMut::new();
+        put_string("hello", &mut out);
+        put_bytes(b"blob", &mut out);
+        put_bool(true, &mut out);
+        put_bool(false, &mut out);
+        let mut b = out.freeze();
+        assert_eq!(get_string(&mut b).unwrap(), "hello");
+        assert_eq!(get_bytes(&mut b).unwrap().as_ref(), b"blob");
+        assert!(get_bool(&mut b).unwrap());
+        assert!(!get_bool(&mut b).unwrap());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut b = Bytes::from_static(b"\x00\x05he");
+        assert!(get_string(&mut b).is_err());
+        let mut b = Bytes::from_static(b"\x00");
+        assert!(get_flow_mod(&mut b).is_err());
+    }
+}

@@ -25,7 +25,7 @@ pub struct WireError {
 }
 
 impl WireError {
-    fn new(reason: &'static str) -> Self {
+    pub(crate) fn new(reason: &'static str) -> Self {
         WireError { reason }
     }
 }
@@ -462,7 +462,7 @@ fn decode_body(ty: u8, b: &mut Bytes) -> Result<OfBody, WireError> {
     })
 }
 
-fn need(b: &Bytes, n: usize) -> Result<(), WireError> {
+pub(crate) fn need(b: &Bytes, n: usize) -> Result<(), WireError> {
     if b.len() < n {
         Err(WireError::new("truncated body"))
     } else {
@@ -470,12 +470,12 @@ fn need(b: &Bytes, n: usize) -> Result<(), WireError> {
     }
 }
 
-fn put_string(s: &str, out: &mut BytesMut) {
+pub(crate) fn put_string(s: &str, out: &mut BytesMut) {
     out.put_u16(s.len() as u16);
     out.put_slice(s.as_bytes());
 }
 
-fn get_string(b: &mut Bytes) -> Result<String, WireError> {
+pub(crate) fn get_string(b: &mut Bytes) -> Result<String, WireError> {
     need(b, 2)?;
     let n = b.get_u16() as usize;
     need(b, n)?;
@@ -483,7 +483,7 @@ fn get_string(b: &mut Bytes) -> Result<String, WireError> {
     String::from_utf8(raw.to_vec()).map_err(|_| WireError::new("invalid utf-8 string"))
 }
 
-fn get_bytes(b: &mut Bytes) -> Result<Bytes, WireError> {
+pub(crate) fn get_bytes(b: &mut Bytes) -> Result<Bytes, WireError> {
     need(b, 4)?;
     let n = b.get_u32() as usize;
     need(b, n)?;
@@ -506,7 +506,7 @@ mod match_bits {
     pub const TP_DST: u16 = 1 << 11;
 }
 
-fn encode_match(m: &FlowMatch, out: &mut BytesMut) {
+pub(crate) fn encode_match(m: &FlowMatch, out: &mut BytesMut) {
     use match_bits::*;
     let mut bits = 0u16;
     if m.in_port.is_some() {
@@ -586,7 +586,7 @@ fn encode_match(m: &FlowMatch, out: &mut BytesMut) {
     }
 }
 
-fn decode_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
+pub(crate) fn decode_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
     use match_bits::*;
     need(b, 2)?;
     let bits = b.get_u16();
@@ -650,7 +650,7 @@ fn decode_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
     Ok(m)
 }
 
-fn encode_actions(actions: &ActionList, out: &mut BytesMut) {
+pub(crate) fn encode_actions(actions: &ActionList, out: &mut BytesMut) {
     out.put_u16(actions.0.len() as u16);
     for a in actions {
         match a {
@@ -698,7 +698,7 @@ fn encode_actions(actions: &ActionList, out: &mut BytesMut) {
     }
 }
 
-fn decode_actions(b: &mut Bytes) -> Result<ActionList, WireError> {
+pub(crate) fn decode_actions(b: &mut Bytes) -> Result<ActionList, WireError> {
     need(b, 2)?;
     let n = b.get_u16() as usize;
     let mut list = Vec::with_capacity(n);

@@ -76,7 +76,7 @@ fn l2_learning_converges_identically() {
         for f in stimuli() {
             c.inject_host_frame(f);
         }
-        table_fingerprint(c.kernel(), 3)
+        table_fingerprint(&c.kernel(), 3)
     };
     let shielded = {
         let c = ShieldedController::new(Network::new(builders::linear(3), 4096), 4);
@@ -89,7 +89,7 @@ fn l2_learning_converges_identically() {
             c.inject_host_frame(f);
             c.quiesce();
         }
-        let fp = table_fingerprint(c.kernel(), 3);
+        let fp = table_fingerprint(&c.kernel(), 3);
         c.shutdown();
         fp
     };
@@ -117,7 +117,7 @@ fn routing_app_converges_identically() {
         c.register(Box::new(app), &parse_manifest(ROUTING_MANIFEST).unwrap());
         c.inject_host_frame(tcp(1, 4));
         c.inject_host_frame(tcp(4, 1));
-        table_fingerprint(c.kernel(), 4)
+        table_fingerprint(&c.kernel(), 4)
     };
     let shielded = {
         let c = ShieldedController::new(Network::new(builders::linear(4), 4096), 4);
@@ -128,7 +128,7 @@ fn routing_app_converges_identically() {
         c.quiesce();
         c.inject_host_frame(tcp(4, 1));
         c.quiesce();
-        let fp = table_fingerprint(c.kernel(), 4);
+        let fp = table_fingerprint(&c.kernel(), 4);
         c.shutdown();
         fp
     };
