@@ -57,13 +57,22 @@ fn to_json(results: &[(Workload, Vec<(usize, f64)>)], calls_per_deputy: usize) -
         let _ = writeln!(s, "    }}{comma}");
     }
     s.push_str("  },\n");
-    let speedup = speedup_mixed_4_vs_1(results);
-    let _ = writeln!(s, "  \"speedup_mixed_4_vs_1\": {speedup:.2}");
+    let _ = writeln!(
+        s,
+        "  \"mixed_read_fraction\": {:.3},",
+        Workload::Mixed.read_fraction()
+    );
+    let _ = writeln!(s, "  \"mixed_op_mix\": \"{}\",", Workload::Mixed.mix());
+    let speedup4 = speedup_mixed(results, 4);
+    let speedup8 = speedup_mixed(results, 8);
+    let _ = writeln!(s, "  \"speedup_mixed_4_vs_1\": {speedup4:.2},");
+    let _ = writeln!(s, "  \"speedup_mixed_8_vs_1\": {speedup8:.2}");
     s.push_str("}\n");
     s
 }
 
-fn speedup_mixed_4_vs_1(results: &[(Workload, Vec<(usize, f64)>)]) -> f64 {
+/// Mixed-workload throughput ratio of `deputies` deputies over one.
+fn speedup_mixed(results: &[(Workload, Vec<(usize, f64)>)], deputies: usize) -> f64 {
     let mixed = results
         .iter()
         .find(|(w, _)| *w == Workload::Mixed)
@@ -76,7 +85,7 @@ fn speedup_mixed_4_vs_1(results: &[(Workload, Vec<(usize, f64)>)]) -> f64 {
             .map(|(_, cps)| *cps)
             .expect("deputy count measured")
     };
-    at(4) / at(1)
+    at(deputies) / at(1)
 }
 
 fn main() {
@@ -105,13 +114,17 @@ fn main() {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let speedup = speedup_mixed_4_vs_1(&results);
+    let speedup4 = speedup_mixed(&results, 4);
+    let speedup8 = speedup_mixed(&results, 8);
     println!("\nhost parallelism: {parallelism} hardware threads");
-    println!("mixed-workload speedup 4 vs 1 deputies: {speedup:.2}x");
+    println!("mixed-workload mix: {}", Workload::Mixed.mix());
+    println!("mixed-workload speedup 4 vs 1 deputies: {speedup4:.2}x");
+    println!("mixed-workload speedup 8 vs 1 deputies: {speedup8:.2}x");
     if parallelism < 4 {
         println!(
             "note: scaling cannot materialize below 4 hardware threads; the\n\
-             tier-2 test `four_deputies_beat_one_by_1_5x` asserts the >=1.5x\n\
+             tier-2 tests `four_deputies_beat_one_by_1_5x` and\n\
+             `mixed_workload_scales_1p5x_at_4_deputies` assert the >=1.5x\n\
              bar on capable hosts (cargo test -- --ignored)."
         );
     }

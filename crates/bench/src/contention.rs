@@ -46,6 +46,25 @@ impl Workload {
             Workload::Mixed => "mixed",
         }
     }
+
+    /// Fraction of calls that are reads (flow-table or statistics).
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Workload::Disjoint => 0.0,
+            // 2 flow-table reads + 1 stats read per 8 calls.
+            Workload::Mixed => 3.0 / 8.0,
+        }
+    }
+
+    /// The op mix, human-readable, as issued by [`ContentionHarness`].
+    pub fn mix(self) -> &'static str {
+        match self {
+            Workload::Disjoint => "8 insert_flow per 8 calls",
+            Workload::Mixed => {
+                "4 insert_flow / 2 read_flow_table / 1 read_statistics / 1 delete_strict per 8 calls"
+            }
+        }
+    }
 }
 
 /// A kernel plus per-deputy registered apps, reusable across measurement

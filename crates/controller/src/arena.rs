@@ -1,0 +1,99 @@
+//! Burst-scoped buffer reuse for the delivery hot paths (DESIGN.md §13).
+//!
+//! The vectored event dispatcher allocates one `Vec<Arc<Event>>` per
+//! receiving app per batch, the deputies one request deque per burst, the
+//! app threads one event batch per wake-up. Every one of these buffers is
+//! small (bounded by the batch caps), lives exactly as long as the burst
+//! that allocated it, and is then thrown away — the textbook arena shape.
+//!
+//! This module keeps the per-thread buffers alive between bursts instead:
+//! [`lease_event_batch`] hands out an empty `Vec` with whatever capacity
+//! its previous life grew, and [`recycle_event_batch`] clears it (dropping
+//! the `Arc`s, not the allocation) and parks it in a thread-local pool.
+//! The pool is bounded, so a burst that fans out to an unusual number of
+//! apps does not pin that high-water mark forever. Buffers whose lifetime
+//! is naturally confined to one loop (the deputy's burst deque, the app
+//! thread's batch) are simply hoisted out of the loop by their owners and
+//! reset per burst — same effect, no pool needed.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::events::Event;
+
+/// Buffers retained per thread; leases beyond this allocate fresh and the
+/// excess is dropped on recycle.
+const POOL_MAX: usize = 32;
+
+struct Pool<T: 'static> {
+    free: RefCell<Vec<Vec<T>>>,
+}
+
+impl<T> Pool<T> {
+    const fn new() -> Self {
+        Pool {
+            free: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn lease(&self) -> Vec<T> {
+        self.free.borrow_mut().pop().unwrap_or_default()
+    }
+
+    fn recycle(&self, mut buf: Vec<T>) {
+        buf.clear();
+        let mut free = self.free.borrow_mut();
+        if free.len() < POOL_MAX {
+            free.push(buf);
+        }
+    }
+}
+
+thread_local! {
+    static EVENT_BATCHES: Pool<Arc<Event>> = const { Pool::new() };
+}
+
+/// Leases an empty per-app event batch from this thread's pool.
+pub(crate) fn lease_event_batch() -> Vec<Arc<Event>> {
+    EVENT_BATCHES.with(|p| p.lease())
+}
+
+/// Clears `buf` and returns it to this thread's pool for the next burst.
+pub(crate) fn recycle_event_batch(buf: Vec<Arc<Event>>) {
+    EVENT_BATCHES.with(|p| p.recycle(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_capacity_is_reused() {
+        let mut batch = lease_event_batch();
+        for _ in 0..100 {
+            batch.push(Arc::new(Event::TopologyChanged {
+                description: "x".into(),
+            }));
+        }
+        let grown = batch.capacity();
+        recycle_event_batch(batch);
+        let again = lease_event_batch();
+        assert!(again.is_empty());
+        assert!(
+            again.capacity() >= grown,
+            "lease must hand back the grown allocation"
+        );
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        // Recycle far more buffers than the pool retains; nothing panics
+        // and later leases still work.
+        let batches: Vec<_> = (0..POOL_MAX * 2).map(|_| lease_event_batch()).collect();
+        for b in batches {
+            recycle_event_batch(b);
+        }
+        let b = lease_event_batch();
+        assert!(b.is_empty());
+    }
+}

@@ -57,6 +57,7 @@ use sdnshield_openflow::types::DatapathId;
 
 use crate::api::{ApiError, DeputyRequest};
 use crate::app::{App, AppCtx, CallRoute, FastLane};
+use crate::arena;
 use crate::command::KernelSnapshot;
 use crate::events::Event;
 use crate::fault::{DeputyFault, FaultPlan, FaultRegistry};
@@ -147,14 +148,18 @@ impl AppQueue {
     /// Enqueues a whole batch under one lock acquisition and wakes the app
     /// thread once — the vectored-delivery counterpart of
     /// [`AppQueue::push_event`]. The shed-oldest policy applies per slot.
-    fn push_batch(&self, batch: Vec<Arc<Event>>) -> BatchPushOutcome {
+    ///
+    /// Drains `batch` rather than consuming it, so the caller can recycle
+    /// the buffer through the [`crate::arena`] pool.
+    fn push_batch(&self, batch: &mut Vec<Arc<Event>>) -> BatchPushOutcome {
         let mut out = BatchPushOutcome::default();
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.closed || inner.stop {
             out.refused = batch.len();
+            batch.clear();
             return out;
         }
-        for event in batch {
+        for event in batch.drain(..) {
             if inner.queue.len() >= self.capacity {
                 if let Some((_, old_ack)) = inner.queue.pop_front() {
                     out.shed_acks.push(old_ack);
@@ -172,18 +177,22 @@ impl AppQueue {
         self.readable.notify_all();
     }
 
-    /// Blocks for the next burst of messages: drains up to `max` queued
-    /// events in one lock acquisition. Returns `(batch, stop)`; `stop` is
-    /// reported (with an empty batch) only once queued events have drained.
-    fn pop_batch(&self, max: usize) -> (Vec<QueuedEvent>, bool) {
+    /// Blocks for the next burst of messages: clears `buf`, then drains up
+    /// to `max` queued events into it in one lock acquisition. Returns the
+    /// stop flag; stop is reported (with an empty buffer) only once queued
+    /// events have drained. Taking the buffer from the caller lets the app
+    /// thread reuse one allocation across its whole life.
+    fn pop_batch_into(&self, buf: &mut Vec<QueuedEvent>, max: usize) -> bool {
+        buf.clear();
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !inner.queue.is_empty() {
                 let n = inner.queue.len().min(max.max(1));
-                return (inner.queue.drain(..n).collect(), false);
+                buf.extend(inner.queue.drain(..n));
+                return false;
             }
             if inner.stop || inner.closed {
-                return (Vec::new(), true);
+                return true;
             }
             inner = self.readable.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
@@ -367,32 +376,37 @@ impl Dispatcher {
                     } else {
                         stripped.get_or_insert_with(|| Arc::new(event.with_stripped_payload()))
                     };
-                    per_app.entry(*target).or_default().push(Arc::clone(view));
+                    per_app
+                        .entry(*target)
+                        .or_insert_with(arena::lease_event_batch)
+                        .push(Arc::clone(view));
                 }
             } else {
                 let shared = Arc::new(event);
                 for (target, _) in &targets {
                     per_app
                         .entry(*target)
-                        .or_default()
+                        .or_insert_with(arena::lease_event_batch)
                         .push(Arc::clone(&shared));
                 }
             }
         }
         kernel.record_pkt_ins(&grants);
-        let batches: Vec<(AppId, Arc<AppQueue>, Vec<Arc<Event>>)> = {
+        let mut batches: Vec<(AppId, Arc<AppQueue>, Vec<Arc<Event>>)> =
+            Vec::with_capacity(per_app.len());
+        {
             let apps = self.apps.lock();
-            per_app
-                .into_iter()
-                .filter_map(|(target, batch)| {
-                    apps.get(&target)
-                        .map(|h| (target, Arc::clone(&h.queue), batch))
-                })
-                .collect()
-        };
-        for (target, queue, batch) in batches {
+            for (target, batch) in per_app {
+                match apps.get(&target) {
+                    Some(h) => batches.push((target, Arc::clone(&h.queue), batch)),
+                    None => arena::recycle_event_batch(batch),
+                }
+            }
+        }
+        for (target, queue, mut batch) in batches {
             self.inflight.fetch_add(batch.len(), Ordering::SeqCst);
-            let outcome = queue.push_batch(batch);
+            let outcome = queue.push_batch(&mut batch);
+            arena::recycle_event_batch(batch);
             let undone = outcome.shed_acks.len() + outcome.refused;
             for old_ack in outcome.shed_acks {
                 if let Some(old_ack) = old_ack {
@@ -1362,8 +1376,11 @@ fn app_loop(
         // The registration (or restart) path owns the rollback.
         return;
     }
+    // One reusable event buffer for the life of the app thread — cleared
+    // and refilled per burst, never reallocated once grown to the batch cap.
+    let mut batch: Vec<QueuedEvent> = Vec::new();
     loop {
-        let (batch, stop) = queue.pop_batch(APP_BATCH_MAX);
+        let stop = queue.pop_batch_into(&mut batch, APP_BATCH_MAX);
         if batch.is_empty() {
             if stop {
                 break;
@@ -1442,12 +1459,14 @@ fn recv_adaptive(rx: &Receiver<DeputyRequest>) -> Option<DeputyRequest> {
 }
 
 /// Requests a deputy has drained into its local burst but not yet served.
-/// If the deputy dies mid-burst (the injected `KillDeputy` fault), the drop
-/// guard uncounts every unserved request and drops its reply sender, so
-/// callers observe a disconnect and `quiesce()` never waits on work no
-/// thread will do.
+/// The deque is borrowed from the deputy loop's frame and reset per burst
+/// (an arena in the reset-per-burst sense: one allocation for the thread's
+/// whole life). If the deputy dies mid-burst (the injected `KillDeputy`
+/// fault), the drop guard uncounts every unserved request and drops its
+/// reply sender, so callers observe a disconnect and `quiesce()` never
+/// waits on work no thread will do.
 struct Burst<'a> {
-    pending: VecDeque<DeputyRequest>,
+    pending: &'a mut VecDeque<DeputyRequest>,
     inflight: &'a AtomicUsize,
 }
 
@@ -1468,6 +1487,9 @@ fn deputy_loop(
     inflight: Arc<AtomicUsize>,
     faults: Arc<FaultRegistry>,
 ) {
+    // The burst deque outlives individual bursts: drained empty each time,
+    // its capacity (at most `DEPUTY_BURST_MAX`) is allocated once.
+    let mut pending: VecDeque<DeputyRequest> = VecDeque::with_capacity(DEPUTY_BURST_MAX);
     loop {
         let Some(first) = recv_adaptive(&rx) else {
             return;
@@ -1476,8 +1498,8 @@ fn deputy_loop(
         // executes against the promoted kernel; requests in the current
         // burst that raced the seal see `ApiError::Shutdown` and retry.
         let kernel = cell.load();
-        let mut burst = Burst {
-            pending: VecDeque::new(),
+        let burst = Burst {
+            pending: &mut pending,
             inflight: &inflight,
         };
         burst.pending.push_back(first);
@@ -1650,7 +1672,8 @@ mod tests {
         assert!(matches!(q.push_event(ev("b"), None), PushOutcome::Queued));
         // Full: pushing "c" sheds "a".
         assert!(matches!(q.push_event(ev("c"), None), PushOutcome::Shed(_)));
-        let (batch, stop) = q.pop_batch(8);
+        let mut batch = Vec::new();
+        let stop = q.pop_batch_into(&mut batch, 8);
         assert!(!stop);
         let got: Vec<&str> = batch.iter().map(|(e, _)| desc_of(e)).collect();
         assert_eq!(got, ["b", "c"]);
@@ -1668,10 +1691,11 @@ mod tests {
         ));
         q.push_stop();
         // Events queued before the stop still drain first.
-        let (batch, stop) = q.pop_batch(8);
+        let mut batch = Vec::new();
+        let stop = q.pop_batch_into(&mut batch, 8);
         assert_eq!(batch.len(), 1);
         assert!(!stop);
-        let (batch, stop) = q.pop_batch(8);
+        let stop = q.pop_batch_into(&mut batch, 8);
         assert!(batch.is_empty());
         assert!(stop);
         // After stop, pushes are refused.
@@ -1687,17 +1711,23 @@ mod tests {
             })
         };
         // Four events into a capacity-2 queue: the two oldest are shed.
-        let outcome = q.push_batch(vec![ev("a"), ev("b"), ev("c"), ev("d")]);
+        let mut incoming = vec![ev("a"), ev("b"), ev("c"), ev("d")];
+        let outcome = q.push_batch(&mut incoming);
         assert_eq!(outcome.shed_acks.len(), 2);
         assert_eq!(outcome.refused, 0);
-        let (batch, _) = q.pop_batch(8);
+        assert!(incoming.is_empty(), "push_batch must drain the buffer");
+        let mut batch = Vec::new();
+        q.pop_batch_into(&mut batch, 8);
         let got: Vec<&str> = batch.iter().map(|(e, _)| desc_of(e)).collect();
         assert_eq!(got, ["c", "d"]);
-        // A closed queue refuses the whole batch.
+        // A closed queue refuses the whole batch (and still drains it, so
+        // the caller's recycled buffer comes back empty).
         q.close_and_drain();
-        let outcome = q.push_batch(vec![ev("e"), ev("f")]);
+        let mut incoming = vec![ev("e"), ev("f")];
+        let outcome = q.push_batch(&mut incoming);
         assert!(outcome.shed_acks.is_empty());
         assert_eq!(outcome.refused, 2);
+        assert!(incoming.is_empty());
     }
 
     #[test]
@@ -1709,10 +1739,11 @@ mod tests {
             });
             assert!(matches!(q.push_event(ev, None), PushOutcome::Queued));
         }
-        let (batch, stop) = q.pop_batch(2);
+        let mut batch = Vec::new();
+        let stop = q.pop_batch_into(&mut batch, 2);
         assert_eq!(batch.len(), 2);
         assert!(!stop);
-        let (batch, stop) = q.pop_batch(2);
+        let stop = q.pop_batch_into(&mut batch, 2);
         assert_eq!(batch.len(), 1);
         assert!(!stop);
     }

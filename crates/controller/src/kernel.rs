@@ -102,6 +102,12 @@ pub struct Kernel {
     registry: RwLock<Registry>,
     subs: RwLock<Subscriptions>,
     tracker: RwLock<OwnershipTracker>,
+    /// Lock-free mirror of the tracker's epoch, republished under the
+    /// tracker write lock by [`Kernel::tracker_mut`]. Lets
+    /// [`Kernel::context_epoch`] — and through it every call-only
+    /// permission check and the app-side read fast lane — avoid the
+    /// tracker's read lock entirely.
+    tracker_epoch: AtomicU64,
     network: Network,
     host: Mutex<HostSystem>,
     /// Frames delivered to host NICs, for data-plane observation in tests.
@@ -179,6 +185,7 @@ impl Kernel {
             registry: RwLock::new(Registry::default()),
             subs: RwLock::new(Subscriptions::default()),
             tracker: RwLock::new(OwnershipTracker::new()),
+            tracker_epoch: AtomicU64::new(0),
             network,
             host: Mutex::new(HostSystem::new()),
             host_inbox: Mutex::new(BTreeMap::new()),
@@ -265,6 +272,17 @@ impl Kernel {
 
     fn tracker_write(&self) -> Ordered<RwLockWriteGuard<'_, OwnershipTracker>> {
         lockorder::order(Rank::Tracker, || self.tracker.write())
+    }
+
+    /// Mutates the ownership tracker and republishes its epoch into the
+    /// lock-free mirror **while still holding the write lock**, so the
+    /// mirror can never run ahead of (or permanently lag) the tracker. All
+    /// tracker mutations must go through here.
+    fn tracker_mut<R>(&self, f: impl FnOnce(&mut OwnershipTracker) -> R) -> R {
+        let mut tracker = self.tracker_write();
+        let r = f(&mut tracker);
+        self.tracker_epoch.store(tracker.epoch(), Ordering::Release);
+        r
     }
 
     fn host_lock(&self) -> Ordered<MutexGuard<'_, HostSystem>> {
@@ -475,7 +493,7 @@ impl Kernel {
                 };
                 return (Err(err), Vec::new());
             };
-            let decision = engine.check(call, &*self.tracker_read());
+            let decision = engine.check_with(call, self.context_epoch(), || self.tracker_read());
             if let Decision::Denied { .. } = decision {
                 self.record_audit(
                     call.app,
@@ -689,7 +707,8 @@ impl Kernel {
                 },
             };
             if let Some(engine) = engine.as_deref() {
-                let decision = engine.check(&call, &*self.tracker_read());
+                let decision =
+                    engine.check_with(&call, self.context_epoch(), || self.tracker_read());
                 if let Decision::Denied { .. } = decision {
                     self.record_audit(
                         app,
@@ -735,7 +754,7 @@ impl Kernel {
     /// mutation routes through its `record_*` methods, which bump the
     /// counter unconditionally — no kernel call site can forget.
     pub fn context_epoch(&self) -> u64 {
-        self.tracker_read().epoch()
+        self.tracker_epoch.load(Ordering::Acquire)
     }
 
     /// Shared atomic check/apply/rollback for transactions and batches.
@@ -756,10 +775,21 @@ impl Kernel {
                     Vec::new(),
                 );
             };
-            let tracker = self.tracker_read();
+            // Call-only decisions resolve against the pinned epoch without
+            // the tracker lock; the read guard is acquired lazily on the
+            // first stateful literal and then held so every stateful check
+            // in the batch sees one consistent tracker view.
+            let epoch = self.context_epoch();
+            let mut tracker = None;
             for (i, op) in ops.iter().enumerate() {
                 let call = flow_op_call(app, op);
-                let decision = engine.check(&call, &*tracker);
+                let decision = match engine.check_call_only(&call, epoch) {
+                    Some(d) => d,
+                    None => {
+                        let t = tracker.get_or_insert_with(|| self.tracker_read());
+                        engine.check(&call, &**t)
+                    }
+                };
                 if let Decision::Denied { .. } = decision {
                     drop(tracker);
                     self.audit
@@ -782,7 +812,7 @@ impl Kernel {
             let stamped = stamp_cookie(app, &op.flow_mod);
             match self.network.apply_flow_mod(op.dpid, &stamped) {
                 Ok(removed) => {
-                    self.tracker_write().record_flow_mod(app, op.dpid, &stamped);
+                    self.tracker_mut(|t| t.record_flow_mod(app, op.dpid, &stamped));
                     events.extend(removed_events(op.dpid, &removed));
                     applied.push((i, removed));
                 }
@@ -882,20 +912,21 @@ impl Kernel {
         if removed.is_empty() {
             return events;
         }
-        let mut tracker = self.tracker_write();
-        for r in removed {
-            tracker.record_expiry(
-                r.dpid,
-                &r.removed.entry.flow_match,
-                r.removed.entry.priority,
-            );
-            events.push(OutboundEvent {
-                event: Event::FlowRemoved {
-                    dpid: r.dpid,
-                    flow_removed: to_flow_removed(&r.removed),
-                },
-            });
-        }
+        self.tracker_mut(|tracker| {
+            for r in removed {
+                tracker.record_expiry(
+                    r.dpid,
+                    &r.removed.entry.flow_match,
+                    r.removed.entry.priority,
+                );
+                events.push(OutboundEvent {
+                    event: Event::FlowRemoved {
+                        dpid: r.dpid,
+                        flow_removed: to_flow_removed(&r.removed),
+                    },
+                });
+            }
+        });
         events
     }
 
@@ -952,20 +983,21 @@ impl Kernel {
         if removed.is_empty() {
             return events;
         }
-        let mut tracker = self.tracker_write();
-        for r in removed {
-            tracker.record_expiry(
-                r.dpid,
-                &r.removed.entry.flow_match,
-                r.removed.entry.priority,
-            );
-            events.push(OutboundEvent {
-                event: Event::FlowRemoved {
-                    dpid: r.dpid,
-                    flow_removed: to_flow_removed(&r.removed),
-                },
-            });
-        }
+        self.tracker_mut(|tracker| {
+            for r in removed {
+                tracker.record_expiry(
+                    r.dpid,
+                    &r.removed.entry.flow_match,
+                    r.removed.entry.priority,
+                );
+                events.push(OutboundEvent {
+                    event: Event::FlowRemoved {
+                        dpid: r.dpid,
+                        flow_removed: to_flow_removed(&r.removed),
+                    },
+                });
+            }
+        });
         events
     }
 
@@ -1070,10 +1102,11 @@ impl Kernel {
         if grants.is_empty() {
             return;
         }
-        let mut tracker = self.tracker_write();
-        for (app, payload) in grants {
-            tracker.record_pkt_in(*app, payload);
-        }
+        self.tracker_mut(|tracker| {
+            for (app, payload) in grants {
+                tracker.record_pkt_in(*app, payload);
+            }
+        });
     }
 
     /// Prepares the per-app view of an event: strips packet-in payloads for
@@ -1163,7 +1196,8 @@ impl Kernel {
                 });
             };
             let synthetic = ApiCall::new(app, ApiCallKind::HostConnect { dst_ip, dst_port });
-            let decision = engine.check(&synthetic, &*self.tracker_read());
+            let decision =
+                engine.check_with(&synthetic, self.context_epoch(), || self.tracker_read());
             if let Decision::Denied { .. } = decision {
                 self.record_audit(
                     app,
@@ -1207,12 +1241,10 @@ impl Kernel {
         f(&self.network)
     }
 
-    /// Number of flow entries currently installed on a switch.
+    /// Number of flow entries currently installed on a switch, served from
+    /// the network's RCU view without taking the switch lock.
     pub fn flow_count(&self, dpid: DatapathId) -> usize {
-        self.network
-            .switch(dpid)
-            .map(|s| s.table().len())
-            .unwrap_or(0)
+        self.network.flow_count(dpid).unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -1518,7 +1550,7 @@ impl Kernel {
                 subs.custom.insert(topic.clone(), list.clone());
             }
         }
-        *kernel.tracker_write() = OwnershipTracker::restore(&snapshot.tracker);
+        kernel.tracker_mut(|tracker| *tracker = OwnershipTracker::restore(&snapshot.tracker));
         for sw in &snapshot.switches {
             if let Some(mut s) = kernel.network.switch(sw.dpid) {
                 s.restore_state(
@@ -1754,7 +1786,7 @@ impl Kernel {
             let stamped = stamp_cookie(app, &fm);
             match self.network.apply_flow_mod(d, &stamped) {
                 Ok(removed) => {
-                    self.tracker_write().record_flow_mod(app, d, &stamped);
+                    self.tracker_mut(|t| t.record_flow_mod(app, d, &stamped));
                     events.extend(removed_events(d, &removed));
                 }
                 Err(e) => return (Err(ApiError::Switch(e)), events),
@@ -1777,7 +1809,7 @@ impl Kernel {
                 let mut undo = stamped.clone();
                 undo.command = FlowModCommand::DeleteStrict;
                 let _ = self.network.apply_flow_mod(op.dpid, &undo);
-                self.tracker_write().record_flow_mod(app, op.dpid, &undo);
+                self.tracker_mut(|t| t.record_flow_mod(app, op.dpid, &undo));
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {}
         }

@@ -25,6 +25,7 @@
 
 pub mod api;
 pub mod app;
+pub(crate) mod arena;
 pub mod audit;
 pub mod command;
 pub mod events;

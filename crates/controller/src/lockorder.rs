@@ -25,6 +25,18 @@
 //! `Switch` rank's internal discipline (ascending dpid) lives inside
 //! `netsim` and is out of scope here; the kernel only ever observes switch
 //! locks one at a time.
+//!
+//! Two kinds of synchronization sit deliberately **outside** the ranked
+//! set (DESIGN.md §13):
+//!
+//! * [`crossbeam::epoch::RcuCell`] loads and stores are not locks —
+//!   readers never block and a writer's publish is a pointer swap — so
+//!   snapshot reads (topology, `SwitchView`) are legal while holding any
+//!   ranked lock and carry no rank.
+//! * The audit log's drain mutex and per-segment mutexes are leaf locks:
+//!   the drain path acquires no ranked lock beneath them, and every
+//!   producer-side assist uses `try_lock`, degrading to the counted shed
+//!   path instead of blocking. They are therefore unranked as well.
 
 use std::ops::{Deref, DerefMut};
 

@@ -648,6 +648,27 @@ impl PermissionEngine {
         Some(Self::verdict(token, passed))
     }
 
+    /// Two-phase check against a pinned epoch: resolves the decision
+    /// lock-free via [`PermissionEngine::check_call_only`] whenever it is a
+    /// pure function of the call, and only materializes a stateful context
+    /// (by invoking `stateful`, which typically takes the tracker's read
+    /// lock) when the granted filter retains a stateful literal.
+    ///
+    /// Equivalent to [`PermissionEngine::check`] against a tracker at
+    /// `epoch`: for call-only plans both paths consult the same epoch-keyed
+    /// cache, and for stateful plans this delegates to `check` outright.
+    pub fn check_with<C, G>(&self, call: &ApiCall, epoch: u64, stateful: G) -> Decision
+    where
+        C: std::ops::Deref,
+        C::Target: CheckContext + Sized,
+        G: FnOnce() -> C,
+    {
+        match self.check_call_only(call, epoch) {
+            Some(decision) => decision,
+            None => self.check(call, &*stateful()),
+        }
+    }
+
     /// Checks a call through the compiled plan without consulting the
     /// decision cache — the "plan" ablation tier.
     pub fn check_uncached(&self, call: &ApiCall, ctx: &dyn CheckContext) -> Decision {

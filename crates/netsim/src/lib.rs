@@ -39,7 +39,7 @@ pub mod switch;
 pub mod topology;
 pub mod trafficgen;
 
-pub use network::{Delivery, DropReason, Network};
-pub use switch::SimSwitch;
+pub use network::{Delivery, DropReason, Network, SwitchGuard};
+pub use switch::{SimSwitch, SwitchView};
 pub use topology::{Host, Link, LinkId, Topology};
 pub use trafficgen::{PacketKind, TrafficGen};

@@ -3,24 +3,41 @@
 //!
 //! # Concurrency
 //!
-//! The network is sharded so concurrent controller deputies never funnel
-//! through one lock: each switch sits behind its own [`Mutex`], the (mostly
-//! static) topology behind an [`RwLock`], and the virtual clock is an atomic.
-//! Every public method takes `&self`.
+//! The network's **read side is lock-free**: the topology and a per-switch
+//! [`SwitchView`] are published as immutable `Arc` snapshots through epoch
+//! RCU cells ([`crossbeam::epoch::RcuCell`]). Readers pin an epoch, do one
+//! atomic pointer load, and never block; stats queries, topology reads and
+//! flow counts are all served from snapshots.
 //!
-//! Lock ordering: **Topology before Switch**, and **at most one switch lock
-//! at a time**. The data-plane walk releases a switch's lock before
-//! following a link into the next switch (`step` computes the forwarding
-//! decision under the lock, then recurses lock-free), so concurrent walks in
-//! opposite directions cannot deadlock. Cross-switch sweeps
-//! (`advance_clock`, `remove_flows_owned_by`) visit switches one at a time
-//! in ascending dpid order.
+//! Writers still serialize per switch: each switch's mutable state sits
+//! behind its own [`Mutex`] and every mutation bumps that shard's version
+//! counter under the lock. Switch views refresh **lazily**: the first
+//! reader that observes a stale version rebuilds the view under an
+//! opportunistic `try_lock` (copy-on-write of the touched shard — `Arc`
+//! pointer clones, no deep copies) and republishes it; if a writer holds
+//! the lock the reader serves the previous view instead. Reads are
+//! therefore *snapshot-trailing*: bounded by the mutations of whichever
+//! writer currently holds the shard lock, and exact whenever the shard is
+//! quiescent. Topology mutations clone-and-publish eagerly (they are rare)
+//! under a small writer mutex.
+//!
+//! Lock ordering: **at most one switch lock at a time**, and the RCU cells
+//! are outside the ranked lock set entirely (pinning never blocks). The
+//! data-plane walk releases a switch's lock before following a link into
+//! the next switch (`step` computes the forwarding decision under the
+//! lock, then recurses lock-free), so concurrent walks in opposite
+//! directions cannot deadlock. Cross-switch sweeps (`advance_clock`,
+//! `remove_flows_owned_by`) visit switches one at a time in ascending dpid
+//! order.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use crossbeam::epoch::{self, RcuCell};
+use parking_lot::{Mutex, MutexGuard};
 use sdnshield_openflow::flow_table::RemovedEntry;
 use sdnshield_openflow::messages::{
     FlowMod, OfError, PacketIn, PacketInReason, StatsReply, StatsRequest,
@@ -28,7 +45,7 @@ use sdnshield_openflow::messages::{
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{BufferId, DatapathId, EthAddr, PortNo};
 
-use crate::switch::{Forwarding, SimSwitch};
+use crate::switch::{Forwarding, SimSwitch, SwitchView};
 use crate::topology::{Host, Topology};
 
 /// Maximum hops a single injected packet may traverse before the simulator
@@ -94,9 +111,22 @@ pub struct RemovedFlow {
 /// assert_eq!(net.topology().switch_count(), 3);
 /// ```
 pub struct Network {
-    topology: RwLock<Topology>,
-    switches: BTreeMap<DatapathId, Mutex<SimSwitch>>,
+    /// The topology snapshot; replaced wholesale on (rare) mutation.
+    topology: RcuCell<Topology>,
+    /// Serializes topology writers (readers never touch it).
+    topo_writer: Mutex<()>,
+    switches: BTreeMap<DatapathId, SwitchShard>,
     clock: AtomicU64,
+}
+
+/// One switch's slot: the mutable state under its own lock, plus the
+/// lazily refreshed RCU view readers serve from.
+struct SwitchShard {
+    sw: Mutex<SimSwitch>,
+    /// Bumped under `sw`'s lock after every mutation; a published view is
+    /// fresh iff its recorded version equals this counter.
+    version: AtomicU64,
+    view: RcuCell<SwitchView>,
 }
 
 impl fmt::Debug for Network {
@@ -114,25 +144,75 @@ impl Network {
     pub fn new(topology: Topology, table_capacity: usize) -> Self {
         let switches = topology
             .switches()
-            .map(|s| (s.dpid, Mutex::new(SimSwitch::new(s.dpid, table_capacity))))
+            .map(|s| {
+                let sw = SimSwitch::new(s.dpid, table_capacity);
+                let view = RcuCell::new(Arc::new(sw.view(0)));
+                (
+                    s.dpid,
+                    SwitchShard {
+                        sw: Mutex::new(sw),
+                        version: AtomicU64::new(0),
+                        view,
+                    },
+                )
+            })
             .collect();
         Network {
-            topology: RwLock::new(topology),
+            topology: RcuCell::new(Arc::new(topology)),
+            topo_writer: Mutex::new(()),
             switches,
             clock: AtomicU64::new(0),
         }
     }
 
-    /// The static topology (shared read lock; drop the guard before calling
-    /// into switches from the same scope if holding it across is avoidable).
-    pub fn topology(&self) -> RwLockReadGuard<'_, Topology> {
-        self.topology.read()
+    /// The current topology snapshot (lock-free; one epoch pin + pointer
+    /// load). The returned `Arc` stays valid across later mutations, which
+    /// publish a *new* snapshot rather than changing this one.
+    pub fn topology(&self) -> Arc<Topology> {
+        self.topology.load_full()
     }
 
-    /// Mutates the topology (controller-initiated changes) under the write
-    /// lock.
+    /// Mutates the topology (controller-initiated changes): clones the
+    /// current snapshot, applies `f`, and publishes the result. Writers
+    /// serialize on a dedicated mutex; readers never block.
     pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
-        f(&mut self.topology.write())
+        let _w = self.topo_writer.lock();
+        let mut topo = (*self.topology.load_full()).clone();
+        let r = f(&mut topo);
+        self.topology.store(Arc::new(topo));
+        r
+    }
+
+    /// Runs `f` on a switch's mutable state under its lock and bumps the
+    /// shard version so the published view refreshes on the next read.
+    fn with_switch_mut<R>(shard: &SwitchShard, f: impl FnOnce(&mut SimSwitch) -> R) -> R {
+        let mut sw = shard.sw.lock();
+        let r = f(&mut sw);
+        shard.version.fetch_add(1, Ordering::Release);
+        r
+    }
+
+    /// A fresh-enough view of a switch. Lock-free when the published view
+    /// is current; otherwise the first reader rebuilds it under an
+    /// opportunistic `try_lock` and republishes. If a writer holds the
+    /// shard lock, the previous view is served instead (snapshot-trailing
+    /// read, bounded by that writer's in-flight mutations).
+    fn view(shard: &SwitchShard) -> Arc<SwitchView> {
+        let current = shard.version.load(Ordering::Acquire);
+        let view = shard.view.load_full();
+        if view.version == current {
+            return view;
+        }
+        match shard.sw.try_lock() {
+            Some(sw) => {
+                // Exact under the lock: no writer can bump concurrently.
+                let v = shard.version.load(Ordering::Acquire);
+                let fresh = Arc::new(sw.view(v));
+                shard.view.store(fresh.clone());
+                fresh
+            }
+            None => view,
+        }
     }
 
     /// Current virtual time in seconds.
@@ -154,8 +234,16 @@ impl Network {
     pub fn advance_clock(&self, secs: u64) -> Vec<RemovedFlow> {
         let now = self.clock.fetch_add(secs, Ordering::SeqCst) + secs;
         let mut removed = Vec::new();
-        for (dpid, sw) in &self.switches {
-            for r in sw.lock().expire(now) {
+        for (dpid, shard) in &self.switches {
+            let expired = {
+                let mut sw = shard.sw.lock();
+                let expired = sw.expire(now);
+                if !expired.is_empty() {
+                    shard.version.fetch_add(1, Ordering::Release);
+                }
+                expired
+            };
+            for r in expired {
                 removed.push(RemovedFlow {
                     dpid: *dpid,
                     removed: r,
@@ -170,8 +258,16 @@ impl Network {
     /// switch lock at a time in ascending dpid order.
     pub fn remove_flows_owned_by(&self, owner: u16) -> Vec<RemovedFlow> {
         let mut removed = Vec::new();
-        for (dpid, sw) in &self.switches {
-            for r in sw.lock().remove_owned_by(owner) {
+        for (dpid, shard) in &self.switches {
+            let reclaimed = {
+                let mut sw = shard.sw.lock();
+                let reclaimed = sw.remove_owned_by(owner);
+                if !reclaimed.is_empty() {
+                    shard.version.fetch_add(1, Ordering::Release);
+                }
+                reclaimed
+            };
+            for r in reclaimed {
                 removed.push(RemovedFlow {
                     dpid: *dpid,
                     removed: r,
@@ -181,9 +277,27 @@ impl Network {
         removed
     }
 
-    /// Locks one switch for inspection or mutation.
-    pub fn switch(&self, dpid: DatapathId) -> Option<MutexGuard<'_, SimSwitch>> {
-        self.switches.get(&dpid).map(|m| m.lock())
+    /// Locks one switch for inspection or mutation. Dropping the guard
+    /// bumps the shard version, so any mutation made through it is picked
+    /// up by the next view rebuild.
+    pub fn switch(&self, dpid: DatapathId) -> Option<SwitchGuard<'_>> {
+        self.switches.get(&dpid).map(|shard| SwitchGuard {
+            guard: shard.sw.lock(),
+            version: &shard.version,
+        })
+    }
+
+    /// Number of installed flow entries on a switch, served from the RCU
+    /// view (lock-free when the view is fresh).
+    pub fn flow_count(&self, dpid: DatapathId) -> Option<usize> {
+        self.switches.get(&dpid).map(|s| Self::view(s).table.len())
+    }
+
+    /// The RCU view of one switch (refreshing it first if stale and the
+    /// shard lock is free) — the lock-free read surface for stats, flow
+    /// counts, and the differential test suite.
+    pub fn switch_view(&self, dpid: DatapathId) -> Option<Arc<SwitchView>> {
+        self.switches.get(&dpid).map(Self::view)
     }
 
     /// Applies a flow-mod on a switch, taking only that switch's lock.
@@ -197,25 +311,27 @@ impl Network {
         fm: &FlowMod,
     ) -> Result<Vec<RemovedEntry>, OfError> {
         let now = self.now();
-        let sw = self
+        let shard = self
             .switches
             .get(&dpid)
             .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-        sw.lock().apply_flow_mod(fm, now)
+        Self::with_switch_mut(shard, |sw| sw.apply_flow_mod(fm, now))
     }
 
-    /// Answers a stats request for a switch.
+    /// Answers a stats request for a switch from its RCU view — lock-free
+    /// on the common path (see [`Network::switch_view`] for the staleness
+    /// contract).
     ///
     /// # Errors
     ///
     /// [`OfError::BadRequest`] for unknown switches.
     pub fn stats(&self, dpid: DatapathId, req: &StatsRequest) -> Result<StatsReply, OfError> {
-        let sw = self
+        let shard = self
             .switches
             .get(&dpid)
             .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
         let now = self.now();
-        Ok(sw.lock().stats(req, now))
+        Ok(Self::view(shard).stats(req, now))
     }
 
     /// Injects a frame from a host NIC; returns every terminal delivery.
@@ -224,12 +340,14 @@ impl Network {
     ///
     /// [`OfError::BadRequest`] when the source MAC is not an attached host.
     pub fn inject_from_host(&self, frame: EthernetFrame) -> Result<Vec<Delivery>, OfError> {
-        let host = self
-            .topology
-            .read()
-            .host_by_mac(frame.src)
-            .cloned()
-            .ok_or_else(|| OfError::BadRequest("source MAC is not an attached host".into()))?;
+        let host = {
+            let guard = epoch::pin();
+            self.topology
+                .load(&guard)
+                .host_by_mac(frame.src)
+                .cloned()
+                .ok_or_else(|| OfError::BadRequest("source MAC is not an attached host".into()))?
+        };
         Ok(self.walk(host.switch, host.port, frame))
     }
 
@@ -248,12 +366,13 @@ impl Network {
     ) -> Result<Vec<Delivery>, OfError> {
         let len = frame.to_bytes().len();
         let (frame, ports) = {
-            let sw = self
+            let shard = self
                 .switches
                 .get(&dpid)
                 .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-            let mut sw = sw.lock();
-            sw.apply_packet_out(in_port, frame, actions, len)
+            Self::with_switch_mut(shard, |sw| {
+                sw.apply_packet_out(in_port, frame, actions, len)
+            })
         };
         let mut out = Vec::new();
         for port in self.expand_ports(dpid, in_port, ports) {
@@ -286,14 +405,13 @@ impl Network {
         // takes the *next* switch's lock, and holding two at once would
         // deadlock against a walk travelling the opposite direction.
         let forwarding = {
-            let Some(sw) = self.switches.get(&dpid) else {
+            let Some(shard) = self.switches.get(&dpid) else {
                 return vec![Delivery::Dropped {
                     dpid,
                     reason: DropReason::DanglingPort,
                 }];
             };
-            let mut sw = sw.lock();
-            sw.process(in_port, &frame, now)
+            Self::with_switch_mut(shard, |sw| sw.process(in_port, &frame, now))
         };
         match forwarding {
             Forwarding::PacketIn => {
@@ -343,7 +461,8 @@ impl Network {
     /// Resolves reserved ports (FLOOD/ALL/IN_PORT) into concrete port lists.
     fn expand_ports(&self, dpid: DatapathId, in_port: PortNo, ports: Vec<PortNo>) -> Vec<PortNo> {
         let mut resolved = Vec::new();
-        let topology = self.topology.read();
+        let guard = epoch::pin();
+        let topology = self.topology.load(&guard);
         for p in ports {
             match p {
                 PortNo::FLOOD | PortNo::ALL => {
@@ -369,8 +488,8 @@ impl Network {
     }
 
     /// Emits a frame out of `(dpid, port)`: to a host, the next switch, or
-    /// the void. The topology guard is dropped before recursing into the
-    /// next switch.
+    /// the void. The epoch pin is released before recursing into the next
+    /// switch so a long walk never holds one epoch across many hops.
     fn emit(
         &self,
         dpid: DatapathId,
@@ -379,7 +498,8 @@ impl Network {
         budget: usize,
     ) -> Vec<Delivery> {
         let (link, host) = {
-            let topology = self.topology.read();
+            let guard = epoch::pin();
+            let topology = self.topology.load(&guard);
             let link = topology.link_from(dpid, port).copied();
             let host = topology
                 .hosts()
@@ -405,7 +525,38 @@ impl Network {
 
     /// Convenience: the host record for a MAC.
     pub fn host(&self, mac: EthAddr) -> Option<Host> {
-        self.topology.read().host_by_mac(mac).cloned()
+        let guard = epoch::pin();
+        self.topology.load(&guard).host_by_mac(mac).cloned()
+    }
+}
+
+/// A locked switch handle from [`Network::switch`]. Mutations made through
+/// it are observed by later reads: dropping the guard bumps the shard's
+/// version (while still holding the lock), invalidating the published RCU
+/// view.
+pub struct SwitchGuard<'a> {
+    guard: MutexGuard<'a, SimSwitch>,
+    version: &'a AtomicU64,
+}
+
+impl Deref for SwitchGuard<'_> {
+    type Target = SimSwitch;
+    fn deref(&self) -> &SimSwitch {
+        &self.guard
+    }
+}
+
+impl DerefMut for SwitchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut SimSwitch {
+        &mut self.guard
+    }
+}
+
+impl Drop for SwitchGuard<'_> {
+    fn drop(&mut self) {
+        // Runs before `guard` releases the mutex, so the bump is ordered
+        // with the mutations it covers.
+        self.version.fetch_add(1, Ordering::Release);
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use sdnshield_openflow::flow_table::{FlowTable, RemovedEntry};
+use sdnshield_openflow::flow_table::{FlowTable, RemovedEntry, TableSnapshot};
 use sdnshield_openflow::messages::{FlowMod, OfError, PortStats, StatsReply, StatsRequest};
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{DatapathId, PortNo};
@@ -155,6 +155,58 @@ impl SimSwitch {
                     self.port_stats.values().copied().collect()
                 } else {
                     self.port_stats.get(p).into_iter().copied().collect()
+                };
+                StatsReply::Port(ports)
+            }
+            StatsRequest::Table => StatsReply::Table(self.table.table_stats()),
+        }
+    }
+
+    /// Publishes an immutable view of the switch's mutable state, tagged
+    /// with the mutation `version` it reflects. Costs one `Arc` clone per
+    /// flow entry plus a copy of the (small) port-counter vector.
+    pub fn view(&self, version: u64) -> SwitchView {
+        SwitchView {
+            dpid: self.dpid,
+            version,
+            table: self.table.snapshot(),
+            port_stats: self.port_stats.values().copied().collect(),
+        }
+    }
+}
+
+/// An immutable point-in-time view of one switch, published through the
+/// network's RCU cells so stats readers never take the switch lock.
+#[derive(Debug, Clone)]
+pub struct SwitchView {
+    /// The switch's datapath id.
+    pub dpid: DatapathId,
+    /// The mutation version this view reflects (see `Network`'s shard
+    /// versioning); readers compare it against the live counter to decide
+    /// whether a rebuild is worthwhile.
+    pub version: u64,
+    /// The flow table at view time.
+    pub table: TableSnapshot,
+    /// Per-port counters in ascending port order at view time.
+    pub port_stats: Vec<PortStats>,
+}
+
+impl SwitchView {
+    /// Answers a statistics request from the view — same replies as
+    /// [`SimSwitch::stats`] would have produced at view time.
+    pub fn stats(&self, req: &StatsRequest, now: u64) -> StatsReply {
+        match req {
+            StatsRequest::Flow(m) => StatsReply::Flow(self.table.flow_stats(m, now)),
+            StatsRequest::Aggregate(m) => StatsReply::Aggregate(self.table.aggregate_stats(m)),
+            StatsRequest::Port(p) => {
+                let ports = if *p == PortNo::NONE {
+                    self.port_stats.clone()
+                } else {
+                    self.port_stats
+                        .iter()
+                        .filter(|s| s.port_no == *p)
+                        .copied()
+                        .collect()
                 };
                 StatsReply::Port(ports)
             }

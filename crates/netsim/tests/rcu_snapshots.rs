@@ -1,0 +1,229 @@
+//! Differential and property tests for the lock-free read side (DESIGN.md
+//! §13): every answer served from an RCU-published [`SwitchView`] snapshot
+//! must be *identical* to the answer the locked flow table would give, and
+//! a reader holding a snapshot across a writer's publish must never see a
+//! torn table.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_openflow::actions::ActionList;
+use sdnshield_openflow::flow_match::FlowMatch;
+use sdnshield_openflow::messages::{FlowMod, FlowModCommand};
+use sdnshield_openflow::types::{Cookie, DatapathId, PortNo, Priority};
+
+fn flow_mod(cmd: FlowModCommand, tp_dst: u16, prio: u16, owner: u16) -> FlowMod {
+    let mut fm = FlowMod::add(
+        FlowMatch::default().with_tp_dst(tp_dst),
+        Priority(prio),
+        ActionList::output(PortNo(1)),
+    );
+    fm.command = cmd;
+    fm.cookie = Cookie::with_owner(owner, tp_dst as u64);
+    fm
+}
+
+proptest! {
+    /// Differential oracle: after every mutation in a random flow-mod
+    /// sequence, the published snapshot answers `len`, `table_stats`,
+    /// `flow_stats`, `aggregate_stats` and `count_owned_by` exactly as the
+    /// locked table does.
+    #[test]
+    fn snapshot_reads_equal_locked_reads(
+        ops in proptest::collection::vec((0u8..5, 1u16..24, 0u16..300, 0u16..3), 1..48),
+    ) {
+        let net = Network::new(builders::linear(2), 64);
+        let dpid = DatapathId(1);
+        for (cmd, tp, prio, owner) in ops {
+            let command = match cmd {
+                0 | 1 => FlowModCommand::Add,
+                2 => FlowModCommand::Modify,
+                3 => FlowModCommand::Delete,
+                _ => FlowModCommand::DeleteStrict,
+            };
+            let _ = net.apply_flow_mod(dpid, &flow_mod(command, tp, prio, owner));
+
+            let view = net.switch_view(dpid).expect("switch 1 exists");
+            let now = net.now();
+            let query = FlowMatch::any();
+            let narrow = FlowMatch::default().with_tp_dst(tp);
+            let guard = net.switch(dpid).expect("switch 1 exists");
+            let table = guard.table();
+            prop_assert_eq!(view.table.len(), table.len());
+            prop_assert_eq!(view.table.table_stats(), table.table_stats());
+            prop_assert_eq!(view.table.flow_stats(&query, now), table.flow_stats(&query, now));
+            prop_assert_eq!(view.table.flow_stats(&narrow, now), table.flow_stats(&narrow, now));
+            prop_assert_eq!(view.table.aggregate_stats(&query), table.aggregate_stats(&query));
+            for o in 0..3u16 {
+                prop_assert_eq!(view.table.count_owned_by(o), table.count_owned_by(o));
+            }
+        }
+    }
+
+    /// The lock-free `flow_count` fast path agrees with the locked table
+    /// after every mutation.
+    #[test]
+    fn flow_count_matches_locked_table(
+        ops in proptest::collection::vec((0u8..4, 1u16..16), 1..32),
+    ) {
+        let net = Network::new(builders::linear(2), 64);
+        let dpid = DatapathId(1);
+        for (cmd, tp) in ops {
+            let command = if cmd < 3 { FlowModCommand::Add } else { FlowModCommand::DeleteStrict };
+            let _ = net.apply_flow_mod(dpid, &flow_mod(command, tp, 100, 1));
+            let fast = net.flow_count(dpid).expect("switch 1 exists");
+            let locked = net.switch(dpid).expect("switch 1 exists").table().len();
+            prop_assert_eq!(fast, locked);
+        }
+    }
+}
+
+/// A reader pinned across writers' publishes never observes a torn table:
+/// every snapshot it loads is internally consistent (`table_stats`
+/// active-count == entry count == `flow_stats(any)` length), even while
+/// writer threads churn inserts and strict deletes on the same switch.
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    let net = Arc::new(Network::new(builders::linear(2), 4096));
+    let dpid = DatapathId(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        for w in 0..2u16 {
+            let net = Arc::clone(&net);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut i: u16 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let tp = (i % 512) + 1 + w * 1000;
+                    let cmd = if i % 3 == 2 {
+                        FlowModCommand::DeleteStrict
+                    } else {
+                        FlowModCommand::Add
+                    };
+                    let _ = net.apply_flow_mod(dpid, &flow_mod(cmd, tp, 100, w));
+                    i = i.wrapping_add(1);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let net = Arc::clone(&net);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            s.spawn(move || {
+                let query = FlowMatch::any();
+                while !stop.load(Ordering::Relaxed) {
+                    let view = net.switch_view(dpid).expect("switch 1 exists");
+                    let stats = view.table.table_stats();
+                    let len = view.table.len();
+                    assert_eq!(
+                        stats.active_count as usize, len,
+                        "snapshot counters must match snapshot entries"
+                    );
+                    assert_eq!(
+                        view.table.flow_stats(&query, 0).len(),
+                        len,
+                        "every snapshot entry answers the any-query"
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers made progress");
+}
+
+/// A snapshot held across later writes is frozen at its publish point —
+/// the writer's subsequent mutations never reach it — while a fresh view
+/// always reflects the writes (read-your-writes when single-threaded).
+#[test]
+fn held_snapshot_is_immutable_while_writers_advance() {
+    let net = Network::new(builders::linear(2), 64);
+    let dpid = DatapathId(1);
+    for tp in 1..=5 {
+        net.apply_flow_mod(dpid, &flow_mod(FlowModCommand::Add, tp, 100, 1))
+            .unwrap();
+    }
+    let held = net.switch_view(dpid).expect("switch 1 exists");
+    assert_eq!(held.table.len(), 5);
+
+    for tp in 6..=20 {
+        net.apply_flow_mod(dpid, &flow_mod(FlowModCommand::Add, tp, 100, 1))
+            .unwrap();
+    }
+    assert_eq!(held.table.len(), 5, "held snapshot frozen at publish time");
+    let fresh = net.switch_view(dpid).expect("switch 1 exists");
+    assert_eq!(fresh.table.len(), 20, "fresh view sees all writes");
+}
+
+/// Topology snapshots behave the same way: `Network::topology` hands out
+/// an immutable `Arc` that later `with_topology_mut` publishes never
+/// mutate in place, and concurrent readers always see a complete graph
+/// (connect() adds the link and both ports atomically from the readers'
+/// perspective).
+#[test]
+fn topology_snapshots_are_atomic_under_concurrent_mutation() {
+    let net = Arc::new(Network::new(builders::linear(3), 64));
+    let before = net.topology();
+    let links_before = before.links().len();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let writer_net = Arc::clone(&net);
+        let writer_stop = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut on = false;
+            while !writer_stop.load(Ordering::Relaxed) {
+                writer_net.with_topology_mut(|t| {
+                    if on {
+                        t.remove_link(DatapathId(1), DatapathId(3));
+                    } else {
+                        t.connect(DatapathId(1), DatapathId(3));
+                    }
+                });
+                on = !on;
+            }
+            // Leave the extra link removed.
+            writer_net.with_topology_mut(|t| {
+                t.remove_link(DatapathId(1), DatapathId(3));
+            });
+        });
+        let reader_stop = Arc::clone(&stop);
+        let reader_net = Arc::clone(&net);
+        s.spawn(move || {
+            while !reader_stop.load(Ordering::Relaxed) {
+                let topo = reader_net.topology();
+                let links = topo.links().len();
+                // `connect` installs both directions of a link in one
+                // publish: a reader can see the graph before or after the
+                // mutation, never with one half-installed direction.
+                assert!(
+                    links == links_before || links == links_before + 2,
+                    "reader saw a half-applied topology mutation: {links} links"
+                );
+                // The link set and the port maps publish together: if the
+                // 1→3 link is visible, its egress port resolves to it.
+                if let Some(link) = topo.link_between(DatapathId(1), DatapathId(3)) {
+                    let via_port = topo.link_from(link.src, link.src_port);
+                    assert_eq!(via_port.map(|l| l.dst), Some(link.dst));
+                }
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        before.links().len(),
+        links_before,
+        "held topology snapshot never mutated in place"
+    );
+    assert_eq!(net.topology().links().len(), links_before);
+}

@@ -18,6 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::actions::ActionList;
 use crate::flow_match::FlowMatch;
@@ -121,7 +122,12 @@ type ExactKey = (FlowMatch, Priority);
 #[derive(Debug, Clone)]
 pub struct FlowTable {
     /// Slab storage; `None` marks a free slot (recycled via `free`).
-    slots: Vec<Option<FlowEntry>>,
+    ///
+    /// Entries are individually `Arc`ed so [`FlowTable::snapshot`] can
+    /// publish an immutable view with pointer clones instead of deep
+    /// copies; in-place mutation goes through [`Arc::make_mut`], which
+    /// only copies an entry still shared with a live snapshot.
+    slots: Vec<Option<Arc<FlowEntry>>>,
     /// Recycled slot ids.
     free: Vec<usize>,
     /// `(match, priority)` → slot, for O(1) exact-identity commands.
@@ -171,7 +177,7 @@ impl FlowTable {
         self.buckets
             .values()
             .flatten()
-            .map(|&i| self.slots[i].as_ref().expect("bucketed slot occupied"))
+            .map(|&i| self.slots[i].as_deref().expect("bucketed slot occupied"))
     }
 
     /// Slot ids in match order whose entries satisfy `pred`.
@@ -180,7 +186,7 @@ impl FlowTable {
             .values()
             .flatten()
             .copied()
-            .filter(|&i| self.slots[i].as_ref().is_some_and(&mut pred))
+            .filter(|&i| self.slots[i].as_deref().is_some_and(&mut pred))
             .collect()
     }
 
@@ -197,6 +203,9 @@ impl FlowTable {
                 .remove(&(entry.flow_match.clone(), entry.priority));
             self.free.push(i);
             self.len -= 1;
+            // Unshared entries move out for free; an entry still pinned by
+            // a snapshot is cloned.
+            let entry = Arc::try_unwrap(entry).unwrap_or_else(|shared| (*shared).clone());
             removed.push(RemovedEntry { entry, reason });
         }
         let gone: std::collections::HashSet<usize> = ids.iter().map(|&(i, _)| i).collect();
@@ -224,6 +233,7 @@ impl FlowTable {
     fn insert_entry(&mut self, entry: FlowEntry) {
         let key = (entry.flow_match.clone(), entry.priority);
         let priority = entry.priority;
+        let entry = Arc::new(entry);
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(entry);
@@ -254,7 +264,7 @@ impl FlowTable {
                 // OpenFlow replaces an identical (match, priority) entry in
                 // place: one index probe, no scan, bucket position retained.
                 if let Some(&slot) = self.index.get(&(fm.flow_match.clone(), fm.priority)) {
-                    self.slots[slot] = Some(FlowEntry::from_mod(fm, now));
+                    self.slots[slot] = Some(Arc::new(FlowEntry::from_mod(fm, now)));
                     return Ok(Vec::new());
                 }
                 if self.len >= self.capacity {
@@ -276,7 +286,7 @@ impl FlowTable {
                     );
                 }
                 for i in targets {
-                    let e = self.slots[i].as_mut().expect("matched slot occupied");
+                    let e = Arc::make_mut(self.slots[i].as_mut().expect("matched slot occupied"));
                     e.actions = fm.actions.clone();
                     e.cookie = fm.cookie;
                 }
@@ -285,7 +295,9 @@ impl FlowTable {
             FlowModCommand::ModifyStrict => {
                 match self.index.get(&(fm.flow_match.clone(), fm.priority)) {
                     Some(&slot) => {
-                        let e = self.slots[slot].as_mut().expect("indexed slot occupied");
+                        let e = Arc::make_mut(
+                            self.slots[slot].as_mut().expect("indexed slot occupied"),
+                        );
                         e.actions = fm.actions.clone();
                         e.cookie = fm.cookie;
                         Ok(Vec::new())
@@ -334,11 +346,11 @@ impl FlowTable {
         self.lookup_count += 1;
         let slot = self.buckets.values().flatten().copied().find(|&i| {
             self.slots[i]
-                .as_ref()
+                .as_deref()
                 .is_some_and(|e| e.flow_match.matches_frame(in_port, frame))
         })?;
         self.matched_count += 1;
-        let hit = self.slots[slot].as_mut().expect("matched slot occupied");
+        let hit = Arc::make_mut(self.slots[slot].as_mut().expect("matched slot occupied"));
         hit.packet_count += 1;
         hit.byte_count += byte_len as u64;
         hit.last_hit_at = now;
@@ -354,7 +366,7 @@ impl FlowTable {
             .flatten()
             .copied()
             .filter_map(|i| {
-                let e = self.slots[i].as_ref()?;
+                let e = self.slots[i].as_deref()?;
                 let hard = e.hard_timeout != 0 && now >= e.installed_at + e.hard_timeout as u64;
                 let idle = e.idle_timeout != 0 && now >= e.last_hit_at + e.idle_timeout as u64;
                 if hard {
@@ -403,6 +415,25 @@ impl FlowTable {
         self.iter().filter(|e| e.cookie.owner() == owner).count()
     }
 
+    /// Publishes an immutable point-in-time view of the table: entries in
+    /// [`FlowTable::iter`] order plus the table-level counters. Costs one
+    /// `Arc` clone per entry — no deep copies — so a writer can republish
+    /// after every mutation batch and readers answer stats queries without
+    /// ever taking the table's lock.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            entries: self
+                .buckets
+                .values()
+                .flatten()
+                .map(|&i| self.slots[i].clone().expect("bucketed slot occupied"))
+                .collect(),
+            capacity: self.capacity,
+            lookup_count: self.lookup_count,
+            matched_count: self.matched_count,
+        }
+    }
+
     /// Rebuilds a table from a snapshot: entries in [`FlowTable::iter`]
     /// order plus the table-level counters. Inserting in the given order
     /// reconstructs the per-priority insertion order exactly, so the
@@ -428,6 +459,90 @@ impl FlowTable {
 impl fmt::Display for FlowTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "flow_table[{}/{} entries]", self.len(), self.capacity)
+    }
+}
+
+/// An immutable point-in-time view of a [`FlowTable`].
+///
+/// Holds `Arc` clones of the entries (match order preserved), so building
+/// and cloning a snapshot never deep-copies matches or action lists. All
+/// read-side queries — [`flow_stats`](TableSnapshot::flow_stats),
+/// [`aggregate_stats`](TableSnapshot::aggregate_stats),
+/// [`table_stats`](TableSnapshot::table_stats),
+/// [`count_owned_by`](TableSnapshot::count_owned_by) — answer exactly as
+/// the source table would have at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct TableSnapshot {
+    /// Entries in [`FlowTable::iter`] order.
+    entries: Vec<Arc<FlowEntry>>,
+    capacity: usize,
+    lookup_count: u64,
+    matched_count: u64,
+}
+
+impl TableSnapshot {
+    /// An empty view of a table with the given capacity.
+    pub fn empty(capacity: usize) -> TableSnapshot {
+        TableSnapshot {
+            capacity,
+            ..TableSnapshot::default()
+        }
+    }
+
+    /// Number of entries at snapshot time.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity of the snapshotted table.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates entries in the source table's match order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
+        self.entries.iter().map(Arc::as_ref)
+    }
+
+    /// Per-flow stats for entries subsumed by `query` (see
+    /// [`FlowTable::flow_stats`]).
+    pub fn flow_stats(&self, query: &FlowMatch, now: u64) -> Vec<FlowStats> {
+        self.iter()
+            .filter(|e| query.subsumes(&e.flow_match))
+            .map(|e| e.to_stats(now))
+            .collect()
+    }
+
+    /// Aggregate stats over entries subsumed by `query` (see
+    /// [`FlowTable::aggregate_stats`]).
+    pub fn aggregate_stats(&self, query: &FlowMatch) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for e in self.iter().filter(|e| query.subsumes(&e.flow_match)) {
+            agg.packet_count += e.packet_count;
+            agg.byte_count += e.byte_count;
+            agg.flow_count += 1;
+        }
+        agg
+    }
+
+    /// Table-level counters at snapshot time.
+    pub fn table_stats(&self) -> TableStats {
+        TableStats {
+            active_count: self.entries.len() as u32,
+            lookup_count: self.lookup_count,
+            matched_count: self.matched_count,
+            max_entries: self.capacity as u32,
+        }
+    }
+
+    /// Count of entries owned by the given cookie owner id.
+    pub fn count_owned_by(&self, owner: u16) -> usize {
+        self.iter().filter(|e| e.cookie.owner() == owner).count()
     }
 }
 

@@ -3,6 +3,9 @@
 //! `Condvar`. `std::sync::mpsc` cannot back this — the controller clones one
 //! `Receiver` across a pool of deputy threads, which requires MPMC.
 
+pub mod epoch;
+pub mod queue;
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

@@ -1,0 +1,278 @@
+//! Lock-free bounded queues, mirroring the `crossbeam-queue` crate surface.
+//!
+//! [`ArrayQueue`] is the classic Vyukov bounded MPMC queue: a fixed slab of
+//! slots, each carrying a *stamp* that encodes which lap of the ring the
+//! slot is on and whether it currently holds a value. Producers claim a
+//! slot by CAS-advancing the tail, write the value, then publish by bumping
+//! the stamp; consumers mirror the dance on the head. Neither side ever
+//! takes a lock, and a full (or empty) queue is detected in O(1) from the
+//! stamp alone.
+//!
+//! The controller's audit ring builds on this: `push` returning `Err` is
+//! its backpressure signal, and `pop` is its drain path.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Lap/occupancy stamp. For the slot at index `i`:
+    /// `stamp == tail` means empty and writable on this lap;
+    /// `stamp == pos + 1` means occupied and readable;
+    /// `stamp == pos + capacity` means empty again on the next lap.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+pub struct ArrayQueue<T> {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+    cap: usize,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ArrayQueue capacity must be non-zero");
+        ArrayQueue {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots: (0..cap)
+                .map(|i| Slot {
+                    stamp: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            cap,
+        }
+    }
+
+    /// Attempts to push `value`, returning it back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % self.cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let dif = (stamp as isize).wrapping_sub(tail as isize);
+            if dif == 0 {
+                // Slot is empty on our lap: claim it.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => tail = current,
+                }
+            } else if dif < 0 {
+                // Slot still holds a value from the previous lap. Confirm
+                // the queue really is full (rather than racing a pop that
+                // has advanced the head but not yet bumped the stamp).
+                let head = self.head.load(Ordering::Relaxed);
+                if head.wrapping_add(self.cap) == tail {
+                    return Err(value);
+                }
+                std::hint::spin_loop();
+                tail = self.tail.load(Ordering::Relaxed);
+            } else {
+                // Another producer claimed this slot; reload the tail.
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to pop the oldest value.
+    ///
+    /// Returns `None` when the queue is empty — including the transient
+    /// case where a producer has claimed a slot but not yet published its
+    /// value. Callers polling for completeness should re-check after the
+    /// producers they synchronize with have returned from `push`.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % self.cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let dif = (stamp as isize).wrapping_sub(head.wrapping_add(1) as isize);
+            if dif == 0 {
+                // Slot holds a published value on our lap: claim it.
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp
+                            .store(head.wrapping_add(self.cap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => head = current,
+                }
+            } else if dif < 0 {
+                // Empty on our lap (a producer may have claimed but not
+                // published; that value is not yet observable).
+                return None;
+            } else {
+                // Another consumer claimed this slot; reload the head.
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Approximate number of elements (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::SeqCst);
+        tail.wrapping_sub(head).min(self.cap)
+    }
+
+    /// Whether the queue is empty (approximate under contention).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is full (approximate under contention).
+    pub fn is_full(&self) -> bool {
+        self.len() == self.cap
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("capacity", &self.cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = ArrayQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let q = ArrayQueue::new(3);
+        for lap in 0..100 {
+            q.push(lap * 2).unwrap();
+            q.push(lap * 2 + 1).unwrap();
+            assert_eq!(q.pop(), Some(lap * 2));
+            assert_eq!(q.pop(), Some(lap * 2 + 1));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mpmc_transfers_every_element_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 10_000;
+        let q = Arc::new(ArrayQueue::new(64));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                let count = Arc::clone(&count);
+                s.spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if count.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn drop_releases_unpopped_values() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = ArrayQueue::new(8);
+            for _ in 0..5 {
+                q.push(Tracked).unwrap();
+            }
+            drop(q.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}
