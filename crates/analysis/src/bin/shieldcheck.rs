@@ -2,20 +2,32 @@
 //!
 //! ```text
 //! shieldcheck [--format text|json] [--market] [--deny-warnings] FILE...
+//! shieldcheck diff    [--format text|json] OLD.pol NEW.pol MANIFEST...
+//! shieldcheck certify [--format text|json] TRACE
 //! ```
 //!
-//! Files ending in `.pol` are policies; everything else is a manifest.
-//! With `--market`, the manifests and the (single) policy are additionally
-//! cross-checked as one app-market submission: `APP` references must name a
-//! submitted manifest, and stub macros must be completed by the policy.
+//! In lint mode, files ending in `.pol` are policies; everything else is a
+//! manifest. With `--market`, the manifests and the (single) policy are
+//! additionally cross-checked as one app-market submission: `APP` references
+//! must name a submitted manifest, stub macros must be completed by the
+//! policy, and the reconciled market is checked for cross-app conflicts
+//! (SH012–SH014).
 //!
-//! Exit status: `0` clean (or warnings only), `1` findings at the failing
-//! severity (errors, or warnings too under `--deny-warnings`), `2` usage or
-//! I/O error.
+//! `diff` reconciles every manifest under both policies and reports each
+//! (app, token) decision that flips, with a SAT witness (SH015) — the
+//! hot-reload pre-flight gate. `certify` replays an exported kernel
+//! decision trace against the static envelope (SH016/SH017).
+//!
+//! Exit status (stable contract, pinned by the CLI e2e tests):
+//! `0` clean, `1` warnings only, `2` errors (or warnings under
+//! `--deny-warnings`), `3` usage or I/O error.
 
 use std::process::ExitCode;
 
-use sdnshield_analysis::{analyze_manifest, analyze_market, analyze_policy, Diagnostic, Severity};
+use sdnshield_analysis::{
+    analyze_manifest, analyze_market, analyze_policy, certify_trace, diff_market, Diagnostic,
+    Severity,
+};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -31,10 +43,13 @@ struct Options {
 }
 
 const USAGE: &str = "usage: shieldcheck [--format text|json] [--market] [--deny-warnings] FILE...
+       shieldcheck diff    [--format text|json] OLD.pol NEW.pol MANIFEST...
+       shieldcheck certify [--format text|json] TRACE
   FILE            manifest source, or policy when the name ends in .pol
   --format FMT    output format: text (default) or json
   --market        cross-check all manifests against the single policy
-  --deny-warnings exit 1 on warnings as well as errors";
+  --deny-warnings exit 2 on warnings as well as errors
+exit status: 0 clean, 1 warnings, 2 errors, 3 usage/IO error";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
@@ -77,28 +92,60 @@ fn app_name(path: &str) -> &str {
     base.strip_suffix(".perm").unwrap_or(base)
 }
 
+/// Usage/I-O failure: message + usage text, exit 3.
+fn usage_error(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("{USAGE}");
+    ExitCode::from(3)
+}
+
+fn read_file(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::from(3)
+    })
+}
+
+/// The stable exit contract: 0 clean, 1 warnings only, 2 errors (or
+/// warnings when `deny_warnings`).
+fn exit_for(diags: &[Diagnostic], deny_warnings: bool) -> ExitCode {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::from(2)
+    } else if warnings > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
+    match args.first().map(String::as_str) {
+        Some("diff") => run_diff(&args[1..]),
+        Some("certify") => run_certify(&args[1..]),
+        _ => run_lint(&args),
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
         Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
+        Err(msg) => return usage_error(&msg),
     };
 
-    // Read everything up front so I/O failures exit 2 before any analysis.
+    // Read everything up front so I/O failures exit 3 before any analysis.
     let mut sources: Vec<(String, String)> = Vec::new();
     for path in &opts.files {
-        match std::fs::read_to_string(path) {
+        match read_file(path) {
             Ok(src) => sources.push((path.clone(), src)),
-            Err(e) => {
-                eprintln!("error: cannot read `{path}`: {e}");
-                return ExitCode::from(2);
-            }
+            Err(code) => return code,
         }
     }
 
@@ -108,11 +155,10 @@ fn main() -> ExitCode {
         let policies: Vec<&(String, String)> =
             sources.iter().filter(|(p, _)| is_policy(p)).collect();
         if policies.len() != 1 {
-            eprintln!(
-                "error: --market needs exactly one policy (.pol) among the inputs, found {}",
+            return usage_error(&format!(
+                "--market needs exactly one policy (.pol) among the inputs, found {}",
                 policies.len()
-            );
-            return ExitCode::from(2);
+            ));
         }
         let (policy_path, policy_src) = policies[0];
         let manifests: Vec<(&str, &str)> = sources
@@ -138,8 +184,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
     match opts.format {
         Format::Json => {
             let mut objects = Vec::new();
@@ -158,24 +202,98 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (_, _, diags) in &results {
-        for d in diags {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warning => warnings += 1,
-            }
-        }
-    }
+    let all: Vec<Diagnostic> = results.into_iter().flat_map(|(_, _, ds)| ds).collect();
     if opts.format == Format::Text {
+        let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
         println!(
-            "shieldcheck: {} file(s), {errors} error(s), {warnings} warning(s)",
-            results.len()
+            "shieldcheck: {errors} error(s), {} warning(s)",
+            all.len() - errors
         );
     }
+    exit_for(&all, opts.deny_warnings)
+}
 
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
+fn run_diff(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error(&msg),
+    };
+    if opts.files.len() < 2 {
+        return usage_error("diff needs OLD.pol NEW.pol and zero or more manifests");
     }
+    let (old_path, new_path) = (&opts.files[0], &opts.files[1]);
+    if !is_policy(old_path) || !is_policy(new_path) {
+        return usage_error("the first two diff arguments must be policies (.pol)");
+    }
+    let old_src = match read_file(old_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let new_src = match read_file(new_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    for path in &opts.files[2..] {
+        match read_file(path) {
+            Ok(src) => manifests.push((app_name(path).to_owned(), src)),
+            Err(code) => return code,
+        }
+    }
+    let borrowed: Vec<(&str, &str)> = manifests
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let report = diff_market(&borrowed, &old_src, &new_src);
+    let diags = report.diagnostics();
+    match opts.format {
+        Format::Json => println!("{}", report.render_json()),
+        Format::Text => {
+            for d in &diags {
+                print!("{}", d.render_text("", new_path));
+            }
+            println!(
+                "shieldcheck diff: {} app(s), {} decision flip(s), {} error(s)",
+                report.apps.len(),
+                report.entries.len(),
+                report.errors.len()
+            );
+        }
+    }
+    exit_for(&diags, opts.deny_warnings)
+}
+
+fn run_certify(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error(&msg),
+    };
+    if opts.files.len() != 1 {
+        return usage_error("certify needs exactly one TRACE file");
+    }
+    let trace_path = &opts.files[0];
+    let src = match read_file(trace_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let report = certify_trace(&src);
+    match opts.format {
+        Format::Json => println!("{}", report.render_json(trace_path)),
+        Format::Text => {
+            for d in &report.findings {
+                print!("{}", d.render_text("", trace_path));
+            }
+            println!(
+                "shieldcheck certify: {} decision(s) ({} allow, {} deny, {} unknown), \
+                 {} finding(s), certified: {}",
+                report.decisions,
+                report.allows,
+                report.denies,
+                report.unknown,
+                report.findings.len(),
+                if report.is_certified() { "yes" } else { "no" }
+            );
+        }
+    }
+    exit_for(&report.findings, opts.deny_warnings)
 }

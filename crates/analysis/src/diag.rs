@@ -5,6 +5,11 @@ use std::fmt;
 
 use sdnshield_core::Span;
 
+/// Version of every JSON shape shieldcheck emits (diagnostic objects, diff
+/// and certify reports). Bumped on any breaking change to field names or
+/// semantics; the unversioned pre-v2 diagnostic shape is retroactively v1.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// How serious a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
@@ -92,9 +97,10 @@ impl Diagnostic {
         out
     }
 
-    /// Renders one JSON object (no trailing newline). The shape is stable:
-    /// `{"code","severity","message","origin","line","col","len","notes"}`,
-    /// with `line`/`col`/`len` null when the finding has no span.
+    /// Renders one JSON object (no trailing newline). The shape is stable
+    /// and versioned: `{"schema_version","code","severity","message",
+    /// "origin","line","col","len","notes"}`, with `line`/`col`/`len` null
+    /// when the finding has no span.
     pub fn render_json(&self, origin: &str) -> String {
         let (line, col, len) = match self.span {
             Some(s) => (s.line.to_string(), s.col.to_string(), s.len.to_string()),
@@ -107,7 +113,7 @@ impl Diagnostic {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"code\":{},\"severity\":{},\"message\":{},\"origin\":{},\"line\":{line},\"col\":{col},\"len\":{len},\"notes\":[{notes}]}}",
+            "{{\"schema_version\":{SCHEMA_VERSION},\"code\":{},\"severity\":{},\"message\":{},\"origin\":{},\"line\":{line},\"col\":{col},\"len\":{len},\"notes\":[{notes}]}}",
             json_string(self.code),
             json_string(&self.severity.to_string()),
             json_string(&self.message),
@@ -117,7 +123,7 @@ impl Diagnostic {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -166,6 +172,10 @@ mod tests {
             Span::new(1, 5, 1),
         );
         let json = d.render_json("p.pol");
+        assert!(
+            json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")),
+            "{json}"
+        );
         assert!(json.contains("\"code\":\"SH005\""), "{json}");
         assert!(json.contains("\\\"y"), "{json}");
         assert!(json.contains("\"line\":1"), "{json}");

@@ -1,0 +1,340 @@
+//! Semantic market diff: which (app, token, witness-call) decisions flip
+//! between two site policies (DESIGN.md §14).
+//!
+//! `shieldcheck diff <old.pol> <new.pol>` reconciles every manifest under
+//! both policies and compares the resulting grants token by token with the
+//! exact SAT core — textual policy differences that change no decision
+//! produce no entries, and semantically different policies are pinned to a
+//! concrete witness (a behavior class newly allowed or newly denied). This
+//! is the hot-reload pre-flight gate: ROADMAP item 3's live policy swap can
+//! refuse (or require confirmation for) any reload whose diff is nonempty.
+
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_core::policy::parse_policy;
+use sdnshield_core::reconcile::Reconciler;
+use sdnshield_core::sat;
+use sdnshield_core::{FilterExpr, PermissionSet, PermissionToken};
+
+use crate::diag::{json_string, Diagnostic, Severity};
+
+/// How an (app, token) decision changed between the two policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// No effective grant before, some behavior allowed now.
+    Granted,
+    /// Some behavior allowed before, no effective grant now.
+    Revoked,
+    /// Strictly fewer behaviors allowed now.
+    Narrowed,
+    /// Strictly more behaviors allowed now.
+    Widened,
+    /// Incomparable: some behaviors gained, others lost.
+    Reshaped,
+}
+
+impl ChangeKind {
+    /// Stable lower-case name used in JSON and messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChangeKind::Granted => "granted",
+            ChangeKind::Revoked => "revoked",
+            ChangeKind::Narrowed => "narrowed",
+            ChangeKind::Widened => "widened",
+            ChangeKind::Reshaped => "reshaped",
+        }
+    }
+}
+
+/// One decision flip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// The affected app.
+    pub app: String,
+    /// The affected token.
+    pub token: PermissionToken,
+    /// The direction of the change.
+    pub change: ChangeKind,
+    /// A behavior class allowed under the new policy but not the old
+    /// (SAT model description), when one exists.
+    pub newly_allowed: Option<String>,
+    /// A behavior class allowed under the old policy but not the new.
+    pub newly_denied: Option<String>,
+}
+
+/// The full semantic diff.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// Apps compared, in submission order.
+    pub apps: Vec<String>,
+    /// Every (app, token) decision flip.
+    pub entries: Vec<DiffEntry>,
+    /// Input failures (parse or reconcile errors) that made parts of the
+    /// diff impossible; error severity.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl DiffReport {
+    /// Renders the report as diagnostics: every input failure, then one
+    /// SH015 warning per flip.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = self.errors.clone();
+        for e in &self.entries {
+            let mut d = Diagnostic::new(
+                "SH015",
+                Severity::Warning,
+                format!(
+                    "app `{}`: `{}` authority is {} by the new policy",
+                    e.app,
+                    e.token.name(),
+                    e.change.name()
+                ),
+                sdnshield_core::lang::SpannedExpr::DUMMY_SPAN,
+            );
+            if let Some(w) = &e.newly_allowed {
+                d = d.with_note(format!("newly allowed: {w}"));
+            }
+            if let Some(w) = &e.newly_denied {
+                d = d.with_note(format!("newly denied: {w}"));
+            }
+            out.push(d);
+        }
+        out
+    }
+
+    /// Is the diff clean (no flips, no input failures)?
+    pub fn is_clean(&self) -> bool {
+        self.entries.is_empty() && self.errors.is_empty()
+    }
+
+    /// Stable JSON object: `{"schema_version":…,"mode":"diff","apps":[…],
+    /// "flips":[{"app","token","change","newly_allowed","newly_denied"}],
+    /// "errors":[<diagnostic>…]}`.
+    pub fn render_json(&self) -> String {
+        let flips: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let opt = |v: &Option<String>| match v {
+                    Some(s) => json_string(s),
+                    None => "null".to_owned(),
+                };
+                format!(
+                    "{{\"app\":{},\"token\":{},\"change\":{},\"newly_allowed\":{},\"newly_denied\":{}}}",
+                    json_string(&e.app),
+                    json_string(e.token.name()),
+                    json_string(e.change.name()),
+                    opt(&e.newly_allowed),
+                    opt(&e.newly_denied),
+                )
+            })
+            .collect();
+        let errors: Vec<String> = self.errors.iter().map(|d| d.render_json("diff")).collect();
+        format!(
+            "{{\"schema_version\":{},\"mode\":\"diff\",\"apps\":[{}],\"flips\":[{}],\"errors\":[{}]}}",
+            crate::diag::SCHEMA_VERSION,
+            self.apps
+                .iter()
+                .map(|a| json_string(a))
+                .collect::<Vec<_>>()
+                .join(","),
+            flips.join(","),
+            errors.join(","),
+        )
+    }
+}
+
+/// Reconciles every app under one policy. Returns `None` entries for apps
+/// whose reconciliation failed (the caller records the error once).
+fn reconcile_all(
+    policy_src: &str,
+    policy_label: &str,
+    manifests: &[(String, PermissionSet)],
+    errors: &mut Vec<Diagnostic>,
+) -> Option<Vec<Option<PermissionSet>>> {
+    let policy = match parse_policy(policy_src) {
+        Ok(p) => p,
+        Err(e) => {
+            errors.push(Diagnostic::new(
+                "SH000",
+                Severity::Error,
+                format!("{policy_label}: syntax error: {}", e.message),
+                e.span(),
+            ));
+            return None;
+        }
+    };
+    let mut rec = Reconciler::new(policy);
+    for (name, set) in manifests {
+        rec.register_app(name.clone(), set.clone());
+    }
+    Some(
+        manifests
+            .iter()
+            .map(|(name, _)| match rec.reconcile(name) {
+                Ok(rep) => Some(rep.reconciled),
+                Err(e) => {
+                    errors.push(
+                        Diagnostic::new(
+                            "SH015",
+                            Severity::Error,
+                            format!("app `{name}` cannot be reconciled under {policy_label}: {e}"),
+                            sdnshield_core::lang::SpannedExpr::DUMMY_SPAN,
+                        )
+                        .with_note("fix the policy (shieldcheck --market) before diffing"),
+                    );
+                    None
+                }
+            })
+            .collect(),
+    )
+}
+
+/// An (app, token) grant is *effective* only if its filter admits some
+/// behavior; a granted-but-unsatisfiable filter decides exactly like an
+/// absent grant, so the diff treats them identically.
+fn effective(set: &PermissionSet, token: PermissionToken) -> Option<&FilterExpr> {
+    set.filter(token).filter(|f| sat::satisfiable(f))
+}
+
+/// Computes the semantic diff of a market between two site policies.
+/// `manifests` pairs each app name with its manifest source.
+pub fn diff_market(manifests: &[(&str, &str)], old_policy: &str, new_policy: &str) -> DiffReport {
+    let mut report = DiffReport::default();
+    let mut parsed: Vec<(String, PermissionSet)> = Vec::new();
+    for (name, src) in manifests {
+        match parse_manifest(src) {
+            Ok(set) => {
+                report.apps.push((*name).to_owned());
+                parsed.push(((*name).to_owned(), set));
+            }
+            Err(e) => {
+                report.errors.push(Diagnostic::new(
+                    "SH000",
+                    Severity::Error,
+                    format!("{name}: syntax error: {}", e.message),
+                    e.span(),
+                ));
+            }
+        }
+    }
+    let old = reconcile_all(old_policy, "the old policy", &parsed, &mut report.errors);
+    let new = reconcile_all(new_policy, "the new policy", &parsed, &mut report.errors);
+    let (Some(old), Some(new)) = (old, new) else {
+        return report;
+    };
+
+    for (i, (name, _)) in parsed.iter().enumerate() {
+        let (Some(old_set), Some(new_set)) = (&old[i], &new[i]) else {
+            continue;
+        };
+        let mut tokens: Vec<PermissionToken> = old_set.tokens().collect();
+        for t in new_set.tokens() {
+            if !tokens.contains(&t) {
+                tokens.push(t);
+            }
+        }
+        tokens.sort();
+        for token in tokens {
+            let of = effective(old_set, token);
+            let nf = effective(new_set, token);
+            let describe = |m: Option<sat::Model>| m.as_ref().map(sat::describe_model);
+            let entry = match (of, nf) {
+                (None, None) => continue,
+                (None, Some(nf)) => DiffEntry {
+                    app: name.clone(),
+                    token,
+                    change: ChangeKind::Granted,
+                    newly_allowed: describe(sat::witness(nf)),
+                    newly_denied: None,
+                },
+                (Some(of), None) => DiffEntry {
+                    app: name.clone(),
+                    token,
+                    change: ChangeKind::Revoked,
+                    newly_allowed: None,
+                    newly_denied: describe(sat::witness(of)),
+                },
+                (Some(of), Some(nf)) => {
+                    // Witness the asymmetric directions; equivalence = both
+                    // directions hold = both counterexamples absent.
+                    let gained = sat::counterexample(nf, of);
+                    let lost = sat::counterexample(of, nf);
+                    let change = match (&gained, &lost) {
+                        (None, None) => continue,
+                        (Some(_), None) => ChangeKind::Widened,
+                        (None, Some(_)) => ChangeKind::Narrowed,
+                        (Some(_), Some(_)) => ChangeKind::Reshaped,
+                    };
+                    DiffEntry {
+                        app: name.clone(),
+                        token,
+                        change,
+                        newly_allowed: describe(gained),
+                        newly_denied: describe(lost),
+                    }
+                }
+            };
+            report.entries.push(entry);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.255.0.0\n\
+                            PERM read_statistics";
+
+    #[test]
+    fn identical_policies_diff_clean() {
+        let pol = "ASSERT APP app <= { PERM insert_flow PERM read_statistics }";
+        let r = diff_market(&[("fwd", MANIFEST)], pol, pol);
+        assert!(r.is_clean(), "{:?}", r.entries);
+    }
+
+    #[test]
+    fn narrowing_policy_produces_a_witnessed_flip() {
+        let old = "ASSERT APP app <= { PERM insert_flow PERM read_statistics }";
+        let new = "ASSERT APP app <= { PERM insert_flow LIMITING MAX_PRIORITY 100 \
+                   PERM read_statistics }";
+        let r = diff_market(&[("fwd", MANIFEST)], old, new);
+        assert_eq!(r.entries.len(), 1, "{:?}", r.entries);
+        let e = &r.entries[0];
+        assert_eq!(e.token, PermissionToken::InsertFlow);
+        assert_eq!(e.change, ChangeKind::Narrowed);
+        let w = e.newly_denied.as_deref().expect("lost-behavior witness");
+        assert!(w.contains("MAX_PRIORITY"), "witness: {w}");
+        let diags = r.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SH015");
+    }
+
+    #[test]
+    fn revocation_is_reported() {
+        let old = "ASSERT APP app <= { PERM insert_flow PERM read_statistics }";
+        let new = "ASSERT APP app <= { PERM read_statistics }";
+        let r = diff_market(&[("fwd", MANIFEST)], old, new);
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].change, ChangeKind::Revoked);
+    }
+
+    #[test]
+    fn bad_policy_is_an_error_not_a_panic() {
+        let r = diff_market(&[("fwd", MANIFEST)], "ASSERT bogus ???", "ASSERT bogus ???");
+        assert!(!r.errors.is_empty());
+        assert!(r.entries.is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let old = "ASSERT APP app <= { PERM insert_flow PERM read_statistics }";
+        let new = "ASSERT APP app <= { PERM read_statistics }";
+        let r = diff_market(&[("fwd", MANIFEST)], old, new);
+        let js = r.render_json();
+        assert!(js.starts_with("{\"schema_version\":"));
+        assert!(js.contains("\"mode\":\"diff\""));
+        assert!(js.contains("\"change\":\"revoked\""));
+    }
+}

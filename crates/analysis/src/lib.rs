@@ -23,6 +23,16 @@
 //! | SH009 | error    | `APP` reference to an unknown app (market mode) |
 //! | SH010 | warning  | constant assertion (references no app; can never trigger) |
 //! | SH011 | warning  | stub macro not completed by the policy (market mode) |
+//! | SH012 | warning  | overlapping write authority between reconciled apps (market mode) |
+//! | SH013 | warning  | jointly exhaustive aggregate write authority (market mode) |
+//! | SH014 | warning  | reconciliation cycle through `APP` references (market mode) |
+//! | SH015 | warning  | semantic diff: an (app, token) decision flips (`shieldcheck diff`) |
+//! | SH016 | error    | runtime Allow outside the static envelope (`shieldcheck certify`) |
+//! | SH017 | warning  | runtime Deny of a statically always-allowed call (`shieldcheck certify`) |
+//!
+//! SH001, SH002, and SH008 are decided *exactly* by the SAT core
+//! (`sdnshield_core::sat`); see DESIGN.md §14 for the theory axioms and the
+//! accepted incompleteness around stateful literals.
 //!
 //! # Examples
 //!
@@ -38,15 +48,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod certify;
 pub mod diag;
+pub mod diff;
 pub mod lint;
 
 use sdnshield_core::lang::{parse_manifest_spanned, SpannedExpr, SpannedManifest, SpannedPerm};
 use sdnshield_core::policy::parse_policy_spanned;
 use sdnshield_core::{PermissionSet, SyntaxError};
 
+pub use certify::{certify_trace, CertifyReport};
 pub use diag::{Diagnostic, Severity};
-pub use lint::MarketManifest;
+pub use diff::{diff_market, DiffEntry, DiffReport};
+pub use lint::{AppReference, MarketCoverage, MarketManifest, TokenCoverage};
 
 /// Analyzes a manifest source text: parse (SH000 on failure) + all manifest
 /// lint passes. Diagnostics are ordered by source position.
@@ -72,8 +86,12 @@ pub fn analyze_policy(src: &str) -> Vec<Diagnostic> {
 pub struct MarketReport {
     /// Diagnostics per manifest, in submission order, keyed by app name.
     pub manifests: Vec<(String, Vec<Diagnostic>)>,
-    /// Diagnostics pointing into the policy.
+    /// Diagnostics pointing into the policy (including the span-less
+    /// cross-app market findings SH012–SH014).
     pub policy: Vec<Diagnostic>,
+    /// Aggregate write-authority coverage and `APP`-reference reachability
+    /// over the reconciled market.
+    pub coverage: MarketCoverage,
 }
 
 impl MarketReport {
@@ -98,6 +116,7 @@ pub fn analyze_market(manifests: &[(&str, &str)], policy_src: &str) -> MarketRep
             .map(|(name, _)| ((*name).to_owned(), Vec::new()))
             .collect(),
         policy: Vec::new(),
+        coverage: MarketCoverage::default(),
     };
     for (i, (_, src)) in manifests.iter().enumerate() {
         match parse_manifest_spanned(src) {
@@ -121,6 +140,9 @@ pub fn analyze_market(manifests: &[(&str, &str)], policy_src: &str) -> MarketRep
             for (i, m) in &parsed {
                 report.manifests[*i].1.extend(lint::stub_lints(m, &policy));
             }
+            let (cross, coverage) = lint::market_lints(&policy, &market);
+            report.policy.extend(cross);
+            report.coverage = coverage;
         }
         Err(e) => report.policy.push(syntax_diag(&e)),
     }

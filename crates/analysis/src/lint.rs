@@ -1,10 +1,14 @@
 //! Semantic lint passes over parsed manifests and policies.
 //!
-//! The passes reuse the Algorithm-1 CNF/DNF machinery from
-//! `sdnshield_core::algebra` for subsumption and disjointness reasoning, so
-//! every verdict here is *sound*: a reported shadowing or unsatisfiability is
-//! provable under the paper's inclusion relation (unknown relations stay
-//! silent rather than produce false positives).
+//! The passes use two tiers of reasoning. The Algorithm-1 CNF/DNF machinery
+//! from `sdnshield_core::algebra` provides fast pairwise subsumption and
+//! disjointness pre-checks with precise two-span diagnostics. Where pairwise
+//! reasoning is incomplete — joint unsatisfiability needing three conjuncts,
+//! a branch covered only by the *union* of its siblings, name-shared tokens
+//! whose conjoined filters admit nothing — the exact SAT core
+//! (`sdnshield_core::sat`, DESIGN.md §14) decides the general case, so
+//! SH001/SH002/SH008 verdicts are exact under the theory axioms. Verdicts
+//! remain *sound*: every reported finding is provable.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -14,7 +18,8 @@ use sdnshield_core::lang::{SpannedExpr, SpannedManifest};
 use sdnshield_core::policy::{
     CmpOp, SpannedAssertion, SpannedPermSetExpr, SpannedPolicy, SpannedStmtKind,
 };
-use sdnshield_core::reconcile::CURRENT_APP;
+use sdnshield_core::reconcile::{Reconciler, CURRENT_APP};
+use sdnshield_core::sat;
 use sdnshield_core::token::ActionClass;
 use sdnshield_core::{PermissionSet, PermissionToken, Span};
 
@@ -79,9 +84,11 @@ pub fn lint_filter(e: &SpannedExpr, out: &mut Vec<Diagnostic>) {
     match e {
         SpannedExpr::And(parts) => {
             let lowered: Vec<FilterExpr> = parts.iter().map(SpannedExpr::to_expr).collect();
+            let mut pairwise_hit = false;
             for i in 0..parts.len() {
                 for j in (i + 1)..parts.len() {
                     if provably_disjoint(&lowered[i], &lowered[j]) {
+                        pairwise_hit = true;
                         out.push(
                             Diagnostic::new(
                                 "SH001",
@@ -98,12 +105,34 @@ pub fn lint_filter(e: &SpannedExpr, out: &mut Vec<Diagnostic>) {
                     }
                 }
             }
+            // The pairwise pass above is a fast pre-check with precise
+            // two-span diagnostics. The SAT core decides the general case
+            // exactly: conflicts that need three or more conjuncts (a
+            // prefix split, a priority-range exhaustion) have no provably
+            // disjoint pair and only surface here.
+            if !pairwise_hit && !sat::satisfiable(&FilterExpr::And(lowered.clone())) {
+                out.push(
+                    Diagnostic::new(
+                        "SH001",
+                        Severity::Error,
+                        "conjunction is unsatisfiable: \
+                         no behavior satisfies all conjuncts together",
+                        parts[0].span(),
+                    )
+                    .with_note(
+                        "the conjuncts are pairwise satisfiable; the joint conflict \
+                         is proved by the exact SAT check",
+                    )
+                    .with_note("no API call can ever satisfy this filter; did you mean OR?"),
+                );
+            }
             for p in parts {
                 lint_filter(p, out);
             }
         }
         SpannedExpr::Or(parts) => {
             let lowered: Vec<FilterExpr> = parts.iter().map(SpannedExpr::to_expr).collect();
+            let mut flagged = vec![false; parts.len()];
             for i in 0..parts.len() {
                 let shadowing = (0..parts.len()).find(|&j| {
                     j != i
@@ -111,6 +140,7 @@ pub fn lint_filter(e: &SpannedExpr, out: &mut Vec<Diagnostic>) {
                         && (j < i || !algebra::includes(&lowered[i], &lowered[j]))
                 });
                 if let Some(j) = shadowing {
+                    flagged[i] = true;
                     out.push(
                         Diagnostic::new(
                             "SH002",
@@ -119,6 +149,40 @@ pub fn lint_filter(e: &SpannedExpr, out: &mut Vec<Diagnostic>) {
                             parts[i].span(),
                         )
                         .with_note(locate("subsumed by the branch", parts[j].span())),
+                    );
+                }
+            }
+            // Exact pass: a branch can be redundant against the *union* of
+            // its siblings with no single sibling subsuming it (two prefix
+            // halves covering their parent). Greedy descending elimination
+            // over the not-yet-flagged branches keeps at least one covering
+            // branch and preserves the pairwise pass's later-duplicate
+            // tie-break.
+            for i in (0..parts.len()).rev() {
+                if flagged[i] {
+                    continue;
+                }
+                let rest: Vec<FilterExpr> = (0..parts.len())
+                    .filter(|&j| j != i && !flagged[j])
+                    .map(|j| lowered[j].clone())
+                    .collect();
+                if rest.is_empty() {
+                    continue;
+                }
+                if sat::implies(&lowered[i], &FilterExpr::Or(rest)) {
+                    flagged[i] = true;
+                    out.push(
+                        Diagnostic::new(
+                            "SH002",
+                            Severity::Warning,
+                            "this OR branch is redundant: \
+                             the union of its sibling branches already covers it",
+                            parts[i].span(),
+                        )
+                        .with_note(
+                            "no single sibling subsumes it; the cover is proved \
+                             by the exact SAT check over the sibling union",
+                        ),
                     );
                 }
             }
@@ -370,9 +434,16 @@ fn lint_assertion(
             }
         }
         if let (Some(l), Some(r)) = (&l, &r) {
+            // Exact refinement: `meet` ANDs the two sides' filters per
+            // token, so a token shared *by name* is a real overlap only
+            // when the conjoined filter still admits some behavior.
             let shared = l.meet(r);
-            if !shared.is_empty() && !l.is_empty() && !r.is_empty() {
-                let tokens: Vec<&str> = shared.tokens().map(PermissionToken::name).collect();
+            let tokens: Vec<&str> = shared
+                .iter()
+                .filter(|(_, f)| sat::satisfiable(f))
+                .map(|(t, _)| t.name())
+                .collect();
+            if !tokens.is_empty() && !l.is_empty() && !r.is_empty() {
                 out.push(
                     Diagnostic::new(
                         "SH008",
@@ -587,4 +658,223 @@ fn locate(prefix: &str, span: Span) -> String {
     } else {
         format!("{prefix} at {span}")
     }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-market cross-app lints (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Per-token aggregate authority across the reconciled market.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenCoverage {
+    /// The write-class token.
+    pub token: PermissionToken,
+    /// Apps holding it after site-policy reconciliation.
+    pub holders: Vec<String>,
+    /// True when the union of the holders' filters covers *every* behavior
+    /// in the token's dimension (exact SAT verdict) — no write is outside
+    /// someone's authority.
+    pub exhaustive: bool,
+}
+
+/// One `APP name` policy reference and the apps whose reconciled grants
+/// depend on it (escalation reachability: re-registering the referenced app
+/// silently changes the dependents' effective ceilings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReference {
+    /// The referenced app.
+    pub name: String,
+    /// Market apps whose reconciliation reads this app's manifest.
+    pub dependents: Vec<String>,
+}
+
+/// Aggregate market view computed by [`market_lints`] alongside its
+/// diagnostics, surfaced in JSON reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MarketCoverage {
+    /// Write-class token coverage across reconciled apps.
+    pub write_tokens: Vec<TokenCoverage>,
+    /// Escalation-reachability over `APP` references.
+    pub references: Vec<AppReference>,
+}
+
+/// Cross-app market lints over the *reconciled* manifests: overlapping
+/// write authority (SH012), jointly exhaustive aggregate write authority
+/// (SH013), and reconciliation cycles through `APP` references (SH014).
+/// Returns span-less diagnostics (they concern whole artifacts, not source
+/// positions) plus the coverage report.
+pub fn market_lints(
+    policy: &SpannedPolicy,
+    apps: &[MarketManifest<'_>],
+) -> (Vec<Diagnostic>, MarketCoverage) {
+    let mut out = Vec::new();
+    let mut coverage = MarketCoverage::default();
+
+    // Reconcile every app against the site policy. Apps whose
+    // reconciliation fails (unbound variables, unknown APP references) are
+    // skipped here — SH006/SH009 already report the cause precisely.
+    let mut rec = Reconciler::new(policy.to_policy());
+    for a in apps {
+        rec.register_app(a.name, a.manifest.to_set());
+    }
+    let mut reconciled: Vec<(&str, PermissionSet)> = Vec::new();
+    for a in apps {
+        if let Ok(rep) = rec.reconcile(a.name) {
+            reconciled.push((a.name, rep.reconciled));
+        }
+    }
+
+    // SH012: two apps whose post-reconciliation write authority intersects.
+    for i in 0..reconciled.len() {
+        for j in (i + 1)..reconciled.len() {
+            let (na, sa) = &reconciled[i];
+            let (nb, sb) = &reconciled[j];
+            for (token, fa) in sa.iter() {
+                if token.action() != ActionClass::Write {
+                    continue;
+                }
+                let Some(fb) = sb.filter(token) else { continue };
+                let joint = FilterExpr::And(vec![fa.clone(), fb.clone()]);
+                if let Some(model) = sat::witness(&joint) {
+                    out.push(
+                        Diagnostic::new(
+                            "SH012",
+                            Severity::Warning,
+                            format!(
+                                "apps `{na}` and `{nb}` hold overlapping `{}` \
+                                 authority after reconciliation",
+                                token.name()
+                            ),
+                            SpannedExpr::DUMMY_SPAN,
+                        )
+                        .with_note(format!(
+                            "both may write in: {}",
+                            sat::describe_model(&model)
+                        ))
+                        .with_note(
+                            "rules from either app can shadow or override the other's; \
+                             consider disjoint LIMITING scopes or an EITHER assertion",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Coverage + SH013: per write token, who holds it and whether the
+    // union of their filters is exhaustive (every behavior allowed to
+    // someone — the market as a whole retains unlimited authority).
+    let mut tokens: BTreeSet<PermissionToken> = BTreeSet::new();
+    for (_, set) in &reconciled {
+        tokens.extend(
+            set.iter()
+                .filter(|(t, _)| t.action() == ActionClass::Write)
+                .map(|(t, _)| t),
+        );
+    }
+    for token in tokens {
+        let holders: Vec<&(&str, PermissionSet)> = reconciled
+            .iter()
+            .filter(|(_, s)| s.contains_token(token))
+            .collect();
+        let union = FilterExpr::Or(
+            holders
+                .iter()
+                .filter_map(|(_, s)| s.filter(token).cloned())
+                .collect(),
+        );
+        let exhaustive = !holders.is_empty() && sat::implies(&FilterExpr::True, &union);
+        let names: Vec<String> = holders.iter().map(|(n, _)| (*n).to_owned()).collect();
+        if exhaustive && names.len() >= 2 {
+            out.push(
+                Diagnostic::new(
+                    "SH013",
+                    Severity::Warning,
+                    format!(
+                        "aggregate `{}` authority across apps {} is unlimited: \
+                         together their filters cover every behavior",
+                        token.name(),
+                        names.join(", ")
+                    ),
+                    SpannedExpr::DUMMY_SPAN,
+                )
+                .with_note(
+                    "the site policy bounds each app but not their union; \
+                     a colluding or compromised pair escapes every per-app limit",
+                ),
+            );
+        }
+        coverage.write_tokens.push(TokenCoverage {
+            token,
+            holders: names,
+            exhaustive,
+        });
+    }
+
+    // Escalation reachability + SH014. A statement that names `APP x`
+    // makes the constraint it expresses read x's manifest at reconcile
+    // time; when ONE statement names two distinct market apps, those apps'
+    // reconciled grants depend on each other's manifests — a reconciliation
+    // cycle (re-registering either changes the other's effective ceiling).
+    // Apps referenced by separate, independent statements are NOT coupled,
+    // so a policy that merely constrains several apps stays clean.
+    let mut refs: Vec<(String, Span)> = Vec::new();
+    for stmt in &policy.stmts {
+        let mut stmt_refs: Vec<(String, Span)> = Vec::new();
+        let mut visit = |e: &SpannedPermSetExpr| {
+            walk_perm_set_expr(e, &mut |node| {
+                if let SpannedPermSetExpr::App(name, span) = node {
+                    if name != CURRENT_APP
+                        && apps.iter().any(|a| a.name == name.as_str())
+                        && !stmt_refs.iter().any(|(n, _)| n == name)
+                    {
+                        stmt_refs.push((name.clone(), *span));
+                    }
+                }
+            });
+        };
+        match &stmt.kind {
+            SpannedStmtKind::LetPermSet { value, .. } => visit(value),
+            SpannedStmtKind::Assert(a) => walk_assertion_exprs(a, &mut visit),
+            SpannedStmtKind::LetFilter { .. } => {}
+        }
+        for i in 0..stmt_refs.len() {
+            for j in (i + 1)..stmt_refs.len() {
+                out.push(
+                    Diagnostic::new(
+                        "SH014",
+                        Severity::Warning,
+                        format!(
+                            "statement couples `APP {}` and `APP {}`: their reconciled \
+                             grants depend on each other's manifests",
+                            stmt_refs[i].0, stmt_refs[j].0
+                        ),
+                        stmt_refs[j].1,
+                    )
+                    .with_note(locate("first coupled reference", stmt_refs[i].1))
+                    .with_note(
+                        "re-registering either app changes the other's effective ceiling; \
+                         reconciliation is registration-order sensitive",
+                    ),
+                );
+            }
+        }
+        for (name, span) in stmt_refs {
+            if !refs.iter().any(|(n, _)| *n == name) {
+                refs.push((name, span));
+            }
+        }
+    }
+    for (name, _) in &refs {
+        coverage.references.push(AppReference {
+            name: name.clone(),
+            dependents: apps
+                .iter()
+                .map(|a| a.name.to_owned())
+                .filter(|n| n != name)
+                .collect(),
+        });
+    }
+
+    (out, coverage)
 }

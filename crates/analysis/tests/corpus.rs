@@ -50,6 +50,11 @@ fn sh001_unsatisfiable_conjunction() {
 }
 
 #[test]
+fn sh001_pairwise_sat_jointly_unsat_triple() {
+    check("sh001_triple.perm");
+}
+
+#[test]
 fn sh002_shadowed_or_branch() {
     check("sh002_shadowed.perm");
 }

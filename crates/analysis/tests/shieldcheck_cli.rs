@@ -1,5 +1,6 @@
-//! End-to-end tests for the `shieldcheck` binary: exit codes, text and
-//! JSON rendering, market mode, and usage errors.
+//! End-to-end tests for the `shieldcheck` binary: the stable exit-code
+//! contract (0 clean / 1 warnings / 2 errors / 3 usage), text and JSON
+//! rendering, market mode, semantic diff, and trace certification.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -21,6 +22,13 @@ fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
+/// A scratch directory for generated inputs, unique per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shieldcheck_cli_{test}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
 #[test]
 fn clean_manifest_exits_zero() {
     let out = run(&[fixture("clean.perm").to_str().unwrap()]);
@@ -30,9 +38,9 @@ fn clean_manifest_exits_zero() {
 }
 
 #[test]
-fn error_finding_exits_one_with_caret_text() {
+fn error_finding_exits_two_with_caret_text() {
     let out = run(&[fixture("sh001_unsat.perm").to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
     let text = stdout(&out);
     assert!(text.contains("error[SH001]"), "{text}");
     assert!(text.contains("^^^^^^"), "{text}");
@@ -40,18 +48,18 @@ fn error_finding_exits_one_with_caret_text() {
 }
 
 #[test]
-fn warning_exits_zero_unless_denied() {
+fn warning_exits_one_or_two_when_denied() {
     let path = fixture("sh004_broad.perm");
     let path = path.to_str().unwrap();
     let out = run(&[path]);
-    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
     assert!(stdout(&out).contains("warning[SH004]"));
     let denied = run(&["--deny-warnings", path]);
-    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+    assert_eq!(denied.status.code(), Some(2), "{denied:?}");
 }
 
 #[test]
-fn json_output_is_one_array_with_origins() {
+fn json_output_is_one_array_with_origins_and_schema_version() {
     let manifest = fixture("sh001_unsat.perm");
     let policy = fixture("sh005_unused.pol");
     let out = run(&[
@@ -60,12 +68,13 @@ fn json_output_is_one_array_with_origins() {
         manifest.to_str().unwrap(),
         policy.to_str().unwrap(),
     ]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
     let json = stdout(&out);
     assert!(
         json.starts_with('[') && json.trim_end().ends_with(']'),
         "{json}"
     );
+    assert!(json.contains("\"schema_version\":2"), "{json}");
     assert!(json.contains("\"code\":\"SH001\""), "{json}");
     assert!(json.contains("\"code\":\"SH005\""), "{json}");
     assert!(json.contains("sh001_unsat.perm"), "{json}");
@@ -74,32 +83,231 @@ fn json_output_is_one_array_with_origins() {
 
 #[test]
 fn market_mode_cross_checks() {
-    let dir = std::env::temp_dir().join("shieldcheck_market_test");
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch("market");
     let app = dir.join("fwd.perm");
     let pol = dir.join("site.pol");
     std::fs::write(&app, "PERM insert_flow LIMITING admin_choice\n").unwrap();
     std::fs::write(&pol, "ASSERT APP ghost <= { PERM insert_flow }\n").unwrap();
     let out = run(&["--market", app.to_str().unwrap(), pol.to_str().unwrap()]);
     // SH009 (unknown app, error) + SH011 (uncompleted stub, warning).
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
     let text = stdout(&out);
     assert!(text.contains("error[SH009]"), "{text}");
     assert!(text.contains("warning[SH011]"), "{text}");
 }
 
 #[test]
-fn market_mode_requires_exactly_one_policy() {
-    let out = run(&["--market", fixture("clean.perm").to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(2), "{out:?}");
+fn market_mode_finds_cross_app_write_overlap() {
+    let dir = scratch("sh012");
+    let a = dir.join("alpha.perm");
+    let b = dir.join("beta.perm");
+    let pol = dir.join("site.pol");
+    // Both apps may insert flows on switch 1: overlapping write authority.
+    std::fs::write(&a, "PERM insert_flow LIMITING SWITCH 1,2\n").unwrap();
+    std::fs::write(&b, "PERM insert_flow LIMITING SWITCH 1\n").unwrap();
+    std::fs::write(
+        &pol,
+        "ASSERT APP alpha <= { PERM insert_flow PERM delete_flow }\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "--market",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        pol.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("warning[SH012]"), "{text}");
+    assert!(text.contains("alpha"), "{text}");
+    assert!(text.contains("beta"), "{text}");
 }
 
 #[test]
-fn missing_file_and_bad_flag_exit_two() {
+fn market_mode_couples_apps_named_in_one_statement() {
+    let dir = scratch("sh014");
+    let a = dir.join("alpha.perm");
+    let b = dir.join("beta.perm");
+    let pol = dir.join("site.pol");
+    std::fs::write(&a, "PERM read_statistics\n").unwrap();
+    std::fs::write(&b, "PERM visible_topology\n").unwrap();
+    // One statement naming both apps couples their reconciliations (SH014);
+    // naming them in separate statements must stay clean.
+    std::fs::write(&pol, "ASSERT APP alpha MEET APP beta = { }\n").unwrap();
+    let out = run(&[
+        "--market",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        pol.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stdout(&out).contains("warning[SH014]"), "{}", stdout(&out));
+
+    std::fs::write(
+        &pol,
+        "ASSERT APP alpha <= { PERM read_statistics }\nASSERT APP beta <= { PERM visible_topology }\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "--market",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        pol.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn market_mode_requires_exactly_one_policy() {
+    let out = run(&["--market", fixture("clean.perm").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+#[test]
+fn missing_file_and_bad_flag_exit_three() {
     let out = run(&["definitely_missing_file.perm"]);
-    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
     let out = run(&["--bogus"]);
-    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
     let out = run(&[]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = run(&["diff", "only_one.pol"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = run(&["certify"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+/// Pins the full exit-code contract in one place: 0 clean, 1 warnings,
+/// 2 errors, 3 usage. A change to any of these is a breaking CLI change.
+#[test]
+fn exit_code_contract() {
+    assert_eq!(
+        run(&[fixture("clean.perm").to_str().unwrap()])
+            .status
+            .code(),
+        Some(0)
+    );
+    assert_eq!(
+        run(&[fixture("sh004_broad.perm").to_str().unwrap()])
+            .status
+            .code(),
+        Some(1)
+    );
+    assert_eq!(
+        run(&[fixture("sh001_unsat.perm").to_str().unwrap()])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(run(&["--nonsense"]).status.code(), Some(3));
+}
+
+#[test]
+fn diff_identical_policies_is_clean() {
+    let dir = scratch("diff_clean");
+    let pol = dir.join("site.pol");
+    let app = dir.join("fwd.perm");
+    std::fs::write(
+        &pol,
+        "ASSERT APP fwd <= { PERM insert_flow PERM read_statistics }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &app,
+        "PERM insert_flow LIMITING SWITCH 1\nPERM read_statistics\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "diff",
+        pol.to_str().unwrap(),
+        pol.to_str().unwrap(),
+        app.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        stdout(&out).contains("0 decision flip(s)"),
+        "{:?}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn diff_narrowing_policy_reports_witnessed_flip() {
+    let dir = scratch("diff_flip");
+    let old = dir.join("old.pol");
+    let new = dir.join("new.pol");
+    let app = dir.join("fwd.perm");
+    std::fs::write(
+        &old,
+        "ASSERT APP fwd <= { PERM insert_flow PERM read_statistics }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        "ASSERT APP fwd <= { PERM insert_flow LIMITING MAX_PRIORITY 100 PERM read_statistics }\n",
+    )
+    .unwrap();
+    std::fs::write(&app, "PERM insert_flow\nPERM read_statistics\n").unwrap();
+    let out = run(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        app.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("warning[SH015]"), "{text}");
+    assert!(text.contains("narrowed"), "{text}");
+
+    let json_out = run(&[
+        "diff",
+        "--format",
+        "json",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        app.to_str().unwrap(),
+    ]);
+    assert_eq!(json_out.status.code(), Some(1), "{json_out:?}");
+    let json = stdout(&json_out);
+    assert!(json.contains("\"schema_version\":2"), "{json}");
+    assert!(json.contains("\"mode\":\"diff\""), "{json}");
+    assert!(json.contains("\"change\":\"narrowed\""), "{json}");
+    assert!(json.contains("\"newly_denied\""), "{json}");
+}
+
+#[test]
+fn certify_flags_out_of_envelope_allow() {
+    let dir = scratch("certify");
+    let good = dir.join("good.trace");
+    let bad = dir.join("bad.trace");
+    // One in-envelope allow (switch 1, priority within u16) and one
+    // fabricated allow on a switch the manifest never grants.
+    let register = "register app=1 name=fwd manifest=PERM%20insert_flow%20LIMITING%20SWITCH%201\n";
+    let ok_decision = "decision lane=deputy allowed=true app=1 kind=insert_flow dpid=1 \
+                       match=any cmd=add prio=100 actions=drop\n";
+    let rogue_decision = "decision lane=fastlane allowed=true app=1 kind=insert_flow dpid=9 \
+                          match=any cmd=add prio=50000 actions=drop\n";
+    std::fs::write(&good, format!("{register}{ok_decision}")).unwrap();
+    std::fs::write(&bad, format!("{register}{ok_decision}{rogue_decision}")).unwrap();
+
+    let out = run(&["certify", good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        stdout(&out).contains("certified: yes"),
+        "{:?}",
+        stdout(&out)
+    );
+
+    let out = run(&["certify", bad.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("error[SH016]"), "{text}");
+    assert!(text.contains("certified: no"), "{text}");
+
+    let json_out = run(&["certify", "--format", "json", bad.to_str().unwrap()]);
+    assert_eq!(json_out.status.code(), Some(2), "{json_out:?}");
+    let json = stdout(&json_out);
+    assert!(json.contains("\"mode\":\"certify\""), "{json}");
+    assert!(json.contains("\"certified\":false"), "{json}");
+    assert!(json.contains("\"code\":\"SH016\""), "{json}");
 }

@@ -148,6 +148,12 @@ pub struct Kernel {
     sealed: AtomicBool,
     /// Sequence of the last applied command (== last journal seq).
     last_applied: AtomicU64,
+    /// Decision-trace recorder (DESIGN.md §14). When armed, every
+    /// permission decision — whichever lane made it — plus app
+    /// (de)registrations are appended here for `shieldcheck certify`.
+    /// Debug/verification tooling: excluded from snapshots and replay.
+    trace_armed: AtomicBool,
+    decision_trace: Mutex<Vec<sdnshield_core::trace::TraceEvent>>,
     /// True while this kernel is replaying journal records: audit records
     /// are re-derived under a `replay:` tag and nothing is re-appended.
     replaying: AtomicBool,
@@ -200,7 +206,42 @@ impl Kernel {
             sealed: AtomicBool::new(false),
             last_applied: AtomicU64::new(0),
             replaying: AtomicBool::new(false),
+            trace_armed: AtomicBool::new(false),
+            decision_trace: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Arms the decision-trace recorder, clearing any prior buffer. While
+    /// armed, every permission decision (deputy, fast lane, vectored
+    /// packet-outs, batches) and every (de)registration is recorded as a
+    /// [`sdnshield_core::trace::TraceEvent`] for `shieldcheck certify`.
+    pub fn enable_decision_trace(&self) {
+        self.decision_trace.lock().clear();
+        self.trace_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms the recorder and returns everything recorded since
+    /// [`Kernel::enable_decision_trace`].
+    pub fn take_decision_trace(&self) -> Vec<sdnshield_core::trace::TraceEvent> {
+        self.trace_armed.store(false, Ordering::Release);
+        std::mem::take(&mut *self.decision_trace.lock())
+    }
+
+    /// Appends one trace event if the recorder is armed. The closure keeps
+    /// event construction off the hot path when tracing is off.
+    fn trace_event(&self, ev: impl FnOnce() -> sdnshield_core::trace::TraceEvent) {
+        if self.trace_armed.load(Ordering::Acquire) {
+            self.decision_trace.lock().push(ev());
+        }
+    }
+
+    /// Records one permission decision under the named lane.
+    fn trace_decision(&self, call: &ApiCall, allowed: bool, lane: &'static str) {
+        self.trace_event(|| sdnshield_core::trace::TraceEvent::Decision {
+            lane: lane.to_owned(),
+            allowed,
+            call: call.clone(),
+        });
     }
 
     /// Are permission checks enabled (i.e. is this a shielded kernel rather
@@ -401,6 +442,11 @@ impl Kernel {
             reg.manifests.insert(app, text.to_owned());
         }
         self.bump_registry_epoch();
+        self.trace_event(|| sdnshield_core::trace::TraceEvent::Register {
+            app,
+            name: name.to_owned(),
+            manifest: text.to_owned(),
+        });
         Ok(())
     }
 
@@ -491,10 +537,12 @@ impl Kernel {
                     token: call.required_token(),
                     reason: sdnshield_core::engine::DenyReason::MissingToken,
                 };
+                self.trace_decision(call, false, "deputy");
                 return (Err(err), Vec::new());
             };
             let decision = engine.check_with(call, self.context_epoch(), || self.tracker_read());
             if let Decision::Denied { .. } = decision {
+                self.trace_decision(call, false, "deputy");
                 self.record_audit(
                     call.app,
                     call.kind.name(),
@@ -503,6 +551,7 @@ impl Kernel {
                 );
                 return (Err(ApiError::from_decision(decision)), Vec::new());
             }
+            self.trace_decision(call, true, "deputy");
         }
         if self
             .absorb_packet_outs
@@ -586,6 +635,7 @@ impl Kernel {
                 return None;
             }
             if let Decision::Denied { .. } = decision {
+                self.trace_decision(call, false, "fastlane");
                 self.record_audit(
                     call.app,
                     call.kind.name(),
@@ -594,6 +644,7 @@ impl Kernel {
                 );
                 return Some(Err(ApiError::from_decision(decision)));
             }
+            self.trace_decision(call, true, "fastlane");
         }
         let (result, events) = self.apply(call);
         debug_assert!(events.is_empty(), "read-only apply arms emit no events");
@@ -710,6 +761,7 @@ impl Kernel {
                 let decision =
                     engine.check_with(&call, self.context_epoch(), || self.tracker_read());
                 if let Decision::Denied { .. } = decision {
+                    self.trace_decision(&call, false, "vectored");
                     self.record_audit(
                         app,
                         call.kind.name(),
@@ -718,6 +770,7 @@ impl Kernel {
                     );
                     continue;
                 }
+                self.trace_decision(&call, true, "vectored");
             }
             if absorb {
                 self.record_audit(
@@ -792,6 +845,7 @@ impl Kernel {
                 };
                 if let Decision::Denied { .. } = decision {
                     drop(tracker);
+                    self.trace_decision(&call, false, "batch");
                     self.audit
                         .record(app, audit_op, call.required_token(), AuditOutcome::Denied);
                     return (
@@ -802,6 +856,7 @@ impl Kernel {
                         Vec::new(),
                     );
                 }
+                self.trace_decision(&call, true, "batch");
             }
         }
         // Phase 2: apply, with rollback on switch errors.
@@ -960,6 +1015,7 @@ impl Kernel {
     }
 
     fn deregister_app_unjournaled(&self, app: AppId) -> Vec<OutboundEvent> {
+        self.trace_event(|| sdnshield_core::trace::TraceEvent::Deregister { app });
         {
             let mut reg = self.reg_write();
             reg.engines.remove(&app);

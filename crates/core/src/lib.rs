@@ -58,8 +58,10 @@ pub mod lex;
 pub mod perm;
 pub mod policy;
 pub mod reconcile;
+pub mod sat;
 pub mod templates;
 pub mod token;
+pub mod trace;
 pub mod vtopo;
 
 pub use api::{ApiCall, ApiCallKind, AppId};

@@ -1,0 +1,575 @@
+//! Exact satisfiability, implication, and equivalence over filter
+//! expressions (DESIGN.md §14).
+//!
+//! The Algorithm-1 machinery in [`crate::algebra`] answers inclusion
+//! questions pairwise over normal forms: sound, but incomplete. This module
+//! decides them *exactly* by treating every distinct [`SingletonFilter`] as
+//! a propositional atom, adding theory axioms derived from the filter
+//! lattice (`includes` / `disjoint_with` plus comparison- and prefix-aware
+//! axioms no pairwise pass can see), and running a small DPLL solver over
+//! the Tseitin encoding. Atom universes in real manifests are tiny (a
+//! handful of literals per token), so exhaustive search is instantaneous.
+//!
+//! Semantics match the paper's predicate algebra — a filter denotes the
+//! *set of behaviors it authorizes* — which is also the interpretation the
+//! SH001/SH002/SH008 lints have always used. Runtime `eval` is deliberately
+//! more liberal (vacuous passes on calls without the inspected attribute,
+//! overlap- instead of subsumption-checks on reads); the lint story for
+//! that gap is unchanged and documented per code.
+//!
+//! Stub filters get no constant folding and no axioms: an uncompleted stub
+//! is an *unknown* filter chosen later by the site policy, so it behaves as
+//! a free variable (two references to the same stub name share one
+//! variable).
+
+use crate::eval::{classify, LiteralClass};
+use crate::filter::{FilterExpr, SingletonFilter};
+use sdnshield_openflow::flow_match::MaskedIpv4;
+use sdnshield_openflow::types::Ipv4;
+
+/// A satisfying assignment over the real (non-auxiliary) atoms of a query:
+/// each entry pairs an atom with the truth value the model gives it.
+pub type Model = Vec<(SingletonFilter, bool)>;
+
+/// Folds atoms that are decidable from the manifest alone. Stubs are
+/// *not* folded even though enforcement treats them as constant-false:
+/// at analysis time a stub stands for a filter the site policy will
+/// substitute, i.e. a free variable.
+fn fold(f: &SingletonFilter) -> Option<bool> {
+    if matches!(f, SingletonFilter::Stub(_)) {
+        return None;
+    }
+    match classify(f) {
+        LiteralClass::Static(b) => Some(b),
+        _ => None,
+    }
+}
+
+/// Simplified propositional skeleton with constants folded away.
+enum Node {
+    Const(bool),
+    Var(usize),
+    Not(Box<Node>),
+    And(Vec<Node>),
+    Or(Vec<Node>),
+}
+
+/// Atom interner shared by every expression in one query so that the same
+/// filter maps to the same variable on both sides of an implication.
+#[derive(Default)]
+struct Interner {
+    atoms: Vec<SingletonFilter>,
+}
+
+impl Interner {
+    fn intern(&mut self, f: &SingletonFilter) -> usize {
+        if let Some(i) = self.atoms.iter().position(|a| a == f) {
+            return i;
+        }
+        self.atoms.push(f.clone());
+        self.atoms.len() - 1
+    }
+
+    fn lower(&mut self, e: &FilterExpr) -> Node {
+        match e {
+            FilterExpr::True => Node::Const(true),
+            FilterExpr::Atom(f) => match fold(f) {
+                Some(b) => Node::Const(b),
+                None => Node::Var(self.intern(f)),
+            },
+            FilterExpr::Not(inner) => match self.lower(inner) {
+                Node::Const(b) => Node::Const(!b),
+                n => Node::Not(Box::new(n)),
+            },
+            FilterExpr::And(kids) => {
+                let mut out = Vec::new();
+                for k in kids {
+                    match self.lower(k) {
+                        Node::Const(false) => return Node::Const(false),
+                        Node::Const(true) => {}
+                        n => out.push(n),
+                    }
+                }
+                if out.is_empty() {
+                    Node::Const(true)
+                } else {
+                    Node::And(out)
+                }
+            }
+            FilterExpr::Or(kids) => {
+                let mut out = Vec::new();
+                for k in kids {
+                    match self.lower(k) {
+                        Node::Const(true) => return Node::Const(true),
+                        Node::Const(false) => {}
+                        n => out.push(n),
+                    }
+                }
+                if out.is_empty() {
+                    Node::Const(false)
+                } else {
+                    Node::Or(out)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theory axioms
+// ---------------------------------------------------------------------------
+
+/// True when the pair jointly exhausts its dimension: every behavior
+/// satisfies at least one side. `MAX_PRIORITY n` and `MIN_PRIORITY m`
+/// cover all of `u16` whenever `m <= n + 1`.
+fn exhaustive_pair(a: &SingletonFilter, b: &SingletonFilter) -> bool {
+    use SingletonFilter::*;
+    match (a, b) {
+        (MaxPriority(n), MinPriority(m)) | (MinPriority(m), MaxPriority(n)) => {
+            u32::from(*m) <= u32::from(*n) + 1
+        }
+        _ => false,
+    }
+}
+
+/// If `b` and `c` are flow-space predicates identical except for one masked
+/// IP field whose masked sets are the two halves of a common parent
+/// (same mask, addresses differing in exactly one masked bit), returns the
+/// parent predicate `b ∪ c`. The union of any other predicate pair is not
+/// itself a predicate, so no axiom is emitted for it.
+fn sibling_union(b: &SingletonFilter, c: &SingletonFilter) -> Option<SingletonFilter> {
+    let (SingletonFilter::Pred(mb), SingletonFilter::Pred(mc)) = (b, c) else {
+        return None;
+    };
+    fn halves(x: &MaskedIpv4, y: &MaskedIpv4) -> Option<MaskedIpv4> {
+        if x.mask != y.mask {
+            return None;
+        }
+        let diff = (x.addr.0 & x.mask.0) ^ (y.addr.0 & y.mask.0);
+        if diff.count_ones() != 1 || diff & x.mask.0 != diff {
+            return None;
+        }
+        Some(MaskedIpv4::new(
+            Ipv4(x.addr.0 & !diff),
+            Ipv4(x.mask.0 & !diff),
+        ))
+    }
+    // Identical except ip_dst?
+    let mut base_b = mb.clone();
+    let mut base_c = mc.clone();
+    base_b.ip_dst = None;
+    base_c.ip_dst = None;
+    if base_b == base_c {
+        if let (Some(db), Some(dc)) = (&mb.ip_dst, &mc.ip_dst) {
+            if let Some(parent) = halves(db, dc) {
+                let mut m = base_b;
+                m.ip_dst = Some(parent);
+                return Some(SingletonFilter::Pred(m));
+            }
+        }
+    }
+    // Identical except ip_src?
+    let mut base_b = mb.clone();
+    let mut base_c = mc.clone();
+    base_b.ip_src = None;
+    base_c.ip_src = None;
+    if base_b == base_c {
+        if let (Some(sb), Some(sc)) = (&mb.ip_src, &mc.ip_src) {
+            if let Some(parent) = halves(sb, sc) {
+                let mut m = base_b;
+                m.ip_src = Some(parent);
+                return Some(SingletonFilter::Pred(m));
+            }
+        }
+    }
+    None
+}
+
+/// The theory clauses constraining an atom universe, as `(var, positive)`
+/// literal lists. Exposed so the differential proptest can enumerate
+/// truth tables under exactly the axioms the solver uses:
+///
+/// * implication — `b ⊆ a` yields `(¬b ∨ a)`;
+/// * disjointness — `a ∩ b = ∅` yields `(¬a ∨ ¬b)`;
+/// * exhaustion — `MAX_PRIORITY n` / `MIN_PRIORITY m` with `m ≤ n + 1`
+///   yields `(a ∨ b)`;
+/// * prefix-sibling cover — predicates `b`, `c` splitting a parent prefix
+///   `P` yield `(¬a ∨ b ∨ c)` for every predicate `a ⊆ P`. This is the
+///   axiom pairwise reasoning cannot express: it relates *three* atoms.
+pub fn theory_clauses(atoms: &[SingletonFilter]) -> Vec<Vec<(usize, bool)>> {
+    let n = atoms.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // No dimension gate: `includes`/`disjoint_with` already return
+            // false for unrelated pairs, and the MAX/MIN_PRIORITY axioms
+            // deliberately span two `Dimension` variants.
+            let (a, b) = (&atoms[i], &atoms[j]);
+            if a.includes(b) {
+                out.push(vec![(j, false), (i, true)]);
+            }
+            if b.includes(a) {
+                out.push(vec![(i, false), (j, true)]);
+            }
+            if a.disjoint_with(b) || b.disjoint_with(a) {
+                out.push(vec![(i, false), (j, false)]);
+            }
+            if exhaustive_pair(a, b) {
+                out.push(vec![(i, true), (j, true)]);
+            }
+        }
+    }
+    // Cover axioms over sibling prefix pairs.
+    for j in 0..n {
+        for k in (j + 1)..n {
+            let Some(parent) = sibling_union(&atoms[j], &atoms[k]) else {
+                continue;
+            };
+            for (i, a) in atoms.iter().enumerate() {
+                if i == j || i == k || !matches!(a, SingletonFilter::Pred(_)) {
+                    continue;
+                }
+                if parent.includes(a) {
+                    out.push(vec![(i, false), (j, true), (k, true)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tseitin + DPLL
+// ---------------------------------------------------------------------------
+
+/// CNF under construction. Literals are DIMACS-style: variable `v` is the
+/// literal `v + 1`; negation flips the sign.
+struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    fn fresh(&mut self) -> i32 {
+        self.nvars += 1;
+        self.nvars as i32
+    }
+
+    fn tseitin(&mut self, node: &Node) -> i32 {
+        match node {
+            Node::Const(b) => {
+                let v = self.fresh();
+                self.clauses.push(vec![if *b { v } else { -v }]);
+                v
+            }
+            Node::Var(i) => (*i + 1) as i32,
+            Node::Not(inner) => -self.tseitin(inner),
+            Node::And(kids) => {
+                let lits: Vec<i32> = kids.iter().map(|k| self.tseitin(k)).collect();
+                let v = self.fresh();
+                for &l in &lits {
+                    self.clauses.push(vec![-v, l]);
+                }
+                let mut long = vec![v];
+                long.extend(lits.iter().map(|&l| -l));
+                self.clauses.push(long);
+                v
+            }
+            Node::Or(kids) => {
+                let lits: Vec<i32> = kids.iter().map(|k| self.tseitin(k)).collect();
+                let v = self.fresh();
+                for &l in &lits {
+                    self.clauses.push(vec![v, -l]);
+                }
+                let mut long = vec![-v];
+                long.extend(lits.iter().copied());
+                self.clauses.push(long);
+                v
+            }
+        }
+    }
+}
+
+fn lit_value(assign: &[Option<bool>], lit: i32) -> Option<bool> {
+    assign[(lit.unsigned_abs() as usize) - 1].map(|b| if lit > 0 { b } else { !b })
+}
+
+/// Recursive DPLL with unit propagation. On success the assignment is left
+/// total; on failure every binding made inside the call is undone.
+fn dpll(clauses: &[Vec<i32>], assign: &mut [Option<bool>]) -> bool {
+    let mut trail: Vec<usize> = Vec::new();
+    // Unit propagation to fixpoint.
+    loop {
+        let mut unit: Option<i32> = None;
+        let mut conflict = false;
+        'scan: for cl in clauses {
+            let mut unassigned = None;
+            let mut open = 0usize;
+            for &l in cl {
+                match lit_value(assign, l) {
+                    Some(true) => continue 'scan,
+                    Some(false) => {}
+                    None => {
+                        open += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            match open {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if conflict {
+            for v in trail {
+                assign[v] = None;
+            }
+            return false;
+        }
+        match unit {
+            Some(l) => {
+                let v = (l.unsigned_abs() as usize) - 1;
+                assign[v] = Some(l > 0);
+                trail.push(v);
+            }
+            None => break,
+        }
+    }
+    match assign.iter().position(|a| a.is_none()) {
+        None => true,
+        Some(v) => {
+            for guess in [true, false] {
+                assign[v] = Some(guess);
+                if dpll(clauses, assign) {
+                    return true;
+                }
+                assign[v] = None;
+            }
+            for v in trail {
+                assign[v] = None;
+            }
+            false
+        }
+    }
+}
+
+/// Solves the conjunction of `roots` under the theory axioms for `atoms`.
+/// Returns the model restricted to the real atoms, or `None` if unsat.
+fn solve(atoms: &[SingletonFilter], roots: Vec<Node>) -> Option<Model> {
+    let mut cnf = Cnf {
+        nvars: atoms.len(),
+        clauses: theory_clauses(atoms)
+            .into_iter()
+            .map(|cl| {
+                cl.into_iter()
+                    .map(|(v, pos)| {
+                        let l = (v + 1) as i32;
+                        if pos {
+                            l
+                        } else {
+                            -l
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    for root in &roots {
+        let l = cnf.tseitin(root);
+        cnf.clauses.push(vec![l]);
+    }
+    let mut assign: Vec<Option<bool>> = vec![None; cnf.nvars];
+    if dpll(&cnf.clauses, &mut assign) {
+        Some(
+            atoms
+                .iter()
+                .zip(&assign)
+                .map(|(a, v)| (a.clone(), v.unwrap_or(false)))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public queries
+// ---------------------------------------------------------------------------
+
+/// Is there any behavior the filter authorizes?
+pub fn satisfiable(e: &FilterExpr) -> bool {
+    witness(e).is_some()
+}
+
+/// A model of `e` over its real atoms, or `None` when `e` is exactly
+/// unsatisfiable under the theory axioms.
+pub fn witness(e: &FilterExpr) -> Option<Model> {
+    let mut cx = Interner::default();
+    let n = cx.lower(e);
+    solve(&cx.atoms, vec![n])
+}
+
+/// Does every behavior `a` authorizes also satisfy `b`? Decided by the
+/// unsatisfiability of `a ∧ ¬b`.
+pub fn implies(a: &FilterExpr, b: &FilterExpr) -> bool {
+    counterexample(a, b).is_none()
+}
+
+/// A model of `a ∧ ¬b` — a behavior class allowed by `a` but not by `b` —
+/// or `None` when `a ⊆ b`.
+pub fn counterexample(a: &FilterExpr, b: &FilterExpr) -> Option<Model> {
+    let mut cx = Interner::default();
+    let na = cx.lower(a);
+    let nb = cx.lower(b);
+    solve(&cx.atoms, vec![na, Node::Not(Box::new(nb))])
+}
+
+/// Do `a` and `b` authorize exactly the same behaviors?
+pub fn equivalent(a: &FilterExpr, b: &FilterExpr) -> bool {
+    implies(a, b) && implies(b, a)
+}
+
+/// The shared atom universe of a query, in interning order, with
+/// statically-foldable atoms removed — the universe [`theory_clauses`] and
+/// [`eval_under`] expect. Exposed for the enumeration proptest.
+pub fn atoms_of(exprs: &[&FilterExpr]) -> Vec<SingletonFilter> {
+    let mut cx = Interner::default();
+    for e in exprs {
+        let _ = cx.lower(e);
+    }
+    cx.atoms
+}
+
+/// Evaluates `e` under a truth assignment to `atoms`, folding static atoms
+/// exactly as the solver does. Panics if an atom of `e` is missing from
+/// `atoms` — build the universe with [`atoms_of`] over every query term.
+pub fn eval_under(e: &FilterExpr, atoms: &[SingletonFilter], assign: &[bool]) -> bool {
+    match e {
+        FilterExpr::True => true,
+        FilterExpr::Atom(f) => match fold(f) {
+            Some(b) => b,
+            None => {
+                let i = atoms
+                    .iter()
+                    .position(|a| a == f)
+                    .expect("atom outside universe");
+                assign[i]
+            }
+        },
+        FilterExpr::Not(inner) => !eval_under(inner, atoms, assign),
+        FilterExpr::And(kids) => kids.iter().all(|k| eval_under(k, atoms, assign)),
+        FilterExpr::Or(kids) => kids.iter().any(|k| eval_under(k, atoms, assign)),
+    }
+}
+
+/// Does the assignment satisfy every theory clause of the universe? The
+/// enumeration oracle must skip inconsistent assignments — they describe no
+/// realizable behavior.
+pub fn model_consistent(atoms: &[SingletonFilter], assign: &[bool]) -> bool {
+    theory_clauses(atoms)
+        .iter()
+        .all(|cl| cl.iter().any(|&(v, pos)| assign[v] == pos))
+}
+
+/// Renders a model as a human-readable conjunction, e.g.
+/// `IP_DST 10.0.0.1 MASK 255.255.255.255 AND NOT MAX_PRIORITY 5`.
+pub fn describe_model(model: &Model) -> String {
+    if model.is_empty() {
+        return "ANY".to_owned();
+    }
+    model
+        .iter()
+        .map(|(a, v)| {
+            if *v {
+                a.to_string()
+            } else {
+                format!("NOT {a}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterExpr as F;
+    use sdnshield_openflow::types::Ipv4;
+
+    fn prefix(a: u32, b: u32, c: u32, d: u32, len: u8) -> FilterExpr {
+        F::Atom(SingletonFilter::ip_dst_prefix(
+            Ipv4::new(a as u8, b as u8, c as u8, d as u8),
+            len,
+        ))
+    }
+
+    #[test]
+    fn pairwise_sat_triple_is_jointly_unsat() {
+        // A = 10.0.0.0/24, B = 10.0.0.0/25, C = 10.0.0.128/25:
+        // A ∧ ¬B ∧ ¬C is unsat (B and C partition A), but every pair is sat.
+        let a = prefix(10, 0, 0, 0, 24);
+        let b = prefix(10, 0, 0, 0, 25);
+        let c = prefix(10, 0, 0, 128, 25);
+        let triple = a.clone().and(b.clone().not()).and(c.clone().not());
+        assert!(!satisfiable(&triple), "cover axiom must refute the triple");
+        assert!(satisfiable(&a.clone().and(b.clone().not())));
+        assert!(satisfiable(&a.clone().and(c.clone().not())));
+        assert!(satisfiable(&b.not().and(c.not())));
+    }
+
+    #[test]
+    fn priority_exhaustion() {
+        let hi = F::Atom(SingletonFilter::MinPriority(6));
+        let lo = F::Atom(SingletonFilter::MaxPriority(5));
+        // ¬(p ≥ 6) ∧ ¬(p ≤ 5) covers no priority at all.
+        assert!(!satisfiable(&hi.clone().not().and(lo.clone().not())));
+        // A gap (p ≤ 5, p ≥ 7) leaves 6 uncovered: satisfiable.
+        let hi7 = F::Atom(SingletonFilter::MinPriority(7));
+        assert!(satisfiable(&hi7.not().and(lo.not())));
+    }
+
+    #[test]
+    fn implication_and_equivalence() {
+        let narrow = prefix(10, 0, 0, 0, 25);
+        let wide = prefix(10, 0, 0, 0, 24);
+        assert!(implies(&narrow, &wide));
+        assert!(!implies(&wide, &narrow));
+        let ce = counterexample(&wide, &narrow).expect("wide ⊄ narrow");
+        assert!(ce.iter().any(|(_, v)| *v), "witness must pass wide");
+        // Distribution: a ∧ (b ∨ c) ≡ (a ∧ b) ∨ (a ∧ c).
+        let (a, b, c) = (
+            prefix(10, 0, 0, 0, 24),
+            F::Atom(SingletonFilter::MaxPriority(9)),
+            F::Atom(SingletonFilter::MinPriority(100)),
+        );
+        let lhs = a.clone().and(b.clone().or(c.clone()));
+        let rhs = (a.clone().and(b)).or(a.and(c));
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn stubs_are_free_variables() {
+        let s = F::Atom(SingletonFilter::Stub("admin_range".into()));
+        let p = prefix(10, 0, 0, 0, 24);
+        assert!(satisfiable(&s.clone().and(p)));
+        assert!(!satisfiable(&s.clone().and(s.not())));
+    }
+
+    #[test]
+    fn statics_fold() {
+        use crate::filter::{CallbackCap, Ownership, PktOutSource};
+        let t = F::Atom(SingletonFilter::Ownership(Ownership::AllFlows));
+        assert!(satisfiable(&t));
+        assert!(!satisfiable(&t.not()));
+        let cb = F::Atom(SingletonFilter::Callback(CallbackCap::EventInterception));
+        let po = F::Atom(SingletonFilter::PktOut(PktOutSource::Arbitrary));
+        assert!(equivalent(&cb.and(po), &F::True));
+    }
+}
