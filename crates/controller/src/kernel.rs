@@ -556,15 +556,19 @@ impl Kernel {
         if self
             .absorb_packet_outs
             .load(std::sync::atomic::Ordering::SeqCst)
-            && matches!(call.kind, ApiCallKind::SendPacketOut { .. })
         {
-            self.record_audit(
-                call.app,
-                call.kind.name(),
-                call.required_token(),
-                AuditOutcome::Allowed,
-            );
-            return (Ok(ApiResponse::Unit), Vec::new());
+            if let ApiCallKind::SendPacketOut { dpid, packet_out } = &call.kind {
+                self.record_audit(
+                    call.app,
+                    call.kind.name(),
+                    call.required_token(),
+                    AuditOutcome::Allowed,
+                );
+                // Absorb mode skips the data-plane walk, but a wire-attached
+                // switch still needs the mediated reply on its socket.
+                self.network.notify_wire_packet_out(*dpid, packet_out);
+                return (Ok(ApiResponse::Unit), Vec::new());
+            }
         }
         let (result, events) = self.apply(call);
         self.record_audit(
@@ -779,6 +783,9 @@ impl Kernel {
                     call.required_token(),
                     AuditOutcome::Allowed,
                 );
+                // As in the singleton path: no data-plane walk, but mirror
+                // the allowed packet-out to any wire-attached switch.
+                self.network.notify_wire_packet_out(*dpid, packet_out);
                 sent += 1;
                 continue;
             }

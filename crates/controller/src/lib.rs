@@ -36,6 +36,7 @@ pub mod journal;
 pub mod kernel;
 pub mod lockorder;
 pub mod monolithic;
+pub mod southbound;
 
 pub use api::{ApiError, ApiResponse, FlowOp, TopologyView};
 pub use app::{App, AppCtx};

@@ -37,10 +37,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, RcuCell};
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sdnshield_openflow::flow_table::RemovedEntry;
 use sdnshield_openflow::messages::{
-    FlowMod, OfError, PacketIn, PacketInReason, StatsReply, StatsRequest,
+    FlowMod, OfError, PacketIn, PacketInReason, PacketOut, StatsReply, StatsRequest,
 };
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{BufferId, DatapathId, EthAddr, PortNo};
@@ -90,6 +90,28 @@ pub enum DropReason {
     LoopGuard,
 }
 
+/// Controller→switch traffic mirrored to a wire-attached backend.
+///
+/// The in-process simulator *executes* flow-mods and packet-outs directly
+/// against [`SimSwitch`] state. A real switch speaking OpenFlow over TCP
+/// additionally needs those messages **on the wire**: the southbound
+/// reactor registers one `WireEgress` per connected datapath, and the
+/// network calls it after the corresponding simulator mutation succeeds —
+/// the shard stays the source of truth (flow counts, reaping, stats) while
+/// the egress mirrors the decision to the remote peer.
+///
+/// Contract: implementations must be cheap and non-blocking (queue +
+/// counted shed, never a socket write in the caller's thread beyond a
+/// nonblocking push), and must **not** call back into [`Network`] — the
+/// notification runs after the shard lock is dropped but callbacks
+/// re-entering the network would re-order the lock ranks.
+pub trait WireEgress: Send + Sync {
+    /// A flow-mod the kernel successfully applied for this switch.
+    fn flow_mod(&self, fm: &FlowMod);
+    /// A packet-out the kernel emitted at this switch.
+    fn packet_out(&self, po: &PacketOut);
+}
+
 /// A removed flow entry along with the switch it was removed from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemovedFlow {
@@ -117,6 +139,12 @@ pub struct Network {
     topo_writer: Mutex<()>,
     switches: BTreeMap<DatapathId, SwitchShard>,
     clock: AtomicU64,
+    /// Wire backends keyed by datapath, consulted *after* a simulator
+    /// mutation succeeds. Registration is rare (connection setup/teardown);
+    /// the hot path takes only the read lock, and skips even that when the
+    /// count says nobody is attached.
+    wire: RwLock<BTreeMap<DatapathId, Arc<dyn WireEgress>>>,
+    wire_count: AtomicU64,
 }
 
 /// One switch's slot: the mutable state under its own lock, plus the
@@ -162,6 +190,67 @@ impl Network {
             topo_writer: Mutex::new(()),
             switches,
             clock: AtomicU64::new(0),
+            wire: RwLock::new(BTreeMap::new()),
+            wire_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a wire backend to a switch. Controller→switch messages for
+    /// `dpid` are mirrored to `egress` from then on. Returns `false` (and
+    /// registers nothing) when the datapath does not exist in the topology —
+    /// wire peers may only claim datapaths the network models, so the
+    /// simulator shard remains authoritative for state queries.
+    pub fn register_wire_egress(&self, dpid: DatapathId, egress: Arc<dyn WireEgress>) -> bool {
+        if !self.switches.contains_key(&dpid) {
+            return false;
+        }
+        let prev = self.wire.write().insert(dpid, egress);
+        if prev.is_none() {
+            self.wire_count.fetch_add(1, Ordering::Release);
+        }
+        true
+    }
+
+    /// Detaches the wire backend for `dpid` (connection teardown). Returns
+    /// whether one was attached.
+    pub fn deregister_wire_egress(&self, dpid: DatapathId) -> bool {
+        let removed = self.wire.write().remove(&dpid).is_some();
+        if removed {
+            self.wire_count.fetch_sub(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// Number of currently attached wire backends.
+    pub fn wire_egress_count(&self) -> usize {
+        self.wire_count.load(Ordering::Acquire) as usize
+    }
+
+    /// Does the topology model this datapath? The southbound reactor uses
+    /// this to validate a peer's claimed datapath id during the handshake.
+    pub fn has_switch(&self, dpid: DatapathId) -> bool {
+        self.switches.contains_key(&dpid)
+    }
+
+    fn notify_wire_flow_mod(&self, dpid: DatapathId, fm: &FlowMod) {
+        if self.wire_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Some(eg) = self.wire.read().get(&dpid) {
+            eg.flow_mod(fm);
+        }
+    }
+
+    /// Mirrors a packet-out to the wire backend for `dpid`, if one is
+    /// attached. Public because the kernel's CBench absorb mode skips
+    /// [`Network::inject_packet_out`] entirely (no data-plane walk) yet the
+    /// remote switch still needs its reply on the wire.
+    pub fn notify_wire_packet_out(&self, dpid: DatapathId, po: &PacketOut) {
+        if self.wire_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Some(eg) = self.wire.read().get(&dpid) {
+            eg.packet_out(po);
         }
     }
 
@@ -315,7 +404,12 @@ impl Network {
             .switches
             .get(&dpid)
             .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
-        Self::with_switch_mut(shard, |sw| sw.apply_flow_mod(fm, now))
+        let removed = Self::with_switch_mut(shard, |sw| sw.apply_flow_mod(fm, now))?;
+        // Mirror to the wire after the shard mutation commits (and after its
+        // lock is released): the remote switch sees exactly the flow-mods
+        // the authoritative simulator state accepted.
+        self.notify_wire_flow_mod(dpid, fm);
+        Ok(removed)
     }
 
     /// Answers a stats request for a switch from its RCU view — lock-free
@@ -364,16 +458,27 @@ impl Network {
         frame: EthernetFrame,
         actions: impl IntoIterator<Item = sdnshield_openflow::actions::Action>,
     ) -> Result<Vec<Delivery>, OfError> {
-        let len = frame.to_bytes().len();
+        let actions: Vec<_> = actions.into_iter().collect();
+        let payload = frame.to_bytes();
+        let len = payload.len();
         let (frame, ports) = {
             let shard = self
                 .switches
                 .get(&dpid)
                 .ok_or_else(|| OfError::BadRequest(format!("unknown switch {dpid}")))?;
             Self::with_switch_mut(shard, |sw| {
-                sw.apply_packet_out(in_port, frame, actions, len)
+                sw.apply_packet_out(in_port, frame, actions.iter().cloned(), len)
             })
         };
+        self.notify_wire_packet_out(
+            dpid,
+            &PacketOut {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port,
+                actions: sdnshield_openflow::actions::ActionList(actions),
+                payload,
+            },
+        );
         let mut out = Vec::new();
         for port in self.expand_ports(dpid, in_port, ports) {
             out.extend(self.emit(dpid, port, frame.clone(), MAX_HOPS));
@@ -791,6 +896,65 @@ mod tests {
             .inject_from_host(tcp(77, 2, Ipv4::new(10, 0, 0, 2)))
             .unwrap_err();
         assert!(matches!(err, OfError::BadRequest(_)));
+    }
+
+    #[test]
+    fn wire_egress_mirrors_flow_mods_and_packet_outs() {
+        #[derive(Default)]
+        struct Capture {
+            fms: Mutex<Vec<FlowMod>>,
+            pos: Mutex<Vec<PacketOut>>,
+        }
+        impl WireEgress for Capture {
+            fn flow_mod(&self, fm: &FlowMod) {
+                self.fms.lock().push(fm.clone());
+            }
+            fn packet_out(&self, po: &PacketOut) {
+                self.pos.lock().push(po.clone());
+            }
+        }
+
+        let net = Network::new(builders::linear(2), 64);
+        let cap = Arc::new(Capture::default());
+        assert!(
+            !net.register_wire_egress(DatapathId(99), cap.clone()),
+            "unknown dpid rejected"
+        );
+        assert!(net.register_wire_egress(DatapathId(1), cap.clone()));
+        assert_eq!(net.wire_egress_count(), 1);
+
+        let fm = FlowMod::add(FlowMatch::any(), Priority(3), ActionList::drop());
+        net.apply_flow_mod(DatapathId(1), &fm).unwrap();
+        // A flow-mod on the *other* switch is not mirrored.
+        net.apply_flow_mod(DatapathId(2), &fm).unwrap();
+        assert_eq!(cap.fms.lock().as_slice(), &[fm]);
+
+        let frame = tcp(1, 2, Ipv4::new(10, 0, 0, 2));
+        net.inject_packet_out(
+            DatapathId(1),
+            PortNo::NONE,
+            frame.clone(),
+            [Action::Output(PortNo(1))],
+        )
+        .unwrap();
+        {
+            let pos = cap.pos.lock();
+            assert_eq!(pos.len(), 1);
+            assert_eq!(pos[0].payload, frame.to_bytes());
+            assert_eq!(pos[0].actions, ActionList::output(PortNo(1)));
+        }
+
+        // The simulator shard stayed authoritative.
+        assert_eq!(net.flow_count(DatapathId(1)), Some(1));
+
+        assert!(net.deregister_wire_egress(DatapathId(1)));
+        assert!(!net.deregister_wire_egress(DatapathId(1)));
+        net.apply_flow_mod(
+            DatapathId(1),
+            &FlowMod::add(FlowMatch::any(), Priority(4), ActionList::drop()),
+        )
+        .unwrap();
+        assert_eq!(cap.fms.lock().len(), 1, "no mirroring after deregister");
     }
 
     #[test]

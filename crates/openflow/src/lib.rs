@@ -43,6 +43,7 @@ pub mod flow_table;
 pub mod messages;
 pub mod packet;
 pub mod snapshot;
+pub mod southbound;
 pub mod types;
 pub mod wire;
 

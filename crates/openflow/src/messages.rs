@@ -305,10 +305,13 @@ pub struct OfMessage {
 pub enum OfBody {
     /// Version negotiation.
     Hello,
-    /// Liveness probe.
-    EchoRequest,
-    /// Liveness reply.
-    EchoReply,
+    /// Liveness probe. The opaque payload (possibly empty) must be echoed
+    /// back verbatim, along with the request's xid, in the matching
+    /// [`OfBody::EchoReply`] — the round-trip is how each side proves the
+    /// peer is still draining its control channel.
+    EchoRequest(Bytes),
+    /// Liveness reply carrying the probe's payload verbatim.
+    EchoReply(Bytes),
     /// Ask the switch for its features.
     FeaturesRequest,
     /// Switch features: datapath id and ports.
@@ -357,8 +360,8 @@ impl OfMessage {
     pub fn kind(&self) -> &'static str {
         match &self.body {
             OfBody::Hello => "hello",
-            OfBody::EchoRequest => "echo_request",
-            OfBody::EchoReply => "echo_reply",
+            OfBody::EchoRequest(_) => "echo_request",
+            OfBody::EchoReply(_) => "echo_reply",
             OfBody::FeaturesRequest => "features_request",
             OfBody::FeaturesReply { .. } => "features_reply",
             OfBody::PacketIn(_) => "packet_in",

@@ -38,7 +38,11 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-mod msg_type {
+/// Message-type codes as they appear in the frame header's second byte.
+/// Public so stream-level consumers (the southbound reactor, external load
+/// generators) can classify hot-path frames without a full body decode.
+#[allow(missing_docs)]
+pub mod msg_type {
     pub const HELLO: u8 = 0;
     pub const ECHO_REQUEST: u8 = 1;
     pub const ECHO_REPLY: u8 = 2;
@@ -56,17 +60,53 @@ mod msg_type {
     pub const BARRIER_REPLY: u8 = 14;
 }
 
+/// Fixed frame header size: version(1) type(1) length(2) xid(4).
+pub const HEADER_LEN: usize = 8;
+
+/// Is `ty` a message-type code this codec understands? Unknown codes are
+/// skippable over a stream (the length header self-delimits the frame), so
+/// stream decoders use this to hop over frames from newer peers instead of
+/// desyncing.
+pub fn is_known_type(ty: u8) -> bool {
+    ty <= msg_type::BARRIER_REPLY
+}
+
 /// Encodes a message into a self-delimiting wire frame.
 pub fn encode(msg: &OfMessage) -> Bytes {
     let mut body = BytesMut::with_capacity(64);
     let ty = encode_body(&msg.body, &mut body);
-    let mut frame = BytesMut::with_capacity(body.len() + 8);
+    let mut frame = BytesMut::with_capacity(body.len() + HEADER_LEN);
     frame.put_u8(WIRE_VERSION);
     frame.put_u8(ty);
-    frame.put_u16((body.len() + 8) as u16);
+    frame.put_u16((body.len() + HEADER_LEN) as u16);
     frame.put_u32(msg.xid.0);
     frame.put_slice(&body);
     frame.freeze()
+}
+
+/// Appends a message's wire frame to `out` without any intermediate
+/// allocation — the header is written as a placeholder, the body encoded
+/// directly into `out`, and the type/length fields backpatched. The hot
+/// egress path reuses one scratch `Vec` across frames, so steady-state
+/// encoding performs zero per-message heap allocations once the buffer has
+/// grown to its working size.
+///
+/// Returns the number of bytes appended.
+///
+/// # Panics
+///
+/// Panics when the encoded frame exceeds the `u16` length field (bodies
+/// are bounded well below that by construction).
+pub fn encode_into(msg: &OfMessage, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[WIRE_VERSION, 0, 0, 0]);
+    out.extend_from_slice(&msg.xid.0.to_be_bytes());
+    let ty = encode_body(&msg.body, out);
+    let frame_len = out.len() - start;
+    assert!(frame_len <= u16::MAX as usize, "frame exceeds length field");
+    out[start + 1] = ty;
+    out[start + 2..start + 4].copy_from_slice(&(frame_len as u16).to_be_bytes());
+    frame_len
 }
 
 /// Decodes a single wire frame.
@@ -92,11 +132,17 @@ pub fn decode(mut bytes: Bytes) -> Result<OfMessage, WireError> {
     Ok(OfMessage { xid, body })
 }
 
-fn encode_body(body: &OfBody, out: &mut BytesMut) -> u8 {
+pub(crate) fn encode_body(body: &OfBody, out: &mut impl BufMut) -> u8 {
     match body {
         OfBody::Hello => msg_type::HELLO,
-        OfBody::EchoRequest => msg_type::ECHO_REQUEST,
-        OfBody::EchoReply => msg_type::ECHO_REPLY,
+        OfBody::EchoRequest(payload) => {
+            out.put_slice(payload);
+            msg_type::ECHO_REQUEST
+        }
+        OfBody::EchoReply(payload) => {
+            out.put_slice(payload);
+            msg_type::ECHO_REPLY
+        }
         OfBody::FeaturesRequest => msg_type::FEATURES_REQUEST,
         OfBody::FeaturesReply {
             datapath_id,
@@ -256,11 +302,19 @@ fn encode_body(body: &OfBody, out: &mut BytesMut) -> u8 {
     }
 }
 
-fn decode_body(ty: u8, b: &mut Bytes) -> Result<OfBody, WireError> {
+pub(crate) fn decode_body(ty: u8, b: &mut Bytes) -> Result<OfBody, WireError> {
     Ok(match ty {
         msg_type::HELLO => OfBody::Hello,
-        msg_type::ECHO_REQUEST => OfBody::EchoRequest,
-        msg_type::ECHO_REPLY => OfBody::EchoReply,
+        // Echo bodies are the raw opaque payload: everything after the
+        // header, echoed back verbatim by the peer.
+        msg_type::ECHO_REQUEST => {
+            let n = b.len();
+            OfBody::EchoRequest(b.split_to(n))
+        }
+        msg_type::ECHO_REPLY => {
+            let n = b.len();
+            OfBody::EchoReply(b.split_to(n))
+        }
         msg_type::FEATURES_REQUEST => OfBody::FeaturesRequest,
         msg_type::FEATURES_REPLY => {
             need(b, 14)?;
@@ -470,7 +524,7 @@ pub(crate) fn need(b: &Bytes, n: usize) -> Result<(), WireError> {
     }
 }
 
-pub(crate) fn put_string(s: &str, out: &mut BytesMut) {
+pub(crate) fn put_string(s: &str, out: &mut impl BufMut) {
     out.put_u16(s.len() as u16);
     out.put_slice(s.as_bytes());
 }
@@ -506,7 +560,7 @@ mod match_bits {
     pub const TP_DST: u16 = 1 << 11;
 }
 
-pub(crate) fn encode_match(m: &FlowMatch, out: &mut BytesMut) {
+pub(crate) fn encode_match(m: &FlowMatch, out: &mut impl BufMut) {
     use match_bits::*;
     let mut bits = 0u16;
     if m.in_port.is_some() {
@@ -650,7 +704,7 @@ pub(crate) fn decode_match(b: &mut Bytes) -> Result<FlowMatch, WireError> {
     Ok(m)
 }
 
-pub(crate) fn encode_actions(actions: &ActionList, out: &mut BytesMut) {
+pub(crate) fn encode_actions(actions: &ActionList, out: &mut impl BufMut) {
     out.put_u16(actions.0.len() as u16);
     for a in actions {
         match a {
@@ -771,8 +825,8 @@ mod tests {
     fn simple_bodies_roundtrip() {
         for body in [
             OfBody::Hello,
-            OfBody::EchoRequest,
-            OfBody::EchoReply,
+            OfBody::EchoRequest(Bytes::new()),
+            OfBody::EchoReply(Bytes::from_static(b"liveness \x00 payload")),
             OfBody::FeaturesRequest,
             OfBody::BarrierRequest,
             OfBody::BarrierReply,

@@ -1,0 +1,143 @@
+//! Zero-allocation guard for the steady-state southbound decode path.
+//!
+//! A counting global allocator wraps `System`; after warming the decoder and
+//! write ring so every buffer has reached its steady capacity, a long
+//! extend → decode → view → reply loop must perform **zero** heap
+//! allocations. This pins the tentpole claim that per-message work on the
+//! wire hot path is allocation-free (the owning `PacketIn` copy is the
+//! dispatch boundary and is exercised separately).
+//!
+//! This must stay the ONLY `#[test]` in this integration binary: the
+//! allocator wrapper is process-global, and keeping the binary
+//! single-test keeps the measured window free of harness noise.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The gate is thread-local so only the measured thread counts — the libtest
+// harness thread allocates concurrently (channel bookkeeping, output) and
+// must not pollute the measurement.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is a
+// relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use bytes::Bytes;
+use sdnshield_openflow::messages::{OfBody, OfMessage, PacketIn, PacketInReason};
+use sdnshield_openflow::southbound::{StreamDecoder, WriteRing};
+use sdnshield_openflow::types::{BufferId, PortNo, Xid};
+use sdnshield_openflow::wire::{self, msg_type};
+
+#[test]
+fn steady_state_decode_path_does_not_allocate() {
+    // Pre-encode a representative frame mix outside the counted window.
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for i in 0..8u32 {
+        let mut buf = Vec::new();
+        wire::encode_into(
+            &OfMessage::new(
+                Xid(i),
+                OfBody::PacketIn(PacketIn {
+                    buffer_id: BufferId(i),
+                    in_port: PortNo((i % 4) as u16 + 1),
+                    reason: PacketInReason::NoMatch,
+                    payload: Bytes::from(vec![0xAB; 60 + (i as usize * 13) % 90]),
+                }),
+            ),
+            &mut buf,
+        );
+        frames.push(buf);
+    }
+    let mut echo = Vec::new();
+    wire::encode_into(
+        &OfMessage::new(Xid(99), OfBody::EchoRequest(Bytes::from_static(b"ping"))),
+        &mut echo,
+    );
+    frames.push(echo);
+
+    let mut dec = StreamDecoder::new();
+    let mut ring = WriteRing::new(1 << 16);
+
+    let work = |dec: &mut StreamDecoder, ring: &mut WriteRing, rounds: usize| {
+        // `Sink` is a ZST; constructing it does not allocate.
+        let mut sink = std::io::sink();
+        let mut packet_ins = 0u64;
+        let mut payload_bytes = 0u64;
+        for r in 0..rounds {
+            for frame in &frames {
+                dec.extend(frame);
+                while let Some(view) = dec.next_frame().expect("valid stream") {
+                    match view.ty {
+                        msg_type::PACKET_IN => {
+                            let pi = view.packet_in().expect("packet-in view");
+                            packet_ins += 1;
+                            payload_bytes += pi.payload.len() as u64;
+                        }
+                        msg_type::ECHO_REQUEST => {
+                            assert!(ring.push_echo_reply(view.xid, view.echo_payload()));
+                        }
+                        t => panic!("unexpected type {t}"),
+                    }
+                }
+            }
+            // Flush the replies so the ring cursor wraps like a live
+            // connection's instead of filling up.
+            if r % 16 == 15 {
+                ring.flush(&mut sink).expect("sink flush");
+            }
+        }
+        (packet_ins, payload_bytes)
+    };
+
+    // Warmup: let the decoder buffer, ring scratch, and any lazy stdlib
+    // state reach steady capacity.
+    let (warm_pi, _) = work(&mut dec, &mut ring, 32);
+    assert_eq!(warm_pi, 32 * 8);
+    ring.flush(&mut std::io::sink()).expect("sink flush");
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    let (pi, bytes) = work(&mut dec, &mut ring, 512);
+    COUNTING.with(|c| c.set(false));
+    let counted = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(pi, 512 * 8);
+    assert!(bytes > 0);
+    assert_eq!(
+        counted, 0,
+        "steady-state decode path allocated {counted} times over {pi} messages"
+    );
+}

@@ -1,0 +1,203 @@
+//! Property tests for the zero-copy southbound stream codec: arbitrary
+//! message sequences encoded to one byte stream, delivered under arbitrary
+//! chunking (1-byte reads, mid-header splits, coalesced frames), must decode
+//! back to exactly the original sequence; unknown message types are skipped
+//! and counted; a torn final frame stays pending without error until its
+//! bytes arrive.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sdnshield_openflow::messages::{OfBody, OfMessage, PacketIn, PacketInReason};
+use sdnshield_openflow::southbound::StreamDecoder;
+use sdnshield_openflow::types::{BufferId, DatapathId, PortNo, Xid};
+use sdnshield_openflow::wire::{self, msg_type, HEADER_LEN, WIRE_VERSION};
+
+/// One element of the generated stream: a real message or a frame with an
+/// unknown type code that the decoder must skip.
+#[derive(Debug, Clone)]
+enum Item {
+    Msg(OfMessage),
+    Unknown { ty: u8, xid: u32, body: Vec<u8> },
+}
+
+fn arb_packet_in() -> impl Strategy<Value = OfBody> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(buf, port, action, payload)| {
+            OfBody::PacketIn(PacketIn {
+                buffer_id: BufferId(buf),
+                in_port: PortNo(port),
+                reason: if action {
+                    PacketInReason::Action
+                } else {
+                    PacketInReason::NoMatch
+                },
+                payload: Bytes::from(payload),
+            })
+        })
+}
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    let msg = prop_oneof![
+        Just(OfBody::Hello),
+        Just(OfBody::FeaturesRequest),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|p| OfBody::EchoRequest(Bytes::from(p))),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|p| OfBody::EchoReply(Bytes::from(p))),
+        (any::<u64>(), any::<u16>()).prop_map(|(d, n)| OfBody::FeaturesReply {
+            datapath_id: DatapathId(d),
+            ports: vec![PortNo(n)],
+            table_capacity: 1024,
+        }),
+        arb_packet_in(),
+    ];
+    // Roughly one frame in five carries an unknown type code.
+    (
+        0..5u8,
+        any::<u32>(),
+        msg,
+        (msg_type::BARRIER_REPLY + 1)..=255u8,
+        proptest::collection::vec(any::<u8>(), 0..40),
+    )
+        .prop_map(|(pick, xid, body, ty, raw)| {
+            if pick == 0 {
+                Item::Unknown { ty, xid, body: raw }
+            } else {
+                Item::Msg(OfMessage::new(Xid(xid), body))
+            }
+        })
+}
+
+/// Encodes the stream exactly as the wire would carry it, unknown frames
+/// included.
+fn encode_stream(items: &[Item]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            Item::Msg(m) => {
+                wire::encode_into(m, &mut out);
+            }
+            Item::Unknown { ty, xid, body } => {
+                out.push(WIRE_VERSION);
+                out.push(*ty);
+                out.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+                out.extend_from_slice(&xid.to_be_bytes());
+                out.extend_from_slice(body);
+            }
+        }
+    }
+    out
+}
+
+/// Splits `stream` into chunks whose sizes cycle through `sizes` (each seed
+/// maps to 1..=17 bytes, so 1-byte reads and mid-header splits both occur).
+fn chunks<'a>(stream: &'a [u8], sizes: &[u8]) -> Vec<&'a [u8]> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    let mut i = 0;
+    while off < stream.len() {
+        let take = if sizes.is_empty() {
+            stream.len() - off
+        } else {
+            1 + (sizes[i % sizes.len()] as usize % 17)
+        };
+        let end = (off + take).min(stream.len());
+        out.push(&stream[off..end]);
+        off = end;
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip: decode(chunked(encode(items))) == items, with unknown
+    /// frames skipped and counted rather than surfaced or fatal.
+    #[test]
+    fn stream_round_trips_under_arbitrary_chunking(
+        items in proptest::collection::vec(arb_item(), 0..30),
+        sizes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let stream = encode_stream(&items);
+        let mut dec = StreamDecoder::new();
+        let mut got: Vec<OfMessage> = Vec::new();
+        for chunk in chunks(&stream, &sizes) {
+            dec.extend(chunk);
+            // Decode as frames complete, interleaved with feeding — the
+            // reactor's actual read loop shape.
+            while let Some(frame) = dec.next_frame().expect("valid stream") {
+                got.push(frame.message().expect("decodable body"));
+            }
+        }
+        let expected: Vec<&OfMessage> = items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Msg(m) => Some(m),
+                Item::Unknown { .. } => None,
+            })
+            .collect();
+        let unknown = items.len() - expected.len();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected) {
+            prop_assert_eq!(g, e);
+        }
+        prop_assert_eq!(dec.unknown_skipped(), unknown as u64);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A torn final frame: everything before it decodes, the tail stays
+    /// buffered without error, and the frame completes once the missing
+    /// bytes arrive.
+    #[test]
+    fn torn_final_frame_completes_when_bytes_arrive(
+        items in proptest::collection::vec(arb_item(), 0..10),
+        sizes in proptest::collection::vec(any::<u8>(), 0..8),
+        xid in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..120),
+        cut_seed in any::<u16>(),
+    ) {
+        let last = OfMessage::new(
+            Xid(xid),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: BufferId::NO_BUFFER,
+                in_port: PortNo(7),
+                reason: PacketInReason::NoMatch,
+                payload: Bytes::from(payload),
+            }),
+        );
+        let mut stream = encode_stream(&items);
+        let frame_start = stream.len();
+        wire::encode_into(&last, &mut stream);
+        let frame_len = stream.len() - frame_start;
+        // Withhold 1..frame_len bytes of the final frame.
+        let cut = 1 + (cut_seed as usize % (frame_len - 1).max(1));
+        let torn_at = stream.len() - cut;
+
+        let mut dec = StreamDecoder::new();
+        let mut got = 0usize;
+        for chunk in chunks(&stream[..torn_at], &sizes) {
+            dec.extend(chunk);
+            while let Some(frame) = dec.next_frame().expect("valid stream") {
+                frame.message().expect("decodable body");
+                got += 1;
+            }
+        }
+        let complete = items
+            .iter()
+            .filter(|i| matches!(i, Item::Msg(_)))
+            .count();
+        prop_assert_eq!(got, complete);
+        prop_assert!(dec.pending() > 0, "torn tail must stay buffered");
+
+        dec.extend(&stream[torn_at..]);
+        let frame = dec.next_frame().expect("valid stream").expect("completed frame");
+        prop_assert_eq!(frame.message().expect("decodable body"), last);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! `cbench` — CBench-class external load generator for the southbound wire
+//! path (paper §VIII-C, Fig. 6, measured over real TCP instead of the
+//! in-process harness).
+//!
+//! Runs as a separate process: it connects N emulated switches to a running
+//! `sdnshield southbound serve` instance over loopback, then measures
+//!
+//! * **latency mode** — one outstanding PACKET_IN per connection; reports
+//!   round-trip p50/p99 and responses/sec;
+//! * **throughput mode** — a pipelined window of PACKET_INs per connection;
+//!   reports sustained responses/sec with best-effort FIFO latencies.
+//!
+//! ```text
+//! cbench [--addr HOST:PORT] [--switches N] [--duration-secs S]
+//!        [--window W] [--mode latency|throughput|both] [--seed N]
+//!        [--out FILE] [--fast]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:6653 --switches 8 --duration-secs 4
+//! --window 64 --mode both --out BENCH_fig6_wire.json`. `--fast` shrinks the
+//! run for CI smoke (2 switches, 1s per mode).
+//!
+//! Exit status is self-gating: 0 only if every requested mode completed its
+//! handshakes and received at least one mediated response.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sdnshield::wirebench::{run_latency_mode, run_throughput_mode, ModeResult};
+
+struct Opts {
+    addr: String,
+    switches: usize,
+    duration: Duration,
+    window: usize,
+    latency: bool,
+    throughput: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:6653".to_string(),
+        switches: 8,
+        duration: Duration::from_secs(4),
+        window: 64,
+        latency: true,
+        throughput: true,
+        seed: 0xC0FFEE,
+        out: "BENCH_fig6_wire.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = val("--addr")?,
+            "--switches" => {
+                opts.switches = val("--switches")?
+                    .parse()
+                    .map_err(|e| format!("--switches: {e}"))?;
+            }
+            "--duration-secs" => {
+                let s: f64 = val("--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("--duration-secs: {e}"))?;
+                opts.duration = Duration::from_secs_f64(s);
+            }
+            "--window" => {
+                opts.window = val("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => opts.out = val("--out")?,
+            "--mode" => match val("--mode")?.as_str() {
+                "latency" => {
+                    opts.latency = true;
+                    opts.throughput = false;
+                }
+                "throughput" => {
+                    opts.latency = false;
+                    opts.throughput = true;
+                }
+                "both" => {
+                    opts.latency = true;
+                    opts.throughput = true;
+                }
+                m => return Err(format!("--mode: unknown mode {m:?}")),
+            },
+            "--fast" => {
+                opts.switches = 2;
+                opts.duration = Duration::from_secs(1);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_mode(out: &mut String, r: &ModeResult) {
+    let _ = write!(
+        out,
+        "    {{\n      \"mode\": \"{}\",\n      \"connections\": {},\n      \"sent\": {},\n      \"responses\": {},\n      \"duration_secs\": {:.3},\n      \"resp_per_sec\": {:.1},\n      \"latency_p50_us\": {:.1},\n      \"latency_p99_us\": {:.1}\n    }}",
+        r.mode,
+        r.connections,
+        r.sent,
+        r.responses,
+        r.duration_secs,
+        r.resp_per_sec,
+        r.p50_us,
+        r.p99_us
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match opts.addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cbench: --addr {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut results: Vec<ModeResult> = Vec::new();
+    if opts.latency {
+        eprintln!(
+            "cbench: latency mode — {} switches, {:.1}s against {}",
+            opts.switches,
+            opts.duration.as_secs_f64(),
+            opts.addr
+        );
+        match run_latency_mode(addr, opts.switches, opts.duration, opts.seed) {
+            Ok(r) => {
+                eprintln!(
+                    "cbench: latency: {:.1} resp/s, p50 {:.1}us, p99 {:.1}us ({} responses)",
+                    r.resp_per_sec, r.p50_us, r.p99_us, r.responses
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("cbench: latency mode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.throughput {
+        eprintln!(
+            "cbench: throughput mode — {} switches, window {}, {:.1}s against {}",
+            opts.switches,
+            opts.window,
+            opts.duration.as_secs_f64(),
+            opts.addr
+        );
+        match run_throughput_mode(addr, opts.switches, opts.window, opts.duration, opts.seed) {
+            Ok(r) => {
+                eprintln!(
+                    "cbench: throughput: {:.1} resp/s, p50 {:.1}us, p99 {:.1}us ({} responses)",
+                    r.resp_per_sec, r.p50_us, r.p99_us, r.responses
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("cbench: throughput mode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"fig6_wire_cbench\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"CBench-class load over the real southbound TCP wire path (loopback)\","
+    );
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"switches\": {},", opts.switches);
+    let _ = writeln!(json, "  \"window\": {},", opts.window);
+    let _ = writeln!(json, "  \"app\": \"l2-learning (full mediation)\",");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, r) in results.iter().enumerate() {
+        json_mode(&mut json, r);
+        let _ = writeln!(json, "{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("cbench: write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("cbench: wrote {}", opts.out);
+
+    // Self-gate: a run where any mode saw zero mediated responses is a
+    // failure regardless of what the JSON says.
+    let ok = !results.is_empty()
+        && results
+            .iter()
+            .all(|r| r.responses > 0 && r.connections == opts.switches);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cbench: FAILED — a mode saw zero responses or missing connections");
+        ExitCode::FAILURE
+    }
+}

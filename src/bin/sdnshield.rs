@@ -107,6 +107,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("southbound") => serve_southbound(&args[1..]),
         Some("templates") => {
             for (i, t) in CLASS_TEMPLATES.iter().enumerate() {
                 println!("# ===== attack class {} template =====", i + 1);
@@ -116,16 +117,101 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sdnshield <check|policy|reconcile|templates> [args]\n\
+                "usage: sdnshield <check|policy|reconcile|templates|southbound> [args]\n\
                  \n\
                  check <manifest-file>                      validate a manifest\n\
                  policy <policy-file>                       validate a policy\n\
                  reconcile <manifest> <policy> [app-name]   reconcile and print\n\
-                 templates                                  print class templates"
+                 templates                                  print class templates\n\
+                 southbound serve [--addr A] [--switches N] [--deputies N]\n\
+                 \x20                [--duration-secs S]        run the wire-path server"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// `sdnshield southbound serve` — the wire-path server half of the CBench
+/// pair: a linear network, the L2-learning app under full mediation, and
+/// the southbound TCP reactor. Prints `listening <addr>` on stdout once
+/// bound so scripts can wait for readiness, runs for `--duration-secs`
+/// (0 = until killed), then prints reactor stats.
+fn serve_southbound(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) != Some("serve") {
+        eprintln!("usage: sdnshield southbound serve [--addr A] [--switches N] [--deputies N] [--duration-secs S]");
+        return ExitCode::FAILURE;
+    }
+    let mut addr = "127.0.0.1:6653".to_string();
+    let mut switches = 8usize;
+    let mut deputies = 4usize;
+    let mut duration_secs = 0f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let Some(v) = it.next() else {
+            eprintln!("{a} requires a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match a.as_str() {
+            "--addr" => {
+                addr = v.clone();
+                Ok(())
+            }
+            "--switches" => v.parse().map(|n| switches = n).map_err(|e| e.to_string()),
+            "--deputies" => v.parse().map(|n| deputies = n).map_err(|e| e.to_string()),
+            "--duration-secs" => v
+                .parse()
+                .map(|s| duration_secs = s)
+                .map_err(|e| e.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("{a}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (controller, handle) = match sdnshield::wirebench::serve_l2(
+        &addr,
+        switches,
+        deputies,
+        sdnshield::controller::southbound::SouthboundConfig::default(),
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("southbound serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening {}", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if duration_secs > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration_secs));
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let stats = handle.stats();
+    println!(
+        "stats accepted={} handshakes={} closed={} frames_rx={} packet_ins={} flow_mods_tx={} packet_outs_tx={} echo_timeouts={} unknown_skipped={} shed={} protocol_errors={}",
+        stats.accepted,
+        stats.handshakes,
+        stats.closed,
+        stats.frames_rx,
+        stats.packet_ins,
+        stats.flow_mods_tx,
+        stats.packet_outs_tx,
+        stats.echo_timeouts,
+        stats.unknown_skipped,
+        stats.shed,
+        stats.protocol_errors
+    );
+    handle.shutdown();
+    controller.shutdown();
+    ExitCode::SUCCESS
 }
 
 fn with_file(path: Option<&String>, f: impl FnOnce(&str) -> ExitCode) -> ExitCode {

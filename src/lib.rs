@@ -47,6 +47,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod wirebench;
+
 pub use sdnshield_apps as apps;
 pub use sdnshield_controller as controller;
 pub use sdnshield_core as core;

@@ -1,0 +1,548 @@
+//! Client-side harness for the southbound wire path: emulated switches that
+//! speak the OpenFlow wire codec over real TCP sockets, plus the CBench-style
+//! latency/throughput measurement modes built on them.
+//!
+//! Shared by the `cbench` binary (the external load generator), the wire
+//! end-to-end test, and the tier-2 perf regression guard, so all three drive
+//! the server through the identical protocol path.
+
+use std::collections::VecDeque;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use sdnshield_apps::l2_learning::{L2LearningSwitch, L2_MANIFEST};
+use sdnshield_controller::isolation::{ControllerConfig, ShieldedController};
+use sdnshield_controller::southbound::{spawn_southbound, SouthboundConfig, SouthboundHandle};
+use sdnshield_core::lang::parse_manifest;
+use sdnshield_netsim::network::Network;
+use sdnshield_netsim::topology::builders;
+use sdnshield_netsim::trafficgen::{PacketKind, TrafficGen};
+use sdnshield_openflow::messages::{OfBody, OfMessage, PacketIn};
+use sdnshield_openflow::southbound::StreamDecoder;
+use sdnshield_openflow::types::{DatapathId, PortNo, Xid};
+use sdnshield_openflow::wire::{self, msg_type};
+
+/// Starts the standard wire-bench server: a linear network of `switches`
+/// switches, the L2-learning app under full mediation, CBench absorb mode
+/// (fake switches count responses; no data-plane walk), and the southbound
+/// reactor listening on `addr` (port 0 picks an ephemeral port).
+///
+/// Returns the controller (kept alive for stats/teardown) and the server
+/// handle.
+///
+/// # Errors
+///
+/// Propagates listener bind failures.
+pub fn serve_l2(
+    addr: &str,
+    switches: usize,
+    deputies: usize,
+    config: SouthboundConfig,
+) -> io::Result<(Arc<ShieldedController>, SouthboundHandle)> {
+    let network = Network::new(builders::linear(switches), 65_536);
+    let controller = Arc::new(ShieldedController::new_with_config(
+        network,
+        ControllerConfig {
+            num_deputies: deputies,
+            ..ControllerConfig::default()
+        },
+    ));
+    controller.kernel().set_absorb_packet_outs(true);
+    controller
+        .register(
+            Box::new(L2LearningSwitch::new()),
+            &parse_manifest(L2_MANIFEST).expect("valid L2 manifest"),
+        )
+        .expect("register L2 app");
+    let handle = spawn_southbound(Arc::clone(&controller), addr, config)?;
+    Ok((controller, handle))
+}
+
+/// A controller→switch message surfaced by [`SwitchConn`]. ECHO_REQUESTs are
+/// answered transparently inside the harness and never surfaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireEvent {
+    /// A FLOW_MOD (a mediated response).
+    FlowMod(Xid),
+    /// A PACKET_OUT (a mediated response).
+    PacketOut(Xid),
+    /// Anything else, by type code.
+    Other(u8, Xid),
+}
+
+impl WireEvent {
+    /// Is this one of the response kinds CBench counts?
+    pub fn is_response(&self) -> bool {
+        matches!(self, WireEvent::FlowMod(_) | WireEvent::PacketOut(_))
+    }
+}
+
+/// One emulated switch: a TCP connection that has completed the
+/// HELLO/FEATURES handshake and now exchanges PACKET_IN for
+/// FLOW_MOD/PACKET_OUT.
+pub struct SwitchConn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    /// The datapath id this connection claimed.
+    pub dpid: DatapathId,
+    out: Vec<u8>,
+    scratch: Vec<u8>,
+    next_xid: u32,
+}
+
+impl SwitchConn {
+    /// Connects and runs the switch side of the handshake: send HELLO, wait
+    /// for the server's FEATURES_REQUEST, answer with a FEATURES_REPLY
+    /// claiming `dpid`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, `timeout` expiring mid-handshake, or protocol
+    /// errors.
+    pub fn connect(addr: SocketAddr, dpid: DatapathId, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let mut conn = SwitchConn {
+            stream,
+            decoder: StreamDecoder::new(),
+            dpid,
+            out: Vec::with_capacity(4096),
+            scratch: Vec::with_capacity(256),
+            next_xid: 1,
+        };
+        conn.send_body(&OfBody::Hello)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "handshake timed out",
+                ));
+            }
+            if let WireEvent::Other(msg_type::FEATURES_REQUEST, xid) = conn.recv_event()? {
+                let reply = OfMessage::new(
+                    xid,
+                    OfBody::FeaturesReply {
+                        datapath_id: dpid,
+                        ports: vec![PortNo(1), PortNo(2), PortNo(3)],
+                        table_capacity: 65_536,
+                    },
+                );
+                conn.scratch.clear();
+                wire::encode_into(&reply, &mut conn.scratch);
+                let frame = std::mem::take(&mut conn.scratch);
+                conn.write_all_nb(&frame)?;
+                conn.scratch = frame;
+                return Ok(conn);
+            }
+        }
+    }
+
+    fn take_xid(&mut self) -> Xid {
+        let x = Xid(self.next_xid);
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    fn send_body(&mut self, body: &OfBody) -> io::Result<()> {
+        let msg = OfMessage::new(self.take_xid(), body.clone());
+        self.scratch.clear();
+        wire::encode_into(&msg, &mut self.scratch);
+        let frame = std::mem::take(&mut self.scratch);
+        let r = self.write_all_nb(&frame);
+        self.scratch = frame;
+        r
+    }
+
+    /// Writes a full buffer, tolerating `WouldBlock` on a nonblocking
+    /// socket by yielding briefly (egress frames are small relative to the
+    /// socket send buffer, so this rarely spins).
+    fn write_all_nb(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut off = 0;
+        while off < buf.len() {
+            match self.stream.write(&buf[off..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a PACKET_IN frame to the local output buffer without
+    /// touching the socket (throughput mode batches many per write).
+    pub fn queue_packet_in(&mut self, pi: &PacketIn) {
+        let msg = OfMessage::new(self.take_xid(), OfBody::PacketIn(pi.clone()));
+        wire::encode_into(&msg, &mut self.out);
+    }
+
+    /// Writes and clears the batched output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn flush_out(&mut self) -> io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.out);
+        let r = self.write_all_nb(&buf);
+        self.out = buf;
+        self.out.clear();
+        r
+    }
+
+    /// Sends one PACKET_IN immediately (latency mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_packet_in(&mut self, pi: &PacketIn) -> io::Result<()> {
+        self.queue_packet_in(pi);
+        self.flush_out()
+    }
+
+    /// Switches the connection between blocking (with `read_timeout`) and
+    /// nonblocking reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_nonblocking(&mut self, nb: bool) -> io::Result<()> {
+        self.stream.set_nonblocking(nb)
+    }
+
+    /// Adjusts the blocking-read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_read_timeout(&mut self, t: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(t))
+    }
+
+    /// Blocking receive of the next surfaced event. ECHO_REQUESTs are
+    /// answered in place (xid + payload verbatim) and the loop continues.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock`/`TimedOut` when the read timeout expires, `UnexpectedEof`
+    /// on close, `InvalidData` on stream corruption.
+    pub fn recv_event(&mut self) -> io::Result<WireEvent> {
+        loop {
+            if let Some(ev) = self.pop_event()? {
+                return Ok(ev);
+            }
+            match self.decoder.read_from(&mut self.stream) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Nonblocking receive: `Ok(None)` when no complete frame is buffered
+    /// and the socket has nothing to read.
+    ///
+    /// # Errors
+    ///
+    /// As [`SwitchConn::recv_event`], except `WouldBlock` maps to `Ok(None)`.
+    pub fn try_recv_event(&mut self) -> io::Result<Option<WireEvent>> {
+        loop {
+            if let Some(ev) = self.pop_event()? {
+                return Ok(Some(ev));
+            }
+            match self.decoder.read_from(&mut self.stream) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Decodes one buffered frame into an event, answering echo probes
+    /// inline. `Ok(None)` when no complete frame is buffered.
+    fn pop_event(&mut self) -> io::Result<Option<WireEvent>> {
+        let (ty, xid, echo_payload) = {
+            let frame = match self.decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(None),
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            };
+            let payload = (frame.ty == msg_type::ECHO_REQUEST)
+                .then(|| Bytes::copy_from_slice(frame.echo_payload()));
+            (frame.ty, frame.xid, payload)
+        };
+        if let Some(payload) = echo_payload {
+            // Keep the liveness contract: mirror xid and payload verbatim.
+            let msg = OfMessage::new(xid, OfBody::EchoReply(payload));
+            self.scratch.clear();
+            wire::encode_into(&msg, &mut self.scratch);
+            let frame = std::mem::take(&mut self.scratch);
+            self.write_all_nb(&frame)?;
+            self.scratch = frame;
+            return self.pop_event();
+        }
+        Ok(Some(match ty {
+            msg_type::FLOW_MOD => WireEvent::FlowMod(xid),
+            msg_type::PACKET_OUT => WireEvent::PacketOut(xid),
+            t => WireEvent::Other(t, xid),
+        }))
+    }
+}
+
+/// Per-connection tallies returned by the mode workers.
+#[derive(Debug, Default, Clone)]
+pub struct ConnTally {
+    /// PACKET_INs sent.
+    pub sent: u64,
+    /// FLOW_MOD/PACKET_OUT responses received.
+    pub responses: u64,
+    /// Response latencies in microseconds (first response per packet-in in
+    /// latency mode; best-effort FIFO pairing in throughput mode).
+    pub latencies_us: Vec<f64>,
+}
+
+/// Aggregated result of one measurement mode.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// `"latency"` or `"throughput"`.
+    pub mode: &'static str,
+    /// Connections that completed the handshake and ran.
+    pub connections: usize,
+    /// Total PACKET_INs sent.
+    pub sent: u64,
+    /// Total mediated responses received.
+    pub responses: u64,
+    /// Measurement wall-clock duration in seconds.
+    pub duration_secs: f64,
+    /// Responses per second across all connections.
+    pub resp_per_sec: f64,
+    /// Median response latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile response latency (µs).
+    pub p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn aggregate(mode: &'static str, tallies: Vec<ConnTally>, duration: Duration) -> ModeResult {
+    let connections = tallies.len();
+    let sent = tallies.iter().map(|t| t.sent).sum();
+    let responses: u64 = tallies.iter().map(|t| t.responses).sum();
+    let mut lat: Vec<f64> = tallies.into_iter().flat_map(|t| t.latencies_us).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let duration_secs = duration.as_secs_f64();
+    ModeResult {
+        mode,
+        connections,
+        sent,
+        responses,
+        duration_secs,
+        resp_per_sec: responses as f64 / duration_secs,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// CBench latency mode: every connection keeps exactly one PACKET_IN
+/// outstanding — send, wait for the first mediated response, record the
+/// round trip, drain stragglers, repeat.
+///
+/// # Errors
+///
+/// Connection or handshake failures (measurement-phase socket errors end
+/// that connection's run early but keep its tallies).
+pub fn run_latency_mode(
+    addr: SocketAddr,
+    switches: usize,
+    duration: Duration,
+    seed: u64,
+) -> io::Result<ModeResult> {
+    let tallies = run_workers(
+        addr,
+        switches,
+        move |conn, deadline, mut gen| {
+            let mut tally = ConnTally::default();
+            let _ = conn.set_read_timeout(Duration::from_millis(100));
+            while Instant::now() < deadline {
+                let (_, pi) = gen.next_packet_in();
+                let t0 = Instant::now();
+                if conn.send_packet_in(&pi).is_err() {
+                    break;
+                }
+                tally.sent += 1;
+                // First response carries the RTT.
+                loop {
+                    match conn.recv_event() {
+                        Ok(ev) if ev.is_response() => {
+                            tally.responses += 1;
+                            tally.latencies_us.push(us(t0.elapsed()));
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            break;
+                        }
+                        Err(_) => return tally,
+                    }
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                // Settle: some packet-ins produce a second response (flow-mod +
+                // packet-out); drain it so it cannot pollute the next RTT.
+                let _ = conn.set_read_timeout(Duration::from_millis(2));
+                loop {
+                    match conn.recv_event() {
+                        Ok(ev) if ev.is_response() => tally.responses += 1,
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
+                let _ = conn.set_read_timeout(Duration::from_millis(100));
+            }
+            tally
+        },
+        duration,
+        seed,
+    )?;
+    Ok(aggregate("latency", tallies, duration))
+}
+
+/// CBench throughput mode: every connection keeps a pipelined window of
+/// PACKET_INs outstanding and counts mediated responses; latencies pair
+/// responses to sends FIFO (best-effort — responses without a pending send
+/// are counted but not timed).
+///
+/// # Errors
+///
+/// Connection or handshake failures.
+pub fn run_throughput_mode(
+    addr: SocketAddr,
+    switches: usize,
+    window: usize,
+    duration: Duration,
+    seed: u64,
+) -> io::Result<ModeResult> {
+    let tallies = run_workers(
+        addr,
+        switches,
+        move |conn, deadline, mut gen| {
+            let mut tally = ConnTally::default();
+            if conn.set_nonblocking(true).is_err() {
+                return tally;
+            }
+            let mut fifo: VecDeque<Instant> = VecDeque::with_capacity(window);
+            while Instant::now() < deadline {
+                while fifo.len() < window {
+                    let (_, pi) = gen.next_packet_in();
+                    conn.queue_packet_in(&pi);
+                    fifo.push_back(Instant::now());
+                    tally.sent += 1;
+                }
+                if conn.flush_out().is_err() {
+                    return tally;
+                }
+                let mut drained = false;
+                loop {
+                    match conn.try_recv_event() {
+                        Ok(Some(ev)) => {
+                            if ev.is_response() {
+                                tally.responses += 1;
+                                if let Some(t0) = fifo.pop_front() {
+                                    tally.latencies_us.push(us(t0.elapsed()));
+                                }
+                            }
+                            drained = true;
+                        }
+                        Ok(None) => break,
+                        Err(_) => return tally,
+                    }
+                }
+                if !drained {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+            // Grace drain: collect in-flight responses so the count reflects
+            // work the controller actually completed.
+            if conn.set_nonblocking(false).is_ok() {
+                let _ = conn.set_read_timeout(Duration::from_millis(50));
+                let grace = Instant::now() + Duration::from_millis(250);
+                while Instant::now() < grace {
+                    match conn.recv_event() {
+                        Ok(ev) if ev.is_response() => tally.responses += 1,
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+            tally
+        },
+        duration,
+        seed,
+    )?;
+    Ok(aggregate("throughput", tallies, duration))
+}
+
+/// Spawns one worker thread per emulated switch (dpids `1..=switches`),
+/// each with its own connection and deterministic traffic stream.
+fn run_workers<F>(
+    addr: SocketAddr,
+    switches: usize,
+    work: F,
+    duration: Duration,
+    seed: u64,
+) -> io::Result<Vec<ConnTally>>
+where
+    F: Fn(&mut SwitchConn, Instant, TrafficGen) -> ConnTally + Send + Sync,
+{
+    let work = &work;
+    let mut tallies = Vec::with_capacity(switches);
+    let results: Vec<io::Result<ConnTally>> = thread::scope(|s| {
+        let handles: Vec<_> = (1..=switches as u64)
+            .map(|d| {
+                s.spawn(move || {
+                    let mut conn =
+                        SwitchConn::connect(addr, DatapathId(d), Duration::from_secs(5))?;
+                    let gen = TrafficGen::new(1, 16, PacketKind::Arp, seed ^ (d << 8));
+                    let deadline = Instant::now() + duration;
+                    Ok(work(&mut conn, deadline, gen))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for r in results {
+        tallies.push(r?);
+    }
+    Ok(tallies)
+}

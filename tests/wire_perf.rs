@@ -1,0 +1,98 @@
+//! Tier-2 perf regression guard for the southbound wire path (run with
+//! `cargo test --release --test wire_perf -- --ignored`).
+//!
+//! The wire path adds real sockets, framing, and a reactor sweep on top of
+//! the in-process fast lane that Fig. 7 measures. That overhead must stay
+//! bounded: on a multi-core host the wire throughput (responses/sec over
+//! loopback TCP) must be within 3x of the in-process fast-lane rate
+//! measured in the same process. Hosts with fewer than 4 cores skip — the
+//! client workers, reactor, deputies and app threads contend for the same
+//! core there and the ratio measures the scheduler, not the wire path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdnshield::apps::{L2LearningSwitch, L2_MANIFEST};
+use sdnshield::controller::southbound::SouthboundConfig;
+use sdnshield::controller::ShieldedController;
+use sdnshield::core::parse_manifest;
+use sdnshield::netsim::network::Network;
+use sdnshield::netsim::topology::builders;
+use sdnshield::netsim::trafficgen::{PacketKind, TrafficGen};
+use sdnshield::wirebench::{run_throughput_mode, serve_l2};
+
+const SWITCHES: usize = 4;
+const DEPUTIES: usize = 2;
+const CHUNK: usize = 512;
+const INPROC_BATCH: usize = 40_000;
+
+/// In-process fast-lane rate: packet-ins fully mediated per second when
+/// delivered as vectored batches with no wire in between (the Fig. 7
+/// fast-lane shape).
+fn inproc_rate() -> f64 {
+    let network = Network::new(builders::linear(SWITCHES), 65_536);
+    let controller = Arc::new(ShieldedController::new(network, DEPUTIES));
+    controller.kernel().set_absorb_packet_outs(true);
+    controller
+        .register(
+            Box::new(L2LearningSwitch::new()),
+            &parse_manifest(L2_MANIFEST).unwrap(),
+        )
+        .unwrap();
+    let mut gen = TrafficGen::new(SWITCHES as u64, 16, PacketKind::Arp, 7);
+
+    // Warmup.
+    let warm: Vec<_> = (0..2_000).map(|_| gen.next_packet_in()).collect();
+    controller.deliver_packet_in_batch(warm);
+    controller.quiesce();
+
+    let mut pending: Vec<_> = (0..INPROC_BATCH).map(|_| gen.next_packet_in()).collect();
+    let t0 = Instant::now();
+    while !pending.is_empty() {
+        let rest = pending.split_off(pending.len().min(CHUNK));
+        controller.deliver_packet_in_batch(pending);
+        pending = rest;
+    }
+    controller.quiesce();
+    let rate = INPROC_BATCH as f64 / t0.elapsed().as_secs_f64();
+    controller.shutdown();
+    rate
+}
+
+#[test]
+#[ignore = "tier-2 perf guard; run explicitly in release"]
+fn wire_throughput_within_3x_of_inprocess_fast_lane() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < 4 {
+        eprintln!("skipping: host has {cores} cores (<4); ratio would measure the scheduler");
+        return;
+    }
+
+    let inproc = inproc_rate();
+
+    let (controller, handle) = serve_l2(
+        "127.0.0.1:0",
+        SWITCHES,
+        DEPUTIES,
+        SouthboundConfig::default(),
+    )
+    .unwrap();
+    let wire =
+        run_throughput_mode(handle.local_addr(), SWITCHES, 64, Duration::from_secs(3), 7).unwrap();
+    handle.shutdown();
+    controller.shutdown();
+
+    eprintln!(
+        "in-process fast lane: {:.0} resp/s; wire: {:.0} resp/s ({}x slower)",
+        inproc,
+        wire.resp_per_sec,
+        inproc / wire.resp_per_sec
+    );
+    assert!(wire.responses > 0, "wire run produced no responses");
+    assert!(
+        wire.resp_per_sec * 3.0 >= inproc,
+        "wire path more than 3x slower than in-process fast lane: \
+         {:.0} resp/s vs {inproc:.0} resp/s",
+        wire.resp_per_sec
+    );
+}
