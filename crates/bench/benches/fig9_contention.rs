@@ -16,8 +16,8 @@ fn bench_contention(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(2));
     for workload in Workload::ALL {
         let harness = ContentionHarness::new();
-        // Warmup: populate tables/tracker so steady state is measured.
-        harness.run_batch(2, 256, workload);
+        // Drive every switch to steady-state table size before measuring.
+        harness.prime(workload);
         for deputies in [1usize, 2, 4, 8] {
             group.throughput(Throughput::Elements((deputies * CALLS_PER_DEPUTY) as u64));
             group.bench_with_input(

@@ -3,6 +3,19 @@
 //! permission checks "scale out across deputy threads", measurable now that
 //! the single global kernel lock is gone.
 //!
+//! Three series per deputy count:
+//!
+//! * `disjoint` — pure inserts, one private switch per deputy, direct
+//!   unjournaled kernel (sharding best case).
+//! * `mixed` — the realistic op mix on the *direct* unjournaled kernel.
+//!   Historical series; it bypasses the production write pipeline, so its
+//!   speedups are reported under `speedup_mixed_direct_*`.
+//! * `group_commit` — the same mix on the production pipeline: journaled
+//!   kernel (flat-combining group-commit submit, batched journal appends,
+//!   DESIGN.md §16) with reads served via the lock-free RCU fast lane.
+//!   This is the configuration real apps get, so the headline
+//!   `speedup_mixed_*` keys are computed from this series.
+//!
 //! Emits a machine-readable `BENCH_fig9.json` next to the table so later
 //! PRs have a throughput baseline to compare against.
 //!
@@ -16,27 +29,116 @@ use sdnshield_bench::contention::{ContentionHarness, Workload};
 
 const DEPUTIES: [usize; 4] = [1, 2, 4, 8];
 
-fn measure(calls_per_deputy: usize, reps: usize) -> Vec<(Workload, Vec<(usize, f64)>)> {
-    let mut out = Vec::new();
-    for workload in Workload::ALL {
-        let harness = ContentionHarness::new();
-        harness.run_batch(2, calls_per_deputy.min(512), workload); // warmup
-        let mut rows = Vec::new();
-        for &deputies in &DEPUTIES {
-            // Best of `reps` batches: contention benches are noisy and the
-            // max is the least-perturbed observation.
-            let best = (0..reps)
-                .map(|_| harness.throughput(deputies, calls_per_deputy, workload))
-                .fold(f64::MIN, f64::max);
-            rows.push((deputies, best));
-        }
-        out.push((workload, rows));
+/// One measured series: a label plus (deputies, calls/sec) rows.
+struct Series {
+    label: &'static str,
+    rows: Vec<(usize, f64)>,
+}
+
+fn measure_series(
+    label: &'static str,
+    mk_harness: impl Fn() -> ContentionHarness,
+    workload: Workload,
+    calls_total: usize,
+    reps: usize,
+) -> Series {
+    let mut rows = Vec::new();
+    let mut last: Option<ContentionHarness> = None;
+    for &deputies in &DEPUTIES {
+        // Strong scaling: the TOTAL batch is constant and split across the
+        // deputies, so every row commits (and journals) the same history
+        // length between compactions. Fixing per-deputy work instead would
+        // hand higher-deputy rows proportionally longer journal retention
+        // windows — measurable as allocator pressure, not mediation cost.
+        let calls_per_deputy = calls_total / deputies;
+        // Best of `reps` batches: contention benches are noisy and the
+        // max is the least-perturbed observation.
+        //
+        // Every (row, rep) measurement runs on a FRESH, steady-state-primed
+        // harness, so every deputy's switches hold the same table sizes no
+        // matter the deputy count or per-deputy call count. Reusing one
+        // kernel across rows (as this table once did) silently handicaps
+        // the later, higher-deputy rows: their reads scan tables the
+        // earlier rows already populated, and the "speedup" column ends
+        // up measuring table growth, not contention.
+        let best = (0..reps)
+            .map(|_| {
+                let harness = mk_harness();
+                // Steady-state tables from call 0 (see `prime` docs), then a
+                // short warmup batch to page in code and thread stacks.
+                harness.prime(workload);
+                harness.run_batch(deputies, calls_per_deputy.min(512), workload);
+                let cps = harness.throughput(deputies, calls_per_deputy, workload);
+                last = Some(harness);
+                cps
+            })
+            .fold(f64::MIN, f64::max);
+        rows.push((deputies, best));
     }
+    if let Some(harness) = last {
+        let stats = harness.kernel().combiner_stats();
+        if stats.submitted > 0 {
+            println!(
+                "{label}: last batch combiner — {} submits, {} drains (mean batch {:.2}, \
+                 max {}), {} combined for peers, {} ring fallbacks",
+                stats.submitted,
+                stats.drains,
+                stats.mean_batch(),
+                stats.max_batch,
+                stats.combined,
+                stats.ring_fallbacks
+            );
+        }
+    }
+    Series { label, rows }
+}
+
+fn measure(calls_total: usize, reps: usize) -> Vec<Series> {
+    let out = vec![
+        measure_series(
+            "disjoint",
+            ContentionHarness::new,
+            Workload::Disjoint,
+            calls_total,
+            reps,
+        ),
+        measure_series(
+            "mixed",
+            ContentionHarness::new,
+            Workload::Mixed,
+            calls_total,
+            reps,
+        ),
+        measure_series(
+            "group_commit",
+            ContentionHarness::new_group_commit,
+            Workload::Mixed,
+            calls_total,
+            reps,
+        ),
+    ];
+    println!();
     out
 }
 
+/// Throughput ratio of `deputies` deputies over one, within one series.
+fn speedup(series: &[Series], label: &str, deputies: usize) -> f64 {
+    let rows = &series
+        .iter()
+        .find(|s| s.label == label)
+        .expect("series measured")
+        .rows;
+    let at = |d: usize| {
+        rows.iter()
+            .find(|(dep, _)| *dep == d)
+            .map(|(_, cps)| *cps)
+            .expect("deputy count measured")
+    };
+    at(deputies) / at(1)
+}
+
 /// Hand-rolled JSON (the workspace deliberately carries no serde).
-fn to_json(results: &[(Workload, Vec<(usize, f64)>)], calls_per_deputy: usize) -> String {
+fn to_json(series: &[Series], calls_total: usize) -> String {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -45,17 +147,26 @@ fn to_json(results: &[(Workload, Vec<(usize, f64)>)], calls_per_deputy: usize) -
     s.push_str("  \"bench\": \"fig9_contention\",\n");
     s.push_str("  \"unit\": \"calls_per_sec\",\n");
     let _ = writeln!(s, "  \"host_parallelism\": {parallelism},");
-    let _ = writeln!(s, "  \"calls_per_deputy\": {calls_per_deputy},");
+    let _ = writeln!(s, "  \"calls_total_per_batch\": {calls_total},");
     s.push_str("  \"workloads\": {\n");
-    for (wi, (workload, rows)) in results.iter().enumerate() {
-        let _ = writeln!(s, "    \"{}\": {{", workload.label());
-        for (ri, (deputies, cps)) in rows.iter().enumerate() {
-            let comma = if ri + 1 < rows.len() { "," } else { "" };
+    for (wi, sr) in series.iter().enumerate() {
+        let _ = writeln!(s, "    \"{}\": {{", sr.label);
+        for (ri, (deputies, cps)) in sr.rows.iter().enumerate() {
+            let comma = if ri + 1 < sr.rows.len() { "," } else { "" };
             let _ = writeln!(s, "      \"{deputies}\": {cps:.0}{comma}");
         }
-        let comma = if wi + 1 < results.len() { "," } else { "" };
+        let comma = if wi + 1 < series.len() { "," } else { "" };
         let _ = writeln!(s, "    }}{comma}");
     }
+    s.push_str("  },\n");
+    s.push_str("  \"series_notes\": {\n");
+    s.push_str("    \"disjoint\": \"direct unjournaled kernel, per-deputy private switches\",\n");
+    s.push_str(
+        "    \"mixed\": \"direct unjournaled kernel; bypasses the production write pipeline\",\n",
+    );
+    s.push_str(
+        "    \"group_commit\": \"journaled kernel: flat-combining group-commit writes + RCU read fast lane (production path)\"\n",
+    );
     s.push_str("  },\n");
     let _ = writeln!(
         s,
@@ -63,47 +174,50 @@ fn to_json(results: &[(Workload, Vec<(usize, f64)>)], calls_per_deputy: usize) -
         Workload::Mixed.read_fraction()
     );
     let _ = writeln!(s, "  \"mixed_op_mix\": \"{}\",", Workload::Mixed.mix());
-    let speedup4 = speedup_mixed(results, 4);
-    let speedup8 = speedup_mixed(results, 8);
-    let _ = writeln!(s, "  \"speedup_mixed_4_vs_1\": {speedup4:.2},");
-    let _ = writeln!(s, "  \"speedup_mixed_8_vs_1\": {speedup8:.2}");
+    let _ = writeln!(
+        s,
+        "  \"speedup_mixed_4_vs_1\": {:.2},",
+        speedup(series, "group_commit", 4)
+    );
+    let _ = writeln!(
+        s,
+        "  \"speedup_mixed_8_vs_1\": {:.2},",
+        speedup(series, "group_commit", 8)
+    );
+    let _ = writeln!(
+        s,
+        "  \"speedup_mixed_direct_4_vs_1\": {:.2},",
+        speedup(series, "mixed", 4)
+    );
+    let _ = writeln!(
+        s,
+        "  \"speedup_mixed_direct_8_vs_1\": {:.2}",
+        speedup(series, "mixed", 8)
+    );
     s.push_str("}\n");
     s
 }
 
-/// Mixed-workload throughput ratio of `deputies` deputies over one.
-fn speedup_mixed(results: &[(Workload, Vec<(usize, f64)>)], deputies: usize) -> f64 {
-    let mixed = results
-        .iter()
-        .find(|(w, _)| *w == Workload::Mixed)
-        .map(|(_, rows)| rows)
-        .expect("mixed workload measured");
-    let at = |d: usize| {
-        mixed
-            .iter()
-            .find(|(dep, _)| *dep == d)
-            .map(|(_, cps)| *cps)
-            .expect("deputy count measured")
-    };
-    at(deputies) / at(1)
-}
-
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let (calls, reps) = if fast { (2_000, 2) } else { (20_000, 5) };
+    // Total calls per measured batch, split across the row's deputies.
+    // Sized so a batch runs for hundreds of milliseconds at the ~150k
+    // calls/sec the cache-resident steady-state workload sustains —
+    // shorter batches drown in scheduler noise.
+    let (calls, reps) = if fast { (8_000, 2) } else { (200_000, 5) };
 
     println!("Figure 9 — kernel call throughput vs deputies (best of {reps} batches)\n");
-    let results = measure(calls, reps);
+    let series = measure(calls, reps);
     println!(
-        "{:<10} {:>10} {:>16} {:>12}",
-        "workload", "deputies", "calls/sec", "vs 1 deputy"
+        "{:<14} {:>10} {:>16} {:>12}",
+        "series", "deputies", "calls/sec", "vs 1 deputy"
     );
-    for (workload, rows) in &results {
-        let base = rows[0].1;
-        for (deputies, cps) in rows {
+    for sr in &series {
+        let base = sr.rows[0].1;
+        for (deputies, cps) in &sr.rows {
             println!(
-                "{:<10} {:>10} {:>16.0} {:>11.2}x",
-                workload.label(),
+                "{:<14} {:>10} {:>16.0} {:>11.2}x",
+                sr.label,
                 deputies,
                 cps,
                 cps / base
@@ -114,12 +228,20 @@ fn main() {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let speedup4 = speedup_mixed(&results, 4);
-    let speedup8 = speedup_mixed(&results, 8);
     println!("\nhost parallelism: {parallelism} hardware threads");
     println!("mixed-workload mix: {}", Workload::Mixed.mix());
-    println!("mixed-workload speedup 4 vs 1 deputies: {speedup4:.2}x");
-    println!("mixed-workload speedup 8 vs 1 deputies: {speedup8:.2}x");
+    println!(
+        "group-commit (production path) speedup 4 vs 1 deputies: {:.2}x",
+        speedup(&series, "group_commit", 4)
+    );
+    println!(
+        "group-commit (production path) speedup 8 vs 1 deputies: {:.2}x",
+        speedup(&series, "group_commit", 8)
+    );
+    println!(
+        "direct-kernel mixed speedup 4 vs 1 deputies: {:.2}x",
+        speedup(&series, "mixed", 4)
+    );
     if parallelism < 4 {
         println!(
             "note: scaling cannot materialize below 4 hardware threads; the\n\
@@ -129,7 +251,7 @@ fn main() {
         );
     }
 
-    let json = to_json(&results, calls);
+    let json = to_json(&series, calls);
     fs::write("BENCH_fig9.json", &json).expect("write BENCH_fig9.json");
     println!("\nwrote BENCH_fig9.json");
 }

@@ -370,7 +370,14 @@ impl AuditLog {
     /// that advances its cursor to the last returned `seq` sees every
     /// admitted record exactly once.
     pub fn records_since(&self, since: u64) -> Vec<AuditRecord> {
-        self.sync();
+        // Hold the consumer role across both the drain and the segment
+        // scan. If another drain could assign sequences while we walk the
+        // segments one lock at a time, a record landing in an
+        // already-scanned segment (while a later seq lands in a
+        // yet-to-be-scanned one) would read as a hole in an otherwise
+        // gap-free run. Producers are unaffected: they only push the ring.
+        let _consumer = self.shared.drain.lock();
+        self.shared.drain_locked();
         let floor = since.max(self.shared.evicted_through.load(Ordering::SeqCst));
         let mut out: Vec<AuditRecord> = Vec::new();
         for seg in &self.shared.segments {

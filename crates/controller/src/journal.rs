@@ -233,11 +233,78 @@ impl Journal {
             return;
         }
         let mut state = self.state.lock().unwrap();
+        self.append_locked(&mut state, seq, audit_seq_after, cmd);
+    }
 
+    /// Appends a whole commit group under a single state-lock acquisition.
+    ///
+    /// The group-commit combiner hands every record of a drained batch here
+    /// at once; with no faults armed the frames are encoded into one buffer
+    /// and reach the file through one `write_all`. The bytes are identical
+    /// to `entries.len()` individual [`Journal::append`] calls (the frame
+    /// format is unchanged — N frames, one flush), so `records_since`,
+    /// reopen, and recovery replay stay byte-compatible with single-record
+    /// journals. With faults armed the batch degrades to the per-record
+    /// path so torn-write/CRC/crash-window injections keep their exact
+    /// byte-offset semantics.
+    pub(crate) fn append_batch(&self, entries: Vec<(u64, u64, Command)>) {
+        if self.is_dead() || entries.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        if !state.faults.is_none() {
+            for (seq, audit_seq_after, cmd) in entries {
+                if !self.append_locked(&mut state, seq, audit_seq_after, cmd) {
+                    return; // an injected fault "killed" the process mid-batch
+                }
+            }
+            return;
+        }
+        // In-memory hot path: no frames needed (see `append_locked`).
+        if state.file.is_none() {
+            for (seq, audit_seq_after, cmd) in entries {
+                state.records.push(JournalRecord {
+                    seq,
+                    audit_seq_after,
+                    cmd,
+                });
+            }
+            return;
+        }
+        let mut buf = BytesMut::new();
+        let mut records = Vec::with_capacity(entries.len());
+        for (seq, audit_seq_after, cmd) in entries {
+            let record = JournalRecord {
+                seq,
+                audit_seq_after,
+                cmd,
+            };
+            encode_frame(&record, None, &mut buf);
+            records.push(record);
+        }
+        let flushed = buf.len() as u64;
+        if let Some(file) = state.file.as_mut() {
+            file.write_all(&buf)
+                .expect("journal append failed: backing file unwritable");
+        }
+        state.file_len += flushed;
+        state.records.extend(records);
+    }
+
+    /// The single-record append body, shared by [`Journal::append`] and the
+    /// fault-armed arm of [`Journal::append_batch`]. Returns `false` when an
+    /// injected fault killed the journal (the caller must stop appending).
+    fn append_locked(
+        &self,
+        state: &mut JournalState,
+        seq: u64,
+        audit_seq_after: u64,
+        cmd: Command,
+    ) -> bool {
         if state.faults.crash_before_append_on_record == Some(seq) {
             state.faults.crash_before_append_on_record = None;
             self.dead.store(true, Ordering::SeqCst);
-            return; // applied but never journaled: the crash window
+            return false; // applied but never journaled: the crash window
         }
 
         let record = JournalRecord {
@@ -252,24 +319,17 @@ impl Journal {
         // tax on the mediation hot path to a clone and a push.
         if state.file.is_none() && state.faults.is_none() {
             state.records.push(record);
-            return;
+            return true;
         }
 
-        let mut payload = BytesMut::new();
-        payload.put_u64(seq);
-        payload.put_u64(audit_seq_after);
-        encode_command(&record.cmd, &mut payload);
-
-        let mut crc = crc32(&payload);
-        if state.faults.corrupt_crc_on_record == Some(seq) {
+        let corrupt = if state.faults.corrupt_crc_on_record == Some(seq) {
             state.faults.corrupt_crc_on_record = None;
-            crc ^= 0xFF;
-        }
-
-        let mut frame = BytesMut::with_capacity(8 + payload.len());
-        frame.put_u32(payload.len() as u32);
-        frame.put_u32(crc);
-        frame.extend_from_slice(&payload);
+            true
+        } else {
+            false
+        };
+        let mut frame = BytesMut::new();
+        encode_frame(&record, corrupt.then_some(0xFF), &mut frame);
 
         if let Some(tear_at) = state.faults.torn_write_at_byte {
             let end = state.file_len + frame.len() as u64;
@@ -280,7 +340,7 @@ impl Journal {
                     let _ = file.write_all(&frame[..keep]);
                 }
                 self.dead.store(true, Ordering::SeqCst);
-                return; // process died mid-write; record never committed
+                return false; // process died mid-write; record never committed
             }
         }
 
@@ -291,6 +351,7 @@ impl Journal {
         }
         state.file_len += frame_len;
         state.records.push(record);
+        true
     }
 
     /// Records with `seq > since`, in order — the warm-standby catch-up
@@ -345,6 +406,19 @@ impl std::fmt::Debug for Journal {
             .field("dead", &self.is_dead())
             .finish()
     }
+}
+
+/// Encodes one `[u32 len][u32 crc32][payload]` frame onto `out`.
+/// `crc_xor` flips the stored CRC (the corrupt-CRC fault injection).
+fn encode_frame(record: &JournalRecord, crc_xor: Option<u32>, out: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    payload.put_u64(record.seq);
+    payload.put_u64(record.audit_seq_after);
+    encode_command(&record.cmd, &mut payload);
+    let crc = crc32(&payload) ^ crc_xor.unwrap_or(0);
+    out.put_u32(payload.len() as u32);
+    out.put_u32(crc);
+    out.extend_from_slice(&payload);
 }
 
 fn decode_record(mut payload: Bytes) -> Result<JournalRecord, crate::command::DecodeError> {
@@ -532,5 +606,91 @@ mod tests {
         assert!(j.is_empty());
         assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_append_is_byte_identical_to_serial_appends() {
+        let serial_path = tmp("batch-serial");
+        let batch_path = tmp("batch-batch");
+        {
+            let serial = Journal::open(&serial_path).unwrap();
+            for i in 1..=3 {
+                serial.append(i, i * 7, cmd(i));
+            }
+            let batch = Journal::open(&batch_path).unwrap();
+            batch.append_batch((1..=3).map(|i| (i, i * 7, cmd(i))).collect());
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch.last_seq(), 3);
+        }
+        // One group append must leave the exact bytes N serial appends
+        // leave: recovery and warm standbys cannot tell them apart.
+        let serial_bytes = std::fs::read(&serial_path).unwrap();
+        let batch_bytes = std::fs::read(&batch_path).unwrap();
+        assert_eq!(serial_bytes, batch_bytes, "frame-for-frame identical");
+
+        // And the reopened batch file replays the same records.
+        let reopened = Journal::open(&batch_path).unwrap();
+        let records = reopened.records_since(0);
+        assert_eq!(records.len(), 3);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+            assert_eq!(r.audit_seq_after, (i as u64 + 1) * 7);
+        }
+        std::fs::remove_file(&serial_path).unwrap();
+        std::fs::remove_file(&batch_path).unwrap();
+    }
+
+    #[test]
+    fn batch_append_with_armed_tear_degrades_per_record() {
+        let path = tmp("batch-torn");
+        let prefix_len;
+        {
+            let j = Journal::open(&path).unwrap();
+            j.append(1, 1, cmd(1));
+            // Every AdvanceClock record has the same frame length, so the
+            // file length after one append doubles as the frame size.
+            prefix_len = std::fs::metadata(&path).unwrap().len();
+            let frame_len = prefix_len;
+            // Tear inside the SECOND record of the group: the batch path
+            // must fall back to per-record framing so the tear lands at
+            // the same byte offset a serial append would produce.
+            j.arm_faults(JournalFaults {
+                torn_write_at_byte: Some(prefix_len + frame_len + frame_len / 2),
+                ..JournalFaults::default()
+            });
+            j.append_batch(vec![(2, 2, cmd(2)), (3, 3, cmd(3)), (4, 4, cmd(4))]);
+            // The journal died at the tear; the batch suffix was dropped.
+            assert!(j.is_dead());
+            assert_eq!(
+                j.last_seq(),
+                2,
+                "record before the torn one survives in memory"
+            );
+        }
+        let reopened = Journal::open(&path).unwrap();
+        // Recovery truncates the torn tail: only the pre-batch record and
+        // the first (fully written) group record remain.
+        assert_eq!(reopened.last_seq(), 2);
+        assert!(std::fs::metadata(&path).unwrap().len() > prefix_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_append_to_dead_or_empty_is_a_noop() {
+        let j = Journal::in_memory();
+        j.append_batch(Vec::new());
+        assert!(j.is_empty());
+        j.append_batch(vec![(1, 1, cmd(1)), (2, 2, cmd(2))]);
+        assert_eq!(j.len(), 2);
+        j.arm_faults(JournalFaults {
+            crash_before_append_on_record: Some(3),
+            ..JournalFaults::default()
+        });
+        j.append_batch(vec![(3, 3, cmd(3)), (4, 4, cmd(4))]);
+        assert!(j.is_dead());
+        assert_eq!(j.last_seq(), 2);
+        // Dead journals swallow batches silently, same as append().
+        j.append_batch(vec![(5, 5, cmd(5))]);
+        assert_eq!(j.last_seq(), 2);
     }
 }

@@ -40,8 +40,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
+use crossbeam::queue::ArrayQueue;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sdnshield_core::api::{ApiCall, ApiCallKind, AppId, EventKind};
@@ -51,8 +53,9 @@ use sdnshield_core::perm::PermissionSet;
 use sdnshield_core::token::PermissionToken;
 use sdnshield_core::vtopo::{PhysView, VirtualTopology};
 use sdnshield_netsim::network::{Delivery, Network};
+use sdnshield_openflow::flow_table::RemovedEntry;
 use sdnshield_openflow::messages::{
-    FlowMod, FlowRemoved, PacketIn, PacketOut, StatsReply, StatsRequest,
+    FlowMod, FlowRemoved, OfError, PacketIn, PacketOut, StatsReply, StatsRequest,
 };
 use sdnshield_openflow::packet::EthernetFrame;
 use sdnshield_openflow::types::{Cookie, DatapathId, EthAddr};
@@ -71,6 +74,292 @@ pub struct OutboundEvent {
     /// The event body (payload stripping happens per receiving app at
     /// dispatch).
     pub event: Event,
+}
+
+/// Capacity of the flat-combining slot ring: how many contending submitters
+/// can park behind the combiner before the overflow path falls back to
+/// blocking on the commit lock directly.
+const SUBMIT_RING_CAPACITY: usize = 64;
+
+/// How long a parked submitter waits on its slot condvar before re-checking
+/// whether it should become the combiner itself (guards against the window
+/// where every combiner finished before the slot landed in the ring).
+const SUBMIT_PARK: Duration = Duration::from_micros(50);
+
+/// Yield-spin budget a waiting submitter burns before falling back to the
+/// timed condvar park. Combiner drains are microseconds long, so a handful
+/// of scheduler yields almost always covers them — without paying a futex
+/// sleep/wake round-trip per combined command.
+const SUBMIT_SPINS: u32 = 1024;
+
+/// Spin budget adjusted for the host: on a uniprocessor the combiner can
+/// only make progress while the waiter is *off* the core, so yield-spinning
+/// just burns scheduler round-trips — park immediately and let the
+/// combiner's fulfil wake us instead.
+fn submit_spin_budget() -> u32 {
+    static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            SUBMIT_SPINS
+        } else {
+            0
+        }
+    })
+}
+
+/// One parked submitter's rendezvous cell in the flat-combining protocol
+/// (DESIGN.md §16). The submitter publishes its command here and parks; the
+/// combiner takes the command, applies it as part of a drained batch, and
+/// hands the result back through the same cell.
+///
+/// Built on `std::sync` (not the parking_lot shim) because the protocol
+/// needs a condvar. Lock ordering: the combiner takes a slot's mutex only
+/// while holding the commit lock; a waiter never acquires the commit lock
+/// while holding its slot mutex — so the pair cannot invert.
+struct SubmitSlot {
+    state: std::sync::Mutex<SlotState>,
+    cv: std::sync::Condvar,
+}
+
+struct SlotState {
+    /// The submitted command; taken (exactly once) by the combiner.
+    cmd: Option<Command>,
+    /// The command's result; taken (exactly once) by the submitter.
+    done: Option<(CommandOutcome, Vec<OutboundEvent>)>,
+}
+
+impl SubmitSlot {
+    fn new(cmd: Command) -> SubmitSlot {
+        SubmitSlot {
+            state: std::sync::Mutex::new(SlotState {
+                cmd: Some(cmd),
+                done: None,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        // Slot holders never panic while holding the lock (they only move
+        // options in and out), but swallow poisoning anyway: a lost submit
+        // must not cascade.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn take_cmd(&self) -> Option<Command> {
+        self.state().cmd.take()
+    }
+
+    fn fulfill(&self, result: (CommandOutcome, Vec<OutboundEvent>)) {
+        let mut st = self.state();
+        st.done = Some(result);
+        self.cv.notify_one();
+    }
+
+    fn try_take_done(&self) -> Option<(CommandOutcome, Vec<OutboundEvent>)> {
+        self.state().done.take()
+    }
+
+    fn park(&self, timeout: Duration) {
+        let st = self.state();
+        if st.done.is_some() {
+            return;
+        }
+        let _ = self.cv.wait_timeout(st, timeout);
+    }
+}
+
+/// Internal combiner counters, all updated with relaxed atomics on the
+/// write path and snapshotted by [`Kernel::combiner_stats`].
+#[derive(Default)]
+struct CombinerCounters {
+    /// Commands that entered [`Kernel::submit`].
+    submitted: AtomicU64,
+    /// Non-empty batch drains (commit-lock acquisitions that applied work).
+    drains: AtomicU64,
+    /// Commands applied by a combiner on behalf of a parked peer.
+    combined: AtomicU64,
+    /// Submitters that found the slot ring full and fell back to blocking
+    /// on the commit lock directly.
+    ring_fallbacks: AtomicU64,
+    /// Batch-size histogram: buckets 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+    batch_hist: [AtomicU64; 8],
+    /// Largest batch drained so far.
+    max_batch: AtomicU64,
+    /// Flow-mods fanned out to switch lanes.
+    lane_jobs: AtomicU64,
+    /// Lane-parallel runs executed.
+    lane_runs: AtomicU64,
+    /// Deepest per-run lane fan-out observed.
+    max_lane_run: AtomicU64,
+}
+
+fn hist_bucket(n: usize) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
+}
+
+/// A point-in-time snapshot of the group-commit write pipeline's health,
+/// surfaced through `ShieldedController::combiner_stats` next to
+/// `fast_path_hits` (DESIGN.md §16).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CombinerStats {
+    /// Commands that entered `submit`.
+    pub submitted: u64,
+    /// Non-empty batch drains.
+    pub drains: u64,
+    /// Commands applied by a combiner on behalf of a parked peer.
+    pub combined: u64,
+    /// Ring-full fallbacks to the blocking commit lock.
+    pub ring_fallbacks: u64,
+    /// Batch-size histogram: buckets 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+    pub batch_hist: [u64; 8],
+    /// Largest batch drained.
+    pub max_batch: u64,
+    /// Current slot-ring occupancy (combiner-occupancy gauge).
+    pub ring_depth: usize,
+    /// Slot-ring capacity.
+    pub ring_capacity: usize,
+    /// Flow-mods fanned out to switch lanes.
+    pub lane_jobs: u64,
+    /// Lane-parallel runs executed.
+    pub lane_runs: u64,
+    /// Deepest per-run lane fan-out (lane-queue-depth high-water mark).
+    pub max_lane_run: u64,
+    /// Configured switch-lane count (0 = lanes disabled).
+    pub lanes: usize,
+}
+
+impl CombinerStats {
+    /// Mean commands per non-empty drain (1.0 when uncontended).
+    pub fn mean_batch(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.submitted as f64 / self.drains as f64
+        }
+    }
+}
+
+/// A flow-mod application job bound for a switch's home lane.
+struct LaneJob {
+    /// Position within the current run (results are reassembled by index).
+    idx: usize,
+    dpid: DatapathId,
+    flow_mod: FlowMod,
+}
+
+/// Outcome of one lane-applied flow-mod.
+type LaneApply = Result<Vec<RemovedEntry>, OfError>;
+/// A lane's reply: the job's run index plus its apply outcome.
+type LaneResult = (usize, LaneApply);
+
+/// Single-writer switch lanes: N worker threads, each the *only* writer for
+/// its home shard of datapaths (`dpid % lanes`), so flow-mod application
+/// inside a combiner drain takes effectively uncontended switch locks. Jobs
+/// for the same dpid always land on the same lane in drain order, so
+/// per-switch apply order — and with it every removed-entry event — is
+/// identical to the serial path.
+struct LanePool {
+    senders: Vec<crossbeam::channel::Sender<LaneJob>>,
+    results_rx: crossbeam::channel::Receiver<LaneResult>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LanePool {
+    fn new(network: Arc<Network>, lanes: usize, pin: bool) -> LanePool {
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<LaneResult>();
+        let mut senders = Vec::with_capacity(lanes);
+        let mut handles = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            let (tx, rx) = crossbeam::channel::unbounded::<LaneJob>();
+            let net = Arc::clone(&network);
+            let res = res_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ksl-{i}"))
+                .spawn(move || {
+                    if pin {
+                        let _ = affinity::pin_to_core(i);
+                    }
+                    while let Ok(job) = rx.recv() {
+                        let out = net.apply_flow_mod(job.dpid, &job.flow_mod);
+                        if res.send((job.idx, out)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn switch lane");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        LanePool {
+            senders,
+            results_rx: res_rx,
+            handles,
+        }
+    }
+
+    fn lane_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The home lane for a datapath.
+    fn home(&self, dpid: DatapathId) -> usize {
+        dpid.0 as usize % self.senders.len()
+    }
+
+    fn dispatch(&self, idx: usize, dpid: DatapathId, flow_mod: FlowMod) {
+        let _ = self.senders[self.home(dpid)].send(LaneJob {
+            idx,
+            dpid,
+            flow_mod,
+        });
+    }
+
+    /// Collects exactly `jobs` results into `sink` by index.
+    fn collect(&self, jobs: usize, sink: &mut [Option<LaneApply>]) {
+        for _ in 0..jobs {
+            let (idx, out) = self.results_rx.recv().expect("switch lane died mid-batch");
+            sink[idx] = Some(out);
+        }
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect: workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The precomputed per-command plan for one entry of a lane-parallel run:
+/// the permission decision is already made (it was call-only, hence a pure
+/// function of the call), the cookie is stamped, and the target is a single
+/// physical datapath.
+struct FlowLanePlan {
+    app: AppId,
+    kind_name: &'static str,
+    token: PermissionToken,
+    dpid: DatapathId,
+    /// `Some` iff the call passed its check (denied calls carry no mod).
+    stamped: Option<FlowMod>,
+    denied: Option<ApiError>,
 }
 
 /// Read-mostly app registry: written only at register/deregister time, read
@@ -108,7 +397,7 @@ pub struct Kernel {
     /// permission check and the app-side read fast lane — avoid the
     /// tracker's read lock entirely.
     tracker_epoch: AtomicU64,
-    network: Network,
+    network: Arc<Network>,
     host: Mutex<HostSystem>,
     /// Frames delivered to host NICs, for data-plane observation in tests.
     host_inbox: Mutex<BTreeMap<EthAddr, Vec<EthernetFrame>>>,
@@ -137,6 +426,17 @@ pub struct Kernel {
     /// subsystem lock and released after them, so it cannot participate in
     /// an inversion — and reads never take it at all.
     commit: Mutex<()>,
+    /// Flat-combining slot ring (DESIGN.md §16): submitters who lose the
+    /// race for the commit lock publish their command here; the lock winner
+    /// drains the ring and applies the whole batch under one acquisition
+    /// with one amortized journal group-append.
+    submit_ring: ArrayQueue<Arc<SubmitSlot>>,
+    /// Write-pipeline observability counters.
+    combiner: CombinerCounters,
+    /// Single-writer switch lanes (`None` = lanes disabled, the default).
+    /// Only the combiner — which holds the commit lock — uses the pool, so
+    /// this mutex is uncontended on the hot path.
+    lanes: Mutex<Option<LanePool>>,
     /// The attached command journal, if any.
     journal: Mutex<Option<Arc<Journal>>>,
     /// Fast flag mirroring `journal.is_some()`, checked by the public
@@ -192,7 +492,7 @@ impl Kernel {
             subs: RwLock::new(Subscriptions::default()),
             tracker: RwLock::new(OwnershipTracker::new()),
             tracker_epoch: AtomicU64::new(0),
-            network,
+            network: Arc::new(network),
             host: Mutex::new(HostSystem::new()),
             host_inbox: Mutex::new(BTreeMap::new()),
             audit: AuditLog::default(),
@@ -201,6 +501,9 @@ impl Kernel {
             lint_on_register: std::sync::atomic::AtomicBool::new(false),
             registry_epoch: std::sync::atomic::AtomicU64::new(0),
             commit: Mutex::new(()),
+            submit_ring: ArrayQueue::new(SUBMIT_RING_CAPACITY),
+            combiner: CombinerCounters::default(),
+            lanes: Mutex::new(None),
             journal: Mutex::new(None),
             journal_attached: AtomicBool::new(false),
             sealed: AtomicBool::new(false),
@@ -1354,24 +1657,401 @@ impl Kernel {
         self.sealed.load(Ordering::SeqCst)
     }
 
-    /// The single mutation seam: applies `cmd` and appends it to the
-    /// attached journal, both under the commit lock, so journal order is
-    /// commit order and the appended `audit_seq_after` watermark is exact.
+    /// The single mutation seam, now a flat-combining group commit
+    /// (DESIGN.md §16): an uncontended submitter takes the commit lock and
+    /// applies inline, exactly like the pre-combining path. A contended
+    /// submitter publishes its command into the slot ring and parks; the
+    /// lock winner drains the ring and applies the whole batch under *one*
+    /// lock acquisition with *one* amortized journal group-append, then
+    /// hands each parked peer its `(CommandOutcome, events)` through its
+    /// slot. Journal order remains identical to commit order, and every
+    /// record's `audit_seq_after` watermark is still captured immediately
+    /// after that command's audit records land — per-record exact, not
+    /// batch-granular.
     pub fn submit(&self, cmd: Command) -> (CommandOutcome, Vec<OutboundEvent>) {
-        let _commit = self.commit.lock();
-        if self.sealed.load(Ordering::SeqCst) {
-            return (CommandOutcome::sealed_for(&cmd), Vec::new());
+        self.combiner.submitted.fetch_add(1, Ordering::Relaxed);
+        // Uncontended fast path: win the lock outright and become the
+        // combiner for whatever contention arrives meanwhile.
+        if let Some(guard) = self.commit.try_lock() {
+            return self
+                .combine(guard, Some(cmd), None)
+                .expect("combiner always produces its own result");
         }
-        let (outcome, events) = self.apply_command(&cmd);
+        // One yield, one retry, before committing to the slot protocol.
+        // On an oversubscribed host a failed try_lock usually means the
+        // holder was preempted mid-commit; handing it the core lets it
+        // finish, and the retry takes the fast path — skipping a slot
+        // publish and a cross-thread handoff for a one-syscall toll.
+        std::thread::yield_now();
+        if let Some(guard) = self.commit.try_lock() {
+            return self
+                .combine(guard, Some(cmd), None)
+                .expect("combiner always produces its own result");
+        }
+        let slot = Arc::new(SubmitSlot::new(cmd));
+        if self.submit_ring.push(Arc::clone(&slot)).is_err() {
+            // Ring full: fall back to blocking on the commit lock like the
+            // pre-combining path. The slot was never published, so the
+            // command is still ours to take back.
+            self.combiner.ring_fallbacks.fetch_add(1, Ordering::Relaxed);
+            let cmd = slot
+                .take_cmd()
+                .expect("unpublished slot still holds its command");
+            let guard = self.commit.lock();
+            return self
+                .combine(guard, Some(cmd), None)
+                .expect("combiner always produces its own result");
+        }
+        self.wait_or_combine(slot)
+    }
+
+    /// A parked submitter's wait loop: take the result if a combiner left
+    /// one, otherwise opportunistically become the combiner (the window
+    /// where every previous combiner drained *before* our slot landed in
+    /// the ring), otherwise park briefly and re-check. The timeout bounds
+    /// the cost of any lost-wakeup window to one park interval.
+    fn wait_or_combine(&self, slot: Arc<SubmitSlot>) -> (CommandOutcome, Vec<OutboundEvent>) {
+        let spin_budget = submit_spin_budget();
+        let mut spins = 0u32;
+        loop {
+            if let Some(done) = slot.try_take_done() {
+                return done;
+            }
+            if let Some(guard) = self.commit.try_lock() {
+                if let Some(done) = self.combine(guard, None, Some(&slot)) {
+                    return done;
+                }
+                // Our slot was claimed by a previous combiner that has not
+                // fulfilled it yet; spin briefly, then park until it does.
+            }
+            // Combiner drains are short — a yield usually hands the core
+            // straight to the combiner (the whole win on few-core hosts,
+            // where a futex sleep/wake round-trip per command would dwarf
+            // the drain itself). Fall back to a timed park once yielding
+            // has burned its budget so an unlucky schedule cannot spin hot.
+            if spins < spin_budget {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                slot.park(SUBMIT_PARK);
+            }
+        }
+    }
+
+    /// The combiner: drains the slot ring behind `own_cmd` (if any) and
+    /// applies the whole batch under the held commit lock. Returns the
+    /// caller's own result — always `Some` when `own_cmd` was supplied;
+    /// when called with `own_slot` it is `Some` iff the slot's result
+    /// became available during this drain.
+    fn combine(
+        &self,
+        guard: MutexGuard<'_, ()>,
+        own_cmd: Option<Command>,
+        own_slot: Option<&Arc<SubmitSlot>>,
+    ) -> Option<(CommandOutcome, Vec<OutboundEvent>)> {
+        let had_own = own_cmd.is_some();
+        // Batch entries: `(slot, cmd)` in commit order — our own command
+        // first (it reached the lock first), then ring arrival order.
+        let mut batch: Vec<(Option<Arc<SubmitSlot>>, Option<Command>)> = Vec::new();
+        if let Some(cmd) = own_cmd {
+            batch.push((None, Some(cmd)));
+        }
+        while let Some(peer) = self.submit_ring.pop() {
+            if let Some(cmd) = peer.take_cmd() {
+                batch.push((Some(peer), Some(cmd)));
+            }
+        }
+        if batch.is_empty() {
+            drop(guard);
+            return own_slot.and_then(|s| s.try_take_done());
+        }
+
+        let n = batch.len();
+        self.combiner.drains.fetch_add(1, Ordering::Relaxed);
+        self.combiner
+            .combined
+            .fetch_add((n - usize::from(had_own)) as u64, Ordering::Relaxed);
+        self.combiner.batch_hist[hist_bucket(n)].fetch_add(1, Ordering::Relaxed);
+        self.combiner
+            .max_batch
+            .fetch_max(n as u64, Ordering::Relaxed);
+
+        let sealed = self.sealed.load(Ordering::SeqCst);
+        let journaling = self.journal_attached.load(Ordering::Acquire);
+        let mut results: Vec<Option<(CommandOutcome, Vec<OutboundEvent>)>> = Vec::new();
+        results.resize_with(n, || None);
+        let mut entries: Vec<(u64, u64, Command)> = Vec::new();
+
+        if sealed {
+            for (i, (_, cmd)) in batch.iter().enumerate() {
+                let cmd = cmd.as_ref().expect("unapplied entry holds its command");
+                results[i] = Some((CommandOutcome::sealed_for(cmd), Vec::new()));
+            }
+        } else {
+            self.apply_batch(&mut batch, journaling, &mut results, &mut entries);
+        }
+
+        if !entries.is_empty() {
+            if let Some(journal) = self.journal.lock().as_ref() {
+                if entries.len() == 1 {
+                    // Uncontended drains keep the pre-combining single-record
+                    // append (no batch bookkeeping on the journal side).
+                    let (seq, seen, cmd) = entries.pop().expect("length checked");
+                    journal.append(seq, seen, cmd);
+                } else {
+                    journal.append_batch(entries);
+                }
+            }
+        }
+        // Fulfill parked peers *before* releasing the commit lock: seal()'s
+        // lock/unlock barrier then guarantees every acknowledged command is
+        // already journaled when promote() proceeds.
+        let mut own_result = None;
+        for ((peer, _), result) in batch.into_iter().zip(results) {
+            let result = result.expect("every batch entry was resolved");
+            match peer {
+                Some(peer) => peer.fulfill(result),
+                None => own_result = Some(result),
+            }
+        }
+        drop(guard);
+        match own_slot {
+            Some(slot) => slot.try_take_done(),
+            None => own_result,
+        }
+    }
+
+    /// Applies a drained batch in commit order. Contiguous runs of
+    /// lane-eligible flow-mod calls fan out across the single-writer switch
+    /// lanes; everything else applies serially via `apply_command`. Each
+    /// entry's journal tuple captures `audit.seen()` immediately after its
+    /// own audit records land, keeping per-record watermarks exact.
+    fn apply_batch(
+        &self,
+        batch: &mut [(Option<Arc<SubmitSlot>>, Option<Command>)],
+        journaling: bool,
+        results: &mut [Option<(CommandOutcome, Vec<OutboundEvent>)>],
+        entries: &mut Vec<(u64, u64, Command)>,
+    ) {
+        let lanes = self.lanes.lock();
+        let n = batch.len();
+        let mut i = 0;
+        while i < n {
+            // Open a lane-parallel run at `i` when lanes are configured and
+            // at least two consecutive entries are eligible.
+            if let Some(pool) = lanes.as_ref() {
+                let mut plans = Vec::new();
+                let mut j = i;
+                while j < n {
+                    let cmd = batch[j].1.as_ref().expect("unapplied entry");
+                    match self.lane_plan(cmd) {
+                        Some(p) => {
+                            plans.push(p);
+                            j += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if plans.len() >= 2 {
+                    let outs = self.apply_flow_run(pool, &batch[i..j], plans);
+                    for (k, out) in outs.into_iter().enumerate() {
+                        let idx = i + k;
+                        self.finish_entry(
+                            &mut batch[idx],
+                            out,
+                            journaling,
+                            &mut results[idx],
+                            entries,
+                        );
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            let cmd = batch[i].1.as_ref().expect("unapplied entry");
+            let out = self.apply_command(cmd);
+            self.finish_entry(&mut batch[i], out, journaling, &mut results[i], entries);
+            i += 1;
+        }
+    }
+
+    /// Assigns the next commit sequence to one applied batch entry, queues
+    /// its journal tuple (moving the command out of the batch), and stores
+    /// its result.
+    fn finish_entry(
+        &self,
+        entry: &mut (Option<Arc<SubmitSlot>>, Option<Command>),
+        out: (CommandOutcome, Vec<OutboundEvent>),
+        journaling: bool,
+        result: &mut Option<(CommandOutcome, Vec<OutboundEvent>)>,
+        entries: &mut Vec<(u64, u64, Command)>,
+    ) {
         let seq = self.last_applied.load(Ordering::SeqCst) + 1;
         self.last_applied.store(seq, Ordering::SeqCst);
-        // Holding the slot lock across the append is safe: attach_journal
-        // is a rare configuration action, and append itself never calls
-        // back into the kernel.
-        if let Some(journal) = self.journal.lock().as_ref() {
-            journal.append(seq, self.audit.seen(), cmd);
+        if journaling {
+            let cmd = entry.1.take().expect("entry journaled once");
+            entries.push((seq, self.audit.seen(), cmd));
         }
-        (outcome, events)
+        *result = Some(out);
+    }
+
+    /// Is this command eligible for the single-writer switch lanes? Only a
+    /// plain flow-mod call whose permission decision is a pure function of
+    /// the call itself (call-only plan — or checks disabled) and whose app
+    /// has no virtual topology qualifies; anything else closes the run and
+    /// applies serially. Returns the fully precomputed plan so the run
+    /// applier never re-decides.
+    fn lane_plan(&self, cmd: &Command) -> Option<FlowLanePlan> {
+        let Command::Call(call) = cmd else {
+            return None;
+        };
+        let (dpid, flow_mod) = match &call.kind {
+            ApiCallKind::InsertFlow { dpid, flow_mod }
+            | ApiCallKind::DeleteFlow { dpid, flow_mod } => (*dpid, flow_mod),
+            _ => return None,
+        };
+        if self.vtopo_for(call.app).is_some() {
+            return None;
+        }
+        let denied = if self.checks_enabled {
+            // A missing engine takes the serial path (it audits nothing);
+            // a stateful decision plan also bails — the deputy path decides
+            // those against a live tracker view.
+            let engine = self.engine_for(call.app)?;
+            let decision = engine.check_call_only(call, self.context_epoch())?;
+            match decision {
+                Decision::Denied { .. } => Some(ApiError::from_decision(decision)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let stamped = denied.is_none().then(|| stamp_cookie(call.app, flow_mod));
+        Some(FlowLanePlan {
+            app: call.app,
+            kind_name: call.kind.name(),
+            token: call.required_token(),
+            dpid,
+            stamped,
+            denied,
+        })
+    }
+
+    /// Applies one lane-parallel run: switch mutations fan out to each
+    /// dpid's home lane (same-dpid order preserved by lane FIFO), then
+    /// ownership records, audit records, and outcomes are produced in the
+    /// run's original commit order — byte-for-byte the artifacts the serial
+    /// path would have produced, in the same per-command order. The RCU
+    /// switch views touched by the run are republished once at the end of
+    /// the group instead of per op.
+    fn apply_flow_run(
+        &self,
+        pool: &LanePool,
+        run: &[(Option<Arc<SubmitSlot>>, Option<Command>)],
+        plans: Vec<FlowLanePlan>,
+    ) -> Vec<(CommandOutcome, Vec<OutboundEvent>)> {
+        let n = plans.len();
+        self.combiner.lane_runs.fetch_add(1, Ordering::Relaxed);
+        // Phase 1: traces in commit order (decisions were precomputed —
+        // call-only plans are pure functions of the call), allowed mods
+        // dispatched to their home lanes.
+        let mut applied: Vec<Option<LaneApply>> = Vec::new();
+        applied.resize_with(n, || None);
+        let mut jobs = 0usize;
+        for (k, plan) in plans.iter().enumerate() {
+            if let Some(Command::Call(call)) = run[k].1.as_ref() {
+                self.trace_decision(call, plan.denied.is_none(), "deputy");
+            }
+            if let Some(stamped) = plan.stamped.as_ref() {
+                pool.dispatch(k, plan.dpid, stamped.clone());
+                jobs += 1;
+            }
+        }
+        self.combiner
+            .lane_jobs
+            .fetch_add(jobs as u64, Ordering::Relaxed);
+        self.combiner
+            .max_lane_run
+            .fetch_max(jobs as u64, Ordering::Relaxed);
+        // Phase 2: barrier — collect every lane result for this run.
+        pool.collect(jobs, &mut applied);
+        // Phase 3a: ownership records for successful mods, in commit order,
+        // under one tracker write acquisition (amortizing the write lock
+        // the serial path takes once per mod).
+        let any_ok = plans
+            .iter()
+            .zip(&applied)
+            .any(|(p, a)| p.stamped.is_some() && matches!(a, Some(Ok(_))));
+        if any_ok {
+            self.tracker_mut(|t| {
+                for (plan, outcome) in plans.iter().zip(&applied) {
+                    if let (Some(stamped), Some(Ok(_))) = (plan.stamped.as_ref(), outcome) {
+                        t.record_flow_mod(plan.app, plan.dpid, stamped);
+                    }
+                }
+            });
+        }
+        // Phase 3b: audits + outcomes in commit order. The per-command
+        // audit stream is exactly what the serial path emits.
+        let mut outs = Vec::with_capacity(n);
+        let mut touched: Vec<DatapathId> = Vec::new();
+        for (plan, outcome) in plans.into_iter().zip(applied) {
+            if let Some(denied) = plan.denied {
+                self.record_audit(plan.app, plan.kind_name, plan.token, AuditOutcome::Denied);
+                outs.push((CommandOutcome::Api(Err(denied)), Vec::new()));
+                continue;
+            }
+            match outcome.expect("allowed plan was dispatched") {
+                Ok(removed) => {
+                    touched.push(plan.dpid);
+                    self.record_audit(plan.app, plan.kind_name, plan.token, AuditOutcome::Allowed);
+                    outs.push((
+                        CommandOutcome::Api(Ok(ApiResponse::Unit)),
+                        removed_events(plan.dpid, &removed),
+                    ));
+                }
+                Err(e) => {
+                    self.record_audit(plan.app, plan.kind_name, plan.token, AuditOutcome::Failed);
+                    outs.push((CommandOutcome::Api(Err(ApiError::Switch(e))), Vec::new()));
+                }
+            }
+        }
+        // Batched RCU republish: one view rebuild per touched switch per
+        // drained group, so trailing readers don't each pay the rebuild.
+        touched.sort_unstable();
+        touched.dedup();
+        self.network.publish_views(touched);
+        outs
+    }
+
+    /// Configures the single-writer switch lanes (0 disables them). `pin`
+    /// additionally pins each lane thread to a core, best-effort.
+    pub fn set_switch_lanes(&self, lanes: usize, pin: bool) {
+        let pool = (lanes > 0).then(|| LanePool::new(Arc::clone(&self.network), lanes, pin));
+        *self.lanes.lock() = pool;
+    }
+
+    /// Snapshot of the group-commit write pipeline's counters.
+    pub fn combiner_stats(&self) -> CombinerStats {
+        let c = &self.combiner;
+        let mut batch_hist = [0u64; 8];
+        for (slot, counter) in batch_hist.iter_mut().zip(&c.batch_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        CombinerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            drains: c.drains.load(Ordering::Relaxed),
+            combined: c.combined.load(Ordering::Relaxed),
+            ring_fallbacks: c.ring_fallbacks.load(Ordering::Relaxed),
+            batch_hist,
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            ring_depth: self.submit_ring.len(),
+            ring_capacity: self.submit_ring.capacity(),
+            lane_jobs: c.lane_jobs.load(Ordering::Relaxed),
+            lane_runs: c.lane_runs.load(Ordering::Relaxed),
+            max_lane_run: c.max_lane_run.load(Ordering::Relaxed),
+            lanes: self.lanes.lock().as_ref().map_or(0, LanePool::lane_count),
+        }
     }
 
     /// Dispatches a command to its (unjournaled) handler. Pure function of

@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
-use sdnshield_controller::isolation::{ShieldedController, WarmStandby};
+use sdnshield_controller::isolation::{ControllerConfig, ShieldedController, WarmStandby};
 use sdnshield_controller::journal::{Journal, JournalFaults};
 use sdnshield_controller::kernel::Kernel;
 use sdnshield_controller::{ApiError, ApiResponse, KernelSnapshot};
@@ -672,5 +672,245 @@ fn promote_loses_no_acknowledged_commands_under_concurrent_submitters() {
     // The promoted kernel took over the journal: commands submitted after
     // failover kept appending to the same log.
     assert_eq!(journal.last_seq(), final_kernel.last_applied());
+    c.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit write pipeline (DESIGN.md §16): the flat-combining submit
+// path with single-writer switch lanes must keep every recovery guarantee
+// the serial path had — the journal a concurrent storm leaves behind is a
+// linearization of that storm, and replaying it reproduces the live kernel.
+// ---------------------------------------------------------------------------
+
+/// Asserts the journal carries dense sequence numbers 1..=len — batched
+/// group appends must be indistinguishable from N serial appends.
+fn assert_dense_seqs(journal: &Journal) {
+    let records = journal.records_since(0);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64 + 1, "journal seqs dense and gap-free");
+    }
+}
+
+/// 8 submitters storm a journaled, lane-enabled kernel until the combiner
+/// has demonstrably exercised the lane pool (multi-entry drains are
+/// scheduling-dependent, so the storm repeats — bounded — until one lands).
+/// Whatever interleaving the scheduler produced, the journal must be a
+/// linearization: dense seqs, one record per acknowledged command, and a
+/// replay that is state-equal to the live kernel.
+#[test]
+fn group_commit_journal_is_a_linearization_of_the_storm() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 250;
+    const MAX_ROUNDS: u64 = 5;
+
+    let (live, journal) = journaled_kernel();
+    live.set_switch_lanes(2, false);
+
+    let mut rounds = 0;
+    while rounds < MAX_ROUNDS {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let live = &live;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let tp = ((rounds * THREADS + t) * PER_THREAD + i + 1) as u16;
+                        let dpid = t % 3 + 1;
+                        live.execute(&insert_call(PRIV, tp, 100, 0, dpid))
+                            .0
+                            .expect("storm insert acked");
+                    }
+                });
+            }
+        });
+        rounds += 1;
+        if live.combiner_stats().lane_runs > 0 {
+            break;
+        }
+    }
+
+    let stats = live.combiner_stats();
+    assert!(
+        stats.lane_runs > 0,
+        "no multi-entry drain engaged the lane pool in {MAX_ROUNDS} rounds \
+         of {} contended submits each",
+        THREADS * PER_THREAD
+    );
+    // 2 journaled registrations + every acknowledged insert, exactly once.
+    let total = 2 + rounds * THREADS * PER_THREAD;
+    assert_eq!(journal.len() as u64, total, "one record per command");
+    assert_eq!(
+        stats.submitted, total,
+        "every command routed through submit"
+    );
+    assert_dense_seqs(&journal);
+
+    // The journal is a linearization: replaying it serially reproduces the
+    // concurrent kernel, flow for flow.
+    let empty_snap = Kernel::new(net(), true).snapshot();
+    let recovered = Kernel::recover(net(), &empty_snap, &journal);
+    assert!(
+        recovered.snapshot().state_eq(&live.snapshot()),
+        "replay of the batch-written journal must equal the live kernel"
+    );
+    let installed: usize = (1u64..=3)
+        .map(|d| recovered.flow_count(DatapathId(d)))
+        .sum();
+    assert_eq!(installed as u64, rounds * THREADS * PER_THREAD);
+}
+
+/// One concurrently-issued op for the differential proptest below.
+fn arb_storm_op() -> impl Strategy<Value = (u8, u16, u64)> {
+    (0u8..4, 1u16..48, 1u64..=3)
+}
+
+fn run_storm_op(kernel: &Kernel, thread: usize, op: (u8, u16, u64)) {
+    let (kind, tp, dpid) = op;
+    // Per-thread tp ranges keep insert identities disjoint across threads;
+    // deletes target the same range, so they race only with the thread's
+    // own inserts (any interleaving is a valid linearization either way).
+    let tp = (thread * 1000) as u16 + tp;
+    match kind {
+        0 => {
+            let _ = kernel.execute(&insert_call(PRIV, tp, 100, 0, dpid));
+        }
+        1 => {
+            let _ = kernel.execute(&delete_call(tp));
+        }
+        2 => {
+            let _ = kernel.execute(&read_call(PRIV));
+        }
+        _ => {
+            let _ = kernel.execute(&pkt_out_call(tp as u8));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Differential group-commit property: for arbitrary concurrent command
+    /// traces — four threads, each with its own generated op list, lanes
+    /// forced on — the batch-framed journal the storm leaves behind replays
+    /// to a kernel state-equal to the live one, with a dense record per
+    /// submitted command. Whatever order the combiner chose, it committed,
+    /// journaled, and acknowledged the *same* history.
+    #[test]
+    fn concurrent_group_commit_replays_to_live_state(
+        traces in proptest::collection::vec(
+            proptest::collection::vec(arb_storm_op(), 1..24),
+            4..5,
+        ),
+    ) {
+        let (live, journal) = journaled_kernel();
+        live.set_switch_lanes(2, false);
+        let total_ops: usize = traces.iter().map(Vec::len).sum();
+        std::thread::scope(|s| {
+            for (t, trace) in traces.iter().enumerate() {
+                let live = &live;
+                s.spawn(move || {
+                    for op in trace {
+                        run_storm_op(live, t, *op);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(journal.len(), 2 + total_ops, "one record per op");
+        assert_dense_seqs(&journal);
+        let empty_snap = Kernel::new(net(), true).snapshot();
+        let recovered = Kernel::recover(net(), &empty_snap, &journal);
+        prop_assert!(
+            recovered.snapshot().state_eq(&live.snapshot()),
+            "batched journal must replay to the live kernel's state"
+        );
+    }
+}
+
+/// The promote-mid-storm ack guarantee, re-proved with the group-commit
+/// pipeline fully enabled on both the primary and the promoted kernel
+/// (`switch_lanes` in the controller config): sealing the old primary makes
+/// its combiner refuse whole batches *after* fulfilling every parked
+/// submitter, so no acknowledged command can be lost in the failover.
+#[test]
+fn promote_with_lanes_loses_no_acknowledged_commands() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 100;
+
+    let c = ShieldedController::new_with_config(
+        Network::new(builders::linear(2), 16_384),
+        ControllerConfig {
+            num_deputies: 2,
+            switch_lanes: 2,
+            ..ControllerConfig::default()
+        },
+    );
+    let journal = Arc::new(Journal::in_memory());
+    c.attach_journal(Arc::clone(&journal));
+    c.kernel()
+        .register_app(PRIV, "driver", &priv_manifest())
+        .unwrap();
+
+    let standby = Arc::new(WarmStandby::new(
+        Network::new(builders::linear(2), 16_384),
+        &c.snapshot(),
+        Arc::clone(&journal),
+    ));
+
+    let acked: Arc<Mutex<Vec<u16>>> = Arc::new(Mutex::new(Vec::new()));
+    let cell = c.kernel_cell();
+    let submitters: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cell = Arc::clone(&cell);
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let tp = (t * 1000 + i + 1) as u16;
+                    loop {
+                        let kernel = cell.load();
+                        match kernel.execute(&insert_call(PRIV, tp, 100, 0, 1)).0 {
+                            Ok(_) => {
+                                acked.lock().unwrap().push(tp);
+                                break;
+                            }
+                            Err(ApiError::Shutdown) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected error: {e:?}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for _ in 0..3 {
+        standby.catch_up();
+        std::thread::yield_now();
+    }
+    let promoted = c.promote(&standby);
+    for t in submitters {
+        t.join().unwrap();
+    }
+
+    let acked = acked.lock().unwrap().clone();
+    assert_eq!(acked.len() as u64, THREADS * PER_THREAD);
+    let final_kernel = c.kernel();
+    assert!(Arc::ptr_eq(&final_kernel, &promoted));
+    for tp in &acked {
+        let (result, _) = final_kernel.execute(&ApiCall::new(
+            PRIV,
+            ApiCallKind::ReadFlowTable {
+                dpid: DatapathId(1),
+                query: FlowMatch::default().with_tp_dst(*tp),
+            },
+        ));
+        match result {
+            Ok(ApiResponse::FlowEntries(entries)) => assert_eq!(
+                entries.len(),
+                1,
+                "acknowledged flow tp_dst={tp} must survive failover exactly once"
+            ),
+            other => panic!("read failed for tp_dst={tp}: {other:?}"),
+        }
+    }
+    assert_eq!(journal.last_seq(), final_kernel.last_applied());
+    assert_dense_seqs(&journal);
     c.shutdown();
 }

@@ -1,0 +1,70 @@
+//! Offline shim for CPU-affinity pinning: best-effort `sched_setaffinity`
+//! for the calling thread on Linux, a no-op everywhere else.
+//!
+//! The workspace is `#![forbid(unsafe_code)]` outside the shims; this crate
+//! owns the one FFI call core-pinned deputy shards need. libc is already
+//! linked by std, so no new dependency is introduced.
+//!
+//! Pinning is strictly best-effort: a failed or unsupported call returns
+//! `false` and the caller keeps running unpinned. Nothing in the workspace
+//! may depend on pinning for correctness — only for locality.
+
+/// Number of logical CPUs visible to this process (1 when unknown).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pins the calling thread to `core` (modulo the visible core count).
+/// Returns `true` when the kernel accepted the mask, `false` on any
+/// failure or on platforms without `sched_setaffinity`.
+pub fn pin_to_core(core: usize) -> bool {
+    imp::pin_to_core(core % available_cores().max(1))
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    // cpu_set_t is 1024 bits; represent it as 16 u64 words.
+    const CPU_SET_WORDS: usize = 16;
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn pin_to_core(core: usize) -> bool {
+        if core >= CPU_SET_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; CPU_SET_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // pid 0 = the calling thread.
+        let rc = unsafe { sched_setaffinity(0, CPU_SET_WORDS * 8, mask.as_ptr()) };
+        rc == 0
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn pin_to_core(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn pin_is_best_effort_and_does_not_panic() {
+        // Whatever the platform answers, the call must not crash the
+        // thread; on Linux pinning to core 0 should generally succeed.
+        let _ = pin_to_core(0);
+        let _ = pin_to_core(usize::MAX - 1);
+    }
+}
